@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper table or figure and prints it in
+the paper's row/series layout (run with ``-s`` to see the output live;
+it is also attached to the pytest-benchmark ``extra_info``).
+
+Scaling: windows and intervals are 1:100 against the paper (see
+DESIGN.md).  Set ``BUGNET_BENCH_SCALE`` (e.g. ``0.2``) to shrink the
+sweeps further for smoke runs.
+"""
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("BUGNET_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: int, minimum: int = 10_000) -> int:
+    """Apply the smoke-run scale factor to an instruction budget."""
+    return max(int(value * SCALE), minimum)
+
+
+@pytest.fixture
+def emit():
+    """Print a rendered report between benchmark output blocks."""
+    def _emit(text: str) -> None:
+        print()
+        print(text)
+    return _emit

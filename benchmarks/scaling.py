@@ -1,0 +1,15 @@
+"""Benchmark scale control.
+
+Sweeps default to the 1:100-of-paper sizes described in DESIGN.md.  Set
+``BUGNET_BENCH_SCALE`` (e.g. ``0.2``) to shrink instruction budgets for
+smoke runs.
+"""
+
+import os
+
+SCALE = float(os.environ.get("BUGNET_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: int, minimum: int = 10_000) -> int:
+    """Apply the smoke-run scale factor to an instruction budget."""
+    return max(int(value * SCALE), minimum)

@@ -1,0 +1,30 @@
+"""Figure 2 — FLL size needed to replay each bug's window.
+
+Paper claims (10 M interval): several programs need < 1 KB, all but
+three need < 100 KB, and the worst case is ~1 MB.  At 1:100 scale the
+absolute sizes shrink roughly with the windows; we assert the *ordering*
+claims: tiny windows → sub-KB logs, and the scaled-down worst cases stay
+the largest.
+"""
+
+from repro.analysis.experiments import experiment_fig2
+from repro.workloads.bugs import BUG_SUITE
+
+
+def test_fig2_bug_fll_sizes(benchmark, emit):
+    table, sizes = benchmark.pedantic(
+        experiment_fig2, rounds=1, iterations=1,
+    )
+    emit(table.render())
+    assert set(sizes) == {bug.name for bug in BUG_SUITE}
+    # Sub-thousand-instruction windows need well under 1 KB of FLL.
+    for name in ("tidy-34132-2", "tidy-34132-3", "python-2.1.1-1"):
+        assert sizes[name] < 1024, (name, sizes[name])
+    # The big-window programs dominate the small-window ones.
+    small = max(sizes["tidy-34132-2"], sizes["bc-1.06"])
+    for name in ("ghostscript-8.12", "gnuplot-3.7.1-2", "napster-1.5.2"):
+        assert sizes[name] > small
+    # Everything fits the paper's "less than ~1MB" envelope even before
+    # rescaling.
+    assert max(sizes.values()) < 1024 * 1024
+    benchmark.extra_info["fll_bytes"] = sizes

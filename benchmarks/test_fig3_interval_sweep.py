@@ -1,0 +1,33 @@
+"""Figure 3 — FLL size for a fixed window vs. checkpoint interval length.
+
+Paper shape: FLL size decreases monotonically as the interval grows
+(the first-load optimization compounds), with roughly an order of
+magnitude between the shortest and longest intervals.  Sweep is the
+paper's five decades, scaled 1:100 (10 K…100 M → 100…1 M) over a 1 M
+window (paper: 100 M).
+"""
+
+from benchmarks.scaling import scaled
+
+from repro.analysis.experiments import experiment_fig3
+from repro.workloads.spec import SPEC_WORKLOADS
+
+INTERVALS = (100, 1_000, 10_000, 100_000, 1_000_000)
+
+
+def test_fig3_interval_sweep(benchmark, emit):
+    series = benchmark.pedantic(
+        experiment_fig3,
+        kwargs={"window": scaled(1_000_000), "intervals": INTERVALS},
+        rounds=1, iterations=1,
+    )
+    emit(series.render(fmt=lambda v: f"{v:,.0f}"))
+    for name in SPEC_WORKLOADS:
+        line = series.lines[name]
+        # Monotone decrease across the sweep (allowing tiny plateaus).
+        assert line[0] > line[-1] * 1.5, f"{name}: {line}"
+        for previous, current in zip(line, line[1:]):
+            assert current <= previous * 1.10, f"{name} not decreasing: {line}"
+    average = series.lines["Avg"]
+    assert average[0] / average[-1] > 5  # the paper's order-of-magnitude drop
+    benchmark.extra_info["avg_kb"] = dict(zip(series.x_values, average))

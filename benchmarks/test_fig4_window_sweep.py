@@ -1,0 +1,35 @@
+"""Figure 4 — FLL size vs. replay window length (fixed 10 M interval).
+
+Paper: "On an average, FLLs of size 225 KB are required to replay 10
+million instructions and about 18.86 MB for replaying 1 billion" — i.e.
+near-linear growth across two decades of window length.  Scaled 1:100:
+windows 100 K / 1 M / 10 M at a 100 K interval.
+"""
+
+from benchmarks.scaling import scaled
+
+from repro.analysis.experiments import experiment_fig4
+from repro.workloads.spec import SPEC_WORKLOADS
+
+WINDOWS = (100_000, 1_000_000, 10_000_000)
+
+
+def test_fig4_window_sweep(benchmark, emit):
+    windows = tuple(scaled(w) for w in WINDOWS)
+    series = benchmark.pedantic(
+        experiment_fig4,
+        kwargs={"windows": windows},
+        rounds=1, iterations=1,
+    )
+    emit(series.render(fmt=lambda v: f"{v:,.0f}"))
+    for name in SPEC_WORKLOADS:
+        line = series.lines[name]
+        # Strictly growing with the window...
+        assert line[0] < line[1] < line[2], f"{name}: {line}"
+    average = series.lines["Avg"]
+    # ...and near-linear across the two decades: 100x window -> between
+    # 20x and 120x the log (the paper's 225KB -> 18.86MB is 86x).
+    growth = average[2] / average[0]
+    assert 20 <= growth <= 120, f"Avg growth {growth}"
+    benchmark.extra_info["avg_kb"] = dict(zip(series.x_values, average))
+    benchmark.extra_info["growth_100x_window"] = growth

@@ -1,0 +1,32 @@
+"""Figure 5 — % of load values found in the dictionary vs. table size.
+
+Paper: hit rate grows with table size; "a dictionary of size 64 is
+capable of compressing 50% of the values on average", with a wide
+per-benchmark spread (art best, crafty worst).
+"""
+
+from benchmarks.scaling import scaled
+
+from repro.analysis.experiments import DICT_SIZES, experiment_fig5_fig6
+from repro.workloads.spec import SPEC_WORKLOADS
+
+
+def test_fig5_dictionary_hits(benchmark, emit):
+    hit, _ratio = benchmark.pedantic(
+        experiment_fig5_fig6,
+        kwargs={"window": scaled(1_000_000), "sizes": DICT_SIZES},
+        rounds=1, iterations=1,
+    )
+    emit(hit.render(fmt=lambda v: f"{v:.1f}"))
+    for name in SPEC_WORKLOADS:
+        line = hit.lines[name]
+        for previous, current in zip(line, line[1:]):
+            assert current >= previous - 1.0, f"{name} not monotone: {line}"
+    sixty_four = hit.x_values.index(64)
+    avg64 = hit.lines["Avg"][sixty_four]
+    assert 35.0 <= avg64 <= 65.0, f"avg hit rate at 64 entries: {avg64}"
+    # art is the paper's most compressible benchmark; crafty the least.
+    assert hit.lines["art"][sixty_four] > hit.lines["crafty"][sixty_four]
+    benchmark.extra_info["avg_hit_pct"] = dict(
+        zip(hit.x_values, hit.lines["Avg"])
+    )

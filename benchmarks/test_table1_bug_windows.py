@@ -1,0 +1,30 @@
+"""Table 1 — replay windows between root cause and crash, all 18 bugs.
+
+Paper claim: the window between the source of a bug and the crash "is
+less than a million instructions on an average", and a 10 M-instruction
+replay window captures the majority of the bugs.
+"""
+
+from repro.analysis.experiments import experiment_table1
+
+
+def test_table1_bug_windows(benchmark, emit):
+    table, rows = benchmark.pedantic(
+        experiment_table1, rounds=1, iterations=1,
+    )
+    emit(table.render())
+    assert len(rows) == 18
+    for row in rows:
+        assert row.run.crashed, f"{row.bug.name} did not crash"
+        # Measured window within 2x of the (scaled) paper target.
+        target = row.bug.target_window
+        assert 0.4 * target <= row.run.window <= 2.5 * target + 64, row.bug.name
+    # The paper's average: scaled windows average below one million
+    # paper-unit instructions... their Table 1 average is ~1.5M including
+    # ghostscript; the median is well under 100K.  Assert the majority
+    # fit a 10M-instruction replay window (the paper's central claim).
+    within_10m = sum(1 for row in rows if row.run.scaled_window <= 10_000_000)
+    assert within_10m >= 16
+    benchmark.extra_info["windows"] = {
+        row.bug.name: row.run.scaled_window for row in rows
+    }

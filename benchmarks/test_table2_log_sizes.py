@@ -1,0 +1,59 @@
+"""Table 2 — log sizes: BugNet (10 M / 1 B) vs FDR (1 B), 1:100 scaled.
+
+Paper claims reproduced in shape:
+
+* BugNet's FLL for the small window is hundreds of KB; for the 100x
+  window it grows roughly linearly;
+* FDR's SafetyNet checkpoint logs for the same execution are of the
+  same order as BugNet's large-window FLLs — *but* FDR additionally
+  ships interrupt/input/DMA logs and a core dump orders of magnitude
+  larger, which BugNet does not need at all.
+"""
+
+from benchmarks.scaling import scaled
+
+from repro.analysis.experiments import (
+    experiment_table2,
+    experiment_table2_full_system,
+)
+
+
+def test_table2_log_sizes(benchmark, emit):
+    table, data = benchmark.pedantic(
+        experiment_table2,
+        kwargs={
+            "small_window": scaled(100_000),
+            "large_window": scaled(10_000_000),
+            "workloads": ("art", "gzip", "mcf"),
+        },
+        rounds=1, iterations=1,
+    )
+    emit(table.render())
+    assert data.bugnet_small_window > 0
+    # Near-linear growth between the two windows (paper: 225KB -> 18.86MB).
+    growth = data.bugnet_large_window / data.bugnet_small_window
+    assert 15 <= growth <= 130, growth
+    # FDR continuously generates checkpoint-log data of a comparable
+    # order.  The exact FLL-to-undo-log ratio is scale-sensitive (our
+    # 1:100 intervals log-heavier FLLs while shrunken store working
+    # sets log-lighter undo entries — see EXPERIMENTS.md), so assert
+    # the order-of-magnitude band rather than the paper's near-parity.
+    assert data.fdr_checkpoint_logs > data.bugnet_large_window / 20
+    assert data.fdr_checkpoint_logs < data.bugnet_large_window * 20
+    benchmark.extra_info["bugnet_small"] = data.bugnet_small_window
+    benchmark.extra_info["bugnet_large"] = data.bugnet_large_window
+    benchmark.extra_info["fdr_checkpoint_logs"] = data.fdr_checkpoint_logs
+
+
+def test_table2_full_system_shipment(benchmark, emit):
+    table, data = benchmark.pedantic(
+        experiment_table2_full_system, rounds=1, iterations=1,
+    )
+    emit(table.render())
+    fdr = data["fdr"]
+    # The paper's headline: no core dump for BugNet, and the total FDR
+    # shipment dwarfs BugNet's logs for application-level debugging.
+    assert fdr.core_dump > 0
+    assert fdr.shipped_total > 10 * data["bugnet"]
+    benchmark.extra_info["bugnet_bytes"] = data["bugnet"]
+    benchmark.extra_info["fdr_shipped_bytes"] = fdr.shipped_total

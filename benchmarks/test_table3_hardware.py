@@ -1,0 +1,19 @@
+"""Table 3 — on-chip hardware complexity: BugNet ~48 KB vs FDR ~1416 KB."""
+
+from repro.analysis.experiments import experiment_table3
+
+
+def test_table3_hardware(benchmark, emit):
+    table, data = benchmark.pedantic(
+        experiment_table3, rounds=1, iterations=1,
+    )
+    emit(table.render())
+    bugnet = data["bugnet"]
+    fdr = data["fdr"]
+    assert 48.0 <= bugnet.total_kb <= 49.0          # paper: 48 KB
+    assert fdr.total_kb == 1416.0                   # paper: 1416 KB
+    assert bugnet.components["Checkpoint Buffer (CB)"] == 16 * 1024
+    assert bugnet.components["Memory Race Buffer (MRB)"] == 32 * 1024
+    assert fdr.total_kb / bugnet.total_kb > 25
+    benchmark.extra_info["bugnet_kb"] = bugnet.total_kb
+    benchmark.extra_info["fdr_kb"] = fdr.total_kb

@@ -1,0 +1,31 @@
+"""Micro-benchmarks of the simulator itself (not a paper figure).
+
+These keep the reproduction honest about its own cost: the recorder
+path (cache + dictionary + FLL encode) per memory event, and the
+full-system machine in instructions per second.
+"""
+
+from repro.common.config import BugNetConfig
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+from repro.workloads.spec import SPEC_WORKLOADS
+from repro.workloads.trace import record_personality
+
+
+def test_trace_engine_throughput(benchmark):
+    stats = benchmark.pedantic(
+        record_personality,
+        args=(SPEC_WORKLOADS["gzip"], 200_000, 100_000),
+        rounds=3, iterations=1,
+    )
+    assert stats.instructions >= 200_000
+
+
+def test_full_system_recording_throughput(benchmark):
+    bug = BUGS_BY_NAME["gnuplot-3.7.1-2"]
+
+    def run():
+        return run_bug(bug, bugnet=BugNetConfig(checkpoint_interval=100_000),
+                       record=True)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.crashed

@@ -1,0 +1,76 @@
+"""A replay-debugging session: breakpoints, watchpoints, time travel.
+
+The ghostscript entry from Table 1 — a dangling-pointer write corrupts
+an offsets table; ~180 K instructions later (1:100 scale of the paper's
+18 M) the corrupted entry is dereferenced and the program dies.  The
+developer receives the crash file and, without the bug ever being
+reproducible locally, interrogates the one execution that failed:
+
+* run to the crash, inspect where it died,
+* set a watchpoint on the corrupted word and travel *backwards* to the
+  exact store that planted the bad pointer,
+* pull the access history of that word for the whole window.
+
+Run with::
+
+    python examples/debugger_session.py
+"""
+
+from repro.common.config import BugNetConfig
+from repro.replay.debugger import ReplayDebugger
+from repro.tracing.serialize import dump_crash_report, load_crash_report
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+
+def main() -> None:
+    bug = BUGS_BY_NAME["ghostscript-8.12"]
+    config = BugNetConfig(checkpoint_interval=50_000)
+    print(f"== user site: running {bug.name} ({bug.description})")
+    run = run_bug(bug, bugnet=config, record=True)
+    shipment = dump_crash_report(run.result.crash, config)
+    print(f"   crashed; shipment = {len(shipment)} bytes on the wire")
+
+    # --- developer site: only the binary and the shipment ---------------
+    report, loaded_config = load_crash_report(shipment)
+    print(f"\n== developer site: {report.fault_kind} fault at "
+          f"pc={report.fault_pc:#010x}, source line {report.fault_source_line}")
+    debugger = ReplayDebugger(
+        run.program, loaded_config, report.flls_for(report.faulting_tid),
+    )
+    print(f"   replay window: {debugger.length} instructions")
+
+    stop = debugger.run()                    # run to the end of the window
+    print(f"   {stop}")
+    print(f"   {debugger.where()}")
+
+    # The crash dereferenced a wild pointer; find where it was loaded from.
+    last = debugger.last_event()
+    table_slot, wild_pointer = last.load
+    print(f"\n== the wild pointer {wild_pointer:#x} was loaded from "
+          f"{table_slot:#010x}; watch that word and run backwards")
+    debugger.add_watchpoint(table_slot)
+    stop = debugger.run_back()               # skips the load we came from
+    print(f"   {stop}")
+    culprit = debugger.last_event()
+    line = run.program.source_line_of(culprit.pc)
+    print(f"   culprit: pc={culprit.pc:#010x} (source line {line}) "
+          f"stored {culprit.store[1]:#x}")
+    root_line = run.program.source_line_of(run.program.pc_of("root_cause"))
+    print(f"   annotated root cause is line {root_line}: "
+          f"{'MATCH' if line == root_line else 'near miss'}")
+
+    print(f"\n== full access history of {table_slot:#010x}:")
+    for index, kind, value in debugger.access_history(table_slot):
+        print(f"   @{index:>8} {kind:5s} {value:#010x}")
+
+    # Registers can be reconstructed anywhere; sample at the culprit.
+    debugger.seek(debugger.position)
+    regs = debugger.registers()
+    print(f"\n   register file at the culprit store: "
+          f"s0={regs[16]:#x} s1={regs[17]:#x} t0={regs[8]:#x}")
+    print("\ntime travel over one recorded execution — no rerun, no core "
+          "dump, no luck required.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Debugging a data race with Memory Race Logs (paper Sections 4.6, 5.2).
+
+Two threads increment a shared counter — one pair of accessors without a
+lock (a real data race, updates get lost), another pair correctly
+locked.  BugNet records per-thread FLLs plus MRLs from the coherence
+replies; the developer then:
+
+1. replays each thread independently (FLLs are self-contained),
+2. stitches a valid sequentially-consistent interleaving from the MRLs,
+3. infers data races: conflicting accesses unordered by any lock
+   handoff — and sees exactly how the racy interleaving lost updates.
+
+Run with::
+
+    python examples/race_debugging.py
+"""
+
+from repro import BugNetConfig, MachineConfig, Machine, assemble
+from repro.replay.races import infer_races, replay_all_threads, sync_constraints
+
+SOURCE = """
+.data
+racy_counter:   .word 0
+locked_counter: .word 0
+.text
+main:
+    li   s0, 0
+    li   s1, 60
+loop:
+    # -- unsynchronized increment: the bug -------------------------
+    lw   t0, racy_counter
+    addi t0, t0, 1
+    sw   t0, racy_counter
+    # -- locked increment: the fix ---------------------------------
+    li   v0, 8                  # LOCK(1)
+    li   a0, 1
+    syscall
+    lw   t0, locked_counter
+    addi t0, t0, 1
+    sw   t0, locked_counter
+    li   v0, 9                  # UNLOCK(1)
+    li   a0, 1
+    syscall
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    li   v0, 1
+    syscall
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="race-demo")
+    machine = Machine(
+        program,
+        MachineConfig(num_cores=2),
+        BugNetConfig(checkpoint_interval=2_000),
+    )
+    machine.spawn()
+    machine.spawn()
+    result = machine.run()
+
+    racy = machine.memory.peek(program.symbols["racy_counter"])
+    locked = machine.memory.peek(program.symbols["locked_counter"])
+    print(f"racy counter   : {racy}  (120 increments executed -> "
+          f"{120 - racy} lost updates)")
+    print(f"locked counter : {locked}  (correct)")
+
+    store = result.log_store
+    mrl_entries = sum(
+        cp.mrl.num_entries for tid in store.threads()
+        for cp in store.checkpoints(tid)
+    )
+    print(f"\nMRL entries recorded from coherence replies: {mrl_entries}")
+
+    # --- developer side ------------------------------------------------
+    replay = replay_all_threads(store, {0: program, 1: program},
+                                machine.bugnet)
+    print(f"per-thread replays: "
+          f"{ {tid: replay.thread_length(tid) for tid in (0, 1)} } "
+          f"instructions, stitched into a {len(replay.schedule)}-step "
+          f"sequentially-consistent schedule")
+
+    sync = sync_constraints(replay, machine.kernel.sync_edges)
+    races = infer_races(replay, sync)
+    print(f"\ninferred data races ({len(races)}):")
+    for race in races:
+        symbol = "racy_counter" if race.addr == program.symbols["racy_counter"] \
+            else f"{race.addr:#x}"
+        print(f"  {race}   [{symbol}]")
+
+    racy_addr = program.symbols["racy_counter"]
+    locked_addr = program.symbols["locked_counter"]
+    assert any(race.addr == racy_addr for race in races)
+    assert all(race.addr != locked_addr for race in races)
+    print("\nthe unlocked counter races; the locked one does not — "
+          "exactly what the lock handoff edges prove.")
+
+
+if __name__ == "__main__":
+    main()

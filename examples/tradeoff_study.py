@@ -1,0 +1,73 @@
+"""Design-space mini-study: interval length vs. log size vs. hardware.
+
+A scriptable version of the paper's sensitivity analysis (Figures 3-6
+and Table 3) on one workload, for readers who want to turn the knobs:
+
+* sweep the checkpoint interval and watch the first-load optimization
+  compound (Figure 3's shape),
+* sweep the dictionary size and watch hit rate / compression saturate
+  (Figures 5-6), and
+* see what the on-chip budget would be (Table 3's model).
+
+Run with::
+
+    python examples/tradeoff_study.py [workload] [window]
+"""
+
+import sys
+
+from repro import BugNetConfig, DictionaryConfig
+from repro.analysis.report import Table, format_bytes
+from repro.tracing.hardware import bugnet_hardware
+from repro.workloads.spec import SPEC_WORKLOADS
+from repro.workloads.trace import record_personality
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gzip"
+    window = int(sys.argv[2]) if len(sys.argv) > 2 else 300_000
+    personality = SPEC_WORKLOADS[name]
+
+    interval_table = Table(
+        f"{name}: checkpoint interval vs FLL size ({window}-instruction window)",
+        ["interval", "FLL size", "first-load rate", "intervals"],
+    )
+    for interval in (200, 2_000, 20_000, 200_000):
+        stats = record_personality(personality, window, interval)
+        interval_table.add(
+            interval, format_bytes(stats.fll_bytes),
+            f"{100 * stats.first_load_rate:.1f}%", stats.intervals,
+        )
+    print(interval_table.render())
+
+    sizes = (8, 32, 64, 256, 1024)
+    stats = record_personality(
+        personality, window, 100_000, satellite_sizes=sizes,
+    )
+    config = BugNetConfig(checkpoint_interval=100_000)
+    dict_table = Table(
+        f"\n{name}: dictionary size vs hit rate and compression",
+        ["entries", "hit rate", "compression ratio", "CAM bytes"],
+    )
+    for size in sizes:
+        cam = BugNetConfig(dictionary=DictionaryConfig(entries=size))
+        from repro.tracing.hardware import dictionary_cam_bytes
+
+        dict_table.add(
+            size,
+            f"{100 * stats.dict_stats[size].hit_rate:.1f}%",
+            f"{stats.compression_ratio_for(size, config):.2f}x",
+            dictionary_cam_bytes(cam),
+        )
+    print(dict_table.render())
+
+    budget = bugnet_hardware(config)
+    hw_table = Table("\nOn-chip budget at this design point", ["component", "bytes"])
+    for component, size in budget.components.items():
+        hw_table.add(component, format_bytes(size))
+    hw_table.add("TOTAL", format_bytes(budget.total_bytes))
+    print(hw_table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim so ``pip install -e .`` works offline (no wheel package).
+
+All real metadata lives in pyproject.toml; this file only enables the
+legacy editable-install path in environments without network access.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""BugNet reproduction: continuous first-load recording for deterministic
+replay debugging (Narayanasamy, Pokam & Calder, ISCA 2005).
+
+Quick tour (see README.md for the full story)::
+
+    from repro import (
+        assemble, Machine, MachineConfig, BugNetConfig, Replayer,
+    )
+
+    program = assemble(SOURCE)
+    machine = Machine(program, MachineConfig(), BugNetConfig())
+    machine.spawn()
+    result = machine.run()
+    if result.crashed:
+        flls = result.crash.flls_for(result.crash.faulting_tid)
+        replays = Replayer(program, machine.bugnet).replay(flls)
+
+Package layout:
+
+* :mod:`repro.arch` — the BN32 CPU/ISA substrate,
+* :mod:`repro.cache` — first-load-bit cache hierarchy + coherence,
+* :mod:`repro.tracing` — the BugNet recorder (FLL, MRL, dictionary),
+* :mod:`repro.replay` — deterministic replay and race inference,
+* :mod:`repro.system` — kernel, interrupts, DMA, crash reports,
+* :mod:`repro.mp` — the full-system machine,
+* :mod:`repro.baselines` — the FDR/SafetyNet comparison,
+* :mod:`repro.workloads` — SPEC personalities and the Table-1 bug suite,
+* :mod:`repro.analysis` — experiment drivers for every table/figure.
+"""
+
+from repro.arch import assemble
+from repro.common.config import BugNetConfig, CacheConfig, DictionaryConfig, MachineConfig
+from repro.mp.machine import Machine, MachineResult, run_program
+from repro.replay import Replayer, assert_traces_equal
+from repro.system.fault import CrashReport
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "assemble",
+    "BugNetConfig",
+    "CacheConfig",
+    "DictionaryConfig",
+    "MachineConfig",
+    "Machine",
+    "MachineResult",
+    "run_program",
+    "Replayer",
+    "assert_traces_equal",
+    "CrashReport",
+    "__version__",
+]

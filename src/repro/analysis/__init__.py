@@ -1,0 +1,17 @@
+"""Analysis: log-size accounting, table/series rendering, experiment drivers.
+
+One driver per paper table/figure lives in
+:mod:`repro.analysis.experiments`; the benchmarks call them and print
+the same rows/series the paper reports.
+"""
+
+from repro.analysis.report import Series, Table, format_bytes
+from repro.analysis.sizes import fll_bytes_for_window, report_bytes_for_window
+
+__all__ = [
+    "Table",
+    "Series",
+    "format_bytes",
+    "fll_bytes_for_window",
+    "report_bytes_for_window",
+]

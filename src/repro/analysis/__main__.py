@@ -1,0 +1,80 @@
+"""Regenerate every paper table and figure as one text report.
+
+Usage::
+
+    python -m repro.analysis [--fast]
+
+``--fast`` shrinks the sweeps ~5x for a quick look.  The full run takes
+several minutes (it executes every bug program and sweeps all seven
+SPEC personalities); its output is the basis of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis import experiments as exp
+
+
+def main(argv: list[str]) -> int:
+    fast = "--fast" in argv
+    shrink = 5 if fast else 1
+    window = 1_000_000 // shrink
+    big_window = 10_000_000 // shrink
+    started = time.time()
+
+    def section(title: str) -> None:
+        print()
+        print("#" * 72)
+        print(f"# {title}   [t+{time.time() - started:.0f}s]")
+        print("#" * 72)
+
+    section("Table 1 — bug replay windows")
+    table, _rows = exp.experiment_table1()
+    print(table.render())
+
+    section("Figure 2 — FLL sizes per bug")
+    table, _sizes = exp.experiment_fig2()
+    print(table.render())
+
+    section("Figure 3 — FLL size vs checkpoint interval")
+    series = exp.experiment_fig3(window=window)
+    print(series.render(fmt=lambda v: f"{v:,.0f}"))
+
+    section("Figure 4 — FLL size vs replay window")
+    series = exp.experiment_fig4(
+        windows=(100_000 // shrink, window, big_window),
+    )
+    print(series.render(fmt=lambda v: f"{v:,.0f}"))
+
+    section("Figures 5 and 6 — dictionary hit rate and compression ratio")
+    hit, ratio = exp.experiment_fig5_fig6(window=window)
+    print(hit.render(fmt=lambda v: f"{v:.1f}"))
+    print()
+    print(ratio.render(fmt=lambda v: f"{v:.2f}"))
+
+    section("Table 2 — log sizes vs FDR")
+    table, _data = exp.experiment_table2(
+        small_window=100_000 // shrink, large_window=big_window,
+        workloads=("art", "gzip", "mcf"),
+    )
+    print(table.render())
+    table, _full = exp.experiment_table2_full_system()
+    print()
+    print(table.render())
+
+    section("Table 3 — hardware complexity")
+    table, _hw = exp.experiment_table3()
+    print(table.render())
+
+    section("Section 6.3 — logging overhead")
+    table, _overhead = exp.experiment_overhead(window=window)
+    print(table.render())
+
+    print(f"\ntotal: {time.time() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

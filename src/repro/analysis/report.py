@@ -1,0 +1,91 @@
+"""ASCII rendering for the regenerated tables and figure series."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_bytes(count: float) -> str:
+    """Human units matching the paper's KB/MB convention."""
+    if count >= 1024 * 1024:
+        return f"{count / (1024 * 1024):.2f} MB"
+    if count >= 1024:
+        return f"{count / 1024:.1f} KB"
+    return f"{int(count)} B"
+
+
+@dataclass
+class Table:
+    """A simple aligned-text table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        """Append a row (cells are str()-ed)."""
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        """Aligned text rendering."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class Series:
+    """A figure reproduced as (x, per-name y) series."""
+
+    title: str
+    x_label: str
+    y_label: str
+    x_values: list = field(default_factory=list)
+    lines: dict[str, list] = field(default_factory=dict)
+
+    def set_point(self, name: str, x, y) -> None:
+        """Record one (x, y) point for one line."""
+        if x not in self.x_values:
+            self.x_values.append(x)
+        self.lines.setdefault(name, [None] * len(self.x_values))
+        line = self.lines[name]
+        while len(line) < len(self.x_values):
+            line.append(None)
+        line[self.x_values.index(x)] = y
+        for other in self.lines.values():
+            while len(other) < len(self.x_values):
+                other.append(None)
+
+    def render(self, fmt=lambda v: f"{v:.3g}") -> str:
+        """Render the series as an aligned table, one row per line."""
+        table = Table(
+            f"{self.title}  [{self.y_label} vs {self.x_label}]",
+            ["series"] + [str(x) for x in self.x_values],
+        )
+        for name in sorted(self.lines):
+            cells = [
+                fmt(v) if v is not None else "-" for v in self.lines[name]
+            ]
+            table.add(name, *cells)
+        return table.render()
+
+    def average(self) -> list:
+        """Point-wise average across lines (the paper's Avg series)."""
+        out = []
+        for index in range(len(self.x_values)):
+            values = [
+                line[index] for line in self.lines.values()
+                if line[index] is not None
+            ]
+            out.append(sum(values) / len(values) if values else None)
+        return out

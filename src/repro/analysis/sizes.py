@@ -1,0 +1,71 @@
+"""Log-size accounting helpers (Figure 2's metric).
+
+Figure 2 reports, per bug, the size of the FLLs "that can replay the
+window of execution required to capture the bug": the newest checkpoints
+of the faulting thread whose cumulative interval lengths cover the
+root-cause→crash distance.  For the multithreaded bugs we additionally
+include other threads' logs that overlap the window in time (identified
+by FLL header timestamps), since replaying the interaction needs them.
+"""
+
+from __future__ import annotations
+
+from repro.common.config import BugNetConfig
+from repro.system.fault import CrashReport
+
+
+def fll_bytes_for_window(
+    report: CrashReport,
+    config: BugNetConfig,
+    window: int,
+    tid: int | None = None,
+) -> int:
+    """Bytes of the faulting thread's FLLs covering *window* instructions."""
+    tid = report.faulting_tid if tid is None else tid
+    covered = 0
+    total = 0
+    for checkpoint in reversed(report.checkpoints.get(tid, [])):
+        total += checkpoint.fll.byte_size(config)
+        covered += checkpoint.fll.interval_length
+        if covered >= window:
+            break
+    return total
+
+
+def report_bytes_for_window(
+    report: CrashReport,
+    config: BugNetConfig,
+    window: int,
+    include_races: bool = True,
+) -> int:
+    """Total shipment bytes covering the bug window across all threads.
+
+    The faulting thread contributes the FLLs covering *window* of its own
+    instructions; other threads contribute the checkpoints whose
+    recording overlaps that span in time (timestamps are global steps),
+    plus — when *include_races* — the matching MRLs.
+    """
+    fault_tid = report.faulting_tid
+    fault_checkpoints = report.checkpoints.get(fault_tid, [])
+    covered = 0
+    window_start_ts = None
+    total = 0
+    for checkpoint in reversed(fault_checkpoints):
+        total += checkpoint.fll.byte_size(config)
+        if include_races:
+            total += checkpoint.mrl.byte_size(config)
+        covered += checkpoint.fll.interval_length
+        window_start_ts = checkpoint.fll.header.timestamp
+        if covered >= window:
+            break
+    for tid in report.thread_ids:
+        if tid == fault_tid:
+            continue
+        for checkpoint in report.checkpoints.get(tid, []):
+            if window_start_ts is None or (
+                checkpoint.fll.header.timestamp >= window_start_ts
+            ):
+                total += checkpoint.fll.byte_size(config)
+                if include_races:
+                    total += checkpoint.mrl.byte_size(config)
+    return total

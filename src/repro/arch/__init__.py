@@ -1,0 +1,47 @@
+"""BN32: the 32-bit RISC substrate the reproduction executes on.
+
+The paper instruments real x86 binaries with Pin and replays them under
+Simics.  Neither is available offline, and BugNet's mechanism only needs
+the architectural event stream — committed instructions, load values,
+store addresses, register state — so we substitute a small MIPS-flavored
+ISA with:
+
+* :mod:`repro.arch.isa` — instruction set and syscall numbers,
+* :mod:`repro.arch.assembler` — two-pass assembler (labels, directives,
+  pseudo-instructions),
+* :mod:`repro.arch.memory` — sparse paged byte-addressed memory with
+  word-aligned accesses and page-protection faults,
+* :mod:`repro.arch.registers` — the 32-entry register file,
+* :mod:`repro.arch.cpu` — a functional interpreter with a pluggable
+  data-memory interface (where caches and the BugNet recorder attach),
+* :mod:`repro.arch.program` / :mod:`repro.arch.loader` — binaries and
+  address-space setup.
+"""
+
+from repro.arch.assembler import assemble
+from repro.arch.cpu import CPU, DirectMemoryInterface, MemoryInterface
+from repro.arch.isa import CODE_BASE, DATA_BASE, HEAP_BASE, STACK_TOP, Instruction, Syscall
+from repro.arch.loader import load_program
+from repro.arch.memory import Memory, PAGE_SIZE
+from repro.arch.program import Program
+from repro.arch.registers import REG_ALIASES, RegisterFile, reg_num
+
+__all__ = [
+    "assemble",
+    "CPU",
+    "MemoryInterface",
+    "DirectMemoryInterface",
+    "Instruction",
+    "Syscall",
+    "CODE_BASE",
+    "DATA_BASE",
+    "HEAP_BASE",
+    "STACK_TOP",
+    "Memory",
+    "PAGE_SIZE",
+    "Program",
+    "load_program",
+    "RegisterFile",
+    "REG_ALIASES",
+    "reg_num",
+]

@@ -1,0 +1,468 @@
+"""Two-pass assembler for BN32.
+
+Supports the subset needed to write realistic application code:
+
+* segments ``.text`` / ``.data``
+* data directives ``.word``, ``.space``, ``.asciiz`` (one character per
+  word — "wide" strings keep first-load bookkeeping word-exact),
+  ``.equ NAME, value``
+* labels, ``label+offset`` expressions
+* pseudo-instructions: ``nop``, ``li``, ``la``, ``move``, ``b``,
+  ``beqz``, ``bnez``, ``bgt``, ``ble``, ``bgtu``, ``bleu``, ``neg``,
+  ``not``, ``subi``, ``call``, ``ret``, and ``lw/sw reg, label`` forms
+  (expanded through the assembler temporary ``at``)
+
+Example::
+
+    .data
+    greeting: .asciiz "hi"
+    .text
+    main:
+        la   a0, greeting
+        lw   t0, 0(a0)
+        li   v0, 1
+        syscall
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.arch.isa import (
+    ALL_OPS,
+    BRANCH_OPS,
+    CODE_BASE,
+    DATA_BASE,
+    I_OPS,
+    INSTRUCTION_BYTES,
+    J_OPS,
+    JR_OPS,
+    MEM_OPS,
+    R_OPS,
+    U_OPS,
+    Instruction,
+)
+from repro.arch.program import Program
+from repro.arch.registers import reg_num
+from repro.common.errors import AssemblerError
+
+_MEM_OPERAND = re.compile(r"^(?P<off>[^()]*)\((?P<base>[^()]+)\)$")
+_LABEL_EXPR = re.compile(r"^(?P<label>[A-Za-z_.$][\w.$]*)(?P<off>[+-]\d+)?$")
+_STRING = re.compile(r'^"(?P<body>(?:[^"\\]|\\.)*)"$')
+
+_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"'}
+
+
+def _unescape(body: str) -> str:
+    out = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\" and i + 1 < len(body):
+            out.append(_ESCAPES.get(body[i + 1], body[i + 1]))
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas that are not inside a string literal."""
+    parts: list[str] = []
+    depth_quote = False
+    current = []
+    for ch in text:
+        if ch == '"':
+            depth_quote = not depth_quote
+        if ch == "," and not depth_quote:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+class _Line:
+    """One parsed source statement (instruction or directive)."""
+
+    __slots__ = ("kind", "op", "operands", "line")
+
+    def __init__(self, kind: str, op: str, operands: list[str], line: int) -> None:
+        self.kind = kind
+        self.op = op
+        self.operands = operands
+        self.line = line
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`~repro.arch.program.Program`."""
+
+    def __init__(self, source: str, name: str = "a.out") -> None:
+        self._source = source
+        self._name = name
+        self._symbols: dict[str, int] = {}
+        self._equ: dict[str, int] = {}
+
+    # -- public entry ------------------------------------------------------
+
+    def assemble(self) -> Program:
+        """Run both passes and return the assembled program."""
+        statements = self._parse()
+        self._layout(statements)
+        return self._emit(statements)
+
+    # -- pass 0: parsing ----------------------------------------------------
+
+    def _parse(self) -> list[_Line]:
+        statements: list[_Line] = []
+        for lineno, raw in enumerate(self._source.splitlines(), start=1):
+            text = raw.split("#", 1)[0].strip()
+            if not text:
+                continue
+            # Peel off any leading labels ("loop: lw t0, 0(a0)").
+            while True:
+                match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:\s*", text)
+                if not match:
+                    break
+                statements.append(_Line("label", match.group(1), [], lineno))
+                text = text[match.end():]
+            if not text:
+                continue
+            parts = text.split(None, 1)
+            op = parts[0].lower()
+            operands = _split_operands(parts[1]) if len(parts) > 1 else []
+            kind = "directive" if op.startswith(".") else "instr"
+            statements.append(_Line(kind, op, operands, lineno))
+        return statements
+
+    # -- immediate / operand helpers -----------------------------------------
+
+    def _parse_int(self, text: str, line: int) -> int:
+        text = text.strip()
+        if len(text) == 3 and text[0] == "'" and text[2] == "'":
+            return ord(text[1])
+        if text.startswith("'") and text.endswith("'") and "\\" in text:
+            body = _unescape(text[1:-1])
+            if len(body) == 1:
+                return ord(body)
+        if text in self._equ:
+            return self._equ[text]
+        try:
+            return int(text, 0)
+        except ValueError:
+            raise AssemblerError(f"expected integer, got {text!r}", line) from None
+
+    def _is_int(self, text: str) -> bool:
+        text = text.strip()
+        if text in self._equ:
+            return True
+        if len(text) >= 3 and text.startswith("'") and text.endswith("'"):
+            return True
+        try:
+            int(text, 0)
+            return True
+        except ValueError:
+            return False
+
+    def _resolve(self, text: str, line: int) -> int:
+        """Resolve to an unsigned 32-bit value: int, .equ, or label(+offset)."""
+        if self._is_int(text):
+            return self._parse_int(text, line) & 0xFFFFFFFF
+        match = _LABEL_EXPR.match(text.strip())
+        if match:
+            label = match.group("label")
+            if label in self._symbols:
+                offset = int(match.group("off") or 0)
+                return (self._symbols[label] + offset) & 0xFFFFFFFF
+        raise AssemblerError(f"unresolved symbol {text!r}", line)
+
+    # -- expansion sizing ------------------------------------------------------
+
+    def _li_size(self, imm: int) -> int:
+        imm &= 0xFFFFFFFF
+        signed = imm - 0x100000000 if imm & 0x80000000 else imm
+        if -0x8000 <= signed < 0x8000:
+            return 1
+        if imm & 0xFFFF == 0:
+            return 1
+        return 2
+
+    def _instr_size(self, stmt: _Line) -> int:
+        op, ops = stmt.op, stmt.operands
+        if op == "li":
+            if len(ops) != 2:
+                raise AssemblerError("li needs 2 operands", stmt.line)
+            if self._is_int(ops[1]):
+                return self._li_size(self._parse_int(ops[1], stmt.line))
+            return 2  # label value: treated like la
+        if op == "la":
+            return 2
+        if op in MEM_OPS and len(ops) == 2 and not _MEM_OPERAND.match(ops[1]) \
+                and not self._is_int(ops[1]):
+            return 3  # lw/sw reg, label  ->  lui at / ori at / lw 0(at)
+        if op in BRANCH_OPS or op in ("bgt", "ble", "bgtu", "bleu"):
+            if len(ops) == 3 and self._is_int(ops[1]):
+                # Immediate comparison: materialize into at, then branch.
+                return self._li_size(self._parse_int(ops[1], stmt.line)) + 1
+        return 1
+
+    # -- pass 1: layout -----------------------------------------------------
+
+    def _layout(self, statements: list[_Line]) -> None:
+        segment = "text"
+        pc = CODE_BASE
+        data = DATA_BASE
+        for stmt in statements:
+            if stmt.kind == "label":
+                self._symbols[stmt.op] = pc if segment == "text" else data
+            elif stmt.kind == "directive":
+                if stmt.op == ".text":
+                    segment = "text"
+                elif stmt.op == ".data":
+                    segment = "data"
+                elif stmt.op == ".equ":
+                    if len(stmt.operands) != 2:
+                        raise AssemblerError(".equ needs NAME, value", stmt.line)
+                    self._equ[stmt.operands[0]] = self._parse_int(
+                        stmt.operands[1], stmt.line
+                    )
+                elif stmt.op == ".word":
+                    data += 4 * len(stmt.operands)
+                elif stmt.op == ".space":
+                    size = self._parse_int(stmt.operands[0], stmt.line)
+                    data += (size + 3) & ~3
+                elif stmt.op == ".asciiz":
+                    match = _STRING.match(stmt.operands[0])
+                    if not match:
+                        raise AssemblerError(".asciiz needs a string", stmt.line)
+                    data += 4 * (len(_unescape(match.group("body"))) + 1)
+                elif stmt.op in (".global", ".globl", ".align"):
+                    pass  # accepted for source compatibility, no effect
+                else:
+                    raise AssemblerError(f"unknown directive {stmt.op}", stmt.line)
+            else:
+                if segment != "text":
+                    raise AssemblerError("instruction outside .text", stmt.line)
+                pc += INSTRUCTION_BYTES * self._instr_size(stmt)
+        self._data_limit = data
+
+    # -- pass 2: emission ------------------------------------------------------
+
+    def _emit(self, statements: list[_Line]) -> Program:
+        instructions: list[Instruction] = []
+        data_words: dict[int, int] = {}
+        segment = "text"
+        data = DATA_BASE
+        for stmt in statements:
+            if stmt.kind == "label":
+                continue
+            if stmt.kind == "directive":
+                if stmt.op == ".text":
+                    segment = "text"
+                elif stmt.op == ".data":
+                    segment = "data"
+                elif stmt.op == ".word":
+                    for operand in stmt.operands:
+                        data_words[data] = self._resolve(operand, stmt.line)
+                        data += 4
+                elif stmt.op == ".space":
+                    size = self._parse_int(stmt.operands[0], stmt.line)
+                    data += (size + 3) & ~3
+                elif stmt.op == ".asciiz":
+                    body = _unescape(_STRING.match(stmt.operands[0]).group("body"))
+                    for ch in body:
+                        data_words[data] = ord(ch)
+                        data += 4
+                    data_words[data] = 0
+                    data += 4
+                continue
+            instructions.extend(self._expand(stmt))
+        return Program(
+            instructions=instructions,
+            data_words=data_words,
+            data_base=DATA_BASE,
+            data_limit=max(self._data_limit, DATA_BASE),
+            symbols=dict(self._symbols),
+            name=self._name,
+        )
+
+    def _reg(self, text: str, line: int) -> int:
+        try:
+            return reg_num(text)
+        except KeyError:
+            raise AssemblerError(f"unknown register {text!r}", line) from None
+
+    def _expand(self, stmt: _Line) -> list[Instruction]:
+        """Expand one instruction statement into concrete instructions."""
+        op, ops, line = stmt.op, stmt.operands, stmt.line
+        ins = lambda *a, **k: Instruction(*a, line=line, **k)  # noqa: E731
+
+        def need(count: int) -> None:
+            if len(ops) != count:
+                raise AssemblerError(f"{op} needs {count} operands", line)
+
+        # -- pseudo-instructions ----------------------------------------
+        if op == "nop":
+            return [ins("nop")]
+        if op == "li":
+            need(2)
+            rd = self._reg(ops[0], line)
+            value = self._resolve(ops[1], line)
+            if not self._is_int(ops[1]):
+                # Label operand: emit the fixed two-instruction la form so
+                # pass-1 sizing (which cannot see label values) stays exact.
+                return [
+                    ins("lui", rd=rd, imm=(value >> 16) & 0xFFFF),
+                    ins("ori", rd=rd, rs=rd, imm=value & 0xFFFF),
+                ]
+            return self._materialize(rd, value, line)
+        if op == "la":
+            need(2)
+            rd = self._reg(ops[0], line)
+            value = self._resolve(ops[1], line)
+            return [
+                ins("lui", rd=rd, imm=(value >> 16) & 0xFFFF),
+                ins("ori", rd=rd, rs=rd, imm=value & 0xFFFF),
+            ]
+        if op == "move":
+            need(2)
+            return [ins("or", rd=self._reg(ops[0], line), rs=self._reg(ops[1], line), rt=0)]
+        if op == "b":
+            need(1)
+            return [ins("beq", rs=0, rt=0, imm=self._resolve(ops[0], line))]
+        if op == "beqz":
+            need(2)
+            return [ins("beq", rs=self._reg(ops[0], line), rt=0,
+                        imm=self._resolve(ops[1], line))]
+        if op == "bnez":
+            need(2)
+            return [ins("bne", rs=self._reg(ops[0], line), rt=0,
+                        imm=self._resolve(ops[1], line))]
+        if op in ("bgt", "ble", "bgtu", "bleu"):
+            need(3)
+            real = {"bgt": "blt", "ble": "bge", "bgtu": "bltu", "bleu": "bgeu"}[op]
+            prelude, rt_num = self._branch_rhs(ops[1], line)
+            return prelude + [ins(real, rs=rt_num, rt=self._reg(ops[0], line),
+                                  imm=self._resolve(ops[2], line))]
+        if op == "neg":
+            need(2)
+            return [ins("sub", rd=self._reg(ops[0], line), rs=0,
+                        rt=self._reg(ops[1], line))]
+        if op == "not":
+            need(2)
+            return [ins("nor", rd=self._reg(ops[0], line),
+                        rs=self._reg(ops[1], line), rt=0)]
+        if op == "subi":
+            need(3)
+            return [ins("addi", rd=self._reg(ops[0], line),
+                        rs=self._reg(ops[1], line),
+                        imm=-self._parse_int(ops[2], line))]
+        if op == "call":
+            need(1)
+            return [ins("jal", imm=self._resolve(ops[0], line))]
+        if op == "ret":
+            return [ins("jr", rs=reg_num("ra"))]
+
+        # -- real instructions -------------------------------------------
+        if op not in ALL_OPS:
+            raise AssemblerError(f"unknown instruction {op!r}", line)
+        if op in R_OPS:
+            need(3)
+            return [ins(op, rd=self._reg(ops[0], line), rs=self._reg(ops[1], line),
+                        rt=self._reg(ops[2], line))]
+        if op in I_OPS:
+            need(3)
+            imm = self._parse_int(ops[2], line)
+            if op in ("sll", "srl", "sra"):
+                if not 0 <= imm < 32:
+                    raise AssemblerError("shift amount out of range", line)
+            elif op in ("andi", "ori", "xori"):
+                if not 0 <= imm <= 0xFFFF:
+                    raise AssemblerError(f"{op} immediate must be 0..0xFFFF", line)
+            elif not -0x8000 <= imm < 0x8000:
+                raise AssemblerError(f"{op} immediate out of 16-bit range", line)
+            return [ins(op, rd=self._reg(ops[0], line), rs=self._reg(ops[1], line),
+                        imm=imm & 0xFFFFFFFF if imm >= 0 else imm)]
+        if op in U_OPS:
+            need(2)
+            imm = self._parse_int(ops[1], line)
+            if not 0 <= imm <= 0xFFFF:
+                raise AssemblerError("lui immediate must be 0..0xFFFF", line)
+            return [ins(op, rd=self._reg(ops[0], line), imm=imm)]
+        if op in MEM_OPS:
+            need(2)
+            reg = self._reg(ops[0], line)
+            match = _MEM_OPERAND.match(ops[1])
+            if match:
+                offset_text = match.group("off").strip() or "0"
+                offset = self._parse_int(offset_text, line)
+                base = self._reg(match.group("base"), line)
+                if op == "lw":
+                    return [ins("lw", rd=reg, rs=base, imm=offset)]
+                return [ins("sw", rt=reg, rs=base, imm=offset)]
+            if self._is_int(ops[1]):
+                raise AssemblerError(f"{op} needs offset(base) or label", line)
+            # lw/sw reg, label  — expand through the assembler temporary.
+            addr = self._resolve(ops[1], line)
+            at = reg_num("at")
+            expansion = [
+                ins("lui", rd=at, imm=(addr >> 16) & 0xFFFF),
+                ins("ori", rd=at, rs=at, imm=addr & 0xFFFF),
+            ]
+            if op == "lw":
+                expansion.append(ins("lw", rd=reg, rs=at, imm=0))
+            else:
+                expansion.append(ins("sw", rt=reg, rs=at, imm=0))
+            return expansion
+        if op in BRANCH_OPS:
+            need(3)
+            prelude, rt_num = self._branch_rhs(ops[1], line)
+            return prelude + [ins(op, rs=self._reg(ops[0], line), rt=rt_num,
+                                  imm=self._resolve(ops[2], line))]
+        if op in J_OPS:
+            need(1)
+            return [ins(op, imm=self._resolve(ops[0], line))]
+        if op in JR_OPS:
+            if op == "jr":
+                need(1)
+                return [ins("jr", rs=self._reg(ops[0], line))]
+            # jalr rd, rs  (or jalr rs  with rd=ra)
+            if len(ops) == 1:
+                return [ins("jalr", rd=reg_num("ra"), rs=self._reg(ops[0], line))]
+            need(2)
+            return [ins("jalr", rd=self._reg(ops[0], line), rs=self._reg(ops[1], line))]
+        if op == "syscall":
+            return [ins("syscall")]
+        if op == "break":
+            return [ins("break")]
+        raise AssemblerError(f"unhandled instruction {op!r}", line)
+
+    def _branch_rhs(self, operand: str, line: int) -> tuple[list[Instruction], int]:
+        """Right-hand side of a branch: register, or immediate via ``at``."""
+        if self._is_int(operand):
+            at = reg_num("at")
+            return self._materialize(at, self._parse_int(operand, line), line), at
+        return [], self._reg(operand, line)
+
+    def _materialize(self, rd: int, value: int, line: int) -> list[Instruction]:
+        """Emit the shortest sequence that puts *value* into *rd*."""
+        value &= 0xFFFFFFFF
+        signed = value - 0x100000000 if value & 0x80000000 else value
+        ins = lambda *a, **k: Instruction(*a, line=line, **k)  # noqa: E731
+        if -0x8000 <= signed < 0x8000:
+            return [ins("addi", rd=rd, rs=0, imm=signed)]
+        if value & 0xFFFF == 0:
+            return [ins("lui", rd=rd, imm=value >> 16)]
+        return [
+            ins("lui", rd=rd, imm=value >> 16),
+            ins("ori", rd=rd, rs=rd, imm=value & 0xFFFF),
+        ]
+
+
+def assemble(source: str, name: str = "a.out") -> Program:
+    """Assemble BN32 source text into a :class:`Program`."""
+    return Assembler(source, name=name).assemble()

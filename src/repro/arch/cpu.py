@@ -1,0 +1,254 @@
+"""Functional BN32 CPU.
+
+The CPU is deliberately ignorant of caches, recording and the OS: data
+accesses go through a pluggable :class:`MemoryInterface` (where the cache
+hierarchy and the BugNet recorder attach) and ``syscall`` calls a handler
+installed by the kernel.  Faults are raised as exceptions; the machine
+loop catches them and invokes the kernel's fault path (which finalizes
+the BugNet logs, Section 4.8).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+from repro.arch.isa import CODE_BASE, INSTRUCTION_BYTES, Instruction
+from repro.arch.memory import Memory
+from repro.arch.program import Program
+from repro.arch.registers import RegisterFile
+from repro.common.bits import to_signed
+from repro.common.errors import ArithmeticFault, Fault, InstructionFault
+
+MASK = 0xFFFFFFFF
+
+
+class MemoryInterface(Protocol):
+    """What the CPU needs from the data-memory side."""
+
+    def load(self, addr: int) -> int:
+        """Return the word at *addr* (may fault)."""
+
+    def store(self, addr: int, value: int) -> None:
+        """Write the word at *addr* (may fault)."""
+
+
+class DirectMemoryInterface:
+    """Uncached direct access to a :class:`~repro.arch.memory.Memory`."""
+
+    __slots__ = ("memory",)
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+
+    def load(self, addr: int) -> int:
+        return self.memory.load(addr)
+
+    def store(self, addr: int, value: int) -> None:
+        self.memory.store(addr, value)
+
+
+def _default_syscall(cpu: "CPU") -> None:
+    raise Fault("syscall executed with no kernel attached", pc=cpu.pc)
+
+
+class CPU:
+    """One hardware context executing a :class:`Program`.
+
+    ``step()`` executes exactly one instruction.  ``inst_count`` counts
+    committed instructions (the paper's IC); the recorder samples it for
+    interval bookkeeping and MRL entries.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        mem: MemoryInterface,
+        thread_id: int = 0,
+    ) -> None:
+        self.program = program
+        self.code = program.instructions
+        self.mem = mem
+        self.thread_id = thread_id
+        self.regs = RegisterFile()
+        self.pc = program.entry_pc
+        self.inst_count = 0
+        self.halted = False
+        self.exit_code = 0
+        self.syscall_handler: Callable[[CPU], None] = _default_syscall
+
+    # -- fetch ---------------------------------------------------------------
+
+    def fetch(self) -> Instruction:
+        """Fetch the instruction at the current PC or raise a fault."""
+        pc = self.pc
+        index = (pc - CODE_BASE) >> 2
+        if pc & 3 or index < 0 or index >= len(self.code):
+            raise InstructionFault(
+                f"instruction fetch from invalid address {pc:#010x}", pc=pc
+            )
+        return self.code[index]
+
+    # -- execution -------------------------------------------------------------
+
+    def step(self) -> Instruction:
+        """Execute one instruction; returns it (for tracers).
+
+        Raises a :class:`~repro.common.errors.Fault` subclass on
+        architectural faults; ``self.pc`` still points at the faulting
+        instruction in that case (fetch faults report the bad target).
+        """
+        ins = self.fetch()
+        op = ins.op
+        regs = self.regs.regs
+        next_pc = self.pc + INSTRUCTION_BYTES
+
+        if op == "lw":
+            value = self.mem.load((regs[ins.rs] + ins.imm) & MASK)
+            if ins.rd:
+                regs[ins.rd] = value & MASK
+        elif op == "sw":
+            self.mem.store((regs[ins.rs] + ins.imm) & MASK, regs[ins.rt])
+        elif op == "addi":
+            if ins.rd:
+                regs[ins.rd] = (regs[ins.rs] + ins.imm) & MASK
+        elif op == "add":
+            if ins.rd:
+                regs[ins.rd] = (regs[ins.rs] + regs[ins.rt]) & MASK
+        elif op == "sub":
+            if ins.rd:
+                regs[ins.rd] = (regs[ins.rs] - regs[ins.rt]) & MASK
+        elif op == "mul":
+            if ins.rd:
+                regs[ins.rd] = (to_signed(regs[ins.rs]) * to_signed(regs[ins.rt])) & MASK
+        elif op in ("div", "rem"):
+            divisor = to_signed(regs[ins.rt])
+            if divisor == 0:
+                raise ArithmeticFault(f"integer divide by zero at {self.pc:#010x}",
+                                      pc=self.pc)
+            dividend = to_signed(regs[ins.rs])
+            quotient = abs(dividend) // abs(divisor)
+            if (dividend < 0) != (divisor < 0):
+                quotient = -quotient
+            if op == "div":
+                result = quotient
+            else:
+                result = dividend - quotient * divisor
+            if ins.rd:
+                regs[ins.rd] = result & MASK
+        elif op in ("divu", "remu"):
+            divisor = regs[ins.rt]
+            if divisor == 0:
+                raise ArithmeticFault(f"integer divide by zero at {self.pc:#010x}",
+                                      pc=self.pc)
+            if ins.rd:
+                if op == "divu":
+                    regs[ins.rd] = (regs[ins.rs] // divisor) & MASK
+                else:
+                    regs[ins.rd] = (regs[ins.rs] % divisor) & MASK
+        elif op == "and":
+            if ins.rd:
+                regs[ins.rd] = regs[ins.rs] & regs[ins.rt]
+        elif op == "or":
+            if ins.rd:
+                regs[ins.rd] = regs[ins.rs] | regs[ins.rt]
+        elif op == "xor":
+            if ins.rd:
+                regs[ins.rd] = regs[ins.rs] ^ regs[ins.rt]
+        elif op == "nor":
+            if ins.rd:
+                regs[ins.rd] = ~(regs[ins.rs] | regs[ins.rt]) & MASK
+        elif op == "andi":
+            if ins.rd:
+                regs[ins.rd] = regs[ins.rs] & (ins.imm & 0xFFFF)
+        elif op == "ori":
+            if ins.rd:
+                regs[ins.rd] = regs[ins.rs] | (ins.imm & 0xFFFF)
+        elif op == "xori":
+            if ins.rd:
+                regs[ins.rd] = regs[ins.rs] ^ (ins.imm & 0xFFFF)
+        elif op == "sll":
+            if ins.rd:
+                regs[ins.rd] = (regs[ins.rs] << ins.imm) & MASK
+        elif op == "srl":
+            if ins.rd:
+                regs[ins.rd] = regs[ins.rs] >> ins.imm
+        elif op == "sra":
+            if ins.rd:
+                regs[ins.rd] = (to_signed(regs[ins.rs]) >> ins.imm) & MASK
+        elif op == "sllv":
+            if ins.rd:
+                regs[ins.rd] = (regs[ins.rs] << (regs[ins.rt] & 31)) & MASK
+        elif op == "srlv":
+            if ins.rd:
+                regs[ins.rd] = regs[ins.rs] >> (regs[ins.rt] & 31)
+        elif op == "srav":
+            if ins.rd:
+                regs[ins.rd] = (to_signed(regs[ins.rs]) >> (regs[ins.rt] & 31)) & MASK
+        elif op == "slt":
+            if ins.rd:
+                regs[ins.rd] = 1 if to_signed(regs[ins.rs]) < to_signed(regs[ins.rt]) else 0
+        elif op == "sltu":
+            if ins.rd:
+                regs[ins.rd] = 1 if regs[ins.rs] < regs[ins.rt] else 0
+        elif op == "slti":
+            if ins.rd:
+                regs[ins.rd] = 1 if to_signed(regs[ins.rs]) < ins.imm else 0
+        elif op == "sltiu":
+            if ins.rd:
+                regs[ins.rd] = 1 if regs[ins.rs] < (ins.imm & MASK) else 0
+        elif op == "lui":
+            if ins.rd:
+                regs[ins.rd] = (ins.imm << 16) & MASK
+        elif op == "beq":
+            if regs[ins.rs] == regs[ins.rt]:
+                next_pc = ins.imm
+        elif op == "bne":
+            if regs[ins.rs] != regs[ins.rt]:
+                next_pc = ins.imm
+        elif op == "blt":
+            if to_signed(regs[ins.rs]) < to_signed(regs[ins.rt]):
+                next_pc = ins.imm
+        elif op == "bge":
+            if to_signed(regs[ins.rs]) >= to_signed(regs[ins.rt]):
+                next_pc = ins.imm
+        elif op == "bltu":
+            if regs[ins.rs] < regs[ins.rt]:
+                next_pc = ins.imm
+        elif op == "bgeu":
+            if regs[ins.rs] >= regs[ins.rt]:
+                next_pc = ins.imm
+        elif op == "j":
+            next_pc = ins.imm
+        elif op == "jal":
+            regs[31] = next_pc
+            next_pc = ins.imm
+        elif op == "jr":
+            next_pc = regs[ins.rs]
+        elif op == "jalr":
+            target = regs[ins.rs]
+            if ins.rd:
+                regs[ins.rd] = next_pc
+            next_pc = target
+        elif op == "syscall":
+            self.syscall_handler(self)
+        elif op == "nop":
+            pass
+        elif op == "break":
+            raise InstructionFault(f"break trap at {self.pc:#010x}", pc=self.pc)
+        else:  # pragma: no cover - assembler only emits known ops
+            raise InstructionFault(f"undecodable instruction {op!r}", pc=self.pc)
+
+        self.pc = next_pc
+        self.inst_count += 1
+        return ins
+
+    # -- context switching -------------------------------------------------------
+
+    def context(self) -> tuple[int, tuple[int, ...]]:
+        """Architectural context: (pc, registers) — what the kernel saves."""
+        return self.pc, self.regs.snapshot()
+
+    def restore_context(self, pc: int, regs: tuple[int, ...]) -> None:
+        """Restore a context saved by :meth:`context`."""
+        self.pc = pc
+        self.regs.restore(regs)

@@ -1,0 +1,83 @@
+"""BN32 disassembler.
+
+Renders :class:`~repro.arch.isa.Instruction` objects back to readable
+assembly for the replay debugger, crash reports and diagnostics.  Round
+trips through the assembler for all non-pseudo instructions (tests
+verify this).
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import (
+    BRANCH_OPS,
+    I_OPS,
+    J_OPS,
+    JR_OPS,
+    MEM_OPS,
+    R_OPS,
+    U_OPS,
+    Instruction,
+)
+from repro.arch.program import Program
+from repro.arch.registers import reg_name
+
+
+def disassemble(ins: Instruction, symbols: dict[int, str] | None = None) -> str:
+    """One instruction as assembly text.
+
+    *symbols* optionally maps code addresses to label names so branch
+    and jump targets read symbolically.
+    """
+    def target(addr: int) -> str:
+        if symbols and addr in symbols:
+            return symbols[addr]
+        return f"{addr:#x}"
+
+    op = ins.op
+    if op in R_OPS:
+        return (f"{op} {reg_name(ins.rd)}, {reg_name(ins.rs)}, "
+                f"{reg_name(ins.rt)}")
+    if op in I_OPS:
+        return f"{op} {reg_name(ins.rd)}, {reg_name(ins.rs)}, {ins.imm}"
+    if op in U_OPS:
+        return f"{op} {reg_name(ins.rd)}, {ins.imm:#x}"
+    if op == "lw":
+        return f"lw {reg_name(ins.rd)}, {ins.imm}({reg_name(ins.rs)})"
+    if op == "sw":
+        return f"sw {reg_name(ins.rt)}, {ins.imm}({reg_name(ins.rs)})"
+    if op in BRANCH_OPS:
+        return (f"{op} {reg_name(ins.rs)}, {reg_name(ins.rt)}, "
+                f"{target(ins.imm)}")
+    if op in J_OPS:
+        return f"{op} {target(ins.imm)}"
+    if op == "jr":
+        return f"jr {reg_name(ins.rs)}"
+    if op == "jalr":
+        return f"jalr {reg_name(ins.rd)}, {reg_name(ins.rs)}"
+    return op  # syscall / break / nop
+
+
+def symbol_map(program: Program) -> dict[int, str]:
+    """Invert a program's symbol table (first label per address wins)."""
+    table: dict[int, str] = {}
+    for name, addr in program.symbols.items():
+        table.setdefault(addr, name)
+    return table
+
+
+def listing(program: Program, start: int | None = None,
+            count: int = 16) -> str:
+    """A disassembly listing around *start* (defaults to the entry)."""
+    symbols = symbol_map(program)
+    pc = program.entry_pc if start is None else start
+    lines = []
+    for _ in range(count):
+        ins = program.fetch(pc)
+        if ins is None:
+            break
+        label = symbols.get(pc)
+        if label:
+            lines.append(f"{label}:")
+        lines.append(f"  {pc:#010x}:  {disassemble(ins, symbols)}")
+        pc += 4
+    return "\n".join(lines)

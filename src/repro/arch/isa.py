@@ -1,0 +1,139 @@
+"""The BN32 instruction set.
+
+BN32 is deliberately MIPS-flavored: 32 general registers (r0 hardwired to
+zero), word-aligned 32-bit loads and stores, absolute branch/jump targets
+(this is a simulator, not an encoder), and a ``syscall`` instruction that
+traps into the kernel substrate.
+
+Memory map (see DESIGN.md):
+
+========  ==========  =====================================
+segment   base        notes
+========  ==========  =====================================
+code      0x00400000  separate instruction store, 4 B/slot
+data      0x10000000  globals from ``.data``
+heap      0x20000000  grows up via ``sbrk``
+stacks    0x7FFF0000  grow down, one region per thread
+mmio      0xA0000000  memory-mapped device registers
+========  ==========  =====================================
+
+Page zero is never mapped, so null-pointer dereferences fault exactly
+like they would on a real OS.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+CODE_BASE = 0x00400000
+DATA_BASE = 0x10000000
+HEAP_BASE = 0x20000000
+STACK_TOP = 0x7FFF0000
+MMIO_BASE = 0xA0000000
+
+INSTRUCTION_BYTES = 4
+
+
+class Syscall(IntEnum):
+    """Syscall numbers, passed in ``v0`` with arguments in ``a0``-``a3``."""
+
+    EXIT = 1
+    PRINT_INT = 2
+    PRINT_CHAR = 3
+    READ_INPUT = 4
+    YIELD = 5
+    SBRK = 6
+    WRITE_OUT = 7
+    LOCK = 8
+    UNLOCK = 9
+    CURRENT_TID = 10
+
+
+# Register-register ALU operations: ``op rd, rs, rt``.
+R_OPS = frozenset({
+    "add", "sub", "mul", "div", "divu", "rem", "remu",
+    "and", "or", "xor", "nor",
+    "sllv", "srlv", "srav",
+    "slt", "sltu",
+})
+
+# Register-immediate ALU operations: ``op rd, rs, imm``.
+I_OPS = frozenset({
+    "addi", "andi", "ori", "xori", "slti", "sltiu",
+    "sll", "srl", "sra",
+})
+
+# ``lui rd, imm`` loads ``imm << 16``.
+U_OPS = frozenset({"lui"})
+
+# Memory operations: ``lw rd, off(rs)`` / ``sw rt, off(rs)``.
+MEM_OPS = frozenset({"lw", "sw"})
+
+# Conditional branches: ``op rs, rt, label`` (absolute resolved target).
+BRANCH_OPS = frozenset({"beq", "bne", "blt", "bge", "bltu", "bgeu"})
+
+# Jumps.
+J_OPS = frozenset({"j", "jal"})
+JR_OPS = frozenset({"jr", "jalr"})
+
+SYS_OPS = frozenset({"syscall", "break", "nop"})
+
+ALL_OPS = R_OPS | I_OPS | U_OPS | MEM_OPS | BRANCH_OPS | J_OPS | JR_OPS | SYS_OPS
+
+
+class Instruction:
+    """One decoded BN32 instruction.
+
+    Fields not used by an opcode are zero.  ``imm`` holds shift amounts,
+    immediates, memory offsets and resolved absolute branch/jump targets.
+    ``line`` is the 1-based source line for diagnostics and for mapping
+    crash PCs back to "source" in the bug studies.
+    """
+
+    __slots__ = ("op", "rd", "rs", "rt", "imm", "line")
+
+    def __init__(
+        self,
+        op: str,
+        rd: int = 0,
+        rs: int = 0,
+        rt: int = 0,
+        imm: int = 0,
+        line: int = 0,
+    ) -> None:
+        self.op = op
+        self.rd = rd
+        self.rs = rs
+        self.rt = rt
+        self.imm = imm
+        self.line = line
+
+    def __repr__(self) -> str:
+        return (
+            f"Instruction({self.op!r}, rd={self.rd}, rs={self.rs}, "
+            f"rt={self.rt}, imm={self.imm:#x}, line={self.line})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return (
+            self.op == other.op
+            and self.rd == other.rd
+            and self.rs == other.rs
+            and self.rt == other.rt
+            and self.imm == other.imm
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.op, self.rd, self.rs, self.rt, self.imm))
+
+
+def pc_to_index(pc: int) -> int:
+    """Convert a code address to an instruction-store index."""
+    return (pc - CODE_BASE) // INSTRUCTION_BYTES
+
+
+def index_to_pc(index: int) -> int:
+    """Convert an instruction-store index to a code address."""
+    return CODE_BASE + index * INSTRUCTION_BYTES

@@ -1,0 +1,46 @@
+"""Program loading: address-space setup for a fresh process.
+
+Maps the data segment, an initial heap page and a stack region, copies
+initialized data words, and positions ``sp``/``gp``.  Used identically by
+the full-system machine (recording side) and the replayer — the paper
+requires the replayer to lay the binary out at the same virtual
+addresses (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import DATA_BASE, HEAP_BASE, STACK_TOP
+from repro.arch.memory import PAGE_SIZE, Memory
+from repro.arch.program import Program
+
+DEFAULT_STACK_BYTES = 64 * 1024
+DEFAULT_HEAP_BYTES = 64 * 1024
+
+
+def stack_top_for_thread(thread_id: int, stack_bytes: int = DEFAULT_STACK_BYTES) -> int:
+    """Top-of-stack address for *thread_id* (regions never overlap)."""
+    region = stack_bytes + PAGE_SIZE  # one guard page between stacks
+    return STACK_TOP - thread_id * region
+
+
+def load_program(
+    program: Program,
+    memory: Memory,
+    thread_id: int = 0,
+    stack_bytes: int = DEFAULT_STACK_BYTES,
+    heap_bytes: int = DEFAULT_HEAP_BYTES,
+) -> int:
+    """Map segments and copy initialized data; returns the initial ``sp``.
+
+    Safe to call once per thread sharing the same :class:`Memory`: the
+    data/heap mappings are idempotent and each thread gets its own stack
+    region.
+    """
+    data_len = max(program.data_limit - DATA_BASE, 4)
+    memory.map_range(DATA_BASE, data_len)
+    memory.map_range(HEAP_BASE, heap_bytes)
+    top = stack_top_for_thread(thread_id, stack_bytes)
+    memory.map_range(top - stack_bytes, stack_bytes)
+    for addr, value in program.data_words.items():
+        memory.poke(addr, value)
+    return top - 16  # small red zone below the very top

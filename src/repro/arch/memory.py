@@ -1,0 +1,104 @@
+"""Sparse paged data memory.
+
+Addresses are byte-granular but all accesses are aligned 32-bit words —
+matching the paper's per-word first-load bits.  Pages (4 KB) must be
+mapped before use; reads or writes to unmapped pages raise
+:class:`~repro.common.errors.MemoryFault`, which is how null-pointer
+dereferences and wild stores crash the simulated programs.
+
+The backing store is a dict keyed by word index, so multi-gigabyte
+address spaces cost only what is touched.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import AlignmentFault, MemoryFault
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+class Memory:
+    """Word-granular sparse memory with page-validity protection."""
+
+    __slots__ = ("_words", "_pages", "fault_checks")
+
+    def __init__(self, fault_checks: bool = True) -> None:
+        self._words: dict[int, int] = {}
+        self._pages: set[int] = set()
+        self.fault_checks = fault_checks
+
+    # -- page management -------------------------------------------------
+
+    def map_page(self, addr: int) -> None:
+        """Make the page containing *addr* valid."""
+        self._pages.add(addr >> PAGE_SHIFT)
+
+    def map_range(self, base: int, length: int) -> None:
+        """Map all pages overlapping ``[base, base+length)``."""
+        if length <= 0:
+            return
+        first = base >> PAGE_SHIFT
+        last = (base + length - 1) >> PAGE_SHIFT
+        self._pages.update(range(first, last + 1))
+
+    def unmap_page(self, addr: int) -> None:
+        """Invalidate the page containing *addr* (its contents remain)."""
+        self._pages.discard(addr >> PAGE_SHIFT)
+
+    def is_mapped(self, addr: int) -> bool:
+        """True if *addr* lies in a mapped page."""
+        return (addr >> PAGE_SHIFT) in self._pages
+
+    @property
+    def mapped_pages(self) -> frozenset[int]:
+        """Page numbers currently mapped (for core-dump sizing)."""
+        return frozenset(self._pages)
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Bytes of mapped address space — the FDR core-dump size model."""
+        return len(self._pages) * PAGE_SIZE
+
+    # -- word access ------------------------------------------------------
+
+    def _check(self, addr: int) -> None:
+        if addr & 3:
+            raise AlignmentFault(f"unaligned word access at {addr:#010x}")
+        if (addr >> PAGE_SHIFT) not in self._pages:
+            raise MemoryFault(f"access to unmapped address {addr:#010x}")
+
+    def load(self, addr: int) -> int:
+        """Read the aligned word at *addr*."""
+        if self.fault_checks:
+            self._check(addr)
+        return self._words.get(addr >> 2, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        """Write the aligned word at *addr*."""
+        if self.fault_checks:
+            self._check(addr)
+        self._words[addr >> 2] = value & 0xFFFFFFFF
+
+    def peek(self, addr: int) -> int:
+        """Read without fault checks (debugger/replayer access)."""
+        return self._words.get(addr >> 2, 0)
+
+    def poke(self, addr: int, value: int) -> None:
+        """Write without fault checks (loader/DMA/kernel access)."""
+        self._words[addr >> 2] = value & 0xFFFFFFFF
+
+    def load_block(self, base: int, words: int) -> list[int]:
+        """Read *words* consecutive words starting at *base* (no checks)."""
+        get = self._words.get
+        start = base >> 2
+        return [get(start + i, 0) for i in range(words)]
+
+    def clear(self) -> None:
+        """Drop all contents and mappings."""
+        self._words.clear()
+        self._pages.clear()
+
+    def touched_words(self) -> int:
+        """Number of distinct words ever written (diagnostics)."""
+        return len(self._words)

@@ -1,0 +1,61 @@
+"""Assembled BN32 binaries.
+
+A :class:`Program` is what the assembler produces and what both the
+full-system machine *and* the replayer load.  The replayer requirement
+comes straight from the paper (Section 5.1): "our replayer has to have
+access to the exact same binaries for the application and shared
+libraries used when creating the FLL."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.isa import CODE_BASE, DATA_BASE, INSTRUCTION_BYTES, Instruction
+
+
+@dataclass
+class Program:
+    """An assembled binary: code, initialized data, and symbols."""
+
+    instructions: list[Instruction]
+    data_words: dict[int, int] = field(default_factory=dict)
+    data_base: int = DATA_BASE
+    data_limit: int = DATA_BASE
+    symbols: dict[str, int] = field(default_factory=dict)
+    name: str = "a.out"
+
+    @property
+    def entry_pc(self) -> int:
+        """Address of the first instruction executed (``main`` if defined)."""
+        return self.symbols.get("main", CODE_BASE)
+
+    @property
+    def code_limit(self) -> int:
+        """One past the last valid code address."""
+        return CODE_BASE + len(self.instructions) * INSTRUCTION_BYTES
+
+    def pc_of(self, label: str) -> int:
+        """Address of a code label (raises ``KeyError`` if undefined)."""
+        return self.symbols[label]
+
+    def source_line_of(self, pc: int) -> int:
+        """Source line of the instruction at *pc* (0 if out of range)."""
+        index = (pc - CODE_BASE) // INSTRUCTION_BYTES
+        if 0 <= index < len(self.instructions):
+            return self.instructions[index].line
+        return 0
+
+    def fetch(self, pc: int) -> Instruction | None:
+        """Instruction at *pc*, or ``None`` for invalid code addresses."""
+        if pc & 3 or pc < CODE_BASE:
+            return None
+        index = (pc - CODE_BASE) >> 2
+        if index >= len(self.instructions):
+            return None
+        return self.instructions[index]
+
+    @property
+    def data_size(self) -> int:
+        """Bytes of initialized+reserved data segment."""
+        return self.data_limit - self.data_base

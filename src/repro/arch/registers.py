@@ -1,0 +1,97 @@
+"""The BN32 register file.
+
+MIPS-style conventions so the assembly in :mod:`repro.workloads.bugs`
+reads naturally:
+
+====== ======== =========================================
+name   number   role
+====== ======== =========================================
+zero   r0       hardwired zero
+at     r1       assembler temporary (pseudo expansion)
+v0-v1  r2-r3    syscall number / return values
+a0-a3  r4-r7    arguments
+t0-t9  r8-15,24-25  caller-saved temporaries
+s0-s7  r16-23   callee-saved
+k0-k1  r26-27   kernel scratch
+gp     r28      globals pointer
+sp     r29      stack pointer
+fp     r30      frame pointer
+ra     r31      return address
+====== ======== =========================================
+"""
+
+from __future__ import annotations
+
+NUM_REGS = 32
+
+REG_ALIASES: dict[str, int] = {"zero": 0, "at": 1}
+REG_ALIASES.update({f"v{i}": 2 + i for i in range(2)})
+REG_ALIASES.update({f"a{i}": 4 + i for i in range(4)})
+REG_ALIASES.update({f"t{i}": 8 + i for i in range(8)})
+REG_ALIASES.update({f"s{i}": 16 + i for i in range(8)})
+REG_ALIASES.update({"t8": 24, "t9": 25, "k0": 26, "k1": 27})
+REG_ALIASES.update({"gp": 28, "sp": 29, "fp": 30, "ra": 31})
+
+_NUM_TO_NAME = {num: name for name, num in REG_ALIASES.items()}
+
+
+def reg_num(name: str) -> int:
+    """Resolve a register name (``t0``, ``$sp``, ``r5``) to its number."""
+    name = name.lower().lstrip("$")
+    if name in REG_ALIASES:
+        return REG_ALIASES[name]
+    if name.startswith("r") and name[1:].isdigit():
+        num = int(name[1:])
+        if 0 <= num < NUM_REGS:
+            return num
+    raise KeyError(f"unknown register {name!r}")
+
+
+def reg_name(num: int) -> str:
+    """Conventional name for register *num* (for disassembly/diagnostics)."""
+    return _NUM_TO_NAME.get(num, f"r{num}")
+
+
+class RegisterFile:
+    """32 general-purpose 32-bit registers with r0 hardwired to zero."""
+
+    __slots__ = ("regs",)
+
+    def __init__(self, values: list[int] | None = None) -> None:
+        if values is None:
+            self.regs = [0] * NUM_REGS
+        else:
+            if len(values) != NUM_REGS:
+                raise ValueError(f"expected {NUM_REGS} register values")
+            self.regs = [v & 0xFFFFFFFF for v in values]
+            self.regs[0] = 0
+
+    def read(self, num: int) -> int:
+        """Read register *num* as an unsigned 32-bit word."""
+        return self.regs[num]
+
+    def write(self, num: int, value: int) -> None:
+        """Write register *num*; writes to r0 are discarded."""
+        if num:
+            self.regs[num] = value & 0xFFFFFFFF
+
+    def snapshot(self) -> tuple[int, ...]:
+        """Immutable copy of all 32 registers (checkpoint headers)."""
+        return tuple(self.regs)
+
+    def restore(self, values: tuple[int, ...] | list[int]) -> None:
+        """Overwrite all registers from a snapshot (replay initialization)."""
+        if len(values) != NUM_REGS:
+            raise ValueError(f"expected {NUM_REGS} register values")
+        self.regs[:] = [v & 0xFFFFFFFF for v in values]
+        self.regs[0] = 0
+
+    def __getitem__(self, name: str) -> int:
+        return self.regs[reg_num(name)]
+
+    def __setitem__(self, name: str, value: int) -> None:
+        self.write(reg_num(name), value)
+
+    def __repr__(self) -> str:
+        live = {reg_name(i): v for i, v in enumerate(self.regs) if v}
+        return f"RegisterFile({live})"

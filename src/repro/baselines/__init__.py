@@ -1,0 +1,25 @@
+"""The FDR comparison baseline (paper Sections 3 and 6.4).
+
+FDR (Xu, Bodik & Hill, ISCA 2003) is the system BugNet defines itself
+against: full-system replay built on SafetyNet checkpointing plus logs
+of every external input.  We implement the pieces whose *sizes* Table 2
+compares:
+
+* :mod:`repro.baselines.safetynet` — undo-log checkpointing (the
+  cache/memory checkpoint logs),
+* :mod:`repro.baselines.fdr` — the complete FDR log-size model:
+  checkpoint logs, interrupt/input/DMA logs, memory race logs and the
+  final core dump, with zlib standing in for FDR's hardware LZ
+  compressor.
+"""
+
+from repro.baselines.fdr import FDRConfig, FDRLogSizes, FDRTraceRecorder, fdr_sizes_from_run
+from repro.baselines.safetynet import SafetyNetCheckpointer
+
+__all__ = [
+    "SafetyNetCheckpointer",
+    "FDRConfig",
+    "FDRLogSizes",
+    "FDRTraceRecorder",
+    "fdr_sizes_from_run",
+]

@@ -1,0 +1,163 @@
+"""The FDR log-size model (paper Table 2's comparison column).
+
+FDR records everything needed to replay the *full system* for its last
+second of execution:
+
+* SafetyNet cache/memory checkpoint logs (undo logging, whole blocks),
+* an interrupt log (every interrupt/trap with enough context to
+  re-deliver it),
+* a program-input log (every word crossing the I/O boundary),
+* a DMA log (every word any DMA engine writes),
+* memory race logs (same mechanism BugNet adopts), and
+* the final core dump of physical memory — without which the undo logs
+  have nothing to roll back from.
+
+We measure all of these on the *same* executions our BugNet recorder
+sees: trace-driven for the SPEC personalities
+(:class:`FDRTraceRecorder`), and derived from a finished
+:class:`~repro.mp.machine.Machine` run for the full-system programs
+(:func:`fdr_sizes_from_run`).  zlib models FDR's hardware LZ compressor
+(the paper assumes LZ [28]); block payloads are batched per interval the
+way the hardware compresses buffered blocks.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.baselines.safetynet import SafetyNetCheckpointer, SafetyNetStats
+
+
+@dataclass(frozen=True)
+class FDRConfig:
+    """FDR design constants (from the FDR paper, as quoted by BugNet)."""
+
+    checkpoint_interval: int = 1_000_000  # scaled 1/3-second equivalent
+    block_size: int = 64
+    interrupt_record_bytes: int = 16   # vector, timing, minimal context
+    race_entry_bytes: int = 8
+    lz_level: int = 6
+
+
+@dataclass
+class FDRLogSizes:
+    """Everything FDR would ship to the developer, in bytes."""
+
+    cache_checkpoint_log: int = 0
+    memory_checkpoint_log: int = 0
+    race_log: int = 0
+    interrupt_log: int = 0
+    input_log: int = 0
+    dma_log: int = 0
+    core_dump: int = 0
+
+    @property
+    def logs_total(self) -> int:
+        """All logs except the core dump."""
+        return (self.cache_checkpoint_log + self.memory_checkpoint_log
+                + self.race_log + self.interrupt_log + self.input_log
+                + self.dma_log)
+
+    @property
+    def shipped_total(self) -> int:
+        """Total developer shipment including the core dump."""
+        return self.logs_total + self.core_dump
+
+
+class FDRTraceRecorder:
+    """Measures FDR's checkpoint-log sizes over a synthetic event stream.
+
+    The undo log dominates FDR's continuously-generated data; this
+    recorder runs SafetyNet bookkeeping and models LZ compression by
+    compressing representative undo payloads per interval.
+    """
+
+    def __init__(self, config: FDRConfig | None = None) -> None:
+        self.config = config or FDRConfig()
+        self.safetynet = SafetyNetCheckpointer(
+            block_size=self.config.block_size,
+            checkpoint_interval=self.config.checkpoint_interval,
+        )
+        self.compressed_undo_bytes = 0
+        self._pending_blocks: list[bytes] = []
+
+    def on_store(self, addr: int, block_payload: bytes | None = None) -> None:
+        """Account one store (with an optional representative payload)."""
+        if self.safetynet.on_store(addr):
+            payload = block_payload or addr.to_bytes(8, "little") * (
+                self.config.block_size // 8
+            )
+            self._pending_blocks.append(payload)
+            if len(self._pending_blocks) >= 64:
+                self._flush()
+
+    def on_commit(self, count: int = 1) -> None:
+        """Advance the instruction clock."""
+        self.safetynet.on_commit(count)
+
+    def _flush(self) -> None:
+        if not self._pending_blocks:
+            return
+        raw = b"".join(self._pending_blocks)
+        self.compressed_undo_bytes += len(
+            zlib.compress(raw, self.config.lz_level)
+        )
+        self._pending_blocks = []
+
+    def close(self) -> SafetyNetStats:
+        """Finalize and return the SafetyNet statistics."""
+        self._flush()
+        return self.safetynet.close()
+
+
+def fdr_sizes_from_run(
+    machine,
+    result,
+    config: FDRConfig | None = None,
+) -> FDRLogSizes:
+    """Derive FDR's log sizes for a finished full-system machine run.
+
+    Uses the per-thread trace collectors for the store stream (enable
+    ``collect_traces=True``), the kernel/DMA counters for interrupt and
+    input traffic, and the memory footprint for the core dump — all
+    measured from the same execution BugNet recorded.
+    """
+    config = config or FDRConfig()
+    sizes = FDRLogSizes()
+    checkpointer = SafetyNetCheckpointer(
+        block_size=config.block_size,
+        checkpoint_interval=config.checkpoint_interval,
+    )
+    for collector in machine.collectors.values():
+        if collector.digest_only:
+            raise ValueError("FDR derivation needs full traces, not digests")
+        for record in collector.records:
+            if record.store is not None:
+                checkpointer.on_store(record.store[0])
+            checkpointer.on_commit()
+    stats = checkpointer.close()
+    # The paper splits SafetyNet logging into a cache-level and a
+    # memory-level log (~1:5 in Table 2); we attribute undo entries by
+    # that published split since our one-level model does not distinguish
+    # where the old block was captured.
+    sizes.cache_checkpoint_log = stats.undo_bytes // 6 + stats.register_snapshot_bytes
+    sizes.memory_checkpoint_log = stats.undo_bytes - stats.undo_bytes // 6
+
+    # Every syscall is a synchronous interrupt FDR must log; timer
+    # preemptions and DMA completion interrupts too.
+    interrupts = machine.kernel.syscalls_serviced + machine.dma.transfers_completed
+    sizes.interrupt_log = interrupts * config.interrupt_record_bytes
+    sizes.input_log = machine.dma.words_transferred * 4
+    sizes.dma_log = machine.dma.words_transferred * 4
+
+    if result.log_store is not None:
+        # FDR's race log is the same mechanism BugNet adopts.
+        bugnet_config = machine.bugnet
+        sizes.race_log = sum(
+            cp.mrl.byte_size(bugnet_config)
+            for tid in result.log_store.threads()
+            for cp in result.log_store.checkpoints(tid)
+        )
+    sizes.core_dump = machine.memory.footprint_bytes
+    return sizes

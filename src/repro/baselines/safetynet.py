@@ -1,0 +1,84 @@
+"""SafetyNet-style undo-log checkpointing (Sorin et al., ISCA 2002).
+
+FDR retrieves a consistent full-system state by logging, for every
+cache block, the *old* contents the first time the block is written in
+a checkpoint interval (copy-on-write undo logging), plus a register
+snapshot per interval.  Rolling the undo log backwards over the final
+core image reconstructs memory at the checkpoint boundary.
+
+BugNet's pointed contrast (Section 2.1): this recovers *state*, not
+*inputs* — so FDR additionally needs interrupt/input/DMA logs, and its
+log entries carry whole cache blocks where BugNet carries load values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SafetyNetStats:
+    """Undo-log accounting for one recording."""
+
+    intervals: int = 0
+    undo_entries: int = 0
+    undo_bytes: int = 0
+    register_snapshot_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Checkpoint log bytes (cache + memory checkpoint logs)."""
+        return self.undo_bytes + self.register_snapshot_bytes
+
+
+class SafetyNetCheckpointer:
+    """Tracks first-store-per-block undo logging over an access stream."""
+
+    # An undo entry stores the block address plus the old block contents.
+    _ADDR_BYTES = 8
+
+    def __init__(self, block_size: int = 64, checkpoint_interval: int = 1_000_000,
+                 num_registers: int = 32) -> None:
+        self.block_size = block_size
+        self.block_shift = block_size.bit_length() - 1
+        self.checkpoint_interval = checkpoint_interval
+        self.register_bytes = num_registers * 4 + 8  # regs + pc/ids
+        self.stats = SafetyNetStats()
+        self._logged_blocks: set[int] = set()
+        self._ic = 0
+        self._open = False
+
+    def _begin(self) -> None:
+        """Open a new interval; the instruction clock carries over."""
+        self._logged_blocks.clear()
+        self._open = True
+        self.stats.intervals += 1
+        self.stats.register_snapshot_bytes += self.register_bytes
+
+    def on_store(self, addr: int) -> bool:
+        """Account one store; True if it produced an undo entry."""
+        if not self._open:
+            self._begin()
+        block = addr >> self.block_shift
+        if block in self._logged_blocks:
+            return False
+        self._logged_blocks.add(block)
+        self.stats.undo_entries += 1
+        self.stats.undo_bytes += self.block_size + self._ADDR_BYTES
+        return True
+
+    def on_commit(self, count: int = 1) -> None:
+        """Advance the instruction clock, rolling intervals as needed."""
+        if not self._open:
+            self._begin()
+        self._ic += count
+        while self._ic >= self.checkpoint_interval:
+            self._ic -= self.checkpoint_interval
+            self._open = False
+            if self._ic:
+                self._begin()
+
+    def close(self) -> SafetyNetStats:
+        """Finish the recording and return the accumulated stats."""
+        self._open = False
+        return self.stats

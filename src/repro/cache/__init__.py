@@ -1,0 +1,22 @@
+"""Cache substrate: where BugNet's first-load bits live.
+
+The paper (Section 4.3) associates one *first-load bit* with every
+32-bit word in the L1 and L2 caches.  A load is logged only when the bit
+for its word is clear; loads and stores both set the bit.  Eviction from
+the L2 clears the block's bits (forcing re-logging on re-access), L1
+evictions merge bits back into the L2, and L2→L1 fills copy them down.
+Coherence invalidations (remote writers, DMA) drop the block — and with
+it the bits — which is exactly how externally-modified values get
+re-logged.
+
+* :mod:`repro.cache.cache` — a set-associative LRU tag array,
+* :mod:`repro.cache.hierarchy` — the two-level first-load hierarchy,
+* :mod:`repro.cache.coherence` — a directory MSI protocol whose replies
+  drive the Memory Race Log.
+"""
+
+from repro.cache.cache import Cache, CacheBlock, CacheStats
+from repro.cache.coherence import Directory
+from repro.cache.hierarchy import FirstLoadHierarchy
+
+__all__ = ["Cache", "CacheBlock", "CacheStats", "Directory", "FirstLoadHierarchy"]

@@ -1,0 +1,124 @@
+"""A set-associative, LRU, tag-only cache.
+
+The functional simulator keeps data in :class:`~repro.arch.memory.Memory`
+(sequential consistency makes the memory image authoritative at every
+instruction boundary), so caches track *presence*, *coherence state*,
+*dirtiness* and the per-word *first-load bits* — everything BugNet's
+mechanism observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import CacheConfig
+
+# Coherence states (MSI; tag-only data makes E unnecessary).
+INVALID = 0
+SHARED = 1
+MODIFIED = 2
+
+
+class CacheBlock:
+    """One resident cache block."""
+
+    __slots__ = ("block_addr", "state", "dirty", "first_load_bits")
+
+    def __init__(self, block_addr: int, state: int = SHARED) -> None:
+        self.block_addr = block_addr
+        self.state = state
+        self.dirty = False
+        self.first_load_bits = 0  # bit i set => word i already logged/observed
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheBlock({self.block_addr:#x}, state={self.state}, "
+            f"flb={self.first_load_bits:#x})"
+        )
+
+
+@dataclass
+class CacheStats:
+    """Access counters for one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total lookups."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss fraction (0 when never accessed)."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class Cache:
+    """Set-associative tag array with true-LRU replacement.
+
+    Sets are kept as dicts keyed by block address; Python dicts preserve
+    insertion order, so "move to end" gives exact LRU at O(1).
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "cache") -> None:
+        self.config = config
+        self.name = name
+        self.block_shift = config.block_size.bit_length() - 1
+        self.num_sets = config.num_sets
+        self.assoc = config.associativity
+        self.stats = CacheStats()
+        self._sets: list[dict[int, CacheBlock]] = [{} for _ in range(self.num_sets)]
+
+    def block_addr_of(self, addr: int) -> int:
+        """Block-aligned address containing byte address *addr*."""
+        return addr >> self.block_shift
+
+    def _set_for(self, block_addr: int) -> dict[int, CacheBlock]:
+        return self._sets[block_addr % self.num_sets]
+
+    def lookup(self, block_addr: int, update_lru: bool = True) -> CacheBlock | None:
+        """Find a resident block; optionally promote it to MRU."""
+        cache_set = self._set_for(block_addr)
+        block = cache_set.get(block_addr)
+        if block is not None and update_lru:
+            del cache_set[block_addr]
+            cache_set[block_addr] = block
+        return block
+
+    def insert(self, block: CacheBlock) -> CacheBlock | None:
+        """Insert a block, returning the LRU victim if the set was full."""
+        cache_set = self._set_for(block.block_addr)
+        victim = None
+        if block.block_addr not in cache_set and len(cache_set) >= self.assoc:
+            lru_addr = next(iter(cache_set))
+            victim = cache_set.pop(lru_addr)
+            self.stats.evictions += 1
+        cache_set[block.block_addr] = block
+        return victim
+
+    def remove(self, block_addr: int) -> CacheBlock | None:
+        """Remove a block without counting it as an eviction (coherence)."""
+        block = self._set_for(block_addr).pop(block_addr, None)
+        if block is not None:
+            self.stats.invalidations += 1
+        return block
+
+    def clear_first_load_bits(self) -> None:
+        """Clear every first-load bit (start of a checkpoint interval)."""
+        for cache_set in self._sets:
+            for block in cache_set.values():
+                block.first_load_bits = 0
+
+    def resident_blocks(self) -> list[CacheBlock]:
+        """All resident blocks (tests and invariant checks)."""
+        return [b for s in self._sets for b in s.values()]
+
+    def __contains__(self, block_addr: int) -> bool:
+        return block_addr in self._set_for(block_addr)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,154 @@
+"""Two-level private cache hierarchy carrying first-load bits.
+
+Implements Section 4.3 of the paper exactly:
+
+* a first-load bit per 32-bit word in both L1 and L2;
+* a load whose bit is clear is a *first access* → it must be logged, and
+  the bit is set;
+* a store sets the bit without logging (replay regenerates stores);
+* L2 eviction clears the block's bits (re-logging on return);
+* "The first-load bits in the L2 cache are used to initialize the
+  first-load bits in the L1 cache when bringing in a block"; and
+* "When an L1 block is evicted, its first-load bits are stored into the
+  first-load bits of the L2 cache."
+
+The hierarchy is inclusive: evicting an L2 block back-invalidates the
+L1 copy so no stale bits survive.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import Cache, CacheBlock, MODIFIED, SHARED
+from repro.common.config import CacheConfig
+
+
+class FirstLoadHierarchy:
+    """Private L1+L2 for one core, tracking per-word first-load bits."""
+
+    def __init__(self, l1: CacheConfig, l2: CacheConfig, core_id: int = 0) -> None:
+        if l1.block_size != l2.block_size:
+            raise ValueError("L1/L2 block sizes must match for bit migration")
+        self.core_id = core_id
+        self.l1 = Cache(l1, name=f"core{core_id}.L1")
+        self.l2 = Cache(l2, name=f"core{core_id}.L2")
+        self.block_shift = self.l1.block_shift
+        self.words_per_block = l1.words_per_block
+        self.word_mask = l1.words_per_block - 1
+        # Memory-traffic counters for the bus/overhead model.
+        self.memory_fills = 0
+        self.writebacks = 0
+
+    # -- internal plumbing -------------------------------------------------
+
+    def _evict_l1(self, victim: CacheBlock) -> None:
+        """Merge an evicted L1 block's bits (and dirtiness) into the L2."""
+        l2_block = self.l2.lookup(victim.block_addr, update_lru=False)
+        if l2_block is not None:
+            l2_block.first_load_bits |= victim.first_load_bits
+            l2_block.dirty = l2_block.dirty or victim.dirty
+            if victim.state == MODIFIED:
+                l2_block.state = MODIFIED
+
+    def _evict_l2(self, victim: CacheBlock) -> None:
+        """Handle an L2 eviction: back-invalidate L1, write back if dirty.
+
+        The victim's first-load bits are simply dropped — the paper's
+        "cleared on replacement" rule — so re-referencing those words
+        after the block returns re-logs them.
+        """
+        l1_block = self.l1.remove(victim.block_addr)
+        if (l1_block is not None and l1_block.dirty) or victim.dirty:
+            self.writebacks += 1
+
+    def _fill(self, block_addr: int, state: int) -> CacheBlock:
+        """Bring a block into L2 (from memory) and then into L1."""
+        l2_block = self.l2.lookup(block_addr)
+        if l2_block is None:
+            l2_block = CacheBlock(block_addr, state)
+            l2_victim = self.l2.insert(l2_block)
+            if l2_victim is not None:
+                self._evict_l2(l2_victim)
+            self.memory_fills += 1
+        l1_block = CacheBlock(block_addr, l2_block.state)
+        l1_block.first_load_bits = l2_block.first_load_bits
+        l1_victim = self.l1.insert(l1_block)
+        if l1_victim is not None:
+            self._evict_l1(l1_victim)
+        return l1_block
+
+    # -- the recorder-facing operation ----------------------------------------
+
+    def access(self, addr: int, is_store: bool) -> bool:
+        """Perform one word access; returns True if it is a *first access*.
+
+        "First access" means the word's first-load bit was clear before
+        this access — i.e. for a load, the value must be logged in the
+        FLL.  The bit is set afterwards either way (a store's value is
+        regenerated during replay, so first-store also suppresses future
+        logging of that word, per Section 4.3).
+        """
+        block_addr = addr >> self.block_shift
+        block = self.l1.lookup(block_addr)
+        if block is None:
+            block = self._fill(block_addr, SHARED)
+        word_bit = 1 << ((addr >> 2) & self.word_mask)
+        first = not (block.first_load_bits & word_bit)
+        block.first_load_bits |= word_bit
+        if is_store:
+            block.dirty = True
+            block.state = MODIFIED
+            l2_block = self.l2.lookup(block_addr, update_lru=False)
+            if l2_block is not None:
+                l2_block.state = MODIFIED
+        return first
+
+    def holds_modified(self, block_addr: int) -> bool:
+        """True if this core holds the block in M state (coherence)."""
+        block = self.l1.lookup(block_addr, update_lru=False)
+        if block is not None and block.state == MODIFIED:
+            return True
+        block = self.l2.lookup(block_addr, update_lru=False)
+        return block is not None and block.state == MODIFIED
+
+    # -- interval / coherence entry points ----------------------------------
+
+    def clear_first_load_bits(self) -> None:
+        """New checkpoint interval: every first-load bit is cleared."""
+        self.l1.clear_first_load_bits()
+        self.l2.clear_first_load_bits()
+
+    def invalidate_block(self, block_addr: int) -> bool:
+        """Coherence/DMA invalidation; True if any copy was present.
+
+        Dropping the block drops its first-load bits, so the next load of
+        any word in it re-logs the (externally written) value — the
+        paper's handling of DMA and remote-thread stores.
+        """
+        l1_block = self.l1.remove(block_addr)
+        l2_block = self.l2.remove(block_addr)
+        if (l1_block is not None and l1_block.dirty) or (
+            l2_block is not None and l2_block.dirty
+        ):
+            self.writebacks += 1
+        return l1_block is not None or l2_block is not None
+
+    def downgrade_block(self, block_addr: int) -> bool:
+        """M→S downgrade (remote read of our modified block).
+
+        The block stays resident and keeps its first-load bits — only
+        ownership changes, data is unchanged.
+        """
+        found = False
+        for level in (self.l1, self.l2):
+            block = level.lookup(block_addr, update_lru=False)
+            if block is not None and block.state == MODIFIED:
+                block.state = SHARED
+                if block.dirty:
+                    self.writebacks += 1
+                    block.dirty = False
+                found = True
+        return found
+
+    def holds(self, block_addr: int) -> bool:
+        """True if either level holds the block."""
+        return block_addr in self.l1 or block_addr in self.l2

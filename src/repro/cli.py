@@ -1,0 +1,203 @@
+"""The ``bugnet`` command line: record, ship, replay, debug.
+
+The full production workflow from the paper, as a tool::
+
+    # user site: run the program; on a crash the logs are shipped
+    bugnet run app.s --input "AAAA..." --output crash.bugnet
+
+    # developer site: same binary + the shipment
+    bugnet report crash.bugnet
+    bugnet replay app.s crash.bugnet --tail 15
+    bugnet debug  app.s crash.bugnet --watch 0x10001000
+    bugnet disasm app.s --start main
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.assembler import assemble
+from repro.arch.disasm import disassemble, listing, symbol_map
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine
+from repro.replay.debugger import ReplayDebugger
+from repro.replay.replayer import Replayer
+from repro.tracing.serialize import read_crash_report, save_crash_report
+
+
+def _load_program(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        return assemble(handle.read(), name=path)
+
+
+def _cmd_run(args) -> int:
+    program = _load_program(args.source)
+    machine = Machine(
+        program,
+        MachineConfig(num_cores=args.cores, timer_interval=args.timer),
+        BugNetConfig(checkpoint_interval=args.interval),
+        dma_delay=args.dma_delay,
+    )
+    if args.input:
+        machine.input.push_string(args.input)
+    for index in range(args.threads):
+        entry = args.entry[index] if index < len(args.entry) else "main"
+        machine.spawn(entry=entry)
+    result = machine.run(max_instructions=args.max_instructions)
+    if result.console_text:
+        print(f"[console] {result.console_text}")
+    if result.timed_out:
+        print(f"timed out after {result.global_steps} instructions",
+              file=sys.stderr)
+        return 2
+    if result.crashed:
+        print(result.crash.summary())
+        if args.output:
+            written = save_crash_report(args.output, result.crash,
+                                        machine.bugnet)
+            print(f"crash report written to {args.output} ({written} bytes)")
+        return 1
+    codes = ", ".join(f"t{tid}={code}" for tid, code in
+                      sorted(result.exit_codes.items()))
+    print(f"exited cleanly ({codes}); {result.global_steps} instructions")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    report, config = read_crash_report(args.report)
+    print(report.summary())
+    print(f"  recorder interval : {config.checkpoint_interval}")
+    print(f"  shipment size     : {report.total_bytes(config)} bytes "
+          f"(FLL {report.fll_bytes(config)}, MRL {report.mrl_bytes(config)})")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    program = _load_program(args.source)
+    report, config = read_crash_report(args.report)
+    tid = report.faulting_tid if args.tid is None else args.tid
+    flls = report.flls_for(tid)
+    replayer = Replayer(program, config)
+    replays = replayer.replay(flls)
+    events = [event for replay in replays for event in replay.events]
+    symbols = symbol_map(program)
+    print(f"replayed {len(events)} instructions for thread {tid} across "
+          f"{len(flls)} checkpoint(s)")
+    tail = events[-args.tail:] if args.tail else []
+    for event in tail:
+        ins = program.fetch(event.pc)
+        text = disassemble(ins, symbols) if ins else "???"
+        extra = ""
+        if event.load:
+            mark = "*" if event.from_log else ""
+            extra = f"   ; load{mark} [{event.load[0]:#x}] = {event.load[1]:#x}"
+        elif event.store:
+            extra = f"   ; store [{event.store[0]:#x}] <- {event.store[1]:#x}"
+        print(f"  {event.ic:>8}  {event.pc:#010x}  {text}{extra}")
+    if replays and replays[-1].fll.fault_pc is not None:
+        print(f"execution faults next at pc={replays[-1].fll.fault_pc:#010x} "
+              f"({report.fault_kind}: {report.fault_message})")
+    return 0
+
+
+def _cmd_debug(args) -> int:
+    program = _load_program(args.source)
+    report, config = read_crash_report(args.report)
+    tid = report.faulting_tid if args.tid is None else args.tid
+    debugger = ReplayDebugger(program, config, report.flls_for(tid))
+    for label in args.breakpoints:
+        debugger.add_breakpoint(label)
+    for addr in args.watch:
+        debugger.add_watchpoint(int(addr, 0))
+    stops = 0
+    while stops < args.stops:
+        stop = debugger.run()
+        print(stop)
+        print(f"  {debugger.where()}")
+        if stop.kind == "end":
+            break
+        stops += 1
+        if stop.kind == "watchpoint":
+            event = debugger.last_event()
+            addr = (event.store or event.load)[0]
+            writer = debugger.last_writer(addr)
+            if writer is not None:
+                line = program.source_line_of(writer.pc)
+                print(f"  last writer: pc={writer.pc:#010x} "
+                      f"(line {line}) value={writer.store[1]:#x}")
+    return 0
+
+
+def _cmd_disasm(args) -> int:
+    program = _load_program(args.source)
+    start = program.pc_of(args.start) if args.start else None
+    print(listing(program, start=start, count=args.count))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``bugnet`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="bugnet",
+        description="BugNet (ISCA 2005) reproduction: record, replay, debug.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a BN32 program under the recorder")
+    run.add_argument("source")
+    run.add_argument("--interval", type=int, default=100_000)
+    run.add_argument("--threads", type=int, default=1)
+    run.add_argument("--cores", type=int, default=1)
+    run.add_argument("--timer", type=int, default=0)
+    run.add_argument("--entry", action="append", default=[],
+                     help="entry label per thread (repeatable)")
+    run.add_argument("--input", default="",
+                     help="string pushed to the input device")
+    run.add_argument("--dma-delay", type=int, default=0)
+    run.add_argument("--max-instructions", type=int, default=10_000_000)
+    run.add_argument("--output", "-o", default=None,
+                     help="write the crash report here on a fault")
+    run.set_defaults(func=_cmd_run)
+
+    report = sub.add_parser("report", help="summarize a crash report")
+    report.add_argument("report")
+    report.set_defaults(func=_cmd_report)
+
+    replay = sub.add_parser("replay", help="replay a crash report")
+    replay.add_argument("source")
+    replay.add_argument("report")
+    replay.add_argument("--tid", type=int, default=None)
+    replay.add_argument("--tail", type=int, default=10,
+                        help="disassembled instructions to print from the end")
+    replay.set_defaults(func=_cmd_replay)
+
+    debug = sub.add_parser("debug", help="breakpoint/watchpoint session")
+    debug.add_argument("source")
+    debug.add_argument("report")
+    debug.add_argument("--tid", type=int, default=None)
+    debug.add_argument("--break", dest="breakpoints", action="append",
+                       default=[], help="label or pc to break on")
+    debug.add_argument("--watch", action="append", default=[],
+                       help="memory address to watch")
+    debug.add_argument("--stops", type=int, default=5,
+                       help="maximum stops to report")
+    debug.set_defaults(func=_cmd_debug)
+
+    disasm = sub.add_parser("disasm", help="disassemble a program")
+    disasm.add_argument("source")
+    disasm.add_argument("--start", default=None)
+    disasm.add_argument("--count", type=int, default=24)
+    disasm.set_defaults(func=_cmd_disasm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

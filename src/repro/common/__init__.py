@@ -1,0 +1,48 @@
+"""Shared low-level utilities: bit-exact log encoding, word arithmetic,
+configuration dataclasses and the error hierarchy.
+
+Everything in :mod:`repro` builds on these primitives.  They are kept
+dependency-free (pure standard library) so the tracing and replay layers
+can rely on them without import cycles.
+"""
+
+from repro.common.bits import BitReader, BitWriter, bits_for, sign_extend, to_signed, to_unsigned
+from repro.common.config import (
+    BugNetConfig,
+    CacheConfig,
+    DictionaryConfig,
+    MachineConfig,
+)
+from repro.common.errors import (
+    AlignmentFault,
+    ArithmeticFault,
+    AssemblerError,
+    Fault,
+    InstructionFault,
+    LogDecodeError,
+    MemoryFault,
+    ReplayDivergence,
+    ReproError,
+)
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "bits_for",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "BugNetConfig",
+    "CacheConfig",
+    "DictionaryConfig",
+    "MachineConfig",
+    "Fault",
+    "MemoryFault",
+    "AlignmentFault",
+    "ArithmeticFault",
+    "InstructionFault",
+    "AssemblerError",
+    "LogDecodeError",
+    "ReplayDivergence",
+    "ReproError",
+]

@@ -1,0 +1,155 @@
+"""Bit-exact stream encoding used by the BugNet log formats.
+
+The paper's First-Load Log packs entries at bit granularity:
+``(LC-Type: 1 bit, L-Count: 5 or log2(interval) bits, LV-Type: 1 bit,
+value: 6 or 32 bits)``.  :class:`BitWriter` and :class:`BitReader`
+implement an MSB-first bit stream so the encoded sizes we measure are
+exactly the sizes the hardware would produce.
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFFFFFF
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap *value* into an unsigned 32-bit word (two's complement)."""
+    return value & WORD_MASK
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit word as a signed two's-complement integer."""
+    value &= WORD_MASK
+    if value & 0x80000000:
+        return value - 0x100000000
+    return value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* of *value* to a Python int."""
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def bits_for(maximum: int) -> int:
+    """Number of bits needed to represent values in ``[0, maximum]``.
+
+    This is the paper's ``log(checkpoint interval length)`` sizing rule
+    for full L-Count and IC fields.
+    """
+    if maximum < 0:
+        raise ValueError("maximum must be non-negative")
+    return max(1, maximum.bit_length())
+
+
+class BitWriter:
+    """Append-only MSB-first bit stream.
+
+    >>> w = BitWriter()
+    >>> w.write(0b101, 3)
+    >>> w.write(0x3, 2)
+    >>> w.bit_length
+    5
+    """
+
+    def __init__(self) -> None:
+        self._chunks: list[tuple[int, int]] = []
+        self._bits = 0
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of bits written so far."""
+        return self._bits
+
+    @property
+    def byte_length(self) -> int:
+        """Size in bytes if the stream were flushed now (rounded up)."""
+        return (self._bits + 7) // 8
+
+    def write(self, value: int, bits: int) -> None:
+        """Append the low *bits* of *value* (must be non-negative)."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        if value < 0:
+            raise ValueError("value must be non-negative; wrap signed values first")
+        if value >> bits:
+            raise ValueError(f"value {value} does not fit in {bits} bits")
+        self._chunks.append((value, bits))
+        self._bits += bits
+
+    def write_bool(self, flag: bool) -> None:
+        """Append a single flag bit."""
+        self.write(1 if flag else 0, 1)
+
+    def write_word(self, value: int) -> None:
+        """Append a full 32-bit word."""
+        self.write(value & WORD_MASK, WORD_BITS)
+
+    def getvalue(self) -> bytes:
+        """Flush to bytes, zero-padding the final partial byte."""
+        out = bytearray()
+        acc = 0
+        acc_bits = 0
+        for value, bits in self._chunks:
+            acc = (acc << bits) | value
+            acc_bits += bits
+            while acc_bits >= 8:
+                acc_bits -= 8
+                out.append((acc >> acc_bits) & 0xFF)
+                acc &= (1 << acc_bits) - 1
+        if acc_bits:
+            out.append((acc << (8 - acc_bits)) & 0xFF)
+        return bytes(out)
+
+
+class BitReader:
+    """MSB-first reader over bytes produced by :class:`BitWriter`."""
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        self._data = data
+        self._pos = 0
+        self._limit = len(data) * 8 if bit_length is None else bit_length
+        if self._limit > len(data) * 8:
+            raise ValueError("bit_length exceeds available data")
+
+    @property
+    def position(self) -> int:
+        """Current bit offset from the start of the stream."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._limit - self._pos
+
+    def read(self, bits: int) -> int:
+        """Read *bits* bits and return them as an unsigned int."""
+        if bits <= 0:
+            raise ValueError("bits must be positive")
+        if self._pos + bits > self._limit:
+            raise EOFError(f"bit stream exhausted reading {bits} bits")
+        value = 0
+        pos = self._pos
+        end = pos + bits
+        while pos < end:
+            byte = self._data[pos >> 3]
+            bit_in_byte = pos & 7
+            take = min(8 - bit_in_byte, end - pos)
+            shift = 8 - bit_in_byte - take
+            piece = (byte >> shift) & ((1 << take) - 1)
+            value = (value << take) | piece
+            pos += take
+        self._pos = end
+        return value
+
+    def read_bool(self) -> bool:
+        """Read a single flag bit."""
+        return bool(self.read(1))
+
+    def read_word(self) -> int:
+        """Read a full 32-bit word."""
+        return self.read(WORD_BITS)

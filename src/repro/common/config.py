@@ -1,0 +1,147 @@
+"""Configuration dataclasses shared across the simulator and the recorder.
+
+The defaults mirror the paper's evaluated design point: a 64-entry
+dictionary, 5-bit reduced L-Count, 16 KB Checkpoint Buffer, 32 KB Memory
+Race Buffer, and a 10 M-instruction checkpoint interval (most of our
+experiments run the 1:100-scaled 100 K interval; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.bits import bits_for
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level.
+
+    Sizes are in bytes.  ``block_size`` must be a power-of-two multiple
+    of the 4-byte word, because first-load bits are tracked per word.
+    """
+
+    size: int
+    associativity: int
+    block_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.block_size % 4 or self.block_size & (self.block_size - 1):
+            raise ValueError("block_size must be a power-of-two multiple of 4")
+        if self.size % (self.block_size * self.associativity):
+            raise ValueError("size must divide evenly into sets")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size // (self.block_size * self.associativity)
+
+    @property
+    def words_per_block(self) -> int:
+        """Number of 32-bit words in a block (= first-load bits per block)."""
+        return self.block_size // 4
+
+
+@dataclass(frozen=True)
+class DictionaryConfig:
+    """Dictionary compressor parameters (Section 4.3.1)."""
+
+    entries: int = 64
+    counter_bits: int = 3
+
+    def __post_init__(self) -> None:
+        if self.entries < 1:
+            raise ValueError("dictionary needs at least one entry")
+        if self.counter_bits < 1:
+            raise ValueError("counter needs at least one bit")
+
+    @property
+    def index_bits(self) -> int:
+        """Bits used for an encoded (dictionary-hit) value."""
+        return bits_for(self.entries - 1)
+
+    @property
+    def counter_max(self) -> int:
+        """Saturation value of the per-entry frequency counter."""
+        return (1 << self.counter_bits) - 1
+
+
+@dataclass(frozen=True)
+class BugNetConfig:
+    """BugNet recorder parameters.
+
+    ``checkpoint_interval`` is the maximum number of committed
+    instructions per interval; ``reduced_lcount_bits`` is the short
+    L-Count encoding (values < 32 fit in 5 bits per the paper).
+    ``log_memory_budget`` bounds the main-memory region holding FLLs;
+    when it fills, the oldest checkpoint's logs are discarded
+    (Section 4.1), which determines the replay window.
+
+    ``bit_clear_period`` implements the paper's Section 4.4 "more
+    aggressive solution" (left there as future work): with period N > 1,
+    first-load bits survive interval and interrupt boundaries and are
+    only cleared at every Nth ("major") checkpoint.  Loads already
+    logged in an earlier retained interval are then not re-logged after
+    a syscall — at the cost that replay must start from a major
+    checkpoint and carry memory state forward (which
+    :meth:`repro.replay.replayer.Replayer.replay` does).  Period 1 is
+    the paper's evaluated basic scheme.
+    """
+
+    checkpoint_interval: int = 10_000_000
+    reduced_lcount_bits: int = 5
+    dictionary: DictionaryConfig = field(default_factory=DictionaryConfig)
+    checkpoint_buffer_bytes: int = 16 * 1024
+    race_buffer_bytes: int = 32 * 1024
+    log_memory_budget: int | None = None
+    max_live_threads: int = 64
+    max_resident_checkpoints: int = 256
+    bit_clear_period: int = 1
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be positive")
+        if not 1 <= self.reduced_lcount_bits < 32:
+            raise ValueError("reduced_lcount_bits out of range")
+        if self.bit_clear_period < 1:
+            raise ValueError("bit_clear_period must be >= 1")
+
+    @property
+    def full_lcount_bits(self) -> int:
+        """Bits for a full L-Count: log2(checkpoint interval length)."""
+        return bits_for(self.checkpoint_interval)
+
+    @property
+    def ic_bits(self) -> int:
+        """Bits for an instruction count within an interval."""
+        return bits_for(self.checkpoint_interval)
+
+    @property
+    def tid_bits(self) -> int:
+        """Bits for a thread id in MRL entries: log2(max live threads)."""
+        return bits_for(self.max_live_threads - 1)
+
+    @property
+    def cid_bits(self) -> int:
+        """Bits for a checkpoint id: log2(max resident checkpoints)."""
+        return bits_for(self.max_resident_checkpoints - 1)
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Full-system simulator parameters."""
+
+    num_cores: int = 1
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(size=16 * 1024, associativity=4))
+    l2: CacheConfig = field(default_factory=lambda: CacheConfig(size=256 * 1024, associativity=8))
+    timer_interval: int = 0
+    interleave_seed: int = 0
+    stack_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ValueError("need at least one core")
+        if self.l1.block_size != self.l2.block_size:
+            raise ValueError("L1 and L2 must share a block size (bit migration)")
+        if self.timer_interval < 0:
+            raise ValueError("timer_interval must be >= 0 (0 disables)")

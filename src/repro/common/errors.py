@@ -1,0 +1,81 @@
+"""Error hierarchy for the reproduction.
+
+Two families matter:
+
+* :class:`Fault` — architectural faults raised by the simulated machine
+  (the events the OS turns into a crash report and a BugNet log dump).
+* :class:`ReproError` — host-level errors in our own tooling (assembler
+  misuse, corrupt logs, replay divergence).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for host-level errors raised by the library itself."""
+
+
+class AssemblerError(ReproError):
+    """Raised for malformed BN32 assembly source."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class LogDecodeError(ReproError):
+    """Raised when an FLL or MRL byte stream cannot be decoded."""
+
+
+class ReplayDivergence(ReproError):
+    """Raised when a replay produces state that differs from the recording.
+
+    This should never happen for logs produced by this library; it exists
+    so validation utilities and tests can assert determinism loudly.
+    """
+
+
+class Fault(Exception):
+    """An architectural fault detected by the simulated machine.
+
+    Faults terminate the faulting thread; the kernel's fault handler
+    finalizes the current checkpoint interval (recording the faulting PC
+    and instruction count, per Section 4.8 of the paper) and collects the
+    logs for "shipping to the developer".
+    """
+
+    kind = "fault"
+
+    def __init__(self, message: str, pc: int | None = None) -> None:
+        super().__init__(message)
+        self.pc = pc
+
+
+class MemoryFault(Fault):
+    """Access to an unmapped or protected address (e.g. null deref)."""
+
+    kind = "memory"
+
+
+class AlignmentFault(MemoryFault):
+    """Unaligned word access."""
+
+    kind = "alignment"
+
+
+class ArithmeticFault(Fault):
+    """Integer divide (or remainder) by zero."""
+
+    kind = "arithmetic"
+
+
+class InstructionFault(Fault):
+    """Fetch from an invalid code address or an undecodable instruction.
+
+    This is how corrupted return addresses (stack smashes) and corrupted
+    function pointers manifest as crashes.
+    """
+
+    kind = "instruction"

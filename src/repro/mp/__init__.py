@@ -1,0 +1,11 @@
+"""The full-system machine: cores, threads, coherence, recording.
+
+:class:`~repro.mp.machine.Machine` interleaves instructions from every
+core one at a time — a sequentially consistent memory model by
+construction, matching the paper's assumption (Section 4.6.1) — and
+wires the BugNet recorders into the data path.
+"""
+
+from repro.mp.machine import Machine, MachineResult
+
+__all__ = ["Machine", "MachineResult"]

@@ -1,0 +1,426 @@
+"""The simulated machine: the paper's "baseline architecture plus BugNet".
+
+One :class:`Machine` runs one process (one binary, one or more threads)
+on ``num_cores`` cores.  Each global step executes exactly one
+instruction on one core, which makes the memory model sequentially
+consistent by construction.  Threads are pinned to cores
+(``tid % num_cores``); a timer quantum preempts threads when several
+share a core.
+
+Recording follows the paper's scheme:
+
+* a fresh checkpoint interval opens lazily before a thread's next user
+  instruction whenever none is active;
+* intervals close on reaching the maximum length, on every syscall
+  (synchronous interrupt), on preemption/context switch, and on faults —
+  where the faulting PC is recorded and a :class:`CrashReport` with all
+  the process's logs is assembled (Section 4.8);
+* DMA transfers invalidate cached blocks so delivered data re-logs on
+  first use (Section 4.5);
+* cross-core coherence replies append Memory Race Log entries
+  (Section 4.6.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.arch.cpu import CPU
+from repro.arch.loader import load_program
+from repro.arch.memory import Memory
+from repro.arch.program import Program
+from repro.cache.coherence import Directory
+from repro.cache.hierarchy import FirstLoadHierarchy
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.common.errors import Fault
+from repro.replay.validation import TraceCollector
+from repro.system.devices import ConsoleDevice, InputDevice
+from repro.system.dma import DMAEngine
+from repro.system.fault import CrashReport, collect_crash_report
+from repro.system.kernel import Kernel, Thread, ThreadState
+from repro.tracing.backing import BusModel, LogStore
+from repro.tracing.recorder import BugNetRecorder, TracedMemoryInterface
+
+
+class _PlainInterface:
+    """Uncached, unrecorded memory path (baseline runs, Table 1 windows)."""
+
+    __slots__ = ("memory", "last_load", "last_store")
+
+    def __init__(self, memory: Memory) -> None:
+        self.memory = memory
+        self.last_load = None
+        self.last_store = None
+
+    def load(self, addr: int) -> int:
+        value = self.memory.load(addr)
+        self.last_load = (addr, value)
+        return value
+
+    def store(self, addr: int, value: int) -> None:
+        self.memory.store(addr, value)
+        self.last_store = (addr, value & 0xFFFFFFFF)
+
+
+@dataclass
+class MachineResult:
+    """Everything a run produced."""
+
+    crash: CrashReport | None
+    exit_codes: dict[int, int]
+    console_text: str
+    console_values: list[int]
+    global_steps: int
+    instructions: dict[int, int]
+    log_store: LogStore | None
+    timed_out: bool = False
+    bus_models: list[BusModel] = field(default_factory=list)
+
+    @property
+    def crashed(self) -> bool:
+        """True if the run ended in a fault."""
+        return self.crash is not None
+
+
+class Machine:
+    """One simulated multiprocessor running one traced process."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: MachineConfig | None = None,
+        bugnet: BugNetConfig | None = None,
+        record: bool = True,
+        collect_traces: bool = False,
+        trace_digest_only: bool = False,
+        input_words: list[int] | None = None,
+        dma_delay: int = 0,
+        pid: int = 1,
+    ) -> None:
+        self.program = program
+        self.config = config or MachineConfig()
+        self.bugnet = bugnet or BugNetConfig()
+        self.record = record
+        self.collect_traces = collect_traces
+        self.trace_digest_only = trace_digest_only
+        self.pid = pid
+
+        self.memory = Memory()
+        self.console = ConsoleDevice()
+        self.input = InputDevice(input_words)
+        self.global_steps = 0
+
+        cores = self.config.num_cores
+        self.directory = Directory() if cores > 1 else None
+        self.hierarchies = [
+            FirstLoadHierarchy(self.config.l1, self.config.l2, core_id=core)
+            for core in range(cores)
+        ]
+        if self.directory is not None:
+            for core, hierarchy in enumerate(self.hierarchies):
+                self.directory.attach(core, hierarchy)
+        self.bus_models = [
+            BusModel(block_size=self.config.l1.block_size,
+                     cb_bytes=self.bugnet.checkpoint_buffer_bytes)
+            for _ in range(cores)
+        ]
+        self._bus_marks = [(0, 0) for _ in range(cores)]  # (fills, writebacks)
+
+        self.dma = DMAEngine(
+            memory=self.memory,
+            directory=self.directory,
+            hierarchies=self.hierarchies,
+            block_shift=self.hierarchies[0].block_shift,
+        )
+        self.kernel = Kernel(
+            memory=self.memory,
+            console=self.console,
+            input_device=self.input,
+            dma=self.dma,
+            dma_delay=dma_delay,
+            pid=pid,
+        )
+        self.kernel.now = lambda: self.global_steps
+        self.kernel.init_heap(64 * 1024)
+
+        self.log_store = LogStore(self.bugnet) if record else None
+        self.recorders: dict[int, BugNetRecorder] = {}
+        self.collectors: dict[int, TraceCollector] = {}
+        self._interfaces: dict[int, object] = {}
+        self._core_current: list[Thread | None] = [None] * cores
+        self._core_last_recorder: list[BugNetRecorder | None] = [None] * cores
+        self._quantum_left: list[int] = [0] * cores
+        self._rng = random.Random(self.config.interleave_seed)
+        self.crash: CrashReport | None = None
+        # Optional root-cause tracking for the bug studies (Table 1):
+        # map of watched PCs; hits record (thread-local instruction count,
+        # global step) of the most recent execution.
+        self.watch_pcs: set[int] = set()
+        self.pc_hits: dict[tuple[int, int], tuple[int, int]] = {}
+
+    # -- process setup ------------------------------------------------------
+
+    def spawn(self, entry: str = "main", args: tuple[int, ...] = ()) -> Thread:
+        """Create a thread at label *entry*; a0 = tid, a1.. = *args*."""
+        tid = len(self.kernel.threads)
+        if tid >= self.bugnet.max_live_threads:
+            raise ValueError("too many threads for the configured TID width")
+        core = tid % self.config.num_cores
+        if self.bugnet.bit_clear_period > 1 and tid >= self.config.num_cores:
+            # The aggressive bit-preservation scheme keeps per-thread
+            # state in the (per-core) cache arrays; sharing a core would
+            # let one thread's bits suppress another thread's logging.
+            raise ValueError(
+                "bit_clear_period > 1 requires one thread per core"
+            )
+        sp = load_program(
+            self.program, self.memory, thread_id=tid,
+            stack_bytes=self.config.stack_bytes,
+        )
+        if self.record:
+            recorder = BugNetRecorder(
+                self.bugnet, self.hierarchies[core], self.log_store,
+                pid=self.pid, tid=tid, clock=lambda: self.global_steps,
+            )
+            recorder.interval_listener = self._make_bus_listener(core)
+            self.recorders[tid] = recorder
+            interface = TracedMemoryInterface(
+                self.memory, self.hierarchies[core], recorder,
+                core_id=core, directory=self.directory,
+                remote_state_of=self.remote_state_of,
+            )
+        else:
+            interface = _PlainInterface(self.memory)
+        self._interfaces[tid] = interface
+        cpu = CPU(self.program, interface, thread_id=tid)
+        cpu.pc = self.program.pc_of(entry) if entry != "main" else self.program.entry_pc
+        cpu.regs["sp"] = sp
+        cpu.regs["a0"] = tid
+        for position, value in enumerate(args):
+            cpu.regs[f"a{position + 1}"] = value
+        thread = Thread(tid=tid, cpu=cpu, core=core)
+        self.kernel.add_thread(thread)
+        if self.collect_traces:
+            self.collectors[tid] = TraceCollector(digest_only=self.trace_digest_only)
+        return thread
+
+    def _make_bus_listener(self, core: int):
+        def listener(fll, mrl, reason) -> None:
+            hierarchy = self.hierarchies[core]
+            prev_fills, prev_wb = self._bus_marks[core]
+            self.bus_models[core].account_window(
+                instructions=max(fll.end_ic, 1),
+                fills=hierarchy.memory_fills - prev_fills,
+                writebacks=hierarchy.writebacks - prev_wb,
+                log_bytes=fll.byte_size(self.bugnet) + mrl.byte_size(self.bugnet),
+            )
+            self._bus_marks[core] = (hierarchy.memory_fills, hierarchy.writebacks)
+        return listener
+
+    # -- coherence piggyback --------------------------------------------------
+
+    def remote_state_of(self, core_id: int) -> tuple[int, int, int]:
+        """(TID, CID, IC) registers of a remote core for reply piggybacks."""
+        recorder = self._core_last_recorder[core_id]
+        if recorder is None:
+            return 0, 0, 0
+        return recorder.remote_state()
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _pick_next(self, core: int) -> Thread | None:
+        """Round-robin choice among READY threads pinned to *core*."""
+        threads = self.kernel.threads
+        current = self._core_current[core]
+        start = (current.tid + 1) if current is not None else 0
+        count = len(threads)
+        for offset in range(count):
+            thread = threads[(start + offset) % count]
+            if thread.core == core and thread.state == ThreadState.READY:
+                return thread
+        return None
+
+    def _schedule(self, core: int) -> Thread | None:
+        """Ensure *core* has a running thread; returns it (or None)."""
+        current = self._core_current[core]
+        if current is not None and current.state == ThreadState.RUNNING:
+            return current
+        candidate = self._pick_next(core)
+        if candidate is None:
+            self._core_current[core] = None
+            return None
+        candidate.state = ThreadState.RUNNING
+        self._core_current[core] = candidate
+        self._quantum_left[core] = self.config.timer_interval
+        if self.record:
+            self._core_last_recorder[core] = self.recorders[candidate.tid]
+        return candidate
+
+    def _deschedule(self, core: int, thread: Thread, new_state: ThreadState,
+                    reason: str) -> None:
+        """Take *thread* off the core, closing its interval."""
+        if self.record:
+            self.recorders[thread.tid].end_interval(reason)
+        if thread.state == ThreadState.RUNNING:
+            thread.state = new_state
+        self._core_current[core] = None
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_instructions: int = 10_000_000) -> MachineResult:
+        """Run until exit, crash, deadlock-free block drain, or the cap."""
+        if not self.kernel.threads:
+            self.spawn()
+        timed_out = False
+        cores = self.config.num_cores
+        core_pointer = 0
+        while self.crash is None:
+            live = self.kernel.live()
+            if not live:
+                break
+            if self.global_steps >= max_instructions:
+                timed_out = True
+                break
+            # Find the cores with runnable work, then pick one: rotating
+            # round-robin by default, seeded-random for interleaving
+            # studies.
+            busy = []
+            for offset in range(cores):
+                core = (core_pointer + offset) % cores
+                thread = self._schedule(core)
+                if thread is not None:
+                    busy.append((core, thread))
+            core_pointer = (core_pointer + 1) % cores
+            if busy:
+                if self.config.interleave_seed:
+                    chosen = busy[self._rng.randrange(len(busy))]
+                else:
+                    chosen = busy[0]
+            else:
+                chosen = None
+            if chosen is None:
+                # Every live thread is blocked: fast-forward to the next
+                # DMA completion, or report a genuine deadlock.
+                next_dma = self.dma.next_completion
+                if next_dma is None:
+                    blocked = [t.tid for t in live]
+                    raise RuntimeError(f"deadlock: threads {blocked} blocked forever")
+                self.global_steps = max(self.global_steps + 1, next_dma)
+                self.dma.advance(self.global_steps)
+                continue
+            self._step_thread(*chosen)
+            if self.dma.pending_count:
+                self.dma.advance(self.global_steps)
+        return self._result(timed_out)
+
+    def _step_thread(self, core: int, thread: Thread) -> None:
+        cpu = thread.cpu
+        interface = self._interfaces[thread.tid]
+        recorder = self.recorders.get(thread.tid)
+        if recorder is not None and not recorder.active:
+            recorder.begin_interval(cpu.pc, cpu.regs.snapshot())
+        interface.last_load = None
+        interface.last_store = None
+        pc_before = cpu.pc
+        try:
+            ins = cpu.step()
+        except Fault as fault:
+            if fault.pc is None:
+                fault.pc = pc_before
+            self._on_fault(core, thread, fault)
+            return
+        self.global_steps += 1
+        if self.watch_pcs and pc_before in self.watch_pcs:
+            self.pc_hits[(thread.tid, pc_before)] = (cpu.inst_count, self.global_steps)
+        collector = self.collectors.get(thread.tid)
+        if collector is not None:
+            collector.commit(pc_before, ins.op, interface.last_load,
+                             interface.last_store)
+        if recorder is not None:
+            recorder.note_commit()
+        if self.kernel.interval_break_requested:
+            self.kernel.interval_break_requested = False
+            if recorder is not None:
+                recorder.end_interval("syscall")
+        state = thread.state
+        if state != ThreadState.RUNNING:
+            # exit, block or yield: the syscall already closed the interval.
+            self._core_current[core] = None
+            return
+        if self.config.timer_interval:
+            self._quantum_left[core] -= 1
+            if self._quantum_left[core] <= 0:
+                self._deschedule(core, thread, ThreadState.READY, "interrupt")
+
+    def _on_fault(self, core: int, thread: Thread, fault: Fault) -> None:
+        """Section 4.8: record fault point, freeze process, collect logs."""
+        self.kernel.handle_fault(thread, fault)
+        if self.record:
+            recorder = self.recorders[thread.tid]
+            if not recorder.active:
+                # Fault on the very first instruction of a not-yet-open
+                # interval: open and immediately finalize so the fault
+                # point is recorded.
+                recorder.begin_interval(thread.cpu.pc, thread.cpu.regs.snapshot())
+            recorder.end_interval("fault", fault_pc=fault.pc)
+            for other in self.kernel.threads:
+                if other.tid != thread.tid:
+                    self.recorders[other.tid].end_interval("crash")
+            self.crash = collect_crash_report(
+                pid=self.pid,
+                program=self.program,
+                store=self.log_store,
+                faulting_tid=thread.tid,
+                fault=fault,
+                mapped_pages=self.memory.mapped_pages,
+                total_instructions={
+                    t.tid: t.cpu.inst_count for t in self.kernel.threads
+                },
+            )
+        else:
+            self.crash = collect_crash_report(
+                pid=self.pid,
+                program=self.program,
+                store=LogStore(self.bugnet),
+                faulting_tid=thread.tid,
+                fault=fault,
+                mapped_pages=self.memory.mapped_pages,
+                total_instructions={
+                    t.tid: t.cpu.inst_count for t in self.kernel.threads
+                },
+            )
+        self._core_current[core] = None
+
+    def _result(self, timed_out: bool) -> MachineResult:
+        if self.record:
+            for thread in self.kernel.threads:
+                self.recorders[thread.tid].end_interval("shutdown")
+        return MachineResult(
+            crash=self.crash,
+            exit_codes={
+                t.tid: t.exit_code for t in self.kernel.threads
+                if t.state == ThreadState.EXITED
+            },
+            console_text=self.console.text,
+            console_values=list(self.console.values),
+            global_steps=self.global_steps,
+            instructions={t.tid: t.cpu.inst_count for t in self.kernel.threads},
+            log_store=self.log_store,
+            timed_out=timed_out,
+            bus_models=self.bus_models,
+        )
+
+
+def run_program(
+    program: Program,
+    threads: int = 1,
+    entries: list[str] | None = None,
+    **machine_kwargs,
+) -> MachineResult:
+    """Convenience wrapper: build a machine, spawn threads, run."""
+    machine = Machine(program, **machine_kwargs)
+    for index in range(threads):
+        entry = entries[index] if entries else "main"
+        machine.spawn(entry=entry)
+    return machine.run()

@@ -1,0 +1,26 @@
+"""Deterministic replay from BugNet logs (paper Section 5).
+
+* :mod:`repro.replay.replayer` — single-thread replay: re-execute the
+  binary from each FLL header, feeding logged first-load values at the
+  right load ordinals and simulating the dictionary identically,
+* :mod:`repro.replay.races` — multithreaded stitching: a valid
+  sequentially-consistent interleaving from the MRLs, plus
+  happens-before data-race inference,
+* :mod:`repro.replay.validation` — trace equivalence checks used by
+  tests, examples and the benchmarks.
+"""
+
+from repro.replay.races import MultiThreadReplay, RaceReport, infer_races
+from repro.replay.replayer import IntervalReplay, ReplayEvent, Replayer
+from repro.replay.validation import TraceCollector, assert_traces_equal
+
+__all__ = [
+    "Replayer",
+    "IntervalReplay",
+    "ReplayEvent",
+    "MultiThreadReplay",
+    "RaceReport",
+    "infer_races",
+    "TraceCollector",
+    "assert_traces_equal",
+]

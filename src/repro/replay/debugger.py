@@ -1,0 +1,279 @@
+"""A deterministic-replay debugger over BugNet logs.
+
+This is the developer-side tool the paper's architecture exists to
+enable: step through the exact pre-crash execution, set breakpoints and
+memory watchpoints, inspect registers and reconstructed memory — and
+*travel backwards*, which determinism makes trivial: stepping to an
+earlier point is just re-replaying the interval prefix (the Ronsse & De
+Bosschere "debugging backwards in time" experience, built on FLLs).
+
+The debugger replays the whole shipped window once up front, indexing
+every committed instruction; navigation is then O(1) for state lookups
+at indexed positions and O(interval) for arbitrary register
+reconstruction.
+
+Example::
+
+    debugger = ReplayDebugger(program, config, crash.flls_for(tid))
+    debugger.add_watchpoint(0x10001000)
+    hit = debugger.run()             # stops at the first watchpoint hit
+    print(debugger.where())          # pc, source line, disassembly
+    debugger.reverse_step()          # go back one instruction
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.disasm import disassemble, symbol_map
+from repro.arch.memory import Memory
+from repro.arch.program import Program
+from repro.common.config import BugNetConfig
+from repro.replay.replayer import IntervalReplay, ReplayEvent, Replayer
+
+
+@dataclass(frozen=True)
+class StopReason:
+    """Why execution paused."""
+
+    kind: str              # "breakpoint" | "watchpoint" | "step" | "end"
+    index: int             # global instruction index (0-based)
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"stopped: {self.kind} at instruction {self.index}"
+        return f"{text} ({self.detail})" if self.detail else text
+
+
+class ReplayDebugger:
+    """Navigate a replayed execution window."""
+
+    def __init__(self, program: Program, config: BugNetConfig,
+                 flls: list) -> None:
+        if not flls:
+            raise ValueError("no FLLs to debug")
+        self.program = program
+        self.config = config
+        self.flls = flls
+        self._symbols = symbol_map(program)
+        replayer = Replayer(program, config)
+        self._replays: list[IntervalReplay] = replayer.replay(flls)
+        self.events: list[ReplayEvent] = [
+            event for replay in self._replays for event in replay.events
+        ]
+        self._interval_starts: list[int] = []
+        start = 0
+        for replay in self._replays:
+            self._interval_starts.append(start)
+            start += replay.instructions
+        self.position = 0  # index of the NEXT instruction to "execute"
+        self.breakpoints: set[int] = set()
+        self.watchpoints: set[int] = set()
+
+    # -- configuration -----------------------------------------------------
+
+    def add_breakpoint(self, where: "int | str") -> int:
+        """Break before executing the instruction at a pc or label."""
+        pc = self.program.pc_of(where) if isinstance(where, str) else where
+        self.breakpoints.add(pc)
+        return pc
+
+    def add_watchpoint(self, addr: int) -> None:
+        """Break after any load or store touching *addr*."""
+        self.watchpoints.add(addr & ~3)
+
+    # -- navigation ---------------------------------------------------------
+
+    @property
+    def length(self) -> int:
+        """Total replayable instructions."""
+        return len(self.events)
+
+    @property
+    def at_end(self) -> bool:
+        """True when positioned past the last instruction."""
+        return self.position >= self.length
+
+    def step(self) -> StopReason:
+        """Execute one instruction."""
+        if self.at_end:
+            return StopReason("end", self.position, "window exhausted")
+        self.position += 1
+        return StopReason("step", self.position)
+
+    def reverse_step(self) -> StopReason:
+        """Go back one instruction (determinism makes this exact)."""
+        if self.position > 0:
+            self.position -= 1
+        return StopReason("step", self.position, "reverse")
+
+    def run(self) -> StopReason:
+        """Run forward until a breakpoint/watchpoint or the window end."""
+        while not self.at_end:
+            event = self.events[self.position]
+            if event.pc in self.breakpoints:
+                return StopReason(
+                    "breakpoint", self.position,
+                    f"pc={event.pc:#x} {self._symbols.get(event.pc, '')}",
+                )
+            touched = (
+                (event.load[0] if event.load else None),
+                (event.store[0] if event.store else None),
+            )
+            hit = next(
+                (addr for addr in touched
+                 if addr is not None and addr in self.watchpoints), None,
+            )
+            if hit is not None:
+                self.position += 1  # stop AFTER the access, state visible
+                kind = "store" if event.store else "load"
+                return StopReason(
+                    "watchpoint", self.position,
+                    f"{kind} {hit:#010x} at pc={event.pc:#x}",
+                )
+            self.position += 1
+        return StopReason("end", self.position, "window exhausted")
+
+    def run_back(self) -> StopReason:
+        """Run *backwards* to the previous break/watch hit.
+
+        The event just executed (the one we are stopped on) is skipped,
+        matching gdb's reverse-continue semantics.
+        """
+        if self.position > 0:
+            self.position -= 1
+        while self.position > 0:
+            self.position -= 1
+            event = self.events[self.position]
+            if event.pc in self.breakpoints:
+                return StopReason("breakpoint", self.position,
+                                  f"pc={event.pc:#x}")
+            for addr in (event.load[0] if event.load else None,
+                         event.store[0] if event.store else None):
+                if addr is not None and addr in self.watchpoints:
+                    self.position += 1
+                    kind = "store" if event.store else "load"
+                    return StopReason("watchpoint", self.position,
+                                      f"{kind} {addr:#010x} (reverse)")
+        return StopReason("end", 0, "window start")
+
+    def seek(self, index: int) -> None:
+        """Jump to an absolute instruction index."""
+        if not 0 <= index <= self.length:
+            raise IndexError(f"index {index} outside window 0..{self.length}")
+        self.position = index
+
+    # -- inspection ---------------------------------------------------------
+
+    def current_event(self) -> ReplayEvent | None:
+        """The instruction about to execute (None at the window end)."""
+        if self.at_end:
+            return None
+        return self.events[self.position]
+
+    def last_event(self) -> ReplayEvent | None:
+        """The most recently executed instruction."""
+        if self.position == 0:
+            return None
+        return self.events[self.position - 1]
+
+    def where(self) -> str:
+        """Human-readable position: pc, source line, disassembly."""
+        event = self.current_event() or self.last_event()
+        if event is None:
+            return "(empty window)"
+        ins = self.program.fetch(event.pc)
+        text = disassemble(ins, self._symbols) if ins else "???"
+        line = self.program.source_line_of(event.pc)
+        marker = "next" if not self.at_end else "last"
+        return (f"[{self.position}/{self.length}] {marker}: "
+                f"pc={event.pc:#010x} line {line}: {text}")
+
+    def registers(self) -> tuple[int, ...]:
+        """Register file contents at the current position.
+
+        Reconstructed by re-replaying from the enclosing interval start —
+        cheap because intervals are bounded.
+        """
+        interval_index = self._interval_of(self.position)
+        start = self._interval_starts[interval_index]
+        if self.position == start:
+            return self.flls[interval_index].header.regs
+        memory = self._memory_before_interval(interval_index)
+        replayer = Replayer(self.program, self.config)
+        partial = replayer.replay_interval(
+            self._sliced_fll(interval_index, self.position - start),
+            memory=memory,
+        )
+        return partial.end_regs
+
+    def memory_at(self, addr: int) -> int | None:
+        """The value of *addr* at the current position, if reconstructable.
+
+        Returns None when the word was never touched inside the window
+        before this point (the paper, Section 7.1: untouched locations
+        cannot be examined — and were, by the same token, irrelevant).
+        """
+        addr &= ~3
+        value = None
+        for event in self.events[: self.position]:
+            if event.store is not None and event.store[0] == addr:
+                value = event.store[1]
+            elif event.load is not None and event.load[0] == addr:
+                value = event.load[1]
+        return value
+
+    def access_history(self, addr: int) -> list[tuple[int, str, int]]:
+        """Every (index, kind, value) access to *addr* within the window."""
+        addr &= ~3
+        history = []
+        for index, event in enumerate(self.events):
+            if event.store is not None and event.store[0] == addr:
+                history.append((index, "store", event.store[1]))
+            elif event.load is not None and event.load[0] == addr:
+                history.append((index, "load", event.load[1]))
+        return history
+
+    def last_writer(self, addr: int) -> ReplayEvent | None:
+        """The most recent store to *addr* before the current position."""
+        addr &= ~3
+        for event in reversed(self.events[: self.position]):
+            if event.store is not None and event.store[0] == addr:
+                return event
+        return None
+
+    # -- internals ----------------------------------------------------------
+
+    def _interval_of(self, index: int) -> int:
+        for number in range(len(self._interval_starts) - 1, -1, -1):
+            if index >= self._interval_starts[number]:
+                return number
+        return 0
+
+    def _memory_before_interval(self, interval_index: int) -> Memory:
+        memory = Memory(fault_checks=False)
+        replayer = Replayer(self.program, self.config)
+        for fll in self.flls[:interval_index]:
+            replayer.replay_interval(fll, memory=memory,
+                                     collect_events=False)
+        return memory
+
+    def _sliced_fll(self, interval_index: int, instructions: int):
+        """A truncated view of an interval: replay only its prefix.
+
+        The record count is conservatively left intact; the replayer is
+        driven by ``end_ic`` and unconsumed-record checking is skipped by
+        constructing the slice via dataclasses.replace.
+        """
+        import dataclasses
+
+        fll = self.flls[interval_index]
+        start = self._interval_starts[interval_index]
+        prefix_events = [
+            event for event in
+            self.events[start: start + instructions]
+        ]
+        consumed = sum(1 for event in prefix_events if event.from_log)
+        return dataclasses.replace(
+            fll, end_ic=instructions, num_records=consumed, fault_pc=None,
+        )

@@ -1,0 +1,346 @@
+"""Multithreaded replay: ordering and race inference (paper Section 5.2).
+
+Each thread replays independently from its FLLs — the per-thread logs
+are self-contained.  The MRLs then impose cross-thread ordering: an
+entry ``(local.IC, remote.TID, remote.CID, remote.IC)`` in thread T's
+interval C says *remote thread remote.TID had committed remote.IC
+instructions of its interval remote.CID before T's instruction
+local.IC+1 executed*.
+
+We (1) map every (tid, cid, ic) position to a global per-thread
+instruction index, (2) run a constraint-respecting merge to produce a
+valid sequentially-consistent interleaving, and (3) infer data races:
+conflicting accesses from different threads with no happens-before path
+between them, computed with segment vector clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import BugNetConfig
+from repro.common.errors import ReplayDivergence
+from repro.replay.replayer import IntervalReplay, Replayer
+from repro.tracing.backing import LogStore
+from repro.tracing.mrl import MRLReader
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """remote thread must reach *remote_index* before *local_index* runs.
+
+    Indices are 0-based global instruction ordinals per thread;
+    ``local_index`` is the instruction that observed the reply.
+    """
+
+    local_tid: int
+    local_index: int
+    remote_tid: int
+    remote_index: int
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """One inferred data race between two unordered conflicting accesses."""
+
+    addr: int
+    first: tuple[int, int, int]   # (tid, global instruction index, pc)
+    second: tuple[int, int, int]
+    kinds: tuple[str, str]        # "load"/"store" for each side
+
+    def __str__(self) -> str:
+        a, b = self.first, self.second
+        return (
+            f"race on {self.addr:#010x}: "
+            f"t{a[0]}@{a[1]} ({self.kinds[0]} at pc={a[2]:#x}) vs "
+            f"t{b[0]}@{b[1]} ({self.kinds[1]} at pc={b[2]:#x})"
+        )
+
+
+@dataclass
+class MultiThreadReplay:
+    """The stitched result of replaying every thread in a LogStore."""
+
+    per_thread: dict[int, list[IntervalReplay]]
+    constraints: list[Constraint]
+    schedule: list[tuple[int, int]] = field(default_factory=list)  # (tid, index)
+
+    def thread_length(self, tid: int) -> int:
+        """Total replayed instructions for a thread."""
+        return sum(r.instructions for r in self.per_thread[tid])
+
+    def event_at(self, tid: int, index: int):
+        """The ReplayEvent for a thread's global instruction *index*."""
+        for replay in self.per_thread[tid]:
+            if index < replay.instructions:
+                return replay.events[index]
+            index -= replay.instructions
+        raise IndexError(f"thread {tid} has no instruction {index}")
+
+
+def replay_all_threads(
+    store: LogStore,
+    programs: "dict[int, object]",
+    config: BugNetConfig,
+) -> MultiThreadReplay:
+    """Replay every thread in *store* and derive the ordering constraints.
+
+    *programs* maps tid → the Program each thread ran (threads of one
+    process share a binary; we allow distinct ones for generality).
+    """
+    per_thread: dict[int, list[IntervalReplay]] = {}
+    base_index: dict[tuple[int, int], int] = {}  # (tid, cid) -> global start
+    for tid in store.threads():
+        replayer = Replayer(programs[tid], config)
+        flls = [cp.fll for cp in store.checkpoints(tid)]
+        start = 0
+        for fll in flls:
+            key = (tid, fll.header.cid)
+            if key in base_index:
+                raise ReplayDivergence(
+                    f"thread {tid} has two resident intervals with C-ID "
+                    f"{fll.header.cid}; raise max_resident_checkpoints"
+                )
+            base_index[key] = start
+            start += fll.end_ic
+        per_thread[tid] = replayer.replay(flls)
+
+    constraints: list[Constraint] = []
+    for tid in store.threads():
+        for checkpoint in store.checkpoints(tid):
+            local_base = base_index[(tid, checkpoint.mrl.header.cid)]
+            for entry in MRLReader(config, checkpoint.mrl):
+                remote_key = (entry.remote_tid, entry.remote_cid)
+                if remote_key not in base_index:
+                    # The remote interval was evicted from the bounded log
+                    # region; the constraint cannot bind anything we replay.
+                    continue
+                constraints.append(Constraint(
+                    local_tid=tid,
+                    local_index=local_base + entry.local_ic,
+                    remote_tid=entry.remote_tid,
+                    remote_index=base_index[remote_key] + entry.remote_ic,
+                ))
+    result = MultiThreadReplay(per_thread=per_thread, constraints=constraints)
+    result.schedule = _merge_schedule(result)
+    return result
+
+
+def _merge_schedule(
+    replay: MultiThreadReplay,
+    extra_constraints: list[Constraint] = (),
+) -> list[tuple[int, int]]:
+    """A valid interleaving: round-robin merge honoring all constraints."""
+    lengths = {tid: replay.thread_length(tid) for tid in replay.per_thread}
+    progress = {tid: 0 for tid in replay.per_thread}
+    # waiting[tid][index] -> list of (remote_tid, remote_index) prerequisites
+    waiting: dict[int, dict[int, list[tuple[int, int]]]] = {
+        tid: {} for tid in replay.per_thread
+    }
+    for constraint in list(replay.constraints) + list(extra_constraints):
+        waiting[constraint.local_tid].setdefault(constraint.local_index, []).append(
+            (constraint.remote_tid, constraint.remote_index)
+        )
+    schedule: list[tuple[int, int]] = []
+    total = sum(lengths.values())
+    tids = sorted(replay.per_thread)
+    while len(schedule) < total:
+        advanced = False
+        for tid in tids:
+            while progress[tid] < lengths[tid]:
+                index = progress[tid]
+                prerequisites = waiting[tid].get(index, ())
+                if any(progress[remote] < need for remote, need in prerequisites):
+                    break
+                schedule.append((tid, index))
+                progress[tid] = index + 1
+                advanced = True
+        if not advanced:
+            stuck = {tid: progress[tid] for tid in tids if progress[tid] < lengths[tid]}
+            raise ReplayDivergence(
+                f"MRL constraints form a cycle; threads stuck at {stuck}"
+            )
+    return schedule
+
+
+def sync_constraints(
+    replay: MultiThreadReplay,
+    sync_edges: list[tuple[int, int, int, int]],
+    total_instructions: dict[int, int] | None = None,
+) -> list[Constraint]:
+    """Convert kernel lock-handoff edges into replay-index constraints.
+
+    *sync_edges* entries are ``(releaser_tid, instructions the releaser
+    had committed, acquirer_tid, acquirer's first post-lock index)`` in
+    whole-run thread-local indices.  When log eviction trimmed the
+    replayable window, *total_instructions* (per tid, from the crash
+    report) rebases them onto replay indices; edges touching the evicted
+    prefix clamp to the window start, which only ever weakens ordering
+    (sound for race detection).
+    """
+    offsets = {tid: 0 for tid in replay.per_thread}
+    if total_instructions:
+        for tid in replay.per_thread:
+            total = total_instructions.get(tid)
+            if total is not None:
+                offsets[tid] = total - replay.thread_length(tid)
+    constraints = []
+    for releaser_tid, released_after, acquirer_tid, acquire_index in sync_edges:
+        if releaser_tid not in offsets or acquirer_tid not in offsets:
+            continue
+        remote_index = released_after - offsets[releaser_tid]
+        local_index = acquire_index - offsets[acquirer_tid]
+        if remote_index <= 0 or local_index < 0:
+            continue  # touches the evicted prefix; no ordering inside window
+        constraints.append(Constraint(
+            local_tid=acquirer_tid,
+            local_index=local_index,
+            remote_tid=releaser_tid,
+            remote_index=remote_index,
+        ))
+    return constraints
+
+
+def _segment_clocks(
+    replay: MultiThreadReplay,
+    constraints: list[Constraint],
+) -> dict[int, list[tuple[int, dict[int, int]]]]:
+    """Vector clocks per thread segment under the given edge set.
+
+    Threads are cut into segments at constraint endpoints; each segment
+    gets the vector clock of everything that happens-before its start.
+    Returns tid -> list of (segment_start_index, clock) sorted by start.
+    """
+    cut_points: dict[int, set[int]] = {tid: {0} for tid in replay.per_thread}
+    for constraint in constraints:
+        # The local instruction waits: a new segment begins at it.
+        cut_points[constraint.local_tid].add(constraint.local_index)
+        # The remote side releases after remote_index: segment boundary there.
+        cut_points[constraint.remote_tid].add(constraint.remote_index)
+
+    # Process instructions in a valid global order, maintaining running
+    # vector clocks; record the clock at each segment start.  The sweep
+    # order must respect the sync edges themselves (they carry no
+    # coherence traffic, so the MRL-only schedule may reorder around
+    # them), so merge a schedule over the union.
+    sweep = _merge_schedule(replay, extra_constraints=constraints)
+    clocks: dict[int, dict[int, int]] = {
+        tid: {tid: 0} for tid in replay.per_thread
+    }
+    segment_clocks: dict[int, list[tuple[int, dict[int, int]]]] = {
+        tid: [] for tid in replay.per_thread
+    }
+    releases: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for constraint in constraints:
+        releases.setdefault(
+            (constraint.local_tid, constraint.local_index), []
+        ).append((constraint.remote_tid, constraint.remote_index))
+    start_sets = {tid: set(points) for tid, points in cut_points.items()}
+    # Snapshot clocks at release points as we sweep the schedule.
+    release_snapshots: dict[tuple[int, int], dict[int, int]] = {}
+    for tid, index in sweep:
+        if index in start_sets[tid]:
+            for remote_tid, remote_index in releases.get((tid, index), ()):
+                # remote_index instructions are committed, so the newest
+                # knowledge is the snapshot taken after instruction
+                # remote_index - 1 executed.
+                snapshot = release_snapshots.get((remote_tid, remote_index - 1))
+                if snapshot:
+                    clock = clocks[tid]
+                    for k, v in snapshot.items():
+                        if clock.get(k, -1) < v:
+                            clock[k] = v
+            segment_clocks[tid].append((index, dict(clocks[tid])))
+        clocks[tid][tid] = index + 1
+        key = (tid, index)
+        release_snapshots[key] = dict(clocks[tid])
+    return segment_clocks
+
+
+def _clock_at(segments: list[tuple[int, dict[int, int]]], index: int) -> dict[int, int]:
+    """The vector clock governing instruction *index* (binary search)."""
+    low, high = 0, len(segments) - 1
+    best = segments[0][1]
+    while low <= high:
+        mid = (low + high) // 2
+        if segments[mid][0] <= index:
+            best = segments[mid][1]
+            low = mid + 1
+        else:
+            high = mid - 1
+    return best
+
+
+def infer_races(
+    replay: MultiThreadReplay,
+    sync: list[Constraint] | None = None,
+    max_reports: int = 100,
+) -> list[RaceReport]:
+    """Find conflicting access pairs unordered by *synchronization*.
+
+    Happens-before is computed from lock handoffs (*sync*, built with
+    :func:`sync_constraints`) — NOT from the MRL coherence edges, which
+    by construction order every conflicting pair and only tell us how
+    the race resolved this time.  A conflicting pair (same address,
+    different threads, at least one write) with no sync path between its
+    sides is a data race; the MRL schedule shows the interleaving that
+    actually happened.
+
+    Reports at most *max_reports* races, one per (address, thread-pair,
+    kind), to keep output readable.
+    """
+    segments = _segment_clocks(replay, sync or [])
+
+    accesses: dict[int, list[tuple[int, int, int, str]]] = {}
+    for tid, replays in replay.per_thread.items():
+        index = 0
+        for interval in replays:
+            for event in interval.events:
+                if event.store is not None:
+                    accesses.setdefault(event.store[0], []).append(
+                        (tid, index, event.pc, "store")
+                    )
+                elif event.load is not None:
+                    accesses.setdefault(event.load[0], []).append(
+                        (tid, index, event.pc, "load")
+                    )
+                index += 1
+
+    def ordered(a: tuple[int, int, int, str], b: tuple[int, int, int, str]) -> bool:
+        """True if a happens-before b or b happens-before a."""
+        tid_a, idx_a = a[0], a[1]
+        tid_b, idx_b = b[0], b[1]
+        clock_b = _clock_at(segments[tid_b], idx_b)
+        if clock_b.get(tid_a, 0) > idx_a:
+            return True
+        clock_a = _clock_at(segments[tid_a], idx_a)
+        return clock_a.get(tid_b, 0) > idx_b
+
+    reports: list[RaceReport] = []
+    seen: set[tuple[int, int, int, str, str]] = set()
+    for addr, entries in accesses.items():
+        if len(entries) < 2:
+            continue
+        writers = [e for e in entries if e[3] == "store"]
+        if not writers:
+            continue
+        for write in writers:
+            for other in entries:
+                if other[0] == write[0]:
+                    continue
+                key = (addr, min(write[0], other[0]), max(write[0], other[0]),
+                       write[3], other[3])
+                if key in seen:
+                    continue
+                if not ordered(write, other):
+                    seen.add(key)
+                    first, second = sorted((write, other), key=lambda e: (e[0], e[1]))
+                    reports.append(RaceReport(
+                        addr=addr,
+                        first=(first[0], first[1], first[2]),
+                        second=(second[0], second[1], second[2]),
+                        kinds=(first[3], second[3]),
+                    ))
+                    if len(reports) >= max_reports:
+                        return reports
+    return reports

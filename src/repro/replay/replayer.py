@@ -1,0 +1,250 @@
+"""Single-thread deterministic replay (paper Section 5.1).
+
+To replay one checkpoint interval the replayer:
+
+1. loads the *same binary* at the same addresses (Section 5.3),
+2. clears data memory and initializes PC + registers from the FLL
+   header,
+3. re-executes instructions; on each load it decides — by counting the
+   loads skipped since the last consumed record (the L-Count cursor) —
+   whether the value comes from the log or from replay-simulated
+   memory;
+4. decodes dictionary-encoded values against a dictionary simulated with
+   exactly the recorder's update rules;
+5. stops at the recorded end of the interval.  Synchronous interrupts
+   (syscalls) are NOPs during replay; execution continues with the next
+   FLL.
+
+Replay memory runs with fault checks off: every address the recorded
+execution touched is reconstructed from the log, and the replay stops
+before the faulting instruction, so protection state is unnecessary (the
+paper's replayer likewise just "clears all of the data memory
+locations").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.cpu import CPU
+from repro.arch.memory import Memory
+from repro.arch.program import Program
+from repro.common.config import BugNetConfig
+from repro.common.errors import Fault, ReplayDivergence
+from repro.tracing.dictionary import DictionaryCompressor
+from repro.tracing.fll import FLL, FLLReader
+
+
+@dataclass(frozen=True)
+class ReplayEvent:
+    """One replayed instruction, as exposed to debugger front-ends."""
+
+    ic: int                      # 1-based instruction count within the interval
+    pc: int
+    op: str
+    load: tuple[int, int] | None = None    # (address, value)
+    store: tuple[int, int] | None = None   # (address, value)
+    from_log: bool = False                 # load value consumed from the FLL
+
+
+@dataclass
+class IntervalReplay:
+    """The outcome of replaying one checkpoint interval."""
+
+    fll: FLL
+    events: list[ReplayEvent] = field(default_factory=list)
+    end_pc: int = 0
+    end_regs: tuple[int, ...] = ()
+    records_consumed: int = 0
+    fault: Fault | None = None
+
+    @property
+    def instructions(self) -> int:
+        """Committed instructions replayed."""
+        return self.fll.end_ic
+
+
+class _ReplayMemory:
+    """Memory interface that interposes the FLL's first-load values."""
+
+    __slots__ = ("memory", "dictionary", "reader", "pending", "skipped",
+                 "consumed", "last_load", "last_from_log", "last_store")
+
+    def __init__(self, memory: Memory, dictionary: DictionaryCompressor,
+                 reader: FLLReader) -> None:
+        self.memory = memory
+        self.dictionary = dictionary
+        self.reader = reader
+        self.pending = reader.next_record() if reader.remaining else None
+        self.skipped = 0
+        self.consumed = 0
+        self.last_load: tuple[int, int] | None = None
+        self.last_from_log = False
+        self.last_store: tuple[int, int] | None = None
+
+    def load(self, addr: int) -> int:
+        pending = self.pending
+        if pending is not None and self.skipped == pending[0]:
+            _, encoded, raw = pending
+            value = self.dictionary.value_at(raw) if encoded else raw
+            self.memory.poke(addr, value)
+            self.pending = (
+                self.reader.next_record() if self.reader.remaining else None
+            )
+            self.skipped = 0
+            self.consumed += 1
+            self.last_from_log = True
+        else:
+            value = self.memory.peek(addr)
+            self.skipped += 1
+            self.last_from_log = False
+        self.dictionary.update(value)
+        self.last_load = (addr, value)
+        return value
+
+    def store(self, addr: int, value: int) -> None:
+        self.memory.poke(addr, value)
+        self.last_store = (addr, value & 0xFFFFFFFF)
+
+
+class Replayer:
+    """Replays a thread's execution from its sequence of FLLs."""
+
+    def __init__(self, program: Program, config: BugNetConfig) -> None:
+        self.program = program
+        self.config = config
+
+    def replay_interval(
+        self,
+        fll: FLL,
+        memory: Memory | None = None,
+        collect_events: bool = True,
+        event_sink=None,
+    ) -> IntervalReplay:
+        """Replay one interval; returns events and final state.
+
+        *memory* carries reconstructed state across consecutive intervals
+        of the same thread (pass the previous interval's memory to keep
+        unlogged values warm); a fresh empty memory is also always
+        correct, exactly because every first access is logged.
+        """
+        if memory is None:
+            memory = Memory(fault_checks=False)
+        else:
+            memory.fault_checks = False
+        dictionary = DictionaryCompressor(self.config.dictionary)
+        reader = FLLReader(self.config, fll)
+        interface = _ReplayMemory(memory, dictionary, reader)
+        cpu = CPU(self.program, interface)
+        cpu.pc = fll.header.pc
+        cpu.regs.restore(fll.header.regs)
+        cpu.syscall_handler = lambda _cpu: None  # syscalls replay as NOPs
+        result = IntervalReplay(fll=fll)
+        events = result.events
+        while cpu.inst_count < fll.end_ic:
+            interface.last_load = None
+            interface.last_store = None
+            pc_before = cpu.pc
+            try:
+                ins = cpu.step()
+            except Fault as fault:
+                # A fault strictly inside the interval means the log and
+                # the binary disagree — recorded intervals only fault at
+                # their very end, past end_ic.
+                raise ReplayDivergence(
+                    f"unexpected {fault.kind} fault at {pc_before:#010x} "
+                    f"(ic={cpu.inst_count}) during replay: {fault}"
+                ) from fault
+            if collect_events or event_sink is not None:
+                event = ReplayEvent(
+                    ic=cpu.inst_count,
+                    pc=pc_before,
+                    op=ins.op,
+                    load=interface.last_load,
+                    store=interface.last_store,
+                    from_log=interface.last_from_log,
+                )
+                if collect_events:
+                    events.append(event)
+                if event_sink is not None:
+                    event_sink(event)
+        if interface.pending is not None:
+            raise ReplayDivergence(
+                f"{reader.remaining + 1} unconsumed FLL records after "
+                f"replaying {fll.end_ic} instructions"
+            )
+        result.end_pc = cpu.pc
+        result.end_regs = cpu.regs.snapshot()
+        result.records_consumed = interface.consumed
+        return result
+
+    def replay(
+        self,
+        flls: list[FLL],
+        collect_events: bool = True,
+        event_sink=None,
+    ) -> list[IntervalReplay]:
+        """Replay consecutive intervals, carrying memory state across them."""
+        memory = Memory(fault_checks=False)
+        return [
+            self.replay_interval(
+                fll, memory=memory,
+                collect_events=collect_events, event_sink=event_sink,
+            )
+            for fll in flls
+        ]
+
+    def probe_fault(
+        self,
+        fll: FLL,
+        memory: Memory,
+        end_pc: int,
+        end_regs: tuple[int, ...],
+        mapped_pages: "frozenset[int] | None" = None,
+    ) -> Fault | None:
+        """Re-execute the faulting instruction recorded at the interval end.
+
+        The OS recorded the faulting PC in the final FLL (Section 4.8);
+        this confirms the replayed state actually faults there.  Memory
+        protection faults need the page map the OS captured in the crash
+        report (the same OS driver the paper uses to record library load
+        addresses); pass it as *mapped_pages*.
+        """
+        if fll.fault_pc is None:
+            return None
+        probe = _ProbeMemory(memory, mapped_pages)
+        cpu = CPU(self.program, probe)
+        cpu.pc = end_pc
+        cpu.regs.restore(end_regs)
+        cpu.syscall_handler = lambda _cpu: None
+        try:
+            cpu.step()
+        except Fault as fault:
+            return fault
+        return None
+
+
+class _ProbeMemory:
+    """Checked view used only for fault probing."""
+
+    __slots__ = ("memory", "pages")
+
+    def __init__(self, memory: Memory, mapped_pages: "frozenset[int] | None") -> None:
+        self.memory = memory
+        self.pages = mapped_pages
+
+    def _check(self, addr: int) -> None:
+        from repro.common.errors import AlignmentFault, MemoryFault
+
+        if addr & 3:
+            raise AlignmentFault(f"unaligned word access at {addr:#010x}")
+        if self.pages is not None and (addr >> 12) not in self.pages:
+            raise MemoryFault(f"access to unmapped address {addr:#010x}")
+
+    def load(self, addr: int) -> int:
+        self._check(addr)
+        return self.memory.peek(addr)
+
+    def store(self, addr: int, value: int) -> None:
+        self._check(addr)
+        self.memory.poke(addr, value)

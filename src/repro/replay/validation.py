@@ -1,0 +1,123 @@
+"""Trace-equivalence validation: the determinism contract, made testable.
+
+The recording machine can attach a :class:`TraceCollector` that captures
+the committed-instruction stream — (pc, op, load, store) per instruction
+— and the replayer produces :class:`~repro.replay.replayer.ReplayEvent`
+streams.  :func:`assert_traces_equal` compares them and raises
+:class:`~repro.common.errors.ReplayDivergence` with a precise diagnosis
+on the first mismatch.
+
+For long runs, :class:`TraceCollector` can run in *digest* mode: it
+folds every event into a 64-bit rolling hash instead of storing it, so
+million-instruction recordings validate in O(1) memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ReplayDivergence
+from repro.replay.replayer import ReplayEvent
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _fold(digest: int, *values: int) -> int:
+    for value in values:
+        digest ^= value & _MASK64
+        digest = (digest * _FNV_PRIME) & _MASK64
+    return digest
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One committed instruction on the recording side."""
+
+    pc: int
+    op: str
+    load: tuple[int, int] | None
+    store: tuple[int, int] | None
+
+
+class TraceCollector:
+    """Collects (or digests) the architectural event stream while recording."""
+
+    def __init__(self, digest_only: bool = False) -> None:
+        self.digest_only = digest_only
+        self.records: list[TraceRecord] = []
+        self.digest = _FNV_OFFSET
+        self.count = 0
+
+    def commit(self, pc: int, op: str,
+               load: tuple[int, int] | None,
+               store: tuple[int, int] | None) -> None:
+        """Account one committed instruction."""
+        self.count += 1
+        self.digest = _fold(
+            self.digest,
+            pc,
+            hash(op),
+            -1 if load is None else _fold(0, load[0], load[1]),
+            -1 if store is None else _fold(0, store[0], store[1]),
+        )
+        if not self.digest_only:
+            self.records.append(TraceRecord(pc, op, load, store))
+
+    def digest_of_replay(self, events: "list[ReplayEvent]") -> int:
+        """Digest a replayed event stream with the same folding."""
+        digest = _FNV_OFFSET
+        for event in events:
+            digest = _fold(
+                digest,
+                event.pc,
+                hash(event.op),
+                -1 if event.load is None else _fold(0, *event.load),
+                -1 if event.store is None else _fold(0, *event.store),
+            )
+        return digest
+
+
+def assert_traces_equal(
+    recorded: TraceCollector,
+    replayed_events: list[ReplayEvent],
+    context: str = "",
+) -> None:
+    """Raise ReplayDivergence unless the replay reproduces the recording."""
+    prefix = f"{context}: " if context else ""
+    if recorded.digest_only:
+        if recorded.count != len(replayed_events):
+            raise ReplayDivergence(
+                f"{prefix}instruction counts differ: recorded "
+                f"{recorded.count}, replayed {len(replayed_events)}"
+            )
+        if recorded.digest != recorded.digest_of_replay(replayed_events):
+            raise ReplayDivergence(f"{prefix}trace digests differ")
+        return
+    if len(recorded.records) != len(replayed_events):
+        raise ReplayDivergence(
+            f"{prefix}instruction counts differ: recorded "
+            f"{len(recorded.records)}, replayed {len(replayed_events)}"
+        )
+    for position, (want, got) in enumerate(zip(recorded.records, replayed_events)):
+        if want.pc != got.pc:
+            raise ReplayDivergence(
+                f"{prefix}pc diverges at instruction {position}: "
+                f"recorded {want.pc:#010x}, replayed {got.pc:#010x}"
+            )
+        if want.op != got.op:
+            raise ReplayDivergence(
+                f"{prefix}op diverges at instruction {position} "
+                f"(pc={want.pc:#010x}): recorded {want.op}, replayed {got.op}"
+            )
+        if want.load != got.load:
+            raise ReplayDivergence(
+                f"{prefix}load diverges at instruction {position} "
+                f"(pc={want.pc:#010x}): recorded {want.load}, replayed {got.load}"
+            )
+        if want.store != got.store:
+            raise ReplayDivergence(
+                f"{prefix}store diverges at instruction {position} "
+                f"(pc={want.pc:#010x}): recorded {want.store}, replayed {got.store}"
+            )

@@ -1,0 +1,27 @@
+"""OS substrate: kernel, scheduler, syscalls, interrupts, DMA, devices.
+
+BugNet records *only* user code: interrupts and system calls terminate
+the current checkpoint interval and a new one opens when control returns
+to the application (paper Section 4.4).  The kernel here is a host-level
+Python object — its own execution is deliberately invisible to the
+recorder, exactly like the real OS routines BugNet refuses to log — but
+its *effects* on the application (register returns, DMA writes into user
+buffers, context switches) flow through the architected paths the paper
+models: interval termination plus cache-block invalidation.
+"""
+
+from repro.system.devices import ConsoleDevice, InputDevice
+from repro.system.dma import DMAEngine
+from repro.system.fault import CrashReport, collect_crash_report
+from repro.system.kernel import Kernel, Thread, ThreadState
+
+__all__ = [
+    "ConsoleDevice",
+    "InputDevice",
+    "DMAEngine",
+    "CrashReport",
+    "collect_crash_report",
+    "Kernel",
+    "Thread",
+    "ThreadState",
+]

@@ -1,0 +1,66 @@
+"""Simple devices: a console sink and an input source.
+
+The input device is the stand-in for files, sockets and pipes: the bug
+studies feed "long filenames" and other attacker-controlled payloads
+through it, and the kernel delivers reads via DMA so the data lands in
+user memory the way Section 4.5 describes (invalidating cached blocks so
+first-load bits reset).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class ConsoleDevice:
+    """Collects program output (PRINT_INT / PRINT_CHAR / WRITE_OUT)."""
+
+    def __init__(self) -> None:
+        self.values: list[int] = []
+        self.text_parts: list[str] = []
+
+    def write_int(self, value: int) -> None:
+        """Record an integer print."""
+        self.values.append(value)
+        self.text_parts.append(str(value))
+
+    def write_char(self, code: int) -> None:
+        """Record a character print."""
+        self.values.append(code)
+        self.text_parts.append(chr(code & 0x10FFFF))
+
+    @property
+    def text(self) -> str:
+        """Everything printed, concatenated."""
+        return "".join(self.text_parts)
+
+
+class InputDevice:
+    """A FIFO of input words the program consumes via READ_INPUT.
+
+    Strings are exposed one character per word (BN32's wide-character
+    convention), NUL-terminated, matching ``.asciiz``.
+    """
+
+    def __init__(self, words: list[int] | None = None) -> None:
+        self._queue: deque[int] = deque(words or [])
+
+    def push_words(self, words: list[int]) -> None:
+        """Queue raw words."""
+        self._queue.extend(w & 0xFFFFFFFF for w in words)
+
+    def push_string(self, text: str, terminate: bool = True) -> None:
+        """Queue a wide string (one char per word) with a NUL terminator."""
+        self._queue.extend(ord(ch) for ch in text)
+        if terminate:
+            self._queue.append(0)
+
+    def read(self, max_words: int) -> list[int]:
+        """Dequeue up to *max_words* words."""
+        count = min(max_words, len(self._queue))
+        return [self._queue.popleft() for _ in range(count)]
+
+    @property
+    def available(self) -> int:
+        """Words waiting to be read."""
+        return len(self._queue)

@@ -1,0 +1,103 @@
+"""The DMA engine (paper Section 4.5).
+
+DMA writes go straight to main memory and *invalidate* every cached
+copy of the touched blocks through the directory — which clears their
+first-load bits, guaranteeing that DMA-delivered data is logged when
+(and only when) the application actually loads it.  That asymmetry is
+one of BugNet's core savings over FDR, which must log the whole DMA
+payload whether or not it is ever consumed.
+
+Transfers can complete after a configurable delay (in globally executed
+instructions), modeling "the control returns to the application code but
+the DMA transfer proceeds in parallel".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.memory import Memory
+
+
+@dataclass
+class PendingTransfer:
+    """An in-flight DMA transfer."""
+
+    dest: int
+    words: list[int]
+    complete_at: int
+    on_complete: object = None  # optional callable() fired at completion
+
+
+@dataclass
+class DMAEngine:
+    """Writes device data into user memory with coherence invalidations."""
+
+    memory: Memory
+    directory: object = None            # Directory or None (single core, uncached path)
+    hierarchies: list = field(default_factory=list)
+    block_shift: int = 6
+    transfers_completed: int = 0
+    words_transferred: int = 0
+    _pending: list[PendingTransfer] = field(default_factory=list)
+
+    def start(self, dest: int, words: list[int], now: int, delay: int = 0,
+              on_complete=None) -> None:
+        """Begin a transfer of *words* to *dest*, completing at now+delay."""
+        self._pending.append(PendingTransfer(
+            dest=dest,
+            words=list(words),
+            complete_at=now + max(delay, 0),
+            on_complete=on_complete,
+        ))
+        if delay <= 0:
+            self.advance(now)
+
+    def advance(self, now: int) -> int:
+        """Complete every transfer due at or before *now*; returns count."""
+        completed = 0
+        still_pending = []
+        for transfer in self._pending:
+            if transfer.complete_at <= now:
+                self._commit(transfer)
+                completed += 1
+            else:
+                still_pending.append(transfer)
+        self._pending = still_pending
+        return completed
+
+    def flush(self) -> None:
+        """Force-complete everything in flight (process teardown)."""
+        for transfer in self._pending:
+            self._commit(transfer)
+        self._pending = []
+
+    @property
+    def pending_count(self) -> int:
+        """Transfers still in flight."""
+        return len(self._pending)
+
+    @property
+    def next_completion(self) -> int | None:
+        """Global time of the earliest pending completion."""
+        if not self._pending:
+            return None
+        return min(t.complete_at for t in self._pending)
+
+    def _commit(self, transfer: PendingTransfer) -> None:
+        blocks = set()
+        addr = transfer.dest
+        for word in transfer.words:
+            self.memory.poke(addr, word)
+            blocks.add(addr >> self.block_shift)
+            addr += 4
+        if self.directory is not None:
+            self.directory.dma_write(blocks)
+        else:
+            for hierarchy in self.hierarchies:
+                for block in blocks:
+                    hierarchy.invalidate_block(block)
+        self.transfers_completed += 1
+        self.words_transferred += len(transfer.words)
+        if transfer.on_complete is not None:
+            transfer.on_complete()

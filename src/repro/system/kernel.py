@@ -1,0 +1,253 @@
+"""The kernel: threads, scheduling, syscalls, locks.
+
+Every syscall and every preemption terminates the running thread's
+checkpoint interval (the paper's basic scheme, Section 4.4) — the
+machine loop performs the termination after the trapping instruction
+commits, and a fresh interval opens when the thread next runs user code.
+The kernel's own work happens at host level, mirroring the paper's
+refusal to record interrupt handlers and OS routines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.arch.cpu import CPU
+from repro.arch.isa import HEAP_BASE, Syscall
+from repro.arch.memory import PAGE_SIZE, Memory
+from repro.common.errors import Fault
+
+
+class ThreadState(Enum):
+    """Scheduler states."""
+
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    EXITED = "exited"
+    CRASHED = "crashed"
+
+
+@dataclass
+class Thread:
+    """A thread control block: one CPU context plus scheduler state."""
+
+    tid: int
+    cpu: CPU
+    core: int = 0
+    state: ThreadState = ThreadState.READY
+    exit_code: int = 0
+    fault: Fault | None = None
+    fault_ic: int = 0
+    blocked_on: int | None = None
+    wake_value: tuple[int, int] | None = None  # (register number, value) on wake
+
+
+@dataclass
+class _Mutex:
+    owner: int | None = None
+    waiters: deque = field(default_factory=deque)
+    # Release position of the most recent unlock: (tid, committed count).
+    last_release: tuple[int, int] | None = None
+
+
+class Kernel:
+    """Syscall service and scheduling policy for one simulated machine."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        console,
+        input_device,
+        dma,
+        dma_delay: int = 0,
+        pid: int = 1,
+    ) -> None:
+        self.memory = memory
+        self.console = console
+        self.input = input_device
+        self.dma = dma
+        self.dma_delay = dma_delay
+        self.pid = pid
+        self.threads: list[Thread] = []
+        self._mutexes: dict[int, _Mutex] = {}
+        self._brk = HEAP_BASE
+        self._heap_mapped_to = HEAP_BASE
+        self.syscalls_serviced = 0
+        self.interval_break_requested = False
+        self.now = lambda: 0  # machine installs its global clock
+        # Synchronization happens-before edges, recorded by the OS (the
+        # paper's driver-level metadata): (releaser_tid, instructions the
+        # releaser had committed including the unlock, acquirer_tid,
+        # 0-based index of the acquirer's first post-lock instruction).
+        # Race inference uses these; lock traffic is kernel-level and so
+        # never appears in the MRLs.
+        self.sync_edges: list[tuple[int, int, int, int]] = []
+
+    # -- thread management ------------------------------------------------
+
+    def add_thread(self, thread: Thread) -> None:
+        """Register a thread created by the machine."""
+        self.threads.append(thread)
+        thread.cpu.syscall_handler = self._make_handler(thread)
+
+    def thread(self, tid: int) -> Thread:
+        """Lookup by tid."""
+        return self.threads[tid]
+
+    def runnable(self) -> list[Thread]:
+        """Threads that can be scheduled."""
+        return [t for t in self.threads
+                if t.state in (ThreadState.READY, ThreadState.RUNNING)]
+
+    def live(self) -> list[Thread]:
+        """Threads not yet exited/crashed (blocked ones count)."""
+        return [t for t in self.threads
+                if t.state not in (ThreadState.EXITED, ThreadState.CRASHED)]
+
+    def init_heap(self, initial_bytes: int) -> None:
+        """Record the initially mapped heap extent (loader maps it)."""
+        self._heap_mapped_to = HEAP_BASE + initial_bytes
+        self._brk = HEAP_BASE
+
+    # -- syscall dispatch ---------------------------------------------------
+
+    def _make_handler(self, thread: Thread):
+        def handler(cpu: CPU) -> None:
+            self._syscall(thread, cpu)
+        return handler
+
+    def _syscall(self, thread: Thread, cpu: CPU) -> None:
+        self.syscalls_serviced += 1
+        self.interval_break_requested = True
+        number = cpu.regs["v0"]
+        a0 = cpu.regs["a0"]
+        a1 = cpu.regs["a1"]
+        if number == Syscall.EXIT:
+            thread.state = ThreadState.EXITED
+            thread.exit_code = a0
+            cpu.halted = True
+            cpu.exit_code = a0
+        elif number == Syscall.PRINT_INT:
+            self.console.write_int(a0)
+        elif number == Syscall.PRINT_CHAR:
+            self.console.write_char(a0)
+        elif number == Syscall.READ_INPUT:
+            self._read_input(thread, cpu, buffer=a0, max_words=a1)
+        elif number == Syscall.YIELD:
+            thread.state = ThreadState.READY  # machine reschedules
+        elif number == Syscall.SBRK:
+            cpu.regs["v0"] = self._sbrk(a0)
+        elif number == Syscall.WRITE_OUT:
+            addr = a0
+            for _ in range(a1):
+                self.console.write_int(self.memory.peek(addr))
+                addr += 4
+        elif number == Syscall.LOCK:
+            self._lock(thread, cpu, a0)
+        elif number == Syscall.UNLOCK:
+            self._unlock(thread, a0)
+        elif number == Syscall.CURRENT_TID:
+            cpu.regs["v0"] = thread.tid
+        else:
+            raise Fault(f"unknown syscall {number}", pc=cpu.pc)
+
+    # -- services ----------------------------------------------------------
+
+    def _read_input(self, thread: Thread, cpu: CPU, buffer: int,
+                    max_words: int) -> None:
+        """Blocking read: data lands in the buffer via DMA.
+
+        The thread blocks until the transfer completes; the word count
+        is delivered in v0 at wake-up, so the value is architecturally
+        visible only in the post-syscall interval (whose FLL header
+        captures it).
+        """
+        words = self.input.read(max_words)
+        if self.dma_delay <= 0 or not words:
+            self._deliver(buffer, words)
+            cpu.regs["v0"] = len(words)
+            return
+        thread.state = ThreadState.BLOCKED
+        thread.blocked_on = buffer
+        count = len(words)
+
+        def complete() -> None:
+            thread.state = ThreadState.READY
+            thread.blocked_on = None
+            thread.cpu.regs["v0"] = count
+
+        self.dma.start(buffer, words, now=self.now(), delay=self.dma_delay,
+                       on_complete=complete)
+
+    def _deliver(self, buffer: int, words: list[int]) -> None:
+        """Synchronous delivery path (dma_delay == 0)."""
+        self.dma.start(buffer, words, now=self.now(), delay=0)
+
+    def _sbrk(self, increment: int) -> int:
+        """Grow the heap; returns the previous break."""
+        old = self._brk
+        self._brk += max(increment, 0)
+        while self._brk > self._heap_mapped_to:
+            self.memory.map_range(self._heap_mapped_to, PAGE_SIZE)
+            self._heap_mapped_to += PAGE_SIZE
+        return old
+
+    def _record_acquire(self, mutex: _Mutex, acquirer_tid: int,
+                        first_post_lock_index: int) -> None:
+        """Happens-before edge from the previous release to this acquire."""
+        if mutex.last_release is None:
+            return
+        releaser_tid, released_after = mutex.last_release
+        self.sync_edges.append((
+            releaser_tid, released_after,
+            acquirer_tid, first_post_lock_index,
+        ))
+
+    def _lock(self, thread: Thread, cpu: CPU, lock_id: int) -> None:
+        mutex = self._mutexes.setdefault(lock_id, _Mutex())
+        if mutex.owner is None:
+            mutex.owner = thread.tid
+            # Mid-syscall, inst_count counts instructions committed before
+            # the lock; the first post-lock instruction is inst_count + 1.
+            self._record_acquire(mutex, thread.tid, cpu.inst_count + 1)
+        elif mutex.owner == thread.tid:
+            raise Fault(f"thread {thread.tid} relocked lock {lock_id:#x}",
+                        pc=cpu.pc)
+        else:
+            thread.state = ThreadState.BLOCKED
+            thread.blocked_on = lock_id
+            mutex.waiters.append(thread.tid)
+
+    def _unlock(self, thread: Thread, lock_id: int) -> None:
+        mutex = self._mutexes.get(lock_id)
+        if mutex is None or mutex.owner != thread.tid:
+            raise Fault(
+                f"thread {thread.tid} unlocked lock {lock_id:#x} it does not hold",
+                pc=thread.cpu.pc,
+            )
+        # The unlock syscall commits as instruction inst_count (0-based),
+        # so the releaser has completed inst_count + 1 instructions.
+        mutex.last_release = (thread.tid, thread.cpu.inst_count + 1)
+        if mutex.waiters:
+            next_tid = mutex.waiters.popleft()
+            mutex.owner = next_tid
+            waiter = self.threads[next_tid]
+            waiter.state = ThreadState.READY
+            waiter.blocked_on = None
+            # The waiter's lock syscall has already committed, so its
+            # inst_count is the index of its first post-lock instruction.
+            self._record_acquire(mutex, next_tid, waiter.cpu.inst_count)
+        else:
+            mutex.owner = None
+
+    # -- fault path -----------------------------------------------------------
+
+    def handle_fault(self, thread: Thread, fault: Fault) -> None:
+        """Mark the thread crashed (the machine finalizes the logs)."""
+        thread.state = ThreadState.CRASHED
+        thread.fault = fault
+        thread.fault_ic = thread.cpu.inst_count
+        thread.cpu.halted = True

@@ -1,0 +1,42 @@
+"""BugNet's core contribution: continuous first-load recording.
+
+* :mod:`repro.tracing.dictionary` — the 64-entry frequent-value
+  dictionary compressor (Section 4.3.1),
+* :mod:`repro.tracing.fll` — the First-Load Log bit format (Section 4.3),
+* :mod:`repro.tracing.mrl` — the Memory Race Log format (Section 4.6.3),
+* :mod:`repro.tracing.netzer` — transitive reduction of race edges,
+* :mod:`repro.tracing.recorder` — checkpoint-interval lifecycle and the
+  per-thread recorder,
+* :mod:`repro.tracing.backing` — Checkpoint Buffer / Memory Race Buffer
+  FIFOs, memory backing, replay-window accounting, bus model,
+* :mod:`repro.tracing.hardware` — the on-chip area model (Table 3).
+"""
+
+from repro.tracing.backing import BusModel, LogStore
+from repro.tracing.dictionary import DictionaryCompressor
+from repro.tracing.fll import FLL, FLLHeader, FLLReader, FLLWriter
+from repro.tracing.hardware import bugnet_hardware, fdr_hardware
+from repro.tracing.mrl import MRL, MRLEntry, MRLHeader, MRLReader, MRLWriter
+from repro.tracing.netzer import PairwiseReducer, VectorClockReducer
+from repro.tracing.recorder import BugNetRecorder, TracedMemoryInterface
+
+__all__ = [
+    "DictionaryCompressor",
+    "FLL",
+    "FLLHeader",
+    "FLLReader",
+    "FLLWriter",
+    "MRL",
+    "MRLEntry",
+    "MRLHeader",
+    "MRLReader",
+    "MRLWriter",
+    "PairwiseReducer",
+    "VectorClockReducer",
+    "BugNetRecorder",
+    "TracedMemoryInterface",
+    "LogStore",
+    "BusModel",
+    "bugnet_hardware",
+    "fdr_hardware",
+]

@@ -1,0 +1,162 @@
+"""Memory backing for the logs (paper Sections 4.1 and 4.7).
+
+The Checkpoint Buffer (CB) and Memory Race Buffer (MRB) are small
+on-chip FIFOs; finalized log bytes drain lazily to a bounded region of
+main memory whenever the bus is idle.  When the region fills, the logs
+of the oldest checkpoint are discarded — which is what bounds the
+*replay window*.
+
+:class:`LogStore` models the main-memory region (and is also the
+developer-facing container the replayer reads).  :class:`BusModel` is
+the bandwidth accounting behind the paper's <0.01 % overhead claim.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.common.config import BugNetConfig
+from repro.tracing.fll import FLL
+from repro.tracing.mrl import MRL
+
+
+@dataclass
+class StoredCheckpoint:
+    """One (FLL, MRL) pair resident in the log region."""
+
+    tid: int
+    fll: FLL
+    mrl: MRL
+    byte_size: int
+    reason: str
+
+
+class LogStore:
+    """Bounded main-memory log region with oldest-checkpoint eviction."""
+
+    def __init__(self, config: BugNetConfig) -> None:
+        self.config = config
+        self._per_thread: dict[int, deque[StoredCheckpoint]] = {}
+        self.total_bytes = 0
+        self.evicted_checkpoints = 0
+        self.evicted_bytes = 0
+
+    def add(self, tid: int, fll: FLL, mrl: MRL, reason: str = "length") -> None:
+        """Store a finalized checkpoint, evicting the oldest if over budget."""
+        size = fll.byte_size(self.config) + mrl.byte_size(self.config)
+        queue = self._per_thread.setdefault(tid, deque())
+        queue.append(StoredCheckpoint(tid, fll, mrl, size, reason))
+        self.total_bytes += size
+        budget = self.config.log_memory_budget
+        if budget is not None:
+            while self.total_bytes > budget and self._evict_oldest(protect=(tid, fll)):
+                pass
+
+    def _evict_oldest(self, protect: tuple[int, FLL]) -> bool:
+        """Drop the globally oldest checkpoint (never the one just added)."""
+        oldest_tid = None
+        oldest_time = None
+        for tid, queue in self._per_thread.items():
+            if not queue:
+                continue
+            head = queue[0]
+            if head.fll is protect[1]:
+                continue
+            stamp = head.fll.header.timestamp
+            if oldest_time is None or stamp < oldest_time:
+                oldest_time = stamp
+                oldest_tid = tid
+        if oldest_tid is None:
+            return False
+        victim = self._per_thread[oldest_tid].popleft()
+        self.total_bytes -= victim.byte_size
+        self.evicted_checkpoints += 1
+        self.evicted_bytes += victim.byte_size
+        return True
+
+    # -- queries ----------------------------------------------------------
+
+    def checkpoints(self, tid: int) -> list[StoredCheckpoint]:
+        """Resident checkpoints for a thread, oldest first."""
+        return list(self._per_thread.get(tid, ()))
+
+    def threads(self) -> list[int]:
+        """Thread ids with resident logs."""
+        return sorted(self._per_thread)
+
+    def replay_window(self, tid: int) -> int:
+        """Instructions replayable for *tid* from the resident logs."""
+        return sum(cp.fll.interval_length for cp in self._per_thread.get(tid, ()))
+
+    def fll_bytes(self, tid: int | None = None) -> int:
+        """Bytes of FLL data resident (one thread or all)."""
+        return self._sum(tid, lambda cp: cp.fll.byte_size(self.config))
+
+    def mrl_bytes(self, tid: int | None = None) -> int:
+        """Bytes of MRL data resident (one thread or all)."""
+        return self._sum(tid, lambda cp: cp.mrl.byte_size(self.config))
+
+    def _sum(self, tid, measure) -> int:
+        if tid is not None:
+            return sum(measure(cp) for cp in self._per_thread.get(tid, ()))
+        return sum(
+            measure(cp) for queue in self._per_thread.values() for cp in queue
+        )
+
+
+@dataclass
+class BusModel:
+    """Memory-bus occupancy accounting for the overhead claim (§6.3).
+
+    The paper argues BugNet's run-time overhead is negligible because
+    compressed log entries are written back only on idle bus cycles; the
+    CB need only absorb bursts.  We model a single-issue core (one cycle
+    per instruction), a bus moving ``bytes_per_cycle``, demand traffic
+    from cache fills/writebacks, and log traffic that may use idle
+    cycles; the processor stalls only if the CB overflows.
+    """
+
+    block_size: int = 64
+    bytes_per_cycle: int = 8
+    cb_bytes: int = 16 * 1024
+    instructions: int = 0
+    fills: int = 0
+    writebacks: int = 0
+    log_bytes: int = 0
+    peak_cb_occupancy: int = 0
+    _cb_occupancy: float = field(default=0.0, repr=False)
+    stall_cycles: float = 0.0
+
+    def account_window(self, instructions: int, fills: int, writebacks: int,
+                       log_bytes: int) -> None:
+        """Account one execution window (e.g. a checkpoint interval)."""
+        self.instructions += instructions
+        self.fills += fills
+        self.writebacks += writebacks
+        self.log_bytes += log_bytes
+        cycles = max(instructions, 1)
+        demand = (fills + writebacks) * self.block_size / self.bytes_per_cycle
+        idle_capacity = max(0.0, cycles - demand) * self.bytes_per_cycle
+        backlog = self._cb_occupancy + log_bytes
+        drained = min(backlog, idle_capacity)
+        backlog -= drained
+        if backlog > self.cb_bytes:
+            # CB overflow: the core stalls while the bus forcibly drains.
+            overflow = backlog - self.cb_bytes
+            self.stall_cycles += overflow / self.bytes_per_cycle
+            backlog = float(self.cb_bytes)
+        self._cb_occupancy = backlog
+        self.peak_cb_occupancy = max(self.peak_cb_occupancy, int(backlog))
+
+    @property
+    def total_cycles(self) -> float:
+        """Base cycles plus logging-induced stalls."""
+        return self.instructions + self.stall_cycles
+
+    @property
+    def overhead(self) -> float:
+        """Fractional slowdown attributable to logging."""
+        if not self.instructions:
+            return 0.0
+        return self.stall_cycles / self.instructions

@@ -1,0 +1,132 @@
+"""The dictionary-based load-value compressor (paper Section 4.3.1).
+
+A small fully-associative table captures frequently occurring load
+values.  When a value about to be logged is present, a short index (6
+bits for the 64-entry table) is written instead of the 32-bit value.
+
+The table is *deterministically* simulated by the replayer, so the exact
+update rules below are the contract between recording and replay:
+
+* the table is emptied at the start of every checkpoint interval;
+* **every** executed load updates the table (logged or not);
+* on a hit, the entry's 3-bit saturating counter is incremented; if the
+  updated counter is >= the counter of the entry ranked immediately
+  above, the two entries swap positions (frequent values percolate up);
+* on a miss, the value replaces the entry with the smallest counter,
+  breaking ties toward the lowest position (largest index); the fresh
+  entry starts with counter 1 (empty slots count 0, so they fill first).
+
+Encoding/decoding reads the table state *before* the update for that
+load, on both sides.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.common.config import DictionaryConfig
+
+
+class DictionaryCompressor:
+    """Frequent-value table shared (by construction) by recorder and replayer."""
+
+    __slots__ = ("config", "size", "counter_max", "_values", "_counters",
+                 "_pos_of", "_heap", "hits", "misses")
+
+    def __init__(self, config: DictionaryConfig | None = None) -> None:
+        self.config = config or DictionaryConfig()
+        self.size = self.config.entries
+        self.counter_max = self.config.counter_max
+        self.hits = 0
+        self.misses = 0
+        self._values: list[int | None] = []
+        self._counters: list[int] = []
+        self._pos_of: dict[int, int] = {}
+        # Min-heap of (counter, -position) candidates for replacement;
+        # entries are validated lazily against the live arrays.
+        self._heap: list[tuple[int, int]] = []
+        self.reset()
+
+    def reset(self) -> None:
+        """Empty the table (start of a checkpoint interval)."""
+        self._values = [None] * self.size
+        self._counters = [0] * self.size
+        self._pos_of = {}
+        self._heap = [(0, -pos) for pos in range(self.size)]
+        heapq.heapify(self._heap)
+
+    # -- queries ----------------------------------------------------------
+
+    def lookup(self, value: int) -> int | None:
+        """Current index of *value*, or None — without mutating the table."""
+        return self._pos_of.get(value)
+
+    def value_at(self, index: int) -> int:
+        """Value currently stored at *index* (decoder side)."""
+        value = self._values[index]
+        if value is None:
+            raise LookupError(f"dictionary entry {index} is empty")
+        return value
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of updates that hit (Figure 5's metric)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    # -- the per-load update ------------------------------------------------
+
+    def update(self, value: int) -> None:
+        """Account one executed load of *value* (recorder and replayer)."""
+        pos = self._pos_of.get(value)
+        if pos is not None:
+            self.hits += 1
+            counters = self._counters
+            if counters[pos] < self.counter_max:
+                counters[pos] += 1
+                heapq.heappush(self._heap, (counters[pos], -pos))
+            if pos > 0 and counters[pos] >= counters[pos - 1]:
+                self._swap(pos, pos - 1)
+        else:
+            self.misses += 1
+            victim = self._pop_victim()
+            old_value = self._values[victim]
+            if old_value is not None:
+                del self._pos_of[old_value]
+            self._values[victim] = value
+            self._counters[victim] = 1
+            self._pos_of[value] = victim
+            heapq.heappush(self._heap, (1, -victim))
+
+    def _swap(self, a: int, b: int) -> None:
+        values, counters = self._values, self._counters
+        values[a], values[b] = values[b], values[a]
+        counters[a], counters[b] = counters[b], counters[a]
+        if values[a] is not None:
+            self._pos_of[values[a]] = a
+        if values[b] is not None:
+            self._pos_of[values[b]] = b
+        heapq.heappush(self._heap, (counters[a], -a))
+        heapq.heappush(self._heap, (counters[b], -b))
+
+    def _pop_victim(self) -> int:
+        """Position with the smallest counter (ties: largest index)."""
+        heap = self._heap
+        counters = self._counters
+        while heap:
+            counter, neg_pos = heap[0]
+            pos = -neg_pos
+            if counters[pos] == counter:
+                return pos
+            heapq.heappop(heap)  # stale
+        # The heap is refreshed on every counter change, so it can only
+        # drain if many stale entries accumulate; rebuild from live state.
+        self._heap = [(c, -p) for p, c in enumerate(counters)]
+        heapq.heapify(self._heap)
+        return self._pop_victim()
+
+    # -- introspection for tests ------------------------------------------
+
+    def table(self) -> list[tuple[int | None, int]]:
+        """(value, counter) pairs in rank order (top first)."""
+        return list(zip(self._values, self._counters))

@@ -1,0 +1,207 @@
+"""The First-Load Log (FLL): BugNet's per-interval replay log.
+
+Header (Section 4.2): process id, thread id, program counter, the 32
+register values, the checkpoint-interval identifier (C-ID) and a
+timestamp.  Body (Section 4.3): one bit-packed record per *logged* load::
+
+    (LC-Type, Reduced/Full L-Count, LV-Type, Encoded/Full Load-Value)
+
+* ``LC-Type`` — 1 bit: L-Count in 5 bits (< 32) or in
+  ``log2(interval length)`` bits,
+* ``L-Count`` — loads *skipped* (not logged) since the previous logged
+  load,
+* ``LV-Type`` — 1 bit: value as a dictionary index (6 bits for the
+  64-entry table) or as a full 32-bit word.
+
+Neither the effective address nor the PC is logged — replay regenerates
+both.  A footer carries what the OS records when the interval ends: the
+final instruction count and, if the interval ended in a crash, the
+faulting PC (Section 4.8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.bits import BitReader, BitWriter
+from repro.common.config import BugNetConfig
+from repro.common.errors import LogDecodeError
+
+_PID_BITS = 16
+_TIMESTAMP_BITS = 64
+_PC_BITS = 32
+_REG_BITS = 32 * 32
+
+
+@dataclass(frozen=True)
+class FLLHeader:
+    """Architectural state at the start of a checkpoint interval.
+
+    ``major`` marks intervals that began with all first-load bits
+    cleared; under the basic scheme every interval is major, under the
+    aggressive Section 4.4 scheme only every Nth is, and replay chains
+    must start at one.
+    """
+
+    pid: int
+    tid: int
+    cid: int
+    timestamp: int
+    pc: int
+    regs: tuple[int, ...]
+    major: bool = True
+
+    def __post_init__(self) -> None:
+        if len(self.regs) != 32:
+            raise ValueError("header needs all 32 register values")
+
+    def bit_size(self, config: BugNetConfig) -> int:
+        """Encoded header size in bits (the major flag costs one)."""
+        return (_PID_BITS + config.tid_bits + config.cid_bits
+                + _TIMESTAMP_BITS + _PC_BITS + _REG_BITS + 1)
+
+
+@dataclass(frozen=True)
+class LoadRecord:
+    """One decoded FLL body record."""
+
+    skipped: int
+    value: int
+    from_dictionary: bool
+
+
+@dataclass(frozen=True)
+class FLL:
+    """A finalized First-Load Log for one checkpoint interval."""
+
+    header: FLLHeader
+    payload: bytes
+    payload_bits: int
+    num_records: int
+    end_ic: int
+    fault_pc: int | None
+    # Raw (uncompressed) payload bits, for compression-ratio accounting:
+    raw_payload_bits: int
+
+    def bit_size(self, config: BugNetConfig) -> int:
+        """Total encoded size in bits: header + body + footer."""
+        footer = config.ic_bits + 1 + (_PC_BITS if self.fault_pc is not None else 0)
+        return self.header.bit_size(config) + self.payload_bits + footer
+
+    def byte_size(self, config: BugNetConfig) -> int:
+        """Total encoded size in bytes (rounded up)."""
+        return (self.bit_size(config) + 7) // 8
+
+    @property
+    def interval_length(self) -> int:
+        """Committed instructions covered by this interval."""
+        return self.end_ic
+
+
+class FLLWriter:
+    """Incrementally encodes one interval's FLL."""
+
+    def __init__(self, config: BugNetConfig, header: FLLHeader) -> None:
+        self.config = config
+        self.header = header
+        self._bits = BitWriter()
+        self._records = 0
+        self._raw_bits = 0
+        self._reduced_limit = 1 << config.reduced_lcount_bits
+
+    @property
+    def num_records(self) -> int:
+        """Records appended so far."""
+        return self._records
+
+    @property
+    def payload_bits(self) -> int:
+        """Body bits appended so far (drives Checkpoint Buffer occupancy)."""
+        return self._bits.bit_length
+
+    def append(self, skipped: int, value: int, dict_index: int | None) -> int:
+        """Append one record; returns its encoded size in bits.
+
+        *skipped* is the L-Count; *dict_index* is the dictionary position
+        when the value hit the compressor (``None`` → full value logged).
+        """
+        config = self.config
+        bits = self._bits
+        before = bits.bit_length
+        if skipped < self._reduced_limit:
+            bits.write_bool(False)
+            bits.write(skipped, config.reduced_lcount_bits)
+        else:
+            bits.write_bool(True)
+            bits.write(skipped, config.full_lcount_bits)
+        if dict_index is not None:
+            bits.write_bool(True)
+            bits.write(dict_index, config.dictionary.index_bits)
+        else:
+            bits.write_bool(False)
+            bits.write_word(value)
+        self._records += 1
+        # Uncompressed baseline: same record with no dictionary (full value)
+        # and no reduced L-Count (full width), mirroring the paper's
+        # compression-ratio denominator.
+        self._raw_bits += 1 + config.full_lcount_bits + 1 + 32
+        return bits.bit_length - before
+
+    def finalize(self, end_ic: int, fault_pc: int | None = None) -> FLL:
+        """Close the interval (OS records end IC and faulting PC)."""
+        return FLL(
+            header=self.header,
+            payload=self._bits.getvalue(),
+            payload_bits=self._bits.bit_length,
+            num_records=self._records,
+            end_ic=end_ic,
+            fault_pc=fault_pc,
+            raw_payload_bits=self._raw_bits,
+        )
+
+
+class FLLReader:
+    """Decodes FLL body records.
+
+    Values logged as dictionary indices cannot be resolved by the reader
+    alone — the replayer resolves them against its simulated dictionary —
+    so iteration yields ``(skipped, is_encoded, raw_field)`` tuples.
+    """
+
+    def __init__(self, config: BugNetConfig, fll: FLL) -> None:
+        self.config = config
+        self.fll = fll
+        self._reader = BitReader(fll.payload, fll.payload_bits)
+        self._remaining = fll.num_records
+
+    @property
+    def remaining(self) -> int:
+        """Records not yet decoded."""
+        return self._remaining
+
+    def next_record(self) -> tuple[int, bool, int]:
+        """Decode one record: ``(skipped, is_encoded, raw_field)``."""
+        if self._remaining <= 0:
+            raise LogDecodeError("no records left in FLL")
+        config = self.config
+        reader = self._reader
+        try:
+            full_lcount = reader.read_bool()
+            if full_lcount:
+                skipped = reader.read(config.full_lcount_bits)
+            else:
+                skipped = reader.read(config.reduced_lcount_bits)
+            encoded = reader.read_bool()
+            if encoded:
+                raw = reader.read(config.dictionary.index_bits)
+            else:
+                raw = reader.read_word()
+        except EOFError as exc:
+            raise LogDecodeError(f"truncated FLL payload: {exc}") from exc
+        self._remaining -= 1
+        return skipped, encoded, raw
+
+    def __iter__(self) -> Iterator[tuple[int, bool, int]]:
+        while self._remaining > 0:
+            yield self.next_record()

@@ -1,0 +1,93 @@
+"""On-chip hardware area model (paper Table 3).
+
+BugNet's hardware is a Checkpoint Buffer, a Memory Race Buffer and a
+small fully-associative dictionary CAM; the buffers' sizes are constant
+in the replay-window length because the logs are memory backed.  FDR's
+totals come from the FDR paper as quoted by BugNet's Table 3 — they
+describe the comparison system's silicon, not behaviour we can simulate,
+so we reproduce them as published constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.config import BugNetConfig, CacheConfig
+
+
+@dataclass(frozen=True)
+class HardwareBudget:
+    """A named breakdown of on-chip storage in bytes."""
+
+    name: str
+    components: dict[str, int] = field(default_factory=dict)
+    notes: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of all component sizes."""
+        return sum(self.components.values())
+
+    @property
+    def total_kb(self) -> float:
+        """Total in kilobytes (paper's unit)."""
+        return self.total_bytes / 1024
+
+
+def dictionary_cam_bytes(config: BugNetConfig) -> int:
+    """Storage for the dictionary CAM: value + saturating counter per entry."""
+    entry_bits = 32 + config.dictionary.counter_bits
+    return (config.dictionary.entries * entry_bits + 7) // 8
+
+
+def first_load_bit_bytes(l1: CacheConfig, l2: CacheConfig) -> int:
+    """SRAM for the per-word first-load bits in both cache levels.
+
+    Table 3 does not itemize these (they are amortized into the cache
+    arrays), but we report them so the comparison is honest about where
+    state lives.
+    """
+    words = (l1.size + l2.size) // 4
+    return (words + 7) // 8
+
+
+def bugnet_hardware(
+    config: BugNetConfig,
+    l1: CacheConfig | None = None,
+    l2: CacheConfig | None = None,
+) -> HardwareBudget:
+    """BugNet's on-chip budget for a given configuration."""
+    components = {
+        "Checkpoint Buffer (CB)": config.checkpoint_buffer_bytes,
+        "Memory Race Buffer (MRB)": config.race_buffer_bytes,
+        "Dictionary CAM": dictionary_cam_bytes(config),
+    }
+    notes = {
+        "Dictionary CAM": f"{config.dictionary.entries}-entry fully associative",
+    }
+    if l1 is not None and l2 is not None:
+        components["First-load bits (in cache arrays)"] = first_load_bit_bytes(l1, l2)
+        notes["First-load bits (in cache arrays)"] = (
+            "1 bit per 32-bit word in L1+L2; amortized into the data arrays"
+        )
+    return HardwareBudget("BugNet", components, notes)
+
+
+def fdr_hardware() -> HardwareBudget:
+    """FDR's on-chip budget as published (BugNet Table 3)."""
+    kb = 1024
+    return HardwareBudget(
+        "FDR",
+        components={
+            "Memory Race Buffer (MRB)": 32 * kb,
+            "Cache checkpoint buffer": 1024 * kb,
+            "Memory checkpoint buffer": 256 * kb,
+            "Interrupt buffer": 64 * kb,
+            "Input buffer": 8 * kb,
+            "DMA buffer": 32 * kb,
+        },
+        notes={
+            "Cache checkpoint buffer": "SafetyNet checkpointing",
+            "Memory checkpoint buffer": "SafetyNet checkpointing",
+        },
+    )

@@ -1,0 +1,135 @@
+"""The Memory Race Log (MRL): cross-thread ordering for replay.
+
+One MRL is created per checkpoint interval, in lockstep with the FLL and
+sharing its C-ID (Section 4.6.3).  Whenever a coherence reply arrives
+from a remote core, the local thread appends::
+
+    (local.IC, remote.TID, remote.CID, remote.IC)
+
+which asserts: *remote thread TID had committed remote.IC instructions
+of its interval remote.CID before my instruction local.IC executed.*
+Field widths follow the paper: ``local.IC`` and ``remote.IC`` take
+``log2(interval length)`` bits, ``remote.TID`` takes
+``log2(max live threads)`` and ``remote.CID`` takes
+``log2(max resident checkpoints)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.common.bits import BitReader, BitWriter
+from repro.common.config import BugNetConfig
+from repro.common.errors import LogDecodeError
+
+_PID_BITS = 16
+_TIMESTAMP_BITS = 64
+
+
+@dataclass(frozen=True)
+class MRLHeader:
+    """Identifies the thread and interval this race log belongs to."""
+
+    pid: int
+    tid: int
+    cid: int
+    timestamp: int
+
+    def bit_size(self, config: BugNetConfig) -> int:
+        """Encoded header size in bits."""
+        return _PID_BITS + config.tid_bits + config.cid_bits + _TIMESTAMP_BITS
+
+
+@dataclass(frozen=True)
+class MRLEntry:
+    """One ordering constraint derived from a coherence reply."""
+
+    local_ic: int
+    remote_tid: int
+    remote_cid: int
+    remote_ic: int
+
+
+@dataclass(frozen=True)
+class MRL:
+    """A finalized Memory Race Log for one checkpoint interval."""
+
+    header: MRLHeader
+    payload: bytes
+    payload_bits: int
+    num_entries: int
+
+    def bit_size(self, config: BugNetConfig) -> int:
+        """Total encoded size in bits."""
+        return self.header.bit_size(config) + self.payload_bits
+
+    def byte_size(self, config: BugNetConfig) -> int:
+        """Total encoded size in bytes (rounded up)."""
+        return (self.bit_size(config) + 7) // 8
+
+
+class MRLWriter:
+    """Incrementally encodes one interval's MRL."""
+
+    def __init__(self, config: BugNetConfig, header: MRLHeader) -> None:
+        self.config = config
+        self.header = header
+        self._bits = BitWriter()
+        self._entries = 0
+
+    @property
+    def num_entries(self) -> int:
+        """Entries appended so far."""
+        return self._entries
+
+    def append(self, entry: MRLEntry) -> None:
+        """Append one race entry."""
+        config = self.config
+        bits = self._bits
+        bits.write(entry.local_ic, config.ic_bits)
+        bits.write(entry.remote_tid, config.tid_bits)
+        bits.write(entry.remote_cid, config.cid_bits)
+        bits.write(entry.remote_ic, config.ic_bits)
+        self._entries += 1
+
+    def finalize(self) -> MRL:
+        """Close the log."""
+        return MRL(
+            header=self.header,
+            payload=self._bits.getvalue(),
+            payload_bits=self._bits.bit_length,
+            num_entries=self._entries,
+        )
+
+
+class MRLReader:
+    """Decodes MRL entries."""
+
+    def __init__(self, config: BugNetConfig, mrl: MRL) -> None:
+        self.config = config
+        self.mrl = mrl
+        self._reader = BitReader(mrl.payload, mrl.payload_bits)
+        self._remaining = mrl.num_entries
+
+    def next_entry(self) -> MRLEntry:
+        """Decode one entry."""
+        if self._remaining <= 0:
+            raise LogDecodeError("no entries left in MRL")
+        config = self.config
+        reader = self._reader
+        try:
+            entry = MRLEntry(
+                local_ic=reader.read(config.ic_bits),
+                remote_tid=reader.read(config.tid_bits),
+                remote_cid=reader.read(config.cid_bits),
+                remote_ic=reader.read(config.ic_bits),
+            )
+        except EOFError as exc:
+            raise LogDecodeError(f"truncated MRL payload: {exc}") from exc
+        self._remaining -= 1
+        return entry
+
+    def __iter__(self) -> Iterator[MRLEntry]:
+        while self._remaining > 0:
+            yield self.next_entry()

@@ -1,0 +1,236 @@
+"""The per-thread BugNet recorder (paper Section 4).
+
+Lifecycle of a checkpoint interval:
+
+1. ``begin_interval`` — snapshot PC + registers into a fresh FLL header,
+   clear every first-load bit in the private hierarchy, empty the
+   dictionary, create the paired MRL (same C-ID), reset the Netzer
+   filter.
+2. During execution, the :class:`TracedMemoryInterface` reports every
+   load (with its value and the hierarchy's first-access verdict) and
+   every store; coherence replies arrive via ``race_reply``.
+3. The interval ends when it reaches the configured maximum length, when
+   an interrupt or context switch occurs (Section 4.4), or when the
+   thread faults (Section 4.8, which also records the faulting PC).
+   Finalized (FLL, MRL) pairs go to the :class:`~repro.tracing.backing.LogStore`.
+
+Checkpoint IDs increment per interval and wrap at the configured
+maximum-resident-checkpoints count, exactly as the paper's C-ID counter
+does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.hierarchy import FirstLoadHierarchy
+from repro.common.config import BugNetConfig
+from repro.tracing.backing import LogStore
+from repro.tracing.dictionary import DictionaryCompressor
+from repro.tracing.fll import FLLHeader, FLLWriter
+from repro.tracing.mrl import MRLEntry, MRLHeader, MRLWriter
+from repro.tracing.netzer import PairwiseReducer
+
+
+class BugNetRecorder:
+    """Records one thread's execution as a stream of (FLL, MRL) pairs."""
+
+    def __init__(
+        self,
+        config: BugNetConfig,
+        hierarchy: FirstLoadHierarchy,
+        log_store: LogStore,
+        pid: int = 1,
+        tid: int = 0,
+        clock: Callable[[], int] = lambda: 0,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.log_store = log_store
+        self.pid = pid
+        self.tid = tid
+        self.clock = clock
+        self.dictionary = DictionaryCompressor(config.dictionary)
+        self.reducer = PairwiseReducer()
+        self.active = False
+        self.cid = 0
+        self.ic = 0
+        self._cid_counter = 0
+        self._skipped = 0
+        self._fll: FLLWriter | None = None
+        self._mrl: MRLWriter | None = None
+        # Cumulative statistics across all intervals.
+        self.intervals_closed = 0
+        self.loads_seen = 0
+        self.loads_logged = 0
+        self.instructions_recorded = 0
+        # Optional hook fired with (fll, mrl, reason) when an interval
+        # closes (the machine uses it for bus-bandwidth accounting).
+        self.interval_listener = None
+
+    # -- interval lifecycle ----------------------------------------------------
+
+    def begin_interval(self, pc: int, regs: tuple[int, ...]) -> None:
+        """Open a new checkpoint interval at architectural state (pc, regs).
+
+        Under the basic scheme every interval clears the first-load bits
+        (paper Section 4.3); with ``bit_clear_period`` N > 1 only every
+        Nth interval does — the Section 4.4 aggressive scheme — so loads
+        already captured by an earlier retained interval stay
+        suppressed across syscalls and interrupts.
+        """
+        if self.active:
+            raise RuntimeError("interval already active")
+        self.cid = self._cid_counter % self.config.max_resident_checkpoints
+        major = self._cid_counter % self.config.bit_clear_period == 0
+        self._cid_counter += 1
+        now = self.clock()
+        self._fll = FLLWriter(self.config, FLLHeader(
+            pid=self.pid, tid=self.tid, cid=self.cid,
+            timestamp=now, pc=pc, regs=tuple(regs), major=major,
+        ))
+        self._mrl = MRLWriter(self.config, MRLHeader(
+            pid=self.pid, tid=self.tid, cid=self.cid, timestamp=now,
+        ))
+        if major:
+            self.hierarchy.clear_first_load_bits()
+        self.dictionary.reset()
+        self.reducer.reset()
+        self.ic = 0
+        self._skipped = 0
+        self.active = True
+
+    def end_interval(self, reason: str = "length", fault_pc: int | None = None) -> None:
+        """Finalize the interval and hand the logs to the store."""
+        if not self.active:
+            return
+        fll = self._fll.finalize(self.ic, fault_pc)
+        mrl = self._mrl.finalize()
+        self.log_store.add(self.tid, fll, mrl, reason=reason)
+        self.instructions_recorded += self.ic
+        self.intervals_closed += 1
+        self.active = False
+        self._fll = None
+        self._mrl = None
+        if self.interval_listener is not None:
+            self.interval_listener(fll, mrl, reason)
+
+    # -- event hooks (called by TracedMemoryInterface / the machine) -----------
+
+    def note_load(self, value: int, first_access: bool) -> None:
+        """Account one executed load; log it if it is a first access."""
+        if not self.active:
+            raise RuntimeError("load observed outside an active interval")
+        self.loads_seen += 1
+        if first_access:
+            index = self.dictionary.lookup(value)
+            self._fll.append(self._skipped, value, index)
+            self._skipped = 0
+            self.loads_logged += 1
+        else:
+            self._skipped += 1
+        self.dictionary.update(value)
+
+    def note_commit(self) -> bool:
+        """Account one committed instruction; True if the interval closed."""
+        if not self.active:
+            raise RuntimeError("commit observed outside an active interval")
+        self.ic += 1
+        if self.ic >= self.config.checkpoint_interval:
+            self.end_interval(reason="length")
+            return True
+        return False
+
+    def note_commits(self, count: int) -> int:
+        """Batch-account committed instructions (trace-driven fast path).
+
+        Advances at most to the end of the current interval, closing it
+        there; returns the number of commits *not* yet accounted (the
+        caller re-opens an interval and calls again).
+        """
+        if not self.active:
+            raise RuntimeError("commit observed outside an active interval")
+        room = self.config.checkpoint_interval - self.ic
+        if count < room:
+            self.ic += count
+            return 0
+        self.ic += room
+        self.end_interval(reason="length")
+        return count - room
+
+    def race_reply(self, remote_tid: int, remote_cid: int, remote_ic: int) -> None:
+        """A coherence reply arrived: log the ordering edge unless implied."""
+        if not self.active:
+            return
+        if self.reducer.should_log(remote_tid, remote_cid, remote_ic):
+            self._mrl.append(MRLEntry(
+                local_ic=self.ic,
+                remote_tid=remote_tid,
+                remote_cid=remote_cid,
+                remote_ic=remote_ic,
+            ))
+
+    def remote_state(self) -> tuple[int, int, int]:
+        """(TID, CID, IC) piggybacked on our coherence replies."""
+        return self.tid, self.cid, self.ic
+
+    # -- derived metrics ------------------------------------------------------
+
+    @property
+    def first_load_rate(self) -> float:
+        """Fraction of loads that had to be logged."""
+        return self.loads_logged / self.loads_seen if self.loads_seen else 0.0
+
+
+class TracedMemoryInterface:
+    """Data-memory interface that feeds the recorder and coherence.
+
+    Sits between the CPU and the shared :class:`~repro.arch.memory.Memory`.
+    Faults propagate *before* any tracking side effects, because a
+    faulting access never commits and must not appear in the logs.
+    """
+
+    __slots__ = ("memory", "hierarchy", "recorder", "core_id", "directory",
+                 "remote_state_of", "last_load", "last_store")
+
+    def __init__(
+        self,
+        memory,
+        hierarchy: FirstLoadHierarchy,
+        recorder: BugNetRecorder,
+        core_id: int = 0,
+        directory=None,
+        remote_state_of: Callable[[int], tuple[int, int, int]] | None = None,
+    ) -> None:
+        self.memory = memory
+        self.hierarchy = hierarchy
+        self.recorder = recorder
+        self.core_id = core_id
+        self.directory = directory
+        self.remote_state_of = remote_state_of
+        self.last_load: tuple[int, int] | None = None
+        self.last_store: tuple[int, int] | None = None
+
+    def _coherence(self, addr: int, is_store: bool) -> None:
+        if self.directory is None:
+            return
+        block_addr = addr >> self.hierarchy.block_shift
+        repliers = self.directory.access(self.core_id, block_addr, is_store)
+        if repliers and self.remote_state_of is not None:
+            for remote_core in repliers:
+                tid, cid, ic = self.remote_state_of(remote_core)
+                self.recorder.race_reply(tid, cid, ic)
+
+    def load(self, addr: int) -> int:
+        value = self.memory.load(addr)
+        self._coherence(addr, is_store=False)
+        first = self.hierarchy.access(addr, is_store=False)
+        self.recorder.note_load(value, first)
+        self.last_load = (addr, value)
+        return value
+
+    def store(self, addr: int, value: int) -> None:
+        self.memory.store(addr, value)
+        self._coherence(addr, is_store=True)
+        self.hierarchy.access(addr, is_store=True)
+        self.last_store = (addr, value & 0xFFFFFFFF)

@@ -1,0 +1,272 @@
+"""On-disk format for crash reports (the developer shipment).
+
+The paper's workflow ends with the OS storing the collected logs "to a
+persistent storage device" and sending them to the developer.  This
+module defines that artifact: a compact, self-describing binary format
+(magic ``BGNT``) holding the recorder configuration, the fault metadata,
+the page map, and every (FLL, MRL) pair — everything
+:class:`~repro.replay.replayer.Replayer` and the debugger need, and
+nothing else (pointedly: no core dump).
+
+The format is independent of Python object layout (no pickle), so
+reports written by one version load in another as long as the format
+version matches.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+
+from repro.common.config import BugNetConfig, DictionaryConfig
+from repro.common.errors import LogDecodeError
+from repro.system.fault import CrashReport
+from repro.tracing.backing import StoredCheckpoint
+from repro.tracing.fll import FLL, FLLHeader
+from repro.tracing.mrl import MRL, MRLHeader
+
+MAGIC = b"BGNT"
+VERSION = 1
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def _write_u32(out: io.BytesIO, value: int) -> None:
+    out.write(_U32.pack(value & 0xFFFFFFFF))
+
+
+def _write_u64(out: io.BytesIO, value: int) -> None:
+    out.write(_U64.pack(value & 0xFFFFFFFFFFFFFFFF))
+
+
+def _write_bytes(out: io.BytesIO, data: bytes) -> None:
+    _write_u32(out, len(data))
+    out.write(data)
+
+
+def _write_str(out: io.BytesIO, text: str) -> None:
+    _write_bytes(out, text.encode("utf-8"))
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self._view = memoryview(data)
+        self._pos = 0
+
+    def u32(self) -> int:
+        value = _U32.unpack_from(self._view, self._pos)[0]
+        self._pos += 4
+        return value
+
+    def u64(self) -> int:
+        value = _U64.unpack_from(self._view, self._pos)[0]
+        self._pos += 8
+        return value
+
+    def blob(self) -> bytes:
+        length = self.u32()
+        data = bytes(self._view[self._pos: self._pos + length])
+        if len(data) != length:
+            raise LogDecodeError("truncated crash report")
+        self._pos += length
+        return data
+
+    def text(self) -> str:
+        return self.blob().decode("utf-8")
+
+
+def _dump_fll(out: io.BytesIO, fll: FLL) -> None:
+    header = fll.header
+    _write_u32(out, header.pid)
+    _write_u32(out, header.tid)
+    _write_u32(out, header.cid)
+    _write_u64(out, header.timestamp)
+    _write_u32(out, header.pc)
+    _write_u32(out, 1 if header.major else 0)
+    for reg in header.regs:
+        _write_u32(out, reg)
+    _write_bytes(out, fll.payload)
+    _write_u32(out, fll.payload_bits)
+    _write_u32(out, fll.num_records)
+    _write_u32(out, fll.end_ic)
+    _write_u32(out, 1 if fll.fault_pc is not None else 0)
+    _write_u32(out, fll.fault_pc or 0)
+    _write_u64(out, fll.raw_payload_bits)
+
+
+def _load_fll(reader: _Reader) -> FLL:
+    pid = reader.u32()
+    tid = reader.u32()
+    cid = reader.u32()
+    timestamp = reader.u64()
+    pc = reader.u32()
+    major = bool(reader.u32())
+    regs = tuple(reader.u32() for _ in range(32))
+    payload = reader.blob()
+    payload_bits = reader.u32()
+    num_records = reader.u32()
+    end_ic = reader.u32()
+    has_fault = bool(reader.u32())
+    fault_pc = reader.u32()
+    raw_bits = reader.u64()
+    return FLL(
+        header=FLLHeader(pid=pid, tid=tid, cid=cid, timestamp=timestamp,
+                         pc=pc, regs=regs, major=major),
+        payload=payload,
+        payload_bits=payload_bits,
+        num_records=num_records,
+        end_ic=end_ic,
+        fault_pc=fault_pc if has_fault else None,
+        raw_payload_bits=raw_bits,
+    )
+
+
+def _dump_mrl(out: io.BytesIO, mrl: MRL) -> None:
+    header = mrl.header
+    _write_u32(out, header.pid)
+    _write_u32(out, header.tid)
+    _write_u32(out, header.cid)
+    _write_u64(out, header.timestamp)
+    _write_bytes(out, mrl.payload)
+    _write_u32(out, mrl.payload_bits)
+    _write_u32(out, mrl.num_entries)
+
+
+def _load_mrl(reader: _Reader) -> MRL:
+    pid = reader.u32()
+    tid = reader.u32()
+    cid = reader.u32()
+    timestamp = reader.u64()
+    payload = reader.blob()
+    payload_bits = reader.u32()
+    num_entries = reader.u32()
+    return MRL(
+        header=MRLHeader(pid=pid, tid=tid, cid=cid, timestamp=timestamp),
+        payload=payload,
+        payload_bits=payload_bits,
+        num_entries=num_entries,
+    )
+
+
+def dump_crash_report(report: CrashReport, config: BugNetConfig) -> bytes:
+    """Serialize a crash report (zlib-compressed body)."""
+    body = io.BytesIO()
+    # Recorder configuration: the replayer must decode with the same
+    # field widths.
+    _write_u64(body, config.checkpoint_interval)
+    _write_u32(body, config.reduced_lcount_bits)
+    _write_u32(body, config.dictionary.entries)
+    _write_u32(body, config.dictionary.counter_bits)
+    _write_u32(body, config.max_live_threads)
+    _write_u32(body, config.max_resident_checkpoints)
+    _write_u32(body, config.bit_clear_period)
+    # Fault metadata.
+    _write_u32(body, report.pid)
+    _write_u32(body, report.faulting_tid)
+    _write_str(body, report.fault_kind)
+    _write_str(body, report.fault_message)
+    _write_u32(body, report.fault_pc)
+    _write_u32(body, report.fault_source_line)
+    _write_str(body, report.program_name)
+    # Page map.
+    pages = sorted(report.mapped_pages)
+    _write_u32(body, len(pages))
+    for page in pages:
+        _write_u64(body, page)
+    # Per-thread totals.
+    _write_u32(body, len(report.total_instructions))
+    for tid, total in sorted(report.total_instructions.items()):
+        _write_u32(body, tid)
+        _write_u64(body, total)
+    # Checkpoints.
+    _write_u32(body, len(report.checkpoints))
+    for tid in sorted(report.checkpoints):
+        checkpoints = report.checkpoints[tid]
+        _write_u32(body, tid)
+        _write_u32(body, len(checkpoints))
+        for checkpoint in checkpoints:
+            _write_str(body, checkpoint.reason)
+            _dump_fll(body, checkpoint.fll)
+            _dump_mrl(body, checkpoint.mrl)
+    compressed = zlib.compress(body.getvalue(), 6)
+    out = io.BytesIO()
+    out.write(MAGIC)
+    _write_u32(out, VERSION)
+    _write_bytes(out, compressed)
+    return out.getvalue()
+
+
+def load_crash_report(data: bytes) -> tuple[CrashReport, BugNetConfig]:
+    """Deserialize a crash report; returns (report, recorder config)."""
+    if data[:4] != MAGIC:
+        raise LogDecodeError("not a BugNet crash report (bad magic)")
+    outer = _Reader(data[4:])
+    version = outer.u32()
+    if version != VERSION:
+        raise LogDecodeError(f"unsupported crash report version {version}")
+    reader = _Reader(zlib.decompress(outer.blob()))
+
+    config = BugNetConfig(
+        checkpoint_interval=reader.u64(),
+        reduced_lcount_bits=reader.u32(),
+        dictionary=DictionaryConfig(
+            entries=reader.u32(), counter_bits=reader.u32(),
+        ),
+        max_live_threads=reader.u32(),
+        max_resident_checkpoints=reader.u32(),
+        bit_clear_period=reader.u32(),
+    )
+    pid = reader.u32()
+    faulting_tid = reader.u32()
+    fault_kind = reader.text()
+    fault_message = reader.text()
+    fault_pc = reader.u32()
+    fault_source_line = reader.u32()
+    program_name = reader.text()
+    mapped_pages = frozenset(reader.u64() for _ in range(reader.u32()))
+    totals = {}
+    for _ in range(reader.u32()):
+        tid = reader.u32()
+        totals[tid] = reader.u64()
+    checkpoints: dict[int, list[StoredCheckpoint]] = {}
+    for _ in range(reader.u32()):
+        tid = reader.u32()
+        count = reader.u32()
+        pool = []
+        for _ in range(count):
+            reason = reader.text()
+            fll = _load_fll(reader)
+            mrl = _load_mrl(reader)
+            size = fll.byte_size(config) + mrl.byte_size(config)
+            pool.append(StoredCheckpoint(tid=tid, fll=fll, mrl=mrl,
+                                         byte_size=size, reason=reason))
+        checkpoints[tid] = pool
+    report = CrashReport(
+        pid=pid,
+        faulting_tid=faulting_tid,
+        fault_kind=fault_kind,
+        fault_message=fault_message,
+        fault_pc=fault_pc,
+        fault_source_line=fault_source_line,
+        program_name=program_name,
+        checkpoints=checkpoints,
+        mapped_pages=mapped_pages,
+        total_instructions=totals,
+    )
+    return report, config
+
+
+def save_crash_report(path, report: CrashReport, config: BugNetConfig) -> int:
+    """Write a report to *path*; returns bytes written."""
+    data = dump_crash_report(report, config)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return len(data)
+
+
+def read_crash_report(path) -> tuple[CrashReport, BugNetConfig]:
+    """Load a report from *path*."""
+    with open(path, "rb") as handle:
+        return load_crash_report(handle.read())

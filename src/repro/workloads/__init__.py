@@ -1,0 +1,32 @@
+"""Workloads: SPEC-like synthetic personalities and the Table-1 bug suite.
+
+The paper's sensitivity studies (Figures 3-6) run SPEC 2000 binaries
+under Pin; its bug studies (Table 1, Figure 2) run 18 open-source
+programs with known bugs.  Neither is available offline, so:
+
+* :mod:`repro.workloads.values` + :mod:`repro.workloads.access` model
+  load-value locality and memory-reference behaviour,
+* :mod:`repro.workloads.spec` defines seven seeded personalities
+  (art, bzip2, crafty, gzip, mcf, parser, vpr),
+* :mod:`repro.workloads.trace` drives the real recorder from those
+  synthetic event streams (sharing the cache/dictionary/FLL code with
+  the full-system machine),
+* :mod:`repro.workloads.bugs` reimplements each Table-1 bug *class* as a
+  runnable BN32 program with a root-cause annotation,
+* :mod:`repro.workloads.randprog` generates random well-defined programs
+  for property-based record/replay testing.
+"""
+
+from repro.workloads.bugs import BUG_SUITE, BugProgram, run_bug
+from repro.workloads.spec import SPEC_WORKLOADS, SpecPersonality
+from repro.workloads.trace import TraceEngine, TraceStats
+
+__all__ = [
+    "SPEC_WORKLOADS",
+    "SpecPersonality",
+    "TraceEngine",
+    "TraceStats",
+    "BUG_SUITE",
+    "BugProgram",
+    "run_bug",
+]

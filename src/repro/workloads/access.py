@@ -1,0 +1,88 @@
+"""Memory-reference models: where loads and stores go.
+
+A workload's FLL size is driven by how many *distinct words* it touches
+per checkpoint interval (the first-load working set) and how quickly it
+revisits them.  Each personality mixes reference regions:
+
+* ``zipf`` — a footprint addressed with log-uniform ranks: a hot head
+  that stops being logged almost immediately and a cold tail that keeps
+  producing first loads (globals, hash tables, board state),
+* ``stream`` — a sequential walk with wraparound (compression windows,
+  matrix sweeps): every new block is a burst of first loads,
+* ``chase`` — pseudo-random jumps through a large footprint (pointer
+  chasing à la mcf/parser): high first-load rate, cache-hostile.
+
+Addresses are word-aligned and region footprints are in words.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Region:
+    """One reference region of a workload's address space."""
+
+    kind: str           # "zipf" | "stream" | "chase"
+    base: int           # starting byte address (word aligned)
+    footprint: int      # words
+    weight: float       # fraction of references landing here
+    stride: int = 1     # words per step, stream regions only
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("zipf", "stream", "chase"):
+            raise ValueError(f"unknown region kind {self.kind!r}")
+        if self.base & 3:
+            raise ValueError("region base must be word aligned")
+        if self.footprint < 1:
+            raise ValueError("footprint must be positive")
+
+
+class AccessModel:
+    """Samples addresses from a weighted mixture of regions.
+
+    Stateful: stream regions keep their walk position across batches so
+    sequential behaviour survives chunked generation.
+    """
+
+    def __init__(self, regions: list[Region]) -> None:
+        if not regions:
+            raise ValueError("need at least one region")
+        total = sum(r.weight for r in regions)
+        if total <= 0:
+            raise ValueError("region weights must sum to a positive value")
+        self.regions = regions
+        self._weights = np.array([r.weight / total for r in regions])
+        self._cursors = [0] * len(regions)
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw *count* byte addresses as a uint64 numpy array."""
+        which = rng.choice(len(self.regions), size=count, p=self._weights)
+        out = np.empty(count, dtype=np.uint64)
+        for index, region in enumerate(self.regions):
+            mask = which == index
+            number = int(mask.sum())
+            if not number:
+                continue
+            if region.kind == "zipf":
+                ranks = np.power(
+                    float(region.footprint), rng.random(number)
+                ).astype(np.int64) - 1
+                words = np.clip(ranks, 0, region.footprint - 1)
+            elif region.kind == "stream":
+                start = self._cursors[index]
+                steps = np.arange(1, number + 1, dtype=np.int64) * region.stride
+                words = (start + steps) % region.footprint
+                self._cursors[index] = int(words[-1])
+            else:  # chase
+                words = rng.integers(0, region.footprint, size=number, dtype=np.int64)
+            out[mask] = region.base + 4 * words.astype(np.uint64)
+        return out
+
+    @property
+    def total_footprint_words(self) -> int:
+        """Total distinct words addressable across regions."""
+        return sum(r.footprint for r in self.regions)

@@ -1,0 +1,946 @@
+"""The Table-1 bug suite: 18 programs with known bugs.
+
+Each entry reproduces one row of the paper's Table 1 as a runnable BN32
+program: the same bug *class* (what gets corrupted and how the crash
+manifests), a ``root_cause`` label on the instruction a bug-fix would
+change, and work sized so the dynamic distance from the last execution
+of the root cause to the crash lands near the paper's replay-window
+number.  Windows above one million instructions are scaled 1:100
+(``scale=100``) because the pure-Python interpreter cannot execute tens
+of millions of instructions in benchmark time; FLL size is linear in
+window length (Figure 4), so reported numbers are rescaled and marked.
+
+The suite covers every bug class in the paper: heap corruption through
+a misused bounds variable, global/stack buffer overflows from long
+input filenames, dangling pointers, null pointer and null function
+pointer dereferences, and arithmetic overflow feeding a wild access —
+plus the four multithreaded entries (gaim, napster, python, w3m).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.assembler import assemble
+from repro.arch.program import Program
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine, MachineResult
+
+_WORK_SETUP = 5          # li/la/li prologue of a work loop (upper bound)
+_WORK_PER_ITER = 7       # instructions per work-loop iteration
+
+
+def _work(tag: str, iters: int, buf: str = "workbuf") -> str:
+    """A checksum loop: ~7 instructions and one load per iteration."""
+    iters = max(iters, 1)
+    return f"""
+    li   t8, {iters}
+    la   t9, {buf}
+    li   t7, 0
+work_{tag}:
+    andi t6, t8, 0xFF
+    sll  t6, t6, 2
+    add  t6, t9, t6
+    lw   t5, 0(t6)
+    add  t7, t7, t5
+    addi t8, t8, -1
+    bnez t8, work_{tag}
+"""
+
+
+def _iters(window: int, overhead: int = 24) -> int:
+    """Work iterations so the post-root-cause distance ≈ *window*."""
+    return max((window - overhead - _WORK_SETUP) // _WORK_PER_ITER, 1)
+
+
+@dataclass(frozen=True)
+class BugProgram:
+    """One Table-1 row, reproduced."""
+
+    name: str
+    description: str
+    bug_location: str
+    paper_window: int
+    source: str
+    scale: int = 1
+    expect_fault: tuple[str, ...] = ("memory",)
+    threads: int = 1
+    entries: tuple[str, ...] = ("main",)
+    input_text: str | None = None
+    input_words: tuple[int, ...] = ()
+    dma_delay: int = 0
+    max_instructions: int = 4_000_000
+
+    @property
+    def multithreaded(self) -> bool:
+        """True for the paper's four multithreaded programs."""
+        return self.threads > 1
+
+    @property
+    def target_window(self) -> int:
+        """The (possibly scaled) window this reproduction aims for."""
+        return self.paper_window // self.scale
+
+    def program(self) -> Program:
+        """Assemble the source."""
+        return assemble(self.source, name=self.name)
+
+
+@dataclass
+class BugRunResult:
+    """Outcome of one recorded bug run."""
+
+    bug: BugProgram
+    result: MachineResult
+    machine: Machine
+    program: Program
+    window: int = 0
+    root_thread: int = -1
+
+    @property
+    def crashed(self) -> bool:
+        """Did the run fault as expected."""
+        return self.result.crashed
+
+    @property
+    def scaled_window(self) -> int:
+        """Window rescaled to paper units."""
+        return self.window * self.bug.scale
+
+
+def run_bug(
+    bug: BugProgram,
+    bugnet: BugNetConfig | None = None,
+    record: bool = True,
+    collect_traces: bool = False,
+) -> BugRunResult:
+    """Run one bug program to its crash and measure the replay window.
+
+    The window is the dynamic instruction distance from the *last*
+    execution of the ``root_cause`` instruction to the crash — measured
+    on the faulting thread when the root cause is local to it, and in
+    globally interleaved instructions when another thread planted it
+    (the multithreaded gaim/napster cases).
+    """
+    program = bug.program()
+    cores = bug.threads if bug.threads > 1 else 1
+    machine = Machine(
+        program,
+        MachineConfig(num_cores=cores),
+        bugnet or BugNetConfig(checkpoint_interval=100_000),
+        record=record,
+        collect_traces=collect_traces,
+        dma_delay=bug.dma_delay,
+    )
+    if bug.input_text is not None:
+        machine.input.push_string(bug.input_text)
+    if bug.input_words:
+        machine.input.push_words(list(bug.input_words))
+    root_pc = program.pc_of("root_cause")
+    machine.watch_pcs.add(root_pc)
+    for index in range(bug.threads):
+        entry = bug.entries[index] if index < len(bug.entries) else bug.entries[-1]
+        machine.spawn(entry=entry)
+    result = machine.run(max_instructions=bug.max_instructions)
+    run = BugRunResult(bug=bug, result=result, machine=machine, program=program)
+    if result.crashed:
+        fault_tid = result.crash.faulting_tid
+        hits = {
+            tid: stamp for (tid, pc), stamp in machine.pc_hits.items()
+            if pc == root_pc
+        }
+        if fault_tid in hits:
+            run.root_thread = fault_tid
+            thread_ic, _global = hits[fault_tid]
+            fault_ic = machine.kernel.thread(fault_tid).cpu.inst_count
+            run.window = fault_ic - thread_ic + 1
+        elif hits:
+            run.root_thread = next(iter(hits))
+            _thread_ic, global_hit = hits[run.root_thread]
+            run.window = result.global_steps - global_hit + 1
+    return run
+
+
+# --------------------------------------------------------------------------
+# The 18 programs.
+# --------------------------------------------------------------------------
+
+def _bc() -> BugProgram:
+    window = 591
+    source = f"""
+.data
+arr_count: .word 4
+workbuf:   .space 2048
+.text
+main:
+    li   a0, 320
+    li   v0, 6
+    syscall                     # allocate object storage
+    move s0, v0
+    li   t0, 0
+init_objs:                      # five objects: [data_ptr, value]
+    sll  t1, t0, 4
+    add  t1, s0, t1
+    addi t2, t1, 4
+    sw   t2, 0(t1)
+    sw   zero, 4(t1)
+    addi t0, t0, 1
+    blt  t0, 5, init_objs
+    lw   t3, arr_count          # v_count, misused as the copy bound
+    li   t0, 0
+grow:                           # storage.c:176 — copies with <=, one too far
+    sll  t1, t0, 4
+    add  t1, s0, t1
+root_cause:
+    sw   zero, 0(t1)            # t0 == 4 clobbers obj[4].data_ptr
+    addi t0, t0, 1
+    ble  t0, t3, grow
+{_work('bc', _iters(window, overhead=14))}
+    li   t4, 4                  # interpreter touches the corrupted object
+    sll  t1, t4, 4
+    add  t1, s0, t1
+    lw   t5, 0(t1)              # loads the null data_ptr
+    lw   t6, 0(t5)              # crash: null dereference
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="bc-1.06",
+        description="Misuse of bounds variable corrupts heap objects",
+        bug_location="storage.c line 176",
+        paper_window=window,
+        source=source,
+    )
+
+
+def _gzip_bug() -> BugProgram:
+    window = 32_209
+    source = f"""
+.data
+ifname:     .space 4096         # 1024-word global filename buffer
+window_ptr: .word 0             # the neighbour the overflow clobbers
+inbuf:      .space 8192
+workbuf:    .space 2048
+.text
+main:
+    li   a0, 4096
+    li   v0, 6
+    syscall
+    sw   v0, window_ptr         # valid compression window
+    la   a0, inbuf
+    li   a1, 2048
+    li   v0, 4
+    syscall                     # read the (too long) input filename
+    la   t0, inbuf
+    la   t1, ifname
+copy:                           # gzip.c:1009 — strcpy with no bound
+    lw   t2, 0(t0)
+root_cause:
+    sw   t2, 0(t1)              # word 1024 lands on window_ptr
+    addi t0, t0, 4
+    addi t1, t1, 4
+    bnez t2, copy
+{_work('gz', _iters(window, overhead=12))}
+    lw   t3, window_ptr         # deflate flushes through the window
+    lw   t4, 0(t3)              # crash: pointer is now a character
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="gzip-1.2.4",
+        description="1024 byte long input filename overflows global variable",
+        bug_location="gzip.c line 1009",
+        paper_window=window,
+        source=source,
+        input_text="A" * 1024 + "B",
+    )
+
+
+def _ncompress() -> BugProgram:
+    window = 17_966
+    source = f"""
+.data
+inbuf:   .space 8192
+workbuf: .space 2048
+.text
+main:
+    la   a0, inbuf
+    li   a1, 2048
+    li   v0, 4
+    syscall
+    jal  comprexx
+    li   v0, 1
+    syscall
+comprexx:                       # compress42.c:886
+    addi sp, sp, -4160          # tbuf[1024] + saved ra
+    sw   ra, 4156(sp)
+    la   t0, inbuf
+    move t1, sp
+ccopy:
+    lw   t2, 0(t0)
+root_cause:
+    sw   t2, 0(t1)              # word 1039 smashes the saved ra
+    addi t0, t0, 4
+    addi t1, t1, 4
+    bnez t2, ccopy
+{_work('nc', _iters(window, overhead=16))}
+    lw   ra, 4156(sp)
+    addi sp, sp, 4160
+    jr   ra                     # crash: return to 0x41 ('A')
+"""
+    return BugProgram(
+        name="ncompress-4.2.4",
+        description="1024 byte long input filename corrupts stack return address",
+        bug_location="compress42.c line 886",
+        paper_window=window,
+        source=source,
+        expect_fault=("instruction",),
+        input_text="A" * 1040,
+    )
+
+
+def _polymorph() -> BugProgram:
+    window = 6_208
+    source = f"""
+.data
+inbuf:   .space 16384
+workbuf: .space 2048
+.text
+main:
+    la   a0, inbuf
+    li   a1, 4096
+    li   v0, 4
+    syscall
+    jal  convert
+    li   v0, 1
+    syscall
+convert:                        # polymorph.c:193/200 — lowercasing copy
+    addi sp, sp, -8256          # 2048-word name buffer + saved ra
+    sw   ra, 8252(sp)
+    la   t0, inbuf
+    move t1, sp
+pcopy:
+    lw   t2, 0(t0)
+    ori  t2, t2, 0x20           # tolower for ASCII letters
+root_cause:
+    sw   t2, 0(t1)              # word 2063 smashes the saved ra
+    addi t0, t0, 4
+    addi t1, t1, 4
+    andi t3, t2, 0xDF
+    bnez t3, pcopy
+{_work('pm', _iters(window, overhead=18))}
+    lw   ra, 8252(sp)
+    addi sp, sp, 8256
+    jr   ra                     # crash: return to a lowercased character
+"""
+    return BugProgram(
+        name="polymorph-0.4.0",
+        description="2048 byte long input filename corrupts stack return address",
+        bug_location="polymorph.c lines 193, 200",
+        paper_window=window,
+        source=source,
+        expect_fault=("instruction",),
+        input_text="A" * 2064,
+    )
+
+
+def _tar() -> BugProgram:
+    window = 6_634
+    source = f"""
+.data
+nextblk: .word 0
+workbuf: .space 2048
+.text
+main:
+    li   a0, 256
+    li   v0, 6
+    syscall                     # block A: 64 words
+    move s0, v0
+    li   a0, 64
+    li   v0, 6
+    syscall                     # block B, adjacent (bump allocator)
+    move s1, v0
+    sw   s1, nextblk
+    sw   zero, 0(s1)            # B.next = NULL
+    li   t0, 0
+fill:                           # prepargs.c:92 — loop bound is <= not <
+    sll  t1, t0, 2
+    add  t1, s0, t1
+root_cause:
+    sw   t0, 0(t1)              # t0 == 64 writes into B.next
+    addi t0, t0, 1
+    ble  t0, 64, fill
+{_work('tar', _iters(window, overhead=14))}
+    lw   t2, nextblk            # walk the block list
+    lw   t3, 0(t2)              # B.next, corrupted to 64
+    beqz t3, tdone
+    lw   t4, 0(t3)              # crash: load from address 64
+tdone:
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="tar-1.13.25",
+        description="Incorrect loop bounds leads to heap object overflow",
+        bug_location="prepargs.c line 92",
+        paper_window=window,
+        source=source,
+    )
+
+
+def _ghostscript() -> BugProgram:
+    window = 18_030_519
+    scale = 100
+    source = f"""
+.data
+freelist: .word 0
+workbuf:  .space 2048
+.text
+main:
+    li   a0, 512
+    li   v0, 6
+    syscall                     # glyph buffer A
+    move s0, v0
+    sw   s0, freelist           # free(A): push on the free list
+    lw   s1, freelist           # alloc reuses A for the offsets table B
+    sw   zero, freelist
+    li   t0, 0
+ginit:                          # B[i] = small valid offsets
+    sll  t1, t0, 2
+    add  t1, s1, t1
+    sw   zero, 0(t1)
+    addi t0, t0, 1
+    blt  t0, 128, ginit
+    li   t0, 0x0BAD0000         # ttobjs.c:279 — stale pointer survives
+root_cause:
+    sw   t0, 64(s0)             # dangling write corrupts B[16]
+{_work('gs', _iters(window // scale, overhead=10))}
+    lw   t1, 64(s1)             # ttinterp.c:5108 consumes the offset
+    lw   t2, 0(t1)              # crash: wild pointer
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="ghostscript-8.12",
+        description="A dangling pointer results in a memory corruption",
+        bug_location="ttinterp.c line 5108, ttobjs.c line 279",
+        paper_window=window,
+        scale=scale,
+        source=source,
+    )
+
+
+def _gnuplot_1() -> BugProgram:
+    window = 782
+    source = f"""
+.data
+outstr:  .word 0
+workbuf: .space 2048
+.text
+main:
+    li   t0, 1                  # "set term pslatex" option parsing
+    sw   t0, workbuf
+root_cause:
+    sw   zero, outstr           # pslatex.trm:189 — forgets the file name
+{_work('gp1', _iters(window, overhead=8))}
+    lw   t1, outstr             # term driver opens the output file
+    lw   t2, 8(t1)              # crash: null dereference
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="gnuplot-3.7.1-1",
+        description="Null pointer dereference due to not setting a file name",
+        bug_location="pslatex.trm line 189",
+        paper_window=window,
+        source=source,
+    )
+
+
+def _gnuplot_2() -> BugProgram:
+    window = 131_751
+    source = f"""
+.data
+inbuf:   .space 4096
+workbuf: .space 2048
+.text
+main:
+    la   a0, inbuf
+    li   a1, 1024
+    li   v0, 4
+    syscall                     # read the plot command line
+    jal  do_plot
+    li   v0, 1
+    syscall
+do_plot:                        # plot.c:622
+    addi sp, sp, -2112          # 512-word token buffer + saved ra
+    sw   ra, 2108(sp)
+    la   t0, inbuf
+    move t1, sp
+gcopy:
+    lw   t2, 0(t0)
+root_cause:
+    sw   t2, 0(t1)              # word 527 smashes the saved ra
+    addi t0, t0, 4
+    addi t1, t1, 4
+    bnez t2, gcopy
+{_work('gp2', _iters(window, overhead=16))}
+    lw   ra, 2108(sp)
+    addi sp, sp, 2112
+    jr   ra                     # crash: return into plot data
+"""
+    return BugProgram(
+        name="gnuplot-3.7.1-2",
+        description="A buffer overflow corrupts the stack return address",
+        bug_location="plot.c line 622",
+        paper_window=window,
+        source=source,
+        expect_fault=("instruction",),
+        input_text="p" * 528,
+    )
+
+
+def _tidy_1() -> BugProgram:
+    window = 2_537_326
+    scale = 100
+    source = f"""
+.data
+istack_top: .word 0
+workbuf:    .space 2048
+.text
+main:
+    sw   zero, istack_top       # the inline stack is empty
+root_cause:
+    lw   s0, istack_top         # istack.c:31 — pop without a check
+{_work('td1', _iters(window // scale, overhead=6))}
+    lw   t0, 4(s0)              # crash: null dereference
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="tidy-34132-1",
+        description="Null pointer dereference",
+        bug_location="istack.c at line 31",
+        paper_window=window,
+        scale=scale,
+        source=source,
+    )
+
+
+def _tidy_2() -> BugProgram:
+    window = 13
+    source = """
+.data
+nodes:   .space 64              # table of node pointers
+workbuf: .space 2048
+.text
+main:
+    la   s0, nodes
+    li   t0, 0x10               # a "node" forged from attribute bytes
+root_cause:
+    sw   t0, 8(s0)              # parser.c:3505 — corrupts nodes[2]
+    li   t1, 2
+    sll  t1, t1, 2
+    add  t1, s0, t1
+    lw   t2, 0(t1)              # immediately consumed
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    nop
+    lw   t3, 0(t2)              # crash: address 0x10, page zero
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="tidy-34132-2",
+        description="Memory corruption",
+        bug_location="parser.c at line 3505",
+        paper_window=window,
+        source=source,
+    )
+
+
+def _tidy_3() -> BugProgram:
+    window = 59
+    source = """
+.data
+nodes:   .space 64
+workbuf: .space 2048
+.text
+main:
+    la   s0, nodes
+    li   t0, 0x20
+root_cause:
+    sw   t0, 12(s0)             # parser.c — clobbers nodes[3]
+    li   t4, 0
+    li   t5, 8
+tloop:                          # a short cleanup pass runs first
+    sll  t6, t4, 2
+    add  t6, s0, t6
+    lw   t7, 16(t6)
+    add  t7, t7, t4
+    sw   t7, 16(t6)
+    addi t4, t4, 1
+    blt  t4, t5, tloop
+    lw   t2, 12(s0)
+    lw   t3, 0(t2)              # crash: address 0x20
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="tidy-34132-3",
+        description="Memory corruption",
+        bug_location="parser.c",
+        paper_window=window,
+        source=source,
+    )
+
+
+def _xv_1() -> BugProgram:
+    window = 44_557
+    source = f"""
+.data
+workbuf: .space 2048
+.text
+main:
+    addi sp, sp, -512           # caller frames the overflow spills into
+    jal  load_bmp
+    li   v0, 1
+    syscall
+load_bmp:                       # xvbmp.c:168 — trusts the header width
+    addi sp, sp, -1056          # 256-word row buffer + saved ra
+    sw   ra, 1052(sp)
+    addi a0, sp, 1040           # header lands above the row buffer
+    li   a1, 2
+    li   v0, 4
+    syscall                     # read [width, height]
+    lw   s0, 1040(sp)           # width = 300, never bound-checked
+    move t1, sp
+    li   t0, 0
+brow:
+    addi a0, sp, 1048
+    li   a1, 1
+    li   v0, 4
+    syscall                     # next pixel word
+    lw   t2, 1048(sp)
+root_cause:
+    sw   t2, 0(t1)              # word 262 smashes the saved ra
+    addi t1, t1, 4
+    addi t0, t0, 1
+    blt  t0, s0, brow
+{_work('xv1', _iters(window, overhead=24))}
+    lw   ra, 1052(sp)
+    addi sp, sp, 1056
+    jr   ra                     # crash: return into pixel data
+"""
+    return BugProgram(
+        name="xv-3.10a-1",
+        description="Incorrect bound checking leads to stack buffer overflow",
+        bug_location="xvbmp.c line 168",
+        paper_window=window,
+        source=source,
+        expect_fault=("instruction",),
+        input_words=tuple([300, 1] + [0x0101 + i for i in range(300)]),
+    )
+
+
+def _xv_2() -> BugProgram:
+    window = 7_543_600
+    scale = 100
+    source = f"""
+.data
+inbuf:   .space 8192
+workbuf: .space 2048
+.text
+main:
+    la   a0, inbuf
+    li   a1, 2048
+    li   v0, 4
+    syscall
+    jal  browse
+    li   v0, 1
+    syscall
+browse:                         # xvbrowse.c:956 / xvdir.c:1200
+    addi sp, sp, -4160          # 1024-word name buffer + saved ra
+    sw   ra, 4156(sp)
+    la   t0, inbuf
+    move t1, sp
+xcopy:
+    lw   t2, 0(t0)
+root_cause:
+    sw   t2, 0(t1)              # word 1039 smashes the saved ra
+    addi t0, t0, 4
+    addi t1, t1, 4
+    bnez t2, xcopy
+{_work('xv2', _iters(window // scale, overhead=16))}
+    lw   ra, 4156(sp)
+    addi sp, sp, 4160
+    jr   ra                     # crash: return into the file name
+"""
+    return BugProgram(
+        name="xv-3.10a-2",
+        description="A long file name results in a buffer overflow",
+        bug_location="xvbrowse.c line 956, xvdir.c line 1200",
+        paper_window=window,
+        scale=scale,
+        source=source,
+        expect_fault=("instruction",),
+        input_text="N" * 1040,
+    )
+
+
+def _gaim() -> BugProgram:
+    window = 74_590
+    # Thread 1 removes the buddy roughly half-way through one of thread
+    # 0's repaint passes; thread 0 crashes at its next dereference.  With
+    # both threads running, global instructions accrue at ~2x the UI
+    # thread's rate, so the expected global distance is ~one UI pass.
+    # Windows here are inherently approximate — they depend on where in
+    # the pass the removal lands.
+    ui_iters = (window - 60) // _WORK_PER_ITER
+    source = f"""
+.data
+buddies: .word 0, 0, 0, 0
+workbuf: .space 2048
+.text
+main:                           # UI thread: repaint loop
+    la   s0, buddies
+    li   a0, 64
+    li   v0, 6
+    syscall
+    sw   v0, 0(s0)              # one live buddy
+ui_loop:
+{_work('ui', ui_iters)}
+    lw   t0, 0(s0)              # gtkdialogs.c — no liveness check
+    lw   t1, 0(t0)              # crash here once the slot is nulled
+    b    ui_loop
+
+worker:                         # removal thread
+    la   s0, buddies
+{_work('rm', _iters(window // 2, overhead=30))}
+root_cause:
+    sw   zero, 0(s0)            # remove the buddy, UI never told
+{_work('rm2', _iters(window * 2, overhead=30))}
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="gaim-0.82.1",
+        description="Buddy list remove operations causes null pointer dereference",
+        bug_location="gtkdialogs.c line 759, 820, 862, 901",
+        paper_window=window,
+        source=source,
+        threads=2,
+        entries=("main", "worker"),
+    )
+
+
+def _napster() -> BugProgram:
+    window = 189_391
+    source = f"""
+.data
+screen_ptr: .word 0
+freelist:   .word 0
+workbuf:    .space 2048
+.text
+main:                           # render thread holds a stale pointer
+    li   a0, 256
+    li   v0, 6
+    syscall
+    sw   v0, screen_ptr
+    move s1, v0                 # stale copy kept across the resize
+{_work('np0', _iters(window // 3, overhead=40))}
+    li   t0, 0x0BAD0000
+    sw   t0, 4(s1)              # write through the stale pointer
+    li   v0, 1
+    syscall
+
+resizer:                        # nap.c:1391 — terminal resize
+    la   s0, screen_ptr
+{_work('np1', _iters(window // 4, overhead=30))}
+    lw   t1, 0(s0)
+root_cause:
+    sw   t1, freelist           # free(screen) ... but renderers keep it
+    lw   t2, freelist           # realloc reuses the same block
+    sw   zero, freelist
+    sw   t2, 0(s0)
+{_work('np2', _iters(window, overhead=40))}
+    lw   t3, 0(s0)
+    lw   t4, 4(t3)              # metadata word, corrupted by the render
+    beqz t4, rdone
+    lw   t5, 0(t4)              # crash: wild pointer
+rdone:
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="napster-1.5.2",
+        description="Dangling pointer corrupts memory when resizing terminal",
+        bug_location="nap.c line 1391",
+        paper_window=window,
+        source=source,
+        threads=2,
+        entries=("main", "resizer"),
+    )
+
+
+def _python_1() -> BugProgram:
+    window = 92
+    source = """
+.data
+samples: .space 1024
+workbuf: .space 2048
+.text
+main:                           # audioop.c:939/966
+    la   s0, samples
+    li   s1, 0x00010000         # sample count from the caller
+    li   s2, 0x00010000         # frame size
+root_cause:
+    mul  t0, s1, s2             # overflows to 0: size check passes
+    nop
+    nop
+    nop
+    li   t4, 0
+    li   t5, 12
+acheck:                         # argument validation loop (~90 instr)
+    sll  t6, t4, 2
+    add  t6, s0, t6
+    lw   t7, 0(t6)
+    add  t7, t7, t4
+    sw   t7, 0(t6)
+    addi t4, t4, 1
+    blt  t4, t5, acheck
+    addi t1, t0, -4             # "last sample" index = -4
+    add  t2, s0, t1
+    lw   t3, 0(t2)              # crash: samples[-1], below the segment
+    li   v0, 1
+    syscall
+
+pyworker:
+    la   s0, workbuf
+    li   t0, 0
+pyw:
+    sll  t1, t0, 2
+    andi t1, t1, 0xFF
+    add  t1, s0, t1
+    lw   t2, 0(t1)
+    addi t0, t0, 1
+    blt  t0, 200, pyw
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="python-2.1.1-1",
+        description="Arithmetic computation results in buffer overflow",
+        bug_location="audioop.c line 939, line 966",
+        paper_window=window,
+        source=source,
+        threads=2,
+        entries=("main", "pyworker"),
+    )
+
+
+def _python_2() -> BugProgram:
+    window = 941
+    source = f"""
+.data
+sysdict: .word 0
+workbuf: .space 2048
+.text
+main:                           # sysmodule.c:76
+root_cause:
+    sw   zero, sysdict          # interpreter teardown clears sys.__dict__
+{_work('py2', _iters(window, overhead=8))}
+    lw   t0, sysdict
+    lw   t1, 4(t0)              # crash: null dereference
+    li   v0, 1
+    syscall
+
+pyworker2:
+    la   s0, workbuf
+    li   t0, 0
+pyw2:
+    sll  t1, t0, 2
+    andi t1, t1, 0xFF
+    add  t1, s0, t1
+    lw   t2, 0(t1)
+    addi t0, t0, 1
+    blt  t0, 400, pyw2
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="python-2.1.1-2",
+        description="A null pointer dereference leads to a crash",
+        bug_location="sysmodule.c line 76",
+        paper_window=window,
+        source=source,
+        threads=2,
+        entries=("main", "pyworker2"),
+    )
+
+
+def _w3m() -> BugProgram:
+    window = 79_309
+    source = f"""
+.data
+handlers: .word 0, 0, 0, 0      # stream handler table
+workbuf:  .space 2048
+.text
+main:                           # istream.c:445
+    la   s0, handlers
+    la   t0, good_handler
+    sw   t0, 0(s0)
+root_cause:
+    sw   zero, 4(s0)            # the obsolete SSL handler entry stays null
+{_work('w3m', _iters(window, overhead=16))}
+    lw   t1, 4(s0)              # dispatch on stream type 1
+    jalr t1                     # crash: call through a null pointer
+    li   v0, 1
+    syscall
+good_handler:
+    jr   ra
+
+networker:
+    la   s0, workbuf
+    li   t0, 0
+w3w:
+    sll  t1, t0, 2
+    andi t1, t1, 0xFF
+    add  t1, s0, t1
+    lw   t2, 0(t1)
+    addi t2, t2, 1
+    sw   t2, 0(t1)
+    addi t0, t0, 1
+    blt  t0, 3000, w3w
+    li   v0, 1
+    syscall
+"""
+    return BugProgram(
+        name="w3m-0.3.2.2",
+        description="Null (obsolete) function pointer dereference causes a crash",
+        bug_location="istream.c line 445",
+        paper_window=window,
+        source=source,
+        expect_fault=("instruction",),
+        threads=2,
+        entries=("main", "networker"),
+    )
+
+
+def _build_suite() -> list[BugProgram]:
+    return [
+        _bc(), _gzip_bug(), _ncompress(), _polymorph(), _tar(),
+        _ghostscript(), _gnuplot_1(), _gnuplot_2(),
+        _tidy_1(), _tidy_2(), _tidy_3(),
+        _xv_1(), _xv_2(),
+        _gaim(), _napster(), _python_1(), _python_2(), _w3m(),
+    ]
+
+
+BUG_SUITE: list[BugProgram] = _build_suite()
+BUGS_BY_NAME: dict[str, BugProgram] = {bug.name: bug for bug in BUG_SUITE}

@@ -1,0 +1,112 @@
+"""Random well-defined BN32 programs for property-based testing.
+
+The record→replay determinism property ("replaying the FLLs reproduces
+the committed-instruction stream bit for bit") should hold for *any*
+program, not just hand-written ones.  This generator emits random
+programs that are guaranteed to terminate and never fault:
+
+* all loads/stores are masked into a private data array,
+* loop iteration counts are fixed and bounded,
+* divides are avoided (the ALU pool is closed over defined behaviour),
+* every program ends in an exit syscall.
+
+Hypothesis drives this with a seed; the program shape (op mix, loop
+nesting, array traffic) varies enough to exercise interval boundaries,
+dictionary states and first-load bookkeeping.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.arch.assembler import assemble
+from repro.arch.program import Program
+
+_ALU3 = ["add", "sub", "mul", "and", "or", "xor", "nor", "slt", "sltu"]
+_ALUI = ["addi", "andi", "ori", "xori", "slti"]
+_SHIFTS = ["sll", "srl", "sra"]
+_TEMPS = [f"t{i}" for i in range(8)]
+
+ARRAY_WORDS = 64
+
+
+def _straight_ops(rng: random.Random, count: int, lines: list[str]) -> None:
+    for _ in range(count):
+        kind = rng.random()
+        if kind < 0.35:
+            op = rng.choice(_ALU3)
+            rd, rs, rt = (rng.choice(_TEMPS) for _ in range(3))
+            lines.append(f"    {op} {rd}, {rs}, {rt}")
+        elif kind < 0.50:
+            op = rng.choice(_ALUI)
+            rd, rs = rng.choice(_TEMPS), rng.choice(_TEMPS)
+            if op in ("andi", "ori", "xori"):
+                imm = rng.randrange(0, 0x10000)
+            else:
+                imm = rng.randrange(-0x800, 0x800)
+            lines.append(f"    {op} {rd}, {rs}, {imm}")
+        elif kind < 0.60:
+            op = rng.choice(_SHIFTS)
+            rd, rs = rng.choice(_TEMPS), rng.choice(_TEMPS)
+            lines.append(f"    {op} {rd}, {rs}, {rng.randrange(0, 32)}")
+        elif kind < 0.80:
+            # Masked load: addr = base + (reg & (ARRAY-1)) * 4
+            rd, rs = rng.choice(_TEMPS), rng.choice(_TEMPS)
+            lines.append(f"    andi at, {rs}, {ARRAY_WORDS - 1}")
+            lines.append("    sll  at, at, 2")
+            lines.append("    add  at, s7, at")
+            lines.append(f"    lw   {rd}, 0(at)")
+        else:
+            # Masked store.
+            rs, rt = rng.choice(_TEMPS), rng.choice(_TEMPS)
+            lines.append(f"    andi at, {rs}, {ARRAY_WORDS - 1}")
+            lines.append("    sll  at, at, 2")
+            lines.append("    add  at, s7, at")
+            lines.append(f"    sw   {rt}, 0(at)")
+
+
+def random_source(seed: int, blocks: int | None = None) -> str:
+    """Generate random BN32 source for *seed*."""
+    rng = random.Random(seed)
+    if blocks is None:
+        blocks = rng.randrange(2, 8)
+    lines = [".data", "array: .space %d" % (ARRAY_WORDS * 4)]
+    # Seed the array with deterministic junk so first loads see variety.
+    init_words = ", ".join(
+        str(rng.randrange(0, 2**32)) for _ in range(8)
+    )
+    lines.append(f"inits: .word {init_words}")
+    lines += [".text", "main:", "    la   s7, array"]
+    for reg in _TEMPS:
+        lines.append(f"    li   {reg}, {rng.randrange(0, 2**31)}")
+    label = 0
+    for _ in range(blocks):
+        if rng.random() < 0.5:
+            _straight_ops(rng, rng.randrange(2, 8), lines)
+        else:
+            counter = rng.choice(["s0", "s1", "s2", "s3"])
+            iters = rng.randrange(1, 16)
+            label += 1
+            lines.append(f"    li   {counter}, {iters}")
+            lines.append(f"L{label}:")
+            _straight_ops(rng, rng.randrange(1, 5), lines)
+            lines.append(f"    addi {counter}, {counter}, -1")
+            lines.append(f"    bnez {counter}, L{label}")
+        if rng.random() < 0.2:
+            # A forward conditional skip over a couple of ops.
+            label += 1
+            a, b = rng.choice(_TEMPS), rng.choice(_TEMPS)
+            lines.append(f"    bge  {a}, {b}, S{label}")
+            _straight_ops(rng, rng.randrange(1, 3), lines)
+            lines.append(f"S{label}:")
+        if rng.random() < 0.15:
+            lines.append(f"    move a0, {rng.choice(_TEMPS)}")
+            lines.append("    li   v0, 2")
+            lines.append("    syscall")
+    lines += ["    li   v0, 1", "    syscall"]
+    return "\n".join(lines)
+
+
+def random_program(seed: int, blocks: int | None = None) -> Program:
+    """Assemble a random program for *seed*."""
+    return assemble(random_source(seed, blocks), name=f"rand-{seed}")

@@ -1,0 +1,170 @@
+"""The seven SPEC 2000 personalities used by the paper's Figures 3-6.
+
+Each personality is a seeded synthetic generator calibrated to the
+benchmark's qualitative behaviour: memory-operation density, reference
+regions (working set structure) and load-value locality.  We cannot run
+the real binaries offline, but the figures only depend on the statistics
+of the load stream — first-load rate as a function of interval length,
+and dictionary hit rate as a function of table size — which these
+models reproduce (see DESIGN.md for the substitution argument).
+
+Region/mixture intuition per benchmark:
+
+* ``art``    — image/neural-net arrays swept in loops: small hot
+  footprint, highly repetitive values (the paper's best compressor).
+* ``bzip2``  — block-sorting compressor: streaming input window plus
+  large work arrays, byte-ish values.
+* ``crafty`` — chess search: huge hash tables with long cold tails,
+  high-entropy packed positions (worst-case for the dictionary).
+* ``gzip``   — LZ77 window streaming, skewed literal values.
+* ``mcf``    — network simplex pointer chasing over a big graph: high
+  first-load rate, many pointer/zero values.
+* ``parser`` — dictionary lookups and linked lists: chasing with a
+  moderate frequent-value pool.
+* ``vpr``    — place-and-route: geometry arrays plus net lists, mixed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.workloads.access import AccessModel, Region
+from repro.workloads.values import ValueModel
+
+DATA = 0x1000_0000
+HEAP = 0x2000_0000
+STACK = 0x7FF0_0000
+
+
+@dataclass(frozen=True)
+class SpecPersonality:
+    """One synthetic SPEC-like workload."""
+
+    name: str
+    load_ratio: float        # loads per instruction
+    store_ratio: float       # stores per instruction
+    regions: tuple[Region, ...]
+    values: ValueModel
+    base_seed: int = 2005
+
+    @property
+    def mem_ratio(self) -> float:
+        """Memory operations per instruction."""
+        return self.load_ratio + self.store_ratio
+
+    def events(
+        self,
+        instructions: int,
+        seed: int | None = None,
+        chunk: int = 1 << 16,
+    ) -> Iterator[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        """Yield (gaps, is_store, addrs, values) chunks.
+
+        ``gaps[i]`` is the number of instructions event *i* accounts for
+        (the memory operation itself plus preceding non-memory work);
+        chunks keep coming until the cumulative gap sum covers
+        *instructions*.
+        """
+        rng = np.random.default_rng(
+            self.base_seed if seed is None else seed
+        )
+        access = AccessModel(list(self.regions))
+        pool = self.values.pool(rng)  # fixed frequent-value set per run
+        store_fraction = self.store_ratio / self.mem_ratio
+        produced = 0
+        while produced < instructions:
+            gaps = rng.geometric(self.mem_ratio, size=chunk).astype(np.int64)
+            is_store = rng.random(chunk) < store_fraction
+            addrs = access.sample(rng, chunk)
+            values = self.values.sample(rng, chunk, pool=pool)
+            produced += int(gaps.sum())
+            yield gaps, is_store, addrs, values
+
+
+def _personalities() -> dict[str, SpecPersonality]:
+    workloads = [
+        SpecPersonality(
+            name="art",
+            load_ratio=0.30, store_ratio=0.08,
+            regions=(
+                Region("zipf", DATA, 6_000, 0.72),
+                Region("stream", HEAP, 4_000, 0.18, stride=1),
+                Region("zipf", STACK, 512, 0.10),
+            ),
+            values=ValueModel(frequent_weight=0.73, small_int_weight=0.10,
+                              pointer_weight=0.01, pool_size=28),
+        ),
+        SpecPersonality(
+            name="bzip2",
+            load_ratio=0.26, store_ratio=0.11,
+            regions=(
+                Region("stream", HEAP, 12_000, 0.45, stride=1),
+                Region("zipf", HEAP + 0x0100_0000, 8_000, 0.40),
+                Region("zipf", STACK, 1_024, 0.15),
+            ),
+            values=ValueModel(frequent_weight=0.33, small_int_weight=0.24,
+                              pointer_weight=0.04, pool_size=36),
+        ),
+        SpecPersonality(
+            name="crafty",
+            load_ratio=0.28, store_ratio=0.09,
+            regions=(
+                Region("chase", HEAP, 20_000, 0.40),
+                Region("zipf", DATA, 12_000, 0.45),
+                Region("zipf", STACK, 2_048, 0.15),
+            ),
+            values=ValueModel(frequent_weight=0.22, small_int_weight=0.12,
+                              pointer_weight=0.08, pool_size=48),
+        ),
+        SpecPersonality(
+            name="gzip",
+            load_ratio=0.24, store_ratio=0.10,
+            regions=(
+                Region("stream", HEAP, 8_000, 0.50, stride=1),
+                Region("zipf", DATA, 6_000, 0.35),
+                Region("zipf", STACK, 512, 0.15),
+            ),
+            values=ValueModel(frequent_weight=0.51, small_int_weight=0.22,
+                              pointer_weight=0.01, pool_size=28),
+        ),
+        SpecPersonality(
+            name="mcf",
+            load_ratio=0.32, store_ratio=0.08,
+            regions=(
+                Region("chase", HEAP, 40_000, 0.55),
+                Region("zipf", HEAP + 0x0200_0000, 12_000, 0.35),
+                Region("zipf", STACK, 512, 0.10),
+            ),
+            values=ValueModel(frequent_weight=0.52, small_int_weight=0.06,
+                              pointer_weight=0.12, pool_size=24),
+        ),
+        SpecPersonality(
+            name="parser",
+            load_ratio=0.27, store_ratio=0.10,
+            regions=(
+                Region("chase", HEAP, 16_000, 0.35),
+                Region("zipf", DATA, 10_000, 0.45),
+                Region("zipf", STACK, 1_024, 0.20),
+            ),
+            values=ValueModel(frequent_weight=0.40, small_int_weight=0.16,
+                              pointer_weight=0.07, pool_size=32),
+        ),
+        SpecPersonality(
+            name="vpr",
+            load_ratio=0.29, store_ratio=0.09,
+            regions=(
+                Region("zipf", HEAP, 28_000, 0.50),
+                Region("stream", HEAP + 0x0100_0000, 10_000, 0.25, stride=2),
+                Region("zipf", STACK, 1_024, 0.25),
+            ),
+            values=ValueModel(frequent_weight=0.32, small_int_weight=0.16,
+                              pointer_weight=0.07, pool_size=40),
+        ),
+    ]
+    return {w.name: w for w in workloads}
+
+
+SPEC_WORKLOADS: dict[str, SpecPersonality] = _personalities()

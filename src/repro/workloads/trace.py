@@ -1,0 +1,221 @@
+"""Trace-driven recording engine for the figure sweeps.
+
+Drives the *real* BugNet recorder — the same
+:class:`~repro.cache.hierarchy.FirstLoadHierarchy`,
+:class:`~repro.tracing.dictionary.DictionaryCompressor` and
+:class:`~repro.tracing.fll.FLLWriter` the full-system machine uses —
+from a synthetic event stream, so the log sizes it measures are the
+sizes the hardware would produce, at a rate fast enough for
+multi-million-instruction sweeps (Figures 3-6).
+
+The engine can carry *satellite dictionaries* of other sizes in the same
+pass, which is how Figure 5 (hit rate vs. size) and Figure 6
+(compression ratio vs. size) are produced without rerunning the trace
+per configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.hierarchy import FirstLoadHierarchy
+from repro.common.config import BugNetConfig, CacheConfig, DictionaryConfig, MachineConfig
+from repro.tracing.backing import LogStore
+from repro.tracing.dictionary import DictionaryCompressor
+from repro.tracing.recorder import BugNetRecorder
+
+_ZERO_REGS = tuple([0] * 32)
+
+
+@dataclass
+class DictStats:
+    """Satellite-dictionary accounting for one table size."""
+
+    size: int
+    hits: int = 0
+    lookups: int = 0
+    compressed_bits: int = 0  # value-field bits this size would have written
+
+    @property
+    def hit_rate(self) -> float:
+        """Figure 5's metric."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class TraceStats:
+    """Everything one engine run measured."""
+
+    name: str
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    logged_loads: int = 0
+    intervals: int = 0
+    fll_bytes: int = 0
+    fll_payload_bits: int = 0
+    fll_raw_payload_bits: int = 0
+    fll_shared_bits: int = 0  # actual LC-Type/L-Count/LV-Type bits (all sizes)
+    memory_fills: int = 0
+    writebacks: int = 0
+    dict_stats: dict[int, DictStats] = field(default_factory=dict)
+
+    @property
+    def first_load_rate(self) -> float:
+        """Fraction of loads that were logged."""
+        return self.logged_loads / self.loads if self.loads else 0.0
+
+    @property
+    def compression_ratio(self) -> float:
+        """Raw/compressed payload — Figure 6's metric for the main table."""
+        if not self.fll_payload_bits:
+            return 1.0
+        return self.fll_raw_payload_bits / self.fll_payload_bits
+
+    def compression_ratio_for(self, size: int, config: BugNetConfig) -> float:
+        """Figure 6's metric for a satellite dictionary size.
+
+        Rebuilds the total record size from the shared non-value bits
+        (identical across sizes) plus that size's value-field bits.
+        """
+        stats = self.dict_stats[size]
+        compressed = self.fll_shared_bits + stats.compressed_bits
+        if not compressed:
+            return 1.0
+        return self.fll_raw_payload_bits / compressed
+
+
+class TraceEngine:
+    """Runs synthetic event chunks through a real recorder."""
+
+    def __init__(
+        self,
+        name: str,
+        bugnet: BugNetConfig,
+        l1: CacheConfig | None = None,
+        l2: CacheConfig | None = None,
+        satellite_sizes: tuple[int, ...] = (),
+    ) -> None:
+        machine_defaults = MachineConfig()
+        self.name = name
+        self.bugnet = bugnet
+        self.hierarchy = FirstLoadHierarchy(
+            l1 or machine_defaults.l1, l2 or machine_defaults.l2
+        )
+        self.store = LogStore(bugnet)
+        self.recorder = BugNetRecorder(bugnet, self.hierarchy, self.store)
+        self.satellites = [
+            (DictionaryCompressor(DictionaryConfig(entries=size)), DictStats(size))
+            for size in satellite_sizes
+        ]
+        self._sat_index_bits = {
+            size: DictionaryConfig(entries=size).index_bits
+            for size in satellite_sizes
+        }
+
+    def _begin_interval(self) -> None:
+        """Open an interval: satellites reset with the main dictionary."""
+        self.recorder.begin_interval(0, _ZERO_REGS)
+        for dictionary, _ in self.satellites:
+            dictionary.reset()
+
+    def run(self, chunks, max_instructions: int) -> TraceStats:
+        """Consume event chunks until *max_instructions* are accounted."""
+        recorder = self.recorder
+        hierarchy = self.hierarchy
+        satellites = self.satellites
+        reduced_limit = 1 << self.bugnet.reduced_lcount_bits
+        reduced_bits = self.bugnet.reduced_lcount_bits
+        full_bits = self.bugnet.full_lcount_bits
+        stats = TraceStats(name=self.name)
+        budget = max_instructions
+
+        self._begin_interval()
+        done = False
+        for gaps, is_store, addrs, values in chunks:
+            for gap, store_flag, addr, value in zip(
+                gaps.tolist(), is_store.tolist(), addrs.tolist(), values.tolist()
+            ):
+                gap = min(gap, budget)
+                # gap counts this memory instruction plus the non-memory
+                # instructions before it; commit the preamble first.
+                preamble = gap - 1
+                while preamble:
+                    if not recorder.active:
+                        self._begin_interval()
+                    preamble = recorder.note_commits(preamble)
+                if not recorder.active:
+                    self._begin_interval()
+                if store_flag:
+                    hierarchy.access(addr, is_store=True)
+                    stats.stores += 1
+                else:
+                    first = hierarchy.access(addr, is_store=False)
+                    if first:
+                        skipped = recorder._skipped
+                        stats.fll_shared_bits += 2 + (
+                            reduced_bits if skipped < reduced_limit else full_bits
+                        )
+                        stats.logged_loads += 1
+                    if satellites:
+                        self._satellite_load(value, first)
+                    recorder.note_load(value, first)
+                    stats.loads += 1
+                if gap:
+                    leftover = recorder.note_commits(1)
+                    if leftover:  # pragma: no cover - note_commits(1) never splits
+                        self._begin_interval()
+                        recorder.note_commits(leftover)
+                budget -= gap
+                if budget <= 0:
+                    done = True
+                    break
+            if done:
+                break
+        if recorder.active:
+            recorder.end_interval("shutdown")
+        return self._finalize(stats, max_instructions - max(budget, 0))
+
+    def _satellite_load(self, value: int, first: bool) -> None:
+        for dictionary, stat in self.satellites:
+            stat.lookups += 1
+            index = dictionary.lookup(value)
+            if index is not None:
+                stat.hits += 1
+            if first:
+                stat.compressed_bits += (
+                    self._sat_index_bits[stat.size] if index is not None else 32
+                )
+            dictionary.update(value)
+
+    def _finalize(self, stats: TraceStats, instructions: int) -> TraceStats:
+        stats.instructions = instructions
+        checkpoints = self.store.checkpoints(0)
+        stats.intervals = len(checkpoints)
+        stats.fll_bytes = self.store.fll_bytes(0)
+        stats.fll_payload_bits = sum(cp.fll.payload_bits for cp in checkpoints)
+        stats.fll_raw_payload_bits = sum(
+            cp.fll.raw_payload_bits for cp in checkpoints
+        )
+        stats.memory_fills = self.hierarchy.memory_fills
+        stats.writebacks = self.hierarchy.writebacks
+        stats.dict_stats = {stat.size: stat for _, stat in self.satellites}
+        return stats
+
+
+def record_personality(
+    personality,
+    instructions: int,
+    checkpoint_interval: int,
+    seed: int | None = None,
+    satellite_sizes: tuple[int, ...] = (),
+    l1: CacheConfig | None = None,
+    l2: CacheConfig | None = None,
+) -> TraceStats:
+    """One-call driver: record a personality for a given window/interval."""
+    bugnet = BugNetConfig(checkpoint_interval=checkpoint_interval)
+    engine = TraceEngine(
+        personality.name, bugnet, l1=l1, l2=l2, satellite_sizes=satellite_sizes
+    )
+    chunks = personality.events(instructions, seed=seed)
+    return engine.run(chunks, instructions)

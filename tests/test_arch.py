@@ -1,0 +1,196 @@
+"""Unit tests for the BN32 substrate: registers, memory, program, loader."""
+
+import pytest
+
+from repro.arch.isa import CODE_BASE, DATA_BASE, HEAP_BASE, index_to_pc, pc_to_index
+from repro.arch.loader import load_program, stack_top_for_thread
+from repro.arch.memory import PAGE_SIZE, Memory
+from repro.arch.program import Program
+from repro.arch.registers import NUM_REGS, RegisterFile, reg_name, reg_num
+from repro.arch.assembler import assemble
+from repro.common.errors import AlignmentFault, MemoryFault
+
+
+class TestRegisters:
+    def test_aliases(self):
+        assert reg_num("zero") == 0
+        assert reg_num("sp") == 29
+        assert reg_num("ra") == 31
+        assert reg_num("t0") == 8
+        assert reg_num("s0") == 16
+
+    def test_dollar_prefix_and_case(self):
+        assert reg_num("$SP") == 29
+
+    def test_numeric_names(self):
+        assert reg_num("r5") == 5
+
+    def test_unknown_register(self):
+        with pytest.raises(KeyError):
+            reg_num("x99")
+
+    def test_reg_name_roundtrip(self):
+        for num in range(NUM_REGS):
+            assert reg_num(reg_name(num)) == num
+
+    def test_r0_hardwired_zero(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_writes_masked_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(1, 1 << 35 | 7)
+        assert regs.read(1) == 7
+
+    def test_snapshot_restore(self):
+        regs = RegisterFile()
+        regs["t0"] = 42
+        snap = regs.snapshot()
+        regs["t0"] = 0
+        regs.restore(snap)
+        assert regs["t0"] == 42
+
+    def test_snapshot_is_immutable_copy(self):
+        regs = RegisterFile()
+        snap = regs.snapshot()
+        regs["t1"] = 9
+        assert snap[reg_num("t1")] == 0
+
+    def test_restore_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile().restore((0,) * 31)
+
+    def test_restore_forces_r0_zero(self):
+        regs = RegisterFile()
+        regs.restore(tuple([7] * NUM_REGS))
+        assert regs.read(0) == 0
+
+
+class TestMemory:
+    def test_unmapped_load_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().load(0x1000)
+
+    def test_unmapped_store_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().store(0x1000, 1)
+
+    def test_mapped_roundtrip(self):
+        mem = Memory()
+        mem.map_page(0x1000)
+        mem.store(0x1000, 0xCAFEBABE)
+        assert mem.load(0x1000) == 0xCAFEBABE
+
+    def test_unaligned_access_faults(self):
+        mem = Memory()
+        mem.map_page(0x1000)
+        with pytest.raises(AlignmentFault):
+            mem.load(0x1002)
+
+    def test_null_page_faults(self):
+        with pytest.raises(MemoryFault):
+            Memory().load(0)
+
+    def test_map_range_covers_boundary(self):
+        mem = Memory()
+        mem.map_range(PAGE_SIZE - 4, 8)  # straddles two pages
+        mem.store(PAGE_SIZE - 4, 1)
+        mem.store(PAGE_SIZE, 2)
+
+    def test_unmap_page(self):
+        mem = Memory()
+        mem.map_page(0x1000)
+        mem.unmap_page(0x1000)
+        with pytest.raises(MemoryFault):
+            mem.load(0x1000)
+
+    def test_poke_peek_skip_checks(self):
+        mem = Memory()
+        mem.poke(0x5000, 7)
+        assert mem.peek(0x5000) == 7
+
+    def test_fault_checks_disable(self):
+        mem = Memory(fault_checks=False)
+        mem.store(0x9999998, 3)  # no mapping, aligned address
+        assert mem.load(0x9999998) == 3
+
+    def test_footprint_counts_pages(self):
+        mem = Memory()
+        mem.map_range(0x1000, 3 * PAGE_SIZE)
+        assert mem.footprint_bytes == 3 * PAGE_SIZE
+
+    def test_values_masked(self):
+        mem = Memory()
+        mem.poke(0x100, -1)
+        assert mem.peek(0x100) == 0xFFFFFFFF
+
+    def test_load_block(self):
+        mem = Memory()
+        for index in range(4):
+            mem.poke(0x100 + 4 * index, index + 1)
+        assert mem.load_block(0x100, 4) == [1, 2, 3, 4]
+
+
+class TestProgramAndLoader:
+    SOURCE = """
+.data
+value: .word 99
+.text
+entry:
+    nop
+main:
+    nop
+    nop
+"""
+
+    def test_entry_pc_is_main(self):
+        program = assemble(self.SOURCE)
+        assert program.entry_pc == program.pc_of("main")
+        assert program.entry_pc == CODE_BASE + 4
+
+    def test_entry_defaults_to_code_base_without_main(self):
+        program = assemble("start: nop")
+        assert program.entry_pc == CODE_BASE
+
+    def test_source_line_mapping(self):
+        program = assemble(self.SOURCE)
+        line = program.source_line_of(program.pc_of("main"))
+        assert line == 8  # the first nop under main: (leading blank line)
+
+    def test_fetch_out_of_range_is_none(self):
+        program = assemble("main: nop")
+        assert program.fetch(CODE_BASE + 400) is None
+        assert program.fetch(CODE_BASE - 4) is None
+        assert program.fetch(CODE_BASE + 1) is None
+
+    def test_pc_index_roundtrip(self):
+        assert pc_to_index(index_to_pc(17)) == 17
+
+    def test_loader_maps_data(self):
+        program = assemble(self.SOURCE)
+        mem = Memory()
+        load_program(program, mem)
+        assert mem.load(DATA_BASE) == 99
+
+    def test_loader_maps_heap(self):
+        program = assemble(self.SOURCE)
+        mem = Memory()
+        load_program(program, mem, heap_bytes=PAGE_SIZE)
+        mem.store(HEAP_BASE, 5)
+
+    def test_loader_returns_usable_sp(self):
+        program = assemble(self.SOURCE)
+        mem = Memory()
+        sp = load_program(program, mem)
+        mem.store(sp, 1)
+        mem.store(sp - 1024, 1)
+
+    def test_thread_stacks_disjoint(self):
+        top0 = stack_top_for_thread(0)
+        top1 = stack_top_for_thread(1)
+        assert top0 - top1 > 64 * 1024  # stack + guard page apart
+
+    def test_data_size(self):
+        program = assemble(self.SOURCE)
+        assert program.data_size == 4

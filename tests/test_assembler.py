@@ -1,0 +1,209 @@
+"""Unit tests for the BN32 assembler."""
+
+import pytest
+
+from repro.arch.assembler import assemble
+from repro.arch.isa import CODE_BASE, DATA_BASE
+from repro.common.errors import AssemblerError
+
+
+def ops_of(source):
+    return [ins.op for ins in assemble(source).instructions]
+
+
+class TestDirectives:
+    def test_word_values(self):
+        program = assemble(".data\nvals: .word 1, 2, -1\n.text\nmain: nop")
+        assert program.data_words[DATA_BASE] == 1
+        assert program.data_words[DATA_BASE + 4] == 2
+        assert program.data_words[DATA_BASE + 8] == 0xFFFFFFFF
+
+    def test_word_with_label_reference(self):
+        program = assemble(
+            ".data\nptr: .word target\ntarget: .word 7\n.text\nmain: nop"
+        )
+        assert program.data_words[DATA_BASE] == DATA_BASE + 4
+
+    def test_space_reserves_word_aligned(self):
+        program = assemble(".data\nbuf: .space 10\nnxt: .word 1\n.text\nmain: nop")
+        assert program.symbols["nxt"] == DATA_BASE + 12
+
+    def test_asciiz_one_char_per_word(self):
+        program = assemble('.data\ns: .asciiz "ab"\n.text\nmain: nop')
+        assert program.data_words[DATA_BASE] == ord("a")
+        assert program.data_words[DATA_BASE + 4] == ord("b")
+        assert program.data_words[DATA_BASE + 8] == 0
+
+    def test_asciiz_escapes(self):
+        program = assemble('.data\ns: .asciiz "a\\nb"\n.text\nmain: nop')
+        assert program.data_words[DATA_BASE + 4] == ord("\n")
+
+    def test_equ_constant(self):
+        program = assemble(".equ LIMIT, 7\nmain: li t0, LIMIT")
+        assert program.instructions[0].imm == 7
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".bogus 3\nmain: nop")
+
+    def test_instruction_in_data_segment_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".data\nadd t0, t0, t0")
+
+
+class TestPseudoInstructions:
+    def test_li_small_is_addi(self):
+        assert ops_of("main: li t0, 5") == ["addi"]
+
+    def test_li_negative_small_is_addi(self):
+        program = assemble("main: li t0, -3")
+        assert program.instructions[0].op == "addi"
+        assert program.instructions[0].imm == -3
+
+    def test_li_high_halfword_is_lui(self):
+        assert ops_of("main: li t0, 0x10000") == ["lui"]
+
+    def test_li_large_is_lui_ori(self):
+        assert ops_of("main: li t0, 0x12345678") == ["lui", "ori"]
+
+    def test_la_is_always_two_instructions(self):
+        assert ops_of(".data\nx: .word 0\n.text\nmain: la t0, x") == ["lui", "ori"]
+
+    def test_move_is_or(self):
+        assert ops_of("main: move t0, t1") == ["or"]
+
+    def test_b_is_unconditional_beq(self):
+        program = assemble("main: b main")
+        ins = program.instructions[0]
+        assert (ins.op, ins.rs, ins.rt) == ("beq", 0, 0)
+
+    def test_beqz_bnez(self):
+        assert ops_of("main: beqz t0, main\n bnez t1, main") == ["beq", "bne"]
+
+    def test_bgt_swaps_operands(self):
+        program = assemble("main: bgt t0, t1, main")
+        ins = program.instructions[0]
+        assert ins.op == "blt"
+        assert ins.rs == 9 and ins.rt == 8  # t1, t0 swapped
+
+    def test_branch_immediate_rhs_materializes(self):
+        ops = ops_of("main: blt t0, 4, main")
+        assert ops == ["addi", "blt"]
+
+    def test_branch_large_immediate_rhs(self):
+        ops = ops_of("main: blt t0, 0x99999, main")
+        assert ops == ["lui", "ori", "blt"]
+
+    def test_ret_is_jr_ra(self):
+        program = assemble("main: ret")
+        assert program.instructions[0].op == "jr"
+        assert program.instructions[0].rs == 31
+
+    def test_call_is_jal(self):
+        program = assemble("main: call main")
+        assert program.instructions[0].op == "jal"
+
+    def test_lw_label_expansion(self):
+        ops = ops_of(".data\nx: .word 1\n.text\nmain: lw t0, x")
+        assert ops == ["lui", "ori", "lw"]
+
+    def test_not_is_nor(self):
+        assert ops_of("main: not t0, t1") == ["nor"]
+
+    def test_subi(self):
+        program = assemble("main: subi t0, t1, 5")
+        assert program.instructions[0].op == "addi"
+        assert program.instructions[0].imm == -5
+
+
+class TestOperandsAndLayout:
+    def test_memory_offset_forms(self):
+        program = assemble("main: lw t0, 8(sp)\n sw t1, -4(fp)")
+        assert program.instructions[0].imm == 8
+        assert program.instructions[1].imm == -4
+
+    def test_empty_offset_defaults_zero(self):
+        program = assemble("main: lw t0, (sp)")
+        assert program.instructions[0].imm == 0
+
+    def test_branch_targets_are_absolute(self):
+        program = assemble("main: nop\nloop: beq t0, t1, loop")
+        assert program.instructions[1].imm == CODE_BASE + 4
+
+    def test_label_plus_offset(self):
+        program = assemble(".data\narr: .word 1,2,3\n.text\nmain: la t0, arr+8")
+        value = (program.instructions[0].imm << 16) | program.instructions[1].imm
+        assert value == DATA_BASE + 8
+
+    def test_forward_reference(self):
+        program = assemble("main: j end\n nop\nend: nop")
+        assert program.instructions[0].imm == CODE_BASE + 8
+
+    def test_multiple_labels_same_address(self):
+        program = assemble("a:\nb: nop")
+        assert program.symbols["a"] == program.symbols["b"]
+
+    def test_label_and_instruction_same_line(self):
+        program = assemble("main: nop")
+        assert program.symbols["main"] == CODE_BASE
+
+    def test_char_literal(self):
+        program = assemble("main: li t0, 'A'")
+        assert program.instructions[0].imm == 65
+
+    def test_comments_stripped(self):
+        assert ops_of("main: nop # a comment\n# whole line") == ["nop"]
+
+    def test_pass1_pass2_sizes_agree(self):
+        # A program mixing every variable-size expansion; labels after
+        # them must resolve to the right addresses.
+        source = """
+.data
+x: .word 1
+.text
+main:
+    li   t0, 0x12345678
+    la   t1, x
+    lw   t2, x
+    blt  t0, 100000, target
+    li   t3, x
+target:
+    nop
+"""
+        program = assemble(source)
+        index = (program.pc_of("target") - CODE_BASE) // 4
+        assert program.instructions[index].op == "nop"
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: frobnicate t0")
+
+    def test_unknown_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: add q0, t0, t1")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: j nowhere")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: add t0, t1")
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: addi t0, t1, 40000")
+
+    def test_shift_amount_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: sll t0, t1, 32")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble("main: nop\n bogus t0")
+
+    def test_andi_negative_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("main: andi t0, t1, -1")

@@ -1,0 +1,137 @@
+"""Unit tests for the log store (memory backing) and the bus model."""
+
+from repro.common.config import BugNetConfig
+from repro.tracing.backing import BusModel, LogStore
+from repro.tracing.fll import FLLHeader, FLLWriter
+from repro.tracing.mrl import MRLHeader, MRLWriter
+
+REGS = tuple(range(32))
+
+
+def checkpoint(config, cid, timestamp, records=0, end_ic=100):
+    fll_writer = FLLWriter(config, FLLHeader(
+        pid=1, tid=0, cid=cid, timestamp=timestamp, pc=0, regs=REGS,
+    ))
+    for index in range(records):
+        fll_writer.append(0, index, None)
+    mrl = MRLWriter(config, MRLHeader(
+        pid=1, tid=0, cid=cid, timestamp=timestamp,
+    )).finalize()
+    return fll_writer.finalize(end_ic=end_ic), mrl
+
+
+class TestLogStore:
+    def test_unbounded_store_keeps_everything(self):
+        config = BugNetConfig(checkpoint_interval=100)
+        store = LogStore(config)
+        for cid in range(10):
+            fll, mrl = checkpoint(config, cid, cid)
+            store.add(0, fll, mrl)
+        assert len(store.checkpoints(0)) == 10
+        assert store.evicted_checkpoints == 0
+
+    def test_replay_window_sums_interval_lengths(self):
+        config = BugNetConfig(checkpoint_interval=100)
+        store = LogStore(config)
+        for cid in range(4):
+            fll, mrl = checkpoint(config, cid, cid, end_ic=25)
+            store.add(0, fll, mrl)
+        assert store.replay_window(0) == 100
+
+    def test_budget_evicts_oldest(self):
+        config = BugNetConfig(checkpoint_interval=100, log_memory_budget=2048)
+        store = LogStore(config)
+        for cid in range(20):
+            fll, mrl = checkpoint(config, cid, cid, records=50)
+            store.add(0, fll, mrl)
+        assert store.total_bytes <= 2048
+        assert store.evicted_checkpoints > 0
+        remaining_cids = [cp.fll.header.cid for cp in store.checkpoints(0)]
+        # The newest checkpoints survive.
+        assert remaining_cids == sorted(remaining_cids)
+        assert remaining_cids[-1] == 19
+
+    def test_budget_evicts_oldest_across_threads(self):
+        config = BugNetConfig(checkpoint_interval=100, log_memory_budget=4096)
+        store = LogStore(config)
+        timestamp = 0
+        for round_index in range(20):
+            for tid in (0, 1):
+                fll, mrl = checkpoint(config, round_index, timestamp, records=40)
+                store.add(tid, fll, mrl)
+                timestamp += 1
+        # Both threads keep their newest logs; oldest overall went first.
+        newest_t0 = store.checkpoints(0)[-1].fll.header.timestamp
+        oldest_t0 = store.checkpoints(0)[0].fll.header.timestamp
+        assert newest_t0 > oldest_t0
+
+    def test_newest_checkpoint_never_evicted(self):
+        config = BugNetConfig(checkpoint_interval=100, log_memory_budget=64)
+        store = LogStore(config)
+        fll, mrl = checkpoint(config, 0, 0, records=100)
+        store.add(0, fll, mrl)  # exceeds the budget on its own
+        assert len(store.checkpoints(0)) == 1
+
+    def test_byte_accounting(self):
+        config = BugNetConfig(checkpoint_interval=100)
+        store = LogStore(config)
+        fll, mrl = checkpoint(config, 0, 0, records=10)
+        store.add(0, fll, mrl)
+        expected = fll.byte_size(config) + mrl.byte_size(config)
+        assert store.total_bytes == expected
+        assert store.fll_bytes(0) == fll.byte_size(config)
+        assert store.mrl_bytes(0) == mrl.byte_size(config)
+
+    def test_threads_listed(self):
+        config = BugNetConfig(checkpoint_interval=100)
+        store = LogStore(config)
+        fll, mrl = checkpoint(config, 0, 0)
+        store.add(3, fll, mrl)
+        assert store.threads() == [3]
+
+
+class TestBusModel:
+    def test_no_traffic_no_overhead(self):
+        bus = BusModel()
+        bus.account_window(instructions=1000, fills=0, writebacks=0, log_bytes=0)
+        assert bus.overhead == 0.0
+
+    def test_light_logging_rides_idle_cycles(self):
+        # The paper's claim: with idle bus bandwidth, overhead ~ 0.
+        bus = BusModel()
+        bus.account_window(instructions=100_000, fills=100, writebacks=10,
+                           log_bytes=20_000)
+        assert bus.overhead == 0.0
+        assert bus.stall_cycles == 0
+
+    def test_cb_absorbs_bursts(self):
+        bus = BusModel(cb_bytes=16 * 1024)
+        # A burst bigger than idle capacity but under CB size: no stall.
+        bus.account_window(instructions=10, fills=10, writebacks=0,
+                           log_bytes=8_000)
+        assert bus.stall_cycles == 0
+        assert bus.peak_cb_occupancy > 0
+
+    def test_cb_overflow_stalls(self):
+        bus = BusModel(cb_bytes=1024)
+        bus.account_window(instructions=10, fills=10, writebacks=0,
+                           log_bytes=50_000)
+        assert bus.stall_cycles > 0
+        assert bus.overhead > 0
+
+    def test_backlog_drains_over_time(self):
+        bus = BusModel(cb_bytes=16 * 1024)
+        bus.account_window(instructions=10, fills=0, writebacks=0,
+                           log_bytes=10_000)
+        bus.account_window(instructions=100_000, fills=0, writebacks=0,
+                           log_bytes=0)
+        # After a long quiet window the CB is empty again.
+        assert bus._cb_occupancy == 0
+
+    def test_totals_accumulate(self):
+        bus = BusModel()
+        bus.account_window(1000, 5, 2, 100)
+        bus.account_window(2000, 1, 0, 50)
+        assert bus.instructions == 3000
+        assert bus.fills == 6
+        assert bus.log_bytes == 150

@@ -1,0 +1,111 @@
+"""Unit tests for the SafetyNet/FDR baseline models."""
+
+import pytest
+
+from repro.baselines.fdr import FDRConfig, FDRTraceRecorder, fdr_sizes_from_run
+from repro.baselines.safetynet import SafetyNetCheckpointer
+from repro.common.config import BugNetConfig
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+
+class TestSafetyNet:
+    def test_first_store_logged_once(self):
+        checkpointer = SafetyNetCheckpointer(block_size=64,
+                                             checkpoint_interval=1000)
+        assert checkpointer.on_store(0x100) is True
+        assert checkpointer.on_store(0x104) is False  # same block
+        assert checkpointer.on_store(0x1000) is True
+
+    def test_undo_entry_size_is_block_plus_addr(self):
+        checkpointer = SafetyNetCheckpointer(block_size=64,
+                                             checkpoint_interval=1000)
+        checkpointer.on_store(0)
+        assert checkpointer.stats.undo_bytes == 64 + 8
+
+    def test_interval_roll_relogs_blocks(self):
+        checkpointer = SafetyNetCheckpointer(block_size=64,
+                                             checkpoint_interval=10)
+        checkpointer.on_store(0)
+        checkpointer.on_commit(10)  # interval boundary
+        assert checkpointer.on_store(0) is True
+        assert checkpointer.stats.intervals == 2
+
+    def test_register_snapshots_per_interval(self):
+        checkpointer = SafetyNetCheckpointer(checkpoint_interval=5)
+        checkpointer.on_commit(20)
+        stats = checkpointer.close()
+        assert stats.intervals == 4
+        assert stats.register_snapshot_bytes == 4 * checkpointer.register_bytes
+
+    def test_undo_bytes_dominate_bugnet_for_store_heavy_code(self):
+        # SafetyNet logs a whole 64-byte block per first store; BugNet
+        # logs nothing for stores.  This asymmetry is Table 2's core.
+        checkpointer = SafetyNetCheckpointer(block_size=64,
+                                             checkpoint_interval=10_000)
+        for index in range(100):
+            checkpointer.on_store(index * 64)
+            checkpointer.on_commit()
+        assert checkpointer.stats.undo_bytes == 100 * 72
+
+
+class TestFDRTraceRecorder:
+    def test_compression_counts_bytes(self):
+        recorder = FDRTraceRecorder(FDRConfig(checkpoint_interval=1000))
+        for index in range(200):
+            recorder.on_store(index * 64)
+            recorder.on_commit(5)
+        stats = recorder.close()
+        assert recorder.compressed_undo_bytes > 0
+        assert recorder.compressed_undo_bytes < stats.undo_bytes
+
+    def test_close_flushes_pending(self):
+        recorder = FDRTraceRecorder()
+        recorder.on_store(0)
+        recorder.close()
+        assert recorder.compressed_undo_bytes > 0
+
+
+class TestFDRFromMachineRun:
+    @pytest.fixture(scope="class")
+    def sized_run(self):
+        bug = BUGS_BY_NAME["gzip-1.2.4"]
+        config = BugNetConfig(checkpoint_interval=10_000)
+        run = run_bug(bug, bugnet=config, record=True, collect_traces=True)
+        sizes = fdr_sizes_from_run(run.machine, run.result,
+                                   FDRConfig(checkpoint_interval=50_000))
+        return run, sizes, config
+
+    def test_core_dump_matches_footprint(self, sized_run):
+        run, sizes, _ = sized_run
+        assert sizes.core_dump == run.machine.memory.footprint_bytes
+        assert sizes.core_dump > 0
+
+    def test_input_and_dma_logs_cover_payload(self, sized_run):
+        run, sizes, _ = sized_run
+        # The 1025-word filename crossed the I/O boundary once.
+        assert sizes.input_log >= 1025 * 4
+        assert sizes.dma_log == sizes.input_log
+
+    def test_interrupt_log_counts_syscalls(self, sized_run):
+        run, sizes, _ = sized_run
+        assert sizes.interrupt_log >= run.machine.kernel.syscalls_serviced * 16
+
+    def test_fdr_ships_more_than_bugnet(self, sized_run):
+        # The paper's bottom line: FDR's shipment (with the core dump)
+        # dwarfs BugNet's first-load logs for application debugging.
+        run, sizes, config = sized_run
+        bugnet_bytes = run.result.crash.total_bytes(config)
+        assert sizes.shipped_total > 10 * bugnet_bytes
+
+    def test_checkpoint_logs_positive(self, sized_run):
+        _, sizes, _ = sized_run
+        assert sizes.cache_checkpoint_log > 0
+        assert sizes.memory_checkpoint_log > 0
+
+    def test_digest_traces_rejected(self):
+        bug = BUGS_BY_NAME["tidy-34132-2"]
+        run = run_bug(bug, bugnet=BugNetConfig(checkpoint_interval=10_000),
+                      record=True, collect_traces=True)
+        run.machine.collectors[0].digest_only = True
+        with pytest.raises(ValueError):
+            fdr_sizes_from_run(run.machine, run.result)

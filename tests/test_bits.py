@@ -1,0 +1,169 @@
+"""Unit tests for the bit-exact stream encoders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.bits import (
+    BitReader,
+    BitWriter,
+    bits_for,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+)
+
+
+class TestWordHelpers:
+    def test_to_unsigned_wraps_negative(self):
+        assert to_unsigned(-1) == 0xFFFFFFFF
+
+    def test_to_unsigned_wraps_overflow(self):
+        assert to_unsigned(1 << 32) == 0
+
+    def test_to_signed_positive(self):
+        assert to_signed(5) == 5
+
+    def test_to_signed_negative(self):
+        assert to_signed(0xFFFFFFFF) == -1
+
+    def test_to_signed_min(self):
+        assert to_signed(0x80000000) == -(1 << 31)
+
+    def test_sign_extend_positive(self):
+        assert sign_extend(0b0111, 4) == 7
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0b1111, 4) == -1
+
+    def test_sign_extend_masks_high_bits(self):
+        assert sign_extend(0x1F0, 4) == 0
+
+    def test_bits_for_zero(self):
+        assert bits_for(0) == 1
+
+    def test_bits_for_powers(self):
+        assert bits_for(31) == 5
+        assert bits_for(32) == 6
+
+    def test_bits_for_ten_million(self):
+        # The paper's log2(checkpoint interval) sizing for a 10M interval.
+        assert bits_for(10_000_000) == 24
+
+    def test_bits_for_negative_raises(self):
+        with pytest.raises(ValueError):
+            bits_for(-1)
+
+
+class TestBitWriter:
+    def test_empty(self):
+        writer = BitWriter()
+        assert writer.bit_length == 0
+        assert writer.getvalue() == b""
+
+    def test_single_bits(self):
+        writer = BitWriter()
+        writer.write_bool(True)
+        writer.write_bool(False)
+        writer.write_bool(True)
+        assert writer.bit_length == 3
+        assert writer.getvalue() == bytes([0b10100000])
+
+    def test_byte_length_rounds_up(self):
+        writer = BitWriter()
+        writer.write(0x1FF, 9)
+        assert writer.byte_length == 2
+
+    def test_value_too_wide_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(4, 2)
+
+    def test_negative_value_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(-1, 8)
+
+    def test_zero_bits_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write(0, 0)
+
+    def test_msb_first_layout(self):
+        writer = BitWriter()
+        writer.write(0b101, 3)
+        writer.write(0b01, 2)
+        # Stream: 101 01 -> 10101xxx
+        assert writer.getvalue()[0] >> 3 == 0b10101
+
+    def test_write_word(self):
+        writer = BitWriter()
+        writer.write_word(0xDEADBEEF)
+        assert writer.getvalue() == bytes.fromhex("deadbeef")
+
+
+class TestBitReader:
+    def test_roundtrip_simple(self):
+        writer = BitWriter()
+        writer.write(0b1101, 4)
+        writer.write(0xAB, 8)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert reader.read(4) == 0b1101
+        assert reader.read(8) == 0xAB
+
+    def test_read_past_end_raises(self):
+        writer = BitWriter()
+        writer.write(1, 1)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        reader.read(1)
+        with pytest.raises(EOFError):
+            reader.read(1)
+
+    def test_limit_respects_partial_final_byte(self):
+        writer = BitWriter()
+        writer.write(0b11, 2)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert reader.remaining == 2
+        reader.read(2)
+        assert reader.remaining == 0
+
+    def test_bit_length_larger_than_data_rejected(self):
+        with pytest.raises(ValueError):
+            BitReader(b"\x00", 9)
+
+    def test_read_across_byte_boundary(self):
+        writer = BitWriter()
+        writer.write(0x3FF, 10)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        assert reader.read(10) == 0x3FF
+
+    def test_position_tracks(self):
+        writer = BitWriter()
+        writer.write(0, 5)
+        writer.write(1, 3)
+        reader = BitReader(writer.getvalue(), writer.bit_length)
+        reader.read(5)
+        assert reader.position == 5
+
+
+@given(
+    fields=st.lists(
+        st.integers(min_value=1, max_value=48).flatmap(
+            lambda width: st.tuples(
+                st.just(width),
+                st.integers(min_value=0, max_value=(1 << width) - 1),
+            )
+        ),
+        min_size=1,
+        max_size=64,
+    )
+)
+def test_bitstream_roundtrip_property(fields):
+    """Any sequence of (width, value) fields decodes to what was written."""
+    writer = BitWriter()
+    for width, value in fields:
+        writer.write(value, width)
+    reader = BitReader(writer.getvalue(), writer.bit_length)
+    for width, value in fields:
+        assert reader.read(width) == value
+    assert reader.remaining == 0

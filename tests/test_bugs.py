@@ -1,0 +1,119 @@
+"""Integration tests for the Table-1 bug suite."""
+
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.replay import Replayer, assert_traces_equal
+from repro.workloads.bugs import BUG_SUITE, BUGS_BY_NAME, run_bug
+
+FAST_BUGS = [bug for bug in BUG_SUITE if bug.target_window <= 50_000]
+SLOW_BUGS = [bug for bug in BUG_SUITE if bug.target_window > 50_000]
+
+
+class TestSuiteStructure:
+    def test_eighteen_bugs(self):
+        assert len(BUG_SUITE) == 18
+
+    def test_four_multithreaded_programs(self):
+        # The paper: "the last set of 4 programs are multithreaded" —
+        # gaim, napster, python (two bugs in one program) and w3m.
+        applications = {
+            bug.name.split("-")[0] for bug in BUG_SUITE if bug.multithreaded
+        }
+        assert applications == {"gaim", "napster", "python", "w3m"}
+
+    def test_names_unique(self):
+        assert len(BUGS_BY_NAME) == len(BUG_SUITE)
+
+    def test_all_have_root_cause_labels(self):
+        for bug in BUG_SUITE:
+            assert "root_cause" in bug.program().symbols, bug.name
+
+    def test_scaled_entries_marked(self):
+        scaled = {bug.name for bug in BUG_SUITE if bug.scale > 1}
+        assert scaled == {"ghostscript-8.12", "tidy-34132-1", "xv-3.10a-2"}
+
+    def test_paper_windows_match_table1(self):
+        expected = {
+            "bc-1.06": 591,
+            "gzip-1.2.4": 32209,
+            "ncompress-4.2.4": 17966,
+            "polymorph-0.4.0": 6208,
+            "tar-1.13.25": 6634,
+            "ghostscript-8.12": 18030519,
+            "gnuplot-3.7.1-1": 782,
+            "gnuplot-3.7.1-2": 131751,
+            "tidy-34132-1": 2537326,
+            "tidy-34132-2": 13,
+            "tidy-34132-3": 59,
+            "xv-3.10a-1": 44557,
+            "xv-3.10a-2": 7543600,
+            "gaim-0.82.1": 74590,
+            "napster-1.5.2": 189391,
+            "python-2.1.1-1": 92,
+            "python-2.1.1-2": 941,
+            "w3m-0.3.2.2": 79309,
+        }
+        assert {b.name: b.paper_window for b in BUG_SUITE} == expected
+
+
+@pytest.mark.parametrize("bug", FAST_BUGS, ids=lambda b: b.name)
+class TestFastBugs:
+    def test_crashes_with_expected_fault(self, bug):
+        run = run_bug(bug, record=False)
+        assert run.crashed, f"{bug.name} did not crash"
+        kind = run.result.crash.fault_kind
+        acceptable = set(bug.expect_fault) | (
+            {"alignment"} if "memory" in bug.expect_fault else set()
+        )
+        assert kind in acceptable, f"{bug.name}: {kind}"
+
+    def test_window_near_target(self, bug):
+        run = run_bug(bug, record=False)
+        low = bug.target_window * 0.5
+        high = bug.target_window * 2.0 + 32
+        assert low <= run.window <= high, (
+            f"{bug.name}: window {run.window} vs target {bug.target_window}"
+        )
+
+
+@pytest.mark.parametrize("bug", SLOW_BUGS, ids=lambda b: b.name)
+def test_slow_bugs_crash(bug):
+    run = run_bug(bug, record=False)
+    assert run.crashed
+    assert 0.5 * bug.target_window <= run.window <= 2.0 * bug.target_window
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["bc-1.06", "gzip-1.2.4", "ncompress-4.2.4", "tar-1.13.25",
+     "gnuplot-3.7.1-1", "tidy-34132-2", "python-2.1.1-2"],
+)
+def test_recorded_bug_replays_deterministically(name):
+    """The headline claim, end to end: crash -> ship logs -> replay."""
+    bug = BUGS_BY_NAME[name]
+    config = BugNetConfig(checkpoint_interval=5_000)
+    run = run_bug(bug, bugnet=config, record=True, collect_traces=True)
+    assert run.crashed
+    crash = run.result.crash
+    tid = crash.faulting_tid
+    flls = crash.flls_for(tid)
+    replays = Replayer(run.program, config).replay(flls)
+    events = [e for r in replays for e in r.events]
+    assert_traces_equal(run.machine.collectors[tid], events, context=name)
+    assert replays[-1].end_pc == crash.fault_pc
+
+
+def test_multithreaded_bug_records_all_threads():
+    bug = BUGS_BY_NAME["python-2.1.1-1"]
+    run = run_bug(bug, bugnet=BugNetConfig(checkpoint_interval=5_000), record=True)
+    assert run.crashed
+    assert set(run.result.crash.thread_ids) == {0, 1}
+
+
+def test_gaim_cross_thread_root_cause():
+    bug = BUGS_BY_NAME["gaim-0.82.1"]
+    run = run_bug(bug, record=False)
+    assert run.crashed
+    # The removal happened on the worker; the crash on the UI thread.
+    assert run.root_thread != run.result.crash.faulting_tid

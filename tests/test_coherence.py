@@ -1,0 +1,118 @@
+"""Unit tests for the directory MSI protocol."""
+
+from repro.cache.coherence import Directory
+from repro.cache.hierarchy import FirstLoadHierarchy
+from repro.common.config import CacheConfig
+
+L1 = CacheConfig(size=512, associativity=2, block_size=64)
+L2 = CacheConfig(size=2048, associativity=4, block_size=64)
+
+
+def machine(cores=2):
+    directory = Directory()
+    hierarchies = []
+    for core in range(cores):
+        h = FirstLoadHierarchy(L1, L2, core_id=core)
+        directory.attach(core, h)
+        hierarchies.append(h)
+    return directory, hierarchies
+
+
+class TestDirectory:
+    def test_private_read_no_replies(self):
+        directory, _ = machine()
+        assert directory.access(0, 10, is_store=False) == []
+
+    def test_private_write_no_replies(self):
+        directory, _ = machine()
+        assert directory.access(0, 10, is_store=True) == []
+
+    def test_write_invalidates_sharers(self):
+        directory, hierarchies = machine()
+        hierarchies[1].access(10 * 64, is_store=False)
+        directory.access(1, 10, is_store=False)
+        repliers = directory.access(0, 10, is_store=True)
+        assert repliers == [1]
+        assert not hierarchies[1].holds(10)
+
+    def test_read_downgrades_owner(self):
+        directory, hierarchies = machine()
+        hierarchies[1].access(10 * 64, is_store=True)
+        directory.access(1, 10, is_store=True)
+        repliers = directory.access(0, 10, is_store=False)
+        assert repliers == [1]
+        assert not hierarchies[1].holds_modified(10)
+        # The block stays resident in the remote cache (M->S).
+        assert hierarchies[1].holds(10)
+
+    def test_read_read_sharing_no_replies(self):
+        directory, _ = machine()
+        directory.access(0, 10, is_store=False)
+        assert directory.access(1, 10, is_store=False) == []
+        assert directory.holders(10) == {0, 1}
+
+    def test_write_after_write_transfers_ownership(self):
+        directory, _ = machine()
+        directory.access(0, 10, is_store=True)
+        repliers = directory.access(1, 10, is_store=True)
+        assert repliers == [0]
+        assert directory.owner(10) == 1
+
+    def test_own_upgrade_no_self_reply(self):
+        directory, _ = machine()
+        directory.access(0, 10, is_store=False)
+        assert directory.access(0, 10, is_store=True) == []
+
+    def test_eviction_removes_holder(self):
+        directory, _ = machine()
+        directory.access(0, 10, is_store=True)
+        directory.evicted(0, 10)
+        assert directory.holders(10) == set()
+        assert directory.owner(10) is None
+
+    def test_single_writer_invariant(self):
+        directory, hierarchies = machine(3)
+        for core in range(3):
+            hierarchies[core].access(7 * 64, is_store=False)
+            directory.access(core, 7, is_store=False)
+        # The writing core's own access follows the directory grant,
+        # exactly as TracedMemoryInterface orders them.
+        directory.access(0, 7, is_store=True)
+        hierarchies[0].access(7 * 64, is_store=True)
+        modified = [c for c, h in enumerate(hierarchies) if h.holds_modified(7)]
+        assert modified == [0]
+
+    def test_multiple_invalidations_reply_each(self):
+        directory, hierarchies = machine(3)
+        for core in (1, 2):
+            hierarchies[core].access(7 * 64, is_store=False)
+            directory.access(core, 7, is_store=False)
+        repliers = directory.access(0, 7, is_store=True)
+        assert sorted(repliers) == [1, 2]
+
+
+class TestDMAInvalidation:
+    def test_dma_clears_all_copies(self):
+        directory, hierarchies = machine()
+        for core in (0, 1):
+            hierarchies[core].access(5 * 64, is_store=False)
+            directory.access(core, 5, is_store=False)
+        count = directory.dma_write([5])
+        assert count == 2
+        assert not hierarchies[0].holds(5)
+        assert not hierarchies[1].holds(5)
+        assert directory.holders(5) == set()
+
+    def test_dma_uncached_block_noop(self):
+        directory, _ = machine()
+        assert directory.dma_write([99]) == 0
+
+    def test_dma_forces_relog(self):
+        # The paper's §4.5 guarantee: DMA-modified data re-logs on the
+        # next application load because the bits went away with the block.
+        directory, hierarchies = machine()
+        hierarchies[0].access(5 * 64, is_store=False)
+        directory.access(0, 5, is_store=False)
+        assert hierarchies[0].access(5 * 64, is_store=False) is False
+        directory.dma_write([5])
+        assert hierarchies[0].access(5 * 64, is_store=False) is True

@@ -1,0 +1,97 @@
+"""Unit tests for the configuration dataclasses and derived widths."""
+
+import pytest
+
+from repro.common.config import (
+    BugNetConfig,
+    CacheConfig,
+    DictionaryConfig,
+    MachineConfig,
+)
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        config = CacheConfig(size=16 * 1024, associativity=4, block_size=64)
+        assert config.num_sets == 64
+
+    def test_words_per_block(self):
+        assert CacheConfig(size=4096, associativity=1, block_size=64).words_per_block == 16
+
+    def test_non_power_of_two_block_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=4096, associativity=1, block_size=48)
+
+    def test_uneven_sets_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1000, associativity=3, block_size=64)
+
+
+class TestDictionaryConfig:
+    def test_default_is_paper_design_point(self):
+        config = DictionaryConfig()
+        assert config.entries == 64
+        assert config.counter_bits == 3
+
+    def test_index_bits_for_64_entries(self):
+        # "we use 6 bits to represent the position" (paper §4.3.1)
+        assert DictionaryConfig(entries=64).index_bits == 6
+
+    def test_index_bits_for_1024_entries(self):
+        assert DictionaryConfig(entries=1024).index_bits == 10
+
+    def test_counter_max(self):
+        assert DictionaryConfig().counter_max == 7
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            DictionaryConfig(entries=0)
+
+
+class TestBugNetConfig:
+    def test_default_interval_is_ten_million(self):
+        assert BugNetConfig().checkpoint_interval == 10_000_000
+
+    def test_full_lcount_bits_tracks_interval(self):
+        assert BugNetConfig(checkpoint_interval=10_000_000).full_lcount_bits == 24
+        assert BugNetConfig(checkpoint_interval=100_000).full_lcount_bits == 17
+
+    def test_reduced_lcount_default_five_bits(self):
+        assert BugNetConfig().reduced_lcount_bits == 5
+
+    def test_tid_bits(self):
+        assert BugNetConfig(max_live_threads=64).tid_bits == 6
+
+    def test_cid_bits(self):
+        assert BugNetConfig(max_resident_checkpoints=256).cid_bits == 8
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            BugNetConfig(checkpoint_interval=0)
+
+    def test_bad_reduced_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BugNetConfig(reduced_lcount_bits=0)
+
+
+class TestMachineConfig:
+    def test_defaults(self):
+        config = MachineConfig()
+        assert config.num_cores == 1
+        assert config.l1.size == 16 * 1024
+        assert config.l2.size == 256 * 1024
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(num_cores=0)
+
+    def test_mismatched_block_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(
+                l1=CacheConfig(size=4096, associativity=2, block_size=32),
+                l2=CacheConfig(size=65536, associativity=4, block_size=64),
+            )
+
+    def test_negative_timer_rejected(self):
+        with pytest.raises(ValueError):
+            MachineConfig(timer_interval=-1)

@@ -1,0 +1,249 @@
+"""Unit tests for the BN32 CPU: instruction semantics and faults."""
+
+import pytest
+
+from repro.arch.assembler import assemble
+from repro.arch.cpu import CPU, DirectMemoryInterface
+from repro.arch.loader import load_program
+from repro.arch.memory import Memory
+from repro.common.errors import ArithmeticFault, Fault, InstructionFault, MemoryFault
+
+
+def run(source, max_steps=10_000, setup=None):
+    """Assemble and run until exit syscall; returns the CPU."""
+    program = assemble(source)
+    memory = Memory()
+    sp = load_program(program, memory)
+    cpu = CPU(program, DirectMemoryInterface(memory))
+    cpu.regs["sp"] = sp
+
+    def handler(c):
+        if c.regs["v0"] == 1:
+            c.halted = True
+            c.exit_code = c.regs["a0"]
+
+    cpu.syscall_handler = handler
+    if setup:
+        setup(cpu, memory)
+    for _ in range(max_steps):
+        if cpu.halted:
+            break
+        cpu.step()
+    assert cpu.halted, "program did not exit"
+    return cpu
+
+
+def result_of(body, max_steps=10_000):
+    """Run a snippet that leaves its result in a0 and exits."""
+    return run(f"main:\n{body}\n li v0, 1\n syscall", max_steps).exit_code
+
+
+class TestALU:
+    def test_add_wraps(self):
+        assert result_of("li t0, 0x7FFFFFFF\n addi t0, t0, 1\n move a0, t0") == 0x80000000
+
+    def test_sub(self):
+        assert result_of("li t0, 5\n li t1, 9\n sub a0, t0, t1") == 0xFFFFFFFC
+
+    def test_mul_signed(self):
+        assert result_of("li t0, -3\n li t1, 4\n mul a0, t0, t1") == 0xFFFFFFF4
+
+    def test_div_truncates_toward_zero(self):
+        assert result_of("li t0, -7\n li t1, 2\n div a0, t0, t1") == 0xFFFFFFFD  # -3
+
+    def test_rem_sign_follows_dividend(self):
+        assert result_of("li t0, -7\n li t1, 2\n rem a0, t0, t1") == 0xFFFFFFFF  # -1
+
+    def test_divu(self):
+        assert result_of("li t0, -1\n li t1, 2\n divu a0, t0, t1") == 0x7FFFFFFF
+
+    def test_remu(self):
+        assert result_of("li t0, 10\n li t1, 3\n remu a0, t0, t1") == 1
+
+    def test_logic_ops(self):
+        assert result_of("li t0, 0xF0\n li t1, 0x0F\n or a0, t0, t1") == 0xFF
+        assert result_of("li t0, 0xF0\n li t1, 0xFF\n and a0, t0, t1") == 0xF0
+        assert result_of("li t0, 0xFF\n li t1, 0x0F\n xor a0, t0, t1") == 0xF0
+
+    def test_nor(self):
+        assert result_of("li t0, 0\n li t1, 0\n nor a0, t0, t1") == 0xFFFFFFFF
+
+    def test_shifts_immediate(self):
+        assert result_of("li t0, 1\n sll a0, t0, 31") == 0x80000000
+        assert result_of("li t0, 0x80000000\n srl a0, t0, 31") == 1
+        assert result_of("li t0, 0x80000000\n sra a0, t0, 31") == 0xFFFFFFFF
+
+    def test_shifts_variable_mask_5_bits(self):
+        assert result_of("li t0, 1\n li t1, 33\n sllv a0, t0, t1") == 2
+
+    def test_slt_signed_vs_unsigned(self):
+        assert result_of("li t0, -1\n li t1, 1\n slt a0, t0, t1") == 1
+        assert result_of("li t0, -1\n li t1, 1\n sltu a0, t0, t1") == 0
+
+    def test_slti(self):
+        assert result_of("li t0, -5\n slti a0, t0, -4") == 1
+
+    def test_lui(self):
+        assert result_of("lui a0, 0xABCD") == 0xABCD0000
+
+    def test_writes_to_r0_discarded(self):
+        assert result_of("li t0, 7\n add zero, t0, t0\n move a0, zero") == 0
+
+
+class TestControlFlow:
+    def test_branch_taken_and_not_taken(self):
+        assert result_of(
+            "li t0, 2\n li a0, 0\n beq t0, t0, over\n li a0, 99\nover: nop"
+        ) == 0
+
+    def test_signed_branches(self):
+        assert result_of(
+            "li t0, -1\n li t1, 1\n li a0, 0\n blt t0, t1, ok\n li a0, 9\nok: nop"
+        ) == 0
+
+    def test_unsigned_branches(self):
+        assert result_of(
+            "li t0, -1\n li t1, 1\n li a0, 0\n bltu t0, t1, bad\n b ok\nbad: li a0, 9\nok: nop"
+        ) == 0
+
+    def test_jal_links_return_address(self):
+        assert result_of(
+            "jal fn\n b done\nfn: move a0, ra\n jr ra\ndone: nop",
+            max_steps=100,
+        ) != 0
+
+    def test_call_return(self):
+        assert result_of(
+            "li a0, 0\n jal inc\n jal inc\n b done\ninc: addi a0, a0, 1\n jr ra\ndone: nop"
+        ) == 2
+
+    def test_jalr_custom_link(self):
+        source = """
+main:
+    la   t0, fn
+    jalr s0, t0
+    b    done
+fn:
+    move a0, s0
+    jr   s0
+done:
+    nop
+    li v0, 1
+    syscall
+"""
+        cpu = run(source)
+        assert cpu.exit_code != 0
+
+    def test_loop_counts(self):
+        assert result_of(
+            "li t0, 0\nloop: addi t0, t0, 1\n blt t0, 10, loop\n move a0, t0"
+        ) == 10
+
+
+class TestMemoryOps:
+    def test_store_load_roundtrip(self):
+        source = """
+.data
+buf: .space 16
+.text
+main:
+    la  t0, buf
+    li  t1, 77
+    sw  t1, 4(t0)
+    lw  a0, 4(t0)
+    li  v0, 1
+    syscall
+"""
+        assert run(source).exit_code == 77
+
+    def test_store_load_via_data_label(self):
+        source = """
+.data
+slot: .word 0
+.text
+main:
+    li  t0, 1234
+    sw  t0, slot
+    lw  a0, slot
+    li  v0, 1
+    syscall
+"""
+        assert run(source).exit_code == 1234
+
+    def test_negative_offsets(self):
+        source = """
+main:
+    li  t0, 55
+    sw  t0, -8(sp)
+    lw  a0, -8(sp)
+    li  v0, 1
+    syscall
+"""
+        assert run(source).exit_code == 55
+
+
+class TestFaults:
+    def expect_fault(self, source, exc, steps=100):
+        program = assemble(source)
+        memory = Memory()
+        load_program(program, memory)
+        cpu = CPU(program, DirectMemoryInterface(memory))
+        with pytest.raises(exc):
+            for _ in range(steps):
+                cpu.step()
+
+    def test_divide_by_zero(self):
+        self.expect_fault("main: li t0, 1\n li t1, 0\n div t2, t0, t1",
+                          ArithmeticFault)
+
+    def test_divu_by_zero(self):
+        self.expect_fault("main: li t0, 1\n li t1, 0\n divu t2, t0, t1",
+                          ArithmeticFault)
+
+    def test_null_load(self):
+        self.expect_fault("main: li t0, 0\n lw t1, 0(t0)", MemoryFault)
+
+    def test_wild_store(self):
+        self.expect_fault("main: li t0, 0x40\n sw t0, 0(t0)", MemoryFault)
+
+    def test_wild_jump(self):
+        self.expect_fault("main: li t0, 0x41414140\n jr t0", InstructionFault)
+
+    def test_fall_off_code_end(self):
+        self.expect_fault("main: nop", InstructionFault)
+
+    def test_break_traps(self):
+        self.expect_fault("main: break", InstructionFault)
+
+    def test_syscall_without_kernel_faults(self):
+        self.expect_fault("main: syscall", Fault)
+
+    def test_pc_preserved_on_fault(self):
+        program = assemble("main: nop\n li t0, 0\n lw t1, 0(t0)")
+        memory = Memory()
+        load_program(program, memory)
+        cpu = CPU(program, DirectMemoryInterface(memory))
+        faulting_pc = program.pc_of("main") + 8  # li is one instruction
+        with pytest.raises(MemoryFault):
+            for _ in range(5):
+                cpu.step()
+        assert cpu.pc == faulting_pc
+
+
+class TestContext:
+    def test_context_roundtrip(self):
+        program = assemble("main: li t0, 5\n nop\n nop")
+        cpu = CPU(program, DirectMemoryInterface(Memory()))
+        cpu.step()
+        pc, regs = cpu.context()
+        cpu.step()
+        cpu.restore_context(pc, regs)
+        assert cpu.pc == pc
+        assert cpu.regs["t0"] == 5
+
+    def test_inst_count_increments(self):
+        program = assemble("main: nop\n nop\n nop")
+        cpu = CPU(program, DirectMemoryInterface(Memory()))
+        cpu.step()
+        cpu.step()
+        assert cpu.inst_count == 2

@@ -1,0 +1,200 @@
+"""Tests for the replay debugger."""
+
+import pytest
+
+from repro.arch import assemble
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine
+from repro.replay.debugger import ReplayDebugger
+
+SOURCE = """
+.data
+counter: .word 0
+scratch: .space 64
+.text
+main:
+    li   s0, 0
+    li   s1, 10
+loop:
+    lw   t0, counter
+    addi t0, t0, 1
+    sw   t0, counter
+    sll  t1, s0, 2
+    la   t2, scratch
+    add  t2, t2, t1
+    sw   t0, 0(t2)
+    addi s0, s0, 1
+    blt  s0, s1, loop
+finish:
+    lw   a0, counter
+    li   v0, 1
+    syscall
+"""
+
+
+@pytest.fixture(scope="module")
+def debugger_setup():
+    program = assemble(SOURCE, name="debug-demo")
+    machine = Machine(program, MachineConfig(),
+                      BugNetConfig(checkpoint_interval=30))
+    machine.spawn()
+    result = machine.run()
+    flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+    return program, machine, result, flls
+
+
+@pytest.fixture
+def debugger(debugger_setup):
+    program, machine, _result, flls = debugger_setup
+    return ReplayDebugger(program, machine.bugnet, flls)
+
+
+class TestNavigation:
+    def test_window_length(self, debugger_setup, debugger):
+        _, _, result, _ = debugger_setup
+        assert debugger.length == result.instructions[0]
+
+    def test_step_advances(self, debugger):
+        assert debugger.position == 0
+        debugger.step()
+        assert debugger.position == 1
+
+    def test_reverse_step(self, debugger):
+        debugger.step()
+        debugger.step()
+        debugger.reverse_step()
+        assert debugger.position == 1
+
+    def test_reverse_at_start_stays(self, debugger):
+        debugger.reverse_step()
+        assert debugger.position == 0
+
+    def test_seek_and_bounds(self, debugger):
+        debugger.seek(5)
+        assert debugger.position == 5
+        with pytest.raises(IndexError):
+            debugger.seek(debugger.length + 1)
+
+    def test_run_to_end(self, debugger):
+        stop = debugger.run()
+        assert stop.kind == "end"
+        assert debugger.at_end
+
+    def test_where_mentions_pc_and_line(self, debugger):
+        text = debugger.where()
+        assert "pc=0x" in text
+        assert "line" in text
+
+
+class TestBreakpoints:
+    def test_break_on_label(self, debugger):
+        debugger.add_breakpoint("finish")
+        stop = debugger.run()
+        assert stop.kind == "breakpoint"
+        event = debugger.current_event()
+        assert event.pc == debugger.program.pc_of("finish")
+
+    def test_break_hits_every_iteration(self, debugger):
+        loop_pc = debugger.add_breakpoint("loop")
+        hits = 0
+        while True:
+            stop = debugger.run()
+            if stop.kind != "breakpoint":
+                break
+            hits += 1
+            debugger.step()  # move past the breakpoint
+        assert hits == 10
+
+    def test_run_back_to_breakpoint(self, debugger):
+        debugger.add_breakpoint("loop")
+        debugger.run()
+        debugger.step()
+        first_position = debugger.position
+        debugger.run()  # second iteration
+        stop = debugger.run_back()
+        assert stop.kind == "breakpoint"
+        assert debugger.position < first_position + 20
+
+
+class TestWatchpoints:
+    def test_watchpoint_on_counter(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        debugger.add_watchpoint(counter)
+        stop = debugger.run()
+        assert stop.kind == "watchpoint"
+        event = debugger.last_event()
+        assert event.load == (counter, 0)  # first read sees 0
+
+    def test_watchpoint_sees_all_accesses(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        debugger.add_watchpoint(counter)
+        kinds = []
+        while True:
+            stop = debugger.run()
+            if stop.kind != "watchpoint":
+                break
+            event = debugger.last_event()
+            kinds.append("store" if event.store else "load")
+        # 10 iterations of load+store, plus the final load.
+        assert kinds.count("load") == 11
+        assert kinds.count("store") == 10
+
+    def test_reverse_watchpoint(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        debugger.add_watchpoint(counter)
+        debugger.run()
+        debugger.run()
+        position_after_two = debugger.position
+        stop = debugger.run_back()
+        assert stop.kind == "watchpoint"
+        assert debugger.position < position_after_two
+
+
+class TestInspection:
+    def test_memory_at_tracks_stores(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        debugger.run()  # to end
+        assert debugger.memory_at(counter) == 10
+
+    def test_memory_at_untouched_is_none(self, debugger):
+        assert debugger.memory_at(0x66660000) is None
+
+    def test_access_history_ordered(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        history = debugger.access_history(counter)
+        values = [value for _, kind, value in history if kind == "store"]
+        assert values == list(range(1, 11))
+
+    def test_last_writer(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        debugger.run()
+        writer = debugger.last_writer(counter)
+        assert writer.store == (counter, 10)
+
+    def test_registers_at_interval_start(self, debugger_setup, debugger):
+        _, _, _, flls = debugger_setup
+        starts = debugger._interval_starts
+        debugger.seek(starts[1])
+        assert debugger.registers() == flls[1].header.regs
+
+    def test_registers_mid_interval(self, debugger):
+        # After `li s0, 0; li s1, 10`, s1 holds 10.
+        debugger.seek(2)
+        regs = debugger.registers()
+        assert regs[17] == 10  # s1 = r17
+
+    def test_registers_at_window_end(self, debugger):
+        debugger.run()
+        regs = debugger.registers()
+        assert regs[4] == 10  # a0 holds the final counter value
+
+    def test_empty_window_rejected(self, debugger_setup):
+        program, machine, *_ = debugger_setup
+        with pytest.raises(ValueError):
+            ReplayDebugger(program, machine.bugnet, [])

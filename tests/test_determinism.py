@@ -1,0 +1,121 @@
+"""Recording determinism: identical runs produce identical logs.
+
+Reproducibility of the *recording* itself matters for a simulator used
+in research: same program + same seed ⇒ byte-identical FLLs, MRLs and
+crash shipments.  These tests pin that down, including across machine
+configurations that must NOT affect architectural behaviour.
+"""
+
+from repro.arch import assemble
+from repro.common.config import BugNetConfig, CacheConfig, MachineConfig
+from repro.mp.machine import Machine
+from repro.replay import Replayer
+from repro.tracing.serialize import dump_crash_report
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+from repro.workloads.randprog import random_program
+
+
+def record_logs(program, bugnet=None, config=None):
+    machine = Machine(program, config or MachineConfig(),
+                      bugnet or BugNetConfig(checkpoint_interval=100))
+    machine.spawn()
+    result = machine.run()
+    return machine, result
+
+
+def fll_blob(result):
+    return b"".join(
+        cp.fll.payload for cp in result.log_store.checkpoints(0)
+    )
+
+
+class TestRecordingDeterminism:
+    def test_identical_runs_identical_logs(self):
+        program = random_program(1234)
+        _, a = record_logs(program)
+        _, b = record_logs(program)
+        assert fll_blob(a) == fll_blob(b)
+        assert [cp.fll.header for cp in a.log_store.checkpoints(0)] == \
+            [cp.fll.header for cp in b.log_store.checkpoints(0)]
+
+    def test_crash_shipment_bytes_identical(self):
+        bug = BUGS_BY_NAME["tar-1.13.25"]
+        config = BugNetConfig(checkpoint_interval=2_000)
+        run_a = run_bug(bug, bugnet=config, record=True)
+        run_b = run_bug(bug, bugnet=config, record=True)
+        assert dump_crash_report(run_a.result.crash, config) == \
+            dump_crash_report(run_b.result.crash, config)
+
+    def test_cache_geometry_changes_logs_not_behaviour(self):
+        """Different cache sizes change WHAT is logged (eviction relogs)
+        but never the replayed execution."""
+        program = random_program(77)
+        big = MachineConfig()
+        tiny = MachineConfig(
+            l1=CacheConfig(size=512, associativity=2, block_size=64),
+            l2=CacheConfig(size=1024, associativity=2, block_size=64),
+        )
+        machine_a, result_a = record_logs(program, config=big)
+        machine_b, result_b = record_logs(program, config=tiny)
+        assert result_a.console_values == result_b.console_values
+        events_a = [
+            (e.pc, e.load, e.store)
+            for r in Replayer(program, machine_a.bugnet).replay(
+                [cp.fll for cp in result_a.log_store.checkpoints(0)])
+            for e in r.events
+        ]
+        events_b = [
+            (e.pc, e.load, e.store)
+            for r in Replayer(program, machine_b.bugnet).replay(
+                [cp.fll for cp in result_b.log_store.checkpoints(0)])
+            for e in r.events
+        ]
+        assert events_a == events_b
+
+    def test_tiny_cache_logs_at_least_as_much(self):
+        """Eviction clears first-load bits, so a tiny cache re-logs."""
+        source = """
+.data
+big: .space 16384
+.text
+main:
+    li   s0, 0
+    la   s1, big
+loop:
+    andi t0, s0, 4095
+    sll  t0, t0, 2
+    add  t0, s1, t0
+    lw   t1, 0(t0)
+    addi s0, s0, 1
+    blt  s0, 8192, loop
+    li   v0, 1
+    syscall
+"""
+        program = assemble(source)
+        tiny = MachineConfig(
+            l1=CacheConfig(size=512, associativity=2, block_size=64),
+            l2=CacheConfig(size=1024, associativity=2, block_size=64),
+        )
+        machine_big, _ = record_logs(
+            program, bugnet=BugNetConfig(checkpoint_interval=1_000_000))
+        machine_tiny, _ = record_logs(
+            program, bugnet=BugNetConfig(checkpoint_interval=1_000_000),
+            config=tiny)
+        assert machine_tiny.recorders[0].loads_logged > \
+            machine_big.recorders[0].loads_logged
+
+    def test_dictionary_size_changes_bits_not_records(self):
+        from repro.common.config import DictionaryConfig
+
+        program = random_program(555)
+        small_dict = BugNetConfig(checkpoint_interval=100,
+                                  dictionary=DictionaryConfig(entries=8))
+        big_dict = BugNetConfig(checkpoint_interval=100,
+                                dictionary=DictionaryConfig(entries=256))
+        _, result_small = record_logs(program, bugnet=small_dict)
+        _, result_big = record_logs(program, bugnet=big_dict)
+        records_small = sum(cp.fll.num_records
+                            for cp in result_small.log_store.checkpoints(0))
+        records_big = sum(cp.fll.num_records
+                          for cp in result_big.log_store.checkpoints(0))
+        assert records_small == records_big  # what is logged is cache-driven

@@ -1,0 +1,186 @@
+"""Unit + property tests for the dictionary compressor (paper §4.3.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import DictionaryConfig
+from repro.tracing.dictionary import DictionaryCompressor
+
+
+def tiny(entries=4, counter_bits=3):
+    return DictionaryCompressor(DictionaryConfig(entries=entries,
+                                                 counter_bits=counter_bits))
+
+
+class TestBasicBehaviour:
+    def test_empty_lookup_misses(self):
+        assert tiny().lookup(42) is None
+
+    def test_miss_inserts(self):
+        d = tiny()
+        d.update(42)
+        assert d.lookup(42) is not None
+
+    def test_empty_slots_fill_bottom_up(self):
+        # Ties on counter 0 break toward the lowest position (largest
+        # index), so fresh values enter at the bottom of the table.
+        d = tiny(entries=4)
+        d.update(10)
+        assert d.lookup(10) == 3
+        d.update(20)
+        assert d.lookup(20) == 2
+
+    def test_hit_increments_counter(self):
+        d = tiny()
+        d.update(10)
+        d.update(10)
+        table = d.table()
+        position = d.lookup(10)
+        assert table[position][1] >= 2
+
+    def test_frequent_value_percolates_to_top(self):
+        d = tiny(entries=4)
+        for value in (1, 2, 3, 4):
+            d.update(value)
+        for _ in range(10):
+            d.update(4)
+        assert d.lookup(4) == 0
+
+    def test_swap_requires_counter_geq_above(self):
+        d = tiny(entries=4)
+        d.update(1)           # pos 3, counter 1
+        d.update(2)           # pos 2, counter 1
+        # One hit on value 1: counter 2 >= value 2's counter 1 -> swap.
+        d.update(1)
+        assert d.lookup(1) == 2
+        assert d.lookup(2) == 3
+
+    def test_counter_saturates(self):
+        d = tiny(entries=2, counter_bits=2)
+        d.update(5)
+        for _ in range(20):
+            d.update(5)
+        position = d.lookup(5)
+        assert d.table()[position][1] == 3  # 2-bit saturating counter
+
+    def test_replacement_evicts_smallest_counter(self):
+        d = tiny(entries=2)
+        d.update(1)
+        d.update(2)
+        d.update(1)   # 1's counter now higher
+        d.update(3)   # must evict 2
+        assert d.lookup(2) is None
+        assert d.lookup(1) is not None
+        assert d.lookup(3) is not None
+
+    def test_replacement_tie_breaks_low_position(self):
+        d = tiny(entries=3)
+        d.update(1)   # pos 2
+        d.update(2)   # pos 1
+        d.update(3)   # pos 0; all counters 1
+        d.update(4)   # tie: replace lowest position (index 2)
+        assert d.lookup(1) is None
+
+    def test_reset_empties(self):
+        d = tiny()
+        d.update(7)
+        d.reset()
+        assert d.lookup(7) is None
+
+    def test_value_at_roundtrip(self):
+        d = tiny()
+        d.update(123)
+        assert d.value_at(d.lookup(123)) == 123
+
+    def test_value_at_empty_raises(self):
+        import pytest
+
+        with pytest.raises(LookupError):
+            tiny().value_at(0)
+
+    def test_hit_rate(self):
+        d = tiny()
+        d.update(1)
+        d.update(1)
+        d.update(2)
+        assert abs(d.hit_rate - 1 / 3) < 1e-9
+
+
+class _ReferenceDictionary:
+    """Straight-line O(n) reference implementation of §4.3.1."""
+
+    def __init__(self, entries, counter_max):
+        self.values = [None] * entries
+        self.counters = [0] * entries
+        self.counter_max = counter_max
+
+    def lookup(self, value):
+        try:
+            return self.values.index(value)
+        except ValueError:
+            return None
+
+    def update(self, value):
+        pos = self.lookup(value)
+        if pos is not None:
+            if self.counters[pos] < self.counter_max:
+                self.counters[pos] += 1
+            if pos > 0 and self.counters[pos] >= self.counters[pos - 1]:
+                for array in (self.values, self.counters):
+                    array[pos], array[pos - 1] = array[pos - 1], array[pos]
+        else:
+            smallest = min(self.counters)
+            victim = max(
+                i for i, c in enumerate(self.counters) if c == smallest
+            )
+            self.values[victim] = value
+            self.counters[victim] = 1
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    entries=st.sampled_from([2, 4, 8, 16]),
+    stream=st.lists(st.integers(min_value=0, max_value=30), max_size=300),
+)
+def test_matches_reference_implementation(entries, stream):
+    """The heap-accelerated dictionary behaves exactly like the naive one."""
+    fast = DictionaryCompressor(DictionaryConfig(entries=entries))
+    slow = _ReferenceDictionary(entries, fast.counter_max)
+    for value in stream:
+        assert fast.lookup(value) == slow.lookup(value)
+        fast.update(value)
+        slow.update(value)
+    assert [v for v, _ in fast.table()] == slow.values
+    assert [c for _, c in fast.table()] == slow.counters
+
+
+@settings(max_examples=100, deadline=None)
+@given(stream=st.lists(st.integers(min_value=0, max_value=2**32 - 1),
+                       max_size=200))
+def test_two_instances_stay_identical(stream):
+    """Recorder and replayer dictionaries fed the same loads agree.
+
+    This is the determinism contract that makes 6-bit encodings safe.
+    """
+    recorder_side = DictionaryCompressor()
+    replayer_side = DictionaryCompressor()
+    for value in stream:
+        index = recorder_side.lookup(value)
+        if index is not None:
+            assert replayer_side.value_at(index) == value
+        recorder_side.update(value)
+        replayer_side.update(value)
+    assert recorder_side.table() == replayer_side.table()
+
+
+@settings(max_examples=50, deadline=None)
+@given(stream=st.lists(st.integers(min_value=0, max_value=10), min_size=1,
+                       max_size=100))
+def test_lookup_is_pure(stream):
+    """lookup() must not mutate state (encode reads pre-update state)."""
+    d = DictionaryCompressor(DictionaryConfig(entries=4))
+    for value in stream:
+        before = d.table()
+        d.lookup(value)
+        assert d.table() == before
+        d.update(value)

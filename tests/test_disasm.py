@@ -1,0 +1,89 @@
+"""Tests for the disassembler: readable and reassemblable."""
+
+import pytest
+
+from repro.arch.assembler import assemble
+from repro.arch.disasm import disassemble, listing, symbol_map
+
+
+class TestDisassemble:
+    def roundtrip(self, source_line):
+        """Assemble → disassemble → assemble again → same instruction."""
+        program = assemble(f"main: {source_line}")
+        original = program.instructions[0]
+        text = disassemble(original)
+        again = assemble(f"main: {text}").instructions[0]
+        assert again == original, f"{source_line!r} -> {text!r}"
+
+    @pytest.mark.parametrize("line", [
+        "add t0, t1, t2",
+        "sub s0, s1, s2",
+        "mul v0, a0, a1",
+        "and t3, t4, t5",
+        "nor ra, sp, fp",
+        "slt t0, t1, t2",
+        "sltu t0, t1, t2",
+        "sllv t0, t1, t2",
+        "addi t0, t1, -42",
+        "andi t0, t1, 255",
+        "slti t0, t1, 100",
+        "sll t0, t1, 5",
+        "sra t0, t1, 31",
+        "lui t0, 0xABCD",
+        "lw t0, 8(sp)",
+        "sw t1, -12(fp)",
+        "jr ra",
+        "syscall",
+        "nop",
+    ])
+    def test_roundtrip(self, line):
+        self.roundtrip(line)
+
+    def test_branch_with_symbols(self):
+        program = assemble("main: beq t0, t1, main")
+        symbols = symbol_map(program)
+        assert disassemble(program.instructions[0], symbols) == \
+            "beq t0, t1, main"
+
+    def test_branch_without_symbols_uses_hex(self):
+        program = assemble("main: beq t0, t1, main")
+        assert "0x400000" in disassemble(program.instructions[0])
+
+    def test_jal_symbolic(self):
+        program = assemble("main: jal main")
+        assert disassemble(program.instructions[0], symbol_map(program)) == \
+            "jal main"
+
+    def test_jalr_renders_both_regs(self):
+        program = assemble("main: jalr s0, t0")
+        assert disassemble(program.instructions[0]) == "jalr s0, t0"
+
+
+class TestListing:
+    SOURCE = """
+main:
+    li  t0, 1
+loop:
+    addi t0, t0, 1
+    blt  t0, 5, loop
+    li  v0, 1
+    syscall
+"""
+
+    def test_labels_interleaved(self):
+        program = assemble(self.SOURCE)
+        text = listing(program)
+        assert "main:" in text
+        assert "loop:" in text
+        assert "blt t0, at, loop" in text  # immediate was materialized
+
+    def test_start_and_count(self):
+        program = assemble(self.SOURCE)
+        text = listing(program, start=program.pc_of("loop"), count=2)
+        assert "loop:" in text
+        assert text.count("0x004000") == 2
+
+    def test_stops_at_code_end(self):
+        program = assemble("main: nop")
+        text = listing(program, count=100)
+        assert len(text.splitlines()) == 2  # label + one instruction

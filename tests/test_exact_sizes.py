@@ -1,0 +1,176 @@
+"""Exact bit-accounting tests: FLL sizes computed by hand.
+
+The log-size experiments are only as credible as the encoder's
+accounting, so these tests pin exact bit counts for crafted programs
+whose first-load patterns are fully predictable.
+"""
+
+from repro.arch import assemble
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine
+
+INTERVAL = 1_000
+CONFIG = BugNetConfig(checkpoint_interval=INTERVAL)
+HEADER_BITS = (16 + CONFIG.tid_bits + CONFIG.cid_bits + 64 + 32
+               + 32 * 32 + 1)
+FOOTER_BITS = CONFIG.ic_bits + 1  # end_ic + fault flag (no fault pc)
+
+
+def record(source):
+    program = assemble(source)
+    machine = Machine(program, MachineConfig(), CONFIG)
+    machine.spawn()
+    result = machine.run()
+    return machine, result
+
+
+class TestExactAccounting:
+    def test_no_loads_header_only(self):
+        source = """
+main:
+    li  t0, 1
+    li  t1, 2
+    add t2, t0, t1
+    li  v0, 1
+    syscall
+"""
+        _, result = record(source)
+        checkpoints = result.log_store.checkpoints(0)
+        assert len(checkpoints) == 1
+        fll = checkpoints[0].fll
+        assert fll.num_records == 0
+        assert fll.payload_bits == 0
+        assert fll.bit_size(CONFIG) == HEADER_BITS + FOOTER_BITS
+
+    def test_one_uncompressible_load(self):
+        # One load of a value that cannot hit the (empty) dictionary and
+        # zero skipped loads: LC-Type(1)+5 + LV-Type(1)+32 = 39 bits.
+        source = """
+.data
+slot: .word 0xDEADBEEF
+.text
+main:
+    lw  t0, slot
+    li  v0, 1
+    syscall
+"""
+        _, result = record(source)
+        fll = result.log_store.checkpoints(0)[0].fll
+        assert fll.num_records == 1
+        assert fll.payload_bits == 39
+
+    def test_repeat_load_encodes_as_dictionary_hit(self):
+        # Second first-load of the SAME value (different word): the
+        # dictionary holds it, so the record is 1+5+1+6 = 13 bits.
+        source = """
+.data
+a: .word 0xDEADBEEF
+b: .word 0xDEADBEEF
+.text
+main:
+    lw  t0, a
+    lw  t1, b
+    li  v0, 1
+    syscall
+"""
+        _, result = record(source)
+        fll = result.log_store.checkpoints(0)[0].fll
+        assert fll.num_records == 2
+        assert fll.payload_bits == 39 + 13
+
+    def test_skipped_loads_in_lcount(self):
+        # Load a, then 3 repeat loads of a, then first-load of b:
+        # record 2 has L-Count 3 (reduced form).
+        source = """
+.data
+a: .word 5
+b: .word 0x12345678
+.text
+main:
+    lw  t0, a
+    lw  t0, a
+    lw  t0, a
+    lw  t0, a
+    lw  t1, b
+    li  v0, 1
+    syscall
+"""
+        _, result = record(source)
+        fll = result.log_store.checkpoints(0)[0].fll
+        assert fll.num_records == 2
+        # Record 1: 39 bits (value 5 misses the empty dictionary).
+        # Record 2: value 0x12345678 missed (dictionary holds only 5),
+        # L-Count=3 reduced: 1+5+1+32 = 39 bits.
+        assert fll.payload_bits == 78
+
+    def test_full_lcount_form(self):
+        # 40 repeat loads between two logged ones: L-Count 40 >= 32
+        # forces the full form: 1 + ic_bits + 1 + 32.
+        source = """
+.data
+a: .word 5
+b: .word 0x12345678
+.text
+main:
+    lw  t0, a
+    li  s0, 0
+rep:
+    lw  t0, a
+    addi s0, s0, 1
+    blt  s0, 40, rep
+    lw  t1, b
+    li  v0, 1
+    syscall
+"""
+        _, result = record(source)
+        fll = result.log_store.checkpoints(0)[0].fll
+        assert fll.num_records == 2
+        expected_second = 1 + CONFIG.ic_bits + 1 + 32
+        assert fll.payload_bits == 39 + expected_second
+
+    def test_store_then_load_logs_nothing(self):
+        source = """
+.data
+a: .space 4
+.text
+main:
+    li  t0, 7
+    sw  t0, a
+    lw  t1, a
+    li  v0, 1
+    syscall
+"""
+        _, result = record(source)
+        fll = result.log_store.checkpoints(0)[0].fll
+        assert fll.num_records == 0
+
+    def test_byte_size_matches_bit_size(self):
+        source = """
+.data
+a: .word 1
+.text
+main:
+    lw  t0, a
+    li  v0, 1
+    syscall
+"""
+        _, result = record(source)
+        fll = result.log_store.checkpoints(0)[0].fll
+        assert fll.byte_size(CONFIG) == (fll.bit_size(CONFIG) + 7) // 8
+
+    def test_logstore_accounts_exact_bytes(self):
+        source = """
+.data
+a: .word 1
+.text
+main:
+    lw  t0, a
+    li  v0, 1
+    syscall
+"""
+        _, result = record(source)
+        store = result.log_store
+        checkpoint = store.checkpoints(0)[0]
+        assert store.total_bytes == (
+            checkpoint.fll.byte_size(CONFIG) + checkpoint.mrl.byte_size(CONFIG)
+        )

@@ -1,0 +1,174 @@
+"""Integration tests for the crash path (paper §4.8) and Figure 2 sizing."""
+
+from repro.analysis.sizes import fll_bytes_for_window, report_bytes_for_window
+from repro.arch import assemble
+from repro.arch.memory import Memory
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine
+from repro.replay import Replayer, assert_traces_equal
+
+NULL_DEREF = """
+.data
+ptr: .word 0
+.text
+main:
+    li   s0, 0
+    li   s1, 40
+warm:
+    addi s0, s0, 1
+    blt  s0, s1, warm
+    lw   t0, ptr
+    lw   t1, 0(t0)
+    li   v0, 1
+    syscall
+"""
+
+
+def crash_run(source, interval=25, **kwargs):
+    program = assemble(source)
+    machine = Machine(program, MachineConfig(),
+                      BugNetConfig(checkpoint_interval=interval),
+                      collect_traces=True, **kwargs)
+    machine.spawn()
+    result = machine.run()
+    assert result.crashed
+    return program, machine, result
+
+
+class TestCrashReports:
+    def test_fault_metadata(self):
+        program, machine, result = crash_run(NULL_DEREF)
+        crash = result.crash
+        assert crash.fault_kind == "memory"
+        assert crash.faulting_tid == 0
+        assert crash.fault_pc == program.pc_of("main") + 4 * (
+            (crash.fault_pc - program.pc_of("main")) // 4
+        )
+        assert crash.fault_source_line > 0
+        assert "unmapped" in crash.fault_message
+
+    def test_final_interval_has_fault_pc(self):
+        _, _, result = crash_run(NULL_DEREF)
+        last = result.crash.checkpoints[0][-1]
+        assert last.fll.fault_pc == result.crash.fault_pc
+        assert last.reason == "fault"
+
+    def test_replay_window_covers_whole_run(self):
+        _, machine, result = crash_run(NULL_DEREF)
+        fault_thread = machine.kernel.thread(0)
+        assert result.crash.replay_window(0) == fault_thread.cpu.inst_count
+
+    def test_crash_replay_reaches_fault_point(self):
+        program, machine, result = crash_run(NULL_DEREF)
+        flls = result.crash.flls_for(0)
+        replayer = Replayer(program, machine.bugnet)
+        memory = Memory(fault_checks=False)
+        replays = [replayer.replay_interval(f, memory=memory) for f in flls]
+        events = [e for r in replays for e in r.events]
+        assert_traces_equal(machine.collectors[0], events)
+        assert replays[-1].end_pc == result.crash.fault_pc
+
+    def test_fault_probe_reproduces_crash(self):
+        program, machine, result = crash_run(NULL_DEREF)
+        flls = result.crash.flls_for(0)
+        replayer = Replayer(program, machine.bugnet)
+        memory = Memory(fault_checks=False)
+        last = None
+        for fll in flls:
+            last = replayer.replay_interval(fll, memory=memory)
+        fault = replayer.probe_fault(
+            flls[-1], memory, last.end_pc, last.end_regs,
+            mapped_pages=result.crash.mapped_pages,
+        )
+        assert fault is not None
+        assert fault.kind == "memory"
+
+    def test_summary_readable(self):
+        _, _, result = crash_run(NULL_DEREF)
+        text = result.crash.summary()
+        assert "memory fault" in text
+        assert "replay window" in text
+
+    def test_total_bytes_positive(self):
+        _, machine, result = crash_run(NULL_DEREF)
+        assert result.crash.total_bytes(machine.bugnet) > 0
+
+    def test_arithmetic_fault_kind(self):
+        source = """
+main:
+    li t0, 9
+    li t1, 0
+    div t2, t0, t1
+"""
+        _, _, result = crash_run(source)
+        assert result.crash.fault_kind == "arithmetic"
+
+    def test_instruction_fault_kind(self):
+        source = """
+main:
+    li ra, 0x00001000
+    jr ra
+"""
+        _, _, result = crash_run(source)
+        assert result.crash.fault_kind == "instruction"
+
+    def test_fault_on_first_instruction_of_interval(self):
+        # A crash on the very first instruction after an interval close
+        # still produces a (zero-length) final FLL carrying the fault PC.
+        source = """
+main:
+    li v0, 5
+    syscall
+    lw t0, 0(zero)
+"""
+        _, _, result = crash_run(source, interval=1_000_000)
+        last = result.crash.checkpoints[0][-1]
+        assert last.fll.fault_pc is not None
+
+
+class TestWindowSizing:
+    def test_fll_bytes_for_window_subset(self):
+        _, machine, result = crash_run(NULL_DEREF, interval=10)
+        config = machine.bugnet
+        small = fll_bytes_for_window(result.crash, config, window=5)
+        everything = fll_bytes_for_window(result.crash, config, window=10**9)
+        assert 0 < small < everything
+        assert everything == result.crash.fll_bytes(config, tid=0)
+
+    def test_report_bytes_include_races(self):
+        _, machine, result = crash_run(NULL_DEREF, interval=10)
+        config = machine.bugnet
+        with_races = report_bytes_for_window(result.crash, config, window=20)
+        without = report_bytes_for_window(result.crash, config, window=20,
+                                          include_races=False)
+        assert with_races > without
+
+    def test_log_budget_bounds_replay_window(self):
+        # With a tight main-memory budget, old checkpoints are discarded
+        # and the replay window shrinks accordingly (paper §7.2).
+        source = """
+main:
+    li  s0, 0
+    li  s1, 2000
+spin:
+    addi s0, s0, 1
+    blt  s0, s1, spin
+    lw   t0, 0(zero)
+"""
+        program = assemble(source)
+        machine = Machine(
+            program, MachineConfig(),
+            BugNetConfig(checkpoint_interval=50, log_memory_budget=4096),
+            collect_traces=False,
+        )
+        machine.spawn()
+        result = machine.run()
+        assert result.crashed
+        assert result.log_store.evicted_checkpoints > 0
+        window = result.crash.replay_window(0)
+        total = machine.kernel.thread(0).cpu.inst_count
+        assert window < total
+        # The retained suffix still replays cleanly.
+        flls = result.crash.flls_for(0)
+        replays = Replayer(program, machine.bugnet).replay(flls)
+        assert sum(r.instructions for r in replays) == window

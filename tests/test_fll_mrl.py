@@ -1,0 +1,184 @@
+"""Unit + property tests for the FLL and MRL log formats."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import BugNetConfig
+from repro.common.errors import LogDecodeError
+from repro.tracing.fll import FLLHeader, FLLReader, FLLWriter
+from repro.tracing.mrl import MRLEntry, MRLHeader, MRLReader, MRLWriter
+
+CONFIG = BugNetConfig(checkpoint_interval=100_000)
+REGS = tuple(range(32))
+
+
+def header(cid=0):
+    return FLLHeader(pid=1, tid=0, cid=cid, timestamp=7, pc=0x400000, regs=REGS)
+
+
+class TestFLLHeader:
+    def test_needs_32_registers(self):
+        with pytest.raises(ValueError):
+            FLLHeader(pid=1, tid=0, cid=0, timestamp=0, pc=0, regs=(0,) * 31)
+
+    def test_header_bit_size(self):
+        bits = header().bit_size(CONFIG)
+        # pid(16) + tid + cid + timestamp(64) + pc(32) + 32 regs + major(1)
+        expected = 16 + CONFIG.tid_bits + CONFIG.cid_bits + 64 + 32 + 32 * 32 + 1
+        assert bits == expected
+
+
+class TestFLLRecords:
+    def test_reduced_lcount_record_size(self):
+        writer = FLLWriter(CONFIG, header())
+        bits = writer.append(skipped=3, value=0xABCD, dict_index=None)
+        # LC-Type(1) + 5 + LV-Type(1) + 32
+        assert bits == 39
+
+    def test_encoded_value_record_size(self):
+        writer = FLLWriter(CONFIG, header())
+        bits = writer.append(skipped=3, value=0, dict_index=5)
+        # LC-Type(1) + 5 + LV-Type(1) + 6
+        assert bits == 13
+
+    def test_full_lcount_record_size(self):
+        writer = FLLWriter(CONFIG, header())
+        bits = writer.append(skipped=1000, value=0, dict_index=None)
+        assert bits == 1 + CONFIG.full_lcount_bits + 1 + 32
+
+    def test_lcount_threshold_is_32(self):
+        # Paper: 5 bits "whenever its value is less than 32".
+        writer = FLLWriter(CONFIG, header())
+        assert writer.append(31, 0, None) == 39
+        assert writer.append(32, 0, None) == 1 + CONFIG.full_lcount_bits + 33
+
+    def test_roundtrip_mixed_records(self):
+        writer = FLLWriter(CONFIG, header())
+        records = [(0, 0xDEADBEEF, None), (31, 0, 3), (40, 7, None), (2, 0, 63)]
+        for skipped, value, index in records:
+            writer.append(skipped, value, index)
+        fll = writer.finalize(end_ic=500)
+        reader = FLLReader(CONFIG, fll)
+        decoded = list(reader)
+        assert len(decoded) == 4
+        assert decoded[0] == (0, False, 0xDEADBEEF)
+        assert decoded[1] == (31, True, 3)
+        assert decoded[2] == (40, False, 7)
+        assert decoded[3] == (2, True, 63)
+
+    def test_reader_stops_at_record_count(self):
+        writer = FLLWriter(CONFIG, header())
+        writer.append(0, 1, None)
+        fll = writer.finalize(end_ic=10)
+        reader = FLLReader(CONFIG, fll)
+        reader.next_record()
+        with pytest.raises(LogDecodeError):
+            reader.next_record()
+
+    def test_finalize_records_fault(self):
+        writer = FLLWriter(CONFIG, header())
+        fll = writer.finalize(end_ic=77, fault_pc=0x400abc)
+        assert fll.fault_pc == 0x400ABC
+        assert fll.interval_length == 77
+
+    def test_fault_footer_adds_bits(self):
+        clean = FLLWriter(CONFIG, header()).finalize(end_ic=1)
+        crashed = FLLWriter(CONFIG, header()).finalize(end_ic=1, fault_pc=4)
+        assert crashed.bit_size(CONFIG) == clean.bit_size(CONFIG) + 32
+
+    def test_byte_size_rounds_up(self):
+        fll = FLLWriter(CONFIG, header()).finalize(end_ic=1)
+        assert fll.byte_size(CONFIG) == (fll.bit_size(CONFIG) + 7) // 8
+
+    def test_raw_bits_exceed_compressed(self):
+        writer = FLLWriter(CONFIG, header())
+        for _ in range(10):
+            writer.append(0, 5, 1)  # all dictionary hits
+        fll = writer.finalize(end_ic=100)
+        assert fll.raw_payload_bits > fll.payload_bits
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    records=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=99_999),
+            st.integers(min_value=0, max_value=2**32 - 1),
+            st.one_of(st.none(), st.integers(min_value=0, max_value=63)),
+        ),
+        max_size=100,
+    )
+)
+def test_fll_roundtrip_property(records):
+    """Arbitrary record sequences decode exactly."""
+    writer = FLLWriter(CONFIG, header())
+    for skipped, value, index in records:
+        writer.append(skipped, value, index)
+    fll = writer.finalize(end_ic=CONFIG.checkpoint_interval)
+    decoded = list(FLLReader(CONFIG, fll))
+    assert len(decoded) == len(records)
+    for (skipped, value, index), (got_skipped, encoded, raw) in zip(records, decoded):
+        assert got_skipped == skipped
+        if index is None:
+            assert not encoded and raw == value
+        else:
+            assert encoded and raw == index
+
+
+class TestMRL:
+    def mrl_header(self):
+        return MRLHeader(pid=1, tid=2, cid=3, timestamp=99)
+
+    def test_roundtrip(self):
+        writer = MRLWriter(CONFIG, self.mrl_header())
+        entries = [
+            MRLEntry(local_ic=10, remote_tid=1, remote_cid=2, remote_ic=55),
+            MRLEntry(local_ic=99_000, remote_tid=63, remote_cid=255,
+                     remote_ic=99_999),
+        ]
+        for entry in entries:
+            writer.append(entry)
+        mrl = writer.finalize()
+        assert list(MRLReader(CONFIG, mrl)) == entries
+
+    def test_entry_bit_width(self):
+        writer = MRLWriter(CONFIG, self.mrl_header())
+        writer.append(MRLEntry(0, 0, 0, 0))
+        mrl = writer.finalize()
+        expected = 2 * CONFIG.ic_bits + CONFIG.tid_bits + CONFIG.cid_bits
+        assert mrl.payload_bits == expected
+
+    def test_empty_log(self):
+        mrl = MRLWriter(CONFIG, self.mrl_header()).finalize()
+        assert mrl.num_entries == 0
+        assert list(MRLReader(CONFIG, mrl)) == []
+
+    def test_reading_past_end_raises(self):
+        mrl = MRLWriter(CONFIG, self.mrl_header()).finalize()
+        with pytest.raises(LogDecodeError):
+            MRLReader(CONFIG, mrl).next_entry()
+
+    def test_header_size(self):
+        bits = self.mrl_header().bit_size(CONFIG)
+        assert bits == 16 + CONFIG.tid_bits + CONFIG.cid_bits + 64
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=99_999),
+            st.integers(min_value=0, max_value=63),
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=0, max_value=99_999),
+        ),
+        max_size=50,
+    )
+)
+def test_mrl_roundtrip_property(entries):
+    writer = MRLWriter(CONFIG, MRLHeader(pid=1, tid=0, cid=0, timestamp=0))
+    expected = [MRLEntry(*fields) for fields in entries]
+    for entry in expected:
+        writer.append(entry)
+    assert list(MRLReader(CONFIG, writer.finalize())) == expected

@@ -1,0 +1,218 @@
+"""Unit tests for kernel services and scheduler state transitions."""
+
+import pytest
+
+from repro.arch import assemble
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.common.errors import Fault
+from repro.mp.machine import Machine
+from repro.system.kernel import ThreadState
+
+
+def machine_for(source, threads=1, entries=None, cores=1, **kwargs):
+    program = assemble(source)
+    machine = Machine(program, MachineConfig(num_cores=cores),
+                      BugNetConfig(checkpoint_interval=10_000), **kwargs)
+    for index in range(threads):
+        entry = entries[index] if entries else "main"
+        machine.spawn(entry=entry)
+    return machine
+
+
+class TestSyscalls:
+    def test_print_char(self):
+        machine = machine_for("""
+main:
+    li a0, 'H'
+    li v0, 3
+    syscall
+    li a0, 'i'
+    li v0, 3
+    syscall
+    li v0, 1
+    syscall
+""")
+        result = machine.run()
+        assert result.console_text == "Hi"
+
+    def test_current_tid(self):
+        machine = machine_for("""
+main:
+    li v0, 10
+    syscall
+    move a0, v0
+    li v0, 1
+    syscall
+""", threads=3)
+        result = machine.run()
+        assert result.exit_codes == {0: 0, 1: 1, 2: 2}
+
+    def test_unknown_syscall_faults(self):
+        machine = machine_for("main:\n li v0, 99\n syscall")
+        result = machine.run()
+        assert result.crashed
+        assert "unknown syscall" in result.crash.fault_message
+
+    def test_sbrk_zero_returns_current_break(self):
+        machine = machine_for("""
+main:
+    li a0, 16
+    li v0, 6
+    syscall
+    move s0, v0
+    li a0, 0
+    li v0, 6
+    syscall
+    sub a0, v0, s0
+    li v0, 1
+    syscall
+""")
+        result = machine.run()
+        assert result.exit_codes[0] == 16
+
+    def test_exit_code_propagates(self):
+        machine = machine_for("main:\n li a0, 42\n li v0, 1\n syscall")
+        result = machine.run()
+        assert result.exit_codes[0] == 42
+        assert machine.kernel.thread(0).state == ThreadState.EXITED
+
+    def test_syscall_count(self):
+        machine = machine_for("""
+main:
+    li v0, 5
+    syscall
+    li v0, 5
+    syscall
+    li v0, 1
+    syscall
+""")
+        machine.run()
+        assert machine.kernel.syscalls_serviced == 3
+
+
+class TestLockHandoff:
+    SOURCE = """
+main:
+    li v0, 8
+    li a0, 7
+    syscall
+    li s0, 100
+spin:
+    addi s0, s0, -1
+    bnez s0, spin
+    li v0, 9
+    li a0, 7
+    syscall
+    li v0, 1
+    syscall
+"""
+
+    def test_blocked_thread_wakes_with_ownership(self):
+        machine = machine_for(self.SOURCE, threads=2, cores=2)
+        result = machine.run()
+        assert set(result.exit_codes) == {0, 1}
+
+    def test_handoff_records_sync_edge(self):
+        machine = machine_for(self.SOURCE, threads=2, cores=2)
+        machine.run()
+        assert len(machine.kernel.sync_edges) >= 1
+        releaser, rel_ic, acquirer, acq_ic = machine.kernel.sync_edges[0]
+        assert {releaser, acquirer} == {0, 1}
+
+    def test_fifo_wakeup_order(self):
+        machine = machine_for(self.SOURCE, threads=3, cores=3)
+        result = machine.run()
+        assert len(result.exit_codes) == 3
+
+
+class TestSchedulerStates:
+    def test_blocked_thread_not_scheduled(self):
+        source = """
+main:
+    li v0, 8
+    li a0, 1
+    syscall
+    b  hold
+hold:
+    b hold
+second:
+    li v0, 8
+    li a0, 1
+    syscall
+    li v0, 1
+    syscall
+"""
+        machine = machine_for(source, threads=2, entries=["main", "second"],
+                              cores=2)
+        result = machine.run(max_instructions=2_000)
+        assert result.timed_out  # holder spins forever
+        assert machine.kernel.thread(1).state == ThreadState.BLOCKED
+
+    def test_live_includes_blocked(self):
+        source = """
+main:
+    li v0, 8
+    li a0, 1
+    syscall
+    b  hold
+hold:
+    b hold
+second:
+    li v0, 8
+    li a0, 1
+    syscall
+    li v0, 1
+    syscall
+"""
+        machine = machine_for(source, threads=2, entries=["main", "second"],
+                              cores=2)
+        machine.run(max_instructions=1_000)
+        live = machine.kernel.live()
+        assert len(live) == 2
+
+    def test_crash_freezes_all_threads(self):
+        source = """
+main:
+    lw t0, 0(zero)
+worker:
+    li s0, 0
+w:
+    addi s0, s0, 1
+    blt s0, 100000, w
+    li v0, 1
+    syscall
+"""
+        machine = machine_for(source, threads=2, entries=["main", "worker"],
+                              cores=2, collect_traces=False)
+        result = machine.run()
+        assert result.crashed
+        # The worker stopped well short of its loop bound.
+        assert machine.kernel.thread(1).cpu.inst_count < 100_000
+
+    def test_seeded_interleave_is_deterministic(self):
+        source = """
+.data
+shared: .word 0
+.text
+main:
+    li  s0, 0
+l:
+    lw  t0, shared
+    addi t0, t0, 1
+    sw  t0, shared
+    addi s0, s0, 1
+    blt s0, 50, l
+    li  v0, 1
+    syscall
+"""
+        def final(seed):
+            program = assemble(source)
+            machine = Machine(program,
+                              MachineConfig(num_cores=2, interleave_seed=seed),
+                              BugNetConfig(checkpoint_interval=10_000))
+            machine.spawn()
+            machine.spawn()
+            machine.run()
+            return machine.memory.peek(program.symbols["shared"])
+
+        assert final(42) == final(42)

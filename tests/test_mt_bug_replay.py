@@ -1,0 +1,92 @@
+"""End-to-end multithreaded bug debugging: the paper's hardest case.
+
+For the multithreaded Table-1 programs, record the crash, then do what a
+developer would: replay every thread from its FLLs, stitch the MRL
+ordering, and inspect the interaction — all from the shipment alone.
+"""
+
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.replay import assert_traces_equal
+from repro.replay.races import infer_races, replay_all_threads, sync_constraints
+from repro.tracing.serialize import dump_crash_report, load_crash_report
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+MT_BUGS = ["gaim-0.82.1", "python-2.1.1-1", "python-2.1.1-2", "w3m-0.3.2.2"]
+
+
+@pytest.mark.parametrize("name", MT_BUGS)
+def test_mt_bug_full_pipeline(name):
+    bug = BUGS_BY_NAME[name]
+    config = BugNetConfig(checkpoint_interval=20_000)
+    run = run_bug(bug, bugnet=config, record=True, collect_traces=True)
+    assert run.crashed
+
+    # Ship and reload, as the real workflow would.
+    report, loaded_config = load_crash_report(
+        dump_crash_report(run.result.crash, config)
+    )
+
+    # Rebuild a LogStore view from the report for stitching.
+    from repro.tracing.backing import LogStore
+
+    store = LogStore(loaded_config)
+    for tid in report.thread_ids:
+        for checkpoint in report.checkpoints[tid]:
+            store.add(tid, checkpoint.fll, checkpoint.mrl,
+                      reason=checkpoint.reason)
+
+    programs = {tid: run.program for tid in report.thread_ids}
+    replay = replay_all_threads(store, programs, loaded_config)
+    for tid in report.thread_ids:
+        events = [e for r in replay.per_thread[tid] for e in r.events]
+        assert_traces_equal(run.machine.collectors[tid], events,
+                            context=f"{name}-t{tid}")
+    assert len(replay.schedule) == sum(
+        replay.thread_length(tid) for tid in report.thread_ids
+    )
+
+
+def test_gaim_race_on_buddy_slot_detected():
+    """gaim's bug IS a data race: the removal and the dereference are
+    unsynchronized.  The race inference should flag the buddy slot."""
+    bug = BUGS_BY_NAME["gaim-0.82.1"]
+    config = BugNetConfig(checkpoint_interval=20_000)
+    run = run_bug(bug, bugnet=config, record=True)
+    store = run.result.log_store
+    programs = {tid: run.program for tid in store.threads()}
+    replay = replay_all_threads(store, programs, config)
+    races = infer_races(
+        replay,
+        sync_constraints(replay, run.machine.kernel.sync_edges,
+                         run.result.crash.total_instructions),
+        max_reports=50,
+    )
+    buddy_slot = run.program.symbols["buddies"]
+    assert any(race.addr == buddy_slot for race in races), races[:5]
+
+
+def test_napster_dangling_write_visible_in_schedule():
+    """The stale-pointer write lands between free and the final read in
+    the stitched order — exactly the interleaving a developer needs to
+    see to understand the corruption."""
+    bug = BUGS_BY_NAME["napster-1.5.2"]
+    config = BugNetConfig(checkpoint_interval=50_000)
+    run = run_bug(bug, bugnet=config, record=True)
+    store = run.result.log_store
+    programs = {tid: run.program for tid in store.threads()}
+    replay = replay_all_threads(store, programs, config)
+    # Find the renderer's stale store of the 0x0BAD0000 marker.
+    stale_positions = []
+    for tid in store.threads():
+        index = 0
+        for interval in replay.per_thread[tid]:
+            for event in interval.events:
+                if event.store is not None and event.store[1] == 0x0BAD0000:
+                    stale_positions.append((tid, index))
+                index += 1
+    assert stale_positions, "stale write not replayed"
+    order = {pair: pos for pos, pair in enumerate(replay.schedule)}
+    stale_order = min(order[p] for p in stale_positions)
+    assert stale_order < len(replay.schedule) - 1

@@ -1,0 +1,129 @@
+"""Unit + property tests for the Netzer race-edge reducers."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tracing.netzer import PairwiseReducer, VectorClockReducer
+
+
+class TestPairwiseReducer:
+    def test_first_edge_logged(self):
+        assert PairwiseReducer().should_log(1, 0, 10) is True
+
+    def test_stale_edge_dropped(self):
+        reducer = PairwiseReducer()
+        reducer.should_log(1, 0, 10)
+        assert reducer.should_log(1, 0, 10) is False
+        assert reducer.should_log(1, 0, 5) is False
+
+    def test_advancing_edge_logged(self):
+        reducer = PairwiseReducer()
+        reducer.should_log(1, 0, 10)
+        assert reducer.should_log(1, 0, 11) is True
+
+    def test_new_interval_resets_watermark(self):
+        reducer = PairwiseReducer()
+        reducer.should_log(1, 0, 10)
+        assert reducer.should_log(1, 1, 5) is True  # different remote CID
+
+    def test_per_thread_watermarks_independent(self):
+        reducer = PairwiseReducer()
+        reducer.should_log(1, 0, 10)
+        assert reducer.should_log(2, 0, 5) is True
+
+    def test_reset_clears(self):
+        reducer = PairwiseReducer()
+        reducer.should_log(1, 0, 10)
+        reducer.reset()
+        assert reducer.should_log(1, 0, 10) is True
+
+
+class TestVectorClockReducer:
+    def test_direct_duplicate_dropped(self):
+        reducer = VectorClockReducer()
+        assert reducer.should_log(0, 1, 0, 10) is True
+        assert reducer.should_log(0, 1, 0, 10) is False
+
+    def test_transitive_edge_dropped(self):
+        # t1 knows t2@(0,10); t0 learns from t1; a direct edge from t2 at
+        # an older position is implied and dropped.
+        reducer = VectorClockReducer()
+        reducer.observe_progress(1, 0, 50)
+        assert reducer.should_log(1, 2, 0, 10) is True   # t1 <- t2@10
+        assert reducer.should_log(0, 1, 0, 50) is True   # t0 <- t1@50
+        assert reducer.should_log(0, 2, 0, 9) is False   # implied
+
+    def test_newer_position_still_logged(self):
+        reducer = VectorClockReducer()
+        reducer.should_log(1, 2, 0, 10)
+        reducer.should_log(0, 1, 0, 50)
+        assert reducer.should_log(0, 2, 0, 11) is True
+
+    def test_reset_thread_forgets(self):
+        reducer = VectorClockReducer()
+        reducer.should_log(0, 1, 0, 10)
+        reducer.reset_thread(0)
+        assert reducer.should_log(0, 1, 0, 10) is True
+
+
+def _closure(kept_edges, all_edges):
+    """Transitive closure of kept ordering edges plus program order.
+
+    Nodes are every (tid, ic) sampling point mentioned by *any* edge, so
+    dropped edges can be checked against the closure; cross-thread edges
+    come only from *kept_edges*.
+    """
+    graph = nx.DiGraph()
+    per_thread = {}
+    for local_tid, local_ic, remote_tid, remote_ic in all_edges:
+        per_thread.setdefault(local_tid, set()).add(local_ic)
+        per_thread.setdefault(remote_tid, set()).add(remote_ic)
+    for tid, ics in per_thread.items():
+        ordered = sorted(ics)
+        graph.add_nodes_from((tid, ic) for ic in ordered)
+        for a, b in zip(ordered, ordered[1:]):
+            graph.add_edge((tid, a), (tid, b))
+    for local_tid, local_ic, remote_tid, remote_ic in kept_edges:
+        graph.add_edge((remote_tid, remote_ic), (local_tid, local_ic))
+    return nx.transitive_closure(graph)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    raw=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2),   # local tid
+            st.integers(min_value=0, max_value=2),   # remote tid
+            st.integers(min_value=1, max_value=30),  # remote ic
+        ).filter(lambda t: t[0] != t[1]),
+        max_size=40,
+    )
+)
+def test_pairwise_reduction_preserves_ordering(raw):
+    """Dropped edges are always implied by kept ones (soundness).
+
+    Build per-local-thread monotonically increasing local ICs, run the
+    pairwise filter, and check the transitive closure of the kept edges
+    contains every dropped edge.
+    """
+    reducers = {tid: PairwiseReducer() for tid in range(3)}
+    local_clock = {tid: 0 for tid in range(3)}
+    remote_progress = {tid: 0 for tid in range(3)}
+    all_edges = []
+    kept_edges = []
+    for local_tid, remote_tid, advance in raw:
+        remote_progress[remote_tid] += advance
+        local_clock[local_tid] += 1
+        edge = (local_tid, local_clock[local_tid],
+                remote_tid, remote_progress[remote_tid])
+        all_edges.append(edge)
+        if reducers[local_tid].should_log(remote_tid, 0, edge[3]):
+            kept_edges.append(edge)
+    closure = _closure(kept_edges, all_edges)
+    for local_tid, local_ic, remote_tid, remote_ic in all_edges:
+        src = (remote_tid, remote_ic)
+        dst = (local_tid, local_ic)
+        assert closure.has_edge(src, dst) or src == dst, (
+            f"dropped edge {src} -> {dst} is not implied by kept edges"
+        )

@@ -1,0 +1,125 @@
+"""Property-based tests for the headline invariants.
+
+The core theorem of the paper — register state at interval start plus
+first-load values suffice for deterministic replay — is checked here
+over *randomly generated programs*, random checkpoint interval lengths,
+and random preemption timing.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.assembler import assemble
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine
+from repro.replay import Replayer, assert_traces_equal
+from repro.workloads.randprog import random_program, random_source
+
+
+def record(program, interval, timer=0, digest=False):
+    machine = Machine(
+        program,
+        MachineConfig(timer_interval=timer),
+        BugNetConfig(checkpoint_interval=interval),
+        collect_traces=True,
+        trace_digest_only=digest,
+    )
+    machine.spawn()
+    result = machine.run(max_instructions=200_000)
+    assert not result.timed_out
+    return machine, result
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       interval=st.sampled_from([3, 17, 100, 1000, 1_000_000]))
+def test_record_replay_determinism(seed, interval):
+    """Replaying the FLLs reproduces the committed stream, bit for bit."""
+    program = random_program(seed)
+    machine, result = record(program, interval)
+    flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+    replays = Replayer(program, machine.bugnet).replay(flls)
+    events = [event for replay in replays for event in replay.events]
+    assert_traces_equal(machine.collectors[0], events, context=f"seed={seed}")
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       timer=st.sampled_from([13, 64, 257]))
+def test_determinism_survives_preemption(seed, timer):
+    """Timer interrupts slice intervals arbitrarily; replay still exact."""
+    program = random_program(seed)
+    machine, result = record(program, interval=500, timer=timer)
+    flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+    replays = Replayer(program, machine.bugnet).replay(flls)
+    events = [event for replay in replays for event in replay.events]
+    assert_traces_equal(machine.collectors[0], events)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_logged_loads_match_consumed_records(seed):
+    """Every logged record is consumed exactly once during replay."""
+    program = random_program(seed)
+    machine, result = record(program, interval=50)
+    flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+    replays = Replayer(program, machine.bugnet).replay(flls)
+    assert sum(r.records_consumed for r in replays) == \
+        machine.recorders[0].loads_logged
+    assert sum(f.num_records for f in flls) == machine.recorders[0].loads_logged
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_generated_programs_are_well_defined(seed):
+    """The generator's safety contract: no faults, always exits."""
+    program = random_program(seed)
+    machine, result = record(program, interval=1000)
+    assert not result.crashed
+    assert 0 in result.exit_codes
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_generator_is_deterministic(seed):
+    assert random_source(seed) == random_source(seed)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       interval_a=st.sampled_from([7, 50, 400]),
+       interval_b=st.sampled_from([11, 90, 5000]))
+def test_interval_length_never_changes_semantics(seed, interval_a, interval_b):
+    """Checkpoint interval length is invisible to program behaviour.
+
+    Both the final console output and the replayed event streams must be
+    identical across interval configurations.
+    """
+    program = random_program(seed)
+    machine_a, result_a = record(program, interval_a)
+    machine_b, result_b = record(program, interval_b)
+    assert result_a.console_values == result_b.console_values
+    events_a = [
+        e for r in Replayer(program, machine_a.bugnet).replay(
+            [cp.fll for cp in result_a.log_store.checkpoints(0)]
+        ) for e in r.events
+    ]
+    events_b = [
+        e for r in Replayer(program, machine_b.bugnet).replay(
+            [cp.fll for cp in result_b.log_store.checkpoints(0)]
+        ) for e in r.events
+    ]
+    assert [(e.pc, e.load, e.store) for e in events_a] == \
+        [(e.pc, e.load, e.store) for e in events_b]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_digest_mode_agrees_with_full_traces(seed):
+    """The O(1)-memory digest validation accepts exactly what full does."""
+    program = random_program(seed)
+    machine, result = record(program, interval=64, digest=True)
+    flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+    replays = Replayer(program, machine.bugnet).replay(flls)
+    events = [event for replay in replays for event in replay.events]
+    assert_traces_equal(machine.collectors[0], events)

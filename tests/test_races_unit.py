@@ -1,0 +1,164 @@
+"""Unit tests for the race-machinery internals (constraints, schedules)."""
+
+import pytest
+
+from repro.arch import assemble
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.common.errors import ReplayDivergence
+from repro.mp.machine import Machine
+from repro.replay.races import (
+    Constraint,
+    MultiThreadReplay,
+    _merge_schedule,
+    replay_all_threads,
+    sync_constraints,
+)
+from repro.replay.replayer import IntervalReplay
+from repro.tracing.fll import FLLHeader, FLLWriter
+
+
+def fake_replay(tid, lengths):
+    """Build a MultiThreadReplay with empty events of given lengths."""
+    config = BugNetConfig(checkpoint_interval=1000)
+    intervals = []
+    for cid, length in enumerate(lengths):
+        writer = FLLWriter(config, FLLHeader(
+            pid=1, tid=tid, cid=cid, timestamp=cid, pc=0,
+            regs=tuple([0] * 32),
+        ))
+        fll = writer.finalize(end_ic=length)
+        replay = IntervalReplay(fll=fll)
+        replay.events = [None] * length
+        intervals.append(replay)
+    return intervals
+
+
+def build(lengths_by_tid, constraints):
+    replay = MultiThreadReplay(
+        per_thread={tid: fake_replay(tid, lengths)
+                    for tid, lengths in lengths_by_tid.items()},
+        constraints=constraints,
+    )
+    replay.schedule = _merge_schedule(replay)
+    return replay
+
+
+class TestMergeSchedule:
+    def test_unconstrained_covers_everything(self):
+        replay = build({0: [5], 1: [3]}, [])
+        assert len(replay.schedule) == 8
+        assert set(replay.schedule) == {(0, i) for i in range(5)} | {
+            (1, i) for i in range(3)
+        }
+
+    def test_constraint_orders_instructions(self):
+        # t1's instruction 0 must wait until t0 completed 4 instructions.
+        constraint = Constraint(local_tid=1, local_index=0,
+                                remote_tid=0, remote_index=4)
+        replay = build({0: [5], 1: [3]}, [constraint])
+        positions = {pair: order for order, pair in enumerate(replay.schedule)}
+        assert positions[(0, 3)] < positions[(1, 0)]
+
+    def test_chained_constraints(self):
+        constraints = [
+            Constraint(1, 0, 0, 2),   # t1@0 waits for t0 to finish 2
+            Constraint(0, 3, 1, 2),   # t0@3 waits for t1 to finish 2
+        ]
+        replay = build({0: [5], 1: [3]}, constraints)
+        positions = {pair: order for order, pair in enumerate(replay.schedule)}
+        assert positions[(0, 1)] < positions[(1, 0)]
+        assert positions[(1, 1)] < positions[(0, 3)]
+
+    def test_cycle_detected(self):
+        constraints = [
+            Constraint(1, 0, 0, 5),   # t1@0 waits for all of t0
+            Constraint(0, 0, 1, 3),   # t0@0 waits for all of t1
+        ]
+        with pytest.raises(ReplayDivergence, match="cycle"):
+            build({0: [5], 1: [3]}, constraints)
+
+    def test_thread_length_spans_intervals(self):
+        replay = build({0: [5, 7], 1: [3]}, [])
+        assert replay.thread_length(0) == 12
+
+
+class TestSyncConstraints:
+    def test_basic_conversion(self):
+        replay = build({0: [10], 1: [10]}, [])
+        edges = [(0, 5, 1, 3)]  # t0 released after 5; t1 acquired at idx 3
+        constraints = sync_constraints(replay, edges)
+        assert constraints == [Constraint(local_tid=1, local_index=3,
+                                          remote_tid=0, remote_index=5)]
+
+    def test_eviction_offsets_applied(self):
+        replay = build({0: [10], 1: [10]}, [])
+        # Thread 0 actually ran 30 instructions; 20 were evicted.
+        totals = {0: 30, 1: 10}
+        edges = [(0, 25, 1, 3)]
+        constraints = sync_constraints(replay, edges, totals)
+        assert constraints[0].remote_index == 5
+
+    def test_pre_window_edges_dropped(self):
+        replay = build({0: [10], 1: [10]}, [])
+        totals = {0: 30, 1: 10}
+        edges = [(0, 15, 1, 3)]  # release happened in the evicted prefix
+        assert sync_constraints(replay, edges, totals) == []
+
+    def test_unknown_thread_skipped(self):
+        replay = build({0: [10]}, [])
+        assert sync_constraints(replay, [(7, 5, 0, 1)]) == []
+
+
+class TestEvictedIntervalConstraints:
+    def test_mrl_referencing_evicted_interval_skipped(self):
+        """With a tight budget, MRL entries can point at evicted remote
+        intervals; stitching must drop them rather than crash."""
+        source = """
+.data
+shared: .word 0
+.text
+main:
+    li   s0, 0
+    li   s1, 300
+loop:
+    lw   t0, shared
+    addi t0, t0, 1
+    sw   t0, shared
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    li   v0, 1
+    syscall
+"""
+        program = assemble(source)
+        machine = Machine(
+            program, MachineConfig(num_cores=2),
+            BugNetConfig(checkpoint_interval=100, log_memory_budget=4_000),
+            collect_traces=True,
+        )
+        machine.spawn()
+        machine.spawn()
+        result = machine.run()
+        assert result.log_store.evicted_checkpoints > 0
+        replay = replay_all_threads(result.log_store,
+                                    {0: program, 1: program}, machine.bugnet)
+        # The retained suffix replays and schedules without error.
+        assert len(replay.schedule) == sum(
+            replay.thread_length(tid) for tid in replay.per_thread
+        )
+
+
+class TestEventAt:
+    def test_event_lookup_across_intervals(self):
+        replay = build({0: [3, 4]}, [])
+        # Patch in distinguishable events.
+        for interval_index, interval in enumerate(replay.per_thread[0]):
+            interval.events = [
+                (interval_index, position)
+                for position in range(interval.fll.end_ic)
+            ]
+        assert replay.event_at(0, 0) == (0, 0)
+        assert replay.event_at(0, 2) == (0, 2)
+        assert replay.event_at(0, 3) == (1, 0)
+        assert replay.event_at(0, 6) == (1, 3)
+        with pytest.raises(IndexError):
+            replay.event_at(0, 7)

@@ -1,0 +1,211 @@
+"""Unit tests for the BugNet recorder's interval lifecycle and logging."""
+
+import pytest
+
+from repro.cache.hierarchy import FirstLoadHierarchy
+from repro.common.config import BugNetConfig, CacheConfig
+from repro.tracing.backing import LogStore
+from repro.tracing.fll import FLLReader
+from repro.tracing.recorder import BugNetRecorder
+
+L1 = CacheConfig(size=512, associativity=2, block_size=64)
+L2 = CacheConfig(size=2048, associativity=4, block_size=64)
+REGS = tuple(range(32))
+
+
+def make_recorder(interval=100, **config_kwargs):
+    config = BugNetConfig(checkpoint_interval=interval, **config_kwargs)
+    hierarchy = FirstLoadHierarchy(L1, L2)
+    store = LogStore(config)
+    recorder = BugNetRecorder(config, hierarchy, store)
+    return recorder, hierarchy, store, config
+
+
+def record_load(recorder, hierarchy, addr, value):
+    first = hierarchy.access(addr, is_store=False)
+    recorder.note_load(value, first)
+    recorder.note_commit()
+
+
+class TestIntervalLifecycle:
+    def test_begin_requires_inactive(self):
+        recorder, *_ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        with pytest.raises(RuntimeError):
+            recorder.begin_interval(0, REGS)
+
+    def test_interval_closes_at_max_length(self):
+        recorder, _, store, _ = make_recorder(interval=3)
+        recorder.begin_interval(0x400000, REGS)
+        for _ in range(3):
+            recorder.note_commit()
+        assert not recorder.active
+        assert store.checkpoints(0)[0].fll.interval_length == 3
+
+    def test_header_captures_state(self):
+        recorder, _, store, _ = make_recorder()
+        regs = tuple(range(100, 132))
+        recorder.begin_interval(0x400abc, regs)
+        recorder.note_commit()
+        recorder.end_interval("interrupt")
+        header = store.checkpoints(0)[0].fll.header
+        assert header.pc == 0x400ABC
+        assert header.regs == regs
+
+    def test_cid_increments_and_wraps(self):
+        recorder, _, store, config = make_recorder(
+            interval=1, max_resident_checkpoints=4,
+        )
+        for _ in range(6):
+            recorder.begin_interval(0, REGS)
+            recorder.note_commit()
+        cids = [cp.fll.header.cid for cp in store.checkpoints(0)]
+        assert cids == [0, 1, 2, 3, 0, 1]
+
+    def test_end_interval_idempotent(self):
+        recorder, *_ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        recorder.end_interval("syscall")
+        recorder.end_interval("syscall")  # no-op, no error
+        assert recorder.intervals_closed == 1
+
+    def test_fault_pc_recorded(self):
+        recorder, _, store, _ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        recorder.note_commit()
+        recorder.end_interval("fault", fault_pc=0xDEAD)
+        assert store.checkpoints(0)[0].fll.fault_pc == 0xDEAD
+
+    def test_commit_outside_interval_rejected(self):
+        recorder, *_ = make_recorder()
+        with pytest.raises(RuntimeError):
+            recorder.note_commit()
+
+    def test_note_commits_batches(self):
+        recorder, _, store, _ = make_recorder(interval=10)
+        recorder.begin_interval(0, REGS)
+        leftover = recorder.note_commits(25)
+        assert leftover == 15
+        assert not recorder.active
+        recorder.begin_interval(0, REGS)
+        leftover = recorder.note_commits(leftover)
+        assert leftover == 5
+        recorder.begin_interval(0, REGS)
+        assert recorder.note_commits(leftover) == 0
+        assert recorder.active
+        assert recorder.ic == 5
+
+    def test_interval_listener_fires(self):
+        recorder, *_ = make_recorder()
+        seen = []
+        recorder.interval_listener = lambda fll, mrl, reason: seen.append(reason)
+        recorder.begin_interval(0, REGS)
+        recorder.end_interval("interrupt")
+        assert seen == ["interrupt"]
+
+
+class TestFirstLoadLogging:
+    def test_only_first_loads_logged(self):
+        recorder, hierarchy, store, _ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        record_load(recorder, hierarchy, 0x1000, 5)
+        record_load(recorder, hierarchy, 0x1000, 5)
+        record_load(recorder, hierarchy, 0x1000, 5)
+        recorder.end_interval("shutdown")
+        assert store.checkpoints(0)[0].fll.num_records == 1
+        assert recorder.loads_seen == 3
+        assert recorder.loads_logged == 1
+
+    def test_lcount_counts_skipped_loads(self):
+        recorder, hierarchy, store, config = make_recorder()
+        recorder.begin_interval(0, REGS)
+        record_load(recorder, hierarchy, 0x1000, 5)   # logged, skipped=0
+        record_load(recorder, hierarchy, 0x1000, 5)   # skipped
+        record_load(recorder, hierarchy, 0x1000, 5)   # skipped
+        record_load(recorder, hierarchy, 0x2000, 9)   # logged, skipped=2
+        recorder.end_interval("shutdown")
+        fll = store.checkpoints(0)[0].fll
+        records = list(FLLReader(config, fll))
+        assert records[0][0] == 0
+        assert records[1][0] == 2
+
+    def test_bits_reset_each_interval(self):
+        recorder, hierarchy, store, _ = make_recorder(interval=2)
+        recorder.begin_interval(0, REGS)
+        record_load(recorder, hierarchy, 0x1000, 5)
+        record_load(recorder, hierarchy, 0x1000, 5)  # closes interval
+        recorder.begin_interval(0, REGS)
+        record_load(recorder, hierarchy, 0x1000, 5)  # first again: re-log
+        recorder.end_interval("shutdown")
+        checkpoints = store.checkpoints(0)
+        assert checkpoints[0].fll.num_records == 1
+        assert checkpoints[1].fll.num_records == 1
+
+    def test_store_first_suppresses_logging(self):
+        recorder, hierarchy, store, _ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        hierarchy.access(0x1000, is_store=True)
+        recorder.note_commit()
+        record_load(recorder, hierarchy, 0x1000, 5)
+        recorder.end_interval("shutdown")
+        assert store.checkpoints(0)[0].fll.num_records == 0
+
+    def test_dictionary_encoded_value(self):
+        recorder, hierarchy, store, config = make_recorder()
+        recorder.begin_interval(0, REGS)
+        record_load(recorder, hierarchy, 0x1000, 42)   # miss: full value
+        record_load(recorder, hierarchy, 0x2000, 42)   # hit: 6-bit index
+        recorder.end_interval("shutdown")
+        records = list(FLLReader(config, store.checkpoints(0)[0].fll))
+        assert records[0][1] is False and records[0][2] == 42
+        assert records[1][1] is True  # encoded
+
+    def test_first_load_rate(self):
+        recorder, hierarchy, _, _ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        record_load(recorder, hierarchy, 0x1000, 1)
+        record_load(recorder, hierarchy, 0x1000, 1)
+        assert recorder.first_load_rate == 0.5
+
+
+class TestRaceLogging:
+    def test_race_reply_logged(self):
+        recorder, _, store, _ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        recorder.note_commit()
+        recorder.race_reply(remote_tid=1, remote_cid=0, remote_ic=50)
+        recorder.end_interval("shutdown")
+        assert store.checkpoints(0)[0].mrl.num_entries == 1
+
+    def test_netzer_filter_applies(self):
+        recorder, *_ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        recorder.race_reply(1, 0, 50)
+        recorder.race_reply(1, 0, 50)   # implied
+        recorder.race_reply(1, 0, 40)   # implied
+        recorder.race_reply(1, 0, 60)   # advances
+        recorder.end_interval("shutdown")
+        store = recorder.log_store
+        assert store.checkpoints(0)[0].mrl.num_entries == 2
+
+    def test_reducer_resets_per_interval(self):
+        recorder, _, store, _ = make_recorder(interval=100)
+        recorder.begin_interval(0, REGS)
+        recorder.race_reply(1, 0, 50)
+        recorder.end_interval("interrupt")
+        recorder.begin_interval(0, REGS)
+        recorder.race_reply(1, 0, 50)   # must log again: new interval
+        recorder.end_interval("shutdown")
+        assert store.checkpoints(0)[1].mrl.num_entries == 1
+
+    def test_remote_state_reflects_progress(self):
+        recorder, *_ = make_recorder()
+        recorder.begin_interval(0, REGS)
+        recorder.note_commit()
+        recorder.note_commit()
+        tid, cid, ic = recorder.remote_state()
+        assert (tid, cid, ic) == (0, 0, 2)
+
+    def test_race_reply_outside_interval_ignored(self):
+        recorder, *_ = make_recorder()
+        recorder.race_reply(1, 0, 5)  # silently dropped, no crash

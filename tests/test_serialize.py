@@ -1,0 +1,114 @@
+"""Tests for the crash-report on-disk format."""
+
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.common.errors import LogDecodeError
+from repro.replay import Replayer, assert_traces_equal
+from repro.tracing.mrl import MRLReader
+from repro.tracing.serialize import (
+    dump_crash_report,
+    load_crash_report,
+    read_crash_report,
+    save_crash_report,
+)
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+
+@pytest.fixture(scope="module")
+def crashed():
+    bug = BUGS_BY_NAME["tar-1.13.25"]
+    config = BugNetConfig(checkpoint_interval=2_000, bit_clear_period=1)
+    run = run_bug(bug, bugnet=config, record=True, collect_traces=True)
+    assert run.crashed
+    return run, config
+
+
+class TestRoundTrip:
+    def test_metadata_survives(self, crashed):
+        run, config = crashed
+        data = dump_crash_report(run.result.crash, config)
+        loaded, loaded_config = load_crash_report(data)
+        original = run.result.crash
+        assert loaded.fault_kind == original.fault_kind
+        assert loaded.fault_pc == original.fault_pc
+        assert loaded.fault_message == original.fault_message
+        assert loaded.faulting_tid == original.faulting_tid
+        assert loaded.program_name == original.program_name
+        assert loaded.mapped_pages == original.mapped_pages
+        assert loaded.total_instructions == original.total_instructions
+        assert loaded_config == config
+
+    def test_checkpoints_survive(self, crashed):
+        run, config = crashed
+        loaded, _ = load_crash_report(dump_crash_report(run.result.crash, config))
+        original = run.result.crash
+        assert loaded.thread_ids == original.thread_ids
+        for tid in original.thread_ids:
+            old = original.checkpoints[tid]
+            new = loaded.checkpoints[tid]
+            assert len(old) == len(new)
+            for a, b in zip(old, new):
+                assert a.fll.header == b.fll.header
+                assert a.fll.payload == b.fll.payload
+                assert a.fll.num_records == b.fll.num_records
+                assert a.fll.end_ic == b.fll.end_ic
+                assert a.fll.fault_pc == b.fll.fault_pc
+                assert a.reason == b.reason
+
+    def test_mrls_survive(self, crashed):
+        run, config = crashed
+        loaded, loaded_config = load_crash_report(
+            dump_crash_report(run.result.crash, config)
+        )
+        original = run.result.crash
+        for tid in original.thread_ids:
+            for a, b in zip(original.checkpoints[tid], loaded.checkpoints[tid]):
+                assert list(MRLReader(config, a.mrl)) == \
+                    list(MRLReader(loaded_config, b.mrl))
+
+    def test_replay_from_loaded_report(self, crashed):
+        """The real test: a developer replays from the file alone."""
+        run, config = crashed
+        loaded, loaded_config = load_crash_report(
+            dump_crash_report(run.result.crash, config)
+        )
+        tid = loaded.faulting_tid
+        replays = Replayer(run.program, loaded_config).replay(
+            loaded.flls_for(tid)
+        )
+        events = [e for r in replays for e in r.events]
+        assert_traces_equal(run.machine.collectors[tid], events)
+
+    def test_file_roundtrip(self, crashed, tmp_path):
+        run, config = crashed
+        path = tmp_path / "crash.bugnet"
+        written = save_crash_report(path, run.result.crash, config)
+        assert path.stat().st_size == written
+        loaded, _ = read_crash_report(path)
+        assert loaded.fault_pc == run.result.crash.fault_pc
+
+
+class TestFormatSafety:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(LogDecodeError, match="magic"):
+            load_crash_report(b"NOPE" + b"\x00" * 32)
+
+    def test_bad_version_rejected(self, crashed):
+        run, config = crashed
+        data = bytearray(dump_crash_report(run.result.crash, config))
+        data[4] = 0xFF  # clobber the version field
+        with pytest.raises(LogDecodeError, match="version"):
+            load_crash_report(bytes(data))
+
+    def test_truncated_report_rejected(self, crashed):
+        run, config = crashed
+        data = dump_crash_report(run.result.crash, config)
+        with pytest.raises(Exception):
+            load_crash_report(data[: len(data) // 2])
+
+    def test_compressed_smaller_than_logs(self, crashed):
+        run, config = crashed
+        data = dump_crash_report(run.result.crash, config)
+        # zlib should not balloon the shipment.
+        assert len(data) < 4 * run.result.crash.total_bytes(config) + 4096

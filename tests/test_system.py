@@ -1,0 +1,240 @@
+"""Unit/integration tests for the OS substrate: devices, DMA, faults."""
+
+import pytest
+
+from repro.arch import assemble
+from repro.arch.memory import Memory
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine
+from repro.replay import Replayer, assert_traces_equal
+from repro.system.devices import ConsoleDevice, InputDevice
+from repro.system.dma import DMAEngine
+
+
+class TestDevices:
+    def test_console_collects(self):
+        console = ConsoleDevice()
+        console.write_int(42)
+        console.write_char(ord("!"))
+        assert console.values == [42, 33]
+        assert console.text == "42!"
+
+    def test_input_push_string_wide(self):
+        device = InputDevice()
+        device.push_string("ab")
+        assert device.read(10) == [ord("a"), ord("b"), 0]
+
+    def test_input_partial_read(self):
+        device = InputDevice([1, 2, 3])
+        assert device.read(2) == [1, 2]
+        assert device.available == 1
+
+    def test_input_read_empty(self):
+        assert InputDevice().read(4) == []
+
+
+class TestDMAEngine:
+    def test_synchronous_transfer(self):
+        memory = Memory()
+        dma = DMAEngine(memory=memory)
+        dma.start(0x1000, [1, 2, 3], now=0, delay=0)
+        assert memory.peek(0x1000) == 1
+        assert memory.peek(0x1008) == 3
+        assert dma.transfers_completed == 1
+
+    def test_delayed_transfer(self):
+        memory = Memory()
+        dma = DMAEngine(memory=memory)
+        done = []
+        dma.start(0x1000, [7], now=0, delay=10, on_complete=lambda: done.append(1))
+        assert memory.peek(0x1000) == 0
+        dma.advance(5)
+        assert not done
+        dma.advance(10)
+        assert memory.peek(0x1000) == 7
+        assert done == [1]
+
+    def test_next_completion(self):
+        dma = DMAEngine(memory=Memory())
+        dma.start(0, [1], now=0, delay=30)
+        dma.start(0x100, [1], now=0, delay=10)
+        assert dma.next_completion == 10
+
+    def test_flush_completes_everything(self):
+        memory = Memory()
+        dma = DMAEngine(memory=memory)
+        dma.start(0x1000, [9], now=0, delay=1000)
+        dma.flush()
+        assert memory.peek(0x1000) == 9
+        assert dma.pending_count == 0
+
+
+IO_SOURCE = """
+.data
+buf: .space 64
+.text
+main:
+    la   a0, buf
+    li   a1, 8
+    li   v0, 4
+    syscall
+    move s0, v0
+    li   s1, 0
+    li   s2, 0
+    la   s3, buf
+rd:
+    sll  t0, s2, 2
+    add  t0, s3, t0
+    lw   t1, 0(t0)
+    add  s1, s1, t1
+    addi s2, s2, 1
+    blt  s2, s0, rd
+    move a0, s1
+    li   v0, 2
+    syscall
+    li   v0, 1
+    syscall
+"""
+
+
+class TestIOAndDMAReplay:
+    @pytest.mark.parametrize("delay", [0, 25, 200])
+    def test_dma_delivered_input_replays(self, delay):
+        program = assemble(IO_SOURCE)
+        machine = Machine(
+            program, MachineConfig(), BugNetConfig(checkpoint_interval=40),
+            collect_traces=True,
+            input_words=[5, 10, 15, 20, 25, 30, 35, 40],
+            dma_delay=delay,
+        )
+        machine.spawn()
+        result = machine.run()
+        assert result.console_values == [180]
+        flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+        events = [e for r in Replayer(program, machine.bugnet).replay(flls)
+                  for e in r.events]
+        assert_traces_equal(machine.collectors[0], events)
+
+    def test_read_returns_word_count(self):
+        program = assemble(IO_SOURCE)
+        machine = Machine(program, MachineConfig(),
+                          BugNetConfig(checkpoint_interval=100),
+                          input_words=[1, 2, 3])
+        machine.spawn()
+        result = machine.run()
+        assert result.console_values == [6]  # read 3 of max 8 words
+
+    def test_dma_invalidates_cached_blocks(self):
+        # Load the buffer BEFORE the read so it is cached with set bits;
+        # the DMA write must invalidate it, forcing the post-read loads
+        # to be re-logged with the new values.
+        source = """
+.data
+buf: .space 64
+.text
+main:
+    lw   t0, buf
+    la   a0, buf
+    li   a1, 2
+    li   v0, 4
+    syscall
+    lw   t1, buf
+    move a0, t1
+    li   v0, 2
+    syscall
+    li   v0, 1
+    syscall
+"""
+        program = assemble(source)
+        machine = Machine(program, MachineConfig(),
+                          BugNetConfig(checkpoint_interval=1_000_000),
+                          collect_traces=True, input_words=[777, 888])
+        machine.spawn()
+        result = machine.run()
+        assert result.console_values == [777]
+        flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+        events = [e for r in Replayer(program, machine.bugnet).replay(flls)
+                  for e in r.events]
+        assert_traces_equal(machine.collectors[0], events)
+
+    def test_sbrk_grows_heap(self):
+        source = """
+main:
+    li   a0, 8192
+    li   v0, 6
+    syscall
+    move s0, v0
+    li   a0, 131072
+    li   v0, 6
+    syscall
+    move s1, v0
+    li   t0, 123
+    sw   t0, 0(s1)       # beyond the initial mapping: sbrk mapped it
+    lw   a0, 0(s1)
+    li   v0, 1
+    syscall
+"""
+        program = assemble(source)
+        machine = Machine(program, MachineConfig(),
+                          BugNetConfig(checkpoint_interval=1000))
+        machine.spawn()
+        result = machine.run()
+        assert result.exit_codes[0] == 123
+
+    def test_write_out_syscall(self):
+        source = """
+.data
+msg: .word 11, 22, 33
+.text
+main:
+    la  a0, msg
+    li  a1, 3
+    li  v0, 7
+    syscall
+    li  v0, 1
+    syscall
+"""
+        program = assemble(source)
+        machine = Machine(program, MachineConfig(),
+                          BugNetConfig(checkpoint_interval=1000))
+        machine.spawn()
+        result = machine.run()
+        assert result.console_values == [11, 22, 33]
+
+
+class TestLockErrors:
+    def test_double_lock_faults(self):
+        source = """
+main:
+    li v0, 8
+    li a0, 5
+    syscall
+    li v0, 8
+    li a0, 5
+    syscall
+    li v0, 1
+    syscall
+"""
+        program = assemble(source)
+        machine = Machine(program, MachineConfig(),
+                          BugNetConfig(checkpoint_interval=1000))
+        machine.spawn()
+        result = machine.run()
+        assert result.crashed
+        assert "relocked" in result.crash.fault_message
+
+    def test_unlock_unheld_faults(self):
+        source = """
+main:
+    li v0, 9
+    li a0, 5
+    syscall
+    li v0, 1
+    syscall
+"""
+        program = assemble(source)
+        machine = Machine(program, MachineConfig(),
+                          BugNetConfig(checkpoint_interval=1000))
+        machine.spawn()
+        result = machine.run()
+        assert result.crashed

@@ -1,0 +1,73 @@
+"""Invariance tests for the trace-driven engine.
+
+The engine must measure properties of the *workload*, not artifacts of
+how the event stream is chunked or of satellite instrumentation.
+"""
+
+from repro.common.config import BugNetConfig
+from repro.workloads.spec import SPEC_WORKLOADS
+from repro.workloads.trace import TraceEngine
+
+
+def run_engine(chunk_size, satellite_sizes=(), instructions=60_000):
+    personality = SPEC_WORKLOADS["gzip"]
+    engine = TraceEngine(
+        "gzip", BugNetConfig(checkpoint_interval=10_000),
+        satellite_sizes=satellite_sizes,
+    )
+    chunks = personality.events(instructions, seed=9, chunk=chunk_size)
+    return engine.run(chunks, instructions)
+
+
+class TestChunkInvariance:
+    def test_chunk_size_statistically_invariant(self):
+        """Chunking interleaves RNG draws differently (the streams are
+        not bitwise identical), but every measured statistic must agree
+        closely — in particular the frequent-value pool is fixed per
+        stream, so dictionary behaviour cannot depend on chunking."""
+        small = run_engine(chunk_size=512)
+        large = run_engine(chunk_size=1 << 16)
+        assert small.intervals == large.intervals
+        assert abs(small.loads - large.loads) / large.loads < 0.02
+        assert abs(small.logged_loads - large.logged_loads) \
+            / large.logged_loads < 0.02
+        assert abs(small.fll_bytes - large.fll_bytes) / large.fll_bytes < 0.05
+
+    def test_same_chunk_size_bitwise_deterministic(self):
+        a = run_engine(chunk_size=4096)
+        b = run_engine(chunk_size=4096)
+        assert a.fll_bytes == b.fll_bytes
+        assert a.logged_loads == b.logged_loads
+        assert a.loads == b.loads
+
+    def test_satellites_do_not_perturb_main_measurements(self):
+        bare = run_engine(chunk_size=4096)
+        instrumented = run_engine(chunk_size=4096,
+                                  satellite_sizes=(8, 64, 1024))
+        assert bare.fll_bytes == instrumented.fll_bytes
+        assert bare.logged_loads == instrumented.logged_loads
+        assert bare.compression_ratio == instrumented.compression_ratio
+
+    def test_shared_bits_accounting_consistent(self):
+        stats = run_engine(chunk_size=4096, satellite_sizes=(64,))
+        config = BugNetConfig(checkpoint_interval=10_000)
+        # The 64-entry satellite mirrors the main dictionary, so its
+        # reconstructed compression ratio matches the real one closely
+        # (identical value-bit decisions; same shared-field bits).
+        assert abs(stats.compression_ratio_for(64, config)
+                   - stats.compression_ratio) < 0.01
+
+
+class TestWindowScaling:
+    def test_half_window_logs_less(self):
+        full = run_engine(chunk_size=8192, instructions=80_000)
+        half = run_engine(chunk_size=8192, instructions=40_000)
+        assert half.fll_bytes < full.fll_bytes
+        assert half.instructions < full.instructions
+
+    def test_stats_internally_consistent(self):
+        stats = run_engine(chunk_size=8192)
+        assert stats.logged_loads <= stats.loads
+        assert stats.fll_payload_bits <= stats.fll_raw_payload_bits
+        assert stats.fll_bytes >= stats.fll_payload_bits // 8
+        assert 0.0 <= stats.first_load_rate <= 1.0

@@ -1,0 +1,89 @@
+"""Unit tests for the trace-equivalence validator."""
+
+import pytest
+
+from repro.common.errors import ReplayDivergence
+from repro.replay.replayer import ReplayEvent
+from repro.replay.validation import TraceCollector, assert_traces_equal
+
+
+def event(ic=1, pc=0x400000, op="nop", load=None, store=None):
+    return ReplayEvent(ic=ic, pc=pc, op=op, load=load, store=store)
+
+
+class TestFullTraces:
+    def test_equal_traces_pass(self):
+        collector = TraceCollector()
+        collector.commit(0x400000, "lw", (0x100, 5), None)
+        events = [event(pc=0x400000, op="lw", load=(0x100, 5))]
+        assert_traces_equal(collector, events)
+
+    def test_count_mismatch(self):
+        collector = TraceCollector()
+        collector.commit(0x400000, "nop", None, None)
+        with pytest.raises(ReplayDivergence, match="counts differ"):
+            assert_traces_equal(collector, [])
+
+    def test_pc_mismatch(self):
+        collector = TraceCollector()
+        collector.commit(0x400000, "nop", None, None)
+        with pytest.raises(ReplayDivergence, match="pc diverges"):
+            assert_traces_equal(collector, [event(pc=0x400004)])
+
+    def test_load_mismatch(self):
+        collector = TraceCollector()
+        collector.commit(0x400000, "lw", (0x100, 5), None)
+        with pytest.raises(ReplayDivergence, match="load diverges"):
+            assert_traces_equal(
+                collector, [event(op="lw", load=(0x100, 6))]
+            )
+
+    def test_store_mismatch(self):
+        collector = TraceCollector()
+        collector.commit(0x400000, "sw", None, (0x100, 5))
+        with pytest.raises(ReplayDivergence, match="store diverges"):
+            assert_traces_equal(
+                collector, [event(op="sw", store=(0x104, 5))]
+            )
+
+    def test_context_in_message(self):
+        collector = TraceCollector()
+        collector.commit(0, "nop", None, None)
+        with pytest.raises(ReplayDivergence, match="myctx"):
+            assert_traces_equal(collector, [], context="myctx")
+
+
+class TestDigestTraces:
+    def test_matching_digest_passes(self):
+        collector = TraceCollector(digest_only=True)
+        collector.commit(0x400000, "lw", (0x100, 5), None)
+        collector.commit(0x400004, "sw", None, (0x104, 9))
+        events = [
+            event(pc=0x400000, op="lw", load=(0x100, 5)),
+            event(pc=0x400004, op="sw", store=(0x104, 9)),
+        ]
+        assert_traces_equal(collector, events)
+
+    def test_digest_detects_mismatch(self):
+        collector = TraceCollector(digest_only=True)
+        collector.commit(0x400000, "lw", (0x100, 5), None)
+        with pytest.raises(ReplayDivergence, match="digests differ"):
+            assert_traces_equal(
+                collector, [event(pc=0x400000, op="lw", load=(0x100, 6))]
+            )
+
+    def test_digest_mode_stores_no_records(self):
+        collector = TraceCollector(digest_only=True)
+        for _ in range(100):
+            collector.commit(0, "nop", None, None)
+        assert collector.records == []
+        assert collector.count == 100
+
+    def test_order_sensitivity(self):
+        a = TraceCollector(digest_only=True)
+        a.commit(1, "nop", None, None)
+        a.commit(2, "nop", None, None)
+        b = TraceCollector(digest_only=True)
+        b.commit(2, "nop", None, None)
+        b.commit(1, "nop", None, None)
+        assert a.digest != b.digest

@@ -1,0 +1,197 @@
+"""Unit tests for the synthetic workload models and the trace engine."""
+
+import numpy as np
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.workloads.access import AccessModel, Region
+from repro.workloads.spec import SPEC_WORKLOADS
+from repro.workloads.trace import TraceEngine, record_personality
+from repro.workloads.values import ValueModel
+
+
+class TestValueModel:
+    def model(self, **kwargs):
+        defaults = dict(frequent_weight=0.5, small_int_weight=0.2,
+                        pointer_weight=0.1)
+        defaults.update(kwargs)
+        return ValueModel(**defaults)
+
+    def test_values_are_32_bit(self):
+        rng = np.random.default_rng(1)
+        values = self.model().sample(rng, 1000)
+        assert values.dtype == np.uint32
+
+    def test_seeded_determinism(self):
+        values_a = self.model().sample(np.random.default_rng(7), 500)
+        values_b = self.model().sample(np.random.default_rng(7), 500)
+        assert (values_a == values_b).all()
+
+    def test_frequent_pool_dominates(self):
+        rng = np.random.default_rng(2)
+        model = self.model(frequent_weight=0.9, small_int_weight=0.0,
+                           pointer_weight=0.0)
+        values = model.sample(rng, 5000)
+        top_values, counts = np.unique(values, return_counts=True)
+        # With 90% pool mass, the head values repeat heavily.
+        assert counts.max() > 100
+
+    def test_weights_must_sum_below_one(self):
+        with pytest.raises(ValueError):
+            ValueModel(frequent_weight=0.8, small_int_weight=0.3,
+                       pointer_weight=0.1)
+
+    def test_pointer_values_in_span(self):
+        rng = np.random.default_rng(3)
+        model = ValueModel(frequent_weight=0.0, small_int_weight=0.0,
+                           pointer_weight=1.0, pointer_base=0x20000000,
+                           pointer_span=0x1000)
+        values = model.sample(rng, 200)
+        assert ((values >= 0x20000000) & (values < 0x20001000)).all()
+
+
+class TestAccessModel:
+    def test_zipf_region_skews_to_base(self):
+        rng = np.random.default_rng(4)
+        model = AccessModel([Region("zipf", 0x1000, 10_000, 1.0)])
+        addrs = model.sample(rng, 5000)
+        # Log-uniform ranks: at least a third of references hit the first
+        # few hundred words.
+        hot = (addrs < 0x1000 + 4 * 100).sum()
+        assert hot > 1000
+
+    def test_stream_region_walks_sequentially(self):
+        rng = np.random.default_rng(5)
+        model = AccessModel([Region("stream", 0, 1 << 20, 1.0, stride=1)])
+        addrs = model.sample(rng, 10)
+        assert list(addrs) == [4 * (i + 1) for i in range(10)]
+
+    def test_stream_wraps(self):
+        rng = np.random.default_rng(5)
+        model = AccessModel([Region("stream", 0, 4, 1.0, stride=1)])
+        addrs = model.sample(rng, 8)
+        assert list(addrs[:4]) == [4, 8, 12, 0]
+
+    def test_stream_position_persists_across_batches(self):
+        rng = np.random.default_rng(5)
+        model = AccessModel([Region("stream", 0, 1 << 20, 1.0, stride=1)])
+        first = model.sample(rng, 5)
+        second = model.sample(rng, 5)
+        assert second[0] == first[-1] + 4
+
+    def test_chase_region_bounded(self):
+        rng = np.random.default_rng(6)
+        model = AccessModel([Region("chase", 0x4000, 100, 1.0)])
+        addrs = model.sample(rng, 1000)
+        assert ((addrs >= 0x4000) & (addrs < 0x4000 + 400)).all()
+
+    def test_addresses_word_aligned(self):
+        rng = np.random.default_rng(7)
+        model = AccessModel([
+            Region("zipf", 0x1000, 50, 0.3),
+            Region("stream", 0x2000, 50, 0.3),
+            Region("chase", 0x3000, 50, 0.4),
+        ])
+        assert (model.sample(rng, 500) % 4 == 0).all()
+
+    def test_bad_region_kind_rejected(self):
+        with pytest.raises(ValueError):
+            Region("random", 0, 10, 1.0)
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            AccessModel([])
+
+
+class TestPersonalities:
+    def test_seven_benchmarks(self):
+        assert sorted(SPEC_WORKLOADS) == [
+            "art", "bzip2", "crafty", "gzip", "mcf", "parser", "vpr",
+        ]
+
+    def test_event_chunks_cover_budget(self):
+        personality = SPEC_WORKLOADS["gzip"]
+        total = 0
+        for gaps, *_ in personality.events(10_000):
+            total += int(gaps.sum())
+        assert total >= 10_000
+
+    def test_seeded_streams_identical(self):
+        personality = SPEC_WORKLOADS["mcf"]
+        chunk_a = next(iter(personality.events(1000, seed=3)))
+        chunk_b = next(iter(personality.events(1000, seed=3)))
+        for array_a, array_b in zip(chunk_a, chunk_b):
+            assert (array_a == array_b).all()
+
+    def test_different_seeds_differ(self):
+        personality = SPEC_WORKLOADS["mcf"]
+        addrs_a = next(iter(personality.events(1000, seed=1)))[2]
+        addrs_b = next(iter(personality.events(1000, seed=2)))[2]
+        assert not (addrs_a == addrs_b).all()
+
+
+class TestTraceEngine:
+    def test_instruction_budget_respected(self):
+        stats = record_personality(SPEC_WORKLOADS["art"], 20_000, 5_000)
+        assert abs(stats.instructions - 20_000) <= 64
+
+    def test_interval_accounting(self):
+        stats = record_personality(SPEC_WORKLOADS["art"], 20_000, 5_000)
+        assert stats.intervals in (4, 5)
+
+    def test_loads_plus_stores_counted(self):
+        stats = record_personality(SPEC_WORKLOADS["art"], 20_000, 5_000)
+        assert stats.loads > 0 and stats.stores > 0
+        ratio = (stats.loads + stats.stores) / stats.instructions
+        personality = SPEC_WORKLOADS["art"]
+        assert abs(ratio - personality.mem_ratio) < 0.05
+
+    def test_first_load_rate_decreases_with_interval(self):
+        # The paper's Figure 3 mechanism, as a hard shape assertion.
+        personality = SPEC_WORKLOADS["gzip"]
+        short = record_personality(personality, 100_000, 1_000)
+        long = record_personality(personality, 100_000, 50_000)
+        assert short.first_load_rate > long.first_load_rate
+
+    def test_fll_bytes_positive_and_bounded(self):
+        stats = record_personality(SPEC_WORKLOADS["vpr"], 50_000, 10_000)
+        assert 0 < stats.fll_bytes
+        # Never worse than ~5.5 bytes per load (full record + headers).
+        assert stats.fll_bytes < stats.loads * 5.5 + 4096
+
+    def test_satellite_hit_rates_monotone_in_size(self):
+        stats = record_personality(
+            SPEC_WORKLOADS["parser"], 100_000, 20_000,
+            satellite_sizes=(8, 64, 1024),
+        )
+        hit8 = stats.dict_stats[8].hit_rate
+        hit64 = stats.dict_stats[64].hit_rate
+        hit1024 = stats.dict_stats[1024].hit_rate
+        assert hit8 <= hit64 <= hit1024
+
+    def test_satellite_64_matches_main_dictionary(self):
+        config = BugNetConfig(checkpoint_interval=20_000)
+        engine = TraceEngine("x", config, satellite_sizes=(64,))
+        personality = SPEC_WORKLOADS["art"]
+        stats = engine.run(personality.events(50_000), 50_000)
+        main_rate = engine.recorder.dictionary.hit_rate
+        assert abs(stats.dict_stats[64].hit_rate - main_rate) < 1e-9
+
+    def test_compression_ratio_above_one(self):
+        stats = record_personality(SPEC_WORKLOADS["art"], 50_000, 10_000)
+        assert stats.compression_ratio > 1.0
+
+    def test_compression_ratio_for_satellite_sizes(self):
+        config = BugNetConfig(checkpoint_interval=10_000)
+        stats = record_personality(
+            SPEC_WORKLOADS["art"], 50_000, 10_000, satellite_sizes=(8, 1024),
+        )
+        small = stats.compression_ratio_for(8, config)
+        large = stats.compression_ratio_for(1024, config)
+        assert small <= large
+
+    def test_engine_deterministic(self):
+        a = record_personality(SPEC_WORKLOADS["bzip2"], 30_000, 10_000, seed=5)
+        b = record_personality(SPEC_WORKLOADS["bzip2"], 30_000, 10_000, seed=5)
+        assert a.fll_bytes == b.fll_bytes
+        assert a.logged_loads == b.logged_loads
