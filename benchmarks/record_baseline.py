@@ -1,0 +1,95 @@
+"""Regenerate BENCH_throughput.json (the checked-in throughput baseline).
+
+Measures the trace engine and the full-system machine in both drive
+modes — the batched fast path and the per-event/per-instruction
+reference path — and writes instructions-per-second numbers plus the
+fast/reference speedups to ``BENCH_throughput.json`` at the repo root.
+
+Run with ``PYTHONPATH=src python benchmarks/record_baseline.py``.
+Numbers are host-dependent; the JSON records the host's Python version
+so a stale baseline is recognizable.  The CI smoke job only checks the
+file parses and the speedups stay above the floors asserted here.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.test_throughput import (  # noqa: E402
+    TRACE_INSTRUCTIONS,
+    _record_gzip,
+    _run_gnuplot,
+)
+
+ROUNDS = 5
+
+
+def _best(fn, *args) -> "tuple[float, object]":
+    best = float("inf")
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def main() -> None:
+    trace_fast, stats = _best(_record_gzip, True)
+    trace_ref, _ = _best(_record_gzip, False)
+    system_fast, run = _best(_run_gnuplot, True)
+    system_ref, _ = _best(_run_gnuplot, False)
+    assert run.crashed
+    system_instructions = run.global_steps
+    baseline = {
+        "note": (
+            "Throughput baseline for benchmarks/test_throughput.py; "
+            "best of %d rounds. 'reference' drives the recorder "
+            "per event/instruction, 'fast' uses the batched path "
+            "(bit-identical logs, see tests/test_fastpath_equivalence.py)."
+            % ROUNDS
+        ),
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "trace_engine_gzip": {
+            "instructions": TRACE_INSTRUCTIONS,
+            "reference_ips": round(TRACE_INSTRUCTIONS / trace_ref),
+            "fast_ips": round(TRACE_INSTRUCTIONS / trace_fast),
+            "speedup": round(trace_ref / trace_fast, 2),
+        },
+        "full_system_gnuplot": {
+            "instructions": system_instructions,
+            "reference_ips": round(system_instructions / system_ref),
+            "fast_ips": round(system_instructions / system_fast),
+            "speedup": round(system_ref / system_fast, 2),
+        },
+    }
+    out = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+    if out.exists():
+        # The "seed" block records the pre-fast-path numbers measured at
+        # the seed commit; carry it across regenerations.
+        previous = json.loads(out.read_text())
+        seed = previous.get("seed")
+        if seed is not None:
+            baseline["seed"] = seed
+            baseline["trace_engine_gzip"]["speedup_vs_seed"] = round(
+                baseline["trace_engine_gzip"]["fast_ips"]
+                / seed["trace_engine_gzip_ips"], 2,
+            )
+            baseline["full_system_gnuplot"]["speedup_vs_seed"] = round(
+                baseline["full_system_gnuplot"]["fast_ips"]
+                / seed["full_system_gnuplot_ips"], 2,
+            )
+    out.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(json.dumps(baseline, indent=2))
+    assert stats.instructions >= TRACE_INSTRUCTIONS
+
+
+if __name__ == "__main__":
+    main()

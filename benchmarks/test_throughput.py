@@ -3,24 +3,82 @@
 These keep the reproduction honest about its own cost: the recorder
 path (cache + dictionary + FLL encode) per memory event, and the
 full-system machine in instructions per second.
+
+Both engines are benchmarked in two drive modes: the batched fast path
+(the default) and the per-event/per-instruction reference path.  The
+differential tests (tests/test_fastpath_equivalence.py) prove the two
+emit bit-identical logs; these benchmarks measure what the batching
+buys.  ``BENCH_throughput.json`` at the repo root records the checked-in
+baseline numbers (regenerate with
+``PYTHONPATH=src python benchmarks/record_baseline.py``).
 """
 
-from repro.common.config import BugNetConfig
+from benchmarks.scaling import scaled
+
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine
 from repro.workloads.bugs import BUGS_BY_NAME, run_bug
 from repro.workloads.spec import SPEC_WORKLOADS
-from repro.workloads.trace import record_personality
+from repro.workloads.trace import TraceEngine
+
+TRACE_INSTRUCTIONS = scaled(200_000)
+
+
+def _record_gzip(fast_path: bool):
+    personality = SPEC_WORKLOADS["gzip"]
+    engine = TraceEngine(
+        personality.name,
+        BugNetConfig(checkpoint_interval=100_000),
+        fast_path=fast_path,
+    )
+    return engine.run(
+        personality.events(TRACE_INSTRUCTIONS), TRACE_INSTRUCTIONS
+    )
 
 
 def test_trace_engine_throughput(benchmark):
     stats = benchmark.pedantic(
-        record_personality,
-        args=(SPEC_WORKLOADS["gzip"], 200_000, 100_000),
-        rounds=3, iterations=1,
+        _record_gzip, args=(True,), rounds=3, iterations=1,
     )
-    assert stats.instructions >= 200_000
+    assert stats.instructions >= TRACE_INSTRUCTIONS
+
+
+def test_trace_engine_reference_throughput(benchmark):
+    stats = benchmark.pedantic(
+        _record_gzip, args=(False,), rounds=3, iterations=1,
+    )
+    assert stats.instructions >= TRACE_INSTRUCTIONS
+
+
+def _run_gnuplot(fast_path: bool):
+    bug = BUGS_BY_NAME["gnuplot-3.7.1-2"]
+    program = bug.program()
+    machine = Machine(
+        program,
+        MachineConfig(),
+        BugNetConfig(checkpoint_interval=100_000),
+        record=True,
+        fast_path=fast_path,
+    )
+    machine.input.push_string(bug.input_text)
+    machine.spawn()
+    return machine.run()
 
 
 def test_full_system_recording_throughput(benchmark):
+    result = benchmark.pedantic(_run_gnuplot, args=(True,),
+                                rounds=3, iterations=1)
+    assert result.crashed
+
+
+def test_full_system_reference_throughput(benchmark):
+    result = benchmark.pedantic(_run_gnuplot, args=(False,),
+                                rounds=3, iterations=1)
+    assert result.crashed
+
+
+def test_full_system_via_run_bug(benchmark):
+    """The original seed benchmark shape (records the replay window too)."""
     bug = BUGS_BY_NAME["gnuplot-3.7.1-2"]
 
     def run():

@@ -67,6 +67,7 @@ class CPU:
     ) -> None:
         self.program = program
         self.code = program.instructions
+        self._code_len = len(program.instructions)
         self.mem = mem
         self.thread_id = thread_id
         self.regs = RegisterFile()
@@ -97,10 +98,18 @@ class CPU:
         architectural faults; ``self.pc`` still points at the faulting
         instruction in that case (fetch faults report the bad target).
         """
-        ins = self.fetch()
+        # Fetch, inlined from :meth:`fetch` — this is the per-instruction
+        # hot path and the call itself is measurable.
+        pc = self.pc
+        index = (pc - CODE_BASE) >> 2
+        if pc & 3 or index < 0 or index >= self._code_len:
+            raise InstructionFault(
+                f"instruction fetch from invalid address {pc:#010x}", pc=pc
+            )
+        ins = self.code[index]
         op = ins.op
         regs = self.regs.regs
-        next_pc = self.pc + INSTRUCTION_BYTES
+        next_pc = pc + INSTRUCTION_BYTES
 
         if op == "lw":
             value = self.mem.load((regs[ins.rs] + ins.imm) & MASK)

@@ -82,7 +82,8 @@ class Cache:
 
     def lookup(self, block_addr: int, update_lru: bool = True) -> CacheBlock | None:
         """Find a resident block; optionally promote it to MRU."""
-        cache_set = self._set_for(block_addr)
+        # _set_for inlined: this is the per-access hot path.
+        cache_set = self._sets[block_addr % self.num_sets]
         block = cache_set.get(block_addr)
         if block is not None and update_lru:
             del cache_set[block_addr]
@@ -91,7 +92,8 @@ class Cache:
 
     def insert(self, block: CacheBlock) -> CacheBlock | None:
         """Insert a block, returning the LRU victim if the set was full."""
-        cache_set = self._set_for(block.block_addr)
+        # _set_for inlined: this is the per-fill hot path.
+        cache_set = self._sets[block.block_addr % self.num_sets]
         victim = None
         if block.block_addr not in cache_set and len(cache_set) >= self.assoc:
             lru_addr = next(iter(cache_set))

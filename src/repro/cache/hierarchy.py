@@ -102,6 +102,45 @@ class FirstLoadHierarchy:
                 l2_block.state = MODIFIED
         return first
 
+    def access_many(self, addrs, is_stores) -> list[bool]:
+        """Batched :meth:`access`; returns one first-access flag per event.
+
+        Equivalent to ``[self.access(a, s) for a, s in zip(addrs,
+        is_stores)]`` — the L1-load-hit case (the overwhelmingly common
+        one) is inlined here with the same side effects (LRU promotion,
+        first-load bit set); everything else falls through to
+        :meth:`access`.
+        """
+        l1 = self.l1
+        sets = l1._sets
+        num_sets = l1.num_sets
+        shift = self.block_shift
+        word_mask = self.word_mask
+        access = self.access
+        out = []
+        out_append = out.append
+        for addr, is_store in zip(addrs, is_stores):
+            if is_store:
+                out_append(access(addr, True))
+                continue
+            block_addr = addr >> shift
+            # Cache._set_for + lookup inlined (the L1-load-hit hot path).
+            cache_set = sets[block_addr % num_sets]
+            block = cache_set.get(block_addr)
+            if block is None:
+                out_append(access(addr, False))
+                continue
+            del cache_set[block_addr]
+            cache_set[block_addr] = block
+            word_bit = 1 << ((addr >> 2) & word_mask)
+            bits = block.first_load_bits
+            if bits & word_bit:
+                out_append(False)
+            else:
+                block.first_load_bits = bits | word_bit
+                out_append(True)
+        return out
+
     def holds_modified(self, block_addr: int) -> bool:
         """True if this core holds the block in M state (coherence)."""
         block = self.l1.lookup(block_addr, update_lru=False)

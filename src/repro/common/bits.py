@@ -85,6 +85,29 @@ class BitWriter:
         """Append a single flag bit."""
         self.write(1 if flag else 0, 1)
 
+    def extend(self, chunks: list[tuple[int, int]]) -> None:
+        """Bulk-append ``(value, bits)`` pairs (the batched fast path).
+
+        Produces exactly the stream that calling :meth:`write` once per
+        pair would, at a fraction of the dispatch cost.  Adjacent fields
+        may be pre-fused by the caller (``write(a, m); write(b, n)`` ==
+        ``write((a << n) | b, m + n)``) — the MSB-first stream is
+        invariant under such fusion.
+        """
+        total = 0
+        for value, bits in chunks:
+            if bits <= 0:
+                raise ValueError("bits must be positive")
+            if value < 0:
+                raise ValueError(
+                    "value must be non-negative; wrap signed values first"
+                )
+            if value >> bits:
+                raise ValueError(f"value {value} does not fit in {bits} bits")
+            total += bits
+        self._chunks.extend(chunks)
+        self._bits += total
+
     def write_word(self, value: int) -> None:
         """Append a full 32-bit word."""
         self.write(value & WORD_MASK, WORD_BITS)

@@ -97,6 +97,7 @@ class Machine:
         input_words: list[int] | None = None,
         dma_delay: int = 0,
         pid: int = 1,
+        fast_path: bool = True,
     ) -> None:
         self.program = program
         self.config = config or MachineConfig()
@@ -105,6 +106,7 @@ class Machine:
         self.collect_traces = collect_traces
         self.trace_digest_only = trace_digest_only
         self.pid = pid
+        self.fast_path = fast_path
 
         self.memory = Memory()
         self.console = ConsoleDevice()
@@ -149,7 +151,6 @@ class Machine:
         self.collectors: dict[int, TraceCollector] = {}
         self._interfaces: dict[int, object] = {}
         self._core_current: list[Thread | None] = [None] * cores
-        self._core_last_recorder: list[BugNetRecorder | None] = [None] * cores
         self._quantum_left: list[int] = [0] * cores
         self._rng = random.Random(self.config.interleave_seed)
         self.crash: CrashReport | None = None
@@ -220,11 +221,21 @@ class Machine:
 
     # -- coherence piggyback --------------------------------------------------
 
-    def remote_state_of(self, core_id: int) -> tuple[int, int, int]:
-        """(TID, CID, IC) registers of a remote core for reply piggybacks."""
-        recorder = self._core_last_recorder[core_id]
-        if recorder is None:
-            return 0, 0, 0
+    def remote_state_of(self, core_id: int) -> tuple[int, int, int] | None:
+        """(TID, CID, IC) registers of a remote core for reply piggybacks.
+
+        Returns the state of the thread *currently resident* on the
+        core, or ``None`` when no thread with an open interval is there
+        — a descheduled thread's interval is closed, so piggybacking its
+        final (CID, IC) would let MRL entries point at a closed (and
+        eventually recycled) interval.
+        """
+        thread = self._core_current[core_id]
+        if thread is None:
+            return None
+        recorder = self.recorders.get(thread.tid)
+        if recorder is None or not recorder.active:
+            return None
         return recorder.remote_state()
 
     # -- scheduling ----------------------------------------------------------
@@ -253,8 +264,6 @@ class Machine:
         candidate.state = ThreadState.RUNNING
         self._core_current[core] = candidate
         self._quantum_left[core] = self.config.timer_interval
-        if self.record:
-            self._core_last_recorder[core] = self.recorders[candidate.tid]
         return candidate
 
     def _deschedule(self, core: int, thread: Thread, new_state: ThreadState,
@@ -275,6 +284,17 @@ class Machine:
         timed_out = False
         cores = self.config.num_cores
         core_pointer = 0
+        # Single-core regions with no timer and no trace collection can
+        # run whole bursts of instructions without per-instruction
+        # scheduling overhead; commits are batch-accounted afterwards
+        # (note_commits), which the differential tests prove emits
+        # bit-identical logs.
+        burst_ok = (
+            self.fast_path
+            and cores == 1
+            and self.config.timer_interval == 0
+            and not self.collectors
+        )
         while self.crash is None:
             live = self.kernel.live()
             if not live:
@@ -309,10 +329,70 @@ class Machine:
                 self.global_steps = max(self.global_steps + 1, next_dma)
                 self.dma.advance(self.global_steps)
                 continue
-            self._step_thread(*chosen)
+            if burst_ok and not self.dma.pending_count:
+                self._burst_thread(
+                    *chosen, budget=max_instructions - self.global_steps
+                )
+            else:
+                self._step_thread(*chosen)
             if self.dma.pending_count:
                 self.dma.advance(self.global_steps)
         return self._result(timed_out)
+
+    def _burst_thread(self, core: int, thread: Thread, budget: int) -> None:
+        """Run *thread* for up to *budget* instructions without returning
+        to the scheduler (single-core fast path).
+
+        Stops at a syscall (every syscall requests an interval break), a
+        state change, a fault, the end of the checkpoint interval, or
+        the budget.  Equivalent to repeated :meth:`_step_thread` calls:
+        per-instruction effects that still matter (global step count,
+        watched PCs) are maintained in the loop; commit accounting —
+        per-instruction in the slow path — is flushed once at the end
+        via ``note_commits``, which cannot be observed earlier because a
+        single-core burst generates no coherence piggybacks.
+        """
+        cpu = thread.cpu
+        recorder = self.recorders.get(thread.tid)
+        if recorder is not None:
+            if not recorder.active:
+                recorder.begin_interval(cpu.pc, cpu.regs.snapshot())
+            budget = min(budget, self.bugnet.checkpoint_interval - recorder.ic)
+        kernel = self.kernel
+        watch = self.watch_pcs
+        step = cpu.step
+        steps = 0
+        fault = None
+        while steps < budget:
+            pc_before = cpu.pc
+            try:
+                step()
+            except Fault as caught:
+                if caught.pc is None:
+                    caught.pc = pc_before
+                fault = caught
+                break
+            self.global_steps += 1
+            steps += 1
+            if watch and pc_before in watch:
+                self.pc_hits[(thread.tid, pc_before)] = (
+                    cpu.inst_count, self.global_steps
+                )
+            if kernel.interval_break_requested:
+                break
+            if thread.state != ThreadState.RUNNING:
+                break
+        if recorder is not None and steps:
+            recorder.note_commits(steps)
+        if fault is not None:
+            self._on_fault(core, thread, fault)
+            return
+        if kernel.interval_break_requested:
+            kernel.interval_break_requested = False
+            if recorder is not None:
+                recorder.end_interval("syscall")
+        if thread.state != ThreadState.RUNNING:
+            self._core_current[core] = None
 
     def _step_thread(self, core: int, thread: Thread) -> None:
         cpu = thread.cpu

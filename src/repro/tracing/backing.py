@@ -54,18 +54,23 @@ class LogStore:
                 pass
 
     def _evict_oldest(self, protect: tuple[int, FLL]) -> bool:
-        """Drop the globally oldest checkpoint (never the one just added)."""
+        """Drop the globally oldest checkpoint (never the one just added).
+
+        Ties on the timestamp break on the thread id, so eviction order
+        — and therefore the surviving replay window — is deterministic
+        regardless of dict iteration order.
+        """
         oldest_tid = None
-        oldest_time = None
+        oldest_key = None
         for tid, queue in self._per_thread.items():
             if not queue:
                 continue
             head = queue[0]
             if head.fll is protect[1]:
                 continue
-            stamp = head.fll.header.timestamp
-            if oldest_time is None or stamp < oldest_time:
-                oldest_time = stamp
+            key = (head.fll.header.timestamp, tid)
+            if oldest_key is None or key < oldest_key:
+                oldest_key = key
                 oldest_tid = tid
         if oldest_tid is None:
             return False

@@ -18,11 +18,16 @@ update rules below are the contract between recording and replay:
 
 Encoding/decoding reads the table state *before* the update for that
 load, on both sides.
+
+Victim selection is O(1): one bitmask per counter value tracks which
+positions hold that counter, so the smallest-counter / largest-index
+rule is a scan over the (2^counter_bits) masks plus a ``bit_length``.
+Auxiliary state is O(counter_max) machine words regardless of how many
+loads an interval sees — the hardware analogue is a small priority
+matrix next to the table, not a growing queue.
 """
 
 from __future__ import annotations
-
-import heapq
 
 from repro.common.config import DictionaryConfig
 
@@ -31,7 +36,7 @@ class DictionaryCompressor:
     """Frequent-value table shared (by construction) by recorder and replayer."""
 
     __slots__ = ("config", "size", "counter_max", "_values", "_counters",
-                 "_pos_of", "_heap", "hits", "misses")
+                 "_pos_of", "_masks", "hits", "misses")
 
     def __init__(self, config: DictionaryConfig | None = None) -> None:
         self.config = config or DictionaryConfig()
@@ -42,9 +47,9 @@ class DictionaryCompressor:
         self._values: list[int | None] = []
         self._counters: list[int] = []
         self._pos_of: dict[int, int] = {}
-        # Min-heap of (counter, -position) candidates for replacement;
-        # entries are validated lazily against the live arrays.
-        self._heap: list[tuple[int, int]] = []
+        # _masks[c] has bit p set iff position p currently holds counter
+        # value c; victim = largest set bit of the lowest non-empty mask.
+        self._masks: list[int] = []
         self.reset()
 
     def reset(self) -> None:
@@ -52,8 +57,8 @@ class DictionaryCompressor:
         self._values = [None] * self.size
         self._counters = [0] * self.size
         self._pos_of = {}
-        self._heap = [(0, -pos) for pos in range(self.size)]
-        heapq.heapify(self._heap)
+        self._masks = [0] * (self.counter_max + 1)
+        self._masks[0] = (1 << self.size) - 1
 
     # -- queries ----------------------------------------------------------
 
@@ -78,52 +83,61 @@ class DictionaryCompressor:
 
     def update(self, value: int) -> None:
         """Account one executed load of *value* (recorder and replayer)."""
+        self.lookup_update(value)
+
+    def lookup_update(self, value: int) -> int | None:
+        """One-call encode step: pre-update index of *value*, then update.
+
+        Returns what :meth:`lookup` would have before the update — the
+        index the FLL encodes — saving a second dict probe on the
+        recording fast path.
+        """
         pos = self._pos_of.get(value)
+        masks = self._masks
+        counters = self._counters
         if pos is not None:
             self.hits += 1
-            counters = self._counters
-            if counters[pos] < self.counter_max:
-                counters[pos] += 1
-                heapq.heappush(self._heap, (counters[pos], -pos))
-            if pos > 0 and counters[pos] >= counters[pos - 1]:
+            counter = counters[pos]
+            if counter < self.counter_max:
+                bit = 1 << pos
+                masks[counter] ^= bit
+                counter += 1
+                masks[counter] |= bit
+                counters[pos] = counter
+            if pos > 0 and counter >= counters[pos - 1]:
                 self._swap(pos, pos - 1)
-        else:
-            self.misses += 1
-            victim = self._pop_victim()
-            old_value = self._values[victim]
-            if old_value is not None:
-                del self._pos_of[old_value]
-            self._values[victim] = value
-            self._counters[victim] = 1
-            self._pos_of[value] = victim
-            heapq.heappush(self._heap, (1, -victim))
+            return pos
+        self.misses += 1
+        for counter, mask in enumerate(masks):
+            if mask:
+                victim = mask.bit_length() - 1
+                break
+        else:  # pragma: no cover - masks always cover all positions
+            raise AssertionError("dictionary masks lost a position")
+        old_value = self._values[victim]
+        if old_value is not None:
+            del self._pos_of[old_value]
+        bit = 1 << victim
+        masks[counters[victim]] ^= bit
+        masks[1] |= bit
+        self._values[victim] = value
+        counters[victim] = 1
+        self._pos_of[value] = victim
+        return None
 
     def _swap(self, a: int, b: int) -> None:
-        values, counters = self._values, self._counters
+        values, counters, masks = self._values, self._counters, self._masks
+        counter_a, counter_b = counters[a], counters[b]
+        if counter_a != counter_b:
+            bit_a, bit_b = 1 << a, 1 << b
+            masks[counter_a] ^= bit_a | bit_b
+            masks[counter_b] ^= bit_a | bit_b
         values[a], values[b] = values[b], values[a]
-        counters[a], counters[b] = counters[b], counters[a]
+        counters[a], counters[b] = counter_b, counter_a
         if values[a] is not None:
             self._pos_of[values[a]] = a
         if values[b] is not None:
             self._pos_of[values[b]] = b
-        heapq.heappush(self._heap, (counters[a], -a))
-        heapq.heappush(self._heap, (counters[b], -b))
-
-    def _pop_victim(self) -> int:
-        """Position with the smallest counter (ties: largest index)."""
-        heap = self._heap
-        counters = self._counters
-        while heap:
-            counter, neg_pos = heap[0]
-            pos = -neg_pos
-            if counters[pos] == counter:
-                return pos
-            heapq.heappop(heap)  # stale
-        # The heap is refreshed on every counter change, so it can only
-        # drain if many stale entries accumulate; rebuild from live state.
-        self._heap = [(c, -p) for p, c in enumerate(counters)]
-        heapq.heapify(self._heap)
-        return self._pop_victim()
 
     # -- introspection for tests ------------------------------------------
 

@@ -108,7 +108,15 @@ class FLLWriter:
         self._bits = BitWriter()
         self._records = 0
         self._raw_bits = 0
+        self._value_bits = 0
         self._reduced_limit = 1 << config.reduced_lcount_bits
+        self._reduced_bits = config.reduced_lcount_bits
+        self._full_bits = config.full_lcount_bits
+        self._index_bits = config.dictionary.index_bits
+        # Uncompressed baseline per record: no dictionary (full value) and
+        # no reduced L-Count (full width), mirroring the paper's
+        # compression-ratio denominator.
+        self._raw_record_bits = 1 + config.full_lcount_bits + 1 + 32
 
     @property
     def num_records(self) -> int:
@@ -120,32 +128,95 @@ class FLLWriter:
         """Body bits appended so far (drives Checkpoint Buffer occupancy)."""
         return self._bits.bit_length
 
+    @property
+    def value_bits(self) -> int:
+        """Value-field bits appended so far (6 per hit, 32 per miss).
+
+        ``payload_bits - value_bits`` is the shared LC-Type/L-Count/
+        LV-Type overhead — the quantity Figure 6's satellite-dictionary
+        accounting needs, exposed here so the batched path does not have
+        to re-derive it per record.
+        """
+        return self._value_bits
+
     def append(self, skipped: int, value: int, dict_index: int | None) -> int:
         """Append one record; returns its encoded size in bits.
 
         *skipped* is the L-Count; *dict_index* is the dictionary position
         when the value hit the compressor (``None`` → full value logged).
         """
-        config = self.config
         bits = self._bits
         before = bits.bit_length
         if skipped < self._reduced_limit:
             bits.write_bool(False)
-            bits.write(skipped, config.reduced_lcount_bits)
+            bits.write(skipped, self._reduced_bits)
         else:
             bits.write_bool(True)
-            bits.write(skipped, config.full_lcount_bits)
+            bits.write(skipped, self._full_bits)
         if dict_index is not None:
             bits.write_bool(True)
-            bits.write(dict_index, config.dictionary.index_bits)
+            bits.write(dict_index, self._index_bits)
+            self._value_bits += self._index_bits
         else:
             bits.write_bool(False)
             bits.write_word(value)
+            self._value_bits += 32
         self._records += 1
-        # Uncompressed baseline: same record with no dictionary (full value)
-        # and no reduced L-Count (full width), mirroring the paper's
-        # compression-ratio denominator.
-        self._raw_bits += 1 + config.full_lcount_bits + 1 + 32
+        self._raw_bits += self._raw_record_bits
+        return bits.bit_length - before
+
+    def append_many(self, records) -> int:
+        """Append ``(skipped, value, dict_index)`` records in one call.
+
+        Bit-identical to calling :meth:`append` per record — each record
+        is pre-fused into a single ``(value, bits)`` chunk (MSB-first
+        concatenation is associative) and handed to
+        :meth:`BitWriter.extend`.  Returns the encoded size in bits.
+        """
+        bits = self._bits
+        before = bits.bit_length
+        reduced_limit = self._reduced_limit
+        reduced_bits = self._reduced_bits
+        full_bits = self._full_bits
+        index_bits = self._index_bits
+        value_bits = 0
+        chunks = []
+        chunk_append = chunks.append
+        for skipped, value, dict_index in records:
+            if skipped < reduced_limit:
+                lc_field = skipped
+                lc_width = 1 + reduced_bits
+            else:
+                if skipped >> full_bits:
+                    # Fusing the escape bit would silently alias an
+                    # oversized L-Count; fail loudly like append() does.
+                    raise ValueError(
+                        f"value {skipped} does not fit in {full_bits} bits"
+                    )
+                lc_field = (1 << full_bits) | skipped
+                lc_width = 1 + full_bits
+            if dict_index is not None:
+                if dict_index >> index_bits:
+                    # Same fail-loudly contract as the L-Count guard: an
+                    # oversized index would alias onto the LV-Type bit.
+                    raise ValueError(
+                        f"value {dict_index} does not fit in {index_bits} bits"
+                    )
+                chunk_append((
+                    (lc_field << (1 + index_bits)) | (1 << index_bits) | dict_index,
+                    lc_width + 1 + index_bits,
+                ))
+                value_bits += index_bits
+            else:
+                chunk_append((
+                    (lc_field << 33) | (value & 0xFFFFFFFF),
+                    lc_width + 33,
+                ))
+                value_bits += 32
+        bits.extend(chunks)
+        self._value_bits += value_bits
+        self._records += len(chunks)
+        self._raw_bits += self._raw_record_bits * len(chunks)
         return bits.bit_length - before
 
     def finalize(self, end_ic: int, fault_pc: int | None = None) -> FLL:

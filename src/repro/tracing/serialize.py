@@ -27,7 +27,11 @@ from repro.tracing.fll import FLL, FLLHeader
 from repro.tracing.mrl import MRL, MRLHeader
 
 MAGIC = b"BGNT"
-VERSION = 1
+# Version 2 serializes the *complete* BugNetConfig (version 1 dropped
+# checkpoint_buffer_bytes, race_buffer_bytes and log_memory_budget, so
+# loading silently substituted defaults).  Version 1 reports still load.
+VERSION = 2
+_NO_BUDGET = 0xFFFFFFFFFFFFFFFF
 
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
@@ -150,8 +154,16 @@ def _load_mrl(reader: _Reader) -> MRL:
     )
 
 
-def dump_crash_report(report: CrashReport, config: BugNetConfig) -> bytes:
-    """Serialize a crash report (zlib-compressed body)."""
+def dump_crash_report(
+    report: CrashReport, config: BugNetConfig, version: int = VERSION
+) -> bytes:
+    """Serialize a crash report (zlib-compressed body).
+
+    *version* exists for compatibility testing: version 1 writes the
+    legacy layout (which drops the buffer sizes and the log budget).
+    """
+    if version not in (1, 2):
+        raise ValueError(f"cannot write crash report version {version}")
     body = io.BytesIO()
     # Recorder configuration: the replayer must decode with the same
     # field widths.
@@ -162,6 +174,11 @@ def dump_crash_report(report: CrashReport, config: BugNetConfig) -> bytes:
     _write_u32(body, config.max_live_threads)
     _write_u32(body, config.max_resident_checkpoints)
     _write_u32(body, config.bit_clear_period)
+    if version >= 2:
+        _write_u32(body, config.checkpoint_buffer_bytes)
+        _write_u32(body, config.race_buffer_bytes)
+        budget = config.log_memory_budget
+        _write_u64(body, _NO_BUDGET if budget is None else budget)
     # Fault metadata.
     _write_u32(body, report.pid)
     _write_u32(body, report.faulting_tid)
@@ -193,7 +210,7 @@ def dump_crash_report(report: CrashReport, config: BugNetConfig) -> bytes:
     compressed = zlib.compress(body.getvalue(), 6)
     out = io.BytesIO()
     out.write(MAGIC)
-    _write_u32(out, VERSION)
+    _write_u32(out, version)
     _write_bytes(out, compressed)
     return out.getvalue()
 
@@ -204,11 +221,11 @@ def load_crash_report(data: bytes) -> tuple[CrashReport, BugNetConfig]:
         raise LogDecodeError("not a BugNet crash report (bad magic)")
     outer = _Reader(data[4:])
     version = outer.u32()
-    if version != VERSION:
+    if version not in (1, 2):
         raise LogDecodeError(f"unsupported crash report version {version}")
     reader = _Reader(zlib.decompress(outer.blob()))
 
-    config = BugNetConfig(
+    fields = dict(
         checkpoint_interval=reader.u64(),
         reduced_lcount_bits=reader.u32(),
         dictionary=DictionaryConfig(
@@ -218,6 +235,12 @@ def load_crash_report(data: bytes) -> tuple[CrashReport, BugNetConfig]:
         max_resident_checkpoints=reader.u32(),
         bit_clear_period=reader.u32(),
     )
+    if version >= 2:
+        fields["checkpoint_buffer_bytes"] = reader.u32()
+        fields["race_buffer_bytes"] = reader.u32()
+        budget = reader.u64()
+        fields["log_memory_budget"] = None if budget == _NO_BUDGET else budget
+    config = BugNetConfig(**fields)
     pid = reader.u32()
     faulting_tid = reader.u32()
     fault_kind = reader.text()

@@ -18,6 +18,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cache.hierarchy import FirstLoadHierarchy
 from repro.common.config import BugNetConfig, CacheConfig, DictionaryConfig, MachineConfig
 from repro.tracing.backing import LogStore
@@ -86,7 +88,17 @@ class TraceStats:
 
 
 class TraceEngine:
-    """Runs synthetic event chunks through a real recorder."""
+    """Runs synthetic event chunks through a real recorder.
+
+    Two equivalent drive modes exist: the per-event reference loop and a
+    batched fast path that segments each chunk at checkpoint-interval
+    boundaries and feeds whole segments to
+    :meth:`~repro.cache.hierarchy.FirstLoadHierarchy.access_many` and
+    :meth:`~repro.tracing.recorder.BugNetRecorder.note_loads`.  Both
+    produce bit-identical FLL payloads (asserted by the differential
+    tests); satellite dictionaries force the per-event loop because they
+    sample every load individually.
+    """
 
     def __init__(
         self,
@@ -95,10 +107,12 @@ class TraceEngine:
         l1: CacheConfig | None = None,
         l2: CacheConfig | None = None,
         satellite_sizes: tuple[int, ...] = (),
+        fast_path: bool = True,
     ) -> None:
         machine_defaults = MachineConfig()
         self.name = name
         self.bugnet = bugnet
+        self.fast_path = fast_path
         self.hierarchy = FirstLoadHierarchy(
             l1 or machine_defaults.l1, l2 or machine_defaults.l2
         )
@@ -121,12 +135,116 @@ class TraceEngine:
 
     def run(self, chunks, max_instructions: int) -> TraceStats:
         """Consume event chunks until *max_instructions* are accounted."""
+        if self.fast_path and not self.satellites:
+            return self._run_batched(chunks, max_instructions)
+        return self._run_events(chunks, max_instructions)
+
+    def _run_batched(self, chunks, max_instructions: int) -> TraceStats:
+        """Batched drive mode: one recorder call per interval segment."""
         recorder = self.recorder
         hierarchy = self.hierarchy
-        satellites = self.satellites
-        reduced_limit = 1 << self.bugnet.reduced_lcount_bits
-        reduced_bits = self.bugnet.reduced_lcount_bits
-        full_bits = self.bugnet.full_lcount_bits
+        interval = self.bugnet.checkpoint_interval
+        stats = TraceStats(name=self.name)
+        budget = max_instructions
+
+        self._begin_interval()
+        for gaps, is_store, addrs, values in chunks:
+            if not len(gaps):
+                continue
+            cum = np.minimum(np.cumsum(gaps), budget)
+            if cum[-1] >= budget:
+                count = int(np.searchsorted(cum, budget, side="left")) + 1
+            else:
+                count = len(cum)
+            addr_list = addrs[:count].tolist()
+            store_list = is_store[:count].tolist()
+            value_list = values[:count].tolist()
+            pos = 0
+            base = 0
+            while pos < count:
+                if not recorder.active:
+                    self._begin_interval()
+                # Largest run of events whose commits stay inside the
+                # current interval (its last commit may close it exactly).
+                limit = base + interval - recorder.ic
+                end = int(np.searchsorted(cum[pos:count], limit, side="right")) + pos
+                if end == pos:
+                    # Event `pos` straddles the interval boundary inside
+                    # its preamble: fall back to per-event accounting.
+                    self._one_event(
+                        stats, int(cum[pos]) - base,
+                        store_list[pos], addr_list[pos], value_list[pos],
+                    )
+                    base = int(cum[pos])
+                    pos += 1
+                    continue
+                seg_stores = store_list[pos:end]
+                firsts = hierarchy.access_many(addr_list[pos:end], seg_stores)
+                pairs = [
+                    (value, first)
+                    for value, flag, first in zip(
+                        value_list[pos:end], seg_stores, firsts
+                    )
+                    if not flag
+                ]
+                writer = recorder._fll
+                payload_before = writer.payload_bits
+                value_before = writer.value_bits
+                stats.logged_loads += recorder.note_loads(pairs)
+                stats.fll_shared_bits += (
+                    (writer.payload_bits - payload_before)
+                    - (writer.value_bits - value_before)
+                )
+                stats.loads += len(pairs)
+                stats.stores += (end - pos) - len(pairs)
+                segment_end = int(cum[end - 1])
+                recorder.note_commits(segment_end - base)
+                base = segment_end
+                pos = end
+            budget -= base
+            if budget <= 0:
+                break
+        if recorder.active:
+            recorder.end_interval("shutdown")
+        return self._finalize(stats, max_instructions - max(budget, 0))
+
+    def _one_event(self, stats, gap, store_flag, addr, value) -> None:
+        """Reference per-event accounting (also the straddle fallback)."""
+        recorder = self.recorder
+        hierarchy = self.hierarchy
+        preamble = gap - 1
+        while preamble:
+            if not recorder.active:
+                self._begin_interval()
+            preamble = recorder.note_commits(preamble)
+        if not recorder.active:
+            self._begin_interval()
+        if store_flag:
+            hierarchy.access(addr, is_store=True)
+            stats.stores += 1
+        else:
+            first = hierarchy.access(addr, is_store=False)
+            writer = recorder._fll
+            payload_before = writer.payload_bits
+            value_before = writer.value_bits
+            if first:
+                stats.logged_loads += 1
+            if self.satellites:
+                self._satellite_load(value, first)
+            recorder.note_load(value, first)
+            stats.fll_shared_bits += (
+                (writer.payload_bits - payload_before)
+                - (writer.value_bits - value_before)
+            )
+            stats.loads += 1
+        if gap:
+            leftover = recorder.note_commits(1)
+            if leftover:  # pragma: no cover - note_commits(1) never splits
+                self._begin_interval()
+                recorder.note_commits(leftover)
+
+    def _run_events(self, chunks, max_instructions: int) -> TraceStats:
+        """Per-event reference drive mode (satellites, differential tests)."""
         stats = TraceStats(name=self.name)
         budget = max_instructions
 
@@ -137,43 +255,15 @@ class TraceEngine:
                 gaps.tolist(), is_store.tolist(), addrs.tolist(), values.tolist()
             ):
                 gap = min(gap, budget)
-                # gap counts this memory instruction plus the non-memory
-                # instructions before it; commit the preamble first.
-                preamble = gap - 1
-                while preamble:
-                    if not recorder.active:
-                        self._begin_interval()
-                    preamble = recorder.note_commits(preamble)
-                if not recorder.active:
-                    self._begin_interval()
-                if store_flag:
-                    hierarchy.access(addr, is_store=True)
-                    stats.stores += 1
-                else:
-                    first = hierarchy.access(addr, is_store=False)
-                    if first:
-                        skipped = recorder._skipped
-                        stats.fll_shared_bits += 2 + (
-                            reduced_bits if skipped < reduced_limit else full_bits
-                        )
-                        stats.logged_loads += 1
-                    if satellites:
-                        self._satellite_load(value, first)
-                    recorder.note_load(value, first)
-                    stats.loads += 1
-                if gap:
-                    leftover = recorder.note_commits(1)
-                    if leftover:  # pragma: no cover - note_commits(1) never splits
-                        self._begin_interval()
-                        recorder.note_commits(leftover)
+                self._one_event(stats, gap, store_flag, addr, value)
                 budget -= gap
                 if budget <= 0:
                     done = True
                     break
             if done:
                 break
-        if recorder.active:
-            recorder.end_interval("shutdown")
+        if self.recorder.active:
+            self.recorder.end_interval("shutdown")
         return self._finalize(stats, max_instructions - max(budget, 0))
 
     def _satellite_load(self, value: int, first: bool) -> None:

@@ -72,6 +72,49 @@ class TestLogStore:
         store.add(0, fll, mrl)  # exceeds the budget on its own
         assert len(store.checkpoints(0)) == 1
 
+    def test_equal_timestamp_eviction_tie_breaks_on_tid(self):
+        # Checkpoints from different threads with identical timestamps:
+        # the tie must break on the lowest tid, not dict iteration order.
+        # Insert in scrambled tid order so insertion order and tid order
+        # disagree, then shrink the budget one checkpoint at a time.
+        config = BugNetConfig(checkpoint_interval=100)
+        store = LogStore(config)
+        for tid in (3, 1, 2):
+            fll, mrl = checkpoint(config, 0, timestamp=7, records=40)
+            store.add(tid, fll, mrl)
+        protect = (99, checkpoint(config, 9, timestamp=99)[0])
+        eviction_order = []
+        while store.evicted_checkpoints < 2:
+            before = {tid: len(store.checkpoints(tid)) for tid in (1, 2, 3)}
+            assert store._evict_oldest(protect)
+            eviction_order.extend(
+                tid for tid in before
+                if len(store.checkpoints(tid)) < before[tid]
+            )
+        # Lowest tids go first among the timestamp-7 ties.
+        assert eviction_order == [1, 2]
+        assert len(store.checkpoints(3)) == 1
+
+    def test_equal_timestamp_eviction_independent_of_insertion_order(self):
+        config = BugNetConfig(checkpoint_interval=100)
+        protect = (99, checkpoint(config, 9, timestamp=99)[0])
+        orders = ([1, 2, 3], [3, 2, 1], [2, 3, 1])
+        sequences = []
+        for order in orders:
+            store = LogStore(config)
+            for tid in order:
+                fll, mrl = checkpoint(config, 0, timestamp=5, records=10)
+                store.add(tid, fll, mrl)
+            sequence = []
+            for _ in range(3):
+                before = {tid: len(store.checkpoints(tid)) for tid in order}
+                assert store._evict_oldest(protect)
+                for tid in order:
+                    if len(store.checkpoints(tid)) < before[tid]:
+                        sequence.append(tid)
+            sequences.append(sequence)
+        assert sequences[0] == sequences[1] == sequences[2] == [1, 2, 3]
+
     def test_byte_accounting(self):
         config = BugNetConfig(checkpoint_interval=100)
         store = LogStore(config)

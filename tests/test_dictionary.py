@@ -184,3 +184,94 @@ def test_lookup_is_pure(stream):
         d.lookup(value)
         assert d.table() == before
         d.update(value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    entries=st.sampled_from([1, 2, 4, 8]),
+    counter_bits=st.sampled_from([1, 2, 3]),
+    stream=st.lists(st.integers(min_value=0, max_value=40), max_size=300),
+)
+def test_lookup_update_equals_lookup_then_update(entries, counter_bits, stream):
+    """The fused fast-path call is exactly lookup() followed by update()."""
+    config = DictionaryConfig(entries=entries, counter_bits=counter_bits)
+    fused = DictionaryCompressor(config)
+    split = DictionaryCompressor(config)
+    for value in stream:
+        expected = split.lookup(value)
+        split.update(value)
+        assert fused.lookup_update(value) == expected
+    assert fused.table() == split.table()
+    assert (fused.hits, fused.misses) == (split.hits, split.misses)
+
+
+class TestAdversarialStreams:
+    """Replacement-policy edge cases that lock in the replay contract."""
+
+    def _check_masks(self, d):
+        """The O(1) victim index must always mirror the live counters."""
+        masks = d._masks
+        for counter, mask in enumerate(masks):
+            for pos in range(d.size):
+                expected = d._counters[pos] == counter
+                assert bool(mask & (1 << pos)) == expected
+
+    def test_saturated_counters_tie_break(self):
+        # Saturate every entry, then force misses: victims must walk the
+        # table bottom-up (largest index first) since all counters tie.
+        d = tiny(entries=4, counter_bits=2)
+        for value in (1, 2, 3, 4):
+            for _ in range(10):
+                d.update(value)
+        assert all(counter == 3 for _, counter in d.table())
+        d.update(100)
+        assert d.lookup(100) == 3  # replaced the lowest-ranked entry
+        self._check_masks(d)
+
+    def test_all_miss_churn_state_stays_bounded(self):
+        # A pathological stream that never hits: the seed implementation
+        # grew a heap entry per miss; auxiliary state must stay at
+        # exactly counter_max + 1 masks of table-size bits.
+        d = tiny(entries=8, counter_bits=3)
+        for value in range(10_000):
+            d.update(value)
+        assert len(d._masks) == d.counter_max + 1
+        assert all(mask < (1 << d.size) for mask in d._masks)
+        self._check_masks(d)
+        assert d.misses == 10_000
+
+    def test_all_miss_churn_matches_reference(self):
+        d = tiny(entries=4)
+        reference = _ReferenceDictionary(4, d.counter_max)
+        for value in range(500):
+            d.update(value)
+            reference.update(value)
+        assert [v for v, _ in d.table()] == reference.values
+        assert [c for _, c in d.table()] == reference.counters
+
+    def test_single_entry_table(self):
+        d = tiny(entries=1)
+        d.update(5)
+        assert d.lookup(5) == 0
+        d.update(5)
+        assert d.table()[0][1] == 2  # hit increments, no swap possible
+        d.update(9)                  # miss always evicts the only slot
+        assert d.lookup(5) is None
+        assert d.lookup(9) == 0
+        assert d.table()[0][1] == 1
+        self._check_masks(d)
+
+    def test_hit_saturation_then_churn_matches_reference(self):
+        # Alternate saturating hits with evicting misses so counters
+        # rise, saturate, and drop back to 1 — exercising every mask
+        # transition in the O(1) victim structure.
+        d = tiny(entries=4, counter_bits=2)
+        reference = _ReferenceDictionary(4, d.counter_max)
+        stream = ([7] * 10 + [8] * 10 + list(range(20, 30))
+                  + [7, 8] * 5 + list(range(40, 60)))
+        for value in stream:
+            assert d.lookup(value) == reference.lookup(value)
+            d.update(value)
+            reference.update(value)
+            self._check_masks(d)
+        assert [v for v, _ in d.table()] == reference.values

@@ -1,0 +1,327 @@
+"""Differential tests: the batched recording fast path is bit-identical.
+
+The fast path (``BitWriter.extend`` / ``FLLWriter.append_many`` /
+``BugNetRecorder.note_loads`` / the TraceEngine segment batching / the
+Machine single-core burst loop) must emit **exactly** the bytes the
+per-instruction reference path emits — the FLL is a contract between
+recorder and replayer, so "almost the same" is corruption.  Every test
+here runs both paths on the same input and compares payloads bit for
+bit.
+"""
+
+import random
+
+import pytest
+
+from repro.cache.hierarchy import FirstLoadHierarchy
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine
+from repro.tracing.backing import LogStore
+from repro.tracing.fll import FLLHeader, FLLWriter
+from repro.tracing.recorder import BugNetRecorder
+from repro.workloads.randprog import random_program
+from repro.workloads.spec import SPEC_WORKLOADS
+from repro.workloads.trace import TraceEngine
+
+ZERO_REGS = tuple([0] * 32)
+
+
+def assert_stores_identical(store_a: LogStore, store_b: LogStore) -> None:
+    """Every resident (FLL, MRL) pair matches bit for bit."""
+    assert store_a.threads() == store_b.threads()
+    for tid in store_a.threads():
+        checkpoints_a = store_a.checkpoints(tid)
+        checkpoints_b = store_b.checkpoints(tid)
+        assert len(checkpoints_a) == len(checkpoints_b)
+        for a, b in zip(checkpoints_a, checkpoints_b):
+            assert a.fll.header == b.fll.header
+            assert a.fll.payload == b.fll.payload
+            assert a.fll.payload_bits == b.fll.payload_bits
+            assert a.fll.num_records == b.fll.num_records
+            assert a.fll.end_ic == b.fll.end_ic
+            assert a.fll.fault_pc == b.fll.fault_pc
+            assert a.fll.raw_payload_bits == b.fll.raw_payload_bits
+            assert a.mrl.payload == b.mrl.payload
+            assert a.mrl.num_entries == b.mrl.num_entries
+            assert a.reason == b.reason
+
+
+class TestWriterEquivalence:
+    def _writer(self, interval=1000):
+        config = BugNetConfig(checkpoint_interval=interval)
+        header = FLLHeader(pid=1, tid=0, cid=0, timestamp=0, pc=0,
+                           regs=ZERO_REGS)
+        return config, FLLWriter(config, header)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_append_many_matches_append(self, seed):
+        rng = random.Random(seed)
+        records = []
+        for _ in range(500):
+            skipped = rng.choice([0, 1, 3, 31, 32, 500, 999])
+            if rng.random() < 0.5:
+                records.append((skipped, 0, rng.randrange(64)))
+            else:
+                records.append((skipped, rng.randrange(2 ** 32), None))
+        _, one_by_one = self._writer()
+        for record in records:
+            one_by_one.append(*record)
+        _, batched = self._writer()
+        batched.append_many(records)
+        fll_a = one_by_one.finalize(end_ic=1000)
+        fll_b = batched.finalize(end_ic=1000)
+        assert fll_a.payload == fll_b.payload
+        assert fll_a.payload_bits == fll_b.payload_bits
+        assert fll_a.num_records == fll_b.num_records
+        assert fll_a.raw_payload_bits == fll_b.raw_payload_bits
+        assert one_by_one.value_bits == batched.value_bits
+
+    def test_append_many_validates_like_append(self):
+        config, writer = self._writer(interval=100)
+        with pytest.raises(ValueError):
+            writer.append_many([(-1, 5, None)])  # negative L-Count
+        with pytest.raises(ValueError):
+            writer.append_many([(10 ** 9, 1, None)])  # L-Count overflow
+        # The aliasing window: skipped with exactly the escape bit set
+        # would fuse to a valid-looking chunk; both paths must reject it.
+        aliasing = 1 << config.full_lcount_bits
+        _, reference = self._writer(interval=100)
+        with pytest.raises(ValueError):
+            reference.append(aliasing, 1, None)
+        with pytest.raises(ValueError):
+            writer.append_many([(aliasing, 1, None)])
+        # Same for a dictionary index that would alias the LV-Type bit.
+        bad_index = 1 << config.dictionary.index_bits
+        with pytest.raises(ValueError):
+            reference.append(0, 1, bad_index)
+        with pytest.raises(ValueError):
+            writer.append_many([(0, 1, bad_index)])
+
+    def test_append_many_masks_values_like_write_word(self):
+        _, one_by_one = self._writer(interval=100)
+        one_by_one.append(0, -5, None)
+        _, batched = self._writer(interval=100)
+        batched.append_many([(0, -5, None)])
+        assert one_by_one.finalize(1).payload == batched.finalize(1).payload
+
+
+class TestRecorderEquivalence:
+    """note_loads/note_commits vs note_load/note_commit on random scripts."""
+
+    def _recorder(self, config):
+        defaults = MachineConfig()
+        hierarchy = FirstLoadHierarchy(defaults.l1, defaults.l2)
+        return BugNetRecorder(config, hierarchy, LogStore(config))
+
+    def _script(self, seed):
+        rng = random.Random(seed)
+        script = []
+        for _ in range(8000):
+            if rng.random() < 0.4:
+                script.append(("load", rng.randrange(0, 60),
+                               rng.random() < 0.3))
+            else:
+                script.append(("commit", rng.randrange(1, 9)))
+        return script
+
+    def _drive_commits(self, recorder, count):
+        while count:
+            if not recorder.active:
+                recorder.begin_interval(0, ZERO_REGS)
+            count = recorder.note_commits(count)
+
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("interval", [50, 313, 2000])
+    def test_batched_loads_bit_identical(self, seed, interval):
+        config = BugNetConfig(checkpoint_interval=interval)
+        script = self._script(seed)
+
+        reference = self._recorder(config)
+        reference.begin_interval(0, ZERO_REGS)
+        for event in script:
+            if event[0] == "load":
+                if not reference.active:
+                    reference.begin_interval(0, ZERO_REGS)
+                reference.note_load(event[1], event[2])
+            else:
+                self._drive_commits(reference, event[1])
+        if reference.active:
+            reference.end_interval("shutdown")
+
+        batched = self._recorder(config)
+        batched.begin_interval(0, ZERO_REGS)
+        index = 0
+        while index < len(script):
+            if script[index][0] == "load":
+                batch = []
+                while index < len(script) and script[index][0] == "load":
+                    batch.append((script[index][1], script[index][2]))
+                    index += 1
+                if not batched.active:
+                    batched.begin_interval(0, ZERO_REGS)
+                batched.note_loads(batch)
+            else:
+                self._drive_commits(batched, script[index][1])
+                index += 1
+        if batched.active:
+            batched.end_interval("shutdown")
+
+        assert_stores_identical(reference.log_store, batched.log_store)
+        assert reference.loads_seen == batched.loads_seen
+        assert reference.loads_logged == batched.loads_logged
+        assert reference.intervals_closed == batched.intervals_closed
+
+    def test_note_loads_requires_active_interval(self):
+        recorder = self._recorder(BugNetConfig(checkpoint_interval=100))
+        with pytest.raises(RuntimeError):
+            recorder.note_loads([(1, True)])
+
+    def test_note_loads_returns_logged_count(self):
+        recorder = self._recorder(BugNetConfig(checkpoint_interval=100))
+        recorder.begin_interval(0, ZERO_REGS)
+        logged = recorder.note_loads([(7, True), (7, False), (8, True)])
+        assert logged == 2
+        assert recorder.loads_seen == 3
+
+
+class TestTraceEngineEquivalence:
+    """Segment-batched TraceEngine vs the per-event reference loop."""
+
+    @pytest.mark.parametrize("name", ["gzip", "crafty", "mcf"])
+    @pytest.mark.parametrize("interval", [2_000, 100_000])
+    def test_personality_bit_identical(self, name, interval):
+        personality = SPEC_WORKLOADS[name]
+        instructions = 60_000
+        runs = []
+        for fast in (False, True):
+            config = BugNetConfig(checkpoint_interval=interval)
+            engine = TraceEngine(name, config, fast_path=fast)
+            stats = engine.run(personality.events(instructions), instructions)
+            runs.append((engine, stats))
+        (slow_engine, slow_stats), (fast_engine, fast_stats) = runs
+        assert_stores_identical(slow_engine.store, fast_engine.store)
+        assert slow_stats.instructions == fast_stats.instructions
+        assert slow_stats.loads == fast_stats.loads
+        assert slow_stats.stores == fast_stats.stores
+        assert slow_stats.logged_loads == fast_stats.logged_loads
+        assert slow_stats.intervals == fast_stats.intervals
+        assert slow_stats.fll_bytes == fast_stats.fll_bytes
+        assert slow_stats.fll_payload_bits == fast_stats.fll_payload_bits
+        assert slow_stats.fll_raw_payload_bits == fast_stats.fll_raw_payload_bits
+        assert slow_stats.fll_shared_bits == fast_stats.fll_shared_bits
+        assert slow_stats.memory_fills == fast_stats.memory_fills
+        assert slow_stats.writebacks == fast_stats.writebacks
+
+    def test_tiny_interval_straddles(self):
+        """Intervals shorter than the mean gap force the straddle path."""
+        personality = SPEC_WORKLOADS["gzip"]
+        instructions = 5_000
+        stores = []
+        for fast in (False, True):
+            config = BugNetConfig(checkpoint_interval=7)
+            engine = TraceEngine("gzip", config, fast_path=fast)
+            engine.run(personality.events(instructions), instructions)
+            stores.append(engine.store)
+        assert_stores_identical(*stores)
+
+    def test_empty_chunk_in_stream(self):
+        """A zero-length chunk mid-stream must not derail either mode."""
+        personality = SPEC_WORKLOADS["gzip"]
+
+        def with_empty(instructions):
+            generator = personality.events(instructions)
+            first = next(generator)
+            yield first
+            yield tuple(array[:0] for array in first)
+            yield from generator
+
+        stores = []
+        for fast in (False, True):
+            config = BugNetConfig(checkpoint_interval=2_000)
+            engine = TraceEngine("gzip", config, fast_path=fast)
+            stats = engine.run(with_empty(20_000), 20_000)
+            assert stats.instructions == 20_000
+            stores.append(engine.store)
+        assert_stores_identical(*stores)
+
+    def test_satellites_force_reference_path(self):
+        """Satellite dictionaries sample per load; results must not change."""
+        personality = SPEC_WORKLOADS["gzip"]
+        config = BugNetConfig(checkpoint_interval=10_000)
+        engine = TraceEngine("gzip", config, satellite_sizes=(16,),
+                             fast_path=True)
+        stats = engine.run(personality.events(20_000), 20_000)
+        assert stats.dict_stats[16].lookups == stats.loads
+
+
+class TestMachineEquivalence:
+    """Single-core burst execution vs per-instruction stepping."""
+
+    def _run(self, program, fast, interval=200, max_instructions=10_000_000):
+        machine = Machine(
+            program,
+            MachineConfig(),
+            BugNetConfig(checkpoint_interval=interval),
+            fast_path=fast,
+        )
+        machine.spawn()
+        return machine, machine.run(max_instructions=max_instructions)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_programs_bit_identical(self, seed):
+        program = random_program(seed)
+        _, slow = self._run(program, fast=False)
+        _, fast = self._run(program, fast=True)
+        assert slow.global_steps == fast.global_steps
+        assert slow.exit_codes == fast.exit_codes
+        assert slow.console_values == fast.console_values
+        assert slow.crashed == fast.crashed
+        assert_stores_identical(slow.log_store, fast.log_store)
+
+    def test_instruction_cap_respected(self):
+        program = random_program(3)
+        _, slow = self._run(program, fast=False, max_instructions=500)
+        _, fast = self._run(program, fast=True, max_instructions=500)
+        assert slow.global_steps == fast.global_steps <= 500
+        assert slow.timed_out == fast.timed_out
+        assert_stores_identical(slow.log_store, fast.log_store)
+
+    def test_fast_logs_replay(self):
+        """Logs recorded through the burst path still replay exactly."""
+        from repro.replay import Replayer
+
+        program = random_program(11)
+        machine = Machine(
+            program, MachineConfig(),
+            BugNetConfig(checkpoint_interval=150),
+            collect_traces=True, fast_path=True,
+        )
+        machine.spawn()
+        result = machine.run()
+        # collect_traces disables the burst; re-record without collection
+        # and replay those logs against the collected reference trace.
+        fast_machine = Machine(
+            program, MachineConfig(),
+            BugNetConfig(checkpoint_interval=150), fast_path=True,
+        )
+        fast_machine.spawn()
+        fast_result = fast_machine.run()
+        flls = [cp.fll for cp in fast_result.log_store.checkpoints(0)]
+        replays = Replayer(program, fast_machine.bugnet).replay(flls)
+        events = [e for r in replays for e in r.events]
+        from repro.replay import assert_traces_equal
+
+        assert_traces_equal(machine.collectors[0], events)
+        assert result.global_steps == fast_result.global_steps
+
+    def test_burst_disabled_under_timer(self):
+        """Preemptive timer quanta always use the per-instruction path."""
+        program = random_program(5)
+        machine = Machine(
+            program, MachineConfig(timer_interval=50),
+            BugNetConfig(checkpoint_interval=200), fast_path=True,
+        )
+        machine.spawn()
+        result = machine.run()
+        reasons = {cp.reason for cp in result.log_store.checkpoints(0)}
+        assert "interrupt" in reasons

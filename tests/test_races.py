@@ -158,6 +158,78 @@ class TestRaceInference:
         assert len(races) == 1
 
 
+SPIN_THEN_READ = """
+.data
+shared: .word 0
+.text
+reader:
+    li   s0, 300
+spin:
+    addi s0, s0, -1
+    bnez s0, spin
+    lw   t0, shared
+    move a0, t0
+    li   v0, 1
+    syscall
+writer:
+    li   t0, 7
+    sw   t0, shared
+    li   v0, 1
+    syscall
+"""
+
+
+class TestStalePiggybackRegression:
+    """A descheduled thread's closed interval must not be piggybacked.
+
+    The writer thread stores to ``shared`` and exits while the reader
+    spins; the reader's later load pulls the block from the writer's
+    core, whose coherence reply must *not* carry the writer's closed
+    (CID, IC) — MRL entries pointing at closed intervals break replay
+    once the C-ID is recycled.
+    """
+
+    def _run(self):
+        program = assemble(SPIN_THEN_READ)
+        machine = Machine(
+            program,
+            MachineConfig(num_cores=2),
+            BugNetConfig(checkpoint_interval=300),
+        )
+        machine.spawn(entry="reader")
+        machine.spawn(entry="writer")
+        result = machine.run()
+        return machine, result
+
+    def test_no_mrl_entry_for_exited_thread(self):
+        machine, result = self._run()
+        # The writer exits long before the reader touches `shared`.
+        assert machine.memory.peek(machine.program.symbols["shared"]) == 7
+        assert result.exit_codes[0] == 7  # the reader saw the store
+        from repro.tracing.mrl import MRLReader
+
+        reader_entries = [
+            entry
+            for cp in result.log_store.checkpoints(0)
+            for entry in MRLReader(machine.bugnet, cp.mrl)
+        ]
+        assert reader_entries == [], (
+            "reader logged a race edge against the writer's closed interval"
+        )
+
+    def test_remote_state_sentinel_for_idle_core(self):
+        machine, _ = self._run()
+        # Both threads exited: neither core has an open interval left.
+        assert machine.remote_state_of(0) is None
+        assert machine.remote_state_of(1) is None
+
+    def test_resident_thread_state_still_piggybacked(self):
+        # Sanity: concurrent sharing still produces MRL entries, so the
+        # sentinel only suppresses the stale case.
+        _, _, result, replay = run_mp(RACY)
+        assert len(replay.constraints) > 0
+
+
 class TestFourThreads:
     def test_four_way_replay(self):
         _, machine, result, replay = run_mp(RACY, threads=4, interval=500)

@@ -89,6 +89,56 @@ class TestRoundTrip:
         assert loaded.fault_pc == run.result.crash.fault_pc
 
 
+class TestConfigRoundTrip:
+    """VERSION 2 serializes the complete recorder configuration."""
+
+    FULL_CONFIG = BugNetConfig(
+        checkpoint_interval=2_000,
+        reduced_lcount_bits=4,
+        checkpoint_buffer_bytes=8 * 1024,
+        race_buffer_bytes=4 * 1024,
+        log_memory_budget=123_456,
+        max_live_threads=16,
+        max_resident_checkpoints=32,
+        bit_clear_period=1,
+    )
+
+    def test_non_default_config_survives(self, crashed):
+        run, _ = crashed
+        data = dump_crash_report(run.result.crash, self.FULL_CONFIG)
+        _, loaded_config = load_crash_report(data)
+        assert loaded_config == self.FULL_CONFIG
+
+    def test_none_budget_survives(self, crashed):
+        run, config = crashed
+        assert config.log_memory_budget is None
+        _, loaded_config = load_crash_report(
+            dump_crash_report(run.result.crash, config)
+        )
+        assert loaded_config.log_memory_budget is None
+        assert loaded_config == config
+
+    def test_version_1_still_loads_with_default_gaps(self, crashed):
+        # A v1 report (legacy writer) drops the buffer sizes and budget;
+        # loading substitutes the defaults for exactly those fields.
+        run, _ = crashed
+        data = dump_crash_report(run.result.crash, self.FULL_CONFIG, version=1)
+        loaded, loaded_config = load_crash_report(data)
+        defaults = BugNetConfig()
+        assert loaded_config.checkpoint_interval == 2_000
+        assert loaded_config.reduced_lcount_bits == 4
+        assert loaded_config.max_live_threads == 16
+        assert loaded_config.checkpoint_buffer_bytes == defaults.checkpoint_buffer_bytes
+        assert loaded_config.race_buffer_bytes == defaults.race_buffer_bytes
+        assert loaded_config.log_memory_budget is None
+        assert loaded.fault_pc == run.result.crash.fault_pc
+
+    def test_unknown_write_version_rejected(self, crashed):
+        run, config = crashed
+        with pytest.raises(ValueError):
+            dump_crash_report(run.result.crash, config, version=3)
+
+
 class TestFormatSafety:
     def test_bad_magic_rejected(self):
         with pytest.raises(LogDecodeError, match="magic"):
