@@ -20,6 +20,11 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.test_ingest_throughput import (  # noqa: E402
+    INGEST_REPORTS,
+    _fleet_traffic,
+    _ingest_all,
+)
 from benchmarks.test_throughput import (  # noqa: E402
     TRACE_INSTRUCTIONS,
     _record_gzip,
@@ -45,6 +50,10 @@ def main() -> None:
     system_ref, _ = _best(_run_gnuplot, False)
     assert run.crashed
     system_instructions = run.global_steps
+    _fleet_traffic()  # synthesize fleet traffic outside the timed region
+    ingest_time, (ingest_results, ingest_buckets) = _best(_ingest_all)
+    assert all(result.accepted for result in ingest_results)
+    replayed = sum(r.instructions_replayed for r in ingest_results)
     baseline = {
         "note": (
             "Throughput baseline for benchmarks/test_throughput.py; "
@@ -68,6 +77,16 @@ def main() -> None:
             "reference_ips": round(system_instructions / system_ref),
             "fast_ips": round(system_instructions / system_fast),
             "speedup": round(system_ref / system_fast, 2),
+        },
+        # Fleet ingestion (benchmarks/test_ingest_throughput.py): decode
+        # + full faulting-thread replay validation + fault probe +
+        # sharded-store commit, per report.
+        "fleet_ingest": {
+            "reports": INGEST_REPORTS,
+            "buckets": len(ingest_buckets),
+            "replayed_instructions": replayed,
+            "reports_per_sec": round(INGEST_REPORTS / ingest_time, 1),
+            "replay_ips": round(replayed / ingest_time),
         },
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"

@@ -1,0 +1,85 @@
+"""Ingestion-throughput benchmark for the fleet subsystem.
+
+The developer-site bottleneck the fleet subsystem exists for: how many
+crash reports per second can the pipeline validate (decode + full
+faulting-thread replay + fault probe) and commit into the sharded
+store?  Reports are synthesized once from the Table-1 bug suite at
+varied checkpoint intervals — realistic traffic in that duplicates of
+the same bug arrive with different replay windows.
+
+``BENCH_throughput.json`` records the checked-in baseline (regenerate
+with ``PYTHONPATH=src python benchmarks/record_baseline.py``).
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from benchmarks.scaling import scaled
+
+from repro.common.config import BugNetConfig
+from repro.fleet.ingest import IngestPipeline, resolver_from_programs
+from repro.fleet.store import ReportStore
+from repro.fleet.triage import build_buckets
+from repro.tracing.serialize import dump_crash_report
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+INGEST_REPORTS = scaled(24, minimum=8)
+_FLEET_BUGS = ("bc-1.06", "tar-1.13.25", "gnuplot-3.7.1-1", "tidy-34132-3")
+_INTERVALS = (2_000, 5_000, 25_000)
+
+_cache = None
+
+
+def _fleet_traffic():
+    """(programs, items) for INGEST_REPORTS synthesized crash reports."""
+    global _cache
+    if _cache is None:
+        programs = {}
+        items = []
+        for index in range(INGEST_REPORTS):
+            bug = BUGS_BY_NAME[_FLEET_BUGS[index % len(_FLEET_BUGS)]]
+            config = BugNetConfig(
+                checkpoint_interval=_INTERVALS[index % len(_INTERVALS)]
+            )
+            run = run_bug(bug, bugnet=config, record=True)
+            assert run.crashed
+            programs.setdefault(bug.name, run.program)
+            items.append((
+                f"run-{index:03d}",
+                dump_crash_report(run.result.crash, config),
+                index,
+            ))
+        _cache = (programs, items)
+    return _cache
+
+
+def _ingest_all(workers: int = 1):
+    programs, items = _fleet_traffic()
+    root = Path(tempfile.mkdtemp(prefix="bugnet-bench-ingest-"))
+    try:
+        store = ReportStore(root, num_shards=8)
+        pipeline = IngestPipeline(
+            store, resolver_from_programs(programs), workers=workers
+        )
+        results = pipeline.ingest_many(items)
+        buckets = build_buckets(store)
+        return results, buckets
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_ingest_throughput(benchmark):
+    _fleet_traffic()  # synthesize outside the timed region
+    results, buckets = benchmark.pedantic(_ingest_all, rounds=3, iterations=1)
+    assert all(result.accepted for result in results)
+    assert len(buckets) == len(_FLEET_BUGS)
+
+
+def test_ingest_throughput_worker_pool(benchmark):
+    _fleet_traffic()
+    results, buckets = benchmark.pedantic(
+        _ingest_all, args=(4,), rounds=3, iterations=1
+    )
+    assert all(result.accepted for result in results)
+    assert len(buckets) == len(_FLEET_BUGS)

@@ -1,0 +1,87 @@
+"""Fleet triage: the developer site at production scale.
+
+The paper ends with one crash report shipped to the developer.  This
+example plays the other side at fleet scale: forty users hit bugs from
+the Table-1 suite under different recorder settings (different
+checkpoint intervals and log budgets, so the shipments are
+byte-for-byte different), two shipments arrive corrupted, and the
+developer-site pipeline
+
+1. validates every shipment by *replaying* its faulting-thread tail
+   (the corrupted ones are rejected, not triaged),
+2. dedups them into signature buckets in a sharded on-disk store,
+3. ranks the buckets and picks the representative report — the one
+   with the largest replay window — for a developer to open first.
+
+Run with::
+
+    python examples/fleet_triage.py
+"""
+
+import tempfile
+import time
+
+from repro.analysis.report import format_bytes, format_rate
+from repro.common.config import BugNetConfig
+from repro.fleet import IngestPipeline, ReportStore, build_buckets, render_triage
+from repro.tracing.serialize import dump_crash_report
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+FLEET_BUGS = ("bc-1.06", "tar-1.13.25", "gnuplot-3.7.1-1", "tidy-34132-3")
+INTERVALS = (2_000, 10_000, 50_000)
+BUDGETS = (None, None, 4_096)
+RUNS = 40
+
+
+def main() -> None:
+    print(f"== {RUNS} users crash across {len(FLEET_BUGS)} distinct bugs")
+    programs = {}
+    items = []
+    shipped = 0
+    for index in range(RUNS):
+        bug = BUGS_BY_NAME[FLEET_BUGS[index % len(FLEET_BUGS)]]
+        config = BugNetConfig(
+            checkpoint_interval=INTERVALS[index % len(INTERVALS)],
+            log_memory_budget=BUDGETS[index % len(BUDGETS)],
+        )
+        run = run_bug(bug, bugnet=config, record=True)
+        blob = dump_crash_report(run.result.crash, config)
+        shipped += len(blob)
+        programs.setdefault(bug.name, run.program)
+        items.append((f"user-{index:02d}:{bug.name}", blob, index))
+    print(f"   {len(items)} shipments, {format_bytes(shipped)} total "
+          f"(no core dumps)")
+
+    # Two shipments arrive corrupted in transit.
+    for position in (3, 17):
+        blob = bytearray(items[position][1])
+        blob[len(blob) // 2] ^= 0xFF
+        items[position] = (items[position][0] + ":corrupted", bytes(blob),
+                           position)
+
+    with tempfile.TemporaryDirectory(prefix="bugnet-fleet-") as root:
+        store = ReportStore(root, num_shards=8)
+        pipeline = IngestPipeline(store, programs.get, workers=4)
+        start = time.perf_counter()
+        results = pipeline.ingest_many(items)
+        elapsed = time.perf_counter() - start
+
+        print(f"\n== ingest: {pipeline.accepted} accepted, "
+              f"{pipeline.rejected} rejected "
+              f"({format_rate(len(results), elapsed, 'reports')})")
+        for result in results:
+            if not result.accepted:
+                print(f"   rejected {result.label}: {result.reason}")
+
+        buckets = build_buckets(store)
+        print(f"\n{render_triage(buckets)}")
+
+        top = buckets[0]
+        report, _config = store.load(top.representative)
+        print(f"\n== open the top bucket's representative "
+              f"(window {top.representative.replay_window} instructions)")
+        print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -25,11 +25,14 @@ Package layout:
 * :mod:`repro.mp` — the full-system machine,
 * :mod:`repro.baselines` — the FDR/SafetyNet comparison,
 * :mod:`repro.workloads` — SPEC personalities and the Table-1 bug suite,
-* :mod:`repro.analysis` — experiment drivers for every table/figure.
+* :mod:`repro.analysis` — experiment drivers for every table/figure,
+* :mod:`repro.fleet` — developer-site fleet store: validated ingestion,
+  signature dedup, and triage over floods of crash reports.
 """
 
 from repro.arch import assemble
 from repro.common.config import BugNetConfig, CacheConfig, DictionaryConfig, MachineConfig
+from repro.fleet import IngestPipeline, ReportStore, compute_signature
 from repro.mp.machine import Machine, MachineResult, run_program
 from repro.replay import Replayer, assert_traces_equal
 from repro.system.fault import CrashReport
@@ -48,5 +51,8 @@ __all__ = [
     "Replayer",
     "assert_traces_equal",
     "CrashReport",
+    "IngestPipeline",
+    "ReportStore",
+    "compute_signature",
     "__version__",
 ]

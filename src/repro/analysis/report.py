@@ -14,6 +14,17 @@ def format_bytes(count: float) -> str:
     return f"{int(count)} B"
 
 
+def format_rate(count: float, seconds: float, unit: str = "") -> str:
+    """A throughput figure (``1234 reports/s``); safe for zero durations."""
+    suffix = f" {unit}/s" if unit else "/s"
+    if seconds <= 0:
+        return f"inf{suffix}"
+    rate = count / seconds
+    if rate >= 100:
+        return f"{rate:,.0f}{suffix}"
+    return f"{rate:.2f}{suffix}"
+
+
 @dataclass
 class Table:
     """A simple aligned-text table."""

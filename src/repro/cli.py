@@ -1,4 +1,4 @@
-"""The ``bugnet`` command line: record, ship, replay, debug.
+"""The ``bugnet`` command line: record, ship, ingest, triage, replay, debug.
 
 The full production workflow from the paper, as a tool::
 
@@ -6,24 +6,40 @@ The full production workflow from the paper, as a tool::
     bugnet run app.s --input "AAAA..." --output crash.bugnet
 
     # developer site: same binary + the shipment
-    bugnet report crash.bugnet
+    bugnet report crash.bugnet [--json]
     bugnet replay app.s crash.bugnet --tail 15
     bugnet debug  app.s crash.bugnet --watch 0x10001000
     bugnet disasm app.s --start main
+
+    # fleet site: validate + dedup floods of shipments, then triage
+    bugnet ingest --store ./fleet --source app.s crash.bugnet ...
+    bugnet triage --store ./fleet --limit 10
+    bugnet fleet-sim --runs 50          # synthesize realistic traffic
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import random
 import sys
+import tempfile
+import time
 
 from repro.arch.assembler import assemble
 from repro.arch.disasm import disassemble, listing, symbol_map
 from repro.common.config import BugNetConfig, MachineConfig
+from repro.fleet.ingest import IngestPipeline, resolver_from_sources
+from repro.fleet.store import ReportStore
+from repro.fleet.triage import build_buckets, render_triage
 from repro.mp.machine import Machine
 from repro.replay.debugger import ReplayDebugger
 from repro.replay.replayer import Replayer
-from repro.tracing.serialize import read_crash_report, save_crash_report
+from repro.tracing.serialize import (
+    dump_crash_report,
+    read_crash_report,
+    save_crash_report,
+)
 
 
 def _load_program(path: str):
@@ -64,8 +80,51 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _report_dict(report, config) -> dict:
+    """The machine-readable ``bugnet report --json`` shape (consumed by
+    the ingestion tooling and the CI smoke step)."""
+    return {
+        "program": report.program_name,
+        "pid": report.pid,
+        "fault": {
+            "kind": report.fault_kind,
+            "message": report.fault_message,
+            "pc": report.fault_pc,
+            "source_line": report.fault_source_line,
+            "tid": report.faulting_tid,
+        },
+        "threads": {
+            str(tid): {
+                "checkpoints": len(report.checkpoints[tid]),
+                # The grounded window `bugnet replay`/ingest can actually
+                # deliver; resident_window additionally counts any
+                # ungrounded prefix left behind by eviction.
+                "replay_window": sum(
+                    fll.end_ic for fll in report.replay_chain(tid)
+                ),
+                "resident_window": report.replay_window(tid),
+                "fll_bytes": report.fll_bytes(config, tid),
+                "mrl_bytes": report.mrl_bytes(config, tid),
+                "total_instructions": report.total_instructions.get(tid, 0),
+            }
+            for tid in report.thread_ids
+        },
+        "shipment_bytes": report.total_bytes(config),
+        "recorder": {
+            "checkpoint_interval": config.checkpoint_interval,
+            "reduced_lcount_bits": config.reduced_lcount_bits,
+            "dictionary_entries": config.dictionary.entries,
+            "log_memory_budget": config.log_memory_budget,
+            "bit_clear_period": config.bit_clear_period,
+        },
+    }
+
+
 def _cmd_report(args) -> int:
     report, config = read_crash_report(args.report)
+    if args.json:
+        print(json.dumps(_report_dict(report, config), indent=2))
+        return 0
     print(report.summary())
     print(f"  recorder interval : {config.checkpoint_interval}")
     print(f"  shipment size     : {report.total_bytes(config)} bytes "
@@ -77,7 +136,14 @@ def _cmd_replay(args) -> int:
     program = _load_program(args.source)
     report, config = read_crash_report(args.report)
     tid = report.faulting_tid if args.tid is None else args.tid
-    flls = report.flls_for(tid)
+    # The grounded chain (earliest resident major checkpoint onward) —
+    # the same sequence ingest-time validation proved replayable.
+    flls = report.replay_chain(tid)
+    if not flls:
+        available = ", ".join(str(t) for t in report.thread_ids) or "none"
+        print(f"error: no replayable logs for thread {tid} "
+              f"(threads with logs: {available})", file=sys.stderr)
+        return 3
     replayer = Replayer(program, config)
     replays = replayer.replay(flls)
     events = [event for replay in replays for event in replay.events]
@@ -105,7 +171,7 @@ def _cmd_debug(args) -> int:
     program = _load_program(args.source)
     report, config = read_crash_report(args.report)
     tid = report.faulting_tid if args.tid is None else args.tid
-    debugger = ReplayDebugger(program, config, report.flls_for(tid))
+    debugger = ReplayDebugger(program, config, report.replay_chain(tid))
     for label in args.breakpoints:
         debugger.add_breakpoint(label)
     for addr in args.watch:
@@ -126,6 +192,152 @@ def _cmd_debug(args) -> int:
                 line = program.source_line_of(writer.pc)
                 print(f"  last writer: pc={writer.pc:#010x} "
                       f"(line {line}) value={writer.store[1]:#x}")
+    return 0
+
+
+def _print_ingest_results(results, store, elapsed, as_json) -> None:
+    from repro.analysis.report import format_rate
+
+    accepted = [r for r in results if r.accepted]
+    rejected = [r for r in results if not r.accepted]
+    if as_json:
+        print(json.dumps({
+            "ingested": len(results),
+            "accepted": len(accepted),
+            "rejected": [
+                {"label": r.label, "reason": r.reason} for r in rejected
+            ],
+            "signatures": sorted({r.digest for r in accepted}),
+            "store_reports": len(store),
+            "store_bytes": store.total_bytes,
+            "evicted_reports": store.evicted_reports,
+            "reports_per_sec": round(len(results) / elapsed, 1) if elapsed else None,
+        }, indent=2))
+        return
+    for result in results:
+        if result.accepted:
+            print(f"  + {result.label}: signature {result.signature.short} "
+                  f"(replayed {result.instructions_replayed} instructions)")
+        else:
+            print(f"  - {result.label}: REJECTED ({result.reason})",
+                  file=sys.stderr)
+    print(f"ingested {len(accepted)}/{len(results)} report(s) in "
+          f"{elapsed:.2f}s ({format_rate(len(results), elapsed, 'reports')}); "
+          f"store holds {len(store)} report(s), "
+          f"{store.evicted_reports} evicted")
+
+
+def _cmd_ingest(args) -> int:
+    sources = [(path, _load_program(path)) for path in args.source]
+    if not sources:
+        print("error: at least one --source binary is required", file=sys.stderr)
+        return 2
+    store = ReportStore(args.store, num_shards=args.shards,
+                        byte_budget=args.budget)
+    pipeline = IngestPipeline(
+        store, resolver_from_sources(sources),
+        workers=args.workers, probe=not args.no_probe,
+    )
+    start = time.perf_counter()
+    results = pipeline.ingest_paths(args.reports)
+    elapsed = time.perf_counter() - start
+    _print_ingest_results(results, store, elapsed, args.json)
+    return 1 if pipeline.rejected else 0
+
+
+def _cmd_triage(args) -> int:
+    from pathlib import Path
+
+    if not (Path(args.store) / "store.json").exists():
+        print(f"error: no fleet store at {args.store} "
+              f"(create one with `bugnet ingest` or `bugnet fleet-sim`)",
+              file=sys.stderr)
+        return 2
+    store = ReportStore(args.store)
+    buckets = build_buckets(store)
+    if args.json:
+        print(json.dumps({
+            "buckets": [bucket.to_dict() for bucket in buckets],
+            "store_reports": len(store),
+            "store_bytes": store.total_bytes,
+            "evicted_reports": store.evicted_reports,
+        }, indent=2))
+        return 0
+    if not buckets:
+        print("store is empty: nothing to triage")
+        return 0
+    print(render_triage(buckets, limit=args.limit))
+    return 0
+
+
+def _cmd_fleet_sim(args) -> int:
+    """Synthesize fleet traffic from the Table-1 bug suite and ingest it."""
+    from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+    names = (args.bugs.split(",") if args.bugs
+             else ["bc-1.06", "tar-1.13.25", "gnuplot-3.7.1-1",
+                   "tidy-34132-2", "tidy-34132-3", "python-2.1.1-2"])
+    unknown = [name for name in names if name not in BUGS_BY_NAME]
+    if unknown:
+        print(f"error: unknown bug(s): {', '.join(unknown)} "
+              f"(see workloads/bugs.py)", file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    intervals = (5_000, 10_000, 25_000, 100_000)
+    programs = {}
+    items = []
+    failures = 0
+    for index in range(args.runs):
+        bug = BUGS_BY_NAME[rng.choice(names)]
+        config = BugNetConfig(checkpoint_interval=rng.choice(intervals))
+        run = run_bug(bug, bugnet=config, record=True)
+        if not run.crashed:
+            failures += 1
+            continue
+        programs.setdefault(bug.name, run.program)
+        items.append((
+            f"run-{index:03d}:{bug.name}",
+            dump_crash_report(run.result.crash, config),
+            None,  # observed_at: store-monotonic, survives store reuse
+        ))
+    crashes = len(items)
+    corrupted = args.corrupt if items else 0
+    clean = list(items)  # corrupt only pristine blobs, never twice
+    for position in range(corrupted):
+        victim = bytearray(clean[position % len(clean)][1])
+        victim[len(victim) // 2] ^= 0xFF
+        items.append((f"corrupt-{position:03d}", bytes(victim), None))
+    store_dir = args.store or tempfile.mkdtemp(prefix="bugnet-fleet-")
+    store = ReportStore(store_dir, num_shards=args.shards,
+                        byte_budget=args.budget)
+    pipeline = IngestPipeline(store, programs.get, workers=args.workers)
+    start = time.perf_counter()
+    results = pipeline.ingest_many(items)
+    elapsed = time.perf_counter() - start
+    buckets = build_buckets(store)
+    if args.json:
+        print(json.dumps({
+            "runs": args.runs,
+            "crashes": crashes,
+            "non_crashing_runs": failures,
+            "corrupt_injected": corrupted,
+            "accepted": pipeline.accepted,
+            "rejected": pipeline.rejected,
+            "buckets": [bucket.to_dict() for bucket in buckets],
+            "store": store_dir,
+        }, indent=2))
+        return 0
+    print(f"fleet-sim: {args.runs} run(s), {crashes} crash report(s), "
+          f"{corrupted} corrupted blob(s) injected")
+    print(f"ingest: {pipeline.accepted} accepted, {pipeline.rejected} "
+          f"rejected in {elapsed:.2f}s")
+    for result in results:
+        if not result.accepted:
+            print(f"  - {result.label}: rejected ({result.reason})")
+    print()
+    print(render_triage(buckets))
+    print(f"\nstore: {store_dir} ({len(store)} report(s) in "
+          f"{store.num_shards} shard(s))")
     return 0
 
 
@@ -162,7 +374,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="summarize a crash report")
     report.add_argument("report")
+    report.add_argument("--json", action="store_true",
+                        help="machine-readable output")
     report.set_defaults(func=_cmd_report)
+
+    ingest = sub.add_parser(
+        "ingest", help="validate crash reports into a fleet store")
+    ingest.add_argument("reports", nargs="+",
+                        help="crash report file(s) to ingest")
+    ingest.add_argument("--store", required=True,
+                        help="fleet store directory (created if missing)")
+    ingest.add_argument("--source", action="append", default=[],
+                        help="program binary the reports name (repeatable)")
+    ingest.add_argument("--shards", type=int, default=8)
+    ingest.add_argument("--budget", type=int, default=None,
+                        help="store byte budget (oldest reports evicted)")
+    ingest.add_argument("--workers", type=int, default=1,
+                        help="validation worker threads (overlaps decode "
+                             "I/O; replay itself is GIL-bound)")
+    ingest.add_argument("--no-probe", action="store_true",
+                        help="skip re-executing the faulting instruction")
+    ingest.add_argument("--json", action="store_true")
+    ingest.set_defaults(func=_cmd_ingest)
+
+    triage = sub.add_parser(
+        "triage", help="rank a fleet store's crash buckets")
+    triage.add_argument("--store", required=True)
+    triage.add_argument("--limit", type=int, default=None,
+                        help="show only the top N buckets")
+    triage.add_argument("--json", action="store_true")
+    triage.set_defaults(func=_cmd_triage)
+
+    fleet = sub.add_parser(
+        "fleet-sim",
+        help="synthesize fleet crash traffic from the Table-1 bug suite",
+    )
+    fleet.add_argument("--runs", type=int, default=50)
+    fleet.add_argument("--bugs", default=None,
+                       help="comma-separated bug names (default: a fast subset)")
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--corrupt", type=int, default=2,
+                       help="corrupted blobs to inject (must be rejected)")
+    fleet.add_argument("--store", default=None,
+                       help="fleet store directory (default: fresh temp dir)")
+    fleet.add_argument("--shards", type=int, default=8)
+    fleet.add_argument("--budget", type=int, default=None)
+    fleet.add_argument("--workers", type=int, default=1)
+    fleet.add_argument("--json", action="store_true")
+    fleet.set_defaults(func=_cmd_fleet_sim)
 
     replay = sub.add_parser("replay", help="replay a crash report")
     replay.add_argument("source")

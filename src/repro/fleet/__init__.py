@@ -1,0 +1,40 @@
+"""Developer-site fleet infrastructure: ingest, dedup, and triage.
+
+The paper's workflow ends with the OS shipping one crash report "to the
+developer".  At the ROADMAP's production scale the developer side
+receives *floods* of reports, and the bottleneck moves from recording to
+handling them.  This package is that missing half:
+
+* :mod:`repro.fleet.signature` — deterministic crash signatures from the
+  fault metadata plus the replayed tail of PCs, so two reports of the
+  same bug bucket together even when their replay windows differ;
+* :mod:`repro.fleet.store` — a sharded on-disk report store
+  (consistent-hash of signature → shard directory, per-shard binary
+  index, bounded retention with oldest-first eviction mirroring
+  :class:`~repro.tracing.backing.LogStore`);
+* :mod:`repro.fleet.ingest` — a batched ingestion pipeline that
+  *validates* every report by replaying its faulting-thread tail before
+  accepting it (iReplayer's in-situ-validation argument: never act on a
+  recording that does not replay);
+* :mod:`repro.fleet.triage` — signature bucketing, occurrence/recency
+  ranking, and a representative-report picker.
+
+CLI: ``bugnet ingest``, ``bugnet triage``, ``bugnet fleet-sim``.
+"""
+
+from repro.fleet.ingest import IngestPipeline, IngestResult
+from repro.fleet.signature import CrashSignature, compute_signature
+from repro.fleet.store import ReportStore, StoredEntry
+from repro.fleet.triage import Bucket, build_buckets, render_triage
+
+__all__ = [
+    "Bucket",
+    "CrashSignature",
+    "IngestPipeline",
+    "IngestResult",
+    "ReportStore",
+    "StoredEntry",
+    "build_buckets",
+    "compute_signature",
+    "render_triage",
+]

@@ -1,0 +1,258 @@
+"""Validated, batched crash-report ingestion.
+
+Every report admitted to the fleet store must *replay*: the pipeline
+deserializes the blob, resolves the program binary it names, replays the
+faulting thread's log chain (checking it lands on the recorded faulting
+PC), optionally probes that the fault actually reproduces, and only then
+derives the signature and commits the blob to the store.  Corrupt,
+truncated, or divergent reports are rejected with a reason instead of
+poisoning triage — iReplayer's in-situ-validation discipline applied at
+the developer site.
+
+Validation (decode + replay) is the expensive, side-effect-free part.
+A batch can fan it out across a thread pool — but be honest about what
+that buys in pure Python: zlib decompression and file reads overlap
+(they release the GIL), while the interpreter-loop replay serializes on
+it, so ``workers > 1`` yields only modest gains on replay-heavy
+traffic.  The pool's real job is structural: validation is kept
+side-effect-free and batched so that process-level sharding (one ingest
+process per shard range) is a drop-in scaling step.  Commits to the
+(single writer) store happen on the calling thread, in submission
+order, which keeps sequence numbers — and therefore eviction and triage
+recency — deterministic regardless of worker timing.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.program import Program
+from repro.common.errors import ReproError
+from repro.fleet.signature import (
+    DEFAULT_TAIL_DEPTH,
+    CrashSignature,
+    replay_tail,
+    signature_from_tail,
+)
+from repro.fleet.store import ReportStore, StoredEntry
+from repro.replay.replayer import Replayer
+from repro.tracing.serialize import load_crash_report
+
+#: Everything a hostile/corrupt blob can legitimately raise while being
+#: decoded: our own error hierarchy, zlib/struct framing errors, and
+#: field-validation errors from reconstructing the recorder config.
+_DECODE_ERRORS = (ReproError, zlib.error, struct.error, ValueError, KeyError)
+
+ProgramResolver = Callable[[str], "Program | None"]
+
+
+@dataclass
+class IngestResult:
+    """Outcome of ingesting one report."""
+
+    label: str
+    accepted: bool
+    reason: str                        # "ok" or the rejection reason
+    signature: CrashSignature | None = None
+    entry: StoredEntry | None = None
+    instructions_replayed: int = 0
+
+    @property
+    def digest(self) -> str | None:
+        """Signature digest, when validation got that far."""
+        return self.signature.digest if self.signature else None
+
+
+@dataclass
+class _Validated:
+    """A report that survived validation, ready to commit."""
+
+    label: str
+    blob: bytes
+    observed_at: int | None
+    signature: CrashSignature
+    fault_kind: str
+    program_name: str
+    instructions: int    # validated replay window = instructions replayed
+
+
+class IngestPipeline:
+    """Validates and commits crash reports into a :class:`ReportStore`."""
+
+    def __init__(
+        self,
+        store: ReportStore,
+        resolver: ProgramResolver,
+        tail_depth: int = DEFAULT_TAIL_DEPTH,
+        workers: int = 1,
+        probe: bool = True,
+    ) -> None:
+        self.store = store
+        self.resolver = resolver
+        self.tail_depth = tail_depth
+        self.workers = max(workers, 1)
+        self.probe = probe
+        self.accepted = 0
+        self.rejected = 0
+
+    # -- validation (pure, runs on workers) --------------------------------
+
+    def _validate(self, label: str, blob: bytes, observed_at: int):
+        """Returns _Validated or a rejecting IngestResult."""
+        try:
+            report, config = load_crash_report(blob)
+        except _DECODE_ERRORS as error:
+            return IngestResult(label, False, f"decode: {error}")
+        program = self.resolver(report.program_name)
+        if program is None:
+            return IngestResult(
+                label, False, f"unknown program {report.program_name!r}"
+            )
+        try:
+            tail = replay_tail(report, config, program, self.tail_depth)
+        except _DECODE_ERRORS as error:
+            return IngestResult(label, False, f"replay: {error}")
+        last_fll = tail.last_fll
+        if last_fll.fault_pc is None:
+            # The faulting thread's final resident checkpoint never
+            # recorded a fault point: the fault interval was stripped or
+            # the report was tampered with.  Accepting it would skip
+            # every fault check below.
+            return IngestResult(
+                label, False,
+                "final checkpoint records no fault point "
+                "(fault interval missing from the chain)",
+            )
+        if last_fll.fault_pc != report.fault_pc:
+            return IngestResult(
+                label, False,
+                f"fault pc mismatch: log says {last_fll.fault_pc:#010x}, "
+                f"report says {report.fault_pc:#010x}",
+            )
+        if tail.end_pc != report.fault_pc:
+            return IngestResult(
+                label, False,
+                f"replay ends at {tail.end_pc:#010x}, "
+                f"not the faulting pc {report.fault_pc:#010x}",
+            )
+        if self.probe and not self._probe_fault(report, config, program, tail):
+            return IngestResult(
+                label, False,
+                f"fault does not reproduce at {report.fault_pc:#010x}",
+            )
+        return _Validated(
+            label=label,
+            blob=blob,
+            observed_at=observed_at,
+            signature=signature_from_tail(report, tail),
+            fault_kind=report.fault_kind,
+            program_name=report.program_name,
+            # The *validated* window: instructions the chain actually
+            # replayed (an ungrounded prefix would overstate it).
+            instructions=tail.instructions,
+        )
+
+    def _probe_fault(self, report, config, program, tail) -> bool:
+        """Re-execute the faulting instruction against the replayed state
+        the validation replay already produced."""
+        replayer = Replayer(program, config)
+        fault = replayer.probe_fault(
+            tail.last_fll, tail.memory, tail.end_pc, tail.end_regs,
+            mapped_pages=report.mapped_pages,
+        )
+        return fault is not None and fault.kind == report.fault_kind
+
+    # -- commit (store writer, calling thread only) -------------------------
+
+    def _commit(self, validated: _Validated) -> IngestResult:
+        entry = self.store.add(
+            validated.signature.digest,
+            validated.blob,
+            replay_window=validated.instructions,
+            fault_kind=validated.fault_kind,
+            program_name=validated.program_name,
+            observed_at=validated.observed_at,
+        )
+        return IngestResult(
+            label=validated.label,
+            accepted=True,
+            reason="ok",
+            signature=validated.signature,
+            entry=entry,
+            instructions_replayed=validated.instructions,
+        )
+
+    # -- public API ---------------------------------------------------------
+
+    def ingest_blob(self, label: str, blob: bytes,
+                    observed_at: "int | None" = None) -> IngestResult:
+        """Validate and (if clean) store one report."""
+        return self.ingest_many([(label, blob, observed_at)])[0]
+
+    def ingest_many(
+        self, items: "list[tuple[str, bytes, int | None]]"
+    ) -> list[IngestResult]:
+        """Ingest a batch of ``(label, blob, observed_at)`` items.
+
+        An ``observed_at`` of ``None`` takes the store's monotonic
+        sequence number, which stays correctly ordered across separate
+        ingest invocations.  Validation runs on ``workers`` threads;
+        commits happen here in submission order, so results (sequence
+        numbers, evictions) are identical whatever the pool's
+        scheduling did.
+        """
+        if self.workers == 1 or len(items) <= 1:
+            outcomes = [self._validate(*item) for item in items]
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                outcomes = list(pool.map(lambda it: self._validate(*it), items))
+        results = []
+        for outcome in outcomes:
+            if isinstance(outcome, _Validated):
+                outcome = self._commit(outcome)
+            if outcome.accepted:
+                self.accepted += 1
+            else:
+                self.rejected += 1
+            results.append(outcome)
+        return results
+
+    def ingest_paths(self, paths, observed_at_of=None) -> list[IngestResult]:
+        """Ingest report files; ``observed_at_of(path) -> int`` is optional
+        (default: the store's monotonic ingest order)."""
+        items = []
+        for path in paths:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            observed = observed_at_of(path) if observed_at_of else None
+            items.append((str(path), blob, observed))
+        return self.ingest_many(items)
+
+
+def resolver_from_programs(programs: "dict[str, Program]") -> ProgramResolver:
+    """Resolver over an explicit name → program mapping."""
+    return programs.get
+
+
+def resolver_from_sources(sources: "list[tuple[str, Program]]") -> ProgramResolver:
+    """Resolver for CLI use: match report program names against assembled
+    sources by full name, then basename; a single source matches anything
+    (the common one-binary case)."""
+    by_name = {name: program for name, program in sources}
+    by_base = {name.rsplit("/", 1)[-1]: program for name, program in sources}
+
+    def resolve(name: str) -> "Program | None":
+        if name in by_name:
+            return by_name[name]
+        base = name.rsplit("/", 1)[-1]
+        if base in by_base:
+            return by_base[base]
+        if len(sources) == 1:
+            return sources[0][1]
+        return None
+
+    return resolve

@@ -1,0 +1,145 @@
+"""Deterministic crash signatures for fleet-side deduplication.
+
+Two users hitting the same bug ship reports that are byte-for-byte
+different: their replay windows differ (the log budget evicted different
+amounts of history), their checkpoint intervals may differ, and the
+fault arrives at a different instruction count.  What *is* stable is how
+the execution ends: the fault kind, the faulting PC, and the last few
+PCs the faulting thread executed on its way into the crash.
+
+A :class:`CrashSignature` is exactly that — computed by replaying the
+faulting thread's resident log chain with
+:class:`~repro.replay.replayer.Replayer` and keeping a bounded tail of
+PCs.  Because replay is deterministic, the signature is too, and because
+only the *tail* participates, reports with different windows of the same
+bug land in the same bucket.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import deque
+from dataclasses import dataclass
+
+from repro.arch.program import Program
+from repro.common.config import BugNetConfig
+from repro.common.errors import ReplayDivergence
+from repro.replay.replayer import Replayer
+from repro.system.fault import CrashReport
+
+#: PCs of tail kept in a signature.  Deep enough to separate bugs that
+#: crash at the same PC from different call paths, shallow enough that a
+#: budget-truncated report still produces the full tail.
+DEFAULT_TAIL_DEPTH = 12
+
+
+@dataclass(frozen=True)
+class CrashSignature:
+    """The dedup key for one crash bucket."""
+
+    program_name: str
+    fault_kind: str
+    fault_pc: int
+    tail_pcs: tuple[int, ...]
+
+    @property
+    def digest(self) -> str:
+        """Stable sha256 hex digest (the store/index key)."""
+        hasher = hashlib.sha256()
+        hasher.update(self.program_name.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(self.fault_kind.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(self.fault_pc.to_bytes(8, "little"))
+        for pc in self.tail_pcs:
+            hasher.update(pc.to_bytes(8, "little"))
+        return hasher.hexdigest()
+
+    @property
+    def short(self) -> str:
+        """Abbreviated digest for filenames and human output."""
+        return self.digest[:12]
+
+
+@dataclass
+class ReplayedTail:
+    """What one validation replay of the faulting thread produced.
+
+    Carries the final replayed machine state (memory, registers, last
+    FLL) so a fault probe can re-execute the faulting instruction
+    without replaying the chain a second time.
+    """
+
+    tail_pcs: tuple[int, ...]
+    instructions: int
+    end_pc: int
+    intervals: int
+    end_regs: tuple[int, ...] = ()
+    memory: object = None
+    last_fll: object = None
+
+
+def replay_tail(
+    report: CrashReport,
+    config: BugNetConfig,
+    program: Program,
+    tail_depth: int = DEFAULT_TAIL_DEPTH,
+) -> ReplayedTail:
+    """Replay the faulting thread's log chain, keeping only a PC tail.
+
+    The chain starts at the *earliest* resident major checkpoint (replay
+    must begin with all first-load bits conceptually clear; under the
+    paper's basic scheme every checkpoint is major, so this is the whole
+    resident sequence).  Raises
+    :class:`~repro.common.errors.ReplayDivergence` if the report has no
+    replayable chain or the logs disagree with the binary — the signal
+    ingestion uses to reject corrupt reports.
+    """
+    from repro.arch.memory import Memory
+
+    flls = report.replay_chain(report.faulting_tid)
+    if not flls:
+        raise ReplayDivergence(
+            f"no replayable chain for faulting thread {report.faulting_tid} "
+            f"(threads with logs: {report.thread_ids or 'none'})"
+        )
+    tail: deque[int] = deque(maxlen=max(tail_depth, 1))
+    replayer = Replayer(program, config)
+    memory = Memory(fault_checks=False)
+    last = None
+    for fll in flls:
+        last = replayer.replay_interval(
+            fll, memory=memory, collect_events=False,
+            event_sink=lambda event: tail.append(event.pc),
+        )
+    return ReplayedTail(
+        tail_pcs=tuple(tail),
+        instructions=sum(fll.end_ic for fll in flls),
+        end_pc=last.end_pc,
+        intervals=len(flls),
+        end_regs=last.end_regs,
+        memory=memory,
+        last_fll=flls[-1],
+    )
+
+
+def signature_from_tail(report: CrashReport, tail: ReplayedTail) -> CrashSignature:
+    """Build the signature from an already-performed validation replay."""
+    return CrashSignature(
+        program_name=report.program_name,
+        fault_kind=report.fault_kind,
+        fault_pc=report.fault_pc,
+        tail_pcs=tail.tail_pcs,
+    )
+
+
+def compute_signature(
+    report: CrashReport,
+    config: BugNetConfig,
+    program: Program,
+    tail_depth: int = DEFAULT_TAIL_DEPTH,
+) -> CrashSignature:
+    """Replay the faulting-thread tail and derive the crash signature."""
+    return signature_from_tail(
+        report, replay_tail(report, config, program, tail_depth=tail_depth)
+    )

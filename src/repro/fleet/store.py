@@ -1,0 +1,372 @@
+"""Sharded on-disk crash-report store for fleet-scale ingestion.
+
+Layout on disk::
+
+    <root>/
+        store.json            # shard count, ring replicas, seq counter,
+                              # byte budget, eviction counters
+        shard-00/
+            index.bin         # per-shard binary index (magic BGSI)
+            00000007-<sig12>.bugnet
+        shard-01/
+            ...
+
+Reports are placed by **consistent hashing**: each shard contributes
+``replicas`` virtual points to a hash ring, and a signature digest maps
+to the first point at or after it.  Growing the fleet store by a shard
+therefore remaps only ~1/N of signatures instead of reshuffling
+everything (the classic argument; ``shard_of`` is the whole mechanism).
+All reports of one signature land in one shard, so a triage worker can
+scan buckets shard-locally.
+
+The per-shard index is a compact binary file (no pickle, same
+discipline as :mod:`repro.tracing.serialize`), append-only on ingest
+and rewritten on eviction.
+
+Retention mirrors :class:`~repro.tracing.backing.LogStore`: a byte
+budget over the stored blobs, exceeded → evict the globally oldest
+report (never the one just added), deterministically ordered by
+``(observed_at, seq)``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import io
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.common.errors import LogDecodeError
+from repro.tracing.serialize import load_crash_report
+
+_INDEX_MAGIC = b"BGSI"
+_INDEX_VERSION = 1
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+@dataclass(frozen=True)
+class StoredEntry:
+    """One report as recorded in a shard index."""
+
+    digest: str          # full signature sha256 hex
+    seq: int             # store-global ingest sequence number
+    observed_at: int     # caller-supplied logical observation time
+    byte_size: int       # size of the stored .bugnet blob
+    replay_window: int   # instructions replayable for the faulting thread
+    fault_kind: str
+    program_name: str
+    shard: int
+    filename: str
+
+    @property
+    def order_key(self) -> tuple[int, int]:
+        """Eviction/recency order: oldest first, deterministic."""
+        return (self.observed_at, self.seq)
+
+
+def _write_u32(out: io.BytesIO, value: int) -> None:
+    out.write(_U32.pack(value & 0xFFFFFFFF))
+
+
+def _write_u64(out: io.BytesIO, value: int) -> None:
+    out.write(_U64.pack(value & 0xFFFFFFFFFFFFFFFF))
+
+
+def _write_str(out: io.BytesIO, text: str) -> None:
+    data = text.encode("utf-8")
+    _write_u32(out, len(data))
+    out.write(data)
+
+
+class _IndexReader:
+    def __init__(self, data: bytes) -> None:
+        self._view = memoryview(data)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._view) - self._pos
+
+    def u32(self) -> int:
+        if self.remaining < 4:
+            raise LogDecodeError("truncated shard index")
+        value = _U32.unpack_from(self._view, self._pos)[0]
+        self._pos += 4
+        return value
+
+    def u64(self) -> int:
+        if self.remaining < 8:
+            raise LogDecodeError("truncated shard index")
+        value = _U64.unpack_from(self._view, self._pos)[0]
+        self._pos += 8
+        return value
+
+    def raw(self, length: int) -> bytes:
+        data = bytes(self._view[self._pos: self._pos + length])
+        if len(data) != length:
+            raise LogDecodeError("truncated shard index")
+        self._pos += length
+        return data
+
+    def text(self) -> str:
+        return self.raw(self.u32()).decode("utf-8")
+
+
+def _pack_entry(entry: StoredEntry) -> bytes:
+    out = io.BytesIO()
+    out.write(bytes.fromhex(entry.digest))     # 32 raw digest bytes
+    _write_u64(out, entry.seq)
+    _write_u64(out, entry.observed_at)
+    _write_u32(out, entry.byte_size)
+    _write_u64(out, entry.replay_window)
+    _write_str(out, entry.fault_kind)
+    _write_str(out, entry.program_name)
+    _write_str(out, entry.filename)
+    return out.getvalue()
+
+
+def _unpack_entry(reader: _IndexReader, shard: int) -> StoredEntry:
+    return StoredEntry(
+        digest=reader.raw(32).hex(),
+        seq=reader.u64(),
+        observed_at=reader.u64(),
+        byte_size=reader.u32(),
+        replay_window=reader.u64(),
+        fault_kind=reader.text(),
+        program_name=reader.text(),
+        filename=reader.text(),
+        shard=shard,
+    )
+
+
+class ReportStore:
+    """Bounded, sharded crash-report store with a consistent-hash ring."""
+
+    def __init__(
+        self,
+        root,
+        num_shards: int = 8,
+        byte_budget: int | None = None,
+        ring_replicas: int = 32,
+    ) -> None:
+        self.root = Path(root)
+        meta_path = self.root / "store.json"
+        if meta_path.exists():
+            meta = json.loads(meta_path.read_text())
+            # Ring shape is a property of the store on disk, not of the
+            # opener: honoring the caller's shard count here would send
+            # existing signatures to the wrong directories.
+            self.num_shards = meta["num_shards"]
+            self.ring_replicas = meta["ring_replicas"]
+            self._next_seq = meta["next_seq"]
+            self.evicted_reports = meta.get("evicted_reports", 0)
+            self.evicted_bytes = meta.get("evicted_bytes", 0)
+            self.byte_budget = (
+                byte_budget if byte_budget is not None else meta.get("byte_budget")
+            )
+        else:
+            if num_shards < 1:
+                raise ValueError("need at least one shard")
+            self.num_shards = num_shards
+            self.ring_replicas = ring_replicas
+            self._next_seq = 0
+            self.evicted_reports = 0
+            self.evicted_bytes = 0
+            self.byte_budget = byte_budget
+            self.root.mkdir(parents=True, exist_ok=True)
+        self._ring = self._build_ring()
+        self._entries: list[StoredEntry] = []
+        for shard in range(self.num_shards):
+            self._entries.extend(self._read_shard_index(shard))
+        self._entries.sort(key=lambda entry: entry.seq)
+        if self._entries:
+            # store.json is written after the index append; recover the
+            # counter if a crash landed between the two.
+            self._next_seq = max(self._next_seq, self._entries[-1].seq + 1)
+        self.total_bytes = sum(entry.byte_size for entry in self._entries)
+        self._sweep_orphans()
+        if not meta_path.exists():
+            self._write_meta()
+
+    def _sweep_orphans(self) -> None:
+        """Delete blobs with no index record (a crash between the blob
+        write and the index append, or a dropped partial trailing
+        record); otherwise they would accumulate invisibly outside the
+        byte budget."""
+        indexed = {(entry.shard, entry.filename) for entry in self._entries}
+        for shard in range(self.num_shards):
+            shard_dir = self._shard_dir(shard)
+            if not shard_dir.is_dir():
+                continue
+            for blob in shard_dir.glob("*.bugnet"):
+                if (shard, blob.name) not in indexed:
+                    blob.unlink()
+
+    # -- consistent hashing ------------------------------------------------
+
+    def _build_ring(self) -> list[tuple[int, int]]:
+        points = []
+        for shard in range(self.num_shards):
+            for replica in range(self.ring_replicas):
+                token = hashlib.sha256(f"shard-{shard}#{replica}".encode()).digest()
+                points.append((int.from_bytes(token[:8], "big"), shard))
+        points.sort()
+        return points
+
+    def shard_of(self, digest: str) -> int:
+        """Map a signature digest to its shard via the hash ring."""
+        key = int(digest[:16], 16)
+        index = bisect.bisect_right(self._ring, (key, -1))
+        if index == len(self._ring):
+            index = 0
+        return self._ring[index][1]
+
+    # -- persistence -------------------------------------------------------
+
+    def _shard_dir(self, shard: int) -> Path:
+        return self.root / f"shard-{shard:02d}"
+
+    def _index_path(self, shard: int) -> Path:
+        return self._shard_dir(shard) / "index.bin"
+
+    def _read_shard_index(self, shard: int) -> list[StoredEntry]:
+        path = self._index_path(shard)
+        if not path.exists():
+            return []
+        data = path.read_bytes()
+        if data[:4] != _INDEX_MAGIC:
+            raise LogDecodeError(f"bad shard index magic in {path}")
+        reader = _IndexReader(data[4:])
+        version = reader.u32()
+        if version != _INDEX_VERSION:
+            raise LogDecodeError(f"unsupported shard index version {version}")
+        entries = []
+        while reader.remaining:
+            try:
+                entries.append(_unpack_entry(reader, shard))
+            except LogDecodeError:
+                # A crash mid-append leaves a partial trailing record:
+                # the report it described was never acknowledged, so
+                # dropping it (and any orphaned blob) recovers the store
+                # instead of bricking every future open.
+                break
+        return entries
+
+    def _rewrite_shard_index(self, shard: int) -> None:
+        out = io.BytesIO()
+        out.write(_INDEX_MAGIC)
+        _write_u32(out, _INDEX_VERSION)
+        for entry in self._entries:
+            if entry.shard == shard:
+                out.write(_pack_entry(entry))
+        self._index_path(shard).write_bytes(out.getvalue())
+
+    def _append_shard_index(self, entry: StoredEntry) -> None:
+        path = self._index_path(entry.shard)
+        if not path.exists():
+            path.write_bytes(_INDEX_MAGIC + _U32.pack(_INDEX_VERSION))
+        with open(path, "ab") as handle:
+            handle.write(_pack_entry(entry))
+
+    def _write_meta(self) -> None:
+        (self.root / "store.json").write_text(json.dumps({
+            "num_shards": self.num_shards,
+            "ring_replicas": self.ring_replicas,
+            "next_seq": self._next_seq,
+            "byte_budget": self.byte_budget,
+            "evicted_reports": self.evicted_reports,
+            "evicted_bytes": self.evicted_bytes,
+        }, indent=2) + "\n")
+
+    # -- mutation ----------------------------------------------------------
+
+    def add(
+        self,
+        digest: str,
+        blob: bytes,
+        replay_window: int = 0,
+        fault_kind: str = "",
+        program_name: str = "",
+        observed_at: int | None = None,
+    ) -> StoredEntry:
+        """Store one validated report blob under its signature digest.
+
+        ``observed_at`` defaults to the (store-monotonic) sequence
+        number, so recency and eviction order stay correct across
+        separate ingest invocations; pass an explicit value only when
+        the caller has a real fleet-wide observation clock.
+        """
+        seq = self._next_seq
+        self._next_seq += 1
+        if observed_at is None:
+            observed_at = seq
+        shard = self.shard_of(digest)
+        entry = StoredEntry(
+            digest=digest,
+            seq=seq,
+            observed_at=observed_at,
+            byte_size=len(blob),
+            replay_window=replay_window,
+            fault_kind=fault_kind,
+            program_name=program_name,
+            shard=shard,
+            filename=f"{seq:08d}-{digest[:12]}.bugnet",
+        )
+        shard_dir = self._shard_dir(shard)
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        (shard_dir / entry.filename).write_bytes(blob)
+        self._entries.append(entry)
+        self._append_shard_index(entry)
+        self.total_bytes += entry.byte_size
+        if self.byte_budget is not None:
+            while self.total_bytes > self.byte_budget and self._evict_oldest(entry):
+                pass
+        self._write_meta()
+        return entry
+
+    def _evict_oldest(self, protect: StoredEntry) -> bool:
+        """Drop the oldest stored report (never the one just added)."""
+        victim = None
+        for entry in self._entries:
+            if entry is protect:
+                continue
+            if victim is None or entry.order_key < victim.order_key:
+                victim = entry
+        if victim is None:
+            return False
+        self._entries.remove(victim)
+        self.total_bytes -= victim.byte_size
+        self.evicted_reports += 1
+        self.evicted_bytes += victim.byte_size
+        path = self._shard_dir(victim.shard) / victim.filename
+        if path.exists():
+            path.unlink()
+        self._rewrite_shard_index(victim.shard)
+        return True
+
+    # -- queries -----------------------------------------------------------
+
+    def entries(self, digest: str | None = None) -> list[StoredEntry]:
+        """Stored reports in ingest order (optionally one signature's)."""
+        if digest is None:
+            return list(self._entries)
+        return [entry for entry in self._entries if entry.digest == digest]
+
+    def signatures(self) -> list[str]:
+        """Distinct signature digests with resident reports."""
+        return sorted({entry.digest for entry in self._entries})
+
+    def path_of(self, entry: StoredEntry) -> Path:
+        """Filesystem path of a stored report blob."""
+        return self._shard_dir(entry.shard) / entry.filename
+
+    def load(self, entry: StoredEntry):
+        """Deserialize a stored report; returns (report, recorder config)."""
+        return load_crash_report(self.path_of(entry).read_bytes())
+
+    def __len__(self) -> int:
+        return len(self._entries)

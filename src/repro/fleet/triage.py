@@ -1,0 +1,117 @@
+"""Signature bucketing and triage ranking over a :class:`ReportStore`.
+
+Sundmark et al.'s industrial observation: replay debugging pays off once
+report handling is *systematized* — a developer opens the top bucket,
+not a random report.  Triage groups stored reports by signature, ranks
+buckets by occurrence count (ties: most recently observed first, then
+digest for determinism), and picks one representative report per bucket
+— the one with the **largest replay window**, because that is the
+report a developer can chase furthest back from the crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.report import Table, format_bytes
+from repro.fleet.store import ReportStore, StoredEntry
+
+
+@dataclass
+class Bucket:
+    """All stored reports sharing one crash signature."""
+
+    digest: str
+    fault_kind: str
+    program_name: str
+    entries: list[StoredEntry] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Occurrences (reports resident in the store)."""
+        return len(self.entries)
+
+    @property
+    def first_seen(self) -> int:
+        return min(entry.observed_at for entry in self.entries)
+
+    @property
+    def last_seen(self) -> int:
+        return max(entry.observed_at for entry in self.entries)
+
+    @property
+    def bytes_stored(self) -> int:
+        return sum(entry.byte_size for entry in self.entries)
+
+    @property
+    def representative(self) -> StoredEntry:
+        """The report to open first: largest replay window, oldest wins ties
+        (it has been reproducing the longest)."""
+        return min(
+            self.entries, key=lambda entry: (-entry.replay_window, entry.seq)
+        )
+
+    @property
+    def rank_key(self):
+        """Most occurrences first, then most recent, then stable digest."""
+        return (-self.count, -self.last_seen, self.digest)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly rendering (the ``bugnet triage --json`` shape)."""
+        rep = self.representative
+        return {
+            "signature": self.digest,
+            "program": self.program_name,
+            "fault_kind": self.fault_kind,
+            "count": self.count,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+            "bytes_stored": self.bytes_stored,
+            "representative": {
+                "seq": rep.seq,
+                "shard": rep.shard,
+                "filename": rep.filename,
+                "replay_window": rep.replay_window,
+            },
+        }
+
+
+def build_buckets(store: ReportStore) -> list[Bucket]:
+    """Bucket every stored report by signature, ranked for triage."""
+    buckets: dict[str, Bucket] = {}
+    for entry in store.entries():
+        bucket = buckets.get(entry.digest)
+        if bucket is None:
+            bucket = buckets[entry.digest] = Bucket(
+                digest=entry.digest,
+                fault_kind=entry.fault_kind,
+                program_name=entry.program_name,
+            )
+        bucket.entries.append(entry)
+    return sorted(buckets.values(), key=lambda bucket: bucket.rank_key)
+
+
+def render_triage(buckets: list[Bucket], limit: int | None = None) -> str:
+    """The triage table a developer reads top-down."""
+    table = Table(
+        "Crash triage (ranked by occurrences)",
+        ["#", "signature", "program", "fault", "count",
+         "window", "stored", "representative"],
+    )
+    shown = buckets if limit is None else buckets[:limit]
+    for rank, bucket in enumerate(shown, start=1):
+        rep = bucket.representative
+        table.add(
+            rank,
+            bucket.digest[:12],
+            bucket.program_name,
+            bucket.fault_kind,
+            bucket.count,
+            rep.replay_window,
+            format_bytes(bucket.bytes_stored),
+            f"shard-{rep.shard:02d}/{rep.filename}",
+        )
+    lines = [table.render()]
+    if limit is not None and len(buckets) > limit:
+        lines.append(f"... and {len(buckets) - limit} more bucket(s)")
+    return "\n".join(lines)

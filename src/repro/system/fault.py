@@ -42,6 +42,23 @@ class CrashReport:
         """The FLL sequence for one thread, oldest first."""
         return [cp.fll for cp in self.checkpoints.get(tid, [])]
 
+    def replay_chain(self, tid: int):
+        """The longest replayable FLL suffix for *tid*.
+
+        Replay must begin at a major checkpoint (one that started with
+        every first-load bit cleared — see ``bit_clear_period``), so the
+        chain runs from the *earliest* resident major checkpoint to the
+        end; under the paper's basic scheme every checkpoint is major
+        and this is the whole resident sequence.  Returns ``[]`` when no
+        major checkpoint survived eviction: such a report has no chain
+        that can be grounded.
+        """
+        flls = self.flls_for(tid)
+        for index, fll in enumerate(flls):
+            if fll.header.major:
+                return flls[index:]
+        return []
+
     def replay_window(self, tid: int) -> int:
         """Instructions replayable for *tid* from the shipped logs."""
         return sum(cp.fll.interval_length for cp in self.checkpoints.get(tid, []))

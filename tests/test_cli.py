@@ -1,5 +1,7 @@
 """Tests for the ``bugnet`` command line."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -81,8 +83,28 @@ class TestReport:
         assert "memory fault" in output
         assert "shipment size" in output
 
+    def test_json_output(self, crash_file, capsys):
+        assert main(["report", crash_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fault"]["kind"] == "memory"
+        assert payload["fault"]["tid"] == 0
+        assert payload["threads"]["0"]["replay_window"] > 0
+        # Basic scheme: every checkpoint is major, so the grounded and
+        # resident windows coincide.
+        assert (payload["threads"]["0"]["replay_window"]
+                == payload["threads"]["0"]["resident_window"])
+        assert payload["shipment_bytes"] > 0
+        assert payload["recorder"]["checkpoint_interval"] == 10
+
 
 class TestReplay:
+    def test_missing_tid_exits_nonzero(self, crashy_source, crash_file,
+                                       capsys):
+        assert main(["replay", crashy_source, crash_file, "--tid", "7"]) == 3
+        err = capsys.readouterr().err
+        assert "no replayable logs for thread 7" in err
+        assert "threads with logs: 0" in err
+
     def test_replay_tail(self, crashy_source, crash_file, capsys):
         assert main(["replay", crashy_source, crash_file, "--tail", "5"]) == 0
         output = capsys.readouterr().out
@@ -113,3 +135,97 @@ class TestDisasm:
         output = capsys.readouterr().out
         assert "main:" in output
         assert "addi" in output
+
+
+class TestIngestTriage:
+    def test_ingest_then_triage(self, crashy_source, crash_file, tmp_path,
+                                capsys):
+        store = str(tmp_path / "fleet")
+        assert main(["ingest", "--store", store,
+                     "--source", crashy_source, crash_file]) == 0
+        output = capsys.readouterr().out
+        assert "signature" in output
+        assert main(["triage", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "Crash triage" in output
+        assert "crashy.s" in output
+
+    def test_corrupt_report_rejected(self, crashy_source, crash_file,
+                                     tmp_path, capsys):
+        bad = tmp_path / "bad.bugnet"
+        data = bytearray(open(crash_file, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        bad.write_bytes(bytes(data))
+        store = str(tmp_path / "fleet")
+        assert main(["ingest", "--store", store,
+                     "--source", crashy_source, str(bad)]) == 1
+        assert "REJECTED" in capsys.readouterr().err
+        assert main(["triage", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["buckets"] == []
+
+    def test_duplicates_bucket_together(self, crashy_source, crash_file,
+                                        tmp_path, capsys):
+        store = str(tmp_path / "fleet")
+        assert main(["ingest", "--store", store, "--source", crashy_source,
+                     crash_file, crash_file, "--json"]) == 0
+        ingest_payload = json.loads(capsys.readouterr().out)
+        assert ingest_payload["accepted"] == 2
+        assert len(ingest_payload["signatures"]) == 1
+        assert main(["triage", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["buckets"]) == 1
+        assert payload["buckets"][0]["count"] == 2
+
+
+class TestFleetSim:
+    def test_dedups_into_expected_buckets(self, tmp_path, capsys):
+        store = str(tmp_path / "fleet")
+        assert main(["fleet-sim", "--runs", "8", "--seed", "0",
+                     "--bugs", "tidy-34132-2,tidy-34132-3",
+                     "--corrupt", "1", "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["accepted"] == 8
+        assert payload["rejected"] == 1
+        # Two distinct injected bugs -> exactly two buckets covering all
+        # eight runs.
+        assert len(payload["buckets"]) == 2
+        assert sum(b["count"] for b in payload["buckets"]) == 8
+        programs = {b["program"] for b in payload["buckets"]}
+        assert programs == {"tidy-34132-2", "tidy-34132-3"}
+
+    def test_triage_reads_fleet_sim_store(self, tmp_path, capsys):
+        store = str(tmp_path / "fleet")
+        assert main(["fleet-sim", "--runs", "4", "--seed", "3",
+                     "--bugs", "tidy-34132-2", "--corrupt", "0",
+                     "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["triage", "--store", store, "--limit", "5"]) == 0
+        output = capsys.readouterr().out
+        assert "tidy-34132-2" in output
+
+    def test_unknown_bug_errors(self, capsys):
+        assert main(["fleet-sim", "--runs", "1",
+                     "--bugs", "no-such-bug"]) == 2
+        assert "unknown bug" in capsys.readouterr().err
+
+    def test_more_corrupt_blobs_than_runs(self, tmp_path, capsys):
+        """Every injected blob must reject even when --corrupt exceeds
+        --runs (double-XOR must not restore a valid report)."""
+        store = str(tmp_path / "fleet")
+        assert main(["fleet-sim", "--runs", "1", "--seed", "0",
+                     "--bugs", "tidy-34132-2", "--corrupt", "3",
+                     "--store", store, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["accepted"] == 1
+        assert payload["rejected"] == 3
+        assert payload["corrupt_injected"] == 3
+
+
+class TestTriageErrors:
+    def test_missing_store_errors_without_creating_it(self, tmp_path,
+                                                      capsys):
+        missing = tmp_path / "nope"
+        assert main(["triage", "--store", str(missing)]) == 2
+        assert "no fleet store" in capsys.readouterr().err
+        assert not missing.exists()

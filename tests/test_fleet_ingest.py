@@ -1,0 +1,188 @@
+"""Tests for the validated ingestion pipeline (and v1-format compat)."""
+
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.fleet.ingest import (
+    IngestPipeline,
+    resolver_from_programs,
+    resolver_from_sources,
+)
+from repro.fleet.store import ReportStore
+from repro.fleet.triage import build_buckets
+from repro.tracing.serialize import dump_crash_report
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+
+@pytest.fixture(scope="module")
+def crashed():
+    config = BugNetConfig(checkpoint_interval=2_000)
+    run = run_bug(BUGS_BY_NAME["bc-1.06"], bugnet=config, record=True)
+    assert run.crashed
+    return run, config
+
+
+@pytest.fixture
+def pipeline(crashed, tmp_path):
+    run, _config = crashed
+    store = ReportStore(tmp_path / "store", num_shards=4)
+    resolver = resolver_from_programs({"bc-1.06": run.program})
+    return IngestPipeline(store, resolver)
+
+
+class TestAccept:
+    def test_valid_report_accepted(self, crashed, pipeline):
+        run, config = crashed
+        blob = dump_crash_report(run.result.crash, config)
+        result = pipeline.ingest_blob("r0", blob)
+        assert result.accepted
+        assert result.reason == "ok"
+        assert result.entry is not None
+        assert result.entry.replay_window == run.result.crash.replay_window(0)
+        assert result.instructions_replayed == result.entry.replay_window
+        assert len(pipeline.store) == 1
+        report, _ = pipeline.store.load(result.entry)
+        assert report.fault_pc == run.result.crash.fault_pc
+
+    def test_duplicate_reports_share_signature(self, crashed, pipeline):
+        run, config = crashed
+        blob = dump_crash_report(run.result.crash, config)
+        first = pipeline.ingest_blob("r0", blob)
+        second = pipeline.ingest_blob("r1", blob, observed_at=1)
+        assert first.digest == second.digest
+        assert len(pipeline.store.entries(first.digest)) == 2
+
+    def test_worker_pool_matches_serial(self, crashed, tmp_path):
+        run, config = crashed
+        blob = dump_crash_report(run.result.crash, config)
+        items = [(f"r{i}", blob, i) for i in range(6)]
+        outcomes = {}
+        for workers in (1, 4):
+            store = ReportStore(tmp_path / f"w{workers}", num_shards=4)
+            pipe = IngestPipeline(
+                store, resolver_from_programs({"bc-1.06": run.program}),
+                workers=workers,
+            )
+            results = pipe.ingest_many(items)
+            outcomes[workers] = [
+                (r.label, r.accepted, r.digest, r.entry.seq) for r in results
+            ]
+        assert outcomes[1] == outcomes[4]
+
+
+class TestReject:
+    def test_corrupted_body_rejected(self, crashed, pipeline):
+        run, config = crashed
+        blob = bytearray(dump_crash_report(run.result.crash, config))
+        blob[len(blob) // 2] ^= 0xFF
+        result = pipeline.ingest_blob("bad", bytes(blob))
+        assert not result.accepted
+        assert result.reason.startswith("decode")
+        assert len(pipeline.store) == 0
+        assert pipeline.rejected == 1
+
+    def test_truncated_blob_rejected(self, crashed, pipeline):
+        run, config = crashed
+        blob = dump_crash_report(run.result.crash, config)
+        result = pipeline.ingest_blob("short", blob[:40])
+        assert not result.accepted
+        assert result.reason.startswith("decode")
+
+    def test_garbage_rejected(self, pipeline):
+        result = pipeline.ingest_blob("junk", b"not a report at all")
+        assert not result.accepted
+        assert "magic" in result.reason
+
+    def test_unknown_program_rejected(self, crashed, tmp_path):
+        run, config = crashed
+        store = ReportStore(tmp_path / "s", num_shards=2)
+        pipe = IngestPipeline(store, resolver_from_programs({}))
+        result = pipe.ingest_blob("r", dump_crash_report(run.result.crash, config))
+        assert not result.accepted
+        assert "unknown program" in result.reason
+
+    def test_wrong_binary_rejected(self, crashed, tmp_path):
+        """Replaying against the wrong binary must not pass validation."""
+        run, config = crashed
+        other = BUGS_BY_NAME["tar-1.13.25"].program()
+        store = ReportStore(tmp_path / "s", num_shards=2)
+        pipe = IngestPipeline(
+            store, resolver_from_programs({"bc-1.06": other})
+        )
+        result = pipe.ingest_blob("r", dump_crash_report(run.result.crash, config))
+        assert not result.accepted
+        assert result.reason.startswith(("replay", "fault", "decode"))
+
+    def test_missing_fault_interval_rejected(self, tmp_path):
+        """Stripping the faulting checkpoint must not bypass validation."""
+        config = BugNetConfig(checkpoint_interval=100)
+        run = run_bug(BUGS_BY_NAME["bc-1.06"], bugnet=config, record=True)
+        report = run.result.crash
+        assert len(report.checkpoints[0]) > 1
+        original = report.checkpoints[0]
+        try:
+            report.checkpoints[0] = original[:-1]
+            blob = dump_crash_report(report, config)
+        finally:
+            report.checkpoints[0] = original
+        store = ReportStore(tmp_path / "s", num_shards=2)
+        pipe = IngestPipeline(
+            store, resolver_from_programs({"bc-1.06": run.program})
+        )
+        result = pipe.ingest_blob("stripped", blob)
+        assert not result.accepted
+        assert "no fault point" in result.reason
+
+    def test_no_logs_rejected(self, crashed, pipeline):
+        run, config = crashed
+        stripped = run.result.crash
+        checkpoints = stripped.checkpoints
+        try:
+            stripped.checkpoints = {}
+            blob = dump_crash_report(stripped, config)
+        finally:
+            stripped.checkpoints = checkpoints
+        result = pipeline.ingest_blob("empty", blob)
+        assert not result.accepted
+        assert "no replayable chain" in result.reason
+
+
+class TestFormatCompat:
+    def test_v1_report_ingests_identically_to_v2(self, crashed, tmp_path):
+        """A legacy v1-format shipment must land in the same bucket,
+        with the same signature and replay window, as today's v2."""
+        run, config = crashed
+        v1 = dump_crash_report(run.result.crash, config, version=1)
+        v2 = dump_crash_report(run.result.crash, config, version=2)
+        assert v1 != v2
+        store = ReportStore(tmp_path / "compat", num_shards=4)
+        pipe = IngestPipeline(
+            store, resolver_from_programs({"bc-1.06": run.program})
+        )
+        result_v1, result_v2 = pipe.ingest_many(
+            [("v1", v1, 0), ("v2", v2, 1)]
+        )
+        assert result_v1.accepted and result_v2.accepted
+        assert result_v1.digest == result_v2.digest
+        assert (result_v1.entry.replay_window
+                == result_v2.entry.replay_window)
+        buckets = build_buckets(store)
+        assert len(buckets) == 1
+        assert buckets[0].count == 2
+
+
+class TestResolvers:
+    def test_sources_resolver_matches_name_and_basename(self, crashed):
+        run, _config = crashed
+        resolver = resolver_from_sources([
+            ("/builds/app/bc-1.06", run.program),
+            ("/builds/app/other.s", run.program),
+        ])
+        assert resolver("bc-1.06") is run.program
+        assert resolver("/elsewhere/bc-1.06") is run.program
+        assert resolver("nope") is None
+
+    def test_single_source_matches_everything(self, crashed):
+        run, _config = crashed
+        resolver = resolver_from_sources([("whatever.s", run.program)])
+        assert resolver("totally-different-name") is run.program

@@ -1,0 +1,99 @@
+"""Tests for replay-derived crash signatures (fleet dedup keys)."""
+
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.common.errors import ReplayDivergence
+from repro.fleet.signature import (
+    CrashSignature,
+    compute_signature,
+    replay_tail,
+)
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+
+def crash(name, interval, **kwargs):
+    config = BugNetConfig(checkpoint_interval=interval, **kwargs)
+    run = run_bug(BUGS_BY_NAME[name], bugnet=config, record=True)
+    assert run.crashed
+    return run.result.crash, config, run.program
+
+
+class TestSignatureStability:
+    def test_deterministic(self):
+        report, config, program = crash("bc-1.06", 2_000)
+        first = compute_signature(report, config, program)
+        second = compute_signature(report, config, program)
+        assert first == second
+        assert first.digest == second.digest
+
+    def test_same_bug_different_interval_same_bucket(self):
+        """The dedup property: replay windows differ, signature doesn't."""
+        report_a, config_a, program = crash("bc-1.06", 100)
+        report_b, config_b, _ = crash("bc-1.06", 2_000)
+        assert len(report_a.checkpoints[0]) != len(report_b.checkpoints[0])
+        sig_a = compute_signature(report_a, config_a, program)
+        sig_b = compute_signature(report_b, config_b, program)
+        assert sig_a.digest == sig_b.digest
+
+    def test_same_bug_different_budget_same_bucket(self):
+        """Eviction truncates the window but not the crash tail."""
+        report_a, config_a, program = crash("tar-1.13.25", 1_000)
+        report_b, config_b, _ = crash("tar-1.13.25", 1_000,
+                                      log_memory_budget=2_000)
+        assert report_b.replay_window(0) < report_a.replay_window(0)
+        sig_a = compute_signature(report_a, config_a, program)
+        sig_b = compute_signature(report_b, config_b, program)
+        assert sig_a.digest == sig_b.digest
+
+    def test_distinct_bugs_distinct_buckets(self):
+        report_a, config_a, program_a = crash("bc-1.06", 5_000)
+        report_b, config_b, program_b = crash("tar-1.13.25", 5_000)
+        sig_a = compute_signature(report_a, config_a, program_a)
+        sig_b = compute_signature(report_b, config_b, program_b)
+        assert sig_a.digest != sig_b.digest
+
+
+class TestSignatureContents:
+    def test_fields(self):
+        report, config, program = crash("bc-1.06", 5_000)
+        sig = compute_signature(report, config, program)
+        assert sig.program_name == "bc-1.06"
+        assert sig.fault_kind == "memory"
+        assert sig.fault_pc == report.fault_pc
+        assert len(sig.tail_pcs) == 12
+        assert sig.short == sig.digest[:12]
+        assert len(sig.digest) == 64
+
+    def test_tail_depth_respected(self):
+        report, config, program = crash("bc-1.06", 5_000)
+        sig = compute_signature(report, config, program, tail_depth=4)
+        deep = compute_signature(report, config, program, tail_depth=12)
+        assert len(sig.tail_pcs) == 4
+        assert sig.tail_pcs == deep.tail_pcs[-4:]
+        assert sig.digest != deep.digest
+
+    def test_digest_sensitive_to_every_field(self):
+        base = CrashSignature("p", "memory", 0x100, (1, 2, 3))
+        for other in (
+            CrashSignature("q", "memory", 0x100, (1, 2, 3)),
+            CrashSignature("p", "instruction", 0x100, (1, 2, 3)),
+            CrashSignature("p", "memory", 0x104, (1, 2, 3)),
+            CrashSignature("p", "memory", 0x100, (1, 2, 4)),
+        ):
+            assert other.digest != base.digest
+
+
+class TestReplayTail:
+    def test_tail_matches_window(self):
+        report, config, program = crash("bc-1.06", 5_000)
+        tail = replay_tail(report, config, program)
+        assert tail.instructions == report.replay_window(0)
+        assert tail.end_pc == report.fault_pc
+        assert tail.intervals == len(report.checkpoints[0])
+
+    def test_no_logs_raises(self):
+        report, config, program = crash("bc-1.06", 5_000)
+        report.checkpoints.clear()
+        with pytest.raises(ReplayDivergence, match="no replayable chain"):
+            replay_tail(report, config, program)

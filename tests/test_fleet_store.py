@@ -1,0 +1,169 @@
+"""Tests for the sharded on-disk report store."""
+
+import hashlib
+
+import pytest
+
+from repro.common.errors import LogDecodeError
+from repro.fleet.store import ReportStore
+
+
+def digest_of(seed: int) -> str:
+    return hashlib.sha256(f"report-{seed}".encode()).hexdigest()
+
+
+def fill(store, count, size=100, window=0):
+    entries = []
+    for index in range(count):
+        entries.append(store.add(
+            digest_of(index), b"x" * size,
+            replay_window=window or index,
+            fault_kind="memory", program_name="prog",
+            observed_at=index,
+        ))
+    return entries
+
+
+class TestSharding:
+    def test_consistent_assignment(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        digests = [digest_of(i) for i in range(64)]
+        first = [store.shard_of(d) for d in digests]
+        assert first == [store.shard_of(d) for d in digests]
+        assert all(0 <= shard < 4 for shard in first)
+        # With 64 keys and 32 virtual points per shard, every shard
+        # should see traffic.
+        assert len(set(first)) == 4
+
+    def test_growth_remaps_only_a_fraction(self, tmp_path):
+        """The consistent-hashing property that justifies the ring."""
+        small = ReportStore(tmp_path / "a", num_shards=8)
+        large = ReportStore(tmp_path / "b", num_shards=9)
+        digests = [digest_of(i) for i in range(512)]
+        moved = sum(
+            1 for d in digests if small.shard_of(d) != large.shard_of(d)
+        )
+        # Modulo hashing would remap ~8/9 of keys; the ring moves ~1/9.
+        assert moved < len(digests) // 3
+
+    def test_same_signature_same_shard_directory(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        a = store.add(digest_of(1), b"aaa")
+        b = store.add(digest_of(1), b"bbb")
+        assert a.shard == b.shard
+        assert store.path_of(a).parent == store.path_of(b).parent
+
+
+class TestPersistence:
+    def test_reopen_round_trips_index(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        fill(store, 10)
+        reopened = ReportStore(tmp_path)
+        assert len(reopened) == 10
+        assert reopened.total_bytes == store.total_bytes
+        assert reopened.entries() == store.entries()
+        assert reopened.num_shards == 4
+
+    def test_reopen_ignores_conflicting_shard_count(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        fill(store, 4)
+        reopened = ReportStore(tmp_path, num_shards=16)
+        assert reopened.num_shards == 4
+        assert [e.shard for e in reopened.entries()] == \
+            [e.shard for e in store.entries()]
+
+    def test_seq_continues_after_reopen(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        fill(store, 3)
+        reopened = ReportStore(tmp_path)
+        entry = reopened.add(digest_of(99), b"y")
+        assert entry.seq == 3
+
+    def test_blob_round_trips(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        entry = store.add(digest_of(7), b"\x00\x01\x02payload")
+        assert store.path_of(entry).read_bytes() == b"\x00\x01\x02payload"
+
+    def test_corrupt_index_raises(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        entries = fill(store, 4)
+        index = store.path_of(entries[0]).parent / "index.bin"
+        index.write_bytes(b"JUNK" + index.read_bytes()[4:])
+        with pytest.raises(LogDecodeError, match="magic"):
+            ReportStore(tmp_path)
+
+    def test_partial_trailing_record_recovers(self, tmp_path):
+        """A crash mid-append must not brick the store: the partial
+        record is dropped and ingestion continues with fresh seqs."""
+        store = ReportStore(tmp_path, num_shards=1)
+        fill(store, 3)
+        index = store.root / "shard-00" / "index.bin"
+        data = index.read_bytes()
+        index.write_bytes(data[:-7])  # torn write inside the last record
+        reopened = ReportStore(tmp_path)
+        assert [e.seq for e in reopened.entries()] == [0, 1]
+        assert reopened.total_bytes == 200
+        # The dropped record's seq is never reused.
+        assert reopened.add(digest_of(9), b"y").seq == 3
+
+
+class TestEviction:
+    def test_oldest_first(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4, byte_budget=450)
+        entries = fill(store, 6, size=100)
+        kept = store.entries()
+        # 6 x 100 bytes against a 450 budget: the two oldest go.
+        assert [e.seq for e in kept] == [2, 3, 4, 5]
+        assert store.total_bytes == 400
+        assert store.evicted_reports == 2
+        assert store.evicted_bytes == 200
+        for victim in entries[:2]:
+            assert not store.path_of(victim).exists()
+
+    def test_newest_entry_protected(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2, byte_budget=10)
+        entry = store.add(digest_of(0), b"z" * 64)
+        # Over budget, but the just-added report must survive (mirrors
+        # LogStore's protect-the-newest rule).
+        assert store.entries() == [entry]
+
+    def test_default_observed_at_orders_across_reopens(self, tmp_path):
+        """Separate ingest invocations must evict oldest-first globally,
+        not oldest-within-the-latest-batch."""
+        store = ReportStore(tmp_path, num_shards=2, byte_budget=350)
+        store.add(digest_of(0), b"x" * 100)
+        store.add(digest_of(1), b"x" * 100)
+        later = ReportStore(tmp_path)  # a second `bugnet ingest` run
+        later.add(digest_of(2), b"x" * 100)
+        later.add(digest_of(3), b"x" * 100)
+        # The batch-1 report (seq 0) goes, not batch 2's own first.
+        assert [e.seq for e in later.entries()] == [1, 2, 3]
+        assert [e.observed_at for e in later.entries()] == [1, 2, 3]
+
+    def test_orphaned_blob_swept_on_open(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=1)
+        entry = store.add(digest_of(0), b"x" * 50)
+        orphan = store.path_of(entry).parent / "99999999-deadbeef0000.bugnet"
+        orphan.write_bytes(b"leftover from a crash mid-ingest")
+        reopened = ReportStore(tmp_path)
+        assert not orphan.exists()
+        assert reopened.path_of(entry).exists()
+
+    def test_eviction_survives_reopen(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4, byte_budget=450)
+        fill(store, 6, size=100)
+        reopened = ReportStore(tmp_path)
+        assert [e.seq for e in reopened.entries()] == [2, 3, 4, 5]
+        assert reopened.evicted_reports == 2
+        assert reopened.byte_budget == 450
+
+
+class TestQueries:
+    def test_entries_by_digest(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        store.add(digest_of(1), b"a")
+        store.add(digest_of(2), b"b")
+        store.add(digest_of(1), b"c")
+        assert len(store.entries(digest_of(1))) == 2
+        assert len(store.entries(digest_of(2))) == 1
+        assert store.signatures() == sorted({digest_of(1), digest_of(2)})

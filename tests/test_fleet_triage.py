@@ -1,0 +1,91 @@
+"""Tests for triage bucketing, ranking, and representative selection."""
+
+import hashlib
+
+from repro.fleet.store import ReportStore
+from repro.fleet.triage import build_buckets, render_triage
+
+
+def digest_of(tag) -> str:
+    return hashlib.sha256(str(tag).encode()).hexdigest()
+
+
+def add(store, tag, observed_at, window=10, program="prog", kind="memory"):
+    return store.add(
+        digest_of(tag), b"x" * 50, replay_window=window,
+        fault_kind=kind, program_name=program, observed_at=observed_at,
+    )
+
+
+class TestRanking:
+    def test_occurrence_count_ranks_first(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        add(store, "rare", 0)
+        for when in range(3):
+            add(store, "common", when + 1)
+        add(store, "medium", 5)
+        add(store, "medium", 6)
+        buckets = build_buckets(store)
+        assert [b.digest for b in buckets] == [
+            digest_of("common"), digest_of("medium"), digest_of("rare"),
+        ]
+        assert [b.count for b in buckets] == [3, 2, 1]
+
+    def test_recency_breaks_count_ties(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        add(store, "stale", 1)
+        add(store, "fresh", 9)
+        buckets = build_buckets(store)
+        assert [b.digest for b in buckets] == [
+            digest_of("fresh"), digest_of("stale"),
+        ]
+
+    def test_first_and_last_seen(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        add(store, "bug", 3)
+        add(store, "bug", 7)
+        add(store, "bug", 5)
+        bucket = build_buckets(store)[0]
+        assert bucket.first_seen == 3
+        assert bucket.last_seen == 7
+
+
+class TestRepresentative:
+    def test_largest_window_wins(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        add(store, "bug", 0, window=100)
+        best = add(store, "bug", 1, window=5_000)
+        add(store, "bug", 2, window=900)
+        assert build_buckets(store)[0].representative == best
+
+    def test_window_ties_pick_oldest(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        first = add(store, "bug", 0, window=100)
+        add(store, "bug", 1, window=100)
+        assert build_buckets(store)[0].representative == first
+
+
+class TestRendering:
+    def test_table_contents(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        add(store, "bug", 0, window=123, program="gzip-1.2.4")
+        text = render_triage(build_buckets(store))
+        assert "Crash triage" in text
+        assert "gzip-1.2.4" in text
+        assert digest_of("bug")[:12] in text
+        assert "123" in text
+
+    def test_limit_annotates_overflow(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        for tag in range(5):
+            add(store, tag, tag)
+        text = render_triage(build_buckets(store), limit=2)
+        assert "and 3 more bucket(s)" in text
+
+    def test_to_dict_shape(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        add(store, "bug", 4, window=77)
+        payload = build_buckets(store)[0].to_dict()
+        assert payload["count"] == 1
+        assert payload["representative"]["replay_window"] == 77
+        assert payload["signature"] == digest_of("bug")
