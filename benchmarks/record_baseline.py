@@ -20,6 +20,12 @@ import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+from benchmarks.test_forensics import (  # noqa: E402
+    SLICE_QUERIES,
+    _build_ddg,
+    _forensics_setup,
+    _run_slices,
+)
 from benchmarks.test_ingest_throughput import (  # noqa: E402
     INGEST_REPORTS,
     _fleet_traffic,
@@ -54,6 +60,10 @@ def main() -> None:
     ingest_time, (ingest_results, ingest_buckets) = _best(_ingest_all)
     assert all(result.accepted for result in ingest_results)
     replayed = sum(r.instructions_replayed for r in ingest_results)
+    _forensics_setup()  # record the forensics window outside timing
+    ddg_time, ddg = _best(_build_ddg)
+    slice_time, (fault_slice, slices) = _best(_run_slices, ddg)
+    assert ddg.replay_intervals == len(_forensics_setup()[2])
     baseline = {
         "note": (
             "Throughput baseline for benchmarks/test_throughput.py; "
@@ -87,6 +97,18 @@ def main() -> None:
             "replayed_instructions": replayed,
             "reports_per_sec": round(INGEST_REPORTS / ingest_time, 1),
             "replay_ips": round(replayed / ingest_time),
+        },
+        # Forensics (benchmarks/test_forensics.py): one replay pass
+        # builds the DDG for the gzip crash window; slices are then
+        # graph traversal — no per-query re-replay (replay_passes is
+        # the number of intervals in the chain, counted, not assumed).
+        "forensics_slice": {
+            "window_instructions": len(ddg),
+            "replay_passes": ddg.replay_intervals,
+            "ddg_build_ips": round(len(ddg) / ddg_time),
+            "slice_queries": len(slices),
+            "slices_per_sec": round(len(slices) / slice_time, 1),
+            "fault_slice_nodes": len(fault_slice),
         },
     }
     out = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"

@@ -1,0 +1,88 @@
+"""Forensics throughput: single-pass DDG construction + slice queries.
+
+The acceptance property the numbers demonstrate: the dynamic dependence
+graph for a window is built in **one replay pass** (cost amortized over
+every later query), after which backward slices — from the fault and
+from arbitrary criteria — are pure graph traversal.  Contrast with the
+naive approach the debugger used to embody, where every "who wrote
+this" question re-scanned (or worse, re-replayed) the window.
+
+``BENCH_throughput.json`` records the checked-in ``forensics_slice``
+baseline (regenerate with ``PYTHONPATH=src python
+benchmarks/record_baseline.py``).
+"""
+
+from benchmarks.scaling import scaled
+
+from repro.common.config import BugNetConfig
+from repro.forensics.ddg import DDG
+from repro.forensics.slicing import (
+    SliceCriterion,
+    backward_slice,
+    slice_from_fault,
+)
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+#: gzip's 32 K-instruction root-cause window (Table 1) is the
+#: forensics workload: big enough to make O(window)-per-query painful,
+#: small enough to benchmark.
+WINDOW_BUG = "gzip-1.2.4"
+INTERVAL = 10_000
+SLICE_QUERIES = scaled(200, minimum=20)
+
+_cache = None
+
+
+def _forensics_setup():
+    """(program, config, flls, crash) for the benchmark window."""
+    global _cache
+    if _cache is None:
+        bug = BUGS_BY_NAME[WINDOW_BUG]
+        config = BugNetConfig(checkpoint_interval=INTERVAL)
+        run = run_bug(bug, bugnet=config, record=True)
+        assert run.crashed
+        crash = run.result.crash
+        flls = crash.replay_chain(crash.faulting_tid)
+        _cache = (run.program, config, flls, crash)
+    return _cache
+
+
+def _build_ddg():
+    program, config, flls, _crash = _forensics_setup()
+    return DDG.build(program, config, flls)
+
+
+def _run_slices(ddg, queries=SLICE_QUERIES):
+    """The fault slice plus a spread of load-criterion slices."""
+    program, _config, _flls, crash = _forensics_setup()
+    fault = slice_from_fault(ddg, program, crash.fault_pc, crash.fault_kind)
+    loads = [index for index, event in enumerate(ddg.events)
+             if event.load is not None]
+    step = max(len(loads) // max(queries - 1, 1), 1)
+    slices = [fault]
+    for node in loads[::step][: queries - 1]:
+        addr = ddg.events[node].load[0]
+        slices.append(backward_slice(
+            ddg, SliceCriterion(index=node + 1, addr=addr), control=False))
+    return fault, slices
+
+
+def test_ddg_build_single_pass(benchmark):
+    _forensics_setup()   # record outside the timed region
+    ddg = benchmark.pedantic(_build_ddg, rounds=3, iterations=1)
+    assert ddg.replay_intervals == len(_forensics_setup()[2])
+    assert len(ddg) > 0
+    benchmark.extra_info["window_instructions"] = len(ddg)
+
+
+def test_slice_queries(benchmark):
+    _forensics_setup()
+    ddg = _build_ddg()
+    fault, slices = benchmark.pedantic(
+        _run_slices, args=(ddg,), rounds=3, iterations=1)
+    assert len(slices) >= SLICE_QUERIES
+    # The fault slice reaches the injected defect.
+    program = _forensics_setup()[0]
+    root_line = program.source_line_of(program.pc_of("root_cause"))
+    assert root_line in fault.source_lines(ddg)
+    benchmark.extra_info["queries"] = len(slices)

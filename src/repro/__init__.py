@@ -27,12 +27,15 @@ Package layout:
 * :mod:`repro.workloads` — SPEC personalities and the Table-1 bug suite,
 * :mod:`repro.analysis` — experiment drivers for every table/figure,
 * :mod:`repro.fleet` — developer-site fleet store: validated ingestion,
-  signature dedup, and triage over floods of crash reports.
+  signature dedup, and triage over floods of crash reports,
+* :mod:`repro.forensics` — dynamic dependence graphs, backward slicing,
+  value provenance, and unattended fleet autopsies.
 """
 
 from repro.arch import assemble
 from repro.common.config import BugNetConfig, CacheConfig, DictionaryConfig, MachineConfig
 from repro.fleet import IngestPipeline, ReportStore, compute_signature
+from repro.forensics import build_ddg, perform_autopsy, slice_from_fault
 from repro.mp.machine import Machine, MachineResult, run_program
 from repro.replay import Replayer, assert_traces_equal
 from repro.system.fault import CrashReport
@@ -54,5 +57,8 @@ __all__ = [
     "IngestPipeline",
     "ReportStore",
     "compute_signature",
+    "build_ddg",
+    "slice_from_fault",
+    "perform_autopsy",
     "__version__",
 ]

@@ -1,4 +1,5 @@
-"""The ``bugnet`` command line: record, ship, ingest, triage, replay, debug.
+"""The ``bugnet`` command line: record, ship, ingest, triage, replay,
+debug, autopsy.
 
 The full production workflow from the paper, as a tool::
 
@@ -8,13 +9,15 @@ The full production workflow from the paper, as a tool::
     # developer site: same binary + the shipment
     bugnet report crash.bugnet [--json]
     bugnet replay app.s crash.bugnet --tail 15
-    bugnet debug  app.s crash.bugnet --watch 0x10001000
+    bugnet debug  app.s crash.bugnet --watch 0x10001000 --why t0
+    bugnet autopsy app.s crash.bugnet      # automated root cause
     bugnet disasm app.s --start main
 
     # fleet site: validate + dedup floods of shipments, then triage
     bugnet ingest --store ./fleet --source app.s crash.bugnet ...
-    bugnet triage --store ./fleet --limit 10
+    bugnet triage --store ./fleet --limit 10 [--autopsy]
     bugnet fleet-sim --runs 50          # synthesize realistic traffic
+    bugnet autopsy --store ./fleet --json   # root-cause every bucket
 """
 
 from __future__ import annotations
@@ -167,6 +170,14 @@ def _cmd_replay(args) -> int:
     return 0
 
 
+def _parse_watch(spec: str) -> tuple[int, int]:
+    """``ADDR`` or ``ADDR:SIZE`` → (addr, size) for a sized watchpoint."""
+    if ":" in spec:
+        addr, size = spec.split(":", 1)
+        return int(addr, 0), int(size, 0)
+    return int(spec, 0), 4
+
+
 def _cmd_debug(args) -> int:
     program = _load_program(args.source)
     report, config = read_crash_report(args.report)
@@ -174,8 +185,8 @@ def _cmd_debug(args) -> int:
     debugger = ReplayDebugger(program, config, report.replay_chain(tid))
     for label in args.breakpoints:
         debugger.add_breakpoint(label)
-    for addr in args.watch:
-        debugger.add_watchpoint(int(addr, 0))
+    for spec in args.watch:
+        debugger.add_watchpoint(*_parse_watch(spec))
     stops = 0
     while stops < args.stops:
         stop = debugger.run()
@@ -192,6 +203,13 @@ def _cmd_debug(args) -> int:
                 line = program.source_line_of(writer.pc)
                 print(f"  last writer: pc={writer.pc:#010x} "
                       f"(line {line}) value={writer.store[1]:#x}")
+    for what in args.why:
+        try:
+            target = int(what, 0)
+        except ValueError:
+            target = what
+        print(f"why {what}:")
+        print(debugger.why(target))
     return 0
 
 
@@ -245,6 +263,20 @@ def _cmd_ingest(args) -> int:
     return 1 if pipeline.rejected else 0
 
 
+def _store_resolver(binaries):
+    """Program resolver for store-wide analyses: explicit ``--binary``
+    sources first, then the Table-1 bug suite (fleet-sim traffic names
+    programs by bug name, so whole-fleet autopsies run unattended)."""
+    from repro.forensics.autopsy import bug_suite_resolver
+
+    extra = {}
+    for path in binaries:
+        program = _load_program(path)
+        extra[path] = program
+        extra[path.rsplit("/", 1)[-1]] = program
+    return bug_suite_resolver(extra)
+
+
 def _cmd_triage(args) -> int:
     from pathlib import Path
 
@@ -255,9 +287,24 @@ def _cmd_triage(args) -> int:
         return 2
     store = ReportStore(args.store)
     buckets = build_buckets(store)
+    autopsies = None
+    if args.autopsy:
+        from repro.forensics.autopsy import autopsy_store
+
+        results = autopsy_store(
+            store, _store_resolver(args.binary),
+            workers=args.workers, limit=args.limit,
+        )
+        autopsies = {result.digest: result for result in results}
     if args.json:
+        payload = []
+        for bucket in buckets:
+            entry = bucket.to_dict()
+            if autopsies is not None and bucket.digest in autopsies:
+                entry["autopsy"] = autopsies[bucket.digest].to_dict()
+            payload.append(entry)
         print(json.dumps({
-            "buckets": [bucket.to_dict() for bucket in buckets],
+            "buckets": payload,
             "store_reports": len(store),
             "store_bytes": store.total_bytes,
             "evicted_reports": store.evicted_reports,
@@ -266,7 +313,60 @@ def _cmd_triage(args) -> int:
     if not buckets:
         print("store is empty: nothing to triage")
         return 0
-    print(render_triage(buckets, limit=args.limit))
+    print(render_triage(buckets, limit=args.limit, autopsies=autopsies))
+    return 0
+
+
+def _cmd_autopsy(args) -> int:
+    from repro.forensics.autopsy import autopsy_store, perform_autopsy
+
+    if args.store:
+        from pathlib import Path
+
+        if args.source or args.report:
+            print("error: give either --store or a source+report pair, "
+                  "not both", file=sys.stderr)
+            return 2
+        if not (Path(args.store) / "store.json").exists():
+            print(f"error: no fleet store at {args.store}", file=sys.stderr)
+            return 2
+        store = ReportStore(args.store)
+        results = autopsy_store(
+            store, _store_resolver(args.binary),
+            workers=args.workers, limit=args.limit,
+            races=not args.no_races,
+        )
+        failed = [r for r in results if r.autopsy is None]
+        if args.json:
+            print(json.dumps({
+                "buckets": [result.to_dict() for result in results],
+                "store_reports": len(store),
+                "analyzed": len(results) - len(failed),
+                "failed": len(failed),
+            }, indent=2))
+        else:
+            for result in results:
+                if result.autopsy is not None:
+                    print(f"== bucket {result.digest[:12]} "
+                          f"({result.count} report(s))")
+                    print(result.autopsy.render())
+                else:
+                    print(f"== bucket {result.digest[:12]}: {result.error}",
+                          file=sys.stderr)
+                print()
+        return 1 if failed else 0
+    if not args.source or not args.report:
+        print("error: need a source and a crash report (or --store)",
+              file=sys.stderr)
+        return 2
+    program = _load_program(args.source)
+    report, config = read_crash_report(args.report)
+    autopsy = perform_autopsy(report, config, program,
+                              races=not args.no_races)
+    if args.json:
+        print(json.dumps(autopsy.to_dict(), indent=2))
+    else:
+        print(autopsy.render())
     return 0
 
 
@@ -402,8 +502,38 @@ def build_parser() -> argparse.ArgumentParser:
     triage.add_argument("--store", required=True)
     triage.add_argument("--limit", type=int, default=None,
                         help="show only the top N buckets")
+    triage.add_argument("--autopsy", action="store_true",
+                        help="link each bucket to its automated root cause")
+    triage.add_argument("--binary", action="append", default=[],
+                        help="program source for autopsy resolution "
+                             "(repeatable; bug-suite names resolve "
+                             "automatically)")
+    triage.add_argument("--workers", type=int, default=1,
+                        help="autopsy worker threads")
     triage.add_argument("--json", action="store_true")
     triage.set_defaults(func=_cmd_triage)
+
+    autopsy = sub.add_parser(
+        "autopsy",
+        help="automated root-cause analysis (one report, or a whole store)",
+    )
+    autopsy.add_argument("source", nargs="?", default=None,
+                         help="program source (single-report mode)")
+    autopsy.add_argument("report", nargs="?", default=None,
+                         help="crash report file (single-report mode)")
+    autopsy.add_argument("--store", default=None,
+                         help="fleet store: autopsy every triage bucket")
+    autopsy.add_argument("--binary", action="append", default=[],
+                         help="program source for store mode (repeatable; "
+                              "bug-suite names resolve automatically)")
+    autopsy.add_argument("--workers", type=int, default=1,
+                         help="analysis worker threads (store mode)")
+    autopsy.add_argument("--limit", type=int, default=None,
+                         help="autopsy only the top N buckets")
+    autopsy.add_argument("--no-races", action="store_true",
+                         help="skip race inference on multithreaded reports")
+    autopsy.add_argument("--json", action="store_true")
+    autopsy.set_defaults(func=_cmd_autopsy)
 
     fleet = sub.add_parser(
         "fleet-sim",
@@ -438,9 +568,12 @@ def build_parser() -> argparse.ArgumentParser:
     debug.add_argument("--break", dest="breakpoints", action="append",
                        default=[], help="label or pc to break on")
     debug.add_argument("--watch", action="append", default=[],
-                       help="memory address to watch")
+                       help="memory range to watch: ADDR or ADDR:SIZE")
     debug.add_argument("--stops", type=int, default=5,
                        help="maximum stops to report")
+    debug.add_argument("--why", action="append", default=[],
+                       help="explain a register or address value at the "
+                            "final stop (repeatable)")
     debug.set_defaults(func=_cmd_debug)
 
     disasm = sub.add_parser("disasm", help="disassemble a program")

@@ -91,17 +91,25 @@ def build_buckets(store: ReportStore) -> list[Bucket]:
     return sorted(buckets.values(), key=lambda bucket: bucket.rank_key)
 
 
-def render_triage(buckets: list[Bucket], limit: int | None = None) -> str:
-    """The triage table a developer reads top-down."""
-    table = Table(
-        "Crash triage (ranked by occurrences)",
-        ["#", "signature", "program", "fault", "count",
-         "window", "stored", "representative"],
-    )
+def render_triage(buckets: list[Bucket], limit: int | None = None,
+                  autopsies: "dict[str, object] | None" = None) -> str:
+    """The triage table a developer reads top-down.
+
+    *autopsies* (digest → :class:`~repro.forensics.autopsy.BucketAutopsy`)
+    links each bucket to its automated root-cause analysis: the table
+    gains a ``root cause`` column naming the verdict and the culprit
+    source line (``bugnet triage --autopsy`` / ``bugnet autopsy
+    --store``).
+    """
+    headers = ["#", "signature", "program", "fault", "count",
+               "window", "stored", "representative"]
+    if autopsies is not None:
+        headers.append("root cause")
+    table = Table("Crash triage (ranked by occurrences)", headers)
     shown = buckets if limit is None else buckets[:limit]
     for rank, bucket in enumerate(shown, start=1):
         rep = bucket.representative
-        table.add(
+        row = [
             rank,
             bucket.digest[:12],
             bucket.program_name,
@@ -110,8 +118,28 @@ def render_triage(buckets: list[Bucket], limit: int | None = None) -> str:
             rep.replay_window,
             format_bytes(bucket.bytes_stored),
             f"shard-{rep.shard:02d}/{rep.filename}",
-        )
+        ]
+        if autopsies is not None:
+            row.append(_autopsy_cell(autopsies.get(bucket.digest)))
+        table.add(*row)
     lines = [table.render()]
     if limit is not None and len(buckets) > limit:
         lines.append(f"... and {len(buckets) - limit} more bucket(s)")
     return "\n".join(lines)
+
+
+def _autopsy_cell(result) -> str:
+    """One-cell summary of a bucket's autopsy outcome."""
+    if result is None:
+        return "-"
+    if getattr(result, "error", ""):
+        return f"error: {result.error}"
+    autopsy = result.autopsy
+    if autopsy is None:
+        return "-"
+    cell = autopsy.verdict
+    if autopsy.culprit_line is not None:
+        cell += f" @ line {autopsy.culprit_line}"
+    if autopsy.race_adjacent:
+        cell += " [race]"
+    return cell

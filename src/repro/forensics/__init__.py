@@ -1,0 +1,62 @@
+"""Replay forensics: the automated analyses replay makes possible.
+
+The recorder (``repro.tracing``) captures execution; the replayer
+(``repro.replay``) reproduces it; the fleet subsystem (``repro.fleet``)
+triages floods of reports into ranked buckets.  This package closes the
+loop from "crash reports in" to "root causes out":
+
+* :mod:`repro.forensics.ddg` — dynamic dependence graph (register,
+  memory, and control edges) plus the shared per-address access index,
+  all built in a single replay pass over the FLL chain,
+* :mod:`repro.forensics.slicing` — backward dynamic slices from any
+  (position, register | address | node) criterion, in particular from
+  the faulting access,
+* :mod:`repro.forensics.provenance` — def-use chains answering "where
+  did this value come from", ending at an FLL first-load, an initial
+  register, or a kernel boundary,
+* :mod:`repro.forensics.autopsy` — the unattended pipeline: replay a
+  triage bucket's representative report, slice from the fault, classify
+  a verdict (``bugnet autopsy``).
+"""
+
+from repro.forensics.autopsy import (
+    Autopsy,
+    BucketAutopsy,
+    autopsy_store,
+    bug_suite_resolver,
+    perform_autopsy,
+)
+from repro.forensics.ddg import DDG, AccessIndex, build_ddg
+from repro.forensics.provenance import (
+    ProvenanceStep,
+    defining_store,
+    render_provenance,
+    value_provenance,
+)
+from repro.forensics.slicing import (
+    Slice,
+    SliceCriterion,
+    SliceOrigin,
+    backward_slice,
+    slice_from_fault,
+)
+
+__all__ = [
+    "DDG",
+    "AccessIndex",
+    "build_ddg",
+    "Slice",
+    "SliceCriterion",
+    "SliceOrigin",
+    "backward_slice",
+    "slice_from_fault",
+    "ProvenanceStep",
+    "value_provenance",
+    "defining_store",
+    "render_provenance",
+    "Autopsy",
+    "BucketAutopsy",
+    "perform_autopsy",
+    "autopsy_store",
+    "bug_suite_resolver",
+]

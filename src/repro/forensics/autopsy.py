@@ -1,0 +1,467 @@
+"""Automated fleet autopsies: replay → slice → verdict, unattended.
+
+The paper's payoff is not replay for its own sake but the debugging
+automation replay enables (§7): from a crash, walk the dynamic
+dependences backwards and point at the defect.  An *autopsy* does that
+for one crash report without a human in the loop:
+
+1. replay the faulting thread's grounded log chain once, building the
+   dynamic dependence graph (:mod:`repro.forensics.ddg`),
+2. compute the backward slice from the faulting access
+   (:mod:`repro.forensics.slicing`),
+3. walk the faulting operand's provenance chain to the *culprit* — the
+   store that planted the bad value, or the window boundary it crossed,
+4. classify a verdict and, for multithreaded reports, check whether the
+   culprit address is touched by an inferred data race
+   (:mod:`repro.replay.races`).
+
+:func:`autopsy_store` runs the pipeline over a whole fleet store's
+triage buckets (one representative report per bucket, the ingest
+worker-pool discipline: analysis fans out, output order stays
+deterministic), which is what ``bugnet autopsy --store`` and the CI
+smoke job drive.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arch.program import Program
+from repro.common.config import BugNetConfig
+from repro.common.errors import ReproError
+from repro.forensics.ddg import DDG, reg_uses
+from repro.forensics.provenance import (
+    ProvenanceStep,
+    defining_store,
+    render_provenance,
+    value_provenance,
+)
+from repro.forensics.slicing import (
+    ORIGIN_CONSTANT,
+    ORIGIN_FIRST_LOAD,
+    ORIGIN_REMOTE_STORE,
+    ORIGIN_UNLOGGED_MEMORY,
+    Slice,
+    slice_from_fault,
+)
+from repro.system.fault import CrashReport
+
+# -- verdict taxonomy (see DESIGN.md §7) -----------------------------------
+
+#: A store wrote 0 into the word the crash later dereferenced.
+VERDICT_NULL_POINTER = "null-pointer-store"
+#: A store wrote a non-pointer value into a dereferenced word.
+VERDICT_CORRUPTED_POINTER = "corrupted-pointer-store"
+#: A store corrupted a code pointer / return address (fetch fault).
+VERDICT_CODE_POINTER = "corrupted-code-pointer"
+#: The bad value entered the window through an FLL first-load: the
+#: defect predates the replayable window (or lives in another thread).
+VERDICT_UNINITIALIZED = "uninitialized-first-load"
+#: The bad value was already in a register when the window opened, or
+#: was materialized by a kernel/syscall boundary.
+VERDICT_PRE_WINDOW = "pre-window-origin"
+#: The faulting operand is constant (r0/immediate-only lineage).
+VERDICT_CONSTANT = "constant-operand"
+#: Arithmetic fault: the offending operand's definition is the culprit.
+VERDICT_ARITHMETIC = "arithmetic-operand"
+#: The bad address was computed, not loaded: an overflow-prone
+#: arithmetic op on the lineage produced a wild access (the paper's
+#: python audioop class).
+VERDICT_WILD_ARITHMETIC = "wild-address-arithmetic"
+#: The bad value was planted by another thread's store, racing with the
+#: faulting thread's accesses (culprit located via MRL race inference).
+VERDICT_RACE_REMOTE = "race-adjacent-remote-store"
+#: Another thread's store planted the value but no race was inferred
+#: (properly synchronized, or sync edges unavailable).
+VERDICT_REMOTE_STORE = "cross-thread-store"
+#: Nothing replayable to analyze.
+VERDICT_NO_WINDOW = "no-replayable-window"
+
+ALL_VERDICTS = frozenset({
+    VERDICT_NULL_POINTER, VERDICT_CORRUPTED_POINTER, VERDICT_CODE_POINTER,
+    VERDICT_UNINITIALIZED, VERDICT_PRE_WINDOW, VERDICT_CONSTANT,
+    VERDICT_ARITHMETIC, VERDICT_WILD_ARITHMETIC, VERDICT_RACE_REMOTE,
+    VERDICT_REMOTE_STORE, VERDICT_NO_WINDOW,
+})
+
+#: Ops whose wraparound/shift-out makes a computed address wild.
+_OVERFLOW_OPS = frozenset({"mul", "sll", "sllv", "sub"})
+
+
+@dataclass
+class Autopsy:
+    """The root-cause report for one crash."""
+
+    program_name: str
+    fault_kind: str
+    fault_pc: int
+    fault_line: int
+    verdict: str
+    window: int = 0
+    culprit_index: int | None = None
+    culprit_pc: int | None = None
+    culprit_line: int | None = None
+    culprit_value: int | None = None
+    culprit_addr: int | None = None
+    origin: str = ""
+    slice_size: int = 0
+    slice_pcs: tuple[int, ...] = ()
+    slice_lines: tuple[int, ...] = ()
+    provenance: list[ProvenanceStep] = field(default_factory=list)
+    race_adjacent: bool = False
+    races: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        """The ``bugnet autopsy --json`` shape."""
+        return {
+            "program": self.program_name,
+            "fault_kind": self.fault_kind,
+            "fault_pc": self.fault_pc,
+            "fault_line": self.fault_line,
+            "verdict": self.verdict,
+            "window": self.window,
+            "culprit": None if self.culprit_pc is None else {
+                "index": self.culprit_index,
+                "pc": self.culprit_pc,
+                "line": self.culprit_line,
+                "value": self.culprit_value,
+                "addr": self.culprit_addr,
+            },
+            "origin": self.origin,
+            "slice_size": self.slice_size,
+            "slice_lines": sorted(self.slice_lines),
+            "race_adjacent": self.race_adjacent,
+            "races": list(self.races),
+        }
+
+    def render(self) -> str:
+        """Human-readable root-cause report."""
+        lines = [
+            f"autopsy: {self.program_name} — {self.fault_kind} fault at "
+            f"pc={self.fault_pc:#010x} (line {self.fault_line})",
+            f"  verdict : {self.verdict}"
+            + (" [race-adjacent]" if self.race_adjacent else ""),
+        ]
+        if self.culprit_pc is not None:
+            wrote = ("" if self.culprit_value is None
+                     else f"wrote {self.culprit_value:#x} ")
+            lines.append(
+                f"  culprit : store at pc={self.culprit_pc:#010x} "
+                f"(line {self.culprit_line}) {wrote}"
+                f"to {self.culprit_addr:#010x} "
+                f"[instruction {self.culprit_index} of {self.window}]"
+            )
+        if self.origin:
+            lines.append(f"  origin  : {self.origin}")
+        lines.append(
+            f"  slice   : {self.slice_size} of {self.window} window "
+            f"instructions over {len(self.slice_lines)} source line(s)"
+        )
+        if self.provenance:
+            lines.append("  lineage :")
+            lines.append(render_provenance(self.provenance))
+        for race in self.races:
+            lines.append(f"  race    : {race}")
+        return "\n".join(lines)
+
+
+class _ReportLogs:
+    """Adapter: a CrashReport's checkpoint map viewed as a LogStore."""
+
+    def __init__(self, report: CrashReport) -> None:
+        self._checkpoints = report.checkpoints
+
+    def threads(self) -> list[int]:
+        return sorted(self._checkpoints)
+
+    def checkpoints(self, tid: int):
+        return self._checkpoints[tid]
+
+
+def _primary_fault_reg(program: Program, ddg: DDG, fault_pc: int,
+                       fault_kind: str) -> tuple[int | None, int]:
+    """(register to chase, observation index) for the faulting operand.
+
+    Memory faults chase the base register (`rs` holds the dereferenced
+    pointer), arithmetic faults the divisor (`rt`), instruction faults
+    the target register of the final committed jump.
+    """
+    ins = program.fetch(fault_pc)
+    end = len(ddg)
+    if fault_kind == "instruction" or ins is None:
+        if not end:
+            return None, 0
+        last = ddg.events[end - 1]
+        last_ins = program.fetch(last.pc)
+        if last_ins is not None and last_ins.op in ("jr", "jalr"):
+            return (last_ins.rs or None), end - 1
+        # A fall-through into garbage: no register computed the target.
+        return None, end - 1
+    if fault_kind == "arithmetic":
+        return (ins.rt or None), end
+    candidates = reg_uses(ins)
+    if ins.op in ("lw", "sw"):
+        return (ins.rs or None), end
+    return (candidates[0] if candidates else None), end
+
+
+def _infer_report_races(report: CrashReport, config: BugNetConfig,
+                        program: Program, max_reports: int = 32):
+    """Races inferred over every thread's logs in the report."""
+    from repro.replay.races import infer_races, replay_all_threads
+
+    try:
+        replay = replay_all_threads(
+            _ReportLogs(report),
+            {tid: program for tid in report.thread_ids},
+            config,
+        )
+        return infer_races(replay, sync=[], max_reports=max_reports)
+    except ReproError:
+        return []
+
+
+def _remote_store_side(races, addr: int, local_tid: int):
+    """(tid, index, pc) of a racing *store* to *addr* by another thread."""
+    for race in races:
+        if race.addr != addr:
+            continue
+        for side, kind in zip((race.first, race.second), race.kinds):
+            if kind == "store" and side[0] != local_tid:
+                return side
+    return None
+
+
+def _classify(fault_kind: str, culprit: ProvenanceStep | None,
+              steps: list[ProvenanceStep]) -> tuple[str, str]:
+    """(verdict, origin description) from the provenance walk."""
+    origin_step = next((step for step in steps if step.kind == "origin"),
+                       None)
+    origin_text = (origin_step.origin.describe()
+                   if origin_step is not None and origin_step.origin
+                   else "")
+    if culprit is not None:
+        if fault_kind == "instruction":
+            return VERDICT_CODE_POINTER, origin_text
+        if fault_kind == "arithmetic":
+            return VERDICT_ARITHMETIC, origin_text
+        if culprit.value == 0:
+            return VERDICT_NULL_POINTER, origin_text
+        return VERDICT_CORRUPTED_POINTER, origin_text
+    if origin_step is not None and origin_step.origin is not None:
+        kind = origin_step.origin.kind
+        if kind in (ORIGIN_FIRST_LOAD, ORIGIN_UNLOGGED_MEMORY):
+            return VERDICT_UNINITIALIZED, origin_text
+        if any(step.kind == "def" and step.op in _OVERFLOW_OPS
+               for step in steps):
+            return VERDICT_WILD_ARITHMETIC, origin_text
+        if kind == ORIGIN_CONSTANT:
+            return VERDICT_CONSTANT, origin_text
+        return VERDICT_PRE_WINDOW, origin_text
+    if fault_kind == "arithmetic":
+        return VERDICT_ARITHMETIC, origin_text
+    return VERDICT_CONSTANT, origin_text
+
+
+def perform_autopsy(
+    report: CrashReport,
+    config: BugNetConfig,
+    program: Program,
+    races: bool = True,
+    ddg: DDG | None = None,
+) -> Autopsy:
+    """Root-cause one crash report (one replay pass, then graph work)."""
+    tid = report.faulting_tid
+    flls = report.replay_chain(tid)
+    if not flls:
+        return Autopsy(
+            program_name=report.program_name,
+            fault_kind=report.fault_kind,
+            fault_pc=report.fault_pc,
+            fault_line=report.fault_source_line,
+            verdict=VERDICT_NO_WINDOW,
+        )
+    if ddg is None:
+        ddg = DDG.build(program, config, flls)
+    fault_slice: Slice = slice_from_fault(
+        ddg, program, report.fault_pc, report.fault_kind)
+    reg, position = _primary_fault_reg(
+        program, ddg, report.fault_pc, report.fault_kind)
+    if reg is not None:
+        steps = value_provenance(ddg, index=position, reg=reg)
+    else:
+        steps = []
+    culprit = defining_store(steps)
+    verdict, origin_text = _classify(report.fault_kind, culprit, steps)
+
+    # Value planted by another thread?  The provenance terminal says so
+    # outright for remote-store origins; a first-load origin *may* also
+    # be remote data (a word this thread never wrote locally) — race
+    # inference decides below.
+    terminal = next((step.origin for step in steps
+                     if step.kind == "origin" and step.origin is not None),
+                    None)
+    remote_addr = None
+    if (culprit is None and terminal is not None
+            and terminal.addr is not None):
+        # Only when no local culprit exists: a remote terminal further
+        # up a local-culprit chain describes the culprit's *input*, not
+        # the faulting value itself.
+        if terminal.kind == ORIGIN_REMOTE_STORE:
+            remote_addr = terminal.addr
+            verdict = VERDICT_REMOTE_STORE
+        elif terminal.kind == ORIGIN_FIRST_LOAD:
+            remote_addr = terminal.addr   # candidate, pending race check
+
+    race_strings: tuple[str, ...] = ()
+    race_adjacent = False
+    remote_culprit = None
+    if races and len(report.thread_ids) > 1:
+        watch_addr = (culprit.addr if culprit is not None else remote_addr)
+        inferred = _infer_report_races(report, config, program)
+        relevant = [race for race in inferred
+                    if watch_addr is not None and race.addr == watch_addr]
+        race_strings = tuple(str(race) for race in relevant)
+        race_adjacent = bool(relevant)
+        if culprit is None and remote_addr is not None:
+            remote_culprit = _remote_store_side(
+                inferred, remote_addr, report.faulting_tid)
+            if remote_culprit is not None:
+                verdict = VERDICT_RACE_REMOTE
+
+    result = Autopsy(
+        program_name=report.program_name,
+        fault_kind=report.fault_kind,
+        fault_pc=report.fault_pc,
+        fault_line=report.fault_source_line,
+        verdict=verdict,
+        window=len(ddg),
+        origin=origin_text,
+        slice_size=len(fault_slice),
+        slice_pcs=tuple(sorted(fault_slice.pcs(ddg))),
+        slice_lines=tuple(sorted(fault_slice.source_lines(ddg))),
+        provenance=steps,
+        race_adjacent=race_adjacent,
+        races=race_strings,
+    )
+    if culprit is not None:
+        result.culprit_index = culprit.index
+        result.culprit_pc = culprit.pc
+        result.culprit_line = culprit.line
+        result.culprit_value = culprit.value
+        result.culprit_addr = culprit.addr
+    elif remote_culprit is not None:
+        # The racing store another thread executed: located by the MRL
+        # race inference, indexed in that thread's replay stream.
+        tid, index, pc = remote_culprit
+        result.culprit_index = index
+        result.culprit_pc = pc
+        result.culprit_line = program.source_line_of(pc)
+        result.culprit_addr = remote_addr
+    return result
+
+
+# -- fleet batch -----------------------------------------------------------
+
+ProgramResolver = Callable[[str], "Program | None"]
+
+
+@dataclass
+class BucketAutopsy:
+    """One triage bucket joined with its autopsy (or a resolution error)."""
+
+    digest: str
+    program_name: str
+    count: int
+    replay_window: int
+    autopsy: Autopsy | None = None
+    error: str = ""
+
+    def to_dict(self) -> dict:
+        payload = {
+            "signature": self.digest,
+            "program": self.program_name,
+            "count": self.count,
+            "replay_window": self.replay_window,
+        }
+        if self.autopsy is not None:
+            payload["autopsy"] = self.autopsy.to_dict()
+        if self.error:
+            payload["error"] = self.error
+        return payload
+
+
+def bug_suite_resolver(extra: "dict[str, Program] | None" = None,
+                       ) -> ProgramResolver:
+    """Resolve program names against the Table-1 bug suite (plus extras).
+
+    Fleet-sim traffic names programs by bug name (``bc-1.06`` …); the
+    suite's sources are part of the repository, so whole-fleet autopsies
+    run unattended with no ``--binary`` flags.  Assembled programs are
+    cached per name.
+    """
+    from repro.workloads.bugs import BUGS_BY_NAME
+
+    cache: dict[str, Program] = dict(extra or {})
+
+    def resolve(name: str) -> "Program | None":
+        if name in cache:
+            return cache[name]
+        bug = BUGS_BY_NAME.get(name)
+        if bug is None:
+            return None
+        cache[name] = bug.program()
+        return cache[name]
+
+    return resolve
+
+
+def autopsy_store(
+    store,
+    resolver: ProgramResolver,
+    workers: int = 1,
+    limit: int | None = None,
+    races: bool = True,
+) -> list[BucketAutopsy]:
+    """Autopsy every triage bucket's representative report.
+
+    Analysis (replay + graph construction) is side-effect-free, so a
+    batch fans out across *workers* threads exactly like ingest-time
+    validation; results come back in triage rank order regardless of
+    worker scheduling.
+    """
+    from repro.fleet.triage import build_buckets
+
+    buckets = build_buckets(store)
+    if limit is not None:
+        buckets = buckets[:limit]
+
+    def analyze(bucket) -> BucketAutopsy:
+        outcome = BucketAutopsy(
+            digest=bucket.digest,
+            program_name=bucket.program_name,
+            count=bucket.count,
+            replay_window=bucket.representative.replay_window,
+        )
+        try:
+            report, config = store.load(bucket.representative)
+        except ReproError as error:
+            outcome.error = f"load: {error}"
+            return outcome
+        program = resolver(report.program_name)
+        if program is None:
+            outcome.error = f"unknown program {report.program_name!r}"
+            return outcome
+        try:
+            outcome.autopsy = perform_autopsy(
+                report, config, program, races=races)
+        except ReproError as error:
+            outcome.error = f"analysis: {error}"
+        return outcome
+
+    if workers <= 1 or len(buckets) <= 1:
+        return [analyze(bucket) for bucket in buckets]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(analyze, buckets))

@@ -1,0 +1,395 @@
+"""Dynamic dependence graphs over a replayed window (one replay pass).
+
+The replayed instruction stream is the raw material every automated
+analysis needs: which instruction defined the register this one reads,
+which store produced the value this load observed, which branch decided
+that this instruction ran at all.  :func:`build_ddg` derives all three
+edge kinds — register def-use, memory def-use, and (conservative)
+dynamic control dependence — in a **single replay pass** over the FLL
+chain; every later query (slices, provenance walks, debugger lookups)
+is pure graph traversal with no re-replay.
+
+Node identity is the global instruction index within the window (the
+same indexing :class:`~repro.replay.debugger.ReplayDebugger` uses for
+``position``).  Dependences that leave the window terminate in explicit
+*origins* rather than nodes:
+
+* ``initial register`` — the value was in the register file when the
+  window opened (the first FLL header),
+* ``interval header`` — the register was re-materialized by a later
+  FLL header with a value replay did not produce, i.e. a kernel/syscall
+  effect at that interval boundary (syscalls replay as NOPs; their
+  register results come back through the next header),
+* ``first load`` — the value entered through an FLL first-load record,
+* ``unlogged memory`` — replay-simulated memory with no in-window store
+  (state carried across intervals of the same chain).
+
+Control dependence is the *last dynamic decision* approximation: each
+node depends on the most recent conditional branch or indirect jump
+before it.  That over-approximates (transitively it pulls in every
+prior decision) but never misses a decision that could have kept the
+node from executing — the direction backward slicing needs to stay
+sound (see ``slicing.py``).
+
+The :class:`AccessIndex` built alongside is shared with the debugger:
+per-address access and store timelines, so ``memory_at`` /
+``last_writer`` / ``access_history`` are binary searches instead of
+O(window) scans per query.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+
+from repro.arch.isa import BRANCH_OPS, I_OPS, JR_OPS, R_OPS, Instruction
+from repro.arch.program import Program
+from repro.common.config import BugNetConfig
+from repro.replay.replayer import IntervalReplay, ReplayEvent, Replayer
+from repro.tracing.fll import FLL
+
+#: Dynamic decisions: ops whose outcome picks the successor instruction
+#: based on data (unconditional j/jal are static and decide nothing).
+DECISION_OPS = frozenset(BRANCH_OPS) | frozenset(JR_OPS)
+
+#: Registers the kernel reads on a syscall (v0 number, a0-a3 arguments).
+_SYSCALL_USES = (2, 4, 5, 6, 7)
+
+
+def reg_uses(ins: Instruction) -> tuple[int, ...]:
+    """Register numbers *ins* reads (r0 excluded — it is constant zero)."""
+    op = ins.op
+    if op in R_OPS or op in BRANCH_OPS:
+        regs = (ins.rs, ins.rt)
+    elif op in I_OPS or op == "lw" or op in JR_OPS:
+        regs = (ins.rs,)
+    elif op == "sw":
+        regs = (ins.rs, ins.rt)
+    elif op == "syscall":
+        regs = _SYSCALL_USES
+    else:  # lui, j, jal, nop, break
+        regs = ()
+    return tuple(reg for reg in regs if reg)
+
+
+def reg_def(ins: Instruction) -> int | None:
+    """The register *ins* writes, or None (r0 writes are discarded)."""
+    op = ins.op
+    if op == "jal":
+        return 31
+    if op in R_OPS or op in I_OPS or op in ("lui", "lw", "jalr"):
+        return ins.rd or None
+    return None
+
+
+class AccessIndex:
+    """Per-address access/store timelines over a window, built once.
+
+    Every query the debugger used to answer with a linear scan over the
+    event list becomes a ``bisect`` over these per-address lists.
+    Addresses are the word-aligned addresses the events carry.
+    """
+
+    __slots__ = ("_accesses", "_access_positions", "_stores")
+
+    def __init__(self) -> None:
+        # addr -> list of (index, kind, value), in execution order
+        self._accesses: dict[int, list[tuple[int, str, int]]] = {}
+        # addr -> list of index (parallel, for bisect)
+        self._access_positions: dict[int, list[int]] = {}
+        # addr -> list of store index
+        self._stores: dict[int, list[int]] = {}
+
+    @classmethod
+    def from_events(cls, events: list[ReplayEvent]) -> "AccessIndex":
+        """Index every load/store in *events* (one O(window) pass)."""
+        index = cls()
+        accesses = index._accesses
+        positions = index._access_positions
+        stores = index._stores
+        for position, event in enumerate(events):
+            if event.store is not None:
+                addr, value = event.store
+                kind = "store"
+                stores.setdefault(addr, []).append(position)
+            elif event.load is not None:
+                addr, value = event.load
+                kind = "load"
+            else:
+                continue
+            accesses.setdefault(addr, []).append((position, kind, value))
+            positions.setdefault(addr, []).append(position)
+        return index
+
+    def accesses(self, addr: int) -> list[tuple[int, str, int]]:
+        """Every (index, kind, value) access to *addr*, oldest first."""
+        return list(self._accesses.get(addr, ()))
+
+    def value_at(self, addr: int, position: int) -> int | None:
+        """The last value *addr* held strictly before *position* (the
+        most recent access reveals it: stores write it, loads observe
+        it); None when untouched so far."""
+        timeline = self._access_positions.get(addr)
+        if not timeline:
+            return None
+        slot = bisect_left(timeline, position) - 1
+        if slot < 0:
+            return None
+        return self._accesses[addr][slot][2]
+
+    def last_store_before(self, addr: int, position: int) -> int | None:
+        """Index of the most recent store to *addr* before *position*."""
+        stores = self._stores.get(addr)
+        if not stores:
+            return None
+        slot = bisect_left(stores, position) - 1
+        if slot < 0:
+            return None
+        return stores[slot]
+
+    def first_store_at_or_after(self, addr: int, position: int) -> int | None:
+        """Index of the first store to *addr* at or after *position*."""
+        stores = self._stores.get(addr)
+        if not stores:
+            return None
+        slot = bisect_right(stores, position - 1)
+        if slot >= len(stores):
+            return None
+        return stores[slot]
+
+    def addresses(self) -> list[int]:
+        """Every address touched in the window."""
+        return sorted(self._accesses)
+
+
+@dataclass(frozen=True)
+class NodeView:
+    """One DDG node, unpacked for inspection/rendering."""
+
+    index: int
+    pc: int
+    op: str
+    event: ReplayEvent
+    uses: tuple[tuple[int, int], ...]   # (reg, dependence encoding)
+    defines: int | None
+    mem_dep: int | None
+    ctrl_dep: int | None
+
+
+class DDG:
+    """The dynamic dependence graph of one replayed window.
+
+    Register dependences are encoded per use as an int: a value ``>= 0``
+    is the defining node's index; a negative value ``-(k+1)`` means the
+    register was materialized by interval *k*'s FLL header (``k == 0``
+    is the initial register file; ``k > 0`` is a kernel/syscall effect
+    at that interval boundary).
+    """
+
+    HEADER = -1  # encoding base: -(interval + 1)
+
+    __slots__ = (
+        "program", "events", "index", "interval_starts", "end_regs",
+        "fault_pc", "_reg_uses", "_mem_dep", "_ctrl_dep", "_def_reg",
+        "_reg_timeline", "replay_intervals", "remote_loads",
+    )
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.events: list[ReplayEvent] = []
+        self.index = AccessIndex()
+        self.interval_starts: list[int] = []
+        self.end_regs: tuple[int, ...] = ()
+        self.fault_pc: int | None = None
+        self._reg_uses: list[tuple[tuple[int, int], ...]] = []
+        self._mem_dep: list[int | None] = []
+        self._ctrl_dep: list[int | None] = []
+        self._def_reg: list[int | None] = []
+        # reg -> [(position, encoding)] — node defs and header resets,
+        # positions ascending; a reset at interval k is recorded at the
+        # interval's first index with encoding -(k+1).
+        self._reg_timeline: dict[int, list[tuple[int, int]]] = {}
+        # Loads whose logged value disagrees with the last local store:
+        # the true def is a store on another thread (the FLL delivered
+        # the post-invalidation value).  Their mem_dep is None.
+        self.remote_loads: set[int] = set()
+        self.replay_intervals = 0
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, program: Program, config: BugNetConfig,
+              flls: list[FLL]) -> "DDG":
+        """Replay *flls* once and derive every dependence edge."""
+        replays = Replayer(program, config).replay(flls)
+        return cls.from_replays(program, flls, replays)
+
+    @classmethod
+    def from_replays(cls, program: Program, flls: list[FLL],
+                     replays: list[IntervalReplay],
+                     index: "AccessIndex | None" = None) -> "DDG":
+        """Build from an already-performed replay (no extra pass).
+
+        *index* adopts a prebuilt :class:`AccessIndex` over the same
+        event stream (the debugger passes its own) instead of
+        re-deriving an identical one.
+        """
+        ddg = cls(program)
+        if index is not None:
+            ddg.index = index
+        ddg._ingest(flls, replays, populate_index=index is None)
+        return ddg
+
+    def _ingest(self, flls: list[FLL],
+                replays: list[IntervalReplay],
+                populate_index: bool = True) -> None:
+        events = self.events
+        reg_uses_out = self._reg_uses
+        mem_dep = self._mem_dep
+        ctrl_dep = self._ctrl_dep
+        def_reg = self._def_reg
+        timeline = self._reg_timeline
+        fetch = self.program.fetch
+        accesses = self.index._accesses
+        access_positions = self.index._access_positions
+        stores = self.index._stores
+
+        # Current defining encoding per register (avoid bisect on build).
+        current: list[int] = [self.HEADER] * 32
+        last_store: dict[int, int] = {}
+        last_decision: int | None = None
+        position = 0
+        self.replay_intervals = len(replays)
+        for number, replay in enumerate(replays):
+            self.interval_starts.append(position)
+            if number > 0:
+                # Registers whose header value replay did not produce
+                # were changed outside the replayed stream (a syscall
+                # the kernel serviced at this boundary): kill their defs.
+                header = flls[number].header.regs
+                previous = replays[number - 1].end_regs
+                encoding = -(number + 1)
+                for reg in range(1, 32):
+                    if header[reg] != previous[reg]:
+                        current[reg] = encoding
+                        timeline.setdefault(reg, []).append(
+                            (position, encoding))
+            for event in replay.events:
+                events.append(event)
+                ins = fetch(event.pc)
+                uses = tuple(
+                    (reg, current[reg]) for reg in reg_uses(ins)
+                )
+                reg_uses_out.append(uses)
+                if event.store is not None:
+                    addr, value = event.store
+                    if populate_index:
+                        stores.setdefault(addr, []).append(position)
+                        accesses.setdefault(addr, []).append(
+                            (position, "store", value))
+                        access_positions.setdefault(addr, []).append(position)
+                    last_store[addr] = position
+                    mem_dep.append(None)
+                elif event.load is not None:
+                    addr, value = event.load
+                    if populate_index:
+                        accesses.setdefault(addr, []).append(
+                            (position, "load", value))
+                        access_positions.setdefault(addr, []).append(position)
+                    dep = last_store.get(addr)
+                    if dep is not None and events[dep].store[1] != value:
+                        # The observed value is not what the last local
+                        # store wrote: the FLL interposed (directly, or
+                        # via replay memory warmed by an earlier logged
+                        # load) a value a *remote* thread's store
+                        # produced.  The local edge would be a lie.
+                        self.remote_loads.add(position)
+                        dep = None
+                    mem_dep.append(dep)
+                else:
+                    mem_dep.append(None)
+                ctrl_dep.append(last_decision)
+                defined = reg_def(ins)
+                def_reg.append(defined)
+                if defined is not None:
+                    current[defined] = position
+                    timeline.setdefault(defined, []).append(
+                        (position, position))
+                if ins.op in DECISION_OPS:
+                    last_decision = position
+                position += 1
+        if replays:
+            self.end_regs = replays[-1].end_regs
+        if flls:
+            self.fault_pc = flls[-1].fault_pc
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def node(self, index: int) -> NodeView:
+        """Unpack node *index* for inspection."""
+        event = self.events[index]
+        return NodeView(
+            index=index,
+            pc=event.pc,
+            op=event.op,
+            event=event,
+            uses=self._reg_uses[index],
+            defines=self._def_reg[index],
+            mem_dep=self._mem_dep[index],
+            ctrl_dep=self._ctrl_dep[index],
+        )
+
+    def uses_of(self, index: int) -> tuple[tuple[int, int], ...]:
+        """(register, dependence encoding) pairs node *index* reads."""
+        return self._reg_uses[index]
+
+    def mem_dep_of(self, index: int) -> int | None:
+        """Defining store of the load at *index* (None: from log/memory)."""
+        return self._mem_dep[index]
+
+    def ctrl_dep_of(self, index: int) -> int | None:
+        """The decision (branch/indirect jump) governing node *index*."""
+        return self._ctrl_dep[index]
+
+    def def_of(self, index: int) -> int | None:
+        """Register node *index* defines."""
+        return self._def_reg[index]
+
+    def reg_def_before(self, reg: int, position: int) -> int:
+        """Dependence encoding of *reg*'s value just before *position*.
+
+        ``>= 0`` — defining node index; ``< 0`` — interval-header origin
+        (``-(k+1)`` for interval *k*; ``-1`` is the initial register
+        file).  Register 0 is always the initial (constant) origin.
+        """
+        if reg == 0:
+            return self.HEADER
+        timeline = self._reg_timeline.get(reg)
+        if not timeline:
+            return self.HEADER
+        # A node def at p is visible to positions > p; a header reset at
+        # an interval-start p is visible to p itself (it happens before
+        # the node executes).  Header encodings are negative, node
+        # encodings non-negative, so the key (position, -1) admits
+        # exactly the resets at ``position`` and nothing defined by it.
+        slot = bisect_right(timeline, (position, -1)) - 1
+        if slot < 0:
+            return self.HEADER
+        return timeline[slot][1]
+
+    def interval_of(self, index: int) -> int:
+        """Interval number containing node *index*."""
+        return bisect_right(self.interval_starts, index) - 1
+
+    def was_first_load(self, index: int) -> bool:
+        """True when the load at *index* consumed an FLL record."""
+        return self.events[index].from_log
+
+
+def build_ddg(program: Program, config: BugNetConfig,
+              flls: list[FLL]) -> DDG:
+    """Module-level convenience for :meth:`DDG.build`."""
+    return DDG.build(program, config, flls)

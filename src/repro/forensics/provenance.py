@@ -1,0 +1,190 @@
+"""Value provenance: "where did this value come from?" as a def-use chain.
+
+Where a slice answers *everything that could have influenced* a value,
+provenance answers the narrower debugging question: the chain of defs
+the value actually flowed through, walked backwards until it leaves the
+window — at an FLL first-load, an initial register, an interval-header
+(kernel) effect, or a constant.  It is what the debugger's ``why``
+command prints and what the autopsy verdict classifier walks to find
+the *culprit store* (the store that planted a bad pointer in memory).
+
+At a multi-operand ALU node the chain follows the **most recently
+defined** operand — in address arithmetic the stale base pointer was
+set up long ago and the freshly computed (possibly corrupt) offset is
+the interesting lineage — and records the operands it did not take so
+nothing is silently dropped.  Dependences the chain skips are still in
+the full backward slice; provenance trades completeness for a readable
+chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.disasm import disassemble, symbol_map
+from repro.arch.registers import reg_name
+from repro.forensics.ddg import DDG
+from repro.forensics.slicing import (
+    ORIGIN_CONSTANT,
+    SliceOrigin,
+    _header_origin,
+    _memory_origin,
+    memory_def_at,
+)
+
+_MAX_STEPS = 64
+
+
+@dataclass(frozen=True)
+class ProvenanceStep:
+    """One hop of a provenance chain."""
+
+    kind: str               # "def" | "load" | "store" | "origin"
+    index: int | None       # node index (None for origins)
+    pc: int | None
+    line: int | None
+    text: str               # rendered explanation
+    value: int | None = None
+    addr: int | None = None
+    op: str = ""            # the node's opcode ("" for origins)
+    origin: SliceOrigin | None = None
+    skipped: tuple[int, ...] = ()   # operand registers the chain did not follow
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _describe_node(ddg: DDG, index: int) -> tuple[int, str]:
+    event = ddg.events[index]
+    ins = ddg.program.fetch(event.pc)
+    line = ddg.program.source_line_of(event.pc)
+    text = disassemble(ins, symbol_map(ddg.program)) if ins else "???"
+    return line, text
+
+
+def value_provenance(
+    ddg: DDG,
+    index: int | None = None,
+    reg: int | None = None,
+    addr: int | None = None,
+    max_steps: int = _MAX_STEPS,
+) -> list[ProvenanceStep]:
+    """The def-use chain behind a register or memory value.
+
+    *index* is the observation position (default: the window end); give
+    either *reg* (register number) or *addr* (word address).  Returns
+    the chain newest-first, ending in an ``origin`` step.
+    """
+    position = len(ddg) if index is None else index
+    steps: list[ProvenanceStep] = []
+    program = ddg.program
+
+    def origin_step(origin: SliceOrigin) -> None:
+        steps.append(ProvenanceStep(
+            kind="origin", index=origin.index, pc=None, line=None,
+            text=f"origin: {origin.describe()}", origin=origin,
+        ))
+
+    # Resolve the starting point to a node (or an immediate origin).
+    node: int | None = None
+    if reg is not None:
+        encoding = ddg.reg_def_before(reg, position)
+        if encoding < 0:
+            origin_step(_header_origin(reg, encoding))
+            return steps
+        node = encoding
+    elif addr is not None:
+        addr &= ~3
+        node, origin = memory_def_at(ddg, addr, position)
+        if node is None:
+            origin_step(origin)
+            return steps
+    else:
+        raise ValueError("provenance needs a reg or an addr")
+
+    while node is not None and len(steps) < max_steps:
+        event = ddg.events[node]
+        ins = program.fetch(event.pc)
+        line, text = _describe_node(ddg, node)
+        uses = ddg.uses_of(node)
+        if event.store is not None:
+            store_addr, value = event.store
+            label = next((name for name, a in program.symbols.items()
+                          if a == store_addr), None)
+            where = f"{store_addr:#010x}" + (f" <{label}>" if label else "")
+            steps.append(ProvenanceStep(
+                kind="store", index=node, pc=event.pc, line=line,
+                text=(f"[{node}] store {value:#x} -> {where} at "
+                      f"pc={event.pc:#x} (line {line}): {text}"),
+                value=value, addr=store_addr, op=event.op,
+            ))
+            # Continue with the stored value's lineage (the rt operand).
+            follow_reg = ins.rt if ins is not None else 0
+            follow = next(
+                (encoding for use_reg, encoding in uses
+                 if use_reg == follow_reg), None)
+            skipped = tuple(r for r, _ in uses if r != follow_reg)
+        elif event.load is not None:
+            load_addr, value = event.load
+            steps.append(ProvenanceStep(
+                kind="load", index=node, pc=event.pc, line=line,
+                text=(f"[{node}] loaded {value:#x} from {load_addr:#010x} "
+                      f"at pc={event.pc:#x} (line {line}): {text}"),
+                value=value, addr=load_addr, op=event.op,
+            ))
+            dep = ddg.mem_dep_of(node)
+            if dep is None:
+                origin_step(_memory_origin(ddg, load_addr, node, index=node))
+                return steps
+            node = dep
+            continue
+        else:
+            defined = ddg.def_of(node)
+            name = reg_name(defined) if defined is not None else "?"
+            steps.append(ProvenanceStep(
+                kind="def", index=node, pc=event.pc, line=line,
+                text=(f"[{node}] {name} defined at pc={event.pc:#x} "
+                      f"(line {line}): {text}"),
+                op=event.op,
+            ))
+            # Follow the most recently defined operand.  A header reset
+            # at interval k happened at that interval's first position
+            # (just before the node there executed), so rank encodings
+            # by their actual position in time, not by raw value.
+            def recency(encoding: int) -> float:
+                if encoding >= 0:
+                    return float(encoding)
+                return ddg.interval_starts[-encoding - 1] - 0.5
+
+            follow = None
+            follow_reg = 0
+            skipped = ()
+            if uses:
+                follow_reg, follow = max(
+                    uses, key=lambda use: recency(use[1]))
+                skipped = tuple(r for r, _ in uses if r != follow_reg)
+        # Shared tail for store/def: follow the chosen register encoding.
+        if follow is None:
+            origin_step(SliceOrigin(kind=ORIGIN_CONSTANT, index=node))
+            return steps
+        if follow < 0:
+            origin_step(_header_origin(follow_reg, follow, index=node))
+            return steps
+        if skipped:
+            import dataclasses
+
+            steps[-1] = dataclasses.replace(steps[-1], skipped=skipped)
+        node = follow
+    return steps
+
+
+def defining_store(steps: list[ProvenanceStep]) -> ProvenanceStep | None:
+    """The first store on a provenance chain (the autopsy culprit)."""
+    return next((step for step in steps if step.kind == "store"), None)
+
+
+def render_provenance(steps: list[ProvenanceStep]) -> str:
+    """Multi-line rendering for the debugger's ``why`` command."""
+    if not steps:
+        return "(no provenance: value never defined in this window)"
+    return "\n".join(f"  {step.text}" for step in steps)

@@ -1,0 +1,292 @@
+"""Backward dynamic slicing over a :class:`~repro.forensics.ddg.DDG`.
+
+A slice criterion names a value: a register as of some position, a
+memory word as of some position, or a node itself (the instruction and
+everything it consumed).  The backward slice is the set of window
+instructions whose execution or produced values could have influenced
+that value — computed by transitive closure over the DDG's register,
+memory, and (optionally) control edges.  Because the DDG was built in
+one replay pass, slicing is pure graph traversal: no re-replay per
+query, whatever the criterion.
+
+With ``control=True`` (the default) the slice follows each node's
+dynamic decision chain.  The DDG's last-decision approximation makes
+that closure a superset of true dynamic control dependence, which is
+the direction that keeps slices *sound*: any store outside the slice
+can have its value perturbed without changing the criterion value,
+because (a) no data path reaches the criterion and (b) every decision
+that shaped the executed path — and that store's chance to feed one —
+is itself in the slice (property-tested by perturbed re-execution in
+``tests/test_forensics_slice.py``).  ``control=False`` gives the tight
+value-lineage slice provenance and verdict classification use.
+
+The criterion for a crash comes from :func:`slice_from_fault`: the
+faulting instruction never committed, so for memory/arithmetic faults
+the slice starts from the registers it *would* have read at the window
+end; for instruction-fetch faults (a jump into garbage) it starts from
+the last committed instruction — the jump that computed the bad target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.program import Program
+from repro.forensics.ddg import DDG, reg_uses
+
+#: Origin kinds a slice can terminate in (values that entered the
+#: window from outside it).
+ORIGIN_INITIAL_REGISTER = "initial-register"
+ORIGIN_INTERVAL_HEADER = "interval-header"
+ORIGIN_FIRST_LOAD = "first-load"
+ORIGIN_UNLOGGED_MEMORY = "unlogged-memory"
+ORIGIN_REMOTE_STORE = "remote-store"
+ORIGIN_CONSTANT = "constant"
+
+
+@dataclass(frozen=True)
+class SliceCriterion:
+    """What to slice from.
+
+    Exactly one of *reg*, *addr*, *node* should be set.  *index* is the
+    position the value is observed at: the state **before** instruction
+    ``index`` executes (``len(ddg)`` means the window end).  For *node*
+    criteria, the node itself is included and *index* is ignored.
+    """
+
+    index: int
+    reg: int | None = None
+    addr: int | None = None
+    node: int | None = None
+
+
+@dataclass(frozen=True)
+class SliceOrigin:
+    """A terminal the slice reached: where a value entered the window."""
+
+    kind: str                 # one of the ORIGIN_* constants
+    reg: int | None = None    # for register origins
+    addr: int | None = None   # for memory origins
+    interval: int | None = None   # for interval-header origins
+    index: int | None = None  # the node whose input terminated here
+
+    def describe(self) -> str:
+        """Human-readable rendering."""
+        if self.kind == ORIGIN_INITIAL_REGISTER:
+            return f"r{self.reg} as of the window start"
+        if self.kind == ORIGIN_INTERVAL_HEADER:
+            return (f"r{self.reg} materialized by interval "
+                    f"{self.interval}'s header (kernel/syscall effect)")
+        if self.kind == ORIGIN_FIRST_LOAD:
+            return f"FLL first-load of {self.addr:#010x}"
+        if self.kind == ORIGIN_UNLOGGED_MEMORY:
+            return f"unlogged memory at {self.addr:#010x}"
+        if self.kind == ORIGIN_REMOTE_STORE:
+            return (f"store to {self.addr:#010x} by another thread "
+                    f"(FLL-delivered value disagrees with the last "
+                    f"local store)")
+        return self.kind
+
+
+@dataclass
+class Slice:
+    """A backward dynamic slice: window nodes plus terminal origins."""
+
+    criteria: tuple[SliceCriterion, ...]
+    nodes: frozenset[int]
+    origins: tuple[SliceOrigin, ...]
+    control: bool = True
+    seeds: tuple[int, ...] = field(default_factory=tuple)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self.nodes
+
+    def pcs(self, ddg: DDG) -> set[int]:
+        """Static PCs the slice covers."""
+        events = ddg.events
+        return {events[index].pc for index in self.nodes}
+
+    def source_lines(self, ddg: DDG) -> set[int]:
+        """Source lines the slice covers."""
+        program = ddg.program
+        return {program.source_line_of(pc) for pc in self.pcs(ddg)}
+
+    def contains_pc(self, ddg: DDG, pc: int) -> bool:
+        """True when any dynamic instance of *pc* is in the slice."""
+        return pc in self.pcs(ddg)
+
+
+def _seed_from_criterion(
+    ddg: DDG, criterion: SliceCriterion,
+    seeds: list[int], origins: list[SliceOrigin],
+) -> None:
+    if criterion.node is not None:
+        seeds.append(criterion.node)
+        return
+    if criterion.reg is not None:
+        encoding = ddg.reg_def_before(criterion.reg, criterion.index)
+        if encoding >= 0:
+            seeds.append(encoding)
+        else:
+            origins.append(_header_origin(criterion.reg, encoding))
+        return
+    if criterion.addr is not None:
+        node, origin = memory_def_at(ddg, criterion.addr, criterion.index)
+        if node is not None:
+            seeds.append(node)
+        else:
+            origins.append(origin)
+        return
+    raise ValueError("criterion names neither reg, addr, nor node")
+
+
+def memory_def_at(ddg: DDG, addr: int, position: int,
+                  ) -> "tuple[int | None, SliceOrigin | None]":
+    """The defining store of *addr*'s value as of *position*.
+
+    Returns ``(node, None)`` for an in-window store, or ``(None,
+    origin)`` when the value entered from outside the window (first
+    load, unlogged memory, or a remote thread's store).  The subtlety:
+    the last *access* decides — a logged load newer than the last local
+    store means the window's value was delivered by the log, not the
+    store.
+    """
+    timeline = ddg.index._access_positions.get(addr)
+    if not timeline:
+        return None, _memory_origin(ddg, addr, position)
+    from bisect import bisect_left
+
+    slot = bisect_left(timeline, position) - 1
+    if slot < 0:
+        return None, _memory_origin(ddg, addr, position)
+    last_access = timeline[slot]
+    event = ddg.events[last_access]
+    if event.store is not None:
+        return last_access, None
+    if last_access in ddg.remote_loads:
+        return None, SliceOrigin(kind=ORIGIN_REMOTE_STORE, addr=addr,
+                                 index=last_access)
+    dep = ddg.mem_dep_of(last_access)
+    if dep is not None:
+        return dep, None
+    return None, _memory_origin(ddg, addr, last_access, index=last_access)
+
+
+def _header_origin(reg: int, encoding: int,
+                   index: int | None = None) -> SliceOrigin:
+    interval = -encoding - 1
+    kind = (ORIGIN_INITIAL_REGISTER if interval == 0
+            else ORIGIN_INTERVAL_HEADER)
+    return SliceOrigin(kind=kind, reg=reg, interval=interval, index=index)
+
+
+def _memory_origin(ddg: DDG, addr: int,
+                   before: int, index: int | None = None) -> SliceOrigin:
+    """Classify a memory value with no in-window defining store."""
+    if index is not None and index in ddg.remote_loads:
+        return SliceOrigin(kind=ORIGIN_REMOTE_STORE, addr=addr, index=index)
+    for position, kind, _value in ddg.index.accesses(addr):
+        if position > before:
+            break
+        if kind == "load" and ddg.was_first_load(position):
+            return SliceOrigin(kind=ORIGIN_FIRST_LOAD, addr=addr,
+                               index=index if index is not None else position)
+    return SliceOrigin(kind=ORIGIN_UNLOGGED_MEMORY, addr=addr, index=index)
+
+
+def backward_slice(
+    ddg: DDG,
+    criterion: "SliceCriterion | list[SliceCriterion]",
+    control: bool = True,
+) -> Slice:
+    """Compute the backward dynamic slice of *criterion*.
+
+    Accepts a single criterion or a list (the union slice — what
+    :func:`slice_from_fault` uses for multi-operand faulting
+    instructions).
+    """
+    criteria = (criterion if isinstance(criterion, (list, tuple))
+                else [criterion])
+    seeds: list[int] = []
+    origins: list[SliceOrigin] = []
+    for single in criteria:
+        _seed_from_criterion(ddg, single, seeds, origins)
+
+    visited: set[int] = set()
+    stack = [seed for seed in seeds if seed not in visited]
+    mem_dep = ddg._mem_dep
+    ctrl_dep = ddg._ctrl_dep
+    reg_uses_of = ddg._reg_uses
+    events = ddg.events
+    while stack:
+        node = stack.pop()
+        if node in visited:
+            continue
+        visited.add(node)
+        for reg, encoding in reg_uses_of[node]:
+            if encoding >= 0:
+                if encoding not in visited:
+                    stack.append(encoding)
+            else:
+                origins.append(_header_origin(reg, encoding, index=node))
+        if events[node].load is not None:
+            dep = mem_dep[node]
+            if dep is not None:
+                if dep not in visited:
+                    stack.append(dep)
+            else:
+                origins.append(_memory_origin(
+                    ddg, events[node].load[0], node, index=node))
+        if control:
+            decision = ctrl_dep[node]
+            if decision is not None and decision not in visited:
+                stack.append(decision)
+
+    unique_origins = tuple(dict.fromkeys(origins))
+    return Slice(
+        criteria=tuple(criteria),
+        nodes=frozenset(visited),
+        origins=unique_origins,
+        control=control,
+        seeds=tuple(seeds),
+    )
+
+
+def fault_criteria(ddg: DDG, program: Program, fault_pc: int,
+                   fault_kind: str) -> list[SliceCriterion]:
+    """Criteria describing what the faulting instruction consumed.
+
+    The faulting instruction never committed.  For memory/arithmetic
+    faults its operand registers as of the window end are the criterion;
+    for instruction-fetch faults (``fault_pc`` points into garbage) the
+    criterion is the final committed instruction — the jump or branch
+    that produced the bad target.
+    """
+    if not len(ddg):
+        return []
+    ins = program.fetch(fault_pc)
+    if fault_kind == "instruction" or ins is None:
+        last = len(ddg) - 1
+        return [SliceCriterion(index=last, node=last)]
+    end = len(ddg)
+    criteria = [SliceCriterion(index=end, reg=reg)
+                for reg in reg_uses(ins)]
+    if not criteria:
+        # The faulting access uses no register lineage at all (a
+        # constant/r0-based address): slice from the last committed
+        # instruction so the path that reached the fault is covered.
+        last = len(ddg) - 1
+        criteria = [SliceCriterion(index=last, node=last)]
+    return criteria
+
+
+def slice_from_fault(ddg: DDG, program: Program, fault_pc: int,
+                     fault_kind: str, control: bool = True) -> Slice:
+    """The backward slice from a crash (union over the fault's operands)."""
+    return backward_slice(
+        ddg, fault_criteria(ddg, program, fault_pc, fault_kind),
+        control=control,
+    )

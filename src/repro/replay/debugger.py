@@ -7,17 +7,21 @@ memory watchpoints, inspect registers and reconstructed memory — and
 earlier point is just re-replaying the interval prefix (the Ronsse & De
 Bosschere "debugging backwards in time" experience, built on FLLs).
 
-The debugger replays the whole shipped window once up front, indexing
-every committed instruction; navigation is then O(1) for state lookups
-at indexed positions and O(interval) for arbitrary register
-reconstruction.
+The debugger replays the whole shipped window once up front.  From that
+single pass it shares the forensics access index
+(:class:`~repro.forensics.ddg.AccessIndex`): ``memory_at`` /
+``access_history`` / ``last_writer`` are per-address binary searches
+instead of O(window) scans per query, and the ``why`` command walks the
+dynamic dependence graph to explain where a register or memory value
+came from.
 
 Example::
 
     debugger = ReplayDebugger(program, config, crash.flls_for(tid))
-    debugger.add_watchpoint(0x10001000)
+    debugger.add_watchpoint(0x10001000, size=1)   # watch a byte range
     hit = debugger.run()             # stops at the first watchpoint hit
     print(debugger.where())          # pc, source line, disassembly
+    print(debugger.why("t5"))        # def-use chain behind t5's value
     debugger.reverse_step()          # go back one instruction
 """
 
@@ -28,7 +32,9 @@ from dataclasses import dataclass
 from repro.arch.disasm import disassemble, symbol_map
 from repro.arch.memory import Memory
 from repro.arch.program import Program
+from repro.arch.registers import reg_num
 from repro.common.config import BugNetConfig
+from repro.forensics.ddg import DDG, AccessIndex
 from repro.replay.replayer import IntervalReplay, ReplayEvent, Replayer
 
 
@@ -66,9 +72,13 @@ class ReplayDebugger:
         for replay in self._replays:
             self._interval_starts.append(start)
             start += replay.instructions
+        # Shared forensics index: every memory query is a bisect.
+        self._index = AccessIndex.from_events(self.events)
+        self._ddg: DDG | None = None        # built lazily from _replays
+        self._registers_cache: tuple[int, tuple[int, ...]] | None = None
         self.position = 0  # index of the NEXT instruction to "execute"
         self.breakpoints: set[int] = set()
-        self.watchpoints: set[int] = set()
+        self.watchpoints: list[tuple[int, int]] = []   # [start, end) ranges
 
     # -- configuration -----------------------------------------------------
 
@@ -78,9 +88,30 @@ class ReplayDebugger:
         self.breakpoints.add(pc)
         return pc
 
-    def add_watchpoint(self, addr: int) -> None:
-        """Break after any load or store touching *addr*."""
-        self.watchpoints.add(addr & ~3)
+    def add_watchpoint(self, addr: int, size: int = 4) -> tuple[int, int]:
+        """Break after any load or store overlapping ``[addr, addr+size)``.
+
+        Accesses are whole words; a watched byte range catches the word
+        access that covers it, so watching a single byte still sees the
+        adjacent-word store that clobbers it (no silent ``addr & ~3``
+        rounding).
+        """
+        if size < 1:
+            raise ValueError("watchpoint size must be >= 1")
+        span = (addr, addr + size)
+        self.watchpoints.append(span)
+        return span
+
+    def _watch_hit(self, event: ReplayEvent):
+        """(word addr, kind, (start, end)) when *event* touches a watch."""
+        for kind, access in (("load", event.load), ("store", event.store)):
+            if access is None:
+                continue
+            word = access[0]
+            for start, end in self.watchpoints:
+                if word < end and start < word + 4:
+                    return word, kind, (start, end)
+        return None
 
     # -- navigation ---------------------------------------------------------
 
@@ -116,20 +147,14 @@ class ReplayDebugger:
                     "breakpoint", self.position,
                     f"pc={event.pc:#x} {self._symbols.get(event.pc, '')}",
                 )
-            touched = (
-                (event.load[0] if event.load else None),
-                (event.store[0] if event.store else None),
-            )
-            hit = next(
-                (addr for addr in touched
-                 if addr is not None and addr in self.watchpoints), None,
-            )
+            hit = self._watch_hit(event)
             if hit is not None:
                 self.position += 1  # stop AFTER the access, state visible
-                kind = "store" if event.store else "load"
+                word, kind, (start, end) = hit
                 return StopReason(
                     "watchpoint", self.position,
-                    f"{kind} {hit:#010x} at pc={event.pc:#x}",
+                    f"{kind} {word:#010x} overlaps watch "
+                    f"[{start:#x},{end:#x}) at pc={event.pc:#x}",
                 )
             self.position += 1
         return StopReason("end", self.position, "window exhausted")
@@ -148,13 +173,15 @@ class ReplayDebugger:
             if event.pc in self.breakpoints:
                 return StopReason("breakpoint", self.position,
                                   f"pc={event.pc:#x}")
-            for addr in (event.load[0] if event.load else None,
-                         event.store[0] if event.store else None):
-                if addr is not None and addr in self.watchpoints:
-                    self.position += 1
-                    kind = "store" if event.store else "load"
-                    return StopReason("watchpoint", self.position,
-                                      f"{kind} {addr:#010x} (reverse)")
+            hit = self._watch_hit(event)
+            if hit is not None:
+                self.position += 1
+                word, kind, (start, end) = hit
+                return StopReason(
+                    "watchpoint", self.position,
+                    f"{kind} {word:#010x} overlaps watch "
+                    f"[{start:#x},{end:#x}) (reverse)",
+                )
         return StopReason("end", 0, "window start")
 
     def seek(self, index: int) -> None:
@@ -193,8 +220,19 @@ class ReplayDebugger:
         """Register file contents at the current position.
 
         Reconstructed by re-replaying from the enclosing interval start —
-        cheap because intervals are bounded.
+        cheap because intervals are bounded — and cached per position,
+        so repeated inspection at one stop re-replays nothing.  Any
+        navigation (seek/step/run) lands on a different position and
+        naturally invalidates the cache.
         """
+        cached = self._registers_cache
+        if cached is not None and cached[0] == self.position:
+            return cached[1]
+        regs = self._reconstruct_registers()
+        self._registers_cache = (self.position, regs)
+        return regs
+
+    def _reconstruct_registers(self) -> tuple[int, ...]:
         interval_index = self._interval_of(self.position)
         start = self._interval_starts[interval_index]
         if self.position == start:
@@ -214,33 +252,50 @@ class ReplayDebugger:
         before this point (the paper, Section 7.1: untouched locations
         cannot be examined — and were, by the same token, irrelevant).
         """
-        addr &= ~3
-        value = None
-        for event in self.events[: self.position]:
-            if event.store is not None and event.store[0] == addr:
-                value = event.store[1]
-            elif event.load is not None and event.load[0] == addr:
-                value = event.load[1]
-        return value
+        return self._index.value_at(addr & ~3, self.position)
 
     def access_history(self, addr: int) -> list[tuple[int, str, int]]:
         """Every (index, kind, value) access to *addr* within the window."""
-        addr &= ~3
-        history = []
-        for index, event in enumerate(self.events):
-            if event.store is not None and event.store[0] == addr:
-                history.append((index, "store", event.store[1]))
-            elif event.load is not None and event.load[0] == addr:
-                history.append((index, "load", event.load[1]))
-        return history
+        return self._index.accesses(addr & ~3)
 
     def last_writer(self, addr: int) -> ReplayEvent | None:
         """The most recent store to *addr* before the current position."""
-        addr &= ~3
-        for event in reversed(self.events[: self.position]):
-            if event.store is not None and event.store[0] == addr:
-                return event
-        return None
+        index = self._index.last_store_before(addr & ~3, self.position)
+        if index is None:
+            return None
+        return self.events[index]
+
+    def why(self, what: "int | str", position: int | None = None) -> str:
+        """Explain where a value came from: its def-use chain.
+
+        *what* is a register name (``"t5"``, ``"$sp"``, ``"r8"``) or a
+        memory address; the chain is walked backwards from *position*
+        (default: the current position) until the value leaves the
+        window — at an FLL first-load, the initial register file, or a
+        kernel/syscall boundary.  Built on the dependence graph derived
+        from the window replay the debugger already performed (no
+        re-replay).
+        """
+        from repro.forensics.provenance import (
+            render_provenance,
+            value_provenance,
+        )
+
+        where = self.position if position is None else position
+        ddg = self.ddg()
+        if isinstance(what, str):
+            steps = value_provenance(ddg, index=where, reg=reg_num(what))
+        else:
+            steps = value_provenance(ddg, index=where, addr=what & ~3)
+        return render_provenance(steps)
+
+    def ddg(self) -> DDG:
+        """The window's dynamic dependence graph (built once, lazily,
+        from the replay this debugger already performed)."""
+        if self._ddg is None:
+            self._ddg = DDG.from_replays(self.program, self.flls,
+                                         self._replays, index=self._index)
+        return self._ddg
 
     # -- internals ----------------------------------------------------------
 

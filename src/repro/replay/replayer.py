@@ -144,6 +144,11 @@ class Replayer:
         while cpu.inst_count < fll.end_ic:
             interface.last_load = None
             interface.last_store = None
+            # Reset per instruction: without this, from_log leaks onto
+            # every non-load instruction after a logged load (which,
+            # among other things, made the debugger's truncated-interval
+            # replay overcount consumed records and fail mid-interval).
+            interface.last_from_log = False
             pc_before = cpu.pc
             try:
                 ins = cpu.step()

@@ -6,6 +6,7 @@ from repro.arch import assemble
 from repro.common.config import BugNetConfig, MachineConfig
 from repro.mp.machine import Machine
 from repro.replay.debugger import ReplayDebugger
+from repro.replay.replayer import Replayer
 
 SOURCE = """
 .data
@@ -198,3 +199,188 @@ class TestInspection:
         program, machine, *_ = debugger_setup
         with pytest.raises(ValueError):
             ReplayDebugger(program, machine.bugnet, [])
+
+
+class TestSizedWatchpoints:
+    def test_byte_watch_catches_covering_word_store(self, debugger_setup,
+                                                    debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        # Watch a single *interior* byte: the old addr & ~3 masking
+        # would have rounded this to the word — the point is that the
+        # word store overlaps the byte range and must hit.
+        debugger.add_watchpoint(counter + 1, size=1)
+        stop = debugger.run()
+        assert stop.kind == "watchpoint"
+        assert f"[{counter + 1:#x},{counter + 2:#x})" in stop.detail
+
+    def test_adjacent_word_does_not_hit(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        # One byte past the counter word: stores to `counter` no longer
+        # overlap; only `scratch` traffic could (scratch starts there).
+        debugger.add_watchpoint(counter + 4, size=1)
+        stop = debugger.run()
+        if stop.kind == "watchpoint":
+            event = debugger.last_event()
+            addr = (event.store or event.load)[0]
+            assert addr != counter
+        else:
+            assert stop.kind == "end"
+
+    def test_range_watch_spans_words(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        scratch = program.symbols["scratch"]
+        debugger.add_watchpoint(scratch, size=16)   # words 0..3
+        hits = set()
+        while True:
+            stop = debugger.run()
+            if stop.kind != "watchpoint":
+                break
+            hits.add((debugger.last_event().store
+                      or debugger.last_event().load)[0])
+        assert hits == {scratch, scratch + 4, scratch + 8, scratch + 12}
+
+    def test_bad_size_rejected(self, debugger):
+        with pytest.raises(ValueError):
+            debugger.add_watchpoint(0x1000, size=0)
+
+
+class TestRegistersCache:
+    def test_repeated_calls_do_not_rereplay(self, debugger, monkeypatch):
+        calls = {"n": 0}
+        original = Replayer.replay_interval
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Replayer, "replay_interval", counting)
+        debugger.seek(7)
+        first = debugger.registers()
+        after_first = calls["n"]
+        assert after_first > 0
+        for _ in range(5):
+            assert debugger.registers() == first
+        assert calls["n"] == after_first      # cache hit: no replay at all
+
+    def test_navigation_invalidates(self, debugger, monkeypatch):
+        calls = {"n": 0}
+        original = Replayer.replay_interval
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Replayer, "replay_interval", counting)
+        debugger.seek(7)
+        debugger.registers()
+        marker = calls["n"]
+        debugger.step()
+        debugger.registers()                  # different position: recompute
+        assert calls["n"] > marker
+        debugger.reverse_step()
+        # Values stay correct across the cache.
+        assert debugger.registers() == debugger._reconstruct_registers()
+
+
+class TestWhy:
+    def test_why_register_chain(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        debugger.run()   # to the window end
+        text = debugger.why("a0")
+        # a0 holds the final counter value, loaded at `finish`.
+        assert "loaded" in text
+        assert f"{counter:#010x}" in text
+
+    def test_why_address_names_last_store(self, debugger_setup, debugger):
+        program, *_ = debugger_setup
+        counter = program.symbols["counter"]
+        debugger.run()
+        text = debugger.why(counter)
+        assert "store" in text
+        assert "<counter>" in text
+
+    def test_why_untouched_address(self, debugger):
+        text = debugger.why(0x66660000)
+        assert "unlogged memory" in text
+
+    def test_ddg_adopts_debugger_index(self, debugger):
+        # The access index built at init is shared with the DDG, not
+        # rebuilt.
+        assert debugger.ddg().index is debugger._index
+
+    def test_why_does_not_rereplay(self, debugger, monkeypatch):
+        calls = {"n": 0}
+        original = Replayer.replay_interval
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Replayer, "replay_interval", counting)
+        debugger.run()
+        debugger.why("a0")
+        debugger.why("t0")
+        assert calls["n"] == 0   # DDG built from the init-time replay
+
+
+class TestIndexEquivalence:
+    """The forensics access index must answer exactly like the linear
+    scans it replaced (satellite regression on randomized programs)."""
+
+    @pytest.mark.parametrize("seed", [2, 13, 31])
+    def test_matches_linear_scans(self, seed):
+        from repro.workloads.randprog import random_program
+
+        program = random_program(seed)
+        machine = Machine(program, MachineConfig(),
+                          BugNetConfig(checkpoint_interval=40))
+        machine.spawn()
+        result = machine.run()
+        assert not result.crashed
+        flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+        debugger = ReplayDebugger(program, machine.bugnet, flls)
+        events = debugger.events
+
+        def naive_memory_at(addr, position):
+            addr &= ~3
+            value = None
+            for event in events[:position]:
+                if event.store is not None and event.store[0] == addr:
+                    value = event.store[1]
+                elif event.load is not None and event.load[0] == addr:
+                    value = event.load[1]
+            return value
+
+        def naive_access_history(addr):
+            addr &= ~3
+            history = []
+            for index, event in enumerate(events):
+                if event.store is not None and event.store[0] == addr:
+                    history.append((index, "store", event.store[1]))
+                elif event.load is not None and event.load[0] == addr:
+                    history.append((index, "load", event.load[1]))
+            return history
+
+        def naive_last_writer(addr, position):
+            addr &= ~3
+            for event in reversed(events[:position]):
+                if event.store is not None and event.store[0] == addr:
+                    return event
+            return None
+
+        touched = sorted({a[0] for e in events
+                          for a in (e.load, e.store) if a is not None})
+        sample = touched[:: max(len(touched) // 8, 1)] + [0x66660000]
+        positions = sorted({0, 1, len(events) // 3, len(events) // 2,
+                            len(events) - 1, len(events)})
+        for addr in sample:
+            assert debugger.access_history(addr) == naive_access_history(addr)
+            for position in positions:
+                debugger.seek(position)
+                assert debugger.memory_at(addr) == naive_memory_at(
+                    addr, position)
+                assert debugger.last_writer(addr) is naive_last_writer(
+                    addr, position)

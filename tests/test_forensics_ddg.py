@@ -1,0 +1,292 @@
+"""Dynamic dependence graph construction (repro.forensics.ddg)."""
+
+import pytest
+
+from repro.arch import assemble
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.forensics.ddg import DDG, AccessIndex, reg_def, reg_uses
+from repro.mp.machine import Machine
+from repro.replay.replayer import Replayer
+
+# Explicit addressing (la + 0(reg)) keeps one source op = one
+# instruction, so node structure is predictable.
+SOURCE = """
+.data
+val: .word 7
+out: .word 0
+.text
+main:
+    la   s6, val
+    la   s5, out
+    li   t0, 5
+    lw   t1, 0(s6)
+    add  t2, t0, t1
+    sw   t2, 0(s5)
+    lw   t3, 0(s5)
+    blt  t3, t0, skip
+    addi t4, t3, 1
+skip:
+    li   v0, 1
+    syscall
+"""
+
+T0, T1, T2, T3, T4 = 8, 9, 10, 11, 12
+
+
+def _record(source, interval=1000, entries=("main",), threads=1):
+    program = assemble(source, name="ddg-test")
+    machine = Machine(program, MachineConfig(num_cores=max(threads, 1)),
+                      BugNetConfig(checkpoint_interval=interval))
+    for index in range(threads):
+        machine.spawn(entry=entries[min(index, len(entries) - 1)])
+    result = machine.run()
+    return program, machine, result
+
+
+@pytest.fixture(scope="module")
+def ddg():
+    program, machine, result = _record(SOURCE)
+    flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+    return DDG.build(program, machine.bugnet, flls)
+
+
+def _node_with(ddg, op, rd=None):
+    """First node whose instruction matches (op, rd)."""
+    for index, event in enumerate(ddg.events):
+        ins = ddg.program.fetch(event.pc)
+        if ins.op == op and (rd is None or ins.rd == rd):
+            return index
+    raise AssertionError(f"no node with op={op} rd={rd}")
+
+
+class TestRegisterEdges:
+    def test_alu_uses_point_at_defs(self, ddg):
+        add = _node_with(ddg, "add", rd=T2)
+        deps = dict(ddg.uses_of(add))
+        li_t0 = _node_with(ddg, "addi", rd=T0)       # li t0, 5
+        lw_t1 = _node_with(ddg, "lw", rd=T1)
+        assert deps[T0] == li_t0
+        assert deps[T1] == lw_t1
+
+    def test_def_recorded(self, ddg):
+        add = _node_with(ddg, "add", rd=T2)
+        assert ddg.def_of(add) == T2
+
+    def test_initial_register_origin(self, ddg):
+        # The very first instruction reads nothing defined in-window:
+        # every register use before any def encodes the initial header.
+        first_uses = ddg.uses_of(0)
+        for _reg, encoding in first_uses:
+            assert encoding == DDG.HEADER
+
+    def test_reg_def_before_timeline(self, ddg):
+        add = _node_with(ddg, "add", rd=T2)
+        li_t0 = _node_with(ddg, "addi", rd=T0)
+        assert ddg.reg_def_before(T0, add) == li_t0
+        # Before the li, t0 is the initial register file.
+        assert ddg.reg_def_before(T0, li_t0) == DDG.HEADER
+
+
+class TestMemoryEdges:
+    def test_load_after_store_depends_on_it(self, ddg):
+        sw = _node_with(ddg, "sw")
+        lw_t3 = _node_with(ddg, "lw", rd=T3)
+        assert ddg.mem_dep_of(lw_t3) == sw
+
+    def test_first_load_has_no_store_dep(self, ddg):
+        lw_t1 = _node_with(ddg, "lw", rd=T1)
+        assert ddg.mem_dep_of(lw_t1) is None
+        assert ddg.was_first_load(lw_t1)
+
+
+class TestControlEdges:
+    def test_post_branch_node_depends_on_branch(self, ddg):
+        blt = _node_with(ddg, "blt")
+        addi_t4 = _node_with(ddg, "addi", rd=T4)
+        assert ddg.ctrl_dep_of(addi_t4) == blt
+
+    def test_pre_branch_node_has_no_decision(self, ddg):
+        # Nothing before the blt is a conditional branch here.
+        add = _node_with(ddg, "add", rd=T2)
+        assert ddg.ctrl_dep_of(add) is None
+
+
+SYSCALL_SOURCE = """
+.text
+main:
+    li   a0, 64
+    li   v0, 6
+    syscall
+    move s0, v0
+    li   v0, 1
+    syscall
+"""
+
+
+class TestIntervalHeaderOrigin:
+    def test_syscall_result_is_header_origin(self):
+        # sbrk's v0 result exists only in the post-syscall FLL header:
+        # the `move s0, v0` use of v0 must resolve to an interval-header
+        # origin, not to the `li v0, 6` that preceded the syscall.
+        program, machine, result = _record(SYSCALL_SOURCE)
+        flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+        assert len(flls) >= 2   # the syscall forces an interval break
+        ddg = DDG.build(program, machine.bugnet, flls)
+        move = _node_with(ddg, "or", rd=16)   # move s0, v0
+        deps = dict(ddg.uses_of(move))
+        encoding = deps[2]                       # v0 = r2
+        assert encoding < 0
+        interval = -encoding - 1
+        assert interval >= 1    # not the initial header
+
+
+PROVENANCE_SOURCE = """
+.text
+main:
+    li   s1, 7
+    li   a0, 64
+    li   v0, 6
+    syscall
+    add  t0, s1, v0
+    li   v0, 1
+    syscall
+"""
+
+
+class TestProvenanceRecency:
+    def test_header_materialized_operand_is_most_recent(self):
+        # s1 is defined by an early node; v0 is materialized by the
+        # post-syscall interval header, which happens *later* in time
+        # even though header encodings are negative.  The chain for t0
+        # must follow v0 to its interval-header origin, not the stale
+        # s1 def.
+        from repro.forensics.provenance import value_provenance
+        from repro.forensics.slicing import ORIGIN_INTERVAL_HEADER
+
+        program, machine, result = _record(PROVENANCE_SOURCE)
+        flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+        ddg = DDG.build(program, machine.bugnet, flls)
+        add = _node_with(ddg, "add", rd=T0)
+        steps = value_provenance(ddg, index=add + 1, reg=T0)
+        origin = steps[-1].origin
+        assert origin is not None
+        assert origin.kind == ORIGIN_INTERVAL_HEADER
+        assert origin.reg == 2   # v0
+
+
+REMOTE_SOURCE = """
+.data
+shared:  .word 0
+workbuf: .space 256
+.text
+main:
+    la   s0, shared
+    li   t0, 1234
+    sw   t0, 0(s0)          # local def
+    li   s1, 2000
+spin:
+    lw   t1, 0(s0)          # eventually observes the remote store
+    addi s1, s1, -1
+    bnez s1, spin
+    li   v0, 1
+    syscall
+
+writer:
+    la   s0, shared
+    li   s2, 300
+warm:
+    addi s2, s2, -1
+    bnez s2, warm
+    li   t2, 5678
+    sw   t2, 0(s0)          # remote def
+    li   v0, 1
+    syscall
+"""
+
+
+class TestRemoteLoads:
+    def test_log_delivered_remote_value_breaks_local_edge(self):
+        program, machine, result = _record(
+            REMOTE_SOURCE, interval=200, threads=2,
+            entries=("main", "writer"))
+        flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+        ddg = DDG.build(program, machine.bugnet, flls)
+        shared = program.symbols["shared"]
+        loads = [i for i, e in enumerate(ddg.events)
+                 if e.load is not None and e.load[0] == shared]
+        local = [i for i in loads if ddg.events[i].load[1] == 1234]
+        remote = [i for i in loads if ddg.events[i].load[1] == 5678]
+        assert local and remote, "schedule must interleave the store"
+        store = next(i for i, e in enumerate(ddg.events)
+                     if e.store is not None and e.store[0] == shared)
+        # Loads seeing the local value depend on the local store; loads
+        # seeing the remote value must NOT be attributed to it.
+        for index in local:
+            assert ddg.mem_dep_of(index) == store
+        for index in remote:
+            assert ddg.mem_dep_of(index) is None
+            assert index in ddg.remote_loads
+
+
+class TestAccessIndex:
+    def test_matches_naive_scan(self, ddg):
+        events = ddg.events
+        index = AccessIndex.from_events(events)
+        addresses = {e.load[0] for e in events if e.load} | \
+                    {e.store[0] for e in events if e.store}
+        for addr in addresses | {0x66660000}:
+            naive = []
+            for position, event in enumerate(events):
+                if event.store is not None and event.store[0] == addr:
+                    naive.append((position, "store", event.store[1]))
+                elif event.load is not None and event.load[0] == addr:
+                    naive.append((position, "load", event.load[1]))
+            assert index.accesses(addr) == naive
+            for position in range(len(events) + 1):
+                expect = naive and max(
+                    (entry for entry in naive if entry[0] < position),
+                    default=None, key=lambda entry: entry[0])
+                expect_value = expect[2] if expect else None
+                assert index.value_at(addr, position) == expect_value
+
+
+class TestUseDefTables:
+    def test_reg_uses_covers_isa(self):
+        program = assemble(SOURCE, name="ops")
+        seen_ops = {program.fetch(pc).op
+                    for pc in program.symbols.values() if program.fetch(pc)}
+        # Spot checks on the helper tables.
+        from repro.arch.isa import Instruction
+        assert reg_uses(Instruction("add", rd=3, rs=4, rt=5)) == (4, 5)
+        assert reg_uses(Instruction("sw", rs=4, rt=5)) == (4, 5)
+        assert reg_uses(Instruction("lw", rd=3, rs=4)) == (4,)
+        assert reg_uses(Instruction("lui", rd=3, imm=1)) == ()
+        assert reg_uses(Instruction("jr", rs=31)) == (31,)
+        assert reg_uses(Instruction("lw", rd=3, rs=0)) == ()   # r0 dropped
+        assert reg_def(Instruction("jal", imm=0)) == 31
+        assert reg_def(Instruction("sw", rs=4, rt=5)) is None
+        assert reg_def(Instruction("beq", rs=4, rt=5)) is None
+        assert reg_def(Instruction("add", rd=0, rs=4, rt=5)) is None
+
+
+class TestSinglePass:
+    def test_build_replays_each_interval_once(self, monkeypatch):
+        program, machine, result = _record(SOURCE, interval=10)
+        flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+        assert len(flls) >= 2
+        calls = {"n": 0}
+        original = Replayer.replay_interval
+
+        def counting(self, *args, **kwargs):
+            calls["n"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(Replayer, "replay_interval", counting)
+        ddg = DDG.build(program, machine.bugnet, flls)
+        assert calls["n"] == len(flls)
+        # Queries replay nothing further.
+        before = calls["n"]
+        from repro.forensics.slicing import SliceCriterion, backward_slice
+        backward_slice(ddg, SliceCriterion(index=len(ddg), reg=T2))
+        ddg.reg_def_before(T0, len(ddg))
+        assert calls["n"] == before

@@ -1,0 +1,259 @@
+"""Backward slicing: structure tests + the perturbation soundness property.
+
+The soundness property (the point of a *sound* slice): take a recorded
+run, build the DDG, slice backward from "the value of word A at the end
+of the window".  Re-execute the program natively, flipping the value
+written by one dynamic store.  If that store is **outside** the slice,
+the criterion value must be unchanged — no data path reaches it and
+every control decision that shaped the executed path is inside the
+slice, so the perturbed run executes the identical instruction sequence.
+If the perturbed store is the criterion's own defining store (inside the
+slice), the criterion value must change.
+"""
+
+import pytest
+
+from repro.arch.cpu import CPU
+from repro.arch.loader import load_program
+from repro.arch.memory import Memory
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.forensics.ddg import DDG
+from repro.forensics.slicing import (
+    ORIGIN_FIRST_LOAD,
+    SliceCriterion,
+    backward_slice,
+    slice_from_fault,
+)
+from repro.mp.machine import Machine
+from repro.workloads.randprog import random_program
+
+XOR_MASK = 0x5A5A5A5A
+
+
+def _record_window(program, interval=500):
+    machine = Machine(program, MachineConfig(),
+                      BugNetConfig(checkpoint_interval=interval))
+    machine.spawn()
+    result = machine.run()
+    assert not result.crashed
+    flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+    return machine, flls
+
+
+class _PerturbingMemory:
+    """Direct memory that XORs the value of one dynamic store."""
+
+    def __init__(self, memory, ordinal, xor):
+        self.memory = memory
+        self.ordinal = ordinal
+        self.xor = xor
+        self.stores_seen = 0
+
+    def load(self, addr):
+        return self.memory.load(addr)
+
+    def store(self, addr, value):
+        if self.stores_seen == self.ordinal:
+            value ^= self.xor
+        self.stores_seen += 1
+        self.memory.store(addr, value)
+
+
+def _reexecute(program, header, perturb_ordinal=None,
+               max_instructions=200_000):
+    """Natively re-execute from the first FLL header's context.
+
+    The recorded run is deterministic and single-threaded, so executing
+    the binary with properly initialized data memory reproduces the
+    exact committed stream — no logs needed.  *perturb_ordinal* flips
+    the value of that dynamic store (0-based).
+    """
+    memory = Memory(fault_checks=False)
+    load_program(program, memory)
+    interface = (_PerturbingMemory(memory, perturb_ordinal, XOR_MASK)
+                 if perturb_ordinal is not None else
+                 _PerturbingMemory(memory, -1, 0))
+    cpu = CPU(program, interface)
+    cpu.pc = header.pc
+    cpu.regs.restore(header.regs)
+    done = []
+
+    def handler(c):
+        if c.regs["v0"] == 1:
+            done.append(True)
+
+    cpu.syscall_handler = handler
+    while not done and cpu.inst_count < max_instructions:
+        cpu.step()
+    assert done, "program did not exit"
+    return memory
+
+
+def _property_slice(ddg, addr):
+    """Criterion slice for the property: final value of *addr*, plus the
+    decision closure of the window end (so a sliced-out store provably
+    cannot flip *any* executed branch)."""
+    end = len(ddg)
+    return backward_slice(
+        ddg,
+        [SliceCriterion(index=end, addr=addr),
+         SliceCriterion(index=end - 1, node=end - 1)],
+        control=True,
+    )
+
+
+@pytest.mark.parametrize("seed", [3, 11, 29, 61])
+def test_slice_soundness_under_store_perturbation(seed):
+    program = random_program(seed)
+    machine, flls = _record_window(program)
+    ddg = DDG.build(program, machine.bugnet, flls)
+    events = ddg.events
+
+    store_nodes = [i for i, e in enumerate(events) if e.store is not None]
+    if len(store_nodes) < 3:
+        pytest.skip("seed produced too few stores to perturb")
+    final_store = store_nodes[-1]
+    addr = events[final_store].store[0]
+
+    the_slice = _property_slice(ddg, addr)
+    assert final_store in the_slice
+
+    # Reference native execution reproduces the recorded final value.
+    baseline = _reexecute(program, flls[0].header)
+    original = baseline.peek(addr)
+    assert original == events[final_store].store[1]
+
+    out_of_slice = [node for node in store_nodes
+                    if node not in the_slice.nodes]
+    in_slice = [node for node in store_nodes if node in the_slice.nodes]
+    assert in_slice, "criterion store must be in its own slice"
+
+    # Soundness: perturbing any sliced-out store leaves the criterion
+    # value untouched.
+    for node in out_of_slice[:12]:
+        ordinal = store_nodes.index(node)
+        perturbed = _reexecute(program, flls[0].header,
+                               perturb_ordinal=ordinal)
+        assert perturbed.peek(addr) == original, (
+            f"seed {seed}: perturbing out-of-slice store #{ordinal} "
+            f"(node {node}) changed the criterion value"
+        )
+
+    # Relevance: perturbing the criterion's defining store changes it.
+    perturbed = _reexecute(program, flls[0].header,
+                           perturb_ordinal=store_nodes.index(final_store))
+    assert perturbed.peek(addr) != original
+
+
+@pytest.mark.parametrize("seed", [17, 23])
+def test_out_of_slice_fraction_is_nontrivial(seed):
+    """The property above is vacuous if the slice swallows every store;
+    make sure the generator actually produces dead stores to test."""
+    program = random_program(seed)
+    machine, flls = _record_window(program)
+    ddg = DDG.build(program, machine.bugnet, flls)
+    store_nodes = [i for i, e in enumerate(ddg.events)
+                   if e.store is not None]
+    if len(store_nodes) < 4:
+        pytest.skip("too few stores")
+    addr = ddg.events[store_nodes[-1]].store[0]
+    the_slice = _property_slice(ddg, addr)
+    outside = [n for n in store_nodes if n not in the_slice.nodes]
+    assert outside, "expected at least one sliced-out store"
+
+
+SOURCE = """
+.data
+val: .word 7
+out: .word 0
+.text
+main:
+    la   s6, val
+    la   s5, out
+    li   t0, 5
+    lw   t1, 0(s6)
+    add  t2, t0, t1
+    sw   t2, 0(s5)
+    lw   t3, 0(s5)
+    blt  t3, t0, skip
+    addi t4, t3, 1
+skip:
+    li   v0, 1
+    syscall
+"""
+
+
+class TestSliceStructure:
+    @pytest.fixture(scope="class")
+    def window(self):
+        from repro.arch import assemble
+
+        program = assemble(SOURCE, name="slice-test")
+        machine = Machine(program, MachineConfig(),
+                          BugNetConfig(checkpoint_interval=1000))
+        machine.spawn()
+        result = machine.run()
+        flls = [cp.fll for cp in result.log_store.checkpoints(0)]
+        return program, DDG.build(program, machine.bugnet, flls)
+
+    def _node(self, ddg, op, rd=None):
+        for index, event in enumerate(ddg.events):
+            ins = ddg.program.fetch(event.pc)
+            if ins.op == op and (rd is None or ins.rd == rd):
+                return index
+        raise AssertionError(op)
+
+    def test_data_slice_follows_def_use(self, window):
+        program, ddg = window
+        t4 = 12
+        data = backward_slice(
+            ddg, SliceCriterion(index=len(ddg), reg=t4), control=False)
+        expected_ops = {"addi", "lw", "sw", "add"}
+        ops = {ddg.events[n].op for n in data.nodes}
+        assert expected_ops <= ops
+        blt = self._node(ddg, "blt")
+        assert blt not in data.nodes
+
+    def test_control_slice_adds_decisions(self, window):
+        program, ddg = window
+        t4 = 12
+        full = backward_slice(
+            ddg, SliceCriterion(index=len(ddg), reg=t4), control=True)
+        blt = self._node(ddg, "blt")
+        assert blt in full.nodes
+
+    def test_first_load_origin_reported(self, window):
+        program, ddg = window
+        t1 = 9
+        lw_t1 = self._node(ddg, "lw", rd=t1)
+        data = backward_slice(
+            ddg, SliceCriterion(index=lw_t1 + 1, reg=t1), control=False)
+        kinds = {origin.kind for origin in data.origins}
+        assert ORIGIN_FIRST_LOAD in kinds
+
+    def test_addr_criterion_matches_reg_criterion_value_lineage(self, window):
+        program, ddg = window
+        out = program.symbols["out"]
+        by_addr = backward_slice(
+            ddg, SliceCriterion(index=len(ddg), addr=out), control=False)
+        sw = self._node(ddg, "sw")
+        assert sw in by_addr.nodes
+
+
+class TestFaultSlice:
+    def test_fault_slice_contains_defect(self):
+        from repro.common.config import BugNetConfig
+        from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+        bug = BUGS_BY_NAME["tidy-34132-2"]
+        config = BugNetConfig(checkpoint_interval=1000)
+        run = run_bug(bug, bugnet=config, record=True)
+        assert run.crashed
+        crash = run.result.crash
+        flls = crash.replay_chain(crash.faulting_tid)
+        ddg = DDG.build(run.program, config, flls)
+        the_slice = slice_from_fault(ddg, run.program, crash.fault_pc,
+                                     crash.fault_kind)
+        root_pc = run.program.pc_of("root_cause")
+        root_line = run.program.source_line_of(root_pc)
+        assert root_line in the_slice.source_lines(ddg)
