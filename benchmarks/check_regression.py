@@ -1,0 +1,162 @@
+"""Benchmark regression gate for CI.
+
+Re-measures the headline throughput numbers at smoke scale and
+compares them against the checked-in baseline
+(``BENCH_throughput.json``).  The tolerance is deliberately generous —
+CI runners are slower and noisier than the baseline host — so the gate
+only fails on a real regression (default: >2.5x slower than baseline),
+not on scheduler jitter.
+
+Usage::
+
+    PYTHONPATH=src BUGNET_BENCH_SCALE=0.2 \
+        python benchmarks/check_regression.py [--tolerance 2.5] [--json]
+
+Exit status 0 when every measured metric clears ``baseline /
+tolerance``; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+ROUNDS = 2
+
+
+def _best(fn, *args) -> "tuple[float, object]":
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = fn(*args)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure_trace_engine() -> float:
+    from benchmarks.test_throughput import TRACE_INSTRUCTIONS, _record_gzip
+
+    elapsed, _stats = _best(_record_gzip, True)
+    return TRACE_INSTRUCTIONS / elapsed
+
+
+def measure_fleet_ingest() -> float:
+    from benchmarks.test_ingest_throughput import (
+        INGEST_REPORTS,
+        _fleet_traffic,
+        _ingest_all,
+    )
+
+    _fleet_traffic()  # synthesize outside the timed region
+    elapsed, (results, _buckets) = _best(_ingest_all)
+    assert all(result.accepted for result in results)
+    return INGEST_REPORTS / elapsed
+
+
+def measure_fleet_service() -> float:
+    from benchmarks.test_service_throughput import (
+        SERVICE_UPLOADS,
+        _run_service_load,
+        _service_traffic,
+    )
+
+    _service_traffic()
+    best = 0.0
+    for _ in range(ROUNDS):
+        report = _run_service_load()
+        assert len(report.accepted) == SERVICE_UPLOADS
+        best = max(best, report.reports_per_sec)
+    return best
+
+
+def measure_forensics() -> float:
+    """DDG build rate (instructions/s).  Unlike slices/s, this is a
+    per-instruction rate and therefore stable under
+    BUGNET_BENCH_SCALE — slice cost does not shrink with the window,
+    so comparing smoke-scale slices/s against the full-scale baseline
+    would flag a phantom regression."""
+    from benchmarks.test_forensics import _build_ddg, _forensics_setup
+
+    _forensics_setup()
+    ddg_time, ddg = _best(_build_ddg)
+    return len(ddg) / ddg_time
+
+
+#: metric key -> (baseline path in BENCH_throughput.json, measure fn)
+METRICS = {
+    "trace_engine_fast_ips": (("trace_engine_gzip", "fast_ips"),
+                              measure_trace_engine),
+    "fleet_ingest_reports_per_sec": (("fleet_ingest", "reports_per_sec"),
+                                     measure_fleet_ingest),
+    "fleet_service_reports_per_sec": (("fleet_service", "reports_per_sec"),
+                                      measure_fleet_service),
+    "forensics_ddg_build_ips": (("forensics_slice", "ddg_build_ips"),
+                                measure_forensics),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tolerance", type=float, default=2.5,
+                        help="fail only when baseline/measured exceeds "
+                             "this factor (default: 2.5)")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated metric keys to check")
+    parser.add_argument("--json", action="store_true")
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    selected = (args.only.split(",") if args.only else list(METRICS))
+    unknown = [key for key in selected if key not in METRICS]
+    if unknown:
+        print(f"error: unknown metric(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+
+    rows = []
+    failed = False
+    for key in selected:
+        (section, field), measure = METRICS[key]
+        expected = baseline[section][field]
+        floor = expected / args.tolerance
+        measured = measure()
+        ok = measured >= floor
+        failed = failed or not ok
+        rows.append({
+            "metric": key,
+            "baseline": expected,
+            "floor": round(floor, 1),
+            "measured": round(measured, 1),
+            "ratio_vs_baseline": round(measured / expected, 3),
+            "ok": ok,
+        })
+
+    if args.json:
+        print(json.dumps({"tolerance": args.tolerance, "results": rows,
+                          "ok": not failed}, indent=2))
+    else:
+        width = max(len(row["metric"]) for row in rows)
+        print(f"benchmark regression gate (tolerance {args.tolerance}x)")
+        for row in rows:
+            verdict = "ok  " if row["ok"] else "FAIL"
+            print(f"  {verdict} {row['metric']:<{width}}  "
+                  f"measured {row['measured']:>10.1f}  "
+                  f"floor {row['floor']:>10.1f}  "
+                  f"baseline {row['baseline']:>10.1f}  "
+                  f"({row['ratio_vs_baseline']:.2f}x baseline)")
+        if failed:
+            print("regression gate FAILED: at least one metric is more "
+                  f"than {args.tolerance}x below its baseline",
+                  file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -255,16 +255,15 @@ class Assembler:
     def _emit(self, statements: list[_Line]) -> Program:
         instructions: list[Instruction] = []
         data_words: dict[int, int] = {}
-        segment = "text"
         data = DATA_BASE
         for stmt in statements:
             if stmt.kind == "label":
                 continue
             if stmt.kind == "directive":
-                if stmt.op == ".text":
-                    segment = "text"
-                elif stmt.op == ".data":
-                    segment = "data"
+                if stmt.op in (".text", ".data"):
+                    # Segment markers only affect label resolution,
+                    # which the first pass already did.
+                    pass
                 elif stmt.op == ".word":
                     for operand in stmt.operands:
                         data_words[data] = self._resolve(operand, stmt.line)

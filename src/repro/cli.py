@@ -18,13 +18,17 @@ The full production workflow from the paper, as a tool::
     bugnet triage --store ./fleet --limit 10 [--autopsy]
     bugnet fleet-sim --runs 50          # synthesize realistic traffic
     bugnet autopsy --store ./fleet --json   # root-cause every bucket
+
+    # live fleet site: a long-running ingestion endpoint + load driver
+    bugnet serve --store ./fleet --port 7077
+    bugnet load-sim --port 7077 --runs 200 --concurrency 8
+    curl http://127.0.0.1:7077/stats
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
 import tempfile
 import time
@@ -38,11 +42,7 @@ from repro.fleet.triage import build_buckets, render_triage
 from repro.mp.machine import Machine
 from repro.replay.debugger import ReplayDebugger
 from repro.replay.replayer import Replayer
-from repro.tracing.serialize import (
-    dump_crash_report,
-    read_crash_report,
-    save_crash_report,
-)
+from repro.tracing.serialize import read_crash_report, save_crash_report
 
 
 def _load_program(path: str):
@@ -245,11 +245,54 @@ def _print_ingest_results(results, store, elapsed, as_json) -> None:
           f"{store.evicted_reports} evicted")
 
 
+def _expand_report_paths(specs) -> "tuple[list, list[str], list[str]]":
+    """Expand report arguments: files stay files, directories expand to
+    their ``*.bugnet`` contents.  Returns (paths, notes, errors):
+    notes describe routine empty/missing *directories* (a fleet
+    drop-off with nothing in it); errors name explicitly-given report
+    *files* that do not exist (a typo'd path must not exit 0)."""
+    from pathlib import Path
+
+    paths = []
+    notes = []
+    errors = []
+    for spec in specs:
+        path = Path(spec)
+        if path.is_dir():
+            found = sorted(path.glob("*.bugnet"))
+            if not found:
+                notes.append(f"directory {spec} contains no .bugnet reports")
+            paths.extend(found)
+        elif path.exists():
+            paths.append(path)
+        elif spec.endswith(".bugnet"):
+            errors.append(f"no such report file: {spec}")
+        else:
+            notes.append(f"no such report directory: {spec}")
+    return paths, notes, errors
+
+
 def _cmd_ingest(args) -> int:
     sources = [(path, _load_program(path)) for path in args.source]
     if not sources:
         print("error: at least one --source binary is required", file=sys.stderr)
         return 2
+    paths, notes, errors = _expand_report_paths(args.reports)
+    for note in notes:
+        print(f"note: {note}", file=sys.stderr)
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not paths:
+        # Empty fleet drop-offs are routine, not an error — and not a
+        # reason to create or touch the store.
+        if args.json:
+            print(json.dumps({"ingested": 0, "accepted": 0, "rejected": [],
+                              "signatures": []}))
+        else:
+            print("0 reports to ingest")
+        return 0
     store = ReportStore(args.store, num_shards=args.shards,
                         byte_budget=args.budget)
     pipeline = IngestPipeline(
@@ -257,7 +300,7 @@ def _cmd_ingest(args) -> int:
         workers=args.workers, probe=not args.no_probe,
     )
     start = time.perf_counter()
-    results = pipeline.ingest_paths(args.reports)
+    results = pipeline.ingest_paths(paths)
     elapsed = time.perf_counter() - start
     _print_ingest_results(results, store, elapsed, args.json)
     return 1 if pipeline.rejected else 0
@@ -280,7 +323,17 @@ def _store_resolver(binaries):
 def _cmd_triage(args) -> int:
     from pathlib import Path
 
-    if not (Path(args.store) / "store.json").exists():
+    store_path = Path(args.store)
+    if not (store_path / "store.json").exists():
+        if store_path.is_dir():
+            # An existing-but-empty store directory is the routine
+            # "nothing has been ingested yet" case, not an error.
+            if args.json:
+                print(json.dumps({"buckets": [], "store_reports": 0,
+                                  "store_bytes": 0, "evicted_reports": 0}))
+            else:
+                print(f"store {args.store} is empty: 0 reports to triage")
+            return 0
         print(f"error: no fleet store at {args.store} "
               f"(create one with `bugnet ingest` or `bugnet fleet-sim`)",
               file=sys.stderr)
@@ -311,7 +364,7 @@ def _cmd_triage(args) -> int:
         }, indent=2))
         return 0
     if not buckets:
-        print("store is empty: nothing to triage")
+        print("store is empty: 0 reports to triage")
         return 0
     print(render_triage(buckets, limit=args.limit, autopsies=autopsies))
     return 0
@@ -370,43 +423,35 @@ def _cmd_autopsy(args) -> int:
     return 0
 
 
-def _cmd_fleet_sim(args) -> int:
-    """Synthesize fleet traffic from the Table-1 bug suite and ingest it."""
-    from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+def _parse_bug_names(spec: "str | None") -> "list[str] | None":
+    """Validate a ``--bugs`` list against the suite; None on error."""
+    from repro.fleet.loadsim import DEFAULT_BUGS
+    from repro.workloads.bugs import BUGS_BY_NAME
 
-    names = (args.bugs.split(",") if args.bugs
-             else ["bc-1.06", "tar-1.13.25", "gnuplot-3.7.1-1",
-                   "tidy-34132-2", "tidy-34132-3", "python-2.1.1-2"])
+    names = spec.split(",") if spec else list(DEFAULT_BUGS)
     unknown = [name for name in names if name not in BUGS_BY_NAME]
     if unknown:
         print(f"error: unknown bug(s): {', '.join(unknown)} "
               f"(see workloads/bugs.py)", file=sys.stderr)
+        return None
+    return names
+
+
+def _cmd_fleet_sim(args) -> int:
+    """Synthesize fleet traffic from the Table-1 bug suite and ingest it."""
+    from repro.fleet.loadsim import synthesize_corpus
+
+    names = _parse_bug_names(args.bugs)
+    if names is None:
         return 2
-    rng = random.Random(args.seed)
-    intervals = (5_000, 10_000, 25_000, 100_000)
-    programs = {}
-    items = []
-    failures = 0
-    for index in range(args.runs):
-        bug = BUGS_BY_NAME[rng.choice(names)]
-        config = BugNetConfig(checkpoint_interval=rng.choice(intervals))
-        run = run_bug(bug, bugnet=config, record=True)
-        if not run.crashed:
-            failures += 1
-            continue
-        programs.setdefault(bug.name, run.program)
-        items.append((
-            f"run-{index:03d}:{bug.name}",
-            dump_crash_report(run.result.crash, config),
-            None,  # observed_at: store-monotonic, survives store reuse
-        ))
-    crashes = len(items)
-    corrupted = args.corrupt if items else 0
-    clean = list(items)  # corrupt only pristine blobs, never twice
-    for position in range(corrupted):
-        victim = bytearray(clean[position % len(clean)][1])
-        victim[len(victim) // 2] ^= 0xFF
-        items.append((f"corrupt-{position:03d}", bytes(victim), None))
+    programs, corpus, failures = synthesize_corpus(
+        args.runs, names, seed=args.seed, corrupt=args.corrupt,
+    )
+    # observed_at None: store-monotonic, survives store reuse.
+    items = [(label, blob, None) for label, blob, _upload_id in corpus]
+    crashes = sum(1 for label, _b, _u in corpus
+                  if not label.startswith("corrupt-"))
+    corrupted = len(corpus) - crashes
     store_dir = args.store or tempfile.mkdtemp(prefix="bugnet-fleet-")
     store = ReportStore(store_dir, num_shards=args.shards,
                         byte_budget=args.budget)
@@ -439,6 +484,133 @@ def _cmd_fleet_sim(args) -> int:
     print(f"\nstore: {store_dir} ({len(store)} report(s) in "
           f"{store.num_shards} shard(s))")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    """Run the live ingestion endpoint until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from repro.fleet.service import (
+        FleetService,
+        ServiceConfig,
+        default_workers,
+    )
+    from repro.fleet.validate import ResolverSpec
+
+    spec = ResolverSpec.from_paths(
+        args.source, include_bug_suite=not args.no_bug_suite,
+    )
+    workers = default_workers() if args.workers is None else args.workers
+    service = FleetService(
+        args.store, spec,
+        ServiceConfig(
+            host=args.host, port=args.port,
+            queue_limit=args.queue_limit,
+            workers=workers,
+            validate_chunk=args.validate_chunk,
+            commit_batch=args.commit_batch,
+            probe=not args.no_probe,
+        ),
+        num_shards=args.shards,
+        byte_budget=args.budget,
+        fsync=args.fsync,
+    )
+
+    async def _run() -> None:
+        host, port = await service.start()
+        print(f"bugnet serve: listening on {host}:{port} "
+              f"(store {args.store}, {workers} validation "
+              f"worker{'s' if workers != 1 else ''}, "
+              f"queue {args.queue_limit})", flush=True)
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop_event.set)
+        except NotImplementedError:
+            # Non-POSIX event loops (Windows) have no signal handlers;
+            # fall back to the KeyboardInterrupt that asyncio.run
+            # delivers on Ctrl-C.
+            pass
+        await stop_event.wait()
+        print("bugnet serve: draining and shutting down", flush=True)
+        await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        # Windows path (no loop signal handlers): Ctrl-C lands here
+        # after asyncio.run tore the loop down; nothing left to drain.
+        print("bugnet serve: interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _cmd_load_sim(args) -> int:
+    """Drive a running ``bugnet serve`` with synthesized fleet traffic."""
+    import asyncio
+
+    from repro.fleet.loadsim import (
+        ServiceClient,
+        run_load_sim,
+        synthesize_corpus,
+    )
+    from repro.fleet.wire import FrameError
+
+    names = _parse_bug_names(args.bugs)
+    if names is None:
+        return 2
+    _programs, items, failures = synthesize_corpus(
+        args.runs, names, seed=args.seed, corrupt=args.corrupt,
+        id_prefix=args.id_prefix,
+    )
+
+    async def _run():
+        report = await run_load_sim(
+            args.host, args.port, items,
+            concurrency=args.concurrency,
+            max_attempts=args.max_attempts,
+            seed=args.seed,
+        )
+        stats = None
+        client = ServiceClient(args.host, args.port)
+        try:
+            stats = await client.stats()
+        except (ConnectionError, OSError, FrameError):
+            # Best-effort epilogue: the service may have gone away (or
+            # cut the reply short) after the uploads finished; the
+            # load report itself still stands.
+            pass
+        finally:
+            await client.close()
+        return report, stats
+
+    report, stats = asyncio.run(_run())
+    payload = report.to_dict()
+    payload["non_crashing_runs"] = failures
+    if args.json:
+        payload["service_stats"] = stats
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"load-sim: {payload['uploads']} upload(s) over "
+              f"{args.concurrency} connection(s) in "
+              f"{payload['elapsed_sec']}s "
+              f"({payload['reports_per_sec']} reports/s)")
+        print(f"  accepted {payload['accepted']} "
+              f"(duplicates {payload['duplicates']}), "
+              f"rejected {payload['rejected']}, "
+              f"failed {payload['failed']}")
+        print(f"  backpressure retries {payload['backpressure_retries']}, "
+              f"reconnects {payload['reconnects']}")
+        print(f"  ack latency p50 {payload['latency_p50_ms']}ms, "
+              f"p99 {payload['latency_p99_ms']}ms")
+        if stats:
+            store = stats["store"]
+            print(f"  service: queue depth {stats['queue_depth']}, "
+                  f"store {store['reports']} report(s) across "
+                  f"{store['num_shards']} shard(s)")
+    return 1 if report.failed else 0
 
 
 def _cmd_disasm(args) -> int:
@@ -552,6 +724,65 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--workers", type=int, default=1)
     fleet.add_argument("--json", action="store_true")
     fleet.set_defaults(func=_cmd_fleet_sim)
+
+    serve = sub.add_parser(
+        "serve", help="run the live crash-report ingestion endpoint")
+    serve.add_argument("--store", required=True,
+                       help="fleet store directory (created if missing)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7077,
+                       help="TCP port (0: pick a free one)")
+    serve.add_argument("--source", action="append", default=[],
+                       help="program binary uploads may name (repeatable; "
+                            "bug-suite names always resolve unless "
+                            "--no-bug-suite)")
+    serve.add_argument("--no-bug-suite", action="store_true",
+                       help="do not resolve Table-1 bug-suite programs")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="validation processes (default: cores-1, "
+                            "capped; 0 = validate in-process, best on "
+                            "single-core hosts)")
+    serve.add_argument("--queue-limit", type=int, default=128,
+                       help="admission bound; beyond it uploads get an "
+                            "explicit retry-later")
+    serve.add_argument("--validate-chunk", type=int, default=8,
+                       help="max uploads per validation handoff")
+    serve.add_argument("--commit-batch", type=int, default=16,
+                       help="max accepted reports per store commit")
+    serve.add_argument("--shards", type=int, default=8)
+    serve.add_argument("--budget", type=int, default=None,
+                       help="store byte budget (oldest reports evicted)")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync commits (survive OS crash, not just "
+                            "process death)")
+    serve.add_argument("--no-probe", action="store_true",
+                       help="skip re-executing the faulting instruction")
+    serve.set_defaults(func=_cmd_serve)
+
+    loadsim = sub.add_parser(
+        "load-sim",
+        help="drive a running `bugnet serve` with synthetic fleet traffic",
+    )
+    loadsim.add_argument("--host", default="127.0.0.1")
+    loadsim.add_argument("--port", type=int, default=7077)
+    loadsim.add_argument("--runs", type=int, default=50,
+                         help="crashing runs to synthesize and upload")
+    loadsim.add_argument("--bugs", default=None,
+                         help="comma-separated bug names (default: a fast "
+                              "subset)")
+    loadsim.add_argument("--seed", type=int, default=0)
+    loadsim.add_argument("--corrupt", type=int, default=2,
+                         help="corrupted blobs to inject (must be rejected)")
+    loadsim.add_argument("--concurrency", type=int, default=8,
+                         help="concurrent uploader connections")
+    loadsim.add_argument("--max-attempts", type=int, default=60,
+                         help="attempts per upload before giving up "
+                              "(covers backpressure and reconnects)")
+    loadsim.add_argument("--id-prefix", default="sim",
+                         help="upload-id prefix (stable ids make retries "
+                              "idempotent across service restarts)")
+    loadsim.add_argument("--json", action="store_true")
+    loadsim.set_defaults(func=_cmd_load_sim)
 
     replay = sub.add_parser("replay", help="replay a crash report")
     replay.add_argument("source")

@@ -17,9 +17,20 @@ handling them.  This package is that missing half:
   accepting it (iReplayer's in-situ-validation argument: never act on a
   recording that does not replay);
 * :mod:`repro.fleet.triage` — signature bucketing, occurrence/recency
-  ranking, and a representative-report picker.
+  ranking, and a representative-report picker;
+* :mod:`repro.fleet.validate` — the pure decode→replay→fault-probe
+  validation function shared by the batch pipeline and the service,
+  plus its process-pool plumbing;
+* :mod:`repro.fleet.service` — the live asyncio ingestion endpoint
+  (``bugnet serve``): bounded admission with explicit backpressure,
+  chunked parallel validation, deterministic batched commits,
+  idempotent retries, a ``/stats`` endpoint;
+* :mod:`repro.fleet.wire` — the length-prefixed upload protocol;
+* :mod:`repro.fleet.loadsim` — fleet-traffic synthesis and the
+  concurrent load-generator client (``bugnet load-sim``).
 
-CLI: ``bugnet ingest``, ``bugnet triage``, ``bugnet fleet-sim``.
+CLI: ``bugnet ingest``, ``bugnet triage``, ``bugnet fleet-sim``,
+``bugnet serve``, ``bugnet load-sim``.
 """
 
 from repro.fleet.ingest import IngestPipeline, IngestResult

@@ -1,4 +1,4 @@
-"""Validated, batched crash-report ingestion.
+"""Validated, batched crash-report ingestion (the CLI batch path).
 
 Every report admitted to the fleet store must *replay*: the pipeline
 deserializes the blob, resolves the program binary it names, replays the
@@ -9,75 +9,38 @@ truncated, or divergent reports are rejected with a reason instead of
 poisoning triage — iReplayer's in-situ-validation discipline applied at
 the developer site.
 
-Validation (decode + replay) is the expensive, side-effect-free part.
-A batch can fan it out across a thread pool — but be honest about what
-that buys in pure Python: zlib decompression and file reads overlap
-(they release the GIL), while the interpreter-loop replay serializes on
-it, so ``workers > 1`` yields only modest gains on replay-heavy
-traffic.  The pool's real job is structural: validation is kept
-side-effect-free and batched so that process-level sharding (one ingest
-process per shard range) is a drop-in scaling step.  Commits to the
-(single writer) store happen on the calling thread, in submission
-order, which keeps sequence numbers — and therefore eviction and triage
-recency — deterministic regardless of worker timing.
+Validation itself lives in :mod:`repro.fleet.validate` as a pure
+function: this pipeline and the live ingestion service
+(:mod:`repro.fleet.service`) call the exact same code, so a report
+accepted by ``bugnet ingest`` is accepted by ``bugnet serve`` and vice
+versa (pinned by tests).  The batch pipeline can still fan validation
+out across a *thread* pool — decompression and file reads overlap
+while the GIL serializes replay — but its real scaling story is the
+service's process pool; this class stays the simple, deterministic,
+single-process path.  Commits happen on the calling thread, in
+submission order, which keeps sequence numbers — and therefore
+eviction and triage recency — deterministic regardless of worker
+timing.
 """
 
 from __future__ import annotations
 
-import struct
-import zlib
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Callable
 
 from repro.arch.program import Program
-from repro.common.errors import ReproError
-from repro.fleet.signature import (
-    DEFAULT_TAIL_DEPTH,
-    CrashSignature,
-    replay_tail,
-    signature_from_tail,
+from repro.fleet.signature import DEFAULT_TAIL_DEPTH
+from repro.fleet.store import ReportStore
+from repro.fleet.validate import (
+    DECODE_ERRORS,
+    IngestResult,
+    ProgramResolver,
+    ValidatedReport,
+    validate_report,
 )
-from repro.fleet.store import ReportStore, StoredEntry
-from repro.replay.replayer import Replayer
-from repro.tracing.serialize import load_crash_report
 
-#: Everything a hostile/corrupt blob can legitimately raise while being
-#: decoded: our own error hierarchy, zlib/struct framing errors, and
-#: field-validation errors from reconstructing the recorder config.
-_DECODE_ERRORS = (ReproError, zlib.error, struct.error, ValueError, KeyError)
-
-ProgramResolver = Callable[[str], "Program | None"]
-
-
-@dataclass
-class IngestResult:
-    """Outcome of ingesting one report."""
-
-    label: str
-    accepted: bool
-    reason: str                        # "ok" or the rejection reason
-    signature: CrashSignature | None = None
-    entry: StoredEntry | None = None
-    instructions_replayed: int = 0
-
-    @property
-    def digest(self) -> str | None:
-        """Signature digest, when validation got that far."""
-        return self.signature.digest if self.signature else None
-
-
-@dataclass
-class _Validated:
-    """A report that survived validation, ready to commit."""
-
-    label: str
-    blob: bytes
-    observed_at: int | None
-    signature: CrashSignature
-    fault_kind: str
-    program_name: str
-    instructions: int    # validated replay window = instructions replayed
+#: Backward-compatible aliases (this module's original names).
+_DECODE_ERRORS = DECODE_ERRORS
+_Validated = ValidatedReport
 
 
 class IngestPipeline:
@@ -90,101 +53,63 @@ class IngestPipeline:
         tail_depth: int = DEFAULT_TAIL_DEPTH,
         workers: int = 1,
         probe: bool = True,
+        commit_batch: int = 16,
     ) -> None:
         self.store = store
         self.resolver = resolver
         self.tail_depth = tail_depth
         self.workers = max(workers, 1)
         self.probe = probe
+        # Commits are chunked: add_many protects a whole batch from
+        # eviction, so an uncapped batch would let one huge ingest run
+        # blow straight through the store's byte budget.
+        self.commit_batch = max(commit_batch, 1)
         self.accepted = 0
         self.rejected = 0
 
     # -- validation (pure, runs on workers) --------------------------------
 
     def _validate(self, label: str, blob: bytes, observed_at: int):
-        """Returns _Validated or a rejecting IngestResult."""
-        try:
-            report, config = load_crash_report(blob)
-        except _DECODE_ERRORS as error:
-            return IngestResult(label, False, f"decode: {error}")
-        program = self.resolver(report.program_name)
-        if program is None:
-            return IngestResult(
-                label, False, f"unknown program {report.program_name!r}"
-            )
-        try:
-            tail = replay_tail(report, config, program, self.tail_depth)
-        except _DECODE_ERRORS as error:
-            return IngestResult(label, False, f"replay: {error}")
-        last_fll = tail.last_fll
-        if last_fll.fault_pc is None:
-            # The faulting thread's final resident checkpoint never
-            # recorded a fault point: the fault interval was stripped or
-            # the report was tampered with.  Accepting it would skip
-            # every fault check below.
-            return IngestResult(
-                label, False,
-                "final checkpoint records no fault point "
-                "(fault interval missing from the chain)",
-            )
-        if last_fll.fault_pc != report.fault_pc:
-            return IngestResult(
-                label, False,
-                f"fault pc mismatch: log says {last_fll.fault_pc:#010x}, "
-                f"report says {report.fault_pc:#010x}",
-            )
-        if tail.end_pc != report.fault_pc:
-            return IngestResult(
-                label, False,
-                f"replay ends at {tail.end_pc:#010x}, "
-                f"not the faulting pc {report.fault_pc:#010x}",
-            )
-        if self.probe and not self._probe_fault(report, config, program, tail):
-            return IngestResult(
-                label, False,
-                f"fault does not reproduce at {report.fault_pc:#010x}",
-            )
-        return _Validated(
-            label=label,
-            blob=blob,
-            observed_at=observed_at,
-            signature=signature_from_tail(report, tail),
-            fault_kind=report.fault_kind,
-            program_name=report.program_name,
-            # The *validated* window: instructions the chain actually
-            # replayed (an ungrounded prefix would overstate it).
-            instructions=tail.instructions,
+        """Returns ValidatedReport or a rejecting IngestResult."""
+        return validate_report(
+            label, blob, observed_at, self.resolver,
+            tail_depth=self.tail_depth, probe=self.probe,
         )
-
-    def _probe_fault(self, report, config, program, tail) -> bool:
-        """Re-execute the faulting instruction against the replayed state
-        the validation replay already produced."""
-        replayer = Replayer(program, config)
-        fault = replayer.probe_fault(
-            tail.last_fll, tail.memory, tail.end_pc, tail.end_regs,
-            mapped_pages=report.mapped_pages,
-        )
-        return fault is not None and fault.kind == report.fault_kind
 
     # -- commit (store writer, calling thread only) -------------------------
 
-    def _commit(self, validated: _Validated) -> IngestResult:
-        entry = self.store.add(
-            validated.signature.digest,
-            validated.blob,
-            replay_window=validated.instructions,
-            fault_kind=validated.fault_kind,
-            program_name=validated.program_name,
-            observed_at=validated.observed_at,
-        )
-        return IngestResult(
-            label=validated.label,
-            accepted=True,
-            reason="ok",
-            signature=validated.signature,
-            entry=entry,
-            instructions_replayed=validated.instructions,
-        )
+    def _commit_batch(
+        self, validated: "list[ValidatedReport]"
+    ) -> "list[IngestResult]":
+        """Commit validated reports in submission order, chunked into
+        locked store passes of ``commit_batch`` (consecutive sequence
+        numbers; one metadata/eviction sweep per chunk, so the byte
+        budget is enforced *during* a large run, not only after it)."""
+        entries = []
+        for start in range(0, len(validated), self.commit_batch):
+            chunk = validated[start: start + self.commit_batch]
+            entries.extend(self.store.add_many([
+                {
+                    "digest": item.signature.digest,
+                    "blob": item.blob,
+                    "replay_window": item.instructions,
+                    "fault_kind": item.fault_kind,
+                    "program_name": item.program_name,
+                    "observed_at": item.observed_at,
+                }
+                for item in chunk
+            ]))
+        return [
+            IngestResult(
+                label=item.label,
+                accepted=True,
+                reason="ok",
+                signature=item.signature,
+                entry=entry,
+                instructions_replayed=item.instructions,
+            )
+            for item, entry in zip(validated, entries)
+        ]
 
     # -- public API ---------------------------------------------------------
 
@@ -210,10 +135,13 @@ class IngestPipeline:
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
                 outcomes = list(pool.map(lambda it: self._validate(*it), items))
+        committed = iter(self._commit_batch(
+            [o for o in outcomes if isinstance(o, ValidatedReport)]
+        ))
         results = []
         for outcome in outcomes:
-            if isinstance(outcome, _Validated):
-                outcome = self._commit(outcome)
+            if isinstance(outcome, ValidatedReport):
+                outcome = next(committed)
             if outcome.accepted:
                 self.accepted += 1
             else:

@@ -1,0 +1,304 @@
+"""Load generation against a live ingestion service: ``bugnet load-sim``.
+
+Two halves:
+
+* :func:`synthesize_corpus` — the fleet-traffic synthesizer shared with
+  ``bugnet fleet-sim``: N crashing runs drawn from the Table-1 bug
+  suite at varied checkpoint intervals (realistic in that duplicates of
+  one bug arrive with different replay windows), plus injected corrupt
+  blobs that the service must reject.
+* :class:`ServiceClient` / :func:`run_load_sim` — N concurrent
+  uploaders speaking the :mod:`repro.fleet.wire` protocol, retrying on
+  explicit backpressure (``status: retry``) with exponential backoff
+  and on connection loss by reconnecting.  Every upload carries a
+  stable ``upload_id``, so retrying across a service restart cannot
+  duplicate a report; the report tallies
+  accepted/rejected/retried and p50/p99 ack latency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.common.config import BugNetConfig
+from repro.fleet.wire import MAX_FRAME, FrameError, read_frame, write_frame
+from repro.tracing.serialize import dump_crash_report
+
+DEFAULT_INTERVALS = (5_000, 10_000, 25_000, 100_000)
+DEFAULT_BUGS = (
+    "bc-1.06", "tar-1.13.25", "gnuplot-3.7.1-1",
+    "tidy-34132-2", "tidy-34132-3", "python-2.1.1-2",
+)
+
+
+def synthesize_corpus(
+    runs: int,
+    bug_names: "tuple[str, ...] | list[str]" = DEFAULT_BUGS,
+    seed: int = 0,
+    corrupt: int = 0,
+    intervals: "tuple[int, ...]" = DEFAULT_INTERVALS,
+    id_prefix: str = "sim",
+):
+    """Synthesize fleet crash traffic from the Table-1 bug suite.
+
+    Returns ``(programs, items, failures)`` where *programs* maps bug
+    name → assembled program (for batch-pipeline resolvers), *items* is
+    a list of ``(label, blob, upload_id)`` uploads (corrupt blobs
+    carry labels starting with ``corrupt-``), and *failures* counts
+    non-crashing runs (excluded).
+    """
+    from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+    rng = random.Random(seed)
+    programs = {}
+    items = []
+    failures = 0
+    for index in range(runs):
+        bug = BUGS_BY_NAME[rng.choice(list(bug_names))]
+        config = BugNetConfig(checkpoint_interval=rng.choice(list(intervals)))
+        run = run_bug(bug, bugnet=config, record=True)
+        if not run.crashed:
+            failures += 1
+            continue
+        programs.setdefault(bug.name, run.program)
+        items.append((
+            f"run-{index:03d}:{bug.name}",
+            dump_crash_report(run.result.crash, config),
+            f"{id_prefix}-{seed}-{index:03d}",
+        ))
+    clean = list(items)
+    for position in range(corrupt if items else 0):
+        victim = bytearray(clean[position % len(clean)][1])
+        victim[len(victim) // 2] ^= 0xFF
+        items.append((
+            f"corrupt-{position:03d}",
+            bytes(victim),
+            f"{id_prefix}-{seed}-corrupt-{position:03d}",
+        ))
+    return programs, items, failures
+
+
+class ServiceClient:
+    """One connection to a ``bugnet serve`` endpoint."""
+
+    def __init__(self, host: str, port: int,
+                 max_frame: int = MAX_FRAME) -> None:
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self._reader: "asyncio.StreamReader | None" = None
+        self._writer: "asyncio.StreamWriter | None" = None
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._reader = self._writer = None
+
+    async def request(self, header: dict, body: bytes = b"") -> dict:
+        if self._writer is None:
+            await self.connect()
+        await write_frame(self._writer, header, body)
+        frame = await read_frame(self._reader, self.max_frame)
+        if frame is None:
+            raise ConnectionError("service closed the connection")
+        response, _body = frame
+        return response
+
+    async def upload(self, label: str, blob: bytes, upload_id: str = "",
+                     observed_at: "int | None" = None) -> dict:
+        header = {"op": "upload", "label": label, "upload_id": upload_id}
+        if observed_at is not None:
+            header["observed_at"] = observed_at
+        return await self.request(header, blob)
+
+    async def stats(self) -> dict:
+        response = await self.request({"op": "stats"})
+        if response.get("status") != "ok":
+            raise FrameError(f"stats failed: {response}")
+        return response["stats"]
+
+    async def ping(self) -> bool:
+        try:
+            return (await self.request({"op": "ping"})).get("status") == "ok"
+        except (ConnectionError, OSError, FrameError):
+            return False
+
+
+@dataclass
+class UploadOutcome:
+    """Terminal state of one corpus item."""
+
+    label: str
+    status: str                 # accepted | rejected | failed
+    attempts: int
+    retries: int                # backpressure retries
+    reconnects: int
+    latency: float              # first attempt -> terminal response
+    duplicate: bool = False
+    reason: str = ""
+    signature: "str | None" = None
+
+
+@dataclass
+class LoadSimReport:
+    """Aggregate result of one load-sim run."""
+
+    outcomes: "list[UploadOutcome]" = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def accepted(self) -> "list[UploadOutcome]":
+        return [o for o in self.outcomes if o.status == "accepted"]
+
+    @property
+    def rejected(self) -> "list[UploadOutcome]":
+        return [o for o in self.outcomes if o.status == "rejected"]
+
+    @property
+    def failed(self) -> "list[UploadOutcome]":
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    @property
+    def total_retries(self) -> int:
+        return sum(o.retries for o in self.outcomes)
+
+    @property
+    def reports_per_sec(self) -> float:
+        if not self.elapsed:
+            return 0.0
+        return len(self.outcomes) / self.elapsed
+
+    def latency_percentile(self, fraction: float) -> float:
+        """Ack-latency percentile over terminal outcomes (seconds)."""
+        latencies = sorted(o.latency for o in self.outcomes)
+        if not latencies:
+            return 0.0
+        rank = min(int(fraction * len(latencies)), len(latencies) - 1)
+        return latencies[rank]
+
+    def to_dict(self) -> dict:
+        return {
+            "uploads": len(self.outcomes),
+            "accepted": len(self.accepted),
+            "rejected": len(self.rejected),
+            "failed": len(self.failed),
+            "duplicates": sum(1 for o in self.outcomes if o.duplicate),
+            "backpressure_retries": self.total_retries,
+            "reconnects": sum(o.reconnects for o in self.outcomes),
+            "elapsed_sec": round(self.elapsed, 3),
+            "reports_per_sec": round(self.reports_per_sec, 1),
+            "latency_p50_ms": round(self.latency_percentile(0.50) * 1e3, 2),
+            "latency_p99_ms": round(self.latency_percentile(0.99) * 1e3, 2),
+        }
+
+
+async def _uploader(
+    worker_id: int,
+    host: str,
+    port: int,
+    pending: "list[tuple[str, bytes, str]]",
+    report: LoadSimReport,
+    max_attempts: int,
+    backoff_base: float,
+    rng: random.Random,
+) -> None:
+    client = ServiceClient(host, port)
+    try:
+        while pending:
+            try:
+                label, blob, upload_id = pending.pop()
+            except IndexError:
+                break
+            start = time.perf_counter()
+            attempts = retries = reconnects = 0
+            outcome = None
+            while attempts < max_attempts:
+                attempts += 1
+                try:
+                    response = await client.upload(label, blob, upload_id)
+                except (ConnectionError, OSError, FrameError):
+                    # Service gone mid-upload (e.g. restart): reconnect
+                    # and retry with the same upload_id — idempotent.
+                    reconnects += 1
+                    await client.close()
+                    await asyncio.sleep(
+                        backoff_base * (2 ** min(reconnects, 6))
+                        * (0.5 + rng.random())
+                    )
+                    continue
+                status = response.get("status")
+                if status == "retry":
+                    retries += 1
+                    await asyncio.sleep(
+                        backoff_base * (2 ** min(retries, 6))
+                        * (0.5 + rng.random())
+                    )
+                    continue
+                if status in ("accepted", "rejected"):
+                    outcome = UploadOutcome(
+                        label=label,
+                        status=status,
+                        attempts=attempts,
+                        retries=retries,
+                        reconnects=reconnects,
+                        latency=time.perf_counter() - start,
+                        duplicate=bool(response.get("duplicate")),
+                        reason=response.get("reason", ""),
+                        signature=response.get("signature"),
+                    )
+                    break
+                # protocol error response: count as failed
+                outcome = UploadOutcome(
+                    label=label, status="failed", attempts=attempts,
+                    retries=retries, reconnects=reconnects,
+                    latency=time.perf_counter() - start,
+                    reason=str(response),
+                )
+                break
+            if outcome is None:
+                outcome = UploadOutcome(
+                    label=label, status="failed", attempts=attempts,
+                    retries=retries, reconnects=reconnects,
+                    latency=time.perf_counter() - start,
+                    reason="max attempts exhausted",
+                )
+            report.outcomes.append(outcome)
+    finally:
+        await client.close()
+
+
+async def run_load_sim(
+    host: str,
+    port: int,
+    items: "list[tuple[str, bytes, str]]",
+    concurrency: int = 8,
+    max_attempts: int = 60,
+    backoff_base: float = 0.02,
+    seed: int = 0,
+) -> LoadSimReport:
+    """Upload *items* with *concurrency* concurrent connections."""
+    report = LoadSimReport()
+    # Reversed so .pop() serves items in submission order.
+    pending = list(reversed(items))
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    workers = [
+        _uploader(worker_id, host, port, pending, report,
+                  max_attempts, backoff_base, random.Random(rng.random()))
+        for worker_id in range(max(concurrency, 1))
+    ]
+    await asyncio.gather(*workers)
+    report.elapsed = time.perf_counter() - start
+    return report

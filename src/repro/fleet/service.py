@@ -1,0 +1,555 @@
+"""Live fleet ingestion service: ``bugnet serve``.
+
+BugNet's premise is a deployed fleet continuously shipping crash
+reports; this is the developer-site endpoint that receives them.  An
+asyncio TCP server speaks the length-prefixed protocol of
+:mod:`repro.fleet.wire`, validates every upload with the same pure
+decode→replay→fault-probe pipeline as the batch CLI
+(:func:`repro.fleet.validate.validate_report`), and commits accepted
+reports into the multi-writer-safe sharded store in deterministic
+batches.
+
+Architecture (DESIGN.md §8)::
+
+    connections ──> bounded admission queue ──> validation pool ──┐
+         ▲                (backpressure:        (processes; the   │
+         │                 explicit "retry"     replay is pure    │
+         ack after         when full, never     CPU work)         │
+         durable commit    a silent drop)                         │
+         └──────────── commit sequencer <─────────────────────────┘
+                       (admission order, batched add_many)
+
+* **Backpressure, never silent drops.**  Admission is a bounded queue;
+  when it is full the client gets an explicit ``{"status": "retry"}``
+  response and backs off.  Every accepted upload is acknowledged only
+  *after* its batch commit returns, so an ack can never be lost to a
+  crash that the store would not also survive.
+* **Parallel validation.**  Validation is pure (no store access), so it
+  fans out over a ``ProcessPoolExecutor`` — real parallelism for the
+  interpreter-bound replay, the iReplayer lesson applied off the
+  recording site.  ``workers=0`` validates on an in-process thread
+  instead (the right choice on single-core hosts, where IPC overhead
+  buys nothing).
+* **Deterministic batched commits.**  Outcomes are re-sequenced into
+  admission order and committed in batches of consecutive accepts
+  (``ReportStore.add_many``): sequence numbers, eviction order and
+  triage recency are a function of arrival order alone, not of pool
+  scheduling.
+* **Idempotent retries.**  Clients attach an ``upload_id``; the store
+  persists it per record (index v2), so a client that lost an ack to a
+  service restart can re-upload and receive ``duplicate: true``
+  instead of double-committing — zero loss *and* zero duplication
+  across restarts (``tests/test_service_restart.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.fleet.signature import DEFAULT_TAIL_DEPTH
+from repro.fleet.store import ReportStore
+from repro.fleet.validate import (
+    IngestResult,
+    ResolverSpec,
+    ValidatedReport,
+    pool_initializer,
+    pool_validate_many,
+    validate_many,
+)
+from repro.fleet.wire import (
+    MAX_FRAME,
+    FrameError,
+    read_frame,
+    write_frame,
+)
+
+_HTTP_PREFIX = b"GET "
+
+
+def default_workers() -> int:
+    """Validation processes worth starting on this host: none (inline
+    validation) without spare cores, else leave a core for the event
+    loop and commit path."""
+    cores = os.cpu_count() or 1
+    if cores <= 2:
+        return 0
+    return min(cores - 1, 8)
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for :class:`FleetService`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0: pick a free port
+    queue_limit: int = 128             # admission queue bound
+    workers: int = field(default_factory=default_workers)
+    validate_chunk: int = 8            # max uploads per executor handoff
+    commit_batch: int = 16             # max accepts per add_many
+    tail_depth: int = DEFAULT_TAIL_DEPTH
+    probe: bool = True
+    max_frame: int = MAX_FRAME
+
+
+@dataclass
+class ServiceCounters:
+    """Monotonic service-lifetime counters (part of /stats)."""
+
+    received: int = 0
+    accepted: int = 0
+    rejected: int = 0
+    retried: int = 0                   # backpressure responses sent
+    duplicates: int = 0                # idempotent re-acks
+    commit_batches: int = 0
+    protocol_errors: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "received": self.received,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "retried": self.retried,
+            "duplicates": self.duplicates,
+            "commit_batches": self.commit_batches,
+            "protocol_errors": self.protocol_errors,
+        }
+
+
+class _Admitted:
+    """One upload in flight between admission and response."""
+
+    __slots__ = ("ticket", "label", "blob", "observed_at", "upload_id",
+                 "future")
+
+    def __init__(self, ticket, label, blob, observed_at, upload_id, future):
+        self.ticket = ticket
+        self.label = label
+        self.blob = blob
+        self.observed_at = observed_at
+        self.upload_id = upload_id
+        self.future = future
+
+
+class FleetService:
+    """Concurrent crash-report ingestion endpoint over a ReportStore."""
+
+    def __init__(
+        self,
+        store_root,
+        resolver_spec: ResolverSpec,
+        config: "ServiceConfig | None" = None,
+        num_shards: int = 8,
+        byte_budget: "int | None" = None,
+        fsync: bool = False,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.store_root = store_root
+        self.resolver_spec = resolver_spec
+        self._store_options = {
+            "num_shards": num_shards,
+            "byte_budget": byte_budget,
+            "fsync": fsync,
+        }
+        self.store: "ReportStore | None" = None
+        self.counters = ServiceCounters()
+        self._server: "asyncio.AbstractServer | None" = None
+        self._pool = None
+        self._inline_resolver = None
+        self._next_ticket = 0
+        self._next_commit = 0
+        self._sequenced: "dict[int, tuple]" = {}
+        self._commit_lock: "asyncio.Lock | None" = None
+        self._slots: "asyncio.Semaphore | None" = None
+        self._admission: "asyncio.Queue | None" = None
+        self._dispatcher_task: "asyncio.Task | None" = None
+        self._inflight_uploads: "dict[str, asyncio.Future]" = {}
+        self._connections: "set[asyncio.Task]" = set()
+        self._workers: "set[asyncio.Task]" = set()
+        self._in_pipeline = 0          # admitted, not yet settled
+        self._active_validations = 0   # submitted to the pool
+        self._started_at = 0.0
+        self._stopping = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "tuple[str, int]":
+        """Open the store, start the validation pool and the listener;
+        returns the bound (host, port)."""
+        self.store = ReportStore(self.store_root, **self._store_options)
+        workers = self.config.workers
+        if workers > 0:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=pool_initializer,
+                initargs=(self.resolver_spec,),
+            )
+        else:
+            # Inline mode: one validation thread in this process — no
+            # IPC, the right trade on single-core hosts.
+            self._pool = ThreadPoolExecutor(max_workers=1)
+            self._inline_resolver = self.resolver_spec.build()
+        # Unbounded asyncio.Queue: admission is bounded by the
+        # _in_pipeline counter (so backpressure replies stay cheap and
+        # explicit), the queue is just the chunking buffer.
+        self._admission = asyncio.Queue()
+        # Chunks in flight per validator: one running + one queued
+        # keeps every validator busy across handoff latency without
+        # flooding the executor queue (which starves the event loop —
+        # and with it acks and commits — on few-core hosts).
+        self._slots = asyncio.Semaphore(max(workers, 1) * 2)
+        self._commit_lock = asyncio.Lock()
+        self._started_at = time.monotonic()
+        self._dispatcher_task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port,
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.config.port = port
+        return host, port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self, drain: bool = True) -> None:
+        """Stop accepting connections; optionally drain in-flight
+        uploads (validated, committed, and acked) before shutdown."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain:
+            while self._in_pipeline:
+                await asyncio.sleep(0.01)
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        if self._dispatcher_task is not None:
+            self._dispatcher_task.cancel()
+            try:
+                await self._dispatcher_task
+            except asyncio.CancelledError:
+                pass
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- connection handling ------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            probe = await reader.readexactly(4)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        try:
+            if probe == _HTTP_PREFIX:
+                await self._handle_http(reader, writer)
+            else:
+                await self._handle_frames(probe, reader, writer)
+        except asyncio.CancelledError:
+            # Shutdown path: stop() cancelled this handler.  Swallow so
+            # the task ends clean instead of tripping the stream
+            # helper's exception logger.
+            return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except FrameError:
+            self.counters.protocol_errors += 1
+            try:
+                await write_frame(writer, {
+                    "status": "error", "reason": "malformed frame",
+                })
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _handle_frames(self, first4: bytes,
+                             reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        prefix: "bytes | None" = first4
+        while True:
+            frame = await read_frame(reader, self.config.max_frame,
+                                     prefix=prefix)
+            if frame is None:
+                return
+            prefix = None
+            header, body = frame
+            response = await self._handle_message(header, body)
+            await write_frame(writer, response)
+
+    async def _handle_message(self, header: dict, body: bytes) -> dict:
+        op = header.get("op")
+        if op == "upload":
+            return await self._handle_upload(header, body)
+        if op == "stats":
+            return {"status": "ok", "stats": self.stats()}
+        if op == "ping":
+            return {"status": "ok"}
+        self.counters.protocol_errors += 1
+        return {"status": "error", "reason": f"unknown op {op!r}"}
+
+    async def _handle_upload(self, header: dict, body: bytes) -> dict:
+        self.counters.received += 1
+        label = str(header.get("label", ""))
+        upload_id = str(header.get("upload_id", ""))
+        observed_at = header.get("observed_at")
+        if observed_at is not None and not isinstance(observed_at, int):
+            return {"status": "error", "reason": "observed_at must be int"}
+        if not body:
+            self.counters.rejected += 1
+            return {"status": "rejected", "reason": "empty report body"}
+        if upload_id:
+            committed = self.store.entry_for_upload(upload_id)
+            if committed is not None:
+                # Retry of an already-committed upload (the ack was
+                # lost, e.g. to a restart): re-acknowledge, don't
+                # double-commit.
+                self.counters.duplicates += 1
+                return {
+                    "status": "accepted",
+                    "duplicate": True,
+                    "signature": committed.digest,
+                    "seq": committed.seq,
+                }
+            inflight = self._inflight_uploads.get(upload_id)
+            if inflight is not None:
+                # Same upload racing itself (client retried while the
+                # original is still in the pipeline): share the outcome.
+                self.counters.duplicates += 1
+                return await asyncio.shield(inflight)
+        if self._stopping or self._in_pipeline >= self.config.queue_limit:
+            # Bounded admission: an explicit retry-later, never a
+            # silent drop.  The client backs off and resubmits under
+            # the same upload_id.
+            self.counters.retried += 1
+            return {
+                "status": "retry",
+                "reason": ("shutting down" if self._stopping
+                           else "admission queue full"),
+                "queue_depth": self._in_pipeline,
+            }
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        admitted = _Admitted(
+            ticket=self._next_ticket,
+            label=label,
+            blob=body,
+            observed_at=observed_at,
+            upload_id=upload_id,
+            future=future,
+        )
+        self._next_ticket += 1
+        self._in_pipeline += 1
+        if upload_id:
+            self._inflight_uploads[upload_id] = future
+        self._admission.put_nowait(admitted)
+        if upload_id:
+            # Other connections may be awaiting this same future.
+            return await asyncio.shield(future)
+        return await future
+
+    # -- validation dispatch ------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """Pull admitted uploads and validate them in adaptive chunks:
+        whatever has queued up since the last handoff, capped at
+        ``validate_chunk`` — one executor/IPC round-trip per chunk
+        instead of per upload."""
+        loop = asyncio.get_running_loop()
+        queue = self._admission
+        while True:
+            chunk = [await queue.get()]
+            while (len(chunk) < self.config.validate_chunk
+                   and not queue.empty()):
+                chunk.append(queue.get_nowait())
+            await self._slots.acquire()
+            task = loop.create_task(self._run_validation_chunk(chunk))
+            self._workers.add(task)
+            task.add_done_callback(self._workers.discard)
+
+    async def _run_validation_chunk(
+        self, chunk: "list[_Admitted]"
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        config = self.config
+        items = [(a.label, a.blob, a.observed_at) for a in chunk]
+        self._active_validations += len(chunk)
+        try:
+            if self._inline_resolver is not None:
+                outcomes = await loop.run_in_executor(
+                    self._pool, validate_many, items,
+                    self._inline_resolver, config.tail_depth, config.probe,
+                )
+            else:
+                outcomes = await loop.run_in_executor(
+                    self._pool, pool_validate_many, items,
+                    config.tail_depth, config.probe,
+                )
+        except Exception as error:  # pool/pickling failure
+            outcomes = [
+                IngestResult(a.label, False, f"validation error: {error}")
+                for a in chunk
+            ]
+        finally:
+            self._active_validations -= len(chunk)
+            self._slots.release()
+        for admitted, outcome in zip(chunk, outcomes):
+            self._sequenced[admitted.ticket] = (admitted, outcome)
+        await self._drain_sequenced()
+
+    # -- deterministic batched commits ---------------------------------------
+
+    async def _drain_sequenced(self) -> None:
+        """Commit/respond in strict admission order; batches consecutive
+        accepts into one ``add_many``."""
+        async with self._commit_lock:
+            while self._next_commit in self._sequenced:
+                batch: "list[tuple[_Admitted, ValidatedReport]]" = []
+                while self._next_commit in self._sequenced:
+                    admitted, outcome = self._sequenced[self._next_commit]
+                    if isinstance(outcome, ValidatedReport):
+                        if len(batch) >= self.config.commit_batch:
+                            break
+                        del self._sequenced[self._next_commit]
+                        self._next_commit += 1
+                        batch.append((admitted, outcome))
+                    else:
+                        if batch:
+                            break  # flush accepts before the rejection
+                        del self._sequenced[self._next_commit]
+                        self._next_commit += 1
+                        self._respond_rejected(admitted, outcome)
+                if batch:
+                    await self._commit_batch(batch)
+
+    def _respond_rejected(self, admitted: _Admitted,
+                          outcome: IngestResult) -> None:
+        self.counters.rejected += 1
+        self._settle(admitted, {
+            "status": "rejected", "reason": outcome.reason,
+        })
+
+    async def _commit_batch(
+        self, batch: "list[tuple[_Admitted, ValidatedReport]]"
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        items = [
+            {
+                "digest": validated.signature.digest,
+                "blob": validated.blob,
+                "replay_window": validated.instructions,
+                "fault_kind": validated.fault_kind,
+                "program_name": validated.program_name,
+                "observed_at": validated.observed_at,
+                "upload_id": admitted.upload_id,
+            }
+            for admitted, validated in batch
+        ]
+        try:
+            # Always off the event loop: add_many takes flocks that a
+            # concurrent writer process (batch ingest, second serve)
+            # can hold through a long eviction rewrite — blocking here
+            # would freeze acks, backpressure replies and /stats for
+            # every connection, not just this batch.
+            entries = await loop.run_in_executor(
+                None, self.store.add_many, items
+            )
+        except Exception as error:  # disk full, store corruption, ...
+            for admitted, _validated in batch:
+                self.counters.rejected += 1
+                self._settle(admitted, {
+                    "status": "rejected",
+                    "reason": f"commit failed: {error}",
+                })
+            return
+        self.counters.commit_batches += 1
+        for (admitted, validated), entry in zip(batch, entries):
+            self.counters.accepted += 1
+            self._settle(admitted, {
+                "status": "accepted",
+                "duplicate": False,
+                "signature": validated.signature.digest,
+                "seq": entry.seq,
+                "replayed": validated.instructions,
+            })
+
+    def _settle(self, admitted: _Admitted, response: dict) -> None:
+        self._in_pipeline -= 1
+        if admitted.upload_id:
+            self._inflight_uploads.pop(admitted.upload_id, None)
+        if not admitted.future.done():
+            admitted.future.set_result(response)
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """The /stats shape: queue depth, in-flight work, counters, and
+        per-shard occupancy."""
+        store = self.store
+        return {
+            "uptime_sec": round(time.monotonic() - self._started_at, 3),
+            # Admitted uploads not yet settled: queued + validating +
+            # awaiting their turn in the commit sequence.
+            "queue_depth": self._in_pipeline,
+            "queue_limit": self.config.queue_limit,
+            "validating": self._active_validations,
+            "awaiting_commit": len(self._sequenced),
+            "workers": self.config.workers,
+            "counters": self.counters.to_dict(),
+            "store": {
+                "reports": len(store),
+                "bytes": store.total_bytes,
+                "evicted_reports": store.evicted_reports,
+                "num_shards": store.num_shards,
+                "shards": store.shard_occupancy(),
+            },
+        }
+
+    # -- http ----------------------------------------------------------------
+
+    async def _handle_http(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        """Minimal HTTP/1.0 for `curl http://host:port/stats`."""
+        request_line = await reader.readline()
+        path = request_line.split(b" ")[0].decode("latin-1", "replace")
+        while True:  # drain request headers
+            line = await reader.readline()
+            if line in (b"", b"\r\n", b"\n"):
+                break
+        if path == "/stats":
+            body = json.dumps(self.stats(), indent=2).encode()
+            status = "200 OK"
+        elif path == "/healthz":
+            body = b'{"ok": true}'
+            status = "200 OK"
+        else:
+            body = b'{"error": "not found"}'
+            status = "404 Not Found"
+        writer.write(
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()

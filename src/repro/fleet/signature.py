@@ -84,6 +84,7 @@ def replay_tail(
     config: BugNetConfig,
     program: Program,
     tail_depth: int = DEFAULT_TAIL_DEPTH,
+    fast: bool = True,
 ) -> ReplayedTail:
     """Replay the faulting thread's log chain, keeping only a PC tail.
 
@@ -94,8 +95,14 @@ def replay_tail(
     :class:`~repro.common.errors.ReplayDivergence` if the report has no
     replayable chain or the logs disagree with the binary — the signal
     ingestion uses to reject corrupt reports.
+
+    *fast* selects the compiled-dispatch replay loop
+    (:mod:`repro.replay.fastreplay`) — bit-identical end state, no
+    per-instruction event objects; pass ``False`` to force the
+    reference interpreter (the equivalence tests exercise both).
     """
     from repro.arch.memory import Memory
+    from repro.replay.fastreplay import fast_replay_interval
 
     flls = report.replay_chain(report.faulting_tid)
     if not flls:
@@ -104,14 +111,21 @@ def replay_tail(
             f"(threads with logs: {report.thread_ids or 'none'})"
         )
     tail: deque[int] = deque(maxlen=max(tail_depth, 1))
-    replayer = Replayer(program, config)
     memory = Memory(fault_checks=False)
     last = None
-    for fll in flls:
-        last = replayer.replay_interval(
-            fll, memory=memory, collect_events=False,
-            event_sink=lambda event: tail.append(event.pc),
-        )
+    if fast:
+        for fll in flls:
+            last = fast_replay_interval(
+                program, config, fll, memory=memory,
+                tail=tail, tail_depth=tail.maxlen,
+            )
+    else:
+        replayer = Replayer(program, config)
+        for fll in flls:
+            last = replayer.replay_interval(
+                fll, memory=memory, collect_events=False,
+                event_sink=lambda event: tail.append(event.pc),
+            )
     return ReplayedTail(
         tail_pcs=tuple(tail),
         instructions=sum(fll.end_ic for fll in flls),

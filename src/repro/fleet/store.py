@@ -1,11 +1,14 @@
-"""Sharded on-disk crash-report store for fleet-scale ingestion.
+"""Sharded on-disk crash-report store, safe for multi-writer processes.
 
 Layout on disk::
 
     <root>/
         store.json            # shard count, ring replicas, seq counter,
                               # byte budget, eviction counters
+        store.lock            # global flock: seq allocation, eviction, meta
+        seq                   # authoritative next-sequence counter
         shard-00/
+            .lock             # per-shard flock: blob + index writes
             index.bin         # per-shard binary index (magic BGSI)
             00000007-<sig12>.bugnet
         shard-01/
@@ -19,13 +22,40 @@ everything (the classic argument; ``shard_of`` is the whole mechanism).
 All reports of one signature land in one shard, so a triage worker can
 scan buckets shard-locally.
 
+Concurrency and crash model (DESIGN.md §8):
+
+* Sequence numbers are allocated from the ``seq`` file under the global
+  ``flock``, so concurrent writer *processes* never collide.
+* Blob and index writes for a shard happen under that shard's
+  ``flock``; blobs land via write-to-temp + ``os.replace`` (never a
+  partial blob under a final name) and a batch's index records are
+  appended with a single ``write()``.
+* Before appending, a writer re-validates the index tail from its last
+  synced offset: records another live writer appended are absorbed
+  into the in-memory view, and a torn tail left by a killed writer is
+  truncated away (the torn record's report was never acknowledged).
+* On open the store drops partial trailing index records, sweeps
+  orphaned blobs and stale temp files, and recovers the sequence
+  counter — ``tests/test_store_concurrency.py`` SIGKILLs writers
+  mid-commit and asserts exactly this.
+* Metadata (``store.json``) is rewritten atomically (temp + rename)
+  under the global lock, merging the on-disk sequence high-water mark.
+
+Durability: a completed ``add``/``add_many`` survives process death
+(SIGKILL) because every byte has reached the page cache in commit
+order; pass ``fsync=True`` to also survive OS/power failure at a
+per-commit fsync cost.
+
 The per-shard index is a compact binary file (no pickle, same
 discipline as :mod:`repro.tracing.serialize`), append-only on ingest
-and rewritten on eviction.
+and rewritten on eviction.  Format v2 adds a per-record ``upload_id``
+— the idempotency token the ingestion service uses to make client
+retries safe across service restarts; v1 indexes read transparently
+and are upgraded in place on first append.
 
 Retention mirrors :class:`~repro.tracing.backing.LogStore`: a byte
 budget over the stored blobs, exceeded → evict the globally oldest
-report (never the one just added), deterministically ordered by
+report (never one just added), deterministically ordered by
 ``(observed_at, seq)``.
 """
 
@@ -35,15 +65,23 @@ import bisect
 import hashlib
 import io
 import json
+import os
 import struct
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.errors import LogDecodeError
 from repro.tracing.serialize import load_crash_report
 
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback (no locking)
+    fcntl = None
+
 _INDEX_MAGIC = b"BGSI"
-_INDEX_VERSION = 1
+_INDEX_VERSION = 2
+_HEADER_SIZE = 8          # magic + u32 version
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
 
@@ -61,6 +99,7 @@ class StoredEntry:
     program_name: str
     shard: int
     filename: str
+    upload_id: str = ""  # client idempotency token ("" = none)
 
     @property
     def order_key(self) -> tuple[int, int]:
@@ -86,6 +125,10 @@ class _IndexReader:
     def __init__(self, data: bytes) -> None:
         self._view = memoryview(data)
         self._pos = 0
+
+    @property
+    def position(self) -> int:
+        return self._pos
 
     @property
     def remaining(self) -> int:
@@ -126,10 +169,12 @@ def _pack_entry(entry: StoredEntry) -> bytes:
     _write_str(out, entry.fault_kind)
     _write_str(out, entry.program_name)
     _write_str(out, entry.filename)
+    _write_str(out, entry.upload_id)           # v2 addition
     return out.getvalue()
 
 
-def _unpack_entry(reader: _IndexReader, shard: int) -> StoredEntry:
+def _unpack_entry(reader: _IndexReader, shard: int,
+                  version: int) -> StoredEntry:
     return StoredEntry(
         digest=reader.raw(32).hex(),
         seq=reader.u64(),
@@ -139,8 +184,29 @@ def _unpack_entry(reader: _IndexReader, shard: int) -> StoredEntry:
         fault_kind=reader.text(),
         program_name=reader.text(),
         filename=reader.text(),
+        upload_id=reader.text() if version >= 2 else "",
         shard=shard,
     )
+
+
+def _parse_records(data: bytes, shard: int, version: int,
+                   base_offset: int) -> "tuple[list[StoredEntry], int]":
+    """Parse index records from *data*; returns the entries and the file
+    offset just past the last **complete** record.  A partial trailing
+    record (torn write from a killed writer) is dropped: the report it
+    described was never acknowledged."""
+    reader = _IndexReader(data)
+    entries: list[StoredEntry] = []
+    valid = 0
+    while reader.remaining:
+        try:
+            entries.append(_unpack_entry(reader, shard, version))
+        except (LogDecodeError, UnicodeDecodeError):
+            # Short read, or a length prefix pointing into garbage that
+            # is not valid UTF-8: both are the torn-record case.
+            break
+        valid = reader.position
+    return entries, base_offset + valid
 
 
 class ReportStore:
@@ -152,8 +218,10 @@ class ReportStore:
         num_shards: int = 8,
         byte_budget: int | None = None,
         ring_replicas: int = 32,
+        fsync: bool = False,
     ) -> None:
         self.root = Path(root)
+        self.fsync = fsync
         meta_path = self.root / "store.json"
         if meta_path.exists():
             meta = json.loads(meta_path.read_text())
@@ -180,31 +248,75 @@ class ReportStore:
             self.root.mkdir(parents=True, exist_ok=True)
         self._ring = self._build_ring()
         self._entries: list[StoredEntry] = []
+        self._shard_versions: dict[int, int] = {}
+        self._index_synced: dict[int, int] = {}
+        # Inode of the index file the synced offset refers to.  Every
+        # rewrite lands via temp + os.replace, so a changed inode is a
+        # reliable "another writer rewrote this shard" signal even when
+        # the rewritten file is not smaller than our synced offset.
+        self._index_inode: dict[int, "int | None"] = {}
         for shard in range(self.num_shards):
-            self._entries.extend(self._read_shard_index(shard))
+            # Read and sweep each shard under its lock in one critical
+            # section: sweeping against a separately-taken snapshot
+            # could delete a blob a concurrent writer committed between
+            # the index read and the sweep.
+            with self._shard_lock(shard):
+                shard_entries = self._read_shard_index(shard)
+                self._sweep_shard(shard, shard_entries)
+            self._entries.extend(shard_entries)
         self._entries.sort(key=lambda entry: entry.seq)
         if self._entries:
             # store.json is written after the index append; recover the
             # counter if a crash landed between the two.
             self._next_seq = max(self._next_seq, self._entries[-1].seq + 1)
+        self._next_seq = max(self._next_seq, self._read_seq_file())
+        self._upload_index: dict[str, StoredEntry] = {
+            entry.upload_id: entry
+            for entry in self._entries if entry.upload_id
+        }
         self.total_bytes = sum(entry.byte_size for entry in self._entries)
-        self._sweep_orphans()
         if not meta_path.exists():
             self._write_meta()
 
-    def _sweep_orphans(self) -> None:
+    def _sweep_shard(self, shard: int,
+                     entries: "list[StoredEntry]") -> None:
         """Delete blobs with no index record (a crash between the blob
         write and the index append, or a dropped partial trailing
-        record); otherwise they would accumulate invisibly outside the
-        byte budget."""
-        indexed = {(entry.shard, entry.filename) for entry in self._entries}
-        for shard in range(self.num_shards):
-            shard_dir = self._shard_dir(shard)
-            if not shard_dir.is_dir():
-                continue
-            for blob in shard_dir.glob("*.bugnet"):
-                if (shard, blob.name) not in indexed:
-                    blob.unlink()
+        record) plus stale temp files; otherwise they would accumulate
+        invisibly outside the byte budget.  Caller holds the shard lock
+        and *entries* is the index as read under that same lock."""
+        shard_dir = self._shard_dir(shard)
+        if not shard_dir.is_dir():
+            return
+        indexed = {entry.filename for entry in entries}
+        for blob in shard_dir.glob("*.bugnet"):
+            if blob.name not in indexed:
+                blob.unlink()
+        for temp in shard_dir.glob("*.tmp"):
+            temp.unlink()
+
+    # -- locking -----------------------------------------------------------
+
+    @contextmanager
+    def _flock(self, path: Path):
+        """Exclusive advisory lock (no-op where fcntl is unavailable)."""
+        if fcntl is None:  # pragma: no cover - non-POSIX
+            yield
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+
+    def _global_lock(self):
+        return self._flock(self.root / "store.lock")
+
+    def _shard_lock(self, shard: int):
+        return self._flock(self._shard_dir(shard) / ".lock")
 
     # -- consistent hashing ------------------------------------------------
 
@@ -233,28 +345,180 @@ class ReportStore:
     def _index_path(self, shard: int) -> Path:
         return self._shard_dir(shard) / "index.bin"
 
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        temp = path.with_name(path.name + f".{os.getpid()}.tmp")
+        with open(temp, "wb") as handle:
+            handle.write(data)
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        os.replace(temp, path)
+
+    def _read_seq_file(self) -> int:
+        path = self.root / "seq"
+        try:
+            return int(path.read_text())
+        except (OSError, ValueError):
+            return 0
+
+    def _alloc_seqs(self, count: int) -> int:
+        """Reserve *count* store-global sequence numbers (cross-process
+        safe: read-modify-write of the ``seq`` file under the global
+        lock)."""
+        with self._global_lock():
+            start = max(self._next_seq, self._read_seq_file())
+            self._atomic_write(self.root / "seq", str(start + count).encode())
+        self._next_seq = start + count
+        return start
+
     def _read_shard_index(self, shard: int) -> list[StoredEntry]:
         path = self._index_path(shard)
         if not path.exists():
+            self._shard_versions[shard] = _INDEX_VERSION
+            self._index_synced[shard] = 0
+            self._index_inode[shard] = None
             return []
+        self._index_inode[shard] = path.stat().st_ino
         data = path.read_bytes()
         if data[:4] != _INDEX_MAGIC:
             raise LogDecodeError(f"bad shard index magic in {path}")
-        reader = _IndexReader(data[4:])
-        version = reader.u32()
-        if version != _INDEX_VERSION:
+        version = _U32.unpack_from(data, 4)[0] if len(data) >= 8 else 0
+        if not 1 <= version <= _INDEX_VERSION:
             raise LogDecodeError(f"unsupported shard index version {version}")
-        entries = []
-        while reader.remaining:
-            try:
-                entries.append(_unpack_entry(reader, shard))
-            except LogDecodeError:
-                # A crash mid-append leaves a partial trailing record:
-                # the report it described was never acknowledged, so
-                # dropping it (and any orphaned blob) recovers the store
-                # instead of bricking every future open.
-                break
+        entries, valid_end = _parse_records(
+            data[_HEADER_SIZE:], shard, version, _HEADER_SIZE
+        )
+        self._shard_versions[shard] = version
+        self._index_synced[shard] = valid_end
         return entries
+
+    def _absorb_and_repair(self, shard: int) -> None:
+        """Bring this writer's view of a shard index up to date before
+        appending: absorb records other live writers appended since our
+        last sync, and truncate any torn tail a killed writer left.
+        Caller holds the shard lock."""
+        path = self._index_path(shard)
+        if not path.exists():
+            self._index_synced[shard] = 0
+            self._index_inode[shard] = None
+            return
+        stat = path.stat()
+        size = stat.st_size
+        synced = self._index_synced.get(shard, 0)
+        if stat.st_ino != self._index_inode.get(shard):
+            # The file was replaced wholesale (another writer's
+            # eviction rewrite or v1 upgrade): our synced offset refers
+            # to the old inode's bytes, so reload from scratch — delta
+            # parsing from a stale offset would read mid-record
+            # garbage even when the new file happens to be larger.
+            self._reload_shard(shard)
+            return
+        if synced < _HEADER_SIZE:
+            # Another process created this shard's index since we
+            # opened: validate its header before parsing records, and
+            # never treat the header bytes as a record.
+            header = path.read_bytes()[:_HEADER_SIZE]
+            if header[:4] != _INDEX_MAGIC:
+                raise LogDecodeError(f"bad shard index magic in {path}")
+            version = _U32.unpack_from(header, 4)[0]
+            if not 1 <= version <= _INDEX_VERSION:
+                raise LogDecodeError(
+                    f"unsupported shard index version {version}"
+                )
+            self._shard_versions[shard] = version
+            synced = self._index_synced[shard] = _HEADER_SIZE
+        if size == synced:
+            return
+        if size < synced:
+            # Defensive: with replace-based rewrites a same-inode
+            # shrink should be impossible (torn-tail truncation never
+            # cuts below any live writer's synced offset), but a full
+            # reload is always safe.
+            self._reload_shard(shard)
+            return
+        with open(path, "rb") as handle:
+            handle.seek(synced)
+            delta = handle.read()
+        entries, valid_end = _parse_records(
+            delta, shard, self._shard_versions.get(shard, _INDEX_VERSION),
+            synced,
+        )
+        if valid_end < size:
+            # Torn tail from a killed writer: drop it before appending,
+            # or every later record in this shard would misparse.
+            with open(path, "r+b") as handle:
+                handle.truncate(valid_end)
+        for entry in entries:
+            self._entries.append(entry)
+            self.total_bytes += entry.byte_size
+            if entry.upload_id:
+                self._upload_index[entry.upload_id] = entry
+            self._next_seq = max(self._next_seq, entry.seq + 1)
+        if entries:
+            self._entries.sort(key=lambda entry: entry.seq)
+        self._index_synced[shard] = valid_end
+
+    def _reload_shard(self, shard: int) -> None:
+        """Replace the in-memory view of one shard with a fresh read of
+        its index file (caller holds the shard lock)."""
+        fresh = self._read_shard_index(shard)
+        self._entries = (
+            [e for e in self._entries if e.shard != shard] + fresh
+        )
+        self._entries.sort(key=lambda entry: entry.seq)
+        self.total_bytes = sum(e.byte_size for e in self._entries)
+        self._upload_index = {
+            entry.upload_id: entry
+            for entry in self._entries if entry.upload_id
+        }
+        for entry in fresh:
+            self._next_seq = max(self._next_seq, entry.seq + 1)
+
+    def _upgrade_shard_v1(self, shard: int) -> None:
+        """Rewrite a v1 shard index as v2 (caller holds the shard
+        lock).  Reads the file itself — not the in-memory view — so a
+        concurrent writer's records survive the upgrade."""
+        entries = self._read_shard_index(shard)
+        out = io.BytesIO()
+        out.write(_INDEX_MAGIC)
+        _write_u32(out, _INDEX_VERSION)
+        for entry in entries:
+            out.write(_pack_entry(entry))
+        data = out.getvalue()
+        self._atomic_write(self._index_path(shard), data)
+        self._shard_versions[shard] = _INDEX_VERSION
+        self._index_synced[shard] = len(data)
+        self._index_inode[shard] = self._index_path(shard).stat().st_ino
+        # The reload above replaced parse state; refresh the in-memory
+        # entries for this shard to the just-written set.
+        self._entries = (
+            [e for e in self._entries if e.shard != shard] + entries
+        )
+        self._entries.sort(key=lambda entry: entry.seq)
+        self.total_bytes = sum(e.byte_size for e in self._entries)
+
+    def _append_shard_records(self, shard: int,
+                              entries: "list[StoredEntry]") -> None:
+        """Append a batch of records to a shard index with one write.
+        Caller holds the shard lock and has run _absorb_and_repair."""
+        path = self._index_path(shard)
+        payload = b"".join(_pack_entry(entry) for entry in entries)
+        if not path.exists():
+            self._atomic_write(
+                path, _INDEX_MAGIC + _U32.pack(_INDEX_VERSION) + payload
+            )
+            self._index_synced[shard] = _HEADER_SIZE + len(payload)
+            self._shard_versions[shard] = _INDEX_VERSION
+            self._index_inode[shard] = path.stat().st_ino
+            return
+        if self._shard_versions.get(shard, _INDEX_VERSION) < _INDEX_VERSION:
+            self._upgrade_shard_v1(shard)
+        with open(path, "ab") as handle:
+            handle.write(payload)
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
+        self._index_synced[shard] = self._index_synced.get(shard, 0) + len(payload)
 
     def _rewrite_shard_index(self, shard: int) -> None:
         out = io.BytesIO()
@@ -263,24 +527,28 @@ class ReportStore:
         for entry in self._entries:
             if entry.shard == shard:
                 out.write(_pack_entry(entry))
-        self._index_path(shard).write_bytes(out.getvalue())
-
-    def _append_shard_index(self, entry: StoredEntry) -> None:
-        path = self._index_path(entry.shard)
-        if not path.exists():
-            path.write_bytes(_INDEX_MAGIC + _U32.pack(_INDEX_VERSION))
-        with open(path, "ab") as handle:
-            handle.write(_pack_entry(entry))
+        data = out.getvalue()
+        self._atomic_write(self._index_path(shard), data)
+        self._shard_versions[shard] = _INDEX_VERSION
+        self._index_synced[shard] = len(data)
+        self._index_inode[shard] = self._index_path(shard).stat().st_ino
 
     def _write_meta(self) -> None:
-        (self.root / "store.json").write_text(json.dumps({
+        disk_next = 0
+        meta_path = self.root / "store.json"
+        if meta_path.exists():
+            try:
+                disk_next = json.loads(meta_path.read_text()).get("next_seq", 0)
+            except (OSError, ValueError):
+                disk_next = 0
+        self._atomic_write(meta_path, (json.dumps({
             "num_shards": self.num_shards,
             "ring_replicas": self.ring_replicas,
-            "next_seq": self._next_seq,
+            "next_seq": max(self._next_seq, disk_next),
             "byte_budget": self.byte_budget,
             "evicted_reports": self.evicted_reports,
             "evicted_bytes": self.evicted_bytes,
-        }, indent=2) + "\n")
+        }, indent=2) + "\n").encode())
 
     # -- mutation ----------------------------------------------------------
 
@@ -292,6 +560,7 @@ class ReportStore:
         fault_kind: str = "",
         program_name: str = "",
         observed_at: int | None = None,
+        upload_id: str = "",
     ) -> StoredEntry:
         """Store one validated report blob under its signature digest.
 
@@ -300,52 +569,120 @@ class ReportStore:
         separate ingest invocations; pass an explicit value only when
         the caller has a real fleet-wide observation clock.
         """
-        seq = self._next_seq
-        self._next_seq += 1
-        if observed_at is None:
-            observed_at = seq
-        shard = self.shard_of(digest)
-        entry = StoredEntry(
-            digest=digest,
-            seq=seq,
-            observed_at=observed_at,
-            byte_size=len(blob),
-            replay_window=replay_window,
-            fault_kind=fault_kind,
-            program_name=program_name,
-            shard=shard,
-            filename=f"{seq:08d}-{digest[:12]}.bugnet",
-        )
-        shard_dir = self._shard_dir(shard)
-        shard_dir.mkdir(parents=True, exist_ok=True)
-        (shard_dir / entry.filename).write_bytes(blob)
-        self._entries.append(entry)
-        self._append_shard_index(entry)
-        self.total_bytes += entry.byte_size
-        if self.byte_budget is not None:
-            while self.total_bytes > self.byte_budget and self._evict_oldest(entry):
-                pass
-        self._write_meta()
-        return entry
+        return self.add_many([{
+            "digest": digest,
+            "blob": blob,
+            "replay_window": replay_window,
+            "fault_kind": fault_kind,
+            "program_name": program_name,
+            "observed_at": observed_at,
+            "upload_id": upload_id,
+        }])[0]
 
-    def _evict_oldest(self, protect: StoredEntry) -> bool:
-        """Drop the oldest stored report (never the one just added)."""
+    def add_many(self, items: "list[dict]") -> "list[StoredEntry]":
+        """Commit a batch of validated reports in one locked pass.
+
+        Each item is a dict with ``digest`` and ``blob`` (required) and
+        optional ``replay_window``, ``fault_kind``, ``program_name``,
+        ``observed_at``, ``upload_id``.  The batch gets consecutive
+        sequence numbers, per-shard writes take each shard lock once,
+        and the metadata/eviction pass runs once — the commit-batching
+        the ingestion service relies on.  Entries are durable against
+        process death when this returns (and against OS crash with
+        ``fsync=True``).
+        """
+        if not items:
+            return []
+        start = self._alloc_seqs(len(items))
+        new_entries: list[StoredEntry] = []
+        by_shard: dict[int, list[tuple[StoredEntry, bytes]]] = {}
+        for offset, item in enumerate(items):
+            seq = start + offset
+            digest = item["digest"]
+            blob = item["blob"]
+            observed_at = item.get("observed_at")
+            if observed_at is None:
+                observed_at = seq
+            shard = self.shard_of(digest)
+            entry = StoredEntry(
+                digest=digest,
+                seq=seq,
+                observed_at=observed_at,
+                byte_size=len(blob),
+                replay_window=item.get("replay_window", 0),
+                fault_kind=item.get("fault_kind", ""),
+                program_name=item.get("program_name", ""),
+                shard=shard,
+                filename=f"{seq:08d}-{digest[:12]}.bugnet",
+                upload_id=item.get("upload_id", ""),
+            )
+            new_entries.append(entry)
+            by_shard.setdefault(shard, []).append((entry, blob))
+        for shard in sorted(by_shard):
+            shard_dir = self._shard_dir(shard)
+            shard_dir.mkdir(parents=True, exist_ok=True)
+            with self._shard_lock(shard):
+                self._absorb_and_repair(shard)
+                for entry, blob in by_shard[shard]:
+                    self._atomic_write(shard_dir / entry.filename, blob)
+                self._append_shard_records(
+                    shard, [entry for entry, _ in by_shard[shard]]
+                )
+        for entry in new_entries:
+            self._entries.append(entry)
+            self.total_bytes += entry.byte_size
+            if entry.upload_id:
+                self._upload_index[entry.upload_id] = entry
+        self._entries.sort(key=lambda entry: entry.seq)
+        with self._global_lock():
+            if self.byte_budget is not None:
+                # Protect by sequence number, not object identity: an
+                # absorb reload inside eviction replaces entry objects,
+                # and the batch must stay protected across that.
+                protect = {entry.seq for entry in new_entries}
+                while (self.total_bytes > self.byte_budget
+                       and self._evict_oldest(protect)):
+                    pass
+            self._write_meta()
+        return new_entries
+
+    def _evict_oldest(self, protect: "set[int]") -> bool:
+        """Drop the oldest stored report (never one just added;
+        *protect* holds the current batch's sequence numbers)."""
         victim = None
         for entry in self._entries:
-            if entry is protect:
+            if entry.seq in protect:
                 continue
             if victim is None or entry.order_key < victim.order_key:
                 victim = entry
         if victim is None:
             return False
-        self._entries.remove(victim)
-        self.total_bytes -= victim.byte_size
-        self.evicted_reports += 1
-        self.evicted_bytes += victim.byte_size
-        path = self._shard_dir(victim.shard) / victim.filename
-        if path.exists():
-            path.unlink()
-        self._rewrite_shard_index(victim.shard)
+        with self._shard_lock(victim.shard):
+            # Absorb records other live writers appended to this shard
+            # since our last sync: the rewrite below regenerates the
+            # whole index from our in-memory view, and a stale view
+            # would silently drop their acknowledged commits.
+            self._absorb_and_repair(victim.shard)
+            current = next(
+                (entry for entry in self._entries
+                 if entry.seq == victim.seq and entry.shard == victim.shard),
+                None,
+            )
+            if current is None:
+                # Another writer's rewrite already removed the victim;
+                # the budget loop re-evaluates with the fresh totals.
+                return True
+            victim = current
+            self._entries.remove(victim)
+            self.total_bytes -= victim.byte_size
+            self.evicted_reports += 1
+            self.evicted_bytes += victim.byte_size
+            if victim.upload_id:
+                self._upload_index.pop(victim.upload_id, None)
+            path = self._shard_dir(victim.shard) / victim.filename
+            if path.exists():
+                path.unlink()
+            self._rewrite_shard_index(victim.shard)
         return True
 
     # -- queries -----------------------------------------------------------
@@ -359,6 +696,25 @@ class ReportStore:
     def signatures(self) -> list[str]:
         """Distinct signature digests with resident reports."""
         return sorted({entry.digest for entry in self._entries})
+
+    def entry_for_upload(self, upload_id: str) -> "StoredEntry | None":
+        """The committed entry for a client idempotency token, if any —
+        how a retried upload is acknowledged without a duplicate."""
+        if not upload_id:
+            return None
+        return self._upload_index.get(upload_id)
+
+    def shard_occupancy(self) -> "list[dict]":
+        """Per-shard report counts and byte totals (the /stats shape)."""
+        occupancy = [
+            {"shard": shard, "reports": 0, "bytes": 0}
+            for shard in range(self.num_shards)
+        ]
+        for entry in self._entries:
+            slot = occupancy[entry.shard]
+            slot["reports"] += 1
+            slot["bytes"] += entry.byte_size
+        return occupancy
 
     def path_of(self, entry: StoredEntry) -> Path:
         """Filesystem path of a stored report blob."""

@@ -1,0 +1,256 @@
+"""Pure crash-report validation: decode → replay → fault probe.
+
+The single validation implementation shared by the batch CLI pipeline
+(:class:`~repro.fleet.ingest.IngestPipeline`) and the live ingestion
+service (:mod:`repro.fleet.service`): one report blob in, one verdict
+out, **no side effects** — no store writes, no shared mutable state.
+That purity is what lets the service fan validation out across a
+process pool while the batch path runs it inline, with test-pinned
+identical outcomes (``tests/test_fleet_ingest.py``).
+
+The module also carries the process-pool plumbing: a picklable
+:class:`ResolverSpec` describing how a worker process should build its
+program resolver (assembled programs are not picklable-cheap, source
+text is), a pool initializer, and a module-level work function —
+everything a ``ProcessPoolExecutor`` needs to run validation in a
+separate interpreter.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.arch.program import Program
+from repro.common.errors import ReproError
+from repro.fleet.signature import (
+    DEFAULT_TAIL_DEPTH,
+    CrashSignature,
+    replay_tail,
+    signature_from_tail,
+)
+from repro.replay.replayer import Replayer
+from repro.tracing.serialize import load_crash_report
+
+#: Everything a hostile/corrupt blob can legitimately raise while being
+#: decoded: our own error hierarchy, zlib/struct framing errors, and
+#: field-validation errors from reconstructing the recorder config.
+DECODE_ERRORS = (ReproError, zlib.error, struct.error, ValueError, KeyError)
+
+ProgramResolver = Callable[[str], "Program | None"]
+
+
+@dataclass
+class IngestResult:
+    """Outcome of ingesting one report."""
+
+    label: str
+    accepted: bool
+    reason: str                        # "ok" or the rejection reason
+    signature: CrashSignature | None = None
+    entry: object | None = None        # StoredEntry once committed
+    instructions_replayed: int = 0
+
+    @property
+    def digest(self) -> str | None:
+        """Signature digest, when validation got that far."""
+        return self.signature.digest if self.signature else None
+
+
+@dataclass
+class ValidatedReport:
+    """A report that survived validation, ready to commit."""
+
+    label: str
+    blob: bytes
+    observed_at: int | None
+    signature: CrashSignature
+    fault_kind: str
+    program_name: str
+    instructions: int    # validated replay window = instructions replayed
+
+
+def validate_report(
+    label: str,
+    blob: bytes,
+    observed_at: "int | None",
+    resolver: ProgramResolver,
+    tail_depth: int = DEFAULT_TAIL_DEPTH,
+    probe: bool = True,
+) -> "ValidatedReport | IngestResult":
+    """Validate one crash-report blob; pure function of its inputs.
+
+    Returns a :class:`ValidatedReport` on success or a rejecting
+    :class:`IngestResult` naming the reason.  The pipeline: deserialize
+    the blob, resolve the program binary it names, replay the faulting
+    thread's whole resident log chain (compiled-dispatch replay), check
+    it ends on the recorded faulting PC, and optionally re-execute the
+    faulting instruction against the replayed state to confirm the
+    fault reproduces.
+    """
+    try:
+        report, config = load_crash_report(blob)
+    except DECODE_ERRORS as error:
+        return IngestResult(label, False, f"decode: {error}")
+    program = resolver(report.program_name)
+    if program is None:
+        return IngestResult(
+            label, False, f"unknown program {report.program_name!r}"
+        )
+    try:
+        tail = replay_tail(report, config, program, tail_depth)
+    except DECODE_ERRORS as error:
+        return IngestResult(label, False, f"replay: {error}")
+    last_fll = tail.last_fll
+    if last_fll.fault_pc is None:
+        # The faulting thread's final resident checkpoint never
+        # recorded a fault point: the fault interval was stripped or
+        # the report was tampered with.  Accepting it would skip
+        # every fault check below.
+        return IngestResult(
+            label, False,
+            "final checkpoint records no fault point "
+            "(fault interval missing from the chain)",
+        )
+    if last_fll.fault_pc != report.fault_pc:
+        return IngestResult(
+            label, False,
+            f"fault pc mismatch: log says {last_fll.fault_pc:#010x}, "
+            f"report says {report.fault_pc:#010x}",
+        )
+    if tail.end_pc != report.fault_pc:
+        return IngestResult(
+            label, False,
+            f"replay ends at {tail.end_pc:#010x}, "
+            f"not the faulting pc {report.fault_pc:#010x}",
+        )
+    if probe and not probe_fault(report, config, program, tail):
+        return IngestResult(
+            label, False,
+            f"fault does not reproduce at {report.fault_pc:#010x}",
+        )
+    return ValidatedReport(
+        label=label,
+        blob=blob,
+        observed_at=observed_at,
+        signature=signature_from_tail(report, tail),
+        fault_kind=report.fault_kind,
+        program_name=report.program_name,
+        # The *validated* window: instructions the chain actually
+        # replayed (an ungrounded prefix would overstate it).
+        instructions=tail.instructions,
+    )
+
+
+def probe_fault(report, config, program, tail) -> bool:
+    """Re-execute the faulting instruction against the replayed state
+    the validation replay already produced."""
+    replayer = Replayer(program, config)
+    fault = replayer.probe_fault(
+        tail.last_fll, tail.memory, tail.end_pc, tail.end_regs,
+        mapped_pages=report.mapped_pages,
+    )
+    return fault is not None and fault.kind == report.fault_kind
+
+
+# -- process-pool plumbing ---------------------------------------------------
+
+@dataclass(frozen=True)
+class ResolverSpec:
+    """Picklable recipe for building a program resolver in a worker.
+
+    ``sources`` maps resolver names to BN32 *source text* (read in the
+    parent, assembled in the worker — source strings pickle cheaply and
+    carry no interpreter state); ``include_bug_suite`` additionally
+    resolves Table-1 bug names, which is how fleet-sim traffic runs
+    unattended.
+    """
+
+    sources: tuple = field(default_factory=tuple)  # ((name, source), ...)
+    include_bug_suite: bool = True
+
+    def build(self) -> ProgramResolver:
+        """Assemble the spec into an actual resolver (worker side)."""
+        from repro.arch.assembler import assemble
+
+        extra: dict[str, Program] = {}
+        for name, source in self.sources:
+            program = assemble(source, name=name)
+            extra[name] = program
+            extra[name.rsplit("/", 1)[-1]] = program
+        if self.include_bug_suite:
+            from repro.forensics.autopsy import bug_suite_resolver
+
+            return bug_suite_resolver(extra)
+        return extra.get
+
+    @classmethod
+    def from_paths(cls, paths, include_bug_suite: bool = True
+                   ) -> "ResolverSpec":
+        """Spec from ``--source`` file paths (read here, assembled in
+        the worker)."""
+        sources = []
+        for path in paths:
+            with open(path, "r", encoding="utf-8") as handle:
+                sources.append((str(path), handle.read()))
+        return cls(sources=tuple(sources),
+                   include_bug_suite=include_bug_suite)
+
+
+_WORKER_RESOLVER: "ProgramResolver | None" = None
+
+
+def pool_initializer(spec: ResolverSpec) -> None:
+    """``ProcessPoolExecutor`` initializer: build the worker's resolver
+    once, so every validation reuses the assembled (and replay-compiled)
+    programs."""
+    global _WORKER_RESOLVER
+    _WORKER_RESOLVER = spec.build()
+
+
+def pool_validate(
+    label: str,
+    blob: bytes,
+    observed_at: "int | None",
+    tail_depth: int = DEFAULT_TAIL_DEPTH,
+    probe: bool = True,
+) -> "ValidatedReport | IngestResult":
+    """Module-level work function (picklable by reference) run on pool
+    workers; requires :func:`pool_initializer`."""
+    if _WORKER_RESOLVER is None:  # pragma: no cover - misconfiguration
+        raise RuntimeError("validation worker used without pool_initializer")
+    return validate_report(label, blob, observed_at, _WORKER_RESOLVER,
+                           tail_depth=tail_depth, probe=probe)
+
+
+def validate_many(
+    items: "list[tuple[str, bytes, int | None]]",
+    resolver: ProgramResolver,
+    tail_depth: int = DEFAULT_TAIL_DEPTH,
+    probe: bool = True,
+) -> "list[ValidatedReport | IngestResult]":
+    """Validate a chunk of ``(label, blob, observed_at)`` items.
+
+    Chunking amortizes the per-call executor/IPC handoff that would
+    otherwise rival the validation itself at high upload rates; the
+    verdicts are exactly item-wise :func:`validate_report`.
+    """
+    return [
+        validate_report(label, blob, observed_at, resolver,
+                        tail_depth=tail_depth, probe=probe)
+        for label, blob, observed_at in items
+    ]
+
+
+def pool_validate_many(
+    items: "list[tuple[str, bytes, int | None]]",
+    tail_depth: int = DEFAULT_TAIL_DEPTH,
+    probe: bool = True,
+) -> "list[ValidatedReport | IngestResult]":
+    """Chunked :func:`pool_validate` (one IPC round-trip per chunk)."""
+    if _WORKER_RESOLVER is None:  # pragma: no cover - misconfiguration
+        raise RuntimeError("validation worker used without pool_initializer")
+    return validate_many(items, _WORKER_RESOLVER,
+                         tail_depth=tail_depth, probe=probe)

@@ -1,0 +1,99 @@
+"""Length-prefixed wire protocol shared by ``bugnet serve`` and its
+clients (``bugnet load-sim``, the test harnesses).
+
+One frame carries one message::
+
+    u32 total_length (big-endian, excludes itself)
+    u32 header_length
+    header_length bytes of UTF-8 JSON   # {"op": "upload", ...}
+    body bytes                           # the crash-report blob, if any
+
+JSON headers keep the protocol debuggable and extensible; the binary
+body rides beside them so report blobs are never base64-inflated.
+Frames are bounded (``max_frame``) so a hostile length prefix cannot
+balloon memory — the reader rejects oversized frames *before*
+allocating.
+
+The server also answers plain ``GET /stats`` and ``GET /healthz`` HTTP
+requests on the same port (the first bytes of a connection
+disambiguate), so operators can curl a running service without a
+client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+_U32 = struct.Struct(">I")
+
+#: Default ceiling for one frame (header + body).  Crash reports are
+#: compressed logs of bounded replay windows — far below this.
+MAX_FRAME = 32 * 1024 * 1024
+
+
+class FrameError(Exception):
+    """Malformed or oversized frame."""
+
+
+def encode_frame(header: dict, body: bytes = b"") -> bytes:
+    """Serialize one frame."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    total = 4 + len(header_bytes) + len(body)
+    return b"".join((
+        _U32.pack(total), _U32.pack(len(header_bytes)), header_bytes, body,
+    ))
+
+
+def decode_payload(payload: bytes) -> "tuple[dict, bytes]":
+    """Split a frame payload (everything after the total-length prefix)
+    into its JSON header and binary body."""
+    if len(payload) < 4:
+        raise FrameError("frame too short for a header length")
+    (header_length,) = _U32.unpack_from(payload)
+    if 4 + header_length > len(payload):
+        raise FrameError("header length exceeds frame")
+    try:
+        header = json.loads(payload[4: 4 + header_length].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise FrameError(f"bad frame header: {error}") from error
+    if not isinstance(header, dict):
+        raise FrameError("frame header must be a JSON object")
+    return header, payload[4 + header_length:]
+
+
+async def read_frame(
+    reader: asyncio.StreamReader, max_frame: int = MAX_FRAME,
+    prefix: "bytes | None" = None,
+) -> "tuple[dict, bytes] | None":
+    """Read one frame; returns ``None`` on clean EOF before a frame.
+
+    *prefix* supplies the 4 length bytes when the caller already
+    consumed them (the server peeks them to route HTTP vs native
+    connections)."""
+    if prefix is None:
+        try:
+            prefix = await reader.readexactly(4)
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                return None
+            raise FrameError("connection closed mid-frame") from error
+    (total,) = _U32.unpack(prefix)
+    if total > max_frame:
+        raise FrameError(f"frame of {total} bytes exceeds limit {max_frame}")
+    if total < 4:
+        raise FrameError("frame too short for a header length")
+    try:
+        payload = await reader.readexactly(total)
+    except asyncio.IncompleteReadError as error:
+        raise FrameError("connection closed mid-frame") from error
+    return decode_payload(payload)
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, header: dict, body: bytes = b"",
+) -> None:
+    """Write one frame and flush it."""
+    writer.write(encode_frame(header, body))
+    await writer.drain()

@@ -7,9 +7,13 @@
   sequentially-consistent interleaving from the MRLs, plus
   happens-before data-race inference,
 * :mod:`repro.replay.validation` — trace equivalence checks used by
-  tests, examples and the benchmarks.
+  tests, examples and the benchmarks,
+* :mod:`repro.replay.fastreplay` — compiled-dispatch replay for the
+  validation hot path (no per-instruction events; bit-identical end
+  state, equivalence-tested against the reference interpreter).
 """
 
+from repro.replay.fastreplay import FastIntervalResult, fast_replay_interval
 from repro.replay.races import MultiThreadReplay, RaceReport, infer_races
 from repro.replay.replayer import IntervalReplay, ReplayEvent, Replayer
 from repro.replay.validation import TraceCollector, assert_traces_equal
@@ -18,6 +22,8 @@ __all__ = [
     "Replayer",
     "IntervalReplay",
     "ReplayEvent",
+    "FastIntervalResult",
+    "fast_replay_interval",
     "MultiThreadReplay",
     "RaceReport",
     "infer_races",

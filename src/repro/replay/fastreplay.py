@@ -1,0 +1,566 @@
+"""Compiled-dispatch replay: the validation hot path, several times the
+interpreter's speed.
+
+:class:`~repro.replay.replayer.Replayer` re-decodes every instruction
+through a ~35-way string-compare chain and builds a
+:class:`~repro.replay.replayer.ReplayEvent` per step — the right shape
+for debugger front-ends, and measured at ~90% of fleet-ingest
+validation time.  Validation needs none of that: only the final
+machine state (PC, registers, memory), the FLL cursor bookkeeping, and
+the last ``tail_depth`` PCs for the crash signature.
+
+This module compiles a :class:`~repro.arch.program.Program` once into a
+table of per-instruction closures ("threaded code"): each closure has
+its operands, masks and precomputed successor index bound at closure
+creation and returns the next instruction index, so the replay loop is
+just ``idx = fns[idx]()`` — a single Python call per instruction.  The
+closure bodies are generated with ``exec`` once per opcode at import
+(not per program) so there is no inner-function indirection.  Loads
+still go through :class:`~repro.replay.replayer._ReplayMemory` — the
+single source of truth for first-load-log consumption and dictionary
+simulation — so the fast path cannot drift from the reference on what
+matters.
+
+Semantics are bit-identical to ``Replayer.replay_interval`` (end PC,
+end registers, memory contents, records consumed, divergence behavior
+on corrupt logs); ``tests/test_fastreplay.py`` pins the equivalence
+across the Table-1 bug suite and adversarial corruptions.  Control
+transfers to invalid addresses are routed through a one-past-the-end
+sentinel slot so a fetch fault fires exactly when the fetch would —
+never early — and an interval that *ends* on the transfer still
+reports the bad target as its end PC (how corrupted-code-pointer crash
+reports validate).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.arch.isa import CODE_BASE, INSTRUCTION_BYTES
+from repro.arch.memory import Memory
+from repro.arch.program import Program
+from repro.common.config import BugNetConfig
+from repro.common.errors import (
+    ArithmeticFault,
+    Fault,
+    InstructionFault,
+    ReplayDivergence,
+)
+from repro.tracing.dictionary import DictionaryCompressor
+from repro.tracing.fll import FLL, FLLReader
+
+MASK = 0xFFFFFFFF
+_SIGN = 0x80000000
+_WRAP = 0x100000000
+
+
+def _signed(value: int) -> int:
+    return value - _WRAP if value & _SIGN else value
+
+
+def _static_target(pc: int, count: int) -> "int | None":
+    """Instruction index for an absolute branch/jump target, or None if
+    the target is not a fetchable code address."""
+    if pc & 3:
+        return None
+    index = (pc - CODE_BASE) >> 2
+    if 0 <= index < count:
+        return index
+    return None
+
+
+# -- opcode code generation --------------------------------------------------
+#
+# For every straight-line opcode we exec-compile (once, at import) a
+# factory ``make(rd, rs, rt, imm, pc, nxt, off_end, regs, load, store,
+# badpc) -> run`` whose ``run`` closure does the whole instruction
+# inline and returns the next instruction index.  Two source variants
+# exist per opcode: the common one (``off_end is None``) and the
+# fall-off-the-end one, which stashes the past-the-end PC in ``badpc``
+# before routing to the sentinel slot.  ``rd == 0`` (r0 is hardwired
+# zero) picks a discarding variant at closure-creation time, not per
+# step.
+
+_ALU_EXPRS = {
+    # op: (expression writing rd, expression is side-effect free)
+    "addi": "(regs[rs] + imm) & MASK",
+    "add": "(regs[rs] + regs[rt]) & MASK",
+    "sub": "(regs[rs] - regs[rt]) & MASK",
+    "mul": "(_signed(regs[rs]) * _signed(regs[rt])) & MASK",
+    "and": "regs[rs] & regs[rt]",
+    "or": "regs[rs] | regs[rt]",
+    "xor": "regs[rs] ^ regs[rt]",
+    "nor": "~(regs[rs] | regs[rt]) & MASK",
+    "andi": "regs[rs] & imm16",
+    "ori": "regs[rs] | imm16",
+    "xori": "regs[rs] ^ imm16",
+    "sll": "(regs[rs] << imm) & MASK",
+    "srl": "regs[rs] >> imm",
+    "sra": "(_signed(regs[rs]) >> imm) & MASK",
+    "sllv": "(regs[rs] << (regs[rt] & 31)) & MASK",
+    "srlv": "regs[rs] >> (regs[rt] & 31)",
+    "srav": "(_signed(regs[rs]) >> (regs[rt] & 31)) & MASK",
+    "slt": "1 if _signed(regs[rs]) < _signed(regs[rt]) else 0",
+    "sltu": "1 if regs[rs] < regs[rt] else 0",
+    "slti": "1 if _signed(regs[rs]) < imm else 0",
+    "sltiu": "1 if regs[rs] < imm_mask else 0",
+    "lui": "lui_value",
+}
+
+_BRANCH_CONDS = {
+    "beq": "regs[rs] == regs[rt]",
+    "bne": "regs[rs] != regs[rt]",
+    "blt": "_signed(regs[rs]) < _signed(regs[rt])",
+    "bge": "_signed(regs[rs]) >= _signed(regs[rt])",
+    "bltu": "regs[rs] < regs[rt]",
+    "bgeu": "regs[rs] >= regs[rt]",
+}
+
+_MAKE_SRC = """
+def make(rd, rs, rt, imm, pc, nxt, off_end, taken, taken_bad,
+         regs, load, store, badpc):
+    imm16 = imm & 0xFFFF
+    imm_mask = imm & MASK
+    lui_value = (imm << 16) & MASK
+    nxt_pc = pc + 4
+{body}
+    return run
+"""
+
+
+def _compile_make(body_lines: "list[str]"):
+    body = "\n".join("    " + line for line in body_lines)
+    env = {
+        "MASK": MASK,
+        "_signed": _signed,
+        "ArithmeticFault": ArithmeticFault,
+        "InstructionFault": InstructionFault,
+        "_dynamic_jump": None,  # patched below once defined
+    }
+    # .replace, not .format: closure bodies contain f-string braces.
+    exec(_MAKE_SRC.replace("{body}", body), env)
+    return env["make"]
+
+
+def _alu_makers(expr: str):
+    """(common, off_end) maker pair for a pure write-rd expression."""
+    common = _compile_make([
+        "if rd:",
+        "    def run():",
+        f"        regs[rd] = {expr}",
+        "        return nxt",
+        "else:",
+        "    def run():",
+        "        return nxt",
+    ])
+    at_end = _compile_make([
+        "if rd:",
+        "    def run():",
+        f"        regs[rd] = {expr}",
+        "        badpc[0] = nxt_pc",
+        "        return nxt",
+        "else:",
+        "    def run():",
+        "        badpc[0] = nxt_pc",
+        "        return nxt",
+    ])
+    return common, at_end
+
+
+def _branch_makers(cond: str):
+    common = _compile_make([
+        "if taken_bad is None:",
+        "    def run():",
+        f"        if {cond}:",
+        "            return taken",
+        "        return nxt",
+        "else:",
+        "    def run():",
+        f"        if {cond}:",
+        "            badpc[0] = taken_bad",
+        "            return taken",
+        "        return nxt",
+    ])
+    at_end = _compile_make([
+        "if taken_bad is None:",
+        "    def run():",
+        f"        if {cond}:",
+        "            return taken",
+        "        badpc[0] = nxt_pc",
+        "        return nxt",
+        "else:",
+        "    def run():",
+        f"        if {cond}:",
+        "            badpc[0] = taken_bad",
+        "            return taken",
+        "        badpc[0] = nxt_pc",
+        "        return nxt",
+    ])
+    return common, at_end
+
+
+_SIMPLE_MAKERS = {op: _alu_makers(expr) for op, expr in _ALU_EXPRS.items()}
+# Replay semantics: syscalls and nops commit and fall through.
+_SIMPLE_MAKERS["nop"] = _alu_makers("0")  # rd is always 0 for nop
+_SIMPLE_MAKERS["syscall"] = _SIMPLE_MAKERS["nop"]
+_SIMPLE_MAKERS.update(
+    {op: _branch_makers(cond) for op, cond in _BRANCH_CONDS.items()}
+)
+
+_SIMPLE_MAKERS["lw"] = (
+    _compile_make([
+        "if rd:",
+        "    def run():",
+        "        regs[rd] = load((regs[rs] + imm) & MASK) & MASK",
+        "        return nxt",
+        "else:",
+        "    def run():",
+        "        load((regs[rs] + imm) & MASK)",
+        "        return nxt",
+    ]),
+    _compile_make([
+        "if rd:",
+        "    def run():",
+        "        regs[rd] = load((regs[rs] + imm) & MASK) & MASK",
+        "        badpc[0] = nxt_pc",
+        "        return nxt",
+        "else:",
+        "    def run():",
+        "        load((regs[rs] + imm) & MASK)",
+        "        badpc[0] = nxt_pc",
+        "        return nxt",
+    ]),
+)
+
+_SIMPLE_MAKERS["sw"] = (
+    _compile_make([
+        "def run():",
+        "    store((regs[rs] + imm) & MASK, regs[rt])",
+        "    return nxt",
+    ]),
+    _compile_make([
+        "def run():",
+        "    store((regs[rs] + imm) & MASK, regs[rt])",
+        "    badpc[0] = nxt_pc",
+        "    return nxt",
+    ]),
+)
+
+# Signed div/rem: fault semantics match the interpreter exactly
+# (ArithmeticFault at the instruction's PC; rd written only when rd).
+_DIV_BODY = [
+    "def run():",
+    "    divisor = _signed(regs[rt])",
+    "    if divisor == 0:",
+    "        raise ArithmeticFault(",
+    "            f'integer divide by zero at {pc:#010x}', pc=pc)",
+    "    dividend = _signed(regs[rs])",
+    "    quotient = abs(dividend) // abs(divisor)",
+    "    if (dividend < 0) != (divisor < 0):",
+    "        quotient = -quotient",
+    "    result = {result}",
+    "    if rd:",
+    "        regs[rd] = result & MASK",
+    "    {end}",
+    "    return nxt",
+]
+
+
+def _div_makers(result: str):
+    def render(end: str):
+        return [line.replace("{result}", result).replace("{end}", end)
+                for line in _DIV_BODY]
+    return (_compile_make(render("pass")),
+            _compile_make(render("badpc[0] = nxt_pc")))
+
+
+_SIMPLE_MAKERS["div"] = _div_makers("quotient")
+_SIMPLE_MAKERS["rem"] = _div_makers("dividend - quotient * divisor")
+
+_DIVU_BODY = [
+    "def run():",
+    "    divisor = regs[rt]",
+    "    if divisor == 0:",
+    "        raise ArithmeticFault(",
+    "            f'integer divide by zero at {pc:#010x}', pc=pc)",
+    "    if rd:",
+    "        regs[rd] = (regs[rs] {oper} divisor) & MASK",
+    "    {end}",
+    "    return nxt",
+]
+
+
+def _divu_makers(oper: str):
+    def render(end: str):
+        return [line.replace("{oper}", oper).replace("{end}", end)
+                for line in _DIVU_BODY]
+    return (_compile_make(render("pass")),
+            _compile_make(render("badpc[0] = nxt_pc")))
+
+
+_SIMPLE_MAKERS["divu"] = _divu_makers("//")
+_SIMPLE_MAKERS["remu"] = _divu_makers("%")
+
+_SIMPLE_MAKERS["break"] = (
+    _compile_make([
+        "def run():",
+        "    raise InstructionFault(f'break trap at {pc:#010x}', pc=pc)",
+    ]),
+) * 2
+
+_SIMPLE_MAKERS["j"] = (
+    _compile_make([
+        "if taken_bad is None:",
+        "    def run():",
+        "        return taken",
+        "else:",
+        "    def run():",
+        "        badpc[0] = taken_bad",
+        "        return taken",
+    ]),
+) * 2
+
+_SIMPLE_MAKERS["jal"] = (
+    _compile_make([
+        "if taken_bad is None:",
+        "    def run():",
+        "        regs[31] = nxt_pc",
+        "        return taken",
+        "else:",
+        "    def run():",
+        "        regs[31] = nxt_pc",
+        "        badpc[0] = taken_bad",
+        "        return taken",
+    ]),
+) * 2
+
+
+def _jump_makers():
+    """jr/jalr: register-valued targets validated at the *next* fetch,
+    exactly like the interpreter — a bad target only faults if the
+    interval does not end on the jump itself."""
+    def count_check(indent: str) -> "list[str]":
+        return [indent + line for line in (
+            "if target & 3:",
+            "    badpc[0] = target",
+            "    return sentinel",
+            "index = (target - CODE_BASE) >> 2",
+            "if 0 <= index < sentinel:",
+            "    return index",
+            "badpc[0] = target",
+            "return sentinel",
+        )]
+
+    jr = _compile_make([
+        "sentinel = taken",
+        "CODE_BASE = taken_bad",
+        "def run():",
+        "    target = regs[rs]",
+        *count_check("    "),
+    ])
+    jalr = _compile_make([
+        "sentinel = taken",
+        "CODE_BASE = taken_bad",
+        "if rd:",
+        "    def run():",
+        "        target = regs[rs]",
+        "        regs[rd] = nxt_pc",
+        *count_check("        "),
+        "else:",
+        "    def run():",
+        "        target = regs[rs]",
+        *count_check("        "),
+    ])
+    return jr, jalr
+
+
+_JR_MAKER, _JALR_MAKER = _jump_makers()
+_SIMPLE_MAKERS["jr"] = (_JR_MAKER,) * 2
+_SIMPLE_MAKERS["jalr"] = (_JALR_MAKER,) * 2
+
+
+def _compile_program(program: Program):
+    """The per-instruction compile plan: (maker, rd, rs, rt, imm, pc,
+    nxt, taken, taken_bad) tuples, one per instruction."""
+    instructions = program.instructions
+    count = len(instructions)
+    plan = []
+    for index, ins in enumerate(instructions):
+        op = ins.op
+        pc = CODE_BASE + (index << 2)
+        nxt = index + 1
+        makers = _SIMPLE_MAKERS.get(op)
+        if makers is None:  # pragma: no cover - assembler emits known ops
+            raise InstructionFault(f"undecodable instruction {op!r}", pc=pc)
+        maker = makers[1] if nxt == count else makers[0]
+        taken = None
+        taken_bad = None
+        if op in ("beq", "bne", "blt", "bge", "bltu", "bgeu", "j", "jal"):
+            taken = _static_target(ins.imm, count)
+            if taken is None:
+                taken = count
+                taken_bad = ins.imm
+        elif op in ("jr", "jalr"):
+            # Reuse the taken/taken_bad slots to pass the sentinel index
+            # and CODE_BASE to the dynamic-jump closures.
+            taken = count
+            taken_bad = CODE_BASE
+        off_end = pc + INSTRUCTION_BYTES if nxt == count else None
+        plan.append(
+            (maker, ins.rd, ins.rs, ins.rt, ins.imm, pc, nxt, off_end,
+             taken, taken_bad)
+        )
+    return plan, count
+
+
+def compiled_plan(program: Program):
+    """Per-program compile plan, computed once and cached on the
+    program object itself (Program defines __eq__ and is unhashable, so
+    a dict cache would either fail or compare whole instruction
+    lists)."""
+    cached = getattr(program, "_fastreplay_plan", None)
+    if cached is None:
+        cached = _compile_program(program)
+        program._fastreplay_plan = cached
+    return cached
+
+
+class _PredecodedReplayMemory:
+    """:class:`~repro.replay.replayer._ReplayMemory` semantics over a
+    pre-decoded record list (``FLLReader.decode_all``): the same
+    skip-counting first-load-log cursor and dictionary simulation,
+    without the per-record bit-reader calls on the load path."""
+
+    __slots__ = ("memory", "dictionary", "records", "cursor", "skipped",
+                 "consumed")
+
+    def __init__(self, memory: Memory, dictionary: DictionaryCompressor,
+                 records: "list[tuple[int, bool, int]]") -> None:
+        self.memory = memory
+        self.dictionary = dictionary
+        self.records = records
+        self.cursor = 0
+        self.skipped = 0
+        self.consumed = 0
+
+    @property
+    def pending(self) -> "tuple[int, bool, int] | None":
+        if self.cursor < len(self.records):
+            return self.records[self.cursor]
+        return None
+
+    def load(self, addr: int) -> int:
+        cursor = self.cursor
+        records = self.records
+        if cursor < len(records):
+            record = records[cursor]
+            if self.skipped == record[0]:
+                _, encoded, raw = record
+                value = self.dictionary.value_at(raw) if encoded else raw
+                self.memory.poke(addr, value)
+                self.cursor = cursor + 1
+                self.skipped = 0
+                self.consumed += 1
+                self.dictionary.update(value)
+                return value
+        value = self.memory.peek(addr)
+        self.skipped += 1
+        self.dictionary.update(value)
+        return value
+
+
+class FastIntervalResult:
+    """End state of one fast-replayed interval (mirrors the fields of
+    :class:`~repro.replay.replayer.IntervalReplay` that validation
+    consumes; no per-instruction events exist on this path)."""
+
+    __slots__ = ("fll", "end_pc", "end_regs", "records_consumed")
+
+    def __init__(self, fll: FLL, end_pc: int, end_regs: tuple,
+                 records_consumed: int) -> None:
+        self.fll = fll
+        self.end_pc = end_pc
+        self.end_regs = end_regs
+        self.records_consumed = records_consumed
+
+
+def fast_replay_interval(
+    program: Program,
+    config: BugNetConfig,
+    fll: FLL,
+    memory: "Memory | None" = None,
+    tail: "deque[int] | None" = None,
+    tail_depth: int = 0,
+) -> FastIntervalResult:
+    """Replay one interval on the compiled path.
+
+    *tail* (a bounded deque) receives the PCs of the interval's last
+    ``tail_depth`` instructions — enough for signature extraction even
+    when the final interval is shorter than the tail, because every
+    interval contributes its own last ``tail_depth`` PCs in order.
+    """
+    if memory is None:
+        memory = Memory(fault_checks=False)
+    else:
+        memory.fault_checks = False
+    plan, count = compiled_plan(program)
+    dictionary = DictionaryCompressor(config.dictionary)
+    reader = FLLReader(config, fll)
+    interface = _PredecodedReplayMemory(memory, dictionary,
+                                        reader.decode_all())
+    header = fll.header
+    regs = [value & MASK for value in header.regs]
+    regs[0] = 0
+    badpc = [0]
+    load = interface.load
+    store = memory.poke
+    fns = [
+        maker(rd, rs, rt, imm, pc, nxt, off_end, taken, taken_bad,
+              regs, load, store, badpc)
+        for (maker, rd, rs, rt, imm, pc, nxt, off_end, taken, taken_bad)
+        in plan
+    ]
+
+    def raiser():
+        raise InstructionFault(
+            f"instruction fetch from invalid address {badpc[0]:#010x}",
+            pc=badpc[0],
+        )
+    fns.append(raiser)
+
+    start_pc = header.pc
+    index = _static_target(start_pc, count)
+    if index is None:
+        badpc[0] = start_pc
+        index = count
+    end = fll.end_ic
+    steps = 0
+    fast_end = end if tail is None else max(end - tail_depth, 0)
+    try:
+        while steps < fast_end:
+            index = fns[index]()
+            steps += 1
+        while steps < end:
+            tail.append(badpc[0] if index == count else
+                        CODE_BASE + (index << 2))
+            index = fns[index]()
+            steps += 1
+    except Fault as fault:
+        pc_before = badpc[0] if index == count else CODE_BASE + (index << 2)
+        raise ReplayDivergence(
+            f"unexpected {fault.kind} fault at {pc_before:#010x} "
+            f"(ic={steps}) during replay: {fault}"
+        ) from fault
+    if interface.pending is not None:
+        unconsumed = len(interface.records) - interface.cursor
+        raise ReplayDivergence(
+            f"{unconsumed} unconsumed FLL records after "
+            f"replaying {fll.end_ic} instructions"
+        )
+    end_pc = badpc[0] if index == count else CODE_BASE + (index << 2)
+    return FastIntervalResult(
+        fll=fll,
+        end_pc=end_pc,
+        end_regs=tuple(regs),
+        records_consumed=interface.consumed,
+    )

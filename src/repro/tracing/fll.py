@@ -276,3 +276,85 @@ class FLLReader:
     def __iter__(self) -> Iterator[tuple[int, bool, int]]:
         while self._remaining > 0:
             yield self.next_record()
+
+    def decode_all(self) -> "list[tuple[int, bool, int]]":
+        """Decode every remaining record in one pass.
+
+        Identical results to repeated :meth:`next_record`, but decoded
+        with a rolling accumulator instead of per-field
+        :class:`~repro.common.bits.BitReader` calls — the fast-replay
+        path (:mod:`repro.replay.fastreplay`) consumes first-load
+        records from this list.  A payload too short for the claimed
+        record count raises :class:`LogDecodeError`, exactly like the
+        incremental reader (just before replay instead of at the
+        mid-replay load that would have consumed the missing record).
+        """
+        config = self.config
+        full_bits = config.full_lcount_bits
+        reduced_bits = config.reduced_lcount_bits
+        index_bits = config.dictionary.index_bits
+        full_mask = (1 << full_bits) - 1
+        reduced_mask = (1 << reduced_bits) - 1
+        index_mask = (1 << index_bits) - 1
+        reader = self._reader
+        data = self._data()
+        pos = reader.position
+        limit = self.fll.payload_bits
+        # Cheapest possible truncation guard: every record costs at
+        # least flag + reduced L-Count + flag + dictionary index bits.
+        min_record = 2 + reduced_bits + index_bits
+        if pos + self._remaining * min_record > limit:
+            raise LogDecodeError(
+                f"truncated FLL payload: {self._remaining} records cannot "
+                f"fit in {limit - pos} bits"
+            )
+        acc = 0
+        nbits = 0
+        byte_pos, bit_off = divmod(pos, 8)
+        if bit_off and byte_pos < len(data):
+            acc = data[byte_pos] & ((1 << (8 - bit_off)) - 1)
+            nbits = 8 - bit_off
+            byte_pos += 1
+        records = []
+        append = records.append
+        data_len = len(data)
+        consumed = pos
+        max_record = 34 + full_bits
+        for _ in range(self._remaining):
+            while nbits < max_record and byte_pos < data_len:
+                acc = (acc << 8) | data[byte_pos]
+                byte_pos += 1
+                nbits += 8
+            if nbits < max_record:
+                # Stream exhausted: zero-pad so field extraction stays
+                # branch-free; the `consumed` guard below rejects any
+                # record that actually reaches into the padding.
+                acc <<= max_record - nbits
+                nbits = max_record
+            # flag: full or reduced L-Count width
+            nbits -= 1
+            if (acc >> nbits) & 1:
+                width, mask = full_bits, full_mask
+            else:
+                width, mask = reduced_bits, reduced_mask
+            nbits -= width
+            skipped = (acc >> nbits) & mask
+            nbits -= 1
+            encoded = (acc >> nbits) & 1
+            vwidth = index_bits if encoded else 32
+            nbits -= vwidth
+            consumed += 2 + width + vwidth
+            if consumed > limit:
+                raise LogDecodeError(
+                    "truncated FLL payload: bit stream exhausted"
+                )
+            raw = (acc >> nbits) & (index_mask if encoded else 0xFFFFFFFF)
+            acc &= (1 << nbits) - 1
+            append((skipped, bool(encoded), raw))
+        # Leave the incremental reader consistent: everything consumed.
+        reader._pos = consumed
+        self._remaining = 0
+        return records
+
+    def _data(self) -> bytes:
+        return self._reader._data

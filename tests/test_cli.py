@@ -229,3 +229,78 @@ class TestTriageErrors:
         assert main(["triage", "--store", str(missing)]) == 2
         assert "no fleet store" in capsys.readouterr().err
         assert not missing.exists()
+
+    def test_empty_store_directory_exits_zero(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["triage", "--store", str(empty)]) == 0
+        assert "0 reports" in capsys.readouterr().out
+
+    def test_empty_store_directory_json(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert main(["triage", "--store", str(empty), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["buckets"] == []
+        assert payload["store_reports"] == 0
+
+
+class TestIngestEmptyInputs:
+    """`bugnet ingest` on empty/missing report inputs: exit 0 with a
+    clear "0 reports" message, no traceback, no store side effects."""
+
+    def test_empty_directory(self, crashy_source, tmp_path, capsys):
+        reports = tmp_path / "reports"
+        reports.mkdir()
+        store = tmp_path / "fleet"
+        assert main(["ingest", "--store", str(store),
+                     "--source", crashy_source, str(reports)]) == 0
+        captured = capsys.readouterr()
+        assert "0 reports" in captured.out
+        assert not store.exists(), "no store should be created for nothing"
+
+    def test_missing_directory(self, crashy_source, tmp_path, capsys):
+        store = tmp_path / "fleet"
+        assert main(["ingest", "--store", str(store),
+                     "--source", crashy_source,
+                     str(tmp_path / "no-such-dir")]) == 0
+        captured = capsys.readouterr()
+        assert "0 reports" in captured.out
+        assert "no such report" in captured.err
+
+    def test_missing_report_file_is_an_error(self, crashy_source,
+                                             tmp_path, capsys):
+        """A typo'd explicit report path must fail, not exit 0 — only
+        empty/missing *directories* are the routine case."""
+        assert main(["ingest", "--store", str(tmp_path / "fleet"),
+                     "--source", crashy_source,
+                     str(tmp_path / "crash.bugnet")]) == 2
+        assert "no such report file" in capsys.readouterr().err
+
+    def test_empty_inputs_json(self, crashy_source, tmp_path, capsys):
+        reports = tmp_path / "reports"
+        reports.mkdir()
+        assert main(["ingest", "--store", str(tmp_path / "fleet"),
+                     "--source", crashy_source, str(reports),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ingested"] == 0
+        assert payload["accepted"] == 0
+
+    def test_directory_expansion_ingests_reports(self, crashy_source,
+                                                 crash_file, tmp_path,
+                                                 capsys):
+        reports = tmp_path / "reports"
+        reports.mkdir()
+        import shutil
+
+        shutil.copy(crash_file, reports / "a.bugnet")
+        shutil.copy(crash_file, reports / "b.bugnet")
+        (reports / "ignored.txt").write_text("not a report")
+        store = tmp_path / "fleet"
+        assert main(["ingest", "--store", str(store),
+                     "--source", crashy_source, str(reports),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ingested"] == 2
+        assert payload["accepted"] == 2

@@ -5,8 +5,6 @@ the paper reports hold on smaller runs: who wins, monotonicity, and the
 direction of every trend.
 """
 
-import pytest
-
 from repro.analysis import experiments as exp
 from repro.analysis.report import Series, Table, format_bytes
 from repro.workloads.bugs import BUGS_BY_NAME

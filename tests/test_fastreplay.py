@@ -1,0 +1,162 @@
+"""Equivalence tests: compiled-dispatch replay vs the reference interpreter.
+
+The fast path (:mod:`repro.replay.fastreplay`) must be bit-identical to
+:class:`~repro.replay.replayer.Replayer` on everything validation
+consumes: signature tail PCs, end PC (including the
+transfer-to-invalid-address case fetch-fault crashes end on), end
+registers, reconstructed memory, records consumed, and the divergence
+behavior on corrupt logs.  The whole Table-1 bug suite is the corpus —
+it covers memory, instruction-fetch and arithmetic faults, dynamic
+jumps, and dictionary-encoded first-load traffic.
+"""
+
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.common.errors import LogDecodeError, ReplayDivergence
+from repro.fleet.ingest import _DECODE_ERRORS
+from repro.fleet.signature import replay_tail
+from repro.replay.fastreplay import fast_replay_interval
+from repro.replay.replayer import Replayer
+from repro.tracing.fll import FLLReader
+from repro.tracing.serialize import dump_crash_report, load_crash_report
+from repro.workloads.bugs import BUG_SUITE, BUGS_BY_NAME, run_bug
+
+# Fetch-fault bugs end their final interval on a jump to a non-code
+# address; the fast path must report that address as the end PC.
+FETCH_FAULT_BUGS = ("ncompress-4.2.4", "gnuplot-3.7.1-2", "python-2.1.1-2")
+INTERVALS = (500, 5_000, 100_000)
+
+
+def _crash(name: str, interval: int):
+    config = BugNetConfig(checkpoint_interval=interval)
+    run = run_bug(BUGS_BY_NAME[name], bugnet=config, record=True)
+    assert run.crashed
+    return run, config
+
+
+@pytest.mark.parametrize("bug", [bug.name for bug in BUG_SUITE])
+def test_whole_suite_equivalent(bug):
+    run, config = _crash(bug, 2_000)
+    report = run.result.crash
+    slow = replay_tail(report, config, run.program, fast=False)
+    fast = replay_tail(report, config, run.program, fast=True)
+    assert fast.tail_pcs == slow.tail_pcs
+    assert fast.end_pc == slow.end_pc
+    assert fast.end_regs == slow.end_regs
+    assert fast.instructions == slow.instructions
+    assert fast.intervals == slow.intervals
+    assert fast.memory._words == slow.memory._words
+
+
+@pytest.mark.parametrize("interval", INTERVALS)
+def test_interval_sweep_equivalent(interval):
+    """Interval size changes chain shape (many short intervals vs one
+    long one) and L-Count encodings; equivalence must hold across it."""
+    for bug in ("tar-1.13.25", "bc-1.06", "w3m-0.3.2.2"):
+        run, config = _crash(bug, interval)
+        report = run.result.crash
+        slow = replay_tail(report, config, run.program, fast=False)
+        fast = replay_tail(report, config, run.program, fast=True)
+        assert fast.tail_pcs == slow.tail_pcs
+        assert fast.end_pc == slow.end_pc
+        assert fast.end_regs == slow.end_regs
+        assert fast.memory._words == slow.memory._words
+
+
+@pytest.mark.parametrize("bug", FETCH_FAULT_BUGS)
+def test_fetch_fault_end_pc_is_bad_target(bug):
+    """An interval ending on a jump to a non-fetchable address must end
+    at that raw address (not fault early, not round it)."""
+    run, config = _crash(bug, 5_000)
+    report = run.result.crash
+    fast = replay_tail(report, config, run.program, fast=True)
+    assert fast.end_pc == report.fault_pc
+    slow = replay_tail(report, config, run.program, fast=False)
+    assert slow.end_pc == fast.end_pc
+
+
+def test_per_interval_records_consumed_match():
+    run, config = _crash("tar-1.13.25", 500)
+    report = run.result.crash
+    flls = report.replay_chain(report.faulting_tid)
+    assert len(flls) > 1
+    replayer = Replayer(run.program, config)
+    from repro.arch.memory import Memory
+
+    slow_mem, fast_mem = Memory(fault_checks=False), Memory(fault_checks=False)
+    for fll in flls:
+        slow = replayer.replay_interval(fll, memory=slow_mem,
+                                        collect_events=False)
+        fast = fast_replay_interval(run.program, config, fll,
+                                    memory=fast_mem)
+        assert fast.records_consumed == slow.records_consumed
+        assert fast.end_pc == slow.end_pc
+        assert fast.end_regs == slow.end_regs
+
+
+def test_decode_all_matches_incremental_reader():
+    run, config = _crash("gnuplot-3.7.1-1", 2_000)
+    report = run.result.crash
+    for fll in report.replay_chain(report.faulting_tid):
+        eager = FLLReader(config, fll).decode_all()
+        lazy = list(FLLReader(config, fll))
+        assert eager == lazy
+
+
+def test_decode_all_rejects_truncated_payload():
+    run, config = _crash("bc-1.06", 2_000)
+    report = run.result.crash
+    fll = report.replay_chain(report.faulting_tid)[-1]
+    assert fll.num_records > 0
+    truncated = fll.__class__(
+        header=fll.header,
+        payload=fll.payload[: max(len(fll.payload) // 2, 1)],
+        payload_bits=max(fll.payload_bits // 2, 1),
+        num_records=fll.num_records,
+        end_ic=fll.end_ic,
+        fault_pc=fll.fault_pc,
+        raw_payload_bits=fll.raw_payload_bits,
+    )
+    with pytest.raises(LogDecodeError, match="truncated"):
+        FLLReader(config, truncated).decode_all()
+
+
+class TestCorruptionRejection:
+    """Both paths must reject corrupted reports (reason strings may
+    differ; the *decision* may not)."""
+
+    def _flip_results(self, flip_at: float):
+        run, config = _crash("tidy-34132-3", 5_000)
+        blob = bytearray(dump_crash_report(run.result.crash, config))
+        blob[int(len(blob) * flip_at)] ^= 0xFF
+        outcomes = []
+        for fast in (False, True):
+            try:
+                report, cfg = load_crash_report(bytes(blob))
+                replay_tail(report, cfg, run.program, fast=fast)
+                outcomes.append("accepted")
+            except _DECODE_ERRORS as error:
+                outcomes.append(type(error).__name__)
+        return outcomes
+
+    @pytest.mark.parametrize("flip_at", [0.3, 0.5, 0.7, 0.9])
+    def test_corrupt_blob_rejected_by_both(self, flip_at):
+        slow_outcome, fast_outcome = self._flip_results(flip_at)
+        # zlib usually catches the flip at decode; when a flip survives
+        # into the logs, both replayers must reject.
+        assert slow_outcome != "accepted"
+        assert fast_outcome != "accepted"
+
+
+def test_divergent_log_raises_same_error_type():
+    """Replay program A against the logs of program B: both paths must
+    diverge (wrong-binary detection, the core validation property)."""
+    run_a, config = _crash("tidy-34132-2", 5_000)
+    run_b, _ = _crash("tidy-34132-3", 5_000)
+    fll_b = run_b.result.crash.replay_chain(
+        run_b.result.crash.faulting_tid)[-1]
+    with pytest.raises((ReplayDivergence, LogDecodeError)):
+        Replayer(run_a.program, config).replay_interval(fll_b)
+    with pytest.raises((ReplayDivergence, LogDecodeError)):
+        fast_replay_interval(run_a.program, config, fll_b)

@@ -186,3 +186,36 @@ class TestResolvers:
         run, _config = crashed
         resolver = resolver_from_sources([("whatever.s", run.program)])
         assert resolver("totally-different-name") is run.program
+
+
+class TestBudgetEnforcementDuringRun:
+    def test_large_run_respects_byte_budget(self, tmp_path):
+        """add_many protects its whole batch from eviction, so the
+        pipeline must chunk commits: one big ingest run may not blow
+        through the store's byte budget."""
+        from repro.fleet.ingest import IngestPipeline
+        from repro.fleet.signature import CrashSignature
+        from repro.fleet.validate import ValidatedReport
+
+        store = ReportStore(tmp_path / "budget", num_shards=2,
+                            byte_budget=250)
+        pipeline = IngestPipeline(store, lambda name: None, commit_batch=2)
+        validated = []
+        for index in range(6):
+            signature = CrashSignature(
+                program_name="prog", fault_kind="memory",
+                fault_pc=0x400000 + index * 4, tail_pcs=(0x400000,),
+            )
+            validated.append(ValidatedReport(
+                label=f"r{index}", blob=bytes([index]) * 100,
+                observed_at=None, signature=signature,
+                fault_kind="memory", program_name="prog",
+                instructions=10,
+            ))
+        results = pipeline._commit_batch(validated)
+        assert len(results) == 6
+        assert all(result.accepted for result in results)
+        # Budget held *during* the run: only the final chunk (plus at
+        # most what fits) survives, never the whole 600 bytes.
+        assert store.total_bytes <= 250
+        assert len(store) == 2

@@ -1,7 +1,5 @@
 """Unit tests for kernel services and scheduler state transitions."""
 
-import pytest
-
 from repro.arch import assemble
 from repro.common.config import BugNetConfig, MachineConfig
 from repro.common.errors import Fault

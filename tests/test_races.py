@@ -1,7 +1,5 @@
 """Integration tests: multiprocessor recording, MRLs, and race inference."""
 
-import pytest
-
 from repro.arch import assemble
 from repro.common.config import BugNetConfig, MachineConfig
 from repro.mp.machine import Machine

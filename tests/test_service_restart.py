@@ -1,0 +1,128 @@
+"""Mid-run service restart: zero accepted-report loss, zero duplication.
+
+The acceptance scenario: `bugnet load-sim` drives a real `bugnet serve`
+subprocess; the service is SIGKILLed mid-run and restarted on the same
+store and port; uploaders ride through it by reconnecting and retrying
+under their stable upload_ids.  Afterwards every upload the client saw
+*accepted* must be in the store exactly once — acks only follow durable
+commits (no loss), and the persisted upload_id index makes retries
+idempotent (no duplication).
+"""
+
+import asyncio
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.loadsim import run_load_sim, synthesize_corpus
+from repro.fleet.store import ReportStore
+
+pytestmark = pytest.mark.skipif(
+    sys.platform == "win32", reason="SIGKILL/flock semantics are POSIX-only"
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def _spawn_serve(store: Path, port: int) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO_ROOT / "src")
+        + (os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--store", str(store), "--host", "127.0.0.1",
+         "--port", str(port), "--workers", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    line = proc.stdout.readline()
+    assert "listening on" in line, (line, proc.poll())
+    return proc
+
+
+async def _wait_for_accepts(store: Path, minimum: int,
+                            timeout: float) -> None:
+    """Poll the store directory until *minimum* reports are committed."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        blobs = list(store.glob("shard-*/*.bugnet"))
+        if len(blobs) >= minimum:
+            return
+        await asyncio.sleep(0.02)
+    raise AssertionError(
+        f"service committed fewer than {minimum} reports in {timeout}s"
+    )
+
+
+def test_restart_no_loss_no_duplication(tmp_path):
+    _programs, items, failures = synthesize_corpus(
+        36, ("tidy-34132-2", "tidy-34132-3"), seed=11, corrupt=2,
+        intervals=(2_000, 5_000), id_prefix="restart",
+    )
+    assert failures == 0
+    store = tmp_path / "fleet"
+    port = _free_port()
+    proc = _spawn_serve(store, port)
+    replacement = None
+
+    async def scenario():
+        nonlocal replacement
+        uploads = asyncio.create_task(run_load_sim(
+            "127.0.0.1", port, items, concurrency=4,
+            max_attempts=200, backoff_base=0.02,
+        ))
+        # Let some commits land, then kill the service outright.
+        await _wait_for_accepts(store, minimum=6, timeout=60)
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+        # Uploaders are now reconnect-looping; restart on the same
+        # store and port (in a thread: _spawn_serve blocks on stdout).
+        replacement = await asyncio.get_running_loop().run_in_executor(
+            None, _spawn_serve, store, port,
+        )
+        return await uploads
+
+    try:
+        report = asyncio.run(scenario())
+    finally:
+        for child in (proc, replacement):
+            if child is not None and child.poll() is None:
+                child.send_signal(signal.SIGTERM)
+                try:
+                    child.wait(timeout=20)
+                except subprocess.TimeoutExpired:
+                    child.kill()
+                    child.wait(timeout=20)
+
+    valid = [i for i in items if not i[0].startswith("corrupt-")]
+    # Every valid upload was eventually accepted; the kill cost nothing.
+    assert len(report.accepted) == len(valid), report.to_dict()
+    assert len(report.rejected) == 2
+    assert not report.failed, [o.reason for o in report.failed]
+    # The run really did ride through a restart.
+    assert sum(o.reconnects for o in report.outcomes) > 0
+    # Zero loss, zero duplication: each accepted upload_id appears in
+    # the reopened store exactly once.
+    reopened = ReportStore(store)
+    stored_ids = [entry.upload_id for entry in reopened.entries()]
+    assert len(stored_ids) == len(set(stored_ids)), "duplicated commits"
+    accepted_ids = {
+        uid for (label, _blob, uid) in valid
+        if label in {o.label for o in report.accepted}
+    }
+    assert accepted_ids <= set(stored_ids), "accepted-then-lost reports"
+    assert len(reopened) == len(valid)
