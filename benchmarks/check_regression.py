@@ -60,6 +60,23 @@ def measure_fleet_ingest() -> float:
     return INGEST_REPORTS / elapsed
 
 
+def measure_mt_validation() -> float:
+    """Multithreaded whole-report validation rate (reports/s).  The
+    per-report work (every-thread replay + MRL cross-check + race
+    inference) does not shrink with BUGNET_BENCH_SCALE, so the rate is
+    scale-stable like the other per-item metrics."""
+    from benchmarks.test_mt_validation import (
+        MT_REPORTS,
+        _mt_traffic,
+        _validate_all,
+    )
+
+    _mt_traffic()  # synthesize outside the timed region
+    elapsed, (results, _buckets) = _best(_validate_all)
+    assert all(result.accepted for result in results)
+    return MT_REPORTS / elapsed
+
+
 def measure_fleet_service() -> float:
     from benchmarks.test_service_throughput import (
         SERVICE_UPLOADS,
@@ -95,6 +112,8 @@ METRICS = {
                               measure_trace_engine),
     "fleet_ingest_reports_per_sec": (("fleet_ingest", "reports_per_sec"),
                                      measure_fleet_ingest),
+    "fleet_mt_validate_reports_per_sec": (
+        ("fleet_mt_validate", "reports_per_sec"), measure_mt_validation),
     "fleet_service_reports_per_sec": (("fleet_service", "reports_per_sec"),
                                       measure_fleet_service),
     "forensics_ddg_build_ips": (("forensics_slice", "ddg_build_ips"),

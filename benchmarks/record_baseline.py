@@ -31,6 +31,11 @@ from benchmarks.test_ingest_throughput import (  # noqa: E402
     _fleet_traffic,
     _ingest_all,
 )
+from benchmarks.test_mt_validation import (  # noqa: E402
+    MT_REPORTS,
+    _mt_traffic,
+    _validate_all,
+)
 from benchmarks.test_service_throughput import (  # noqa: E402
     SERVICE_UPLOADS,
     _run_service_load,
@@ -72,6 +77,9 @@ def main() -> None:
     ingest_time, (ingest_results, ingest_buckets) = _best(_ingest_all)
     assert all(result.accepted for result in ingest_results)
     replayed = sum(r.instructions_replayed for r in ingest_results)
+    _mt_traffic()  # synthesize the multithreaded corpus outside timing
+    mt_time, (mt_results, mt_buckets) = _best(_validate_all)
+    assert all(result.accepted for result in mt_results)
     _service_traffic()  # synthesize service traffic outside timing
     service_report = None
     for _ in range(ROUNDS):
@@ -118,6 +126,17 @@ def main() -> None:
             "replayed_instructions": replayed,
             "reports_per_sec": round(INGEST_REPORTS / ingest_time, 1),
             "replay_ips": round(replayed / ingest_time),
+        },
+        # Multi-thread validation (benchmarks/test_mt_validation.py):
+        # whole-report admission for multithreaded/racy crash reports —
+        # every thread chain-replayed on the compiled traced path, MRL
+        # constraints cross-checked, schedule merged, races inferred
+        # for the signature's race evidence, store commit included.
+        "fleet_mt_validate": {
+            "reports": MT_REPORTS,
+            "buckets": len(mt_buckets),
+            "racy_buckets": sum(1 for bucket in mt_buckets if bucket.racy),
+            "reports_per_sec": round(MT_REPORTS / mt_time, 1),
         },
         # Live ingestion service (benchmarks/test_service_throughput.py):
         # `bugnet load-sim` against an in-process `bugnet serve` — the

@@ -1,0 +1,97 @@
+"""Multi-thread validation throughput: the race-aware fleet hot path.
+
+Multithreaded crash reports cost more to admit than single-thread ones:
+validation chain-replays *every* thread with logs on the compiled
+traced path, decodes and cross-checks the MRL ordering constraints,
+merges a constraint-respecting schedule, and infers the data races
+feeding the crash (the signature's race evidence).  This benchmark
+measures that whole pipeline in reports/second over a corpus of
+schedule-different recordings of the Table-1 multithreaded bugs —
+python-2.1.1-2 (small window, race-free) and gaim-0.82.1 (the racy
+buddy-removal bug whose manifestations must dedup into one bucket).
+
+``BENCH_throughput.json`` records the checked-in baseline
+(``fleet_mt_validate``; regenerate with ``PYTHONPATH=src python
+benchmarks/record_baseline.py``); ``benchmarks/check_regression.py``
+gates CI on it.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+from benchmarks.scaling import scaled
+
+from repro.common.config import BugNetConfig
+from repro.fleet.ingest import IngestPipeline
+from repro.fleet.store import ReportStore
+from repro.fleet.triage import build_buckets
+from repro.forensics.autopsy import bug_suite_resolver
+from repro.tracing.serialize import dump_crash_report
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+MT_REPORTS = scaled(8, minimum=4)
+_INTERVALS = (5_000, 20_000)
+
+_cache = None
+
+
+def _mt_traffic():
+    """MT_REPORTS schedule-different multithreaded crash reports.
+
+    Interleave seeds vary per run (the realistic racy-fleet shape:
+    duplicates of one race arrive from different schedules); gaim's
+    seeds are offset so at least two manifestations land on different
+    fault PCs, proving the race-keyed bucketing inside the benchmark's
+    own assertions.
+    """
+    global _cache
+    if _cache is None:
+        items = []
+        for index in range(MT_REPORTS):
+            racy = index % 2 == 0
+            bug = BUGS_BY_NAME["gaim-0.82.1" if racy else "python-2.1.1-2"]
+            config = BugNetConfig(
+                checkpoint_interval=_INTERVALS[index % len(_INTERVALS)]
+            )
+            run = run_bug(bug, bugnet=config, record=True,
+                          interleave_seed=(index * 2) if racy else 0)
+            assert run.crashed
+            items.append((
+                f"mt-{index:03d}:{bug.name}",
+                dump_crash_report(run.result.crash, config),
+                index,
+            ))
+        _cache = items
+    return _cache
+
+
+def _validate_all():
+    items = _mt_traffic()
+    root = Path(tempfile.mkdtemp(prefix="bugnet-bench-mt-"))
+    try:
+        store = ReportStore(root, num_shards=4)
+        pipeline = IngestPipeline(store, bug_suite_resolver())
+        results = pipeline.ingest_many(items)
+        buckets = build_buckets(store)
+        return results, buckets
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_mt_validation_throughput(benchmark):
+    _mt_traffic()  # synthesize outside the timed region
+    results, buckets = benchmark.pedantic(_validate_all, rounds=3,
+                                          iterations=1)
+    assert all(result.accepted for result in results)
+    # All schedule-different gaim recordings are one race-keyed bucket;
+    # python-2 is one fault-site bucket.
+    assert len(buckets) == 2
+    racy = [bucket for bucket in buckets if bucket.racy]
+    assert len(racy) == 1
+    assert racy[0].program_name == "gaim-0.82.1"
+    assert racy[0].count == sum(1 for label, _b, _o in _mt_traffic()
+                                if "gaim" in label)
+    replayed = sum(result.instructions_replayed for result in results)
+    benchmark.extra_info["reports"] = len(results)
+    benchmark.extra_info["replayed_instructions"] = replayed

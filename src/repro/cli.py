@@ -424,11 +424,24 @@ def _cmd_autopsy(args) -> int:
 
 
 def _parse_bug_names(spec: "str | None") -> "list[str] | None":
-    """Validate a ``--bugs`` list against the suite; None on error."""
-    from repro.fleet.loadsim import DEFAULT_BUGS
+    """Validate a ``--bugs`` list against the suite; None on error.
+
+    Two aliases expand in place: ``mt`` — the paper's multithreaded
+    programs (multi-core racy traffic), ``default`` — the fast
+    single-thread subset.  ``--bugs default,gaim-0.82.1`` mixes both
+    traffic classes in one corpus.
+    """
+    from repro.fleet.loadsim import DEFAULT_BUGS, MT_BUGS
     from repro.workloads.bugs import BUGS_BY_NAME
 
-    names = spec.split(",") if spec else list(DEFAULT_BUGS)
+    names = []
+    for name in (spec.split(",") if spec else ["default"]):
+        if name == "mt":
+            names.extend(MT_BUGS)
+        elif name == "default":
+            names.extend(DEFAULT_BUGS)
+        else:
+            names.append(name)
     unknown = [name for name in names if name not in BUGS_BY_NAME]
     if unknown:
         print(f"error: unknown bug(s): {', '.join(unknown)} "
@@ -713,7 +726,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fleet.add_argument("--runs", type=int, default=50)
     fleet.add_argument("--bugs", default=None,
-                       help="comma-separated bug names (default: a fast subset)")
+                       help="comma-separated bug names; aliases: "
+                            "'default' (fast subset), 'mt' (multithreaded "
+                            "racy traffic)")
     fleet.add_argument("--seed", type=int, default=0)
     fleet.add_argument("--corrupt", type=int, default=2,
                        help="corrupted blobs to inject (must be rejected)")
@@ -768,8 +783,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadsim.add_argument("--runs", type=int, default=50,
                          help="crashing runs to synthesize and upload")
     loadsim.add_argument("--bugs", default=None,
-                         help="comma-separated bug names (default: a fast "
-                              "subset)")
+                         help="comma-separated bug names; aliases: "
+                              "'default' (fast subset), 'mt' "
+                              "(multithreaded racy traffic)")
     loadsim.add_argument("--seed", type=int, default=0)
     loadsim.add_argument("--corrupt", type=int, default=2,
                          help="corrupted blobs to inject (must be rejected)")

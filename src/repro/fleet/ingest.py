@@ -96,6 +96,7 @@ class IngestPipeline:
                     "fault_kind": item.fault_kind,
                     "program_name": item.program_name,
                     "observed_at": item.observed_at,
+                    "race_pcs": item.signature.race_pcs,
                 }
                 for item in chunk
             ]))

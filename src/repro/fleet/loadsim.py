@@ -19,6 +19,7 @@ Two halves:
 from __future__ import annotations
 
 import asyncio
+import math
 import random
 import time
 from dataclasses import dataclass, field
@@ -31,6 +32,16 @@ DEFAULT_INTERVALS = (5_000, 10_000, 25_000, 100_000)
 DEFAULT_BUGS = (
     "bc-1.06", "tar-1.13.25", "gnuplot-3.7.1-1",
     "tidy-34132-2", "tidy-34132-3", "python-2.1.1-2",
+)
+#: The paper's four multithreaded programs (five Table-1 bugs) — the
+#: multi-core racy traffic class.  ``--bugs mt`` on ``bugnet
+#: fleet-sim``/``load-sim`` expands to this set; every run gets a
+#: distinct interleave seed, so one racy bug arrives as
+#: schedule-different reports (different MRLs, different fault sites)
+#: that race-aware signatures must dedup into one bucket.
+MT_BUGS = (
+    "gaim-0.82.1", "napster-1.5.2",
+    "python-2.1.1-1", "python-2.1.1-2", "w3m-0.3.2.2",
 )
 
 
@@ -59,7 +70,13 @@ def synthesize_corpus(
     for index in range(runs):
         bug = BUGS_BY_NAME[rng.choice(list(bug_names))]
         config = BugNetConfig(checkpoint_interval=rng.choice(list(intervals)))
-        run = run_bug(bug, bugnet=config, record=True)
+        # Multithreaded entries get a fresh interleave seed per run:
+        # real fleet duplicates of a racy bug arrive from different
+        # schedules (different MRLs, possibly different crash sites),
+        # which is exactly what race-aware dedup must absorb.
+        interleave = rng.randrange(1, 1 << 16) if bug.multithreaded else 0
+        run = run_bug(bug, bugnet=config, record=True,
+                      interleave_seed=interleave)
         if not run.crashed:
             failures += 1
             continue
@@ -181,12 +198,19 @@ class LoadSimReport:
         return len(self.outcomes) / self.elapsed
 
     def latency_percentile(self, fraction: float) -> float:
-        """Ack-latency percentile over terminal outcomes (seconds)."""
+        """Ack-latency percentile over terminal outcomes (seconds).
+
+        Nearest-rank definition: the smallest latency with at least
+        ``fraction`` of the samples at or below it, i.e. the 1-based
+        rank ``ceil(fraction * n)``.  (``int(fraction * n)`` overshoots
+        by one whenever ``fraction * n`` is exact — the p50 of an even
+        sample count came out one rank high.)
+        """
         latencies = sorted(o.latency for o in self.outcomes)
         if not latencies:
             return 0.0
-        rank = min(int(fraction * len(latencies)), len(latencies) - 1)
-        return latencies[rank]
+        rank = max(math.ceil(fraction * len(latencies)) - 1, 0)
+        return latencies[min(rank, len(latencies) - 1)]
 
     def to_dict(self) -> dict:
         return {

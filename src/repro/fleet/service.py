@@ -463,6 +463,7 @@ class FleetService:
                 "program_name": validated.program_name,
                 "observed_at": validated.observed_at,
                 "upload_id": admitted.upload_id,
+                "race_pcs": validated.signature.race_pcs,
             }
             for admitted, validated in batch
         ]

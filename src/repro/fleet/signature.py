@@ -13,6 +13,18 @@ faulting thread's resident log chain with
 PCs.  Because replay is deterministic, the signature is too, and because
 only the *tail* participates, reports with different windows of the same
 bug land in the same bucket.
+
+**Racy crashes need one more normalization.**  A data race manifests
+wherever the schedule happens to land the remote store: gaim's buddy
+removal crashes the UI thread at four different dereference sites
+(the paper's Table 1 lists four source lines for one bug), so the
+faulting PC and tail are *schedule-dependent* and would fragment one
+race across buckets.  When ingest-time validation finds racing remote
+stores feeding the crash (``race_pcs``), the digest keys on that
+evidence — the program, the fault kind, and the racing stores' PCs —
+instead of the fault site, so schedule-different manifestations of one
+race dedup into one bucket.  Single-thread (and race-free
+multithreaded) signatures hash exactly as before.
 """
 
 from __future__ import annotations
@@ -35,12 +47,25 @@ DEFAULT_TAIL_DEPTH = 12
 
 @dataclass(frozen=True)
 class CrashSignature:
-    """The dedup key for one crash bucket."""
+    """The dedup key for one crash bucket.
+
+    ``race_pcs`` holds the PCs of remote stores that race with the
+    accesses feeding the crash (empty for single-thread and race-free
+    reports).  When present, the digest keys on that schedule-stable
+    evidence instead of the schedule-dependent fault site; the fault
+    PC and tail stay populated for display either way.
+    """
 
     program_name: str
     fault_kind: str
     fault_pc: int
     tail_pcs: tuple[int, ...]
+    race_pcs: tuple[int, ...] = ()
+
+    @property
+    def race_keyed(self) -> bool:
+        """True when the digest buckets on race evidence."""
+        return bool(self.race_pcs)
 
     @property
     def digest(self) -> str:
@@ -50,9 +75,18 @@ class CrashSignature:
         hasher.update(b"\x00")
         hasher.update(self.fault_kind.encode("utf-8"))
         hasher.update(b"\x00")
-        hasher.update(self.fault_pc.to_bytes(8, "little"))
-        for pc in self.tail_pcs:
-            hasher.update(pc.to_bytes(8, "little"))
+        if self.race_pcs:
+            # Race-keyed: the fault site is where the schedule happened
+            # to land the crash, not bug identity — hash the racing
+            # stores instead (a domain tag keeps the two keyspaces
+            # disjoint).
+            hasher.update(b"race-v1\x00")
+            for pc in sorted(set(self.race_pcs)):
+                hasher.update(pc.to_bytes(8, "little"))
+        else:
+            hasher.update(self.fault_pc.to_bytes(8, "little"))
+            for pc in self.tail_pcs:
+                hasher.update(pc.to_bytes(8, "little"))
         return hasher.hexdigest()
 
     @property
@@ -137,13 +171,23 @@ def replay_tail(
     )
 
 
-def signature_from_tail(report: CrashReport, tail: ReplayedTail) -> CrashSignature:
-    """Build the signature from an already-performed validation replay."""
+def signature_from_tail(
+    report: CrashReport,
+    tail: ReplayedTail,
+    race_pcs: "tuple[int, ...]" = (),
+) -> CrashSignature:
+    """Build the signature from an already-performed validation replay.
+
+    *race_pcs* is the race evidence multi-thread validation inferred
+    (PCs of remote stores racing with the crash's feeding accesses);
+    when non-empty the signature buckets on it.
+    """
     return CrashSignature(
         program_name=report.program_name,
         fault_kind=report.fault_kind,
         fault_pc=report.fault_pc,
         tail_pcs=tail.tail_pcs,
+        race_pcs=tuple(sorted(set(race_pcs))),
     )
 
 

@@ -50,8 +50,11 @@ The per-shard index is a compact binary file (no pickle, same
 discipline as :mod:`repro.tracing.serialize`), append-only on ingest
 and rewritten on eviction.  Format v2 adds a per-record ``upload_id``
 — the idempotency token the ingestion service uses to make client
-retries safe across service restarts; v1 indexes read transparently
-and are upgraded in place on first append.
+retries safe across service restarts; format v3 adds the per-record
+race evidence (``race_pcs``, the racing remote stores ingest-time
+validation inferred), so triage can flag racy buckets without
+re-replaying anything.  v1/v2 indexes read transparently and are
+upgraded in place on first append.
 
 Retention mirrors :class:`~repro.tracing.backing.LogStore`: a byte
 budget over the stored blobs, exceeded → evict the globally oldest
@@ -80,7 +83,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback (no locking)
     fcntl = None
 
 _INDEX_MAGIC = b"BGSI"
-_INDEX_VERSION = 2
+_INDEX_VERSION = 3
 _HEADER_SIZE = 8          # magic + u32 version
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
@@ -100,6 +103,12 @@ class StoredEntry:
     shard: int
     filename: str
     upload_id: str = ""  # client idempotency token ("" = none)
+    race_pcs: tuple[int, ...] = ()  # racing remote-store PCs (v3; () = none)
+
+    @property
+    def racy(self) -> bool:
+        """True when ingest-time validation race-keyed this report."""
+        return bool(self.race_pcs)
 
     @property
     def order_key(self) -> tuple[int, int]:
@@ -170,21 +179,37 @@ def _pack_entry(entry: StoredEntry) -> bytes:
     _write_str(out, entry.program_name)
     _write_str(out, entry.filename)
     _write_str(out, entry.upload_id)           # v2 addition
+    _write_u32(out, len(entry.race_pcs))       # v3 addition
+    for pc in entry.race_pcs:
+        _write_u64(out, pc)
     return out.getvalue()
 
 
 def _unpack_entry(reader: _IndexReader, shard: int,
                   version: int) -> StoredEntry:
+    digest = reader.raw(32).hex()
+    seq = reader.u64()
+    observed_at = reader.u64()
+    byte_size = reader.u32()
+    replay_window = reader.u64()
+    fault_kind = reader.text()
+    program_name = reader.text()
+    filename = reader.text()
+    upload_id = reader.text() if version >= 2 else ""
+    race_pcs: tuple[int, ...] = ()
+    if version >= 3:
+        race_pcs = tuple(reader.u64() for _ in range(reader.u32()))
     return StoredEntry(
-        digest=reader.raw(32).hex(),
-        seq=reader.u64(),
-        observed_at=reader.u64(),
-        byte_size=reader.u32(),
-        replay_window=reader.u64(),
-        fault_kind=reader.text(),
-        program_name=reader.text(),
-        filename=reader.text(),
-        upload_id=reader.text() if version >= 2 else "",
+        digest=digest,
+        seq=seq,
+        observed_at=observed_at,
+        byte_size=byte_size,
+        replay_window=replay_window,
+        fault_kind=fault_kind,
+        program_name=program_name,
+        filename=filename,
+        upload_id=upload_id,
+        race_pcs=race_pcs,
         shard=shard,
     )
 
@@ -474,10 +499,11 @@ class ReportStore:
         for entry in fresh:
             self._next_seq = max(self._next_seq, entry.seq + 1)
 
-    def _upgrade_shard_v1(self, shard: int) -> None:
-        """Rewrite a v1 shard index as v2 (caller holds the shard
-        lock).  Reads the file itself — not the in-memory view — so a
-        concurrent writer's records survive the upgrade."""
+    def _upgrade_shard_legacy(self, shard: int) -> None:
+        """Rewrite a v1/v2 shard index at the current version (caller
+        holds the shard lock).  Reads the file itself — not the
+        in-memory view — so a concurrent writer's records survive the
+        upgrade."""
         entries = self._read_shard_index(shard)
         out = io.BytesIO()
         out.write(_INDEX_MAGIC)
@@ -512,7 +538,7 @@ class ReportStore:
             self._index_inode[shard] = path.stat().st_ino
             return
         if self._shard_versions.get(shard, _INDEX_VERSION) < _INDEX_VERSION:
-            self._upgrade_shard_v1(shard)
+            self._upgrade_shard_legacy(shard)
         with open(path, "ab") as handle:
             handle.write(payload)
             if self.fsync:
@@ -561,6 +587,7 @@ class ReportStore:
         program_name: str = "",
         observed_at: int | None = None,
         upload_id: str = "",
+        race_pcs: "tuple[int, ...]" = (),
     ) -> StoredEntry:
         """Store one validated report blob under its signature digest.
 
@@ -577,6 +604,7 @@ class ReportStore:
             "program_name": program_name,
             "observed_at": observed_at,
             "upload_id": upload_id,
+            "race_pcs": race_pcs,
         }])[0]
 
     def add_many(self, items: "list[dict]") -> "list[StoredEntry]":
@@ -584,7 +612,7 @@ class ReportStore:
 
         Each item is a dict with ``digest`` and ``blob`` (required) and
         optional ``replay_window``, ``fault_kind``, ``program_name``,
-        ``observed_at``, ``upload_id``.  The batch gets consecutive
+        ``observed_at``, ``upload_id``, ``race_pcs``.  The batch gets consecutive
         sequence numbers, per-shard writes take each shard lock once,
         and the metadata/eviction pass runs once — the commit-batching
         the ingestion service relies on.  Entries are durable against
@@ -615,6 +643,7 @@ class ReportStore:
                 shard=shard,
                 filename=f"{seq:08d}-{digest[:12]}.bugnet",
                 upload_id=item.get("upload_id", ""),
+                race_pcs=tuple(item.get("race_pcs", ())),
             )
             new_entries.append(entry)
             by_shard.setdefault(shard, []).append((entry, blob))

@@ -44,6 +44,24 @@ class Bucket:
         return sum(entry.byte_size for entry in self.entries)
 
     @property
+    def racy(self) -> bool:
+        """True when ingest-time validation race-keyed this bucket.
+
+        Read straight from the stored index (v3) — no replay needed at
+        triage time.  Any entry suffices: race evidence is part of the
+        signature, so a bucket is either all-racy or all-not.
+        """
+        return any(entry.race_pcs for entry in self.entries)
+
+    @property
+    def race_pcs(self) -> tuple[int, ...]:
+        """PCs of the racing remote stores this bucket is keyed on."""
+        pcs: set[int] = set()
+        for entry in self.entries:
+            pcs.update(entry.race_pcs)
+        return tuple(sorted(pcs))
+
+    @property
     def representative(self) -> StoredEntry:
         """The report to open first: largest replay window, oldest wins ties
         (it has been reproducing the longest)."""
@@ -67,6 +85,8 @@ class Bucket:
             "first_seen": self.first_seen,
             "last_seen": self.last_seen,
             "bytes_stored": self.bytes_stored,
+            "racy": self.racy,
+            "race_pcs": list(self.race_pcs),
             "representative": {
                 "seq": rep.seq,
                 "shard": rep.shard,
@@ -113,7 +133,10 @@ def render_triage(buckets: list[Bucket], limit: int | None = None,
             rank,
             bucket.digest[:12],
             bucket.program_name,
-            bucket.fault_kind,
+            # Race-keyed buckets are flagged inline: the bucket's
+            # identity is the racing store, not the (schedule-
+            # dependent) fault site.
+            bucket.fault_kind + (" [racy]" if bucket.racy else ""),
             bucket.count,
             rep.replay_window,
             format_bytes(bucket.bytes_stored),

@@ -24,10 +24,11 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.arch.program import Program
-from repro.common.errors import ReproError
+from repro.common.errors import ReplayDivergence, ReproError
 from repro.fleet.signature import (
     DEFAULT_TAIL_DEPTH,
     CrashSignature,
+    ReplayedTail,
     replay_tail,
     signature_from_tail,
 )
@@ -35,11 +36,25 @@ from repro.replay.replayer import Replayer
 from repro.tracing.serialize import load_crash_report
 
 #: Everything a hostile/corrupt blob can legitimately raise while being
-#: decoded: our own error hierarchy, zlib/struct framing errors, and
-#: field-validation errors from reconstructing the recorder config.
-DECODE_ERRORS = (ReproError, zlib.error, struct.error, ValueError, KeyError)
+#: decoded or replayed: our own error hierarchy, zlib/struct framing
+#: errors, field-validation errors from reconstructing the recorder
+#: config, and lookup failures from corrupt dictionary-encoded FLL
+#: payloads (``LookupError`` covers ``KeyError`` and ``IndexError`` —
+#: a flipped bit in a compressed record indexes an empty dictionary
+#: entry, which must reject the report, not traceback through
+#: ``bugnet ingest``).
+DECODE_ERRORS = (ReproError, zlib.error, struct.error, ValueError,
+                 LookupError)
 
 ProgramResolver = Callable[[str], "Program | None"]
+
+#: Instructions from the end of the faulting thread's replay whose
+#: *loads* anchor race-evidence inference.  The crash idioms BugNet
+#: targets dereference a value loaded at most a couple of instructions
+#: before the fault (the pointer load feeding the crashing access);
+#: a wider window would sweep in benign shared traffic (worker-pool
+#: scratch buffers) and key race buckets on noise.
+RACE_EVIDENCE_WINDOW = 4
 
 
 @dataclass
@@ -84,11 +99,20 @@ def validate_report(
 
     Returns a :class:`ValidatedReport` on success or a rejecting
     :class:`IngestResult` naming the reason.  The pipeline: deserialize
-    the blob, resolve the program binary it names, replay the faulting
-    thread's whole resident log chain (compiled-dispatch replay), check
-    it ends on the recorded faulting PC, and optionally re-execute the
-    faulting instruction against the replayed state to confirm the
-    fault reproduces.
+    the blob, resolve the program binary it names, replay the resident
+    log chain of **every thread with logs** (compiled-dispatch replay),
+    cross-check the MRL ordering constraints across threads, check the
+    faulting thread's replay ends on the recorded faulting PC, and
+    optionally re-execute the faulting instruction against the replayed
+    state to confirm the fault reproduces.
+
+    Single-thread reports take exactly the old fast path.  For
+    multithreaded reports the whole-report replay additionally infers
+    the data races feeding the crash; the racing remote stores' PCs
+    become the signature's race evidence, so schedule-different
+    manifestations of one race dedup into one bucket — and a report
+    whose *non-faulting* thread logs are corrupt is rejected here, at
+    ingest, instead of crashing ``bugnet autopsy`` after commit.
     """
     try:
         report, config = load_crash_report(blob)
@@ -99,8 +123,13 @@ def validate_report(
         return IngestResult(
             label, False, f"unknown program {report.program_name!r}"
         )
+    race_pcs: "tuple[int, ...]" = ()
     try:
-        tail = replay_tail(report, config, program, tail_depth)
+        if len(report.thread_ids) > 1:
+            tail, race_pcs = _validate_threads(
+                report, config, program, tail_depth)
+        else:
+            tail = replay_tail(report, config, program, tail_depth)
     except DECODE_ERRORS as error:
         return IngestResult(label, False, f"replay: {error}")
     last_fll = tail.last_fll
@@ -135,13 +164,92 @@ def validate_report(
         label=label,
         blob=blob,
         observed_at=observed_at,
-        signature=signature_from_tail(report, tail),
+        signature=signature_from_tail(report, tail, race_pcs=race_pcs),
         fault_kind=report.fault_kind,
         program_name=report.program_name,
         # The *validated* window: instructions the chain actually
         # replayed (an ungrounded prefix would overstate it).
         instructions=tail.instructions,
     )
+
+
+def _validate_threads(
+    report, config, program, tail_depth,
+) -> "tuple[ReplayedTail, tuple[int, ...]]":
+    """Chain-replay every thread with grounded logs; returns the
+    faulting thread's tail plus the inferred race evidence.
+
+    The compiled traced replay (:func:`replay_all_threads` with
+    ``fast=True``) replays each thread's grounded chain, decodes every
+    MRL, maps the entries onto replay indices (rejecting out-of-range
+    entries), and merges a constraint-respecting schedule — an
+    infeasible (cyclic) constraint system, a corrupt FLL/MRL payload,
+    or a chain that diverges from the binary all raise into the
+    caller's rejection path, naming the offending thread.
+    """
+    from repro.replay.races import ReportLogs, replay_all_threads
+
+    logs = ReportLogs(report, grounded=True)
+    threads = logs.threads()
+    faulting = report.faulting_tid
+    if faulting not in threads:
+        raise ReplayDivergence(
+            f"no replayable chain for faulting thread {faulting} "
+            f"(threads with logs: {report.thread_ids or 'none'})"
+        )
+    mt = replay_all_threads(
+        logs, {tid: program for tid in threads}, config, fast=True,
+    )
+    thread = mt.traced[faulting]
+    tail = ReplayedTail(
+        tail_pcs=tuple(thread.pcs[-max(tail_depth, 1):]),
+        instructions=thread.instructions,
+        end_pc=thread.end_pc,
+        intervals=thread.intervals,
+        end_regs=thread.end_regs,
+        memory=thread.memory,
+        last_fll=report.replay_chain(faulting)[-1],
+    )
+    return tail, race_evidence(mt, faulting)
+
+
+def race_evidence(
+    mt,
+    faulting_tid: int,
+    window: int = RACE_EVIDENCE_WINDOW,
+    max_reports: int = 64,
+) -> "tuple[int, ...]":
+    """PCs of remote stores racing with the accesses feeding the crash.
+
+    The relevance anchor is the set of addresses the faulting thread
+    *loaded* within its last *window* replayed instructions — the
+    pointer/operand loads feeding the faulting access.  A data race on
+    one of those addresses whose store side belongs to another thread
+    is the schedule-stable identity of a racy crash: the store PC stays
+    put while the manifestation site moves with the interleaving.
+    Returns ``()`` for race-free reports (the signature then keys on
+    the fault site exactly as for single-thread reports).
+    """
+    from repro.replay.races import infer_races
+
+    thread = mt.traced[faulting_tid]
+    cutoff = thread.instructions - window
+    relevant = set()
+    for index, addr, _value, is_load in reversed(thread.accesses):
+        if index < cutoff:
+            break  # accesses are in execution order
+        if is_load:
+            relevant.add(addr)
+    if not relevant:
+        return ()
+    races = infer_races(mt, sync=[], max_reports=max_reports,
+                        addrs=relevant)
+    pcs = set()
+    for race in races:
+        for side, kind in zip((race.first, race.second), race.kinds):
+            if kind == "store" and side[0] != faulting_tid:
+                pcs.add(side[2])
+    return tuple(sorted(pcs))
 
 
 def probe_fault(report, config, program, tail) -> bool:

@@ -167,19 +167,6 @@ class Autopsy:
         return "\n".join(lines)
 
 
-class _ReportLogs:
-    """Adapter: a CrashReport's checkpoint map viewed as a LogStore."""
-
-    def __init__(self, report: CrashReport) -> None:
-        self._checkpoints = report.checkpoints
-
-    def threads(self) -> list[int]:
-        return sorted(self._checkpoints)
-
-    def checkpoints(self, tid: int):
-        return self._checkpoints[tid]
-
-
 def _primary_fault_reg(program: Program, ddg: DDG, fault_pc: int,
                        fault_kind: str) -> tuple[int | None, int]:
     """(register to chase, observation index) for the faulting operand.
@@ -209,17 +196,27 @@ def _primary_fault_reg(program: Program, ddg: DDG, fault_pc: int,
 
 def _infer_report_races(report: CrashReport, config: BugNetConfig,
                         program: Program, max_reports: int = 32):
-    """Races inferred over every thread's logs in the report."""
-    from repro.replay.races import infer_races, replay_all_threads
+    """Races inferred over every thread's logs in the report.
+
+    Runs the compiled traced replay (``fast=True``) — bit-identical
+    race output to the reference interpreter, at fleet-batch speed.
+    ``LookupError`` joins ``ReproError`` in the guard: corrupt
+    dictionary-encoded FLL payloads surface as bare lookup failures,
+    and an autopsy must degrade to "no race evidence", never crash
+    (ingest-time validation rejects such reports up front, but stores
+    written by older builds can still hold them).
+    """
+    from repro.replay.races import ReportLogs, infer_races, replay_all_threads
 
     try:
         replay = replay_all_threads(
-            _ReportLogs(report),
+            ReportLogs(report),
             {tid: program for tid in report.thread_ids},
             config,
+            fast=True,
         )
         return infer_races(replay, sync=[], max_reports=max_reports)
-    except ReproError:
+    except (ReproError, LookupError):
         return []
 
 
@@ -457,7 +454,10 @@ def autopsy_store(
         try:
             outcome.autopsy = perform_autopsy(
                 report, config, program, races=races)
-        except ReproError as error:
+        except (ReproError, LookupError) as error:
+            # LookupError: corrupt dictionary-encoded logs in a store
+            # written before ingest-time thread validation; one bad
+            # bucket must not kill the whole unattended batch.
             outcome.error = f"analysis: {error}"
         return outcome
 

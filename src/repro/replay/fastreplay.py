@@ -484,6 +484,27 @@ class FastIntervalResult:
         self.records_consumed = records_consumed
 
 
+class ChainTrace:
+    """Access trace of a fast-replayed interval chain.
+
+    The multi-thread validation path needs, per committed instruction,
+    the PC and (for memory ops) the touched address — exactly what race
+    inference consumes — without the per-instruction
+    :class:`~repro.replay.replayer.ReplayEvent` objects the reference
+    interpreter builds.  ``pcs[i]`` is the PC of the chain's *i*-th
+    instruction; ``accesses`` holds ``(index, addr, value, is_load)``
+    tuples in execution order.  One trace spans a whole chain: pass the
+    same object to every :func:`fast_replay_interval` call so indices
+    stay chain-global.
+    """
+
+    __slots__ = ("pcs", "accesses")
+
+    def __init__(self) -> None:
+        self.pcs: "list[int]" = []
+        self.accesses: "list[tuple[int, int, int, bool]]" = []
+
+
 def fast_replay_interval(
     program: Program,
     config: BugNetConfig,
@@ -491,6 +512,7 @@ def fast_replay_interval(
     memory: "Memory | None" = None,
     tail: "deque[int] | None" = None,
     tail_depth: int = 0,
+    trace: "ChainTrace | None" = None,
 ) -> FastIntervalResult:
     """Replay one interval on the compiled path.
 
@@ -498,6 +520,12 @@ def fast_replay_interval(
     ``tail_depth`` instructions — enough for signature extraction even
     when the final interval is shorter than the tail, because every
     interval contributes its own last ``tail_depth`` PCs in order.
+
+    *trace* (a :class:`ChainTrace`) captures every committed PC and
+    memory access instead: the multi-thread validation mode.  The
+    wrappers it installs around the load/store closures change no
+    semantics — end state stays bit-identical to the untraced path and
+    to the reference interpreter (``tests/test_fastreplay.py``).
     """
     if memory is None:
         memory = Memory(fault_checks=False)
@@ -514,6 +542,23 @@ def fast_replay_interval(
     badpc = [0]
     load = interface.load
     store = memory.poke
+    if trace is not None:
+        pcs = trace.pcs
+        accesses = trace.accesses
+        inner_load = load
+        inner_store = store
+
+        def load(addr):
+            value = inner_load(addr)
+            # The driver appends the current PC *before* dispatching, so
+            # len(pcs) - 1 is this instruction's chain-global index.
+            accesses.append((len(pcs) - 1, addr, value & MASK, True))
+            return value
+
+        def store(addr, value):
+            inner_store(addr, value)
+            accesses.append((len(pcs) - 1, addr, value & MASK, False))
+
     fns = [
         maker(rd, rs, rt, imm, pc, nxt, off_end, taken, taken_bad,
               regs, load, store, badpc)
@@ -537,6 +582,18 @@ def fast_replay_interval(
     steps = 0
     fast_end = end if tail is None else max(end - tail_depth, 0)
     try:
+        if trace is not None:
+            pcs_append = trace.pcs.append
+            while steps < end:
+                pcs_append(badpc[0] if index == count else
+                           CODE_BASE + (index << 2))
+                index = fns[index]()
+                steps += 1
+            if tail is not None:
+                # A caller combining tracing with signature-tail
+                # extraction still gets the interval's last PCs (the
+                # traced loop already captured every one).
+                tail.extend(trace.pcs[len(trace.pcs) - end:])
         while steps < fast_end:
             index = fns[index]()
             steps += 1

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.config import BugNetConfig
-from repro.common.errors import ReplayDivergence
+from repro.common.errors import ReplayDivergence, ReproError
 from repro.replay.replayer import IntervalReplay, Replayer
 from repro.tracing.backing import LogStore
 from repro.tracing.mrl import MRLReader
@@ -58,40 +58,117 @@ class RaceReport:
 
 
 @dataclass
+class TracedThreadReplay:
+    """One thread's compiled-path replay summary (the fast MT mode).
+
+    Carries what the fleet validation and race inference consume — the
+    full PC stream, the access stream, and the final machine state —
+    without per-instruction event objects.  Produced by
+    :func:`replay_all_threads` with ``fast=True`` from
+    :class:`~repro.replay.fastreplay.ChainTrace` captures.
+    """
+
+    pcs: list[int]
+    accesses: list[tuple[int, int, int, bool]]  # (index, addr, value, load?)
+    end_pc: int
+    end_regs: tuple[int, ...]
+    intervals: int
+    memory: object = None
+
+    @property
+    def instructions(self) -> int:
+        return len(self.pcs)
+
+
+@dataclass
 class MultiThreadReplay:
-    """The stitched result of replaying every thread in a LogStore."""
+    """The stitched result of replaying every thread in a LogStore.
+
+    Exactly one of two storages is populated: *per_thread* (reference
+    interpreter, per-instruction :class:`ReplayEvent` lists — what the
+    debugger front-ends consume) or *traced* (compiled fast path,
+    :class:`TracedThreadReplay` summaries — what fleet validation
+    consumes).  Constraints, schedule and race inference are computed
+    identically over either (``tests/test_fastreplay.py`` pins it).
+    """
 
     per_thread: dict[int, list[IntervalReplay]]
     constraints: list[Constraint]
     schedule: list[tuple[int, int]] = field(default_factory=list)  # (tid, index)
+    traced: "dict[int, TracedThreadReplay] | None" = None
+
+    @property
+    def thread_ids(self) -> list[int]:
+        source = self.traced if self.traced is not None else self.per_thread
+        return sorted(source)
 
     def thread_length(self, tid: int) -> int:
         """Total replayed instructions for a thread."""
+        if self.traced is not None:
+            return self.traced[tid].instructions
         return sum(r.instructions for r in self.per_thread[tid])
 
     def event_at(self, tid: int, index: int):
-        """The ReplayEvent for a thread's global instruction *index*."""
+        """The ReplayEvent for a thread's global instruction *index*
+        (reference mode only — the fast mode keeps no event objects)."""
         for replay in self.per_thread[tid]:
             if index < replay.instructions:
                 return replay.events[index]
             index -= replay.instructions
         raise IndexError(f"thread {tid} has no instruction {index}")
 
+    def access_map(
+        self, addrs: "set[int] | None" = None,
+    ) -> "dict[int, list[tuple[int, int, int, str]]]":
+        """addr -> [(tid, index, pc, "load"|"store")] in replay order.
 
-def replay_all_threads(
+        The shape race inference consumes; *addrs* restricts the map to
+        the given addresses (the validation-time relevance filter,
+        which also skips building entries nobody will look at).
+        """
+        accesses: dict[int, list[tuple[int, int, int, str]]] = {}
+        if self.traced is not None:
+            for tid in sorted(self.traced):
+                thread = self.traced[tid]
+                pcs = thread.pcs
+                for index, addr, _value, is_load in thread.accesses:
+                    if addrs is not None and addr not in addrs:
+                        continue
+                    accesses.setdefault(addr, []).append(
+                        (tid, index, pcs[index], "load" if is_load else "store")
+                    )
+            return accesses
+        for tid in sorted(self.per_thread):
+            index = 0
+            for interval in self.per_thread[tid]:
+                for event in interval.events:
+                    if event.store is not None:
+                        if addrs is None or event.store[0] in addrs:
+                            accesses.setdefault(event.store[0], []).append(
+                                (tid, index, event.pc, "store")
+                            )
+                    elif event.load is not None:
+                        if addrs is None or event.load[0] in addrs:
+                            accesses.setdefault(event.load[0], []).append(
+                                (tid, index, event.pc, "load")
+                            )
+                    index += 1
+        return accesses
+
+
+def _index_intervals(
     store: LogStore,
-    programs: "dict[int, object]",
-    config: BugNetConfig,
-) -> MultiThreadReplay:
-    """Replay every thread in *store* and derive the ordering constraints.
+) -> "tuple[dict[int, list], dict[tuple[int, int], int]]":
+    """Map every resident interval to its thread-global start index.
 
-    *programs* maps tid → the Program each thread ran (threads of one
-    process share a binary; we allow distinct ones for generality).
+    Returns ``(flls_by_tid, base_index)`` where ``base_index[(tid,
+    cid)]`` is the thread-global ordinal of that interval's first
+    instruction.  Rejects duplicate resident C-IDs — an MRL entry could
+    not name which incarnation it meant.
     """
-    per_thread: dict[int, list[IntervalReplay]] = {}
-    base_index: dict[tuple[int, int], int] = {}  # (tid, cid) -> global start
+    flls_by_tid: dict[int, list] = {}
+    base_index: dict[tuple[int, int], int] = {}
     for tid in store.threads():
-        replayer = Replayer(programs[tid], config)
         flls = [cp.fll for cp in store.checkpoints(tid)]
         start = 0
         for fll in flls:
@@ -103,25 +180,125 @@ def replay_all_threads(
                 )
             base_index[key] = start
             start += fll.end_ic
-        per_thread[tid] = replayer.replay(flls)
+        flls_by_tid[tid] = flls
+    return flls_by_tid, base_index
 
+
+def _mrl_constraints(
+    store: LogStore,
+    config: BugNetConfig,
+    base_index: "dict[tuple[int, int], int]",
+    lengths: "dict[int, int]",
+) -> list[Constraint]:
+    """Decode every MRL in *store* into replay-index constraints.
+
+    Entries whose remote interval was evicted are skipped (they cannot
+    bind anything we replay); entries whose indices land outside the
+    replayed streams are rejected — real recorders cannot produce them,
+    so they are corruption, and silently ignoring them would let a
+    tampered MRL pass fleet validation.
+    """
     constraints: list[Constraint] = []
     for tid in store.threads():
         for checkpoint in store.checkpoints(tid):
-            local_base = base_index[(tid, checkpoint.mrl.header.cid)]
-            for entry in MRLReader(config, checkpoint.mrl):
+            mrl = checkpoint.mrl
+            local_base = base_index[(tid, mrl.header.cid)]
+            for entry in MRLReader(config, mrl):
+                # The observing instruction is a 0-based index inside
+                # its own interval, so anything at or past end_ic is
+                # corruption — checked per interval, not against the
+                # thread total, or a tampered entry would silently
+                # re-attribute to a later interval's instruction (or
+                # become a dead constraint _merge_schedule never
+                # consults).
+                if entry.local_ic >= checkpoint.fll.end_ic:
+                    raise ReplayDivergence(
+                        f"thread {tid} MRL entry at local ic "
+                        f"{entry.local_ic} lies beyond interval "
+                        f"C-ID {mrl.header.cid} "
+                        f"({checkpoint.fll.end_ic} instructions)"
+                    )
+                local_index = local_base + entry.local_ic
                 remote_key = (entry.remote_tid, entry.remote_cid)
                 if remote_key not in base_index:
                     # The remote interval was evicted from the bounded log
                     # region; the constraint cannot bind anything we replay.
                     continue
+                remote_index = base_index[remote_key] + entry.remote_ic
+                if remote_index > lengths.get(entry.remote_tid, 0):
+                    raise ReplayDivergence(
+                        f"thread {tid} MRL entry points at remote ic "
+                        f"{entry.remote_ic} beyond thread "
+                        f"{entry.remote_tid}'s replayed stream"
+                    )
                 constraints.append(Constraint(
                     local_tid=tid,
-                    local_index=local_base + entry.local_ic,
+                    local_index=local_index,
                     remote_tid=entry.remote_tid,
-                    remote_index=base_index[remote_key] + entry.remote_ic,
+                    remote_index=remote_index,
                 ))
-    result = MultiThreadReplay(per_thread=per_thread, constraints=constraints)
+    return constraints
+
+
+def replay_all_threads(
+    store: LogStore,
+    programs: "dict[int, object]",
+    config: BugNetConfig,
+    fast: bool = False,
+) -> MultiThreadReplay:
+    """Replay every thread in *store* and derive the ordering constraints.
+
+    *programs* maps tid → the Program each thread ran (threads of one
+    process share a binary; we allow distinct ones for generality).
+
+    *fast* selects the compiled-dispatch traced replay
+    (:mod:`repro.replay.fastreplay`): no per-instruction event objects,
+    same end states, same constraints, same schedule, same inferred
+    races — the mode fleet validation runs at scale, equivalence-pinned
+    against the reference interpreter by ``tests/test_fastreplay.py``.
+    """
+    flls_by_tid, base_index = _index_intervals(store)
+    per_thread: dict[int, list[IntervalReplay]] = {}
+    traced: "dict[int, TracedThreadReplay] | None" = None
+    if fast:
+        from repro.arch.memory import Memory
+        from repro.replay.fastreplay import ChainTrace, fast_replay_interval
+
+        traced = {}
+        for tid, flls in flls_by_tid.items():
+            trace = ChainTrace()
+            memory = Memory(fault_checks=False)
+            last = None
+            try:
+                for fll in flls:
+                    last = fast_replay_interval(
+                        programs[tid], config, fll,
+                        memory=memory, trace=trace,
+                    )
+            except (ReproError, LookupError) as error:
+                # Name the thread: fleet validation surfaces this as the
+                # rejection reason, and "thread 1's logs are corrupt"
+                # beats a bare dictionary-index failure.
+                raise ReplayDivergence(
+                    f"thread {tid} chain replay failed: {error}"
+                ) from error
+            traced[tid] = TracedThreadReplay(
+                pcs=trace.pcs,
+                accesses=trace.accesses,
+                end_pc=last.end_pc if last is not None else 0,
+                end_regs=last.end_regs if last is not None else (),
+                intervals=len(flls),
+                memory=memory,
+            )
+    else:
+        for tid, flls in flls_by_tid.items():
+            per_thread[tid] = Replayer(programs[tid], config).replay(flls)
+
+    result = MultiThreadReplay(
+        per_thread=per_thread, constraints=[], traced=traced,
+    )
+    lengths = {tid: result.thread_length(tid) for tid in result.thread_ids}
+    result.constraints = _mrl_constraints(store, config, base_index, lengths)
     result.schedule = _merge_schedule(result)
     return result
 
@@ -131,11 +308,12 @@ def _merge_schedule(
     extra_constraints: list[Constraint] = (),
 ) -> list[tuple[int, int]]:
     """A valid interleaving: round-robin merge honoring all constraints."""
-    lengths = {tid: replay.thread_length(tid) for tid in replay.per_thread}
-    progress = {tid: 0 for tid in replay.per_thread}
+    tids = replay.thread_ids
+    lengths = {tid: replay.thread_length(tid) for tid in tids}
+    progress = {tid: 0 for tid in tids}
     # waiting[tid][index] -> list of (remote_tid, remote_index) prerequisites
     waiting: dict[int, dict[int, list[tuple[int, int]]]] = {
-        tid: {} for tid in replay.per_thread
+        tid: {} for tid in tids
     }
     for constraint in list(replay.constraints) + list(extra_constraints):
         waiting[constraint.local_tid].setdefault(constraint.local_index, []).append(
@@ -143,7 +321,6 @@ def _merge_schedule(
         )
     schedule: list[tuple[int, int]] = []
     total = sum(lengths.values())
-    tids = sorted(replay.per_thread)
     while len(schedule) < total:
         advanced = False
         for tid in tids:
@@ -163,6 +340,32 @@ def _merge_schedule(
     return schedule
 
 
+class ReportLogs:
+    """Adapter: a CrashReport's checkpoint map viewed as a LogStore.
+
+    *grounded* restricts each thread to its replayable chain (earliest
+    resident major checkpoint onward) — what fleet validation replays;
+    the default exposes every resident checkpoint, matching what
+    :class:`~repro.tracing.backing.LogStore` holds at record time.
+    """
+
+    def __init__(self, report, grounded: bool = False) -> None:
+        if grounded:
+            self._checkpoints = {
+                tid: chain
+                for tid in report.thread_ids
+                if (chain := report.grounded_checkpoints(tid))
+            }
+        else:
+            self._checkpoints = report.checkpoints
+
+    def threads(self) -> list[int]:
+        return sorted(self._checkpoints)
+
+    def checkpoints(self, tid: int):
+        return self._checkpoints[tid]
+
+
 def sync_constraints(
     replay: MultiThreadReplay,
     sync_edges: list[tuple[int, int, int, int]],
@@ -178,9 +381,9 @@ def sync_constraints(
     prefix clamp to the window start, which only ever weakens ordering
     (sound for race detection).
     """
-    offsets = {tid: 0 for tid in replay.per_thread}
+    offsets = {tid: 0 for tid in replay.thread_ids}
     if total_instructions:
-        for tid in replay.per_thread:
+        for tid in offsets:
             total = total_instructions.get(tid)
             if total is not None:
                 offsets[tid] = total - replay.thread_length(tid)
@@ -211,7 +414,8 @@ def _segment_clocks(
     gets the vector clock of everything that happens-before its start.
     Returns tid -> list of (segment_start_index, clock) sorted by start.
     """
-    cut_points: dict[int, set[int]] = {tid: {0} for tid in replay.per_thread}
+    tids = replay.thread_ids
+    cut_points: dict[int, set[int]] = {tid: {0} for tid in tids}
     for constraint in constraints:
         # The local instruction waits: a new segment begins at it.
         cut_points[constraint.local_tid].add(constraint.local_index)
@@ -222,13 +426,19 @@ def _segment_clocks(
     # vector clocks; record the clock at each segment start.  The sweep
     # order must respect the sync edges themselves (they carry no
     # coherence traffic, so the MRL-only schedule may reorder around
-    # them), so merge a schedule over the union.
-    sweep = _merge_schedule(replay, extra_constraints=constraints)
+    # them), so merge a schedule over the union.  With no extra edges
+    # the already-merged schedule is that order — reuse it instead of
+    # re-merging (the common fleet-validation case, where no kernel
+    # sync edges ship in the crash report).
+    if constraints:
+        sweep = _merge_schedule(replay, extra_constraints=constraints)
+    else:
+        sweep = replay.schedule or _merge_schedule(replay)
     clocks: dict[int, dict[int, int]] = {
-        tid: {tid: 0} for tid in replay.per_thread
+        tid: {tid: 0} for tid in tids
     }
     segment_clocks: dict[int, list[tuple[int, dict[int, int]]]] = {
-        tid: [] for tid in replay.per_thread
+        tid: [] for tid in tids
     }
     releases: dict[tuple[int, int], list[tuple[int, int]]] = {}
     for constraint in constraints:
@@ -275,6 +485,7 @@ def infer_races(
     replay: MultiThreadReplay,
     sync: list[Constraint] | None = None,
     max_reports: int = 100,
+    addrs: "set[int] | None" = None,
 ) -> list[RaceReport]:
     """Find conflicting access pairs unordered by *synchronization*.
 
@@ -287,24 +498,13 @@ def infer_races(
     actually happened.
 
     Reports at most *max_reports* races, one per (address, thread-pair,
-    kind), to keep output readable.
+    kind), to keep output readable.  *addrs* restricts inference to the
+    given addresses — how fleet validation asks only about the words
+    feeding the crash, so the report cap cannot starve the relevant
+    race behind benign shared traffic.
     """
     segments = _segment_clocks(replay, sync or [])
-
-    accesses: dict[int, list[tuple[int, int, int, str]]] = {}
-    for tid, replays in replay.per_thread.items():
-        index = 0
-        for interval in replays:
-            for event in interval.events:
-                if event.store is not None:
-                    accesses.setdefault(event.store[0], []).append(
-                        (tid, index, event.pc, "store")
-                    )
-                elif event.load is not None:
-                    accesses.setdefault(event.load[0], []).append(
-                        (tid, index, event.pc, "load")
-                    )
-                index += 1
+    accesses = replay.access_map(addrs)
 
     def ordered(a: tuple[int, int, int, str], b: tuple[int, int, int, str]) -> bool:
         """True if a happens-before b or b happens-before a."""

@@ -59,6 +59,19 @@ class CrashReport:
                 return flls[index:]
         return []
 
+    def grounded_checkpoints(self, tid: int) -> list[StoredCheckpoint]:
+        """The (FLL, MRL) checkpoint suffix matching :meth:`replay_chain`.
+
+        Multi-thread validation needs the MRLs alongside the grounded
+        FLL chain; returns ``[]`` when no major checkpoint survived
+        eviction (the thread has no chain replay can ground).
+        """
+        checkpoints = self.checkpoints.get(tid, [])
+        for index, checkpoint in enumerate(checkpoints):
+            if checkpoint.fll.header.major:
+                return checkpoints[index:]
+        return []
+
     def replay_window(self, tid: int) -> int:
         """Instructions replayable for *tid* from the shipped logs."""
         return sum(cp.fll.interval_length for cp in self.checkpoints.get(tid, []))

@@ -113,6 +113,7 @@ def run_bug(
     bugnet: BugNetConfig | None = None,
     record: bool = True,
     collect_traces: bool = False,
+    interleave_seed: int = 0,
 ) -> BugRunResult:
     """Run one bug program to its crash and measure the replay window.
 
@@ -121,12 +122,16 @@ def run_bug(
     on the faulting thread when the root cause is local to it, and in
     globally interleaved instructions when another thread planted it
     (the multithreaded gaim/napster cases).
+
+    *interleave_seed* selects the multiprocessor schedule (0: rotating
+    round-robin; non-zero: seeded random core picks) — how fleet-sim
+    synthesizes schedule-different manifestations of one racy bug.
     """
     program = bug.program()
     cores = bug.threads if bug.threads > 1 else 1
     machine = Machine(
         program,
-        MachineConfig(num_cores=cores),
+        MachineConfig(num_cores=cores, interleave_seed=interleave_seed),
         bugnet or BugNetConfig(checkpoint_interval=100_000),
         record=record,
         collect_traces=collect_traces,
@@ -701,7 +706,25 @@ def _gaim() -> BugProgram:
     # thread's rate, so the expected global distance is ~one UI pass.
     # Windows here are inherently approximate — they depend on where in
     # the pass the removal lands.
-    ui_iters = (window - 60) // _WORK_PER_ITER
+    #
+    # The paper's Table 1 names FOUR defect lines for this one bug
+    # (gtkdialogs.c 759/820/862/901): the same unsynchronized removal
+    # crashes whichever buddy dereference the schedule reaches next.
+    # The UI pass therefore touches the slot at four sites — repaint
+    # at mid-pass, then tooltip/context-menu/log-viewer clustered near
+    # the pass end.  The removal lands (schedule-dependently) right at
+    # the repaint site's neighborhood, so different interleave seeds
+    # genuinely crash at different PCs, while the round-robin default
+    # keeps the measured window near the paper's number — exactly the
+    # schedule-different manifestations race-aware fleet signatures
+    # must bucket into one crash bucket.
+    half = (window // 2 - 40) // _WORK_PER_ITER
+    cluster_gap = 70
+    deref = """
+ui_{site}:
+    lw   t0, 0(s0)              # gtkdialogs.c — no liveness check
+    lw   t1, 0(t0)              # crash here once the slot is nulled
+"""
     source = f"""
 .data
 buddies: .word 0, 0, 0, 0
@@ -714,14 +737,19 @@ main:                           # UI thread: repaint loop
     syscall
     sw   v0, 0(s0)              # one live buddy
 ui_loop:
-{_work('ui', ui_iters)}
-    lw   t0, 0(s0)              # gtkdialogs.c — no liveness check
-    lw   t1, 0(t0)              # crash here once the slot is nulled
+{_work('ui_a', half)}
+{deref.format(site='repaint')}
+{_work('ui_b', half - 2 * cluster_gap)}
+{deref.format(site='tooltip')}
+{_work('ui_c', cluster_gap)}
+{deref.format(site='ctxmenu')}
+{_work('ui_d', cluster_gap)}
+{deref.format(site='logview')}
     b    ui_loop
 
 worker:                         # removal thread
     la   s0, buddies
-{_work('rm', _iters(window // 2, overhead=30))}
+{_work('rm', _iters(window // 2 + 500, overhead=30))}
 root_cause:
     sw   zero, 0(s0)            # remove the buddy, UI never told
 {_work('rm2', _iters(window * 2, overhead=30))}

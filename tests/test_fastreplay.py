@@ -160,3 +160,94 @@ def test_divergent_log_raises_same_error_type():
         Replayer(run_a.program, config).replay_interval(fll_b)
     with pytest.raises((ReplayDivergence, LogDecodeError)):
         fast_replay_interval(run_a.program, config, fll_b)
+
+
+MT_BUGS = [bug.name for bug in BUG_SUITE if bug.multithreaded]
+
+
+class TestTracedMultiThreadEquivalence:
+    """The compiled traced MT path vs the reference interpreter.
+
+    ``replay_all_threads(fast=True)`` feeds fleet validation and race
+    inference; everything it derives — constraints, merged schedule,
+    per-thread end states, the access map, and the inferred races —
+    must be identical to the reference mode across the multithreaded
+    Table-1 corpus.
+    """
+
+    def _both(self, name, interval=20_000):
+        from repro.replay.races import ReportLogs, replay_all_threads
+
+        run, config = _crash(name, interval)
+        report, loaded_config = load_crash_report(
+            dump_crash_report(run.result.crash, config)
+        )
+        logs = ReportLogs(report)
+        programs = {tid: run.program for tid in report.thread_ids}
+        reference = replay_all_threads(logs, programs, loaded_config)
+        fast = replay_all_threads(logs, programs, loaded_config, fast=True)
+        return report, reference, fast
+
+    @pytest.mark.parametrize("bug", MT_BUGS)
+    def test_constraints_schedule_and_end_states(self, bug):
+        report, reference, fast = self._both(bug)
+        assert reference.constraints == fast.constraints
+        assert reference.schedule == fast.schedule
+        assert reference.thread_ids == fast.thread_ids
+        for tid in report.thread_ids:
+            assert reference.thread_length(tid) == fast.thread_length(tid)
+            last = reference.per_thread[tid][-1]
+            traced = fast.traced[tid]
+            assert last.end_pc == traced.end_pc
+            assert last.end_regs == traced.end_regs
+            # The PC stream is exactly the event PCs.
+            event_pcs = [event.pc
+                         for interval in reference.per_thread[tid]
+                         for event in interval.events]
+            assert event_pcs == traced.pcs
+
+    @pytest.mark.parametrize("bug", MT_BUGS)
+    def test_access_map_and_races_identical(self, bug):
+        from repro.replay.races import infer_races
+
+        _report, reference, fast = self._both(bug)
+        assert reference.access_map() == fast.access_map()
+        assert (infer_races(reference, sync=[])
+                == infer_races(fast, sync=[]))
+
+    def test_filtered_access_map_is_a_restriction(self):
+        _report, _reference, fast = self._both("gaim-0.82.1")
+        full = fast.access_map()
+        some_addr = next(iter(full))
+        filtered = fast.access_map({some_addr})
+        assert set(filtered) == {some_addr}
+        assert filtered[some_addr] == full[some_addr]
+
+
+def test_trace_and_tail_together_fill_the_tail():
+    """Passing both a trace and a tail deque must fill the tail exactly
+    as the tail-only path does (it used to come back silently empty)."""
+    from collections import deque
+
+    from repro.arch.memory import Memory
+    from repro.replay.fastreplay import ChainTrace
+
+    run, config = _crash("bc-1.06", 2_000)
+    report = run.result.crash
+    flls = report.replay_chain(report.faulting_tid)
+
+    tail_only: deque = deque(maxlen=12)
+    memory = Memory(fault_checks=False)
+    for fll in flls:
+        fast_replay_interval(run.program, config, fll, memory=memory,
+                             tail=tail_only, tail_depth=12)
+
+    both: deque = deque(maxlen=12)
+    trace = ChainTrace()
+    memory = Memory(fault_checks=False)
+    for fll in flls:
+        fast_replay_interval(run.program, config, fll, memory=memory,
+                             tail=both, tail_depth=12, trace=trace)
+
+    assert list(both) == list(tail_only)
+    assert list(both) == trace.pcs[-12:]

@@ -1,0 +1,410 @@
+"""Race-aware fleet validation: every thread replays, races key buckets.
+
+The admission-integrity scenario this pins: the fleet loop used to
+validate only the *faulting* thread's chain, so a report whose
+non-faulting-thread FLL/MRL blobs were corrupt sailed through ingest
+and later crashed ``bugnet autopsy`` (which replays all threads).
+Validation now chain-replays every thread with logs, cross-checks the
+MRL ordering constraints, and infers the data races feeding the crash
+— whose remote-store PCs become the signature's race evidence, so
+schedule-different manifestations of one race dedup into one bucket.
+"""
+
+import copy
+import dataclasses
+
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.fleet.ingest import IngestPipeline
+from repro.fleet.signature import compute_signature
+from repro.fleet.store import ReportStore
+from repro.fleet.triage import build_buckets, render_triage
+from repro.fleet.validate import IngestResult, ValidatedReport, validate_report
+from repro.forensics.autopsy import (
+    VERDICT_RACE_REMOTE,
+    autopsy_store,
+    bug_suite_resolver,
+)
+from repro.tracing.serialize import dump_crash_report
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+
+@pytest.fixture(scope="module")
+def resolver():
+    return bug_suite_resolver()
+
+
+@pytest.fixture(scope="module")
+def mt_crash():
+    """A fast multithreaded (non-racy) crash: python-2.1.1-2."""
+    config = BugNetConfig(checkpoint_interval=2_000)
+    run = run_bug(BUGS_BY_NAME["python-2.1.1-2"], bugnet=config, record=True)
+    assert run.crashed
+    assert len(run.result.crash.thread_ids) == 2
+    return run, config
+
+
+@pytest.fixture(scope="module")
+def gaim_crashes():
+    """Two schedule-different recordings of gaim's buddy-removal race.
+
+    The seeds are chosen so the crash manifests at *different* PCs —
+    the paper's gtkdialogs.c bug crashes at four different lines
+    depending on where the removal lands in the repaint pass.
+    """
+    config = BugNetConfig(checkpoint_interval=20_000)
+    runs = []
+    for seed in (0, 4):
+        run = run_bug(BUGS_BY_NAME["gaim-0.82.1"], bugnet=config,
+                      record=True, interleave_seed=seed)
+        assert run.crashed
+        runs.append(run)
+    assert (runs[0].result.crash.fault_pc
+            != runs[1].result.crash.fault_pc), (
+        "seeds no longer produce schedule-different manifestations; "
+        "re-pick them"
+    )
+    return runs, config
+
+
+def _corrupt_thread_fll(crash, tid, checkpoint=0):
+    """A report whose *tid*'s FLL payload has one flipped byte."""
+    corrupted = copy.copy(crash)
+    corrupted.checkpoints = dict(crash.checkpoints)
+    checkpoints = list(crash.checkpoints[tid])
+    victim = checkpoints[checkpoint]
+    payload = bytearray(victim.fll.payload)
+    payload[len(payload) // 2] ^= 0xFF
+    checkpoints[checkpoint] = dataclasses.replace(
+        victim, fll=dataclasses.replace(victim.fll, payload=bytes(payload))
+    )
+    corrupted.checkpoints[tid] = checkpoints
+    return corrupted
+
+
+def _corrupt_thread_mrl(crash, tid, checkpoint=0):
+    """A report whose *tid*'s MRL decodes to out-of-range garbage."""
+    corrupted = copy.copy(crash)
+    corrupted.checkpoints = dict(crash.checkpoints)
+    checkpoints = list(crash.checkpoints[tid])
+    victim = checkpoints[checkpoint]
+    mrl = victim.mrl
+    if mrl.payload:
+        payload = bytearray(mrl.payload)
+        payload[0] ^= 0xFF
+        bad = dataclasses.replace(mrl, payload=bytes(payload))
+    else:
+        # No recorded race traffic: forge entries beyond the payload.
+        bad = dataclasses.replace(mrl, num_entries=5)
+    checkpoints[checkpoint] = dataclasses.replace(victim, mrl=bad)
+    corrupted.checkpoints[tid] = checkpoints
+    return corrupted
+
+
+class TestThreadChainValidation:
+    def test_valid_mt_report_accepted(self, mt_crash, resolver):
+        run, config = mt_crash
+        blob = dump_crash_report(run.result.crash, config)
+        result = validate_report("ok", blob, None, resolver)
+        assert isinstance(result, ValidatedReport)
+        # python's worker thread shares no raced words with the crash:
+        # the signature stays fault-site-keyed.
+        assert result.signature.race_pcs == ()
+        assert not result.signature.race_keyed
+
+    def test_corrupt_nonfaulting_fll_rejected(self, mt_crash, resolver):
+        """The original admission-integrity bug: this report used to be
+        ACCEPTED, then crashed `bugnet autopsy` with a bare
+        LookupError."""
+        run, config = mt_crash
+        crash = run.result.crash
+        other = [t for t in crash.thread_ids
+                 if t != crash.faulting_tid][0]
+        blob = dump_crash_report(_corrupt_thread_fll(crash, other), config)
+        result = validate_report("corrupt-fll", blob, None, resolver)
+        assert isinstance(result, IngestResult)
+        assert not result.accepted
+        assert result.reason.startswith("replay")
+
+    def test_corrupt_nonfaulting_mrl_rejected(self, mt_crash, resolver):
+        run, config = mt_crash
+        crash = run.result.crash
+        other = [t for t in crash.thread_ids
+                 if t != crash.faulting_tid][0]
+        blob = dump_crash_report(_corrupt_thread_mrl(crash, other), config)
+        result = validate_report("corrupt-mrl", blob, None, resolver)
+        assert isinstance(result, IngestResult)
+        assert not result.accepted
+        assert "MRL" in result.reason or result.reason.startswith("replay")
+
+    def test_mrl_entry_at_interval_end_rejected(self, mt_crash, resolver):
+        """An MRL observing-instruction index must lie strictly inside
+        its own interval: local_ic == end_ic is corruption even though
+        it stays under the thread's total length (it would otherwise
+        become a dead or re-attributed constraint and admit the
+        report)."""
+        from repro.tracing.mrl import MRLEntry, MRLWriter
+
+        run, config = mt_crash
+        crash = run.result.crash
+        other = [t for t in crash.thread_ids
+                 if t != crash.faulting_tid][0]
+        corrupted = copy.copy(crash)
+        corrupted.checkpoints = dict(crash.checkpoints)
+        checkpoints = list(crash.checkpoints[other])
+        victim = checkpoints[0]
+        writer = MRLWriter(config, victim.mrl.header)
+        writer.append(MRLEntry(
+            local_ic=victim.fll.end_ic,   # == end_ic: out of range
+            remote_tid=crash.faulting_tid,
+            remote_cid=crash.checkpoints[
+                crash.faulting_tid][0].fll.header.cid,
+            remote_ic=1,
+        ))
+        checkpoints[0] = dataclasses.replace(victim, mrl=writer.finalize())
+        corrupted.checkpoints[other] = checkpoints
+        result = validate_report(
+            "mrl-at-end", dump_crash_report(corrupted, config), None,
+            resolver)
+        assert isinstance(result, IngestResult)
+        assert not result.accepted
+        assert "lies beyond interval" in result.reason
+
+    def test_corrupt_faulting_fll_rejected_not_raised(self, resolver):
+        """Corrupt dictionary-encoded payloads raise bare LookupError
+        from the decompressor; that must become a rejection verdict,
+        never a traceback through `bugnet ingest` (single-thread path
+        included)."""
+        config = BugNetConfig(checkpoint_interval=2_000)
+        run = run_bug(BUGS_BY_NAME["bc-1.06"], bugnet=config, record=True)
+        crash = run.result.crash
+        rejected = 0
+        for checkpoint in range(len(crash.checkpoints[0])):
+            if not crash.checkpoints[0][checkpoint].fll.payload:
+                continue  # nothing to flip in a record-free interval
+            blob = dump_crash_report(
+                _corrupt_thread_fll(crash, 0, checkpoint), config)
+            result = validate_report(f"c{checkpoint}", blob, None, resolver)
+            if isinstance(result, IngestResult):
+                assert not result.accepted
+                rejected += 1
+        assert rejected, "no corruption was even detected"
+
+    def test_stripped_faulting_thread_rejected_with_detail(
+            self, mt_crash, resolver):
+        """Faulting thread's logs gone, other threads' logs present:
+        a rejection verdict naming the threads that *do* have logs —
+        not a traceback."""
+        run, config = mt_crash
+        crash = run.result.crash
+        stripped = copy.copy(crash)
+        stripped.checkpoints = {
+            tid: checkpoints
+            for tid, checkpoints in crash.checkpoints.items()
+            if tid != crash.faulting_tid
+        }
+        blob = dump_crash_report(stripped, config)
+        result = validate_report("no-chain", blob, None, resolver)
+        assert isinstance(result, IngestResult)
+        assert not result.accepted
+        assert "no replayable chain" in result.reason
+        assert "threads with logs" in result.reason
+
+    def test_rejected_at_ingest_never_reaches_autopsy(
+            self, mt_crash, resolver, tmp_path):
+        """End-to-end: the corrupt-thread report must die at ingest and
+        the store-wide autopsy must run clean over what was admitted."""
+        run, config = mt_crash
+        crash = run.result.crash
+        other = [t for t in crash.thread_ids
+                 if t != crash.faulting_tid][0]
+        store = ReportStore(tmp_path / "store", num_shards=2)
+        pipeline = IngestPipeline(store, resolver)
+        results = pipeline.ingest_many([
+            ("good", dump_crash_report(crash, config), None),
+            ("bad", dump_crash_report(
+                _corrupt_thread_fll(crash, other), config), None),
+        ])
+        assert results[0].accepted
+        assert not results[1].accepted
+        assert len(store) == 1
+        outcomes = autopsy_store(store, resolver)
+        assert len(outcomes) == 1
+        assert outcomes[0].error == ""
+        assert outcomes[0].autopsy is not None
+
+    def test_legacy_store_with_corrupt_thread_reports_error_not_crash(
+            self, mt_crash, resolver, tmp_path):
+        """Stores written before thread validation can still hold such
+        reports; the unattended batch must report the bucket's error
+        instead of dying."""
+        run, config = mt_crash
+        crash = run.result.crash
+        other = [t for t in crash.thread_ids
+                 if t != crash.faulting_tid][0]
+        blob = dump_crash_report(_corrupt_thread_fll(crash, other), config)
+        store = ReportStore(tmp_path / "legacy", num_shards=2)
+        # Bypass validation, as an old build would have.
+        store.add("ab" * 32, blob, fault_kind="memory",
+                  program_name=crash.program_name)
+        outcomes = autopsy_store(store, resolver)
+        assert len(outcomes) == 1
+        # The faulting thread itself is intact, so the analysis may
+        # succeed (race inference degrades to no evidence) — it must
+        # just never raise out of the batch.
+        assert outcomes[0].autopsy is not None or outcomes[0].error
+
+
+class TestRaceAwareSignatures:
+    def test_race_evidence_names_the_racing_store(self, gaim_crashes):
+        runs, config = gaim_crashes
+        run = runs[0]
+        signature = compute_signature(run.result.crash, config, run.program)
+        # compute_signature is faulting-thread-only (display shape):
+        # race evidence comes from whole-report validation.
+        result = validate_report(
+            "gaim", dump_crash_report(run.result.crash, config), None,
+            bug_suite_resolver())
+        assert isinstance(result, ValidatedReport)
+        root_pc = run.program.pc_of("root_cause")
+        assert result.signature.race_pcs == (root_pc,)
+        assert result.signature.race_keyed
+        # Fault-site fields stay populated for display.
+        assert result.signature.fault_pc == signature.fault_pc
+        assert result.signature.tail_pcs == signature.tail_pcs
+
+    def test_schedule_different_manifestations_one_bucket(
+            self, gaim_crashes, resolver, tmp_path):
+        """The acceptance scenario: two recordings of the same race,
+        different interleavings, different crash PCs — one bucket."""
+        runs, config = gaim_crashes
+        store = ReportStore(tmp_path / "store", num_shards=4)
+        pipeline = IngestPipeline(store, resolver)
+        results = pipeline.ingest_many([
+            (f"seed{i}", dump_crash_report(run.result.crash, config), i)
+            for i, run in enumerate(runs)
+        ])
+        assert all(result.accepted for result in results)
+        assert results[0].digest == results[1].digest
+        buckets = build_buckets(store)
+        assert len(buckets) == 1
+        assert buckets[0].count == 2
+        assert buckets[0].racy
+        assert buckets[0].race_pcs == (runs[0].program.pc_of("root_cause"),)
+
+    def test_triage_row_race_flagged_with_race_verdict(
+            self, gaim_crashes, resolver, tmp_path):
+        runs, config = gaim_crashes
+        store = ReportStore(tmp_path / "store", num_shards=2)
+        IngestPipeline(store, resolver).ingest_many([
+            ("g", dump_crash_report(runs[0].result.crash, config), None),
+        ])
+        buckets = build_buckets(store)
+        outcomes = autopsy_store(store, resolver)
+        assert outcomes[0].autopsy.verdict == VERDICT_RACE_REMOTE
+        assert outcomes[0].autopsy.race_adjacent
+        text = render_triage(
+            buckets, autopsies={o.digest: o for o in outcomes})
+        assert "[racy]" in text
+        assert VERDICT_RACE_REMOTE in text
+        payload = buckets[0].to_dict()
+        assert payload["racy"] is True
+        assert payload["race_pcs"] == [runs[0].program.pc_of("root_cause")]
+
+    def test_non_racy_mt_signature_unchanged(self, mt_crash, resolver):
+        """Race-free reports (single- or multi-threaded) must keep the
+        exact pre-race-awareness digest: no bucket churn on upgrade."""
+        run, config = mt_crash
+        crash = run.result.crash
+        old_style = compute_signature(crash, config, run.program)
+        result = validate_report(
+            "mt", dump_crash_report(crash, config), None, resolver)
+        assert isinstance(result, ValidatedReport)
+        assert result.signature.digest == old_style.digest
+
+
+class TestEveryMtBugFlowsEndToEnd:
+    """The acceptance sweep: every multithreaded Table-1 entry goes
+    fleet-sim-style synthesis → validated ingest → triage → unattended
+    autopsy, with whole-report validation on every hop."""
+
+    @pytest.mark.parametrize("name", [
+        "gaim-0.82.1", "napster-1.5.2",
+        "python-2.1.1-1", "python-2.1.1-2", "w3m-0.3.2.2",
+    ])
+    def test_mt_bug_ingests_triages_autopsies(self, name, resolver,
+                                              tmp_path):
+        config = BugNetConfig(checkpoint_interval=20_000)
+        run = run_bug(BUGS_BY_NAME[name], bugnet=config, record=True,
+                      interleave_seed=9)
+        assert run.crashed, name
+        assert len(run.result.crash.thread_ids) > 1
+        store = ReportStore(tmp_path / "store", num_shards=2)
+        pipeline = IngestPipeline(store, resolver)
+        result = pipeline.ingest_blob(
+            name, dump_crash_report(run.result.crash, config))
+        assert result.accepted, (name, result.reason)
+        buckets = build_buckets(store)
+        assert len(buckets) == 1
+        outcomes = autopsy_store(store, resolver)
+        assert outcomes[0].error == "", (name, outcomes[0].error)
+        autopsy = outcomes[0].autopsy
+        assert autopsy is not None
+        # Race-keyed buckets must carry a race-adjacent verdict.
+        if buckets[0].racy:
+            assert autopsy.race_adjacent, name
+
+
+class TestMtRoundTrips:
+    """Serialization compatibility for multithreaded reports (satellite:
+    v1/v2 format round-trips with MRL logs present)."""
+
+    def test_mt_report_v1_v2_same_bucket(self, gaim_crashes, resolver,
+                                         tmp_path):
+        from repro.tracing.serialize import load_crash_report
+
+        runs, config = gaim_crashes
+        crash = runs[0].result.crash
+        v1 = dump_crash_report(crash, config, version=1)
+        v2 = dump_crash_report(crash, config, version=2)
+        assert v1 != v2
+        # MRL payloads survive both formats byte-identically.
+        for blob in (v1, v2):
+            loaded, _ = load_crash_report(blob)
+            for tid in crash.thread_ids:
+                originals = crash.checkpoints[tid]
+                restored = loaded.checkpoints[tid]
+                assert [c.mrl.payload for c in originals] == \
+                    [c.mrl.payload for c in restored]
+                assert [c.mrl.num_entries for c in originals] == \
+                    [c.mrl.num_entries for c in restored]
+        assert any(
+            checkpoint.mrl.num_entries
+            for tid in crash.thread_ids
+            for checkpoint in crash.checkpoints[tid]
+        ), "expected recorded race traffic in the gaim shipment"
+        store = ReportStore(tmp_path / "compat", num_shards=2)
+        pipeline = IngestPipeline(store, resolver)
+        result_v1, result_v2 = pipeline.ingest_many(
+            [("v1", v1, 0), ("v2", v2, 1)]
+        )
+        assert result_v1.accepted and result_v2.accepted
+        assert result_v1.digest == result_v2.digest
+        assert result_v1.signature.race_pcs == result_v2.signature.race_pcs
+        buckets = build_buckets(store)
+        assert len(buckets) == 1 and buckets[0].count == 2
+
+    def test_signature_stable_across_interleavings_of_same_recording(
+            self, gaim_crashes, resolver):
+        """Same recording serialized twice -> same evidence; and the two
+        different recordings agree on the race evidence too."""
+        runs, config = gaim_crashes
+        evidence = []
+        for run in runs:
+            result = validate_report(
+                "g", dump_crash_report(run.result.crash, config), None,
+                resolver)
+            assert isinstance(result, ValidatedReport)
+            evidence.append(result.signature.race_pcs)
+        assert evidence[0] == evidence[1] != ()

@@ -52,6 +52,38 @@ def run_service(tmp_path, coro_factory, **service_kwargs):
     return asyncio.run(main())
 
 
+class TestLatencyPercentile:
+    """Nearest-rank percentiles: ceil(f*n)-1, not int(f*n) (which
+    overshot p50 by one rank on even sample counts)."""
+
+    def _report(self, latencies):
+        from repro.fleet.loadsim import LoadSimReport, UploadOutcome
+
+        return LoadSimReport(outcomes=[
+            UploadOutcome(label=f"u{i}", status="accepted", attempts=1,
+                          retries=0, reconnects=0, latency=value)
+            for i, value in enumerate(latencies)
+        ])
+
+    def test_p50_even_count_is_lower_middle(self):
+        report = self._report([1.0, 2.0, 3.0, 4.0])
+        assert report.latency_percentile(0.50) == 2.0
+
+    def test_p50_odd_count_is_middle(self):
+        report = self._report([1.0, 2.0, 3.0])
+        assert report.latency_percentile(0.50) == 2.0
+
+    def test_p99_and_p100_clamp_to_max(self):
+        report = self._report([float(i) for i in range(1, 11)])
+        assert report.latency_percentile(0.99) == 10.0
+        assert report.latency_percentile(1.0) == 10.0
+
+    def test_extremes(self):
+        report = self._report([5.0])
+        assert report.latency_percentile(0.50) == 5.0
+        assert self._report([]).latency_percentile(0.50) == 0.0
+
+
 class TestUploadRoundTrip:
     def test_accepts_valid_rejects_corrupt(self, corpus, tmp_path):
         _programs, items = corpus

@@ -68,12 +68,49 @@ async def _wait_for_accepts(store: Path, minimum: int,
     )
 
 
+def _corrupt_thread_blob() -> bytes:
+    """A multithreaded report whose *non-faulting* thread's FLL is
+    corrupt — the admission-integrity case: it must be rejected by the
+    live service's whole-report validation (it used to be accepted and
+    later crashed autopsy)."""
+    import copy
+    import dataclasses
+
+    from repro.common.config import BugNetConfig
+    from repro.tracing.serialize import dump_crash_report
+    from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+    config = BugNetConfig(checkpoint_interval=2_000)
+    run = run_bug(BUGS_BY_NAME["python-2.1.1-2"], bugnet=config, record=True)
+    assert run.crashed
+    crash = run.result.crash
+    other = [t for t in crash.thread_ids if t != crash.faulting_tid][0]
+    corrupted = copy.copy(crash)
+    corrupted.checkpoints = dict(crash.checkpoints)
+    checkpoints = list(crash.checkpoints[other])
+    victim = checkpoints[0]
+    payload = bytearray(victim.fll.payload)
+    payload[len(payload) // 2] ^= 0xFF
+    checkpoints[0] = dataclasses.replace(
+        victim, fll=dataclasses.replace(victim.fll, payload=bytes(payload))
+    )
+    corrupted.checkpoints[other] = checkpoints
+    return dump_crash_report(corrupted, config)
+
+
 def test_restart_no_loss_no_duplication(tmp_path):
+    # The corpus mixes single-thread and multithreaded traffic: the
+    # python-2.1.1-2 entry exercises whole-report (every-thread)
+    # validation across the kill -9 restart.
     _programs, items, failures = synthesize_corpus(
-        36, ("tidy-34132-2", "tidy-34132-3"), seed=11, corrupt=2,
-        intervals=(2_000, 5_000), id_prefix="restart",
+        36, ("tidy-34132-2", "tidy-34132-3", "python-2.1.1-2"), seed=11,
+        corrupt=2, intervals=(2_000, 5_000), id_prefix="restart",
     )
     assert failures == 0
+    items.append((
+        "corrupt-thread-000", _corrupt_thread_blob(),
+        "restart-11-corrupt-thread-000",
+    ))
     store = tmp_path / "fleet"
     port = _free_port()
     proc = _spawn_serve(store, port)
@@ -111,7 +148,10 @@ def test_restart_no_loss_no_duplication(tmp_path):
     valid = [i for i in items if not i[0].startswith("corrupt-")]
     # Every valid upload was eventually accepted; the kill cost nothing.
     assert len(report.accepted) == len(valid), report.to_dict()
-    assert len(report.rejected) == 2
+    # The 2 byte-flipped blobs AND the corrupt-non-faulting-thread
+    # report were rejected (the latter by whole-report validation).
+    assert len(report.rejected) == 3
+    assert any(o.label == "corrupt-thread-000" for o in report.rejected)
     assert not report.failed, [o.reason for o in report.failed]
     # The run really did ride through a restart.
     assert sum(o.reconnects for o in report.outcomes) > 0

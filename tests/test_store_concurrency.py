@@ -242,44 +242,68 @@ class TestTornTailRepair:
         assert entry.seq == 3
 
 
-class TestV1Compat:
-    def _write_v1_store(self, root, entries_per_shard):
-        """Materialize a v1-format store (pre-upload-id index records)."""
+class TestLegacyIndexCompat:
+    def _write_legacy_store(self, root, entries_per_shard, version):
+        """Materialize a v1/v2-format store (records packed without the
+        fields the later versions appended: v2 added ``upload_id``, v3
+        added ``race_pcs``)."""
         store = ReportStore(root, num_shards=2)
         added = []
         for index in range(entries_per_shard):
             added.append(store.add(digest_of(index), b"z" * 40,
                                    fault_kind="memory",
                                    program_name="prog"))
-        # Rewrite every index in v1 format (no upload_id field).
         for shard in range(2):
             shard_entries = [e for e in added if e.shard == shard]
             out = io.BytesIO()
             out.write(b"BGSI")
-            out.write(struct.pack("<I", 1))
+            out.write(struct.pack("<I", version))
             for entry in shard_entries:
                 packed = _pack_entry(entry)
-                # v2 pack appends the upload_id string (u32 len + bytes);
-                # strip it to regain the v1 record layout.
-                out.write(packed[:-4 - len(entry.upload_id.encode())])
+                # v3 pack ends with the race_pcs field (u32 count, empty
+                # here) preceded by the upload_id string (u32 len +
+                # bytes); strip per target version.
+                strip = 4  # race_pcs count
+                if version < 2:
+                    strip += 4 + len(entry.upload_id.encode())
+                out.write(packed[:-strip])
             (root / f"shard-{shard:02d}" / "index.bin").write_bytes(
                 out.getvalue()
             )
         return added
 
     def test_v1_index_reads_and_upgrades_on_append(self, tmp_path):
-        added = self._write_v1_store(tmp_path, 6)
+        added = self._write_legacy_store(tmp_path, 6, version=1)
         reopened = ReportStore(tmp_path)
         assert len(reopened) == 6
         assert [e.digest for e in reopened.entries()] == \
             [e.digest for e in added]
         assert all(e.upload_id == "" for e in reopened.entries())
-        # First append upgrades the touched shard to v2 in place.
+        assert all(e.race_pcs == () for e in reopened.entries())
+        # First append upgrades the touched shard to v3 in place.
         entry = reopened.add(digest_of("new"), b"q" * 40,
                              upload_id="upgraded-1")
         again = ReportStore(tmp_path)
         assert len(again) == 7
         assert again.entry_for_upload("upgraded-1").seq == entry.seq
+
+    def test_v2_index_reads_and_upgrades_on_append(self, tmp_path):
+        added = self._write_legacy_store(tmp_path, 6, version=2)
+        reopened = ReportStore(tmp_path)
+        assert len(reopened) == 6
+        assert all(e.race_pcs == () for e in reopened.entries())
+        # First append upgrades the shard to v3; the new record's race
+        # evidence round-trips and old records stay race-free.
+        entry = reopened.add(digest_of("racy"), b"q" * 40,
+                             upload_id="upgraded-2",
+                             race_pcs=(0x400120, 0x400084))
+        again = ReportStore(tmp_path)
+        assert len(again) == 7
+        stored = next(e for e in again.entries() if e.seq == entry.seq)
+        assert stored.race_pcs == (0x400120, 0x400084)
+        assert stored.racy
+        assert again.entry_for_upload("upgraded-2").seq == entry.seq
+        assert sum(1 for e in again.entries() if e.racy) == 1
 
 
 class TestUploadIdIndex:
