@@ -132,11 +132,17 @@ def main() -> None:
         # every thread chain-replayed on the compiled traced path, MRL
         # constraints cross-checked, schedule merged, races inferred
         # for the signature's race evidence, store commit included.
+        # pr5_same_host_reports_per_sec is PR5 code (no lockset
+        # pruning, eager schedule merge) re-measured on the recording
+        # host — keep it when regenerating: speedup_vs_pr5 is the
+        # same-host acceptance number the CI baseline sanity gates on.
         "fleet_mt_validate": {
             "reports": MT_REPORTS,
             "buckets": len(mt_buckets),
             "racy_buckets": sum(1 for bucket in mt_buckets if bucket.racy),
             "reports_per_sec": round(MT_REPORTS / mt_time, 1),
+            "pr5_same_host_reports_per_sec": 4.3,
+            "speedup_vs_pr5": round(MT_REPORTS / mt_time / 4.3, 1),
         },
         # Live ingestion service (benchmarks/test_service_throughput.py):
         # `bugnet load-sim` against an in-process `bugnet serve` — the

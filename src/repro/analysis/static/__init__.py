@@ -1,0 +1,71 @@
+"""Static analysis over assembled BN32 binaries.
+
+The replayer already holds the exact binaries that ran at record time;
+this package analyzes them without running them: CFG construction and
+dominators (:mod:`cfg`), a generic dataflow solver with reaching
+definitions, liveness and two-mode constant propagation
+(:mod:`dataflow`), lockset-based race candidates that prune dynamic
+race inference (:mod:`lockset`), a static backward slicer
+(:mod:`slice`), and the ``bugnet lint`` checkers (:mod:`lint`).
+"""
+
+from repro.analysis.static.cfg import (
+    CFG,
+    BasicBlock,
+    analysis_roots,
+    instruction_defs,
+    instruction_uses,
+    taken_code_symbols,
+)
+from repro.analysis.static.dataflow import (
+    PRECISE,
+    SOUND,
+    ConstState,
+    Dataflow,
+    ReachingDefinitions,
+    constant_states,
+    join_value,
+    liveness,
+    region_of,
+)
+from repro.analysis.static.lint import ALL_CHECKS, Finding, lint_program
+from repro.analysis.static.lockset import (
+    LocksetResult,
+    MemAccess,
+    RaceCandidates,
+    cached_race_candidates,
+    lockset_analysis,
+    may_alias,
+    race_candidates,
+)
+from repro.analysis.static.slice import StaticSlice, backward_slice
+
+__all__ = [
+    "ALL_CHECKS",
+    "BasicBlock",
+    "CFG",
+    "ConstState",
+    "Dataflow",
+    "Finding",
+    "LocksetResult",
+    "MemAccess",
+    "PRECISE",
+    "RaceCandidates",
+    "ReachingDefinitions",
+    "SOUND",
+    "StaticSlice",
+    "analysis_roots",
+    "backward_slice",
+    "cached_race_candidates",
+    "constant_states",
+    "instruction_defs",
+    "instruction_uses",
+    "join_value",
+    "lint_program",
+    "liveness",
+    "lockset_analysis",
+    "may_alias",
+    "race_candidates",
+    "region_of",
+    "taken_code_symbols",
+]

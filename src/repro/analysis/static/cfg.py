@@ -1,0 +1,389 @@
+"""Control-flow graphs over assembled BN32 programs.
+
+The static layer analyzes exactly what the replayer executes: the
+assembled instruction store of a :class:`~repro.arch.program.Program`.
+Basic blocks are maximal straight-line runs; block leaders are the
+entry index, every symbol, every branch/jump target, and the successor
+of every control transfer.
+
+Interprocedural approximation: ``jal`` edges go both to the callee and
+to the fall-through (the "call returns" assumption), ``jalr`` keeps
+only the fall-through, and ``jr`` ends the path (it is almost always a
+return, and the matching call already has a fall-through edge).
+Indirect-call targets are approximated by rooting every address-taken
+code symbol (see :func:`taken_code_symbols`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.arch.isa import (
+    BRANCH_OPS,
+    CODE_BASE,
+    DATA_BASE,
+    INSTRUCTION_BYTES,
+    Instruction,
+    J_OPS,
+    JR_OPS,
+    index_to_pc,
+    pc_to_index,
+)
+from repro.arch.program import Program
+
+# Instructions that end a basic block.
+_TERMINATORS = BRANCH_OPS | J_OPS | JR_OPS
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A maximal straight-line instruction run ``[start, end)``."""
+
+    bid: int
+    start: int  # first instruction index
+    end: int  # one past the last instruction index
+    successors: tuple[int, ...]
+    predecessors: tuple[int, ...]
+
+    @property
+    def pc(self) -> int:
+        """Address of the block leader."""
+        return index_to_pc(self.start)
+
+    @property
+    def indices(self) -> range:
+        """Instruction indices covered by the block."""
+        return range(self.start, self.end)
+
+
+def instruction_defs(ins: Instruction) -> frozenset[int]:
+    """Registers written by *ins* (writes to r0 are discarded).
+
+    ``syscall`` is approximated as defining ``v0``: the kernel writes it
+    for READ_INPUT/SBRK/CURRENT_TID and preserves it otherwise.
+    """
+    op = ins.op
+    if op in BRANCH_OPS or op in ("j", "jr", "sw", "nop", "break"):
+        return frozenset()
+    if op == "jal":
+        return frozenset({31})
+    if op == "syscall":
+        return frozenset({2})
+    # R/I/U ALU ops, lw and jalr all write rd.
+    return frozenset({ins.rd}) - {0}
+
+
+def instruction_uses(ins: Instruction) -> frozenset[int]:
+    """Registers read by *ins* (``syscall`` reads v0/a0/a1)."""
+    op = ins.op
+    if op in BRANCH_OPS:
+        return frozenset({ins.rs, ins.rt})
+    if op == "sw":
+        return frozenset({ins.rs, ins.rt})
+    if op in ("jr", "jalr"):
+        return frozenset({ins.rs})
+    if op == "syscall":
+        return frozenset({2, 4, 5})
+    if op in ("j", "jal", "lui", "nop", "break"):
+        return frozenset()
+    if op == "lw":
+        return frozenset({ins.rs})
+    from repro.arch.isa import R_OPS
+
+    if op in R_OPS:
+        return frozenset({ins.rs, ins.rt})
+    return frozenset({ins.rs})  # I_OPS
+
+
+def _target_index(ins: Instruction, count: int) -> int | None:
+    """Instruction index of an absolute branch/jump target, if in code."""
+    index = pc_to_index(ins.imm)
+    return index if 0 <= index < count else None
+
+
+def _successor_indices(ins: Instruction, index: int, count: int) -> list[int]:
+    op = ins.op
+    after = [index + 1] if index + 1 < count else []
+    if op in BRANCH_OPS:
+        target = _target_index(ins, count)
+        out = list(after)
+        if target is not None and target not in out:
+            out.append(target)
+        return out
+    if op == "j":
+        target = _target_index(ins, count)
+        return [target] if target is not None else []
+    if op == "jal":
+        target = _target_index(ins, count)
+        out = list(after)
+        if target is not None and target not in out:
+            out.append(target)
+        return out
+    if op == "jr":
+        return []
+    if op == "jalr":
+        return after
+    return after
+
+
+class CFG:
+    """Basic blocks, edges and dominator machinery for one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        instructions = program.instructions
+        count = len(instructions)
+        leaders = {0} if count else set()
+        for name, addr in program.symbols.items():
+            index = pc_to_index(addr)
+            if 0 <= index < count:
+                leaders.add(index)
+        for index, ins in enumerate(instructions):
+            if ins.op in _TERMINATORS:
+                if index + 1 < count:
+                    leaders.add(index + 1)
+                if ins.op in BRANCH_OPS or ins.op in ("j", "jal"):
+                    target = _target_index(ins, count)
+                    if target is not None:
+                        leaders.add(target)
+        starts = sorted(leaders)
+        bounds = starts + [count]
+        block_of: list[int] = [0] * count
+        spans: list[tuple[int, int]] = []
+        for bid, start in enumerate(starts):
+            end = bounds[bid + 1]
+            spans.append((start, end))
+            for index in range(start, end):
+                block_of[index] = bid
+        succ_sets: list[list[int]] = [[] for _ in spans]
+        pred_sets: list[list[int]] = [[] for _ in spans]
+        for bid, (start, end) in enumerate(spans):
+            if end == start:
+                continue
+            last = instructions[end - 1]
+            for index in _successor_indices(last, end - 1, count):
+                succ = block_of[index]
+                if succ not in succ_sets[bid]:
+                    succ_sets[bid].append(succ)
+        for bid, succs in enumerate(succ_sets):
+            for succ in succs:
+                pred_sets[succ].append(bid)
+        self.blocks: list[BasicBlock] = [
+            BasicBlock(bid, start, end, tuple(succ_sets[bid]), tuple(pred_sets[bid]))
+            for bid, (start, end) in enumerate(spans)
+        ]
+        self._block_of = block_of
+
+    # -- lookups -----------------------------------------------------------
+
+    def block_at(self, index: int) -> BasicBlock:
+        """Block containing instruction *index*."""
+        return self.blocks[self._block_of[index]]
+
+    def block_at_pc(self, pc: int) -> BasicBlock:
+        """Block containing code address *pc*."""
+        return self.block_at(pc_to_index(pc))
+
+    def leaders(self) -> frozenset[int]:
+        """Instruction indices that start a basic block."""
+        return frozenset(block.start for block in self.blocks)
+
+    def instructions(self, block: BasicBlock) -> Iterator[tuple[int, Instruction]]:
+        """(index, instruction) pairs of *block*."""
+        for index in block.indices:
+            yield index, self.program.instructions[index]
+
+    # -- reachability ------------------------------------------------------
+
+    def reachable(self, roots: Iterable[int]) -> frozenset[int]:
+        """Block ids reachable from the given instruction indices."""
+        count = len(self.program.instructions)
+        work = [self._block_of[i] for i in roots if 0 <= i < count]
+        seen: set[int] = set()
+        while work:
+            bid = work.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            work.extend(self.blocks[bid].successors)
+        return frozenset(seen)
+
+    # -- dominators --------------------------------------------------------
+
+    def dominators(self, roots: Iterable[int]) -> dict[int, int | None]:
+        """Immediate dominators of blocks reachable from *roots*.
+
+        *roots* are instruction indices; a root block's idom is ``None``
+        (a virtual super-root joins multiple entries).
+        """
+        root_bids = sorted(
+            {self._block_of[i] for i in roots if 0 <= i < len(self._block_of)}
+        )
+        succs = {b.bid: b.successors for b in self.blocks}
+        return _immediate_dominators(len(self.blocks), succs, root_bids)
+
+    def postdominators(self) -> dict[int, int | None]:
+        """Immediate postdominators (``None`` for exit blocks).
+
+        Blocks with no path to an exit (infinite loops) are absent;
+        clients must treat them conservatively.
+        """
+        preds = {b.bid: b.predecessors for b in self.blocks}
+        exits = sorted(b.bid for b in self.blocks if not b.successors)
+        return _immediate_dominators(len(self.blocks), preds, exits)
+
+
+def _immediate_dominators(
+    count: int,
+    succs: dict[int, tuple[int, ...]],
+    roots: list[int],
+) -> dict[int, int | None]:
+    """Cooper-Harvey-Kennedy iteration with a virtual super-root."""
+    if not roots:
+        return {}
+    virtual = count
+    graph = dict(succs)
+    graph[virtual] = tuple(roots)
+    order: list[int] = []
+    seen = {virtual}
+    stack: list[tuple[int, int]] = [(virtual, 0)]
+    while stack:  # iterative DFS, postorder
+        node, child = stack[-1]
+        targets = graph.get(node, ())
+        if child < len(targets):
+            stack[-1] = (node, child + 1)
+            nxt = targets[child]
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, 0))
+        else:
+            order.append(node)
+            stack.pop()
+    rpo = list(reversed(order))
+    position = {bid: i for i, bid in enumerate(rpo)}
+    preds: dict[int, list[int]] = {bid: [] for bid in rpo}
+    for node in rpo:
+        for succ in graph.get(node, ()):
+            if succ in position:
+                preds[succ].append(node)
+    idom: dict[int, int] = {virtual: virtual}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for node in rpo:
+            if node == virtual:
+                continue
+            candidates = [p for p in preds[node] if p in idom]
+            if not candidates:
+                continue
+            new = candidates[0]
+            for other in candidates[1:]:
+                new = intersect(new, other)
+            if idom.get(node) != new:
+                idom[node] = new
+                changed = True
+    return {
+        node: (None if parent == virtual else parent)
+        for node, parent in idom.items()
+        if node != virtual
+    }
+
+
+def taken_code_symbols(program: Program) -> frozenset[int]:
+    """Instruction indices of code symbols whose address is materialized.
+
+    A ``la``/``li`` of a code-symbol address (after assembly: a
+    ``lui``+``ori`` pair or a single immediate op with ``rs == r0``)
+    marks the symbol as a potential indirect-jump target; analyses root
+    those blocks with an unknown register state.
+    """
+    code_addrs = {
+        addr
+        for addr in program.symbols.values()
+        if CODE_BASE <= addr < DATA_BASE
+    }
+    if not code_addrs:
+        return frozenset()
+    taken: set[int] = set()
+    upper: dict[int, int] = {}  # rd -> value from a preceding lui
+    for ins in program.instructions:
+        candidates: list[int] = []
+        if ins.op == "lui":
+            value = (ins.imm << 16) & 0xFFFFFFFF
+            upper[ins.rd] = value
+            candidates.append(value)
+        elif ins.op in ("ori", "addi") and ins.rs == 0:
+            candidates.append(ins.imm & 0xFFFFFFFF)
+        elif ins.op == "ori" and ins.rs in upper and ins.rs == ins.rd:
+            candidates.append((upper[ins.rs] | (ins.imm & 0xFFFF)) & 0xFFFFFFFF)
+        else:
+            upper.pop(ins.rd, None)
+        if ins.op != "lui":
+            upper.pop(ins.rd, None)
+        for value in candidates:
+            if value in code_addrs:
+                index = pc_to_index(value)
+                if 0 <= index < len(program.instructions):
+                    taken.add(index)
+    return frozenset(taken)
+
+
+def analysis_roots(program: Program, entries: Iterable[str] | None = None) -> frozenset[int]:
+    """Instruction indices analyses start from.
+
+    The program entry, every declared thread entry (``entries`` by
+    symbol name, or a ``thread_entries`` attribute stamped on the
+    program by the workload layer), and every address-taken code symbol.
+    """
+    count = len(program.instructions)
+    roots: set[int] = set()
+    entry = pc_to_index(program.entry_pc)
+    if 0 <= entry < count:
+        roots.add(entry)
+    names = entries if entries is not None else getattr(program, "thread_entries", ())
+    for name in names:
+        addr = program.symbols.get(name)
+        if addr is not None:
+            index = pc_to_index(addr)
+            if 0 <= index < count:
+                roots.add(index)
+    roots.update(taken_code_symbols(program))
+    return frozenset(roots)
+
+
+def entry_root_map(
+    program: Program, entries: Iterable[str] | None = None
+) -> dict[str, int]:
+    """Map entry name -> instruction index for declared thread entries.
+
+    Always includes the program entry under its symbol name (or
+    ``"main"`` when anonymous).
+    """
+    count = len(program.instructions)
+    result: dict[str, int] = {}
+    entry = pc_to_index(program.entry_pc)
+    if 0 <= entry < count:
+        entry_name = "main"
+        for name, addr in program.symbols.items():
+            if addr == program.entry_pc:
+                entry_name = name
+                break
+        result[entry_name] = entry
+    names = entries if entries is not None else getattr(program, "thread_entries", ())
+    for name in names:
+        addr = program.symbols.get(name)
+        if addr is not None:
+            index = pc_to_index(addr)
+            if 0 <= index < count:
+                result[name] = index
+    return result

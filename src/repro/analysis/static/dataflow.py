@@ -1,0 +1,611 @@
+"""Dataflow analyses over BN32 control-flow graphs.
+
+A small generic worklist solver (:class:`Dataflow`) instantiated three
+ways: reaching definitions, liveness, and sparse constant propagation
+over an abstract value domain of exact constants, memory-region tags
+and unknown.
+
+Constant propagation runs in one of two modes:
+
+* ``SOUND`` — facts must hold under **every** thread interleaving; this
+  mode feeds race-candidate pruning.  Loads produce unknown, ``sbrk``
+  produces a heap tag, and memory is never tracked, so every constant
+  derives from a register-immediate chain and is interleaving
+  independent.  The one approximation is that region tags survive
+  pointer arithmetic (``region + unknown offset`` stays in the region),
+  i.e. computed pointers are assumed not to overflow their segment.
+* ``PRECISE`` — a lint-oriented mode that additionally tracks memory
+  cells at constant addresses (initialized from the program's data
+  segment), models ``sbrk`` as a bump allocator, and folds constant
+  branches.  Its facts describe the interleaving in which the analyzed
+  thread runs first; findings derived from them are "possible under
+  some schedule", which is the right bar for lint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.static.cfg import (
+    CFG,
+    BasicBlock,
+    analysis_roots,
+    entry_root_map,
+    instruction_defs,
+    instruction_uses,
+    taken_code_symbols,
+)
+from repro.arch.isa import (
+    BRANCH_OPS,
+    CODE_BASE,
+    DATA_BASE,
+    HEAP_BASE,
+    MMIO_BASE,
+    Instruction,
+    Syscall,
+    pc_to_index,
+)
+from repro.arch.memory import PAGE_SIZE
+from repro.arch.program import Program
+
+MASK = 0xFFFFFFFF
+
+# Coarse segment map for region tags.  Stacks live just under
+# STACK_TOP; sbrk grows the heap up from HEAP_BASE.  The boundary is
+# far from both.
+STACK_REGION_BASE = 0x4000_0000
+
+REGION_CODE = "code"
+REGION_DATA = "data"
+REGION_HEAP = "heap"
+REGION_STACK = "stack"
+REGION_MMIO = "mmio"
+
+SOUND = "sound"
+PRECISE = "precise"
+
+# Abstract values are ``int | str | None``: an exact constant, a
+# region tag, or unknown.
+
+
+def region_of(addr: int) -> str | None:
+    """Region tag containing *addr*, or ``None`` for unmapped gaps."""
+    addr &= MASK
+    if addr < CODE_BASE:
+        return None  # null page and the low wild gap
+    if addr < DATA_BASE:
+        return REGION_CODE
+    if addr < HEAP_BASE:
+        return REGION_DATA
+    if addr < STACK_REGION_BASE:
+        return REGION_HEAP
+    if addr < MMIO_BASE:
+        return REGION_STACK
+    return REGION_MMIO
+
+
+def value_region(value: "int | str | None") -> str | None:
+    """Region tag of an abstract value (``None`` if unknown)."""
+    if isinstance(value, int):
+        return region_of(value)
+    return value
+
+
+def join_value(a: "int | str | None", b: "int | str | None") -> "int | str | None":
+    """Least upper bound: const -> region -> unknown."""
+    if a == b:
+        return a
+    ra, rb = value_region(a), value_region(b)
+    if ra is not None and ra == rb:
+        return ra
+    return None
+
+
+def _signed(x: int) -> int:
+    return x - 0x1_0000_0000 if x & 0x8000_0000 else x
+
+
+_FOLD: dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: (a + b) & MASK,
+    "addi": lambda a, b: (a + b) & MASK,
+    "sub": lambda a, b: (a - b) & MASK,
+    "mul": lambda a, b: (a * b) & MASK,
+    "and": lambda a, b: a & b & MASK,
+    "andi": lambda a, b: a & b & MASK,
+    "or": lambda a, b: (a | b) & MASK,
+    "ori": lambda a, b: (a | b) & MASK,
+    "xor": lambda a, b: (a ^ b) & MASK,
+    "xori": lambda a, b: (a ^ b) & MASK,
+    "nor": lambda a, b: ~(a | b) & MASK,
+    "slt": lambda a, b: int(_signed(a) < _signed(b)),
+    "slti": lambda a, b: int(_signed(a) < _signed(b)),
+    "sltu": lambda a, b: int((a & MASK) < (b & MASK)),
+    "sltiu": lambda a, b: int((a & MASK) < (b & MASK)),
+    "sll": lambda a, b: (a << (b & 31)) & MASK,
+    "srl": lambda a, b: (a & MASK) >> (b & 31),
+    "sra": lambda a, b: (_signed(a) >> (b & 31)) & MASK,
+}
+
+# Ops where region +/- constant stays in the region (bounded-offset
+# pointer arithmetic).
+_REGION_PRESERVING = {"add", "addi", "sub"}
+
+_BRANCH_COND: dict[str, Callable[[int, int], bool]] = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: _signed(a) < _signed(b),
+    "bge": lambda a, b: _signed(a) >= _signed(b),
+    "bltu": lambda a, b: (a & MASK) < (b & MASK),
+    "bgeu": lambda a, b: (a & MASK) >= (b & MASK),
+}
+
+
+def _page_ceil(addr: int) -> int:
+    return (addr + PAGE_SIZE - 1) & ~(PAGE_SIZE - 1)
+
+
+class ConstState:
+    """Abstract machine state at one program point."""
+
+    __slots__ = ("regs", "mem", "havocked", "brk")
+
+    def __init__(
+        self,
+        regs: "list[int | str | None]",
+        mem: "dict[int, int | str | None] | None" = None,
+        havocked: frozenset[str] = frozenset(),
+        brk: int | None = None,
+    ) -> None:
+        self.regs = regs
+        self.mem = mem if mem is not None else {}
+        self.havocked = havocked
+        self.brk = brk
+
+    def copy(self) -> "ConstState":
+        return ConstState(list(self.regs), dict(self.mem), self.havocked, self.brk)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstState):
+            return NotImplemented
+        return (
+            self.regs == other.regs
+            and self.mem == other.mem
+            and self.havocked == other.havocked
+            and self.brk == other.brk
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - states are not hashed
+        return id(self)
+
+    def reg(self, number: int) -> "int | str | None":
+        return 0 if number == 0 else self.regs[number]
+
+    def set_reg(self, number: int, value: "int | str | None") -> None:
+        if number != 0:
+            self.regs[number] = value
+
+    # -- abstract memory ---------------------------------------------------
+
+    def load_word(self, addr: int, program: Program) -> "int | str | None":
+        """Abstract contents of the word at constant address *addr*."""
+        addr &= MASK
+        if addr in self.mem:
+            return self.mem[addr]
+        if "all" in self.havocked:
+            return None
+        region = region_of(addr)
+        if region in self.havocked:
+            return None
+        if region == REGION_DATA and addr < _page_ceil(program.data_limit):
+            return program.data_words.get(addr, 0)
+        if region == REGION_HEAP and self.brk is not None and addr + 4 <= self.brk:
+            return 0  # heap pages are zero until written
+        return None
+
+    def store_word(self, addr: int, value: "int | str | None") -> None:
+        self.mem[addr & MASK] = value
+
+    def havoc(self, region: str | None) -> None:
+        """Forget memory facts for *region* (``None`` -> everything)."""
+        if region is None:
+            self.mem = {}
+            self.havocked = frozenset({"all"})
+            self.brk = None
+            return
+        self.mem = {k: v for k, v in self.mem.items() if region_of(k) != region}
+        self.havocked = self.havocked | {region}
+
+
+def join_states(a: ConstState, b: ConstState, program: Program) -> ConstState:
+    """Pointwise join of two states."""
+    regs = [join_value(x, y) for x, y in zip(a.regs, b.regs)]
+    keys = set(a.mem) | set(b.mem)
+    mem = {
+        key: join_value(a.load_word(key, program), b.load_word(key, program))
+        for key in keys
+    }
+    return ConstState(
+        regs,
+        mem,
+        a.havocked | b.havocked,
+        a.brk if a.brk == b.brk else None,
+    )
+
+
+def _eval_mem_addr(state: ConstState, ins: Instruction) -> "int | str | None":
+    """Abstract address of a lw/sw access."""
+    base = state.reg(ins.rs)
+    if isinstance(base, int):
+        return (base + ins.imm) & MASK
+    return base  # region tag or unknown survives a constant offset
+
+
+def step_instruction(
+    state: ConstState,
+    ins: Instruction,
+    program: Program,
+    mode: str,
+) -> ConstState | None:
+    """Transfer one instruction; ``None`` means the path cannot continue."""
+    op = ins.op
+    if op in _FOLD:
+        a = state.reg(ins.rs)
+        b: "int | str | None"
+        if op in ("sll", "srl", "sra") or op in (
+            "addi", "andi", "ori", "xori", "slti", "sltiu",
+        ):
+            b = ins.imm
+        else:
+            b = state.reg(ins.rt)
+        if isinstance(a, int) and isinstance(b, int):
+            state.set_reg(ins.rd, _FOLD[op](a, b))
+        elif op in _REGION_PRESERVING:
+            # Bounded-offset pointer arithmetic: a region base keeps its
+            # tag; constants only act as bases for plain ``add``.
+            ra, rb = value_region(a), value_region(b)
+            if ra is not None:
+                state.set_reg(ins.rd, ra)
+            elif op == "add" and rb is not None:
+                state.set_reg(ins.rd, rb)
+            else:
+                state.set_reg(ins.rd, None)
+        else:
+            state.set_reg(ins.rd, None)
+        return state
+    if op == "lui":
+        state.set_reg(ins.rd, (ins.imm << 16) & MASK)
+        return state
+    if op in ("div", "divu", "rem", "remu", "sllv", "srlv", "srav"):
+        state.set_reg(ins.rd, None)
+        return state
+    if op == "lw":
+        addr = _eval_mem_addr(state, ins)
+        if mode == PRECISE and isinstance(addr, int):
+            state.set_reg(ins.rd, state.load_word(addr, program))
+        else:
+            state.set_reg(ins.rd, None)
+        return state
+    if op == "sw":
+        if mode == PRECISE:
+            addr = _eval_mem_addr(state, ins)
+            if isinstance(addr, int):
+                state.store_word(addr, state.reg(ins.rt))
+            else:
+                state.havoc(addr)  # region tag or None (everything)
+        return state
+    if op == "syscall":
+        return _step_syscall(state, mode)
+    if op == "jal":
+        state.set_reg(31, REGION_CODE)  # ra <- pc + 4
+        return state
+    if op == "jalr":
+        state.set_reg(ins.rd, None)
+        return state
+    # j, jr, branches, nop, break: no register effects.
+    return state
+
+
+def _step_syscall(state: ConstState, mode: str) -> ConstState | None:
+    number = state.reg(2)
+    if number == Syscall.EXIT:
+        return None
+    if number == Syscall.SBRK:
+        increment = state.reg(4)
+        if mode == PRECISE and state.brk is not None and isinstance(increment, int):
+            state.set_reg(2, state.brk)
+            state.brk = (state.brk + max(_signed(increment), 0)) & MASK
+        else:
+            state.set_reg(2, REGION_HEAP)
+            state.brk = None
+        return state
+    if number == Syscall.READ_INPUT:
+        if mode == PRECISE:
+            buffer = state.reg(4)
+            state.havoc(value_region(buffer) if buffer is not None else None)
+        state.set_reg(2, None)
+        return state
+    if number == Syscall.CURRENT_TID:
+        state.set_reg(2, None)
+        return state
+    if isinstance(number, int):
+        return state  # kernel preserves registers for the other services
+    # Unknown syscall number: could have been any service.
+    state.set_reg(2, None)
+    if mode == PRECISE:
+        state.havoc(None)
+    return state
+
+
+class ConstpropResult:
+    """Fixpoint of constant propagation: an in-state per basic block."""
+
+    def __init__(
+        self,
+        cfg: CFG,
+        block_in: dict[int, ConstState],
+        mode: str,
+        roots: frozenset[int],
+    ) -> None:
+        self.cfg = cfg
+        self.block_in = block_in
+        self.mode = mode
+        self.roots = roots
+
+    def reachable_blocks(self) -> frozenset[int]:
+        """Blocks the fixpoint reached (respects folded branches)."""
+        return frozenset(self.block_in)
+
+    def walk(self, block: BasicBlock) -> Iterator[tuple[int, Instruction, ConstState]]:
+        """Yield (index, instruction, state-before) through *block*."""
+        state = self.block_in.get(block.bid)
+        if state is None:
+            return
+        state = state.copy()
+        for index, ins in self.cfg.instructions(block):
+            yield index, ins, state.copy()
+            nxt = step_instruction(state, ins, self.cfg.program, self.mode)
+            if nxt is None:
+                return
+            state = nxt
+
+    def state_before(self, index: int) -> ConstState | None:
+        """State immediately before instruction *index* (None if unreached)."""
+        block = self.cfg.block_at(index)
+        for at, _ins, state in self.walk(block):
+            if at == index:
+                return state
+        return None
+
+
+def initial_state(program: Program, kind: str, mode: str) -> ConstState:
+    """Entry state for an analysis root.
+
+    *kind* is ``"main"`` (the program entry: registers zeroed by spawn,
+    a0 carries tid 0), ``"entry"`` (a declared thread entry: registers
+    zeroed, a0 is the unknown tid) or ``"taken"`` (an address-taken
+    symbol: nothing known).
+    """
+    if kind == "taken":
+        regs: "list[int | str | None]" = [None] * 32
+    else:
+        regs = [0] * 32
+        regs[4] = 0 if (kind == "main" and mode == PRECISE) else None
+        regs[5] = regs[6] = regs[7] = None  # spawn may pass arguments
+    regs[0] = 0
+    if kind != "taken":
+        regs[29] = REGION_STACK  # spawn points sp into the thread's stack
+    if mode == SOUND:
+        return ConstState(regs, {}, frozenset({"all"}), None)
+    return ConstState(regs, {}, frozenset(), HEAP_BASE)
+
+
+def constant_states(
+    program: Program,
+    entries: Iterable[str] | None = None,
+    mode: str = SOUND,
+    cfg: CFG | None = None,
+) -> ConstpropResult:
+    """Run constant propagation from every analysis root."""
+    cfg = cfg or CFG(program)
+    if not program.instructions:
+        return ConstpropResult(cfg, {}, mode, frozenset())
+    root_map = entry_root_map(program, entries)
+    main_index = pc_to_index(program.entry_pc)
+    seeds: dict[int, ConstState] = {}
+    declared = set()
+    for _name, index in root_map.items():
+        declared.add(index)
+        kind = "main" if index == main_index else "entry"
+        seeds[index] = initial_state(program, kind, mode)
+    for index in taken_code_symbols(program):
+        if index not in declared:
+            seeds[index] = initial_state(program, "taken", mode)
+    block_in: dict[int, ConstState] = {}
+    work: list[int] = []
+    for index, state in seeds.items():
+        bid = cfg.block_at(index).bid
+        if cfg.blocks[bid].start != index:
+            # Roots always start a block (symbols are leaders); entry 0 too.
+            continue
+        if bid in block_in:
+            block_in[bid] = join_states(block_in[bid], state, program)
+        else:
+            block_in[bid] = state
+        work.append(bid)
+    while work:
+        bid = work.pop()
+        block = cfg.blocks[bid]
+        state = block_in[bid].copy()
+        dead = False
+        for _index, ins in cfg.instructions(block):
+            nxt = step_instruction(state, ins, program, mode)
+            if nxt is None:
+                dead = True
+                break
+            state = nxt
+        if dead:
+            continue
+        live = _live_successors(cfg, block, state, mode)
+        for succ in live:
+            if succ in block_in:
+                joined = join_states(block_in[succ], state, program)
+                if joined == block_in[succ]:
+                    continue
+                block_in[succ] = joined
+            else:
+                block_in[succ] = state.copy()
+            work.append(succ)
+    return ConstpropResult(cfg, block_in, mode, frozenset(seeds))
+
+
+def _live_successors(
+    cfg: CFG, block: BasicBlock, out_state: ConstState, mode: str
+) -> tuple[int, ...]:
+    """Successors still feasible given the out-state (folds branches)."""
+    if block.end == block.start:
+        return block.successors
+    last = cfg.program.instructions[block.end - 1]
+    if last.op not in BRANCH_OPS or len(block.successors) < 2:
+        return block.successors
+    a, b = out_state.reg(last.rs), out_state.reg(last.rt)
+    if not (isinstance(a, int) and isinstance(b, int)):
+        return block.successors
+    taken = _BRANCH_COND[last.op](a, b)
+    count = len(cfg.program.instructions)
+    target_index = pc_to_index(last.imm)
+    if not 0 <= target_index < count:
+        return block.successors
+    target_bid = cfg.block_at(target_index).bid
+    if taken:
+        return (target_bid,)
+    return tuple(s for s in block.successors if s != target_bid) or block.successors
+
+
+# -- generic set-based dataflow -------------------------------------------
+
+
+class Dataflow:
+    """Generic worklist solver over basic blocks.
+
+    *transfer* maps (block, in-state) to an out-state; *join* combines
+    states at merge points; *boundary* seeds root blocks (entry blocks
+    for forward problems, exit blocks for backward ones); *top* seeds
+    everything else.
+    """
+
+    def __init__(
+        self,
+        cfg: CFG,
+        direction: str,
+        boundary: object,
+        top: object,
+        transfer: Callable[[BasicBlock, object], object],
+        join: Callable[[object, object], object],
+        roots: Iterable[int] = (),
+    ) -> None:
+        if direction not in ("forward", "backward"):
+            raise ValueError(f"unknown direction {direction!r}")
+        self.cfg = cfg
+        self.direction = direction
+        self.boundary = boundary
+        self.top = top
+        self.transfer = transfer
+        self.join = join
+        self.roots = frozenset(roots)
+
+    def solve(self) -> tuple[dict[int, object], dict[int, object]]:
+        """Return (in-state, out-state) maps keyed by block id."""
+        forward = self.direction == "forward"
+        blocks = self.cfg.blocks
+        if forward:
+            sources = {b.bid: b.predecessors for b in blocks}
+            root_bids = {self.cfg.block_at(i).bid for i in self.roots}
+        else:
+            sources = {b.bid: b.successors for b in blocks}
+            root_bids = {b.bid for b in blocks if not b.successors}
+        state_in: dict[int, object] = {b.bid: self.top for b in blocks}
+        state_out: dict[int, object] = {}
+        work = [b.bid for b in blocks]
+        while work:
+            bid = work.pop()
+            block = blocks[bid]
+            incoming = self.boundary if bid in root_bids else self.top
+            for src in sources[bid]:
+                if src in state_out:
+                    incoming = self.join(incoming, state_out[src])
+            state_in[bid] = incoming
+            result = self.transfer(block, incoming)
+            if bid not in state_out or state_out[bid] != result:
+                state_out[bid] = result
+                targets = block.successors if forward else block.predecessors
+                work.extend(targets)
+        if forward:
+            return state_in, state_out
+        # For backward problems "in" conventionally means the state at
+        # block entry, which is the transfer result.
+        return state_out, state_in
+
+
+# -- reaching definitions --------------------------------------------------
+
+ENTRY_DEF = -1  # pseudo definition site: value live-in at a root
+
+
+class ReachingDefinitions:
+    """Which definition sites reach each program point, per register."""
+
+    def __init__(self, cfg: CFG, roots: Iterable[int]) -> None:
+        self.cfg = cfg
+        program = cfg.program
+        empty: tuple[frozenset[int], ...] = tuple(frozenset() for _ in range(32))
+        boundary = tuple(frozenset({ENTRY_DEF}) for _ in range(32))
+
+        def transfer(block: BasicBlock, state: object) -> object:
+            defs = list(state)  # type: ignore[call-overload]
+            for index in block.indices:
+                for reg in instruction_defs(program.instructions[index]):
+                    defs[reg] = frozenset({index})
+            return tuple(defs)
+
+        def join(a: object, b: object) -> object:
+            return tuple(x | y for x, y in zip(a, b))  # type: ignore[arg-type]
+
+        solver = Dataflow(
+            cfg, "forward", boundary, empty, transfer, join, roots=roots
+        )
+        block_in, _block_out = solver.solve()
+        self.block_in: dict[int, tuple[frozenset[int], ...]] = block_in  # type: ignore[assignment]
+
+    def at_instruction(self, index: int) -> tuple[frozenset[int], ...]:
+        """Reaching definitions immediately before instruction *index*."""
+        block = self.cfg.block_at(index)
+        defs = list(self.block_in[block.bid])
+        program = self.cfg.program
+        for at in range(block.start, index):
+            for reg in instruction_defs(program.instructions[at]):
+                defs[reg] = frozenset({at})
+        return tuple(defs)
+
+
+def liveness(cfg: CFG) -> tuple[dict[int, frozenset[int]], dict[int, frozenset[int]]]:
+    """Live registers at block entry and exit, keyed by block id."""
+    program = cfg.program
+
+    def transfer(block: BasicBlock, live_out: object) -> object:
+        live = set(live_out)  # type: ignore[arg-type]
+        for index in reversed(block.indices):
+            ins = program.instructions[index]
+            live -= instruction_defs(ins)
+            live |= instruction_uses(ins)
+        return frozenset(live)
+
+    solver = Dataflow(
+        cfg,
+        "backward",
+        frozenset(),
+        frozenset(),
+        transfer,
+        lambda a, b: a | b,  # type: ignore[operator]
+    )
+    live_in, live_out = solver.solve()
+    return live_in, live_out  # type: ignore[return-value]

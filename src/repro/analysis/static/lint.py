@@ -1,0 +1,467 @@
+"""Static lint over assembled BN32 programs.
+
+Checkers (the ``check`` field of every finding):
+
+========================  ==================================================
+``uninit-read``           register read on a path where nothing defined it
+``unreachable-block``     basic block no analysis root can reach
+``lock-imbalance``        relock, unlock-without-lock, or lock held at exit
+``null-deref``            load/store/jump through a constant page-zero addr
+``misaligned-access``     constant access address not word aligned
+``wild-address``          constant access into statically unmapped memory
+``store-to-code``         store targeting the code segment
+``race-candidate``        cross-thread conflicting accesses to one constant
+                          address with no common lock
+========================  ==================================================
+
+Address checkers run on the PRECISE constant propagation, whose facts
+describe the schedule where the analyzed thread runs first — findings
+are "a fault is possible under some schedule", which is exactly what a
+seeded bug is.  Zero findings on the clean workload corpus is pinned
+by tests and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.static.cfg import (
+    CFG,
+    analysis_roots,
+    entry_root_map,
+    instruction_defs,
+    instruction_uses,
+    taken_code_symbols,
+)
+from repro.analysis.static.dataflow import (
+    PRECISE,
+    REGION_CODE,
+    REGION_DATA,
+    _live_successors,
+    _page_ceil,
+    constant_states,
+    region_of,
+    step_instruction,
+)
+from repro.analysis.static.lockset import (
+    UNKNOWN_LOCK,
+    lockset_analysis,
+    race_candidates,
+)
+from repro.arch.isa import CODE_BASE, Instruction, index_to_pc, pc_to_index
+from repro.arch.memory import PAGE_SIZE
+from repro.arch.program import Program
+from repro.arch.registers import reg_name
+
+ALL_CHECKS = (
+    "uninit-read",
+    "unreachable-block",
+    "lock-imbalance",
+    "null-deref",
+    "misaligned-access",
+    "wild-address",
+    "store-to-code",
+    "race-candidate",
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint diagnosis, anchored to a code address."""
+
+    check: str
+    pc: int
+    line: int
+    message: str
+    program: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "check": self.check,
+            "pc": self.pc,
+            "line": self.line,
+            "message": self.message,
+            "program": self.program,
+        }
+
+    def render(self) -> str:
+        where = f"{self.pc:#010x}"
+        if self.line:
+            where += f" (line {self.line})"
+        return f"{where}: {self.check}: {self.message}"
+
+
+def lint_program(
+    program: Program, entries: Iterable[str] | None = None
+) -> list[Finding]:
+    """Run every checker over *program* and return sorted findings."""
+    if not program.instructions:
+        return []
+    cfg = CFG(program)
+    roots = analysis_roots(program, entries)
+    findings: list[Finding] = []
+    findings += _check_unreachable(program, cfg, roots)
+    findings += _check_uninit(program, cfg, roots, entries)
+    consts = constant_states(program, entries, mode=PRECISE, cfg=cfg)
+    findings += _check_addresses(program, consts)
+    lockset = lockset_analysis(program, entries)
+    findings += _check_locks(program, lockset)
+    findings += _check_races(program, cfg, entries, lockset, consts)
+    named = [
+        Finding(f.check, f.pc, f.line, f.message, program.name)
+        for f in findings
+    ]
+    return sorted(named, key=lambda f: (f.pc, f.check, f.message))
+
+
+def lint_corpus(
+    programs: "Iterable[tuple[Program, Iterable[str] | None]]",
+) -> list[Finding]:
+    """Lint a sequence of (program, entries) pairs."""
+    out: list[Finding] = []
+    for program, entries in programs:
+        out.extend(lint_program(program, entries))
+    return out
+
+
+# -- unreachable blocks ----------------------------------------------------
+
+
+def _check_unreachable(
+    program: Program, cfg: CFG, roots: frozenset[int]
+) -> list[Finding]:
+    reachable = cfg.reachable(roots)
+    findings = []
+    for block in cfg.blocks:
+        if block.bid in reachable or block.end == block.start:
+            continue
+        leader = program.instructions[block.start]
+        findings.append(Finding(
+            check="unreachable-block",
+            pc=index_to_pc(block.start),
+            line=leader.line,
+            message=(
+                f"basic block of {block.end - block.start} instruction(s) "
+                "is unreachable from every entry"
+            ),
+        ))
+    return findings
+
+
+# -- uninitialized register reads ------------------------------------------
+
+
+def _check_uninit(
+    program: Program,
+    cfg: CFG,
+    roots: frozenset[int],
+    entries: Iterable[str] | None,
+) -> list[Finding]:
+    """Must-defined forward analysis; a read outside the set is a finding.
+
+    Every register is architecturally zeroed at spawn, so "uninitialized"
+    means "the program never wrote it on some path" — reading the
+    implicit zero is almost always a bug.  ``jal`` fall-through edges
+    are widened by the callee's may-defined summary so callee-produced
+    return values do not trip the checker.
+    """
+    instructions = program.instructions
+    declared = set(entry_root_map(program, entries).values())
+    taken = taken_code_symbols(program)
+    spawn_defined = frozenset({0, 4, 5, 6, 7, 29})  # zero, a0-a3, sp
+    everything = frozenset(range(32))
+
+    # May-defined summary of the code reachable from a block.
+    summary_cache: dict[int, frozenset[int]] = {}
+
+    def callee_summary(target_bid: int) -> frozenset[int]:
+        if target_bid in summary_cache:
+            return summary_cache[target_bid]
+        seen: set[int] = set()
+        work = [target_bid]
+        defined: set[int] = set()
+        while work:
+            bid = work.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            block = cfg.blocks[bid]
+            for index in block.indices:
+                defined |= instruction_defs(instructions[index])
+            work.extend(block.successors)
+        result = frozenset(defined)
+        summary_cache[target_bid] = result
+        return result
+
+    block_in: dict[int, frozenset[int]] = {}
+    work: list[int] = []
+    for index in roots:
+        bid = cfg.block_at(index).bid
+        seed = everything if (index in taken and index not in declared) else spawn_defined
+        if bid in block_in:
+            block_in[bid] = block_in[bid] & seed
+        else:
+            block_in[bid] = seed
+        work.append(bid)
+    while work:
+        bid = work.pop()
+        block = cfg.blocks[bid]
+        defined = set(block_in[bid])
+        for index in block.indices:
+            defined |= instruction_defs(instructions[index])
+        last = instructions[block.end - 1]
+        for succ in block.successors:
+            out = frozenset(defined)
+            if last.op == "jal" and cfg.blocks[succ].start == block.end:
+                # Fall-through edge: the callee may define more.
+                target = pc_to_index(last.imm)
+                if 0 <= target < len(instructions):
+                    out = out | callee_summary(cfg.block_at(target).bid)
+            if succ in block_in:
+                joined = block_in[succ] & out
+                if joined == block_in[succ]:
+                    continue
+                block_in[succ] = joined
+            else:
+                block_in[succ] = out
+            work.append(succ)
+
+    findings = []
+    reported: set[tuple[int, int]] = set()
+    for bid, incoming in block_in.items():
+        block = cfg.blocks[bid]
+        defined = set(incoming)
+        for index in block.indices:
+            ins = instructions[index]
+            for reg in sorted(instruction_uses(ins)):
+                if reg not in defined and (index, reg) not in reported:
+                    reported.add((index, reg))
+                    findings.append(Finding(
+                        check="uninit-read",
+                        pc=index_to_pc(index),
+                        line=ins.line,
+                        message=(
+                            f"register {reg_name(reg)} is read but never "
+                            "written on some path from the entry"
+                        ),
+                    ))
+            defined |= instruction_defs(ins)
+    return findings
+
+
+# -- constant-address checks -----------------------------------------------
+
+
+def _classify_address(
+    program: Program, addr: int, is_store: bool
+) -> tuple[str, str] | None:
+    """(check, message) for a constant access address, or None if fine."""
+    if addr % 4:
+        return (
+            "misaligned-access",
+            f"address {addr:#x} is not word aligned",
+        )
+    if addr < PAGE_SIZE:
+        return (
+            "null-deref",
+            f"{'store to' if is_store else 'load from'} "
+            f"null-page address {addr:#x}",
+        )
+    region = region_of(addr)
+    if region is None:
+        return (
+            "wild-address",
+            f"address {addr:#x} lies in unmapped memory",
+        )
+    if region == REGION_CODE:
+        if is_store:
+            return (
+                "store-to-code",
+                f"store targets the code segment at {addr:#x}",
+            )
+        if addr < program.code_limit:
+            return (
+                "wild-address",
+                f"load from the code segment at {addr:#x} "
+                "(code is not data-addressable)",
+            )
+        return (
+            "wild-address",
+            f"address {addr:#x} lies in unmapped memory",
+        )
+    if region == REGION_DATA and addr >= _page_ceil(program.data_limit):
+        return (
+            "wild-address",
+            f"address {addr:#x} is beyond the data segment "
+            f"(ends at {program.data_limit:#x})",
+        )
+    return None
+
+
+def _check_addresses(program: Program, consts) -> list[Finding]:
+    findings = []
+    seen: set[tuple[int, str]] = set()
+
+    def report(index: int, ins: Instruction, check: str, message: str) -> None:
+        if (index, check) in seen:
+            return
+        seen.add((index, check))
+        findings.append(Finding(
+            check=check, pc=index_to_pc(index), line=ins.line, message=message
+        ))
+
+    for block in consts.cfg.blocks:
+        for index, ins, state in consts.walk(block):
+            if ins.op in ("lw", "sw"):
+                base = state.reg(ins.rs)
+                if isinstance(base, int):
+                    addr = (base + ins.imm) & 0xFFFFFFFF
+                    verdict = _classify_address(program, addr, ins.op == "sw")
+                    if verdict is not None:
+                        report(index, ins, *verdict)
+            elif ins.op in ("jr", "jalr"):
+                target = state.reg(ins.rs)
+                if isinstance(target, int):
+                    if target < PAGE_SIZE:
+                        report(
+                            index, ins, "null-deref",
+                            f"jump through null function pointer "
+                            f"({target:#x})",
+                        )
+                    elif not CODE_BASE <= target < program.code_limit:
+                        report(
+                            index, ins, "wild-address",
+                            f"jump target {target:#x} is outside the code "
+                            "segment",
+                        )
+    return findings
+
+
+# -- lock discipline -------------------------------------------------------
+
+
+def _check_locks(program: Program, lockset) -> list[Finding]:
+    findings = []
+    for event in lockset.events:
+        if event.action == "lock" and event.lock_id in event.must_before:
+            findings.append(Finding(
+                check="lock-imbalance",
+                pc=event.pc,
+                line=event.line,
+                message=(
+                    f"lock {event.lock_id:#x} is already held here; "
+                    "relocking faults"
+                ),
+            ))
+        if (
+            event.action == "unlock"
+            and event.lock_id != UNKNOWN_LOCK
+            and event.lock_id not in event.may_before
+            and UNKNOWN_LOCK not in event.may_before
+        ):
+            findings.append(Finding(
+                check="lock-imbalance",
+                pc=event.pc,
+                line=event.line,
+                message=(
+                    f"lock {event.lock_id:#x} cannot be held here; "
+                    "unlocking faults"
+                ),
+            ))
+    for pc, line, held in lockset.exit_held:
+        names = ", ".join(
+            f"{lock:#x}" if isinstance(lock, int) else "?" for lock in sorted(
+                held, key=str
+            )
+        )
+        findings.append(Finding(
+            check="lock-imbalance",
+            pc=pc,
+            line=line,
+            message=f"lock(s) {names} may still be held at thread exit",
+        ))
+    return findings
+
+
+# -- cross-thread race candidates ------------------------------------------
+
+
+def _entry_reach(cfg: CFG, consts, root_index: int) -> frozenset[int]:
+    """PCs reachable from one entry, stopping at constant-EXIT syscalls.
+
+    The raw CFG keeps a fall-through edge after every syscall, so one
+    thread's code would appear reachable from the entry that exits just
+    above it; re-walking blocks with the constant propagation kills
+    paths past a proven EXIT.
+    """
+    pcs: set[int] = set()
+    seen: set[int] = set()
+    work = [cfg.block_at(root_index).bid]
+    while work:
+        bid = work.pop()
+        if bid in seen or bid not in consts.block_in:
+            continue
+        seen.add(bid)
+        block = cfg.blocks[bid]
+        rows = list(consts.walk(block))
+        for index, _ins, _state in rows:
+            pcs.add(index_to_pc(index))
+        if len(rows) == block.end - block.start and rows:
+            index, ins, state = rows[-1]
+            out = step_instruction(state, ins, cfg.program, consts.mode)
+            if out is not None:
+                work.extend(_live_successors(cfg, block, out, consts.mode))
+    return frozenset(pcs)
+
+
+def _check_races(
+    program: Program,
+    cfg: CFG,
+    entries: Iterable[str] | None,
+    lockset,
+    consts,
+) -> list[Finding]:
+    """Report candidate pairs on **constant** shared addresses.
+
+    Only constant-address pairs whose PCs belong to different thread
+    entries are reported: those are concrete enough to act on.  The
+    full (conservative) candidate set still feeds race pruning.
+    """
+    root_map = entry_root_map(program, entries)
+    if len(root_map) < 2:
+        return []
+    candidates = race_candidates(program, entries, lockset=lockset)
+    reach = {
+        name: _entry_reach(cfg, consts, index)
+        for name, index in root_map.items()
+    }
+
+    def entries_of(pc: int) -> frozenset[str]:
+        return frozenset(name for name, pcs in reach.items() if pc in pcs)
+
+    findings = []
+    for pc_a, pc_b in sorted(candidates.pairs):
+        first = candidates.accesses.get(pc_a)
+        second = candidates.accesses.get(pc_b)
+        if first is None or second is None:
+            continue
+        if not (isinstance(first.addr, int) and isinstance(second.addr, int)):
+            continue
+        owners_a, owners_b = entries_of(pc_a), entries_of(pc_b)
+        if owners_a and owners_b and len(owners_a | owners_b) > 1:
+            store = first if first.kind == "store" else second
+            other = second if store is first else first
+            index = pc_to_index(store.pc)
+            ins = program.instructions[index]
+            findings.append(Finding(
+                check="race-candidate",
+                pc=store.pc,
+                line=ins.line,
+                message=(
+                    f"{store.kind} at {store.pc:#x} races with "
+                    f"{other.kind} at {other.pc:#x} on address "
+                    f"{store.addr:#x} with no common lock"
+                ),
+            ))
+    return findings

@@ -1,0 +1,289 @@
+"""Lockset analysis and static race candidates.
+
+Classifies every load/store PC by the LOCK/UNLOCK syscall regions that
+statically guard it (a must-held and a may-held lockset), then emits
+the set of *race-candidate PC pairs*: cross-thread conflicting access
+pairs that are neither guarded by a common lock nor provably
+non-aliasing under the sound constant propagation.
+
+Pruning contract with :func:`repro.replay.races.infer_races`: a pair
+absent from the candidate set is either (a) non-aliasing — the two PCs
+can never touch the same word, under any interleaving — or (b) guarded
+by a common lock, in which case the kernel's sync edges order the two
+accesses in every real execution.  Passing the candidates to
+``infer_races`` therefore never drops a true race; on lock-free
+programs (the entire bug suite) the pruned and unpruned results are
+bit-identical even with an empty sync list, which the equivalence
+tests pin.
+
+Per-thread stacks never overlap (`loader.stack_top_for_thread`), and a
+``stack`` region tag can only derive from the executing thread's own
+``sp`` (registers are thread-private and loads produce unknown), so
+stack-tagged pairs are non-aliasing **cross-thread** — the candidate
+set is only meaningful for cross-thread queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.static.dataflow import (
+    REGION_STACK,
+    SOUND,
+    ConstpropResult,
+    constant_states,
+    value_region,
+)
+from repro.arch.isa import Instruction, Syscall, index_to_pc
+from repro.arch.program import Program
+
+# Sentinel for a LOCK/UNLOCK whose lock id is not a static constant.
+UNKNOWN_LOCK = "?"
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """Static facts about one load/store site."""
+
+    pc: int
+    kind: str  # "load" | "store"
+    addr: "int | str | None"  # abstract address value
+    must_locks: frozenset[int]
+    reachable: bool
+
+
+@dataclass(frozen=True)
+class LockEvent:
+    """One LOCK/UNLOCK syscall site with the held-set before it."""
+
+    pc: int
+    line: int
+    action: str  # "lock" | "unlock"
+    lock_id: "int | str"  # UNKNOWN_LOCK when not constant
+    must_before: frozenset[int]
+    may_before: "frozenset[int | str]"
+
+
+class LocksetResult:
+    """Per-PC locksets plus the lock/unlock event list."""
+
+    def __init__(
+        self,
+        accesses: dict[int, MemAccess],
+        events: list[LockEvent],
+        exit_held: list[tuple[int, int, "frozenset[int | str]"]],
+    ) -> None:
+        self.accesses = accesses  # keyed by pc
+        self.events = events
+        # (pc, line, may-held) at every EXIT syscall with locks possibly held.
+        self.exit_held = exit_held
+
+
+def _lockset_join(
+    a: "tuple[frozenset, frozenset] | None",
+    b: "tuple[frozenset, frozenset] | None",
+) -> "tuple[frozenset, frozenset] | None":
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a[0] & b[0], a[1] | b[1]
+
+
+def _lock_transfer(
+    state: "tuple[frozenset, frozenset]",
+    ins: Instruction,
+    consts: ConstpropResult,
+    index: int,
+) -> "tuple[frozenset, frozenset]":
+    if ins.op != "syscall":
+        return state
+    before = consts.state_before(index)
+    number = before.reg(2) if before is not None else None
+    if number == Syscall.LOCK:
+        lock_id = before.reg(4) if before is not None else None
+        must, may = state
+        if isinstance(lock_id, int):
+            return must | {lock_id}, may | {lock_id}
+        return must, may | {UNKNOWN_LOCK}
+    if number == Syscall.UNLOCK:
+        lock_id = before.reg(4) if before is not None else None
+        must, may = state
+        if isinstance(lock_id, int):
+            return must - {lock_id}, may - {lock_id}
+        return frozenset(), may | {UNKNOWN_LOCK}
+    if number is None or not isinstance(number, int):
+        # Unknown service: could be any lock operation.
+        return frozenset(), state[1] | {UNKNOWN_LOCK}
+    return state
+
+
+def lockset_analysis(
+    program: Program,
+    entries: Iterable[str] | None = None,
+    consts: ConstpropResult | None = None,
+) -> LocksetResult:
+    """Compute per-access locksets and lock/unlock events."""
+    consts = consts or constant_states(program, entries, mode=SOUND)
+    cfg = consts.cfg
+    empty: tuple[frozenset, frozenset] = (frozenset(), frozenset())
+    block_in: "dict[int, tuple[frozenset, frozenset] | None]" = {}
+    work: list[int] = []
+    root_bids = {cfg.block_at(i).bid for i in consts.roots}
+    for bid in root_bids:
+        block_in[bid] = empty
+        work.append(bid)
+    while work:
+        bid = work.pop()
+        state = block_in.get(bid)
+        if state is None:
+            continue
+        block = cfg.blocks[bid]
+        for index, ins in cfg.instructions(block):
+            state = _lock_transfer(state, ins, consts, index)
+        for succ in block.successors:
+            joined = _lockset_join(block_in.get(succ), state)
+            if joined != block_in.get(succ):
+                block_in[succ] = joined
+                work.append(succ)
+    # Walk every block once more to collect per-instruction facts.
+    accesses: dict[int, MemAccess] = {}
+    events: list[LockEvent] = []
+    exit_held: list[tuple[int, int, frozenset]] = []
+    for block in cfg.blocks:
+        state = block_in.get(block.bid)
+        reachable = state is not None and block.bid in consts.block_in
+        if state is None:
+            state = empty
+        for index, ins in cfg.instructions(block):
+            pc = index_to_pc(index)
+            if ins.op in ("lw", "sw"):
+                before = consts.state_before(index) if reachable else None
+                addr = None
+                if before is not None:
+                    base = before.reg(ins.rs)
+                    if isinstance(base, int):
+                        addr = (base + ins.imm) & 0xFFFFFFFF
+                    else:
+                        addr = base
+                accesses[pc] = MemAccess(
+                    pc=pc,
+                    kind="load" if ins.op == "lw" else "store",
+                    addr=addr,
+                    must_locks=state[0] if reachable else frozenset(),
+                    reachable=reachable,
+                )
+            elif ins.op == "syscall" and reachable:
+                before = consts.state_before(index)
+                number = before.reg(2) if before is not None else None
+                if number in (Syscall.LOCK, Syscall.UNLOCK):
+                    lock_id = before.reg(4) if before is not None else None
+                    events.append(LockEvent(
+                        pc=pc,
+                        line=ins.line,
+                        action="lock" if number == Syscall.LOCK else "unlock",
+                        lock_id=lock_id if isinstance(lock_id, int) else UNKNOWN_LOCK,
+                        must_before=state[0],
+                        may_before=state[1],
+                    ))
+                elif number == Syscall.EXIT and state[1]:
+                    exit_held.append((pc, ins.line, state[1]))
+            state = _lock_transfer(state, ins, consts, index)
+        if not block.successors and state[1] and reachable:
+            last = block.end - 1
+            if last >= block.start:
+                ins = program.instructions[last]
+                if ins.op != "syscall":  # EXIT case handled above
+                    exit_held.append((index_to_pc(last), ins.line, state[1]))
+    return LocksetResult(accesses, events, exit_held)
+
+
+def may_alias(a: "int | str | None", b: "int | str | None") -> bool:
+    """Whether two abstract word addresses may overlap **cross-thread**."""
+    if a is None or b is None:
+        return True
+    if isinstance(a, int) and isinstance(b, int):
+        return abs(a - b) < 4
+    ra, rb = value_region(a), value_region(b)
+    if ra is None or rb is None:
+        return True  # constant in an unmapped gap: keep it conservative
+    if ra != rb:
+        return False
+    # Same region.  Distinct threads never share stack addresses.
+    return ra != REGION_STACK
+
+
+@dataclass(frozen=True)
+class RaceCandidates:
+    """Static may-race relation over load/store PCs (cross-thread)."""
+
+    pairs: frozenset  # of (pc_lo, pc_hi) tuples
+    known_pcs: frozenset  # every analyzed load/store pc
+    relevant_pcs: frozenset  # pcs participating in at least one pair
+    total_pairs: int = 0  # conflicting pairs before pruning
+    accesses: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def may_race(self, pc_a: int, pc_b: int) -> bool:
+        """May the accesses at these two PCs race across threads?"""
+        if pc_a not in self.known_pcs or pc_b not in self.known_pcs:
+            return True  # PC outside the analyzed program: stay sound
+        pair = (pc_a, pc_b) if pc_a <= pc_b else (pc_b, pc_a)
+        return pair in self.pairs
+
+
+def race_candidates(
+    program: Program,
+    entries: Iterable[str] | None = None,
+    lockset: LocksetResult | None = None,
+) -> RaceCandidates:
+    """Build the static race-candidate pair set for *program*."""
+    lockset = lockset or lockset_analysis(program, entries)
+    accesses = list(lockset.accesses.values())
+    pairs: set[tuple[int, int]] = set()
+    total = 0
+    for i, first in enumerate(accesses):
+        for second in accesses[i:]:
+            if first.kind != "store" and second.kind != "store":
+                continue
+            total += 1
+            if not may_alias(first.addr, second.addr):
+                continue
+            if first.must_locks & second.must_locks:
+                continue  # lock-ordered via the kernel's sync edges
+            pair = (
+                (first.pc, second.pc)
+                if first.pc <= second.pc
+                else (second.pc, first.pc)
+            )
+            pairs.add(pair)
+    relevant = frozenset(pc for pair in pairs for pc in pair)
+    return RaceCandidates(
+        pairs=frozenset(pairs),
+        known_pcs=frozenset(lockset.accesses),
+        relevant_pcs=relevant,
+        total_pairs=total,
+        accesses=dict(lockset.accesses),
+    )
+
+
+def cached_race_candidates(program: Program) -> RaceCandidates | None:
+    """Race candidates for *program*, cached on the program object.
+
+    Thread entries are taken from the ``thread_entries`` attribute the
+    workload layer stamps on multithreaded programs.  Returns ``None``
+    (prune nothing) if the analysis fails — a static-analysis bug must
+    never take down validation.
+    """
+    cached = getattr(program, "_race_candidates", False)
+    if cached is not False:
+        return cached
+    try:
+        result: RaceCandidates | None = race_candidates(program)
+    except Exception:  # noqa: BLE001 - analysis must never break replay
+        result = None
+    try:
+        program._race_candidates = result  # type: ignore[attr-defined]
+    except AttributeError:  # pragma: no cover - immutable program type
+        pass
+    return result

@@ -1,0 +1,136 @@
+"""Static backward slicing over the CFG and dataflow results.
+
+The dynamic slicer in ``forensics`` walks one recorded execution; this
+one answers the same question — "which instructions can affect the
+values used here?" — for **all** executions, using reaching
+definitions for data dependence, the sound constant propagation for
+may-alias memory dependence (a load depends on every store that may
+write its address), and postdominators for control dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.analysis.static.cfg import (
+    CFG,
+    analysis_roots,
+    instruction_uses,
+)
+from repro.analysis.static.dataflow import (
+    ENTRY_DEF,
+    SOUND,
+    ConstpropResult,
+    ReachingDefinitions,
+    constant_states,
+)
+from repro.analysis.static.lockset import may_alias
+from repro.arch.isa import index_to_pc, pc_to_index
+from repro.arch.program import Program
+
+
+@dataclass(frozen=True)
+class StaticSlice:
+    """The closure of instructions that can affect the criterion."""
+
+    criterion_pc: int
+    pcs: tuple[int, ...]  # sorted, includes the criterion
+    lines: tuple[int, ...]  # source lines, sorted and deduplicated
+
+    @property
+    def size(self) -> int:
+        return len(self.pcs)
+
+
+def _control_dependence(cfg: CFG) -> dict[int, frozenset[int]]:
+    """Map block id -> terminator instruction indices it depends on."""
+    ipdom = cfg.postdominators()
+    depends: dict[int, set[int]] = {b.bid: set() for b in cfg.blocks}
+    for block in cfg.blocks:
+        if len(block.successors) < 2:
+            continue
+        terminator = block.end - 1
+        stop = ipdom.get(block.bid)
+        for succ in block.successors:
+            walker: int | None = succ
+            seen: set[int] = set()
+            while walker is not None and walker != stop and walker not in seen:
+                seen.add(walker)
+                depends[walker].add(terminator)
+                walker = ipdom.get(walker)
+    return {bid: frozenset(deps) for bid, deps in depends.items()}
+
+
+def _memory_addresses(
+    consts: ConstpropResult,
+) -> "dict[int, int | str | None]":
+    """Abstract address per load/store instruction index."""
+    addrs: "dict[int, int | str | None]" = {}
+    cfg = consts.cfg
+    for index, ins in enumerate(cfg.program.instructions):
+        if ins.op in ("lw", "sw"):
+            addrs[index] = None  # default: unreachable -> unknown
+    for block in cfg.blocks:
+        for index, ins, state in consts.walk(block):
+            if ins.op in ("lw", "sw"):
+                base = state.reg(ins.rs)
+                if isinstance(base, int):
+                    addrs[index] = (base + ins.imm) & 0xFFFFFFFF
+                else:
+                    addrs[index] = base
+    return addrs
+
+
+def backward_slice(
+    program: Program,
+    pc: int,
+    entries: Iterable[str] | None = None,
+    cfg: CFG | None = None,
+) -> StaticSlice:
+    """Slice backwards from the instruction at *pc*."""
+    cfg = cfg or CFG(program)
+    criterion = pc_to_index(pc)
+    if not 0 <= criterion < len(program.instructions):
+        raise ValueError(f"pc {pc:#x} is outside the program")
+    roots = analysis_roots(program, entries)
+    reaching = ReachingDefinitions(cfg, roots)
+    consts = constant_states(program, entries, mode=SOUND, cfg=cfg)
+    addrs = _memory_addresses(consts)
+    stores = [i for i, a in addrs.items() if program.instructions[i].op == "sw"]
+    control = _control_dependence(cfg)
+
+    in_slice: set[int] = set()
+    use_work: list[tuple[int, int]] = []
+
+    def add_instruction(index: int) -> None:
+        if index in in_slice:
+            return
+        in_slice.add(index)
+        ins = program.instructions[index]
+        for reg in instruction_uses(ins):
+            use_work.append((index, reg))
+        if ins.op == "lw":
+            # Memory dependence: any store that may write this address.
+            load_addr = addrs.get(index)
+            for store in stores:
+                if may_alias(load_addr, addrs[store]):
+                    add_instruction(store)
+        for terminator in control.get(cfg.block_at(index).bid, ()):
+            add_instruction(terminator)
+
+    add_instruction(criterion)
+    while use_work:
+        index, reg = use_work.pop()
+        if reg == 0:
+            continue
+        for def_site in reaching.at_instruction(index)[reg]:
+            if def_site != ENTRY_DEF:
+                add_instruction(def_site)
+
+    pcs = tuple(index_to_pc(i) for i in sorted(in_slice))
+    lines = tuple(
+        sorted({program.instructions[i].line for i in in_slice}
+               - {0})
+    )
+    return StaticSlice(criterion_pc=pc, pcs=pcs, lines=lines)

@@ -66,15 +66,31 @@ def symbol_map(program: Program) -> dict[int, str]:
 
 
 def listing(program: Program, start: int | None = None,
-            count: int = 16) -> str:
-    """A disassembly listing around *start* (defaults to the entry)."""
+            count: int = 16, annotate: bool = False) -> str:
+    """A disassembly listing around *start* (defaults to the entry).
+
+    With *annotate*, each basic-block leader is marked with its block
+    id and successor blocks (from the static CFG) — the
+    ``bugnet disasm --annotate`` view.  The default output is
+    unchanged.
+    """
     symbols = symbol_map(program)
+    leaders: dict[int, str] = {}
+    if annotate:
+        from repro.analysis.static.cfg import CFG
+
+        cfg = CFG(program)
+        for block in cfg.blocks:
+            succ = ", ".join(f"B{s}" for s in block.successors) or "exit"
+            leaders[block.pc] = f"block B{block.bid} -> {succ}"
     pc = program.entry_pc if start is None else start
     lines = []
     for _ in range(count):
         ins = program.fetch(pc)
         if ins is None:
             break
+        if pc in leaders:
+            lines.append(f"  ; {leaders[pc]}")
         label = symbols.get(pc)
         if label:
             lines.append(f"{label}:")

@@ -629,8 +629,134 @@ def _cmd_load_sim(args) -> int:
 def _cmd_disasm(args) -> int:
     program = _load_program(args.source)
     start = program.pc_of(args.start) if args.start else None
-    print(listing(program, start=start, count=args.count))
+    print(listing(program, start=start, count=args.count,
+                  annotate=args.annotate))
     return 0
+
+
+def _lint_one(args) -> int:
+    """``bugnet lint app.s``: findings for one program; exit 1 if any."""
+    from repro.analysis.static.lint import lint_program
+
+    program = _load_program(args.source)
+    if args.entry:
+        program.thread_entries = tuple(args.entry)
+    findings = lint_program(program)
+    if args.json:
+        print(json.dumps({
+            "program": program.name,
+            "findings": [finding.to_dict() for finding in findings],
+        }, indent=2))
+    else:
+        for finding in findings:
+            print(finding.render())
+        print(f"{len(findings)} finding(s) in {args.source}")
+    return 1 if findings else 0
+
+
+def _verify_race_candidates() -> "tuple[int, list[str]]":
+    """Run every multithreaded bug to its crash and check each
+    dynamically inferred race lies in the static candidate set.
+
+    Returns ``(races_checked, escapes)`` — an escape is a dynamic race
+    the lockset analysis *proved* impossible, i.e. an analysis bug.
+    """
+    from repro.analysis.static.lockset import cached_race_candidates
+    from repro.replay.races import ReportLogs, infer_races, replay_all_threads
+    from repro.workloads.bugs import BUG_SUITE, run_bug
+
+    checked = 0
+    escapes: list[str] = []
+    for bug in BUG_SUITE:
+        if not bug.multithreaded:
+            continue
+        run = run_bug(bug, BugNetConfig(checkpoint_interval=20_000))
+        report = run.result.crash
+        if report is None:
+            escapes.append(f"{bug.name}: did not crash")
+            continue
+        replay = replay_all_threads(
+            ReportLogs(report),
+            {tid: run.program for tid in report.thread_ids},
+            run.machine.bugnet, fast=True,
+        )
+        races = infer_races(replay, sync=[])
+        candidates = cached_race_candidates(run.program)
+        if candidates is None:
+            escapes.append(f"{bug.name}: static analysis failed")
+            continue
+        for race in races:
+            checked += 1
+            if not candidates.may_race(race.first[2], race.second[2]):
+                escapes.append(f"{bug.name}: {race}")
+    return checked, escapes
+
+
+def _cmd_lint(args) -> int:
+    """Static lint: one program, or the whole built-in corpus.
+
+    Corpus mode is the CI gate: every clean SPEC-personality workload
+    must produce zero findings, every bug annotated with an expected
+    check must be flagged with it, and (with ``--verify-races``) every
+    dynamically inferred race must lie inside the static race-candidate
+    set.
+    """
+    if args.source:
+        return _lint_one(args)
+    from repro.analysis.static.lint import lint_program
+    from repro.workloads.bugs import BUG_SUITE
+    from repro.workloads.clean import CLEAN_SUITE
+
+    programs = []
+    failures: list[str] = []
+    for clean in CLEAN_SUITE:
+        findings = lint_program(clean.program())
+        ok = not findings
+        if not ok:
+            failures.append(f"clean workload {clean.name} has "
+                            f"{len(findings)} finding(s)")
+        programs.append({
+            "name": clean.name, "kind": "clean", "expected": None,
+            "findings": [f.to_dict() for f in findings], "ok": ok,
+        })
+    for bug in BUG_SUITE:
+        findings = lint_program(bug.program())
+        checks = {finding.check for finding in findings}
+        ok = bug.expected_lint is None or bug.expected_lint in checks
+        if not ok:
+            failures.append(
+                f"bug {bug.name}: expected a {bug.expected_lint} "
+                f"finding, got {sorted(checks) or 'none'}"
+            )
+        programs.append({
+            "name": bug.name, "kind": "bug", "expected": bug.expected_lint,
+            "findings": [f.to_dict() for f in findings], "ok": ok,
+        })
+    race_check = None
+    if args.verify_races:
+        checked, escapes = _verify_race_candidates()
+        race_check = {"races_checked": checked, "escapes": escapes}
+        failures.extend(f"race escape: {escape}" for escape in escapes)
+    if args.json:
+        payload = {"programs": programs, "ok": not failures,
+                   "failures": failures}
+        if race_check is not None:
+            payload["race_check"] = race_check
+        print(json.dumps(payload, indent=2))
+    else:
+        for entry in programs:
+            status = "ok" if entry["ok"] else "FAIL"
+            expected = (f" (expected {entry['expected']})"
+                        if entry["expected"] else "")
+            print(f"  {status:>4}  {entry['kind']:<5} {entry['name']}: "
+                  f"{len(entry['findings'])} finding(s){expected}")
+        if race_check is not None:
+            print(f"  race candidates: {race_check['races_checked']} "
+                  f"dynamic race(s) checked, "
+                  f"{len(race_check['escapes'])} escape(s)")
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -827,7 +953,27 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("source")
     disasm.add_argument("--start", default=None)
     disasm.add_argument("--count", type=int, default=24)
+    disasm.add_argument("--annotate", action="store_true",
+                        help="mark basic-block leaders and successors")
     disasm.set_defaults(func=_cmd_disasm)
+
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis findings for a program (or the whole "
+             "built-in corpus)",
+    )
+    lint.add_argument("source", nargs="?", default=None,
+                      help="BN32 source file; omit to lint the bug suite "
+                           "and the clean SPEC workloads")
+    lint.add_argument("--entry", action="append", default=[],
+                      help="declare a thread entry label (repeatable; "
+                           "single-program mode)")
+    lint.add_argument("--verify-races", action="store_true",
+                      help="corpus mode: additionally run every "
+                           "multithreaded bug and check each dynamic race "
+                           "lies in the static candidate set")
+    lint.add_argument("--json", action="store_true")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

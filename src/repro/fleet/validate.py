@@ -210,7 +210,10 @@ def _validate_threads(
         memory=thread.memory,
         last_fll=report.replay_chain(faulting)[-1],
     )
-    return tail, race_evidence(mt, faulting)
+    from repro.analysis.static.lockset import cached_race_candidates
+
+    candidates = cached_race_candidates(program)
+    return tail, race_evidence(mt, faulting, candidates=candidates)
 
 
 def race_evidence(
@@ -218,6 +221,7 @@ def race_evidence(
     faulting_tid: int,
     window: int = RACE_EVIDENCE_WINDOW,
     max_reports: int = 64,
+    candidates=None,
 ) -> "tuple[int, ...]":
     """PCs of remote stores racing with the accesses feeding the crash.
 
@@ -229,6 +233,12 @@ def race_evidence(
     put while the manifestation site moves with the interleaving.
     Returns ``()`` for race-free reports (the signature then keys on
     the fault site exactly as for single-thread reports).
+
+    *candidates* is the static lockset pruning set
+    (:func:`repro.analysis.static.lockset.cached_race_candidates`);
+    pairs it proved non-racing are skipped inside
+    :func:`~repro.replay.races.infer_races` without changing which
+    races are reported.
     """
     from repro.replay.races import infer_races
 
@@ -243,7 +253,7 @@ def race_evidence(
     if not relevant:
         return ()
     races = infer_races(mt, sync=[], max_reports=max_reports,
-                        addrs=relevant)
+                        addrs=relevant, candidates=candidates)
     pcs = set()
     for race in races:
         for side, kind in zip((race.first, race.second), race.kinds):

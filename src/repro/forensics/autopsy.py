@@ -112,6 +112,13 @@ class Autopsy:
     provenance: list[ProvenanceStep] = field(default_factory=list)
     race_adjacent: bool = False
     races: tuple[str, ...] = ()
+    #: Whether every dynamic race above lies in the static lockset
+    #: candidate set (None: race-free report or static analysis
+    #: unavailable).  False is loud — a dynamically observed race the
+    #: static analysis proved impossible means the analysis (or the
+    #: logs) is wrong, and the escapes are listed for inspection.
+    static_confirmed: bool | None = None
+    static_escapes: tuple[str, ...] = ()
 
     def to_dict(self) -> dict:
         """The ``bugnet autopsy --json`` shape."""
@@ -134,6 +141,8 @@ class Autopsy:
             "slice_lines": sorted(self.slice_lines),
             "race_adjacent": self.race_adjacent,
             "races": list(self.races),
+            "static_confirmed": self.static_confirmed,
+            "static_escapes": list(self.static_escapes),
         }
 
     def render(self) -> str:
@@ -164,6 +173,14 @@ class Autopsy:
             lines.append(render_provenance(self.provenance))
         for race in self.races:
             lines.append(f"  race    : {race}")
+        if self.static_confirmed is True:
+            lines.append("  static  : all races lie in the lockset "
+                         "candidate set")
+        elif self.static_confirmed is False:
+            lines.append("  static  : ANALYSIS BUG — dynamic race(s) "
+                         "outside the static candidate set:")
+            for escape in self.static_escapes:
+                lines.append(f"            {escape}")
         return "\n".join(lines)
 
 
@@ -215,9 +232,34 @@ def _infer_report_races(report: CrashReport, config: BugNetConfig,
             config,
             fast=True,
         )
+        # Deliberately UNPRUNED (no static candidates): the autopsy
+        # cross-checks the dynamic races against the static set below,
+        # which only means something if the dynamic side is independent.
         return infer_races(replay, sync=[], max_reports=max_reports)
     except (ReproError, LookupError):
         return []
+
+
+def _static_cross_check(program: Program, races) -> tuple[bool | None,
+                                                          tuple[str, ...]]:
+    """Check dynamic races against the static lockset candidate set.
+
+    Returns ``(confirmed, escapes)``: every race whose PC pair the
+    static analysis *proved* non-racing is an escape — evidence the
+    analysis (or the logs) is wrong, rendered loudly in the autopsy.
+    Pairs with PCs the analysis never classified are conservatively
+    fine.  ``(None, ())`` when no candidate set is available.
+    """
+    from repro.analysis.static.lockset import cached_race_candidates
+
+    candidates = cached_race_candidates(program)
+    if candidates is None:
+        return None, ()
+    escapes = tuple(
+        str(race) for race in races
+        if not candidates.may_race(race.first[2], race.second[2])
+    )
+    return not escapes, escapes
 
 
 def _remote_store_side(races, addr: int, local_tid: int):
@@ -315,6 +357,8 @@ def perform_autopsy(
     race_strings: tuple[str, ...] = ()
     race_adjacent = False
     remote_culprit = None
+    static_confirmed: bool | None = None
+    static_escapes: tuple[str, ...] = ()
     if races and len(report.thread_ids) > 1:
         watch_addr = (culprit.addr if culprit is not None else remote_addr)
         inferred = _infer_report_races(report, config, program)
@@ -322,6 +366,9 @@ def perform_autopsy(
                     if watch_addr is not None and race.addr == watch_addr]
         race_strings = tuple(str(race) for race in relevant)
         race_adjacent = bool(relevant)
+        if relevant:
+            static_confirmed, static_escapes = _static_cross_check(
+                program, relevant)
         if culprit is None and remote_addr is not None:
             remote_culprit = _remote_store_side(
                 inferred, remote_addr, report.faulting_tid)
@@ -342,6 +389,8 @@ def perform_autopsy(
         provenance=steps,
         race_adjacent=race_adjacent,
         races=race_strings,
+        static_confirmed=static_confirmed,
+        static_escapes=static_escapes,
     )
     if culprit is not None:
         result.culprit_index = culprit.index

@@ -17,12 +17,16 @@ between them, computed with segment vector clocks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.common.config import BugNetConfig
 from repro.common.errors import ReplayDivergence, ReproError
 from repro.replay.replayer import IntervalReplay, Replayer
 from repro.tracing.backing import LogStore
 from repro.tracing.mrl import MRLReader
+
+if TYPE_CHECKING:
+    from repro.analysis.static.lockset import RaceCandidates
 
 
 @dataclass(frozen=True)
@@ -94,8 +98,28 @@ class MultiThreadReplay:
 
     per_thread: dict[int, list[IntervalReplay]]
     constraints: list[Constraint]
-    schedule: list[tuple[int, int]] = field(default_factory=list)  # (tid, index)
     traced: "dict[int, TracedThreadReplay] | None" = None
+    _schedule: "list[tuple[int, int]] | None" = field(
+        default=None, repr=False, compare=False,
+    )
+
+    @property
+    def schedule(self) -> list[tuple[int, int]]:
+        """A valid interleaving as (tid, index) steps, merged lazily.
+
+        Stitching the full schedule is the most expensive step of MT
+        replay and race inference never needs it (it works from vector
+        clocks), so it is computed on first access — the debugger
+        front-ends that walk the interleaving still see exactly what
+        the eager merge produced.
+        """
+        if self._schedule is None:
+            self._schedule = _merge_schedule(self)
+        return self._schedule
+
+    @schedule.setter
+    def schedule(self, value: list[tuple[int, int]]) -> None:
+        self._schedule = value
 
     @property
     def thread_ids(self) -> list[int]:
@@ -299,8 +323,67 @@ def replay_all_threads(
     )
     lengths = {tid: result.thread_length(tid) for tid in result.thread_ids}
     result.constraints = _mrl_constraints(store, config, base_index, lengths)
-    result.schedule = _merge_schedule(result)
+    _check_constraints(result)
     return result
+
+
+def _check_constraints(replay: MultiThreadReplay) -> None:
+    """Reject constraint sets no interleaving can satisfy.
+
+    Equivalent to (and much cheaper than) eagerly merging the full
+    schedule just to see whether it gets stuck: only constraint
+    *endpoints* become graph nodes — the instructions between two
+    endpoints of one thread always run as an uninterrupted block — so
+    the check costs O(C log C) in the number of constraints rather
+    than O(total instructions).  A cycle means the MRLs demand thread
+    A wait on a part of thread B that itself waits on a later part of
+    A: corruption or tampering, never a real recording.
+    """
+    if not replay.constraints:
+        return
+    indices: dict[int, set[int]] = {}
+    cross: list[tuple[tuple[int, int], tuple[int, int]]] = []
+    for constraint in replay.constraints:
+        if constraint.remote_index <= 0:
+            continue  # waits for nothing; trivially satisfied
+        indices.setdefault(constraint.local_tid, set()).add(constraint.local_index)
+        indices.setdefault(constraint.remote_tid, set()).add(
+            constraint.remote_index - 1
+        )
+        cross.append((
+            (constraint.remote_tid, constraint.remote_index - 1),
+            (constraint.local_tid, constraint.local_index),
+        ))
+    successors: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    indegree: dict[tuple[int, int], int] = {}
+    for tid, points in indices.items():
+        chain = sorted(points)
+        for point in chain:
+            successors[(tid, point)] = []
+            indegree[(tid, point)] = 0
+        for earlier, later in zip(chain, chain[1:]):
+            successors[(tid, earlier)].append((tid, later))
+            indegree[(tid, later)] += 1
+    for release, waiter in cross:
+        successors[release].append(waiter)
+        indegree[waiter] += 1
+    ready = [node for node, degree in indegree.items() if degree == 0]
+    processed = 0
+    while ready:
+        node = ready.pop()
+        processed += 1
+        for successor in successors[node]:
+            indegree[successor] -= 1
+            if indegree[successor] == 0:
+                ready.append(successor)
+    if processed != len(indegree):
+        stuck: dict[int, int] = {}
+        for (tid, index), degree in indegree.items():
+            if degree > 0:
+                stuck[tid] = min(stuck.get(tid, index), index)
+        raise ReplayDivergence(
+            f"MRL constraints form a cycle; threads stuck at {stuck}"
+        )
 
 
 def _merge_schedule(
@@ -415,6 +498,12 @@ def _segment_clocks(
     Returns tid -> list of (segment_start_index, clock) sorted by start.
     """
     tids = replay.thread_ids
+    if not constraints:
+        # No edges: each thread is one segment that has seen nothing
+        # of the others.  Skip the full-schedule sweep — this is the
+        # fleet-validation common case (no kernel sync edges ship in
+        # the crash report) and the sweep dominated its profile.
+        return {tid: [(0, {tid: 0})] for tid in tids}
     cut_points: dict[int, set[int]] = {tid: {0} for tid in tids}
     for constraint in constraints:
         # The local instruction waits: a new segment begins at it.
@@ -426,14 +515,8 @@ def _segment_clocks(
     # vector clocks; record the clock at each segment start.  The sweep
     # order must respect the sync edges themselves (they carry no
     # coherence traffic, so the MRL-only schedule may reorder around
-    # them), so merge a schedule over the union.  With no extra edges
-    # the already-merged schedule is that order — reuse it instead of
-    # re-merging (the common fleet-validation case, where no kernel
-    # sync edges ship in the crash report).
-    if constraints:
-        sweep = _merge_schedule(replay, extra_constraints=constraints)
-    else:
-        sweep = replay.schedule or _merge_schedule(replay)
+    # them), so merge a schedule over the union.
+    sweep = _merge_schedule(replay, extra_constraints=constraints)
     clocks: dict[int, dict[int, int]] = {
         tid: {tid: 0} for tid in tids
     }
@@ -486,6 +569,7 @@ def infer_races(
     sync: list[Constraint] | None = None,
     max_reports: int = 100,
     addrs: "set[int] | None" = None,
+    candidates: "RaceCandidates | None" = None,
 ) -> list[RaceReport]:
     """Find conflicting access pairs unordered by *synchronization*.
 
@@ -502,8 +586,20 @@ def infer_races(
     given addresses — how fleet validation asks only about the words
     feeding the crash, so the report cap cannot starve the relevant
     race behind benign shared traffic.
+
+    *candidates* is the static pruning hook
+    (:func:`repro.analysis.static.lockset.race_candidates`): pairs of
+    PCs the lockset analysis proved non-aliasing or common-lock-guarded
+    are skipped without consulting the clocks.  Because proven pairs
+    cannot be reported by the unpruned path either (non-aliasing pairs
+    never share an address; lock-guarded pairs are ordered by the sync
+    edges), pruning never changes the reports — pinned across the bug
+    suite by ``tests/test_race_pruning.py``.
     """
-    segments = _segment_clocks(replay, sync or [])
+    sync_edges = list(sync) if sync else []
+    # With no lock handoffs there is no happens-before at all, so every
+    # conflicting cross-thread pair races — skip the clocks entirely.
+    segments = _segment_clocks(replay, sync_edges) if sync_edges else None
     accesses = replay.access_map(addrs)
 
     def ordered(a: tuple[int, int, int, str], b: tuple[int, int, int, str]) -> bool:
@@ -528,11 +624,15 @@ def infer_races(
             for other in entries:
                 if other[0] == write[0]:
                     continue
+                if candidates is not None and not candidates.may_race(
+                    write[2], other[2]
+                ):
+                    continue
                 key = (addr, min(write[0], other[0]), max(write[0], other[0]),
                        write[3], other[3])
                 if key in seen:
                     continue
-                if not ordered(write, other):
+                if segments is None or not ordered(write, other):
                     seen.add(key)
                     first, second = sorted((write, other), key=lambda e: (e[0], e[1]))
                     reports.append(RaceReport(

@@ -70,6 +70,10 @@ class BugProgram:
     input_words: tuple[int, ...] = ()
     dma_delay: int = 0
     max_instructions: int = 4_000_000
+    # The `bugnet lint` check expected to flag this bug statically, or
+    # None when the defect is input- or loop-iteration-dependent and a
+    # sound static pass cannot see it (tests pin this table).
+    expected_lint: str | None = None
 
     @property
     def multithreaded(self) -> bool:
@@ -82,8 +86,10 @@ class BugProgram:
         return self.paper_window // self.scale
 
     def program(self) -> Program:
-        """Assemble the source."""
-        return assemble(self.source, name=self.name)
+        """Assemble the source, stamped with the declared thread entries."""
+        program = assemble(self.source, name=self.name)
+        program.thread_entries = self.entries
+        return program
 
 
 @dataclass
@@ -427,6 +433,7 @@ root_cause:
 """
     return BugProgram(
         name="ghostscript-8.12",
+        expected_lint="wild-address",
         description="A dangling pointer results in a memory corruption",
         bug_location="ttinterp.c line 5108, ttobjs.c line 279",
         paper_window=window,
@@ -455,6 +462,7 @@ root_cause:
 """
     return BugProgram(
         name="gnuplot-3.7.1-1",
+        expected_lint="null-deref",
         description="Null pointer dereference due to not setting a file name",
         bug_location="pslatex.trm line 189",
         paper_window=window,
@@ -524,6 +532,7 @@ root_cause:
 """
     return BugProgram(
         name="tidy-34132-1",
+        expected_lint="null-deref",
         description="Null pointer dereference",
         bug_location="istack.c at line 31",
         paper_window=window,
@@ -562,6 +571,7 @@ root_cause:
 """
     return BugProgram(
         name="tidy-34132-2",
+        expected_lint="null-deref",
         description="Memory corruption",
         bug_location="parser.c at line 3505",
         paper_window=window,
@@ -758,6 +768,7 @@ root_cause:
 """
     return BugProgram(
         name="gaim-0.82.1",
+        expected_lint="race-candidate",
         description="Buddy list remove operations causes null pointer dereference",
         bug_location="gtkdialogs.c line 759, 820, 862, 901",
         paper_window=window,
@@ -807,6 +818,7 @@ rdone:
 """
     return BugProgram(
         name="napster-1.5.2",
+        expected_lint="race-candidate",
         description="Dangling pointer corrupts memory when resizing terminal",
         bug_location="nap.c line 1391",
         paper_window=window,
@@ -863,6 +875,7 @@ pyw:
 """
     return BugProgram(
         name="python-2.1.1-1",
+        expected_lint="wild-address",
         description="Arithmetic computation results in buffer overflow",
         bug_location="audioop.c line 939, line 966",
         paper_window=window,
@@ -903,6 +916,7 @@ pyw2:
 """
     return BugProgram(
         name="python-2.1.1-2",
+        expected_lint="null-deref",
         description="A null pointer dereference leads to a crash",
         bug_location="sysmodule.c line 76",
         paper_window=window,
@@ -950,6 +964,7 @@ w3w:
 """
     return BugProgram(
         name="w3m-0.3.2.2",
+        expected_lint="null-deref",
         description="Null (obsolete) function pointer dereference causes a crash",
         bug_location="istream.c line 445",
         paper_window=window,

@@ -1,0 +1,381 @@
+"""Clean BN32 workloads named after the seven SPEC personalities.
+
+``workloads/spec.py`` models the SPEC 2000 benchmarks statistically for
+the compression figures; these are small *executable* BN32 programs in
+the same spirit — each mimics its benchmark's memory behaviour (array
+sweeps, streaming windows, hash probing, pointer chasing) — that are
+**bug-free by construction**: every register is written before it is
+read, every access stays inside mapped segments, and every program
+runs to a clean exit.
+
+They are the negative corpus for ``bugnet lint``: tests and CI pin
+that the checkers produce zero findings here, so every finding on the
+bug suite is signal, not noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.assembler import assemble
+from repro.arch.program import Program
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.mp.machine import Machine, MachineResult
+
+
+@dataclass(frozen=True)
+class CleanProgram:
+    """One clean workload: a personality-flavoured BN32 program."""
+
+    name: str
+    description: str
+    source: str
+
+    def program(self) -> Program:
+        """Assemble the source."""
+        program = assemble(self.source, name=self.name)
+        program.thread_entries = ("main",)
+        return program
+
+
+def run_clean(clean: CleanProgram, max_instructions: int = 200_000) -> MachineResult:
+    """Execute a clean workload to completion (no recording)."""
+    program = clean.program()
+    machine = Machine(
+        program,
+        MachineConfig(num_cores=1),
+        BugNetConfig(checkpoint_interval=100_000),
+        record=False,
+    )
+    machine.spawn(entry="main")
+    return machine.run(max_instructions=max_instructions)
+
+
+def _art() -> CleanProgram:
+    # Neural-net array sweeps: a hot data-segment footprint scanned in
+    # loops with an accumulating weight.
+    source = """
+.data
+weights: .space 256
+signal:  .word 3, 1, 4, 1, 5, 9, 2, 6
+.text
+main:
+    la   s0, weights
+    la   s1, signal
+    li   s2, 0                  # epoch counter
+epoch:
+    li   t0, 0
+scan:                           # weights[i] += signal[i & 7]
+    andi t1, t0, 7
+    sll  t1, t1, 2
+    add  t1, s1, t1
+    lw   t2, 0(t1)
+    sll  t3, t0, 2
+    add  t3, s0, t3
+    lw   t4, 0(t3)
+    add  t4, t4, t2
+    sw   t4, 0(t3)
+    addi t0, t0, 1
+    blt  t0, 64, scan
+    addi s2, s2, 1
+    blt  s2, 3, epoch
+    lw   a0, 0(s0)
+    li   v0, 2
+    syscall                     # print one checksum word
+    li   v0, 1
+    syscall
+"""
+    return CleanProgram(
+        name="art",
+        description="array sweep with a hot data footprint",
+        source=source,
+    )
+
+
+def _bzip2() -> CleanProgram:
+    # Block sorting: stream a window from data into a heap work area,
+    # then a byte-ish transform pass over the copy.
+    source = """
+.data
+window: .word 11, 22, 33, 44, 55, 66, 77, 88
+.text
+main:
+    li   a0, 4096
+    li   v0, 6
+    syscall                     # work area on the heap
+    move s0, v0
+    la   s1, window
+    li   t0, 0
+copy:
+    andi t1, t0, 7
+    sll  t1, t1, 2
+    add  t1, s1, t1
+    lw   t2, 0(t1)
+    sll  t3, t0, 2
+    add  t3, s0, t3
+    sw   t2, 0(t3)
+    addi t0, t0, 1
+    blt  t0, 48, copy
+    li   t0, 0
+    li   t4, 0
+transform:                      # fold the copy into a checksum
+    sll  t3, t0, 2
+    add  t3, s0, t3
+    lw   t2, 0(t3)
+    andi t2, t2, 0xFF
+    add  t4, t4, t2
+    addi t0, t0, 1
+    blt  t0, 48, transform
+    move a0, t4
+    li   v0, 2
+    syscall
+    li   v0, 1
+    syscall
+"""
+    return CleanProgram(
+        name="bzip2",
+        description="streaming window copy plus transform pass",
+        source=source,
+    )
+
+
+def _crafty() -> CleanProgram:
+    # Chess hash probing: scatter stores into a heap table, then probe
+    # with a multiplicative hash.
+    source = """
+.text
+main:
+    li   a0, 2048
+    li   v0, 6
+    syscall
+    move s0, v0                 # hash table
+    li   t0, 1
+fill:
+    li   t1, 2654435761
+    mul  t2, t0, t1
+    srl  t2, t2, 23
+    andi t2, t2, 0x1FC          # word-aligned slot offset
+    add  t3, s0, t2
+    sw   t0, 0(t3)
+    addi t0, t0, 1
+    blt  t0, 40, fill
+    li   t0, 1
+    li   s1, 0
+probe:
+    li   t1, 2654435761
+    mul  t2, t0, t1
+    srl  t2, t2, 23
+    andi t2, t2, 0x1FC
+    add  t3, s0, t2
+    lw   t4, 0(t3)
+    add  s1, s1, t4
+    addi t0, t0, 2
+    blt  t0, 40, probe
+    move a0, s1
+    li   v0, 2
+    syscall
+    li   v0, 1
+    syscall
+"""
+    return CleanProgram(
+        name="crafty",
+        description="multiplicative hash fill and probe over the heap",
+        source=source,
+    )
+
+
+def _gzip() -> CleanProgram:
+    # LZ77 flavour: copy back-references within a data-segment window.
+    source = """
+.data
+text_buf: .word 7, 3, 9, 3, 7, 1, 0, 4
+out_buf:  .space 512
+.text
+main:
+    la   s0, text_buf
+    la   s1, out_buf
+    li   t0, 0
+emit:                           # out[i] = text[i & 7] ^ out-distance
+    andi t1, t0, 7
+    sll  t1, t1, 2
+    add  t1, s0, t1
+    lw   t2, 0(t1)
+    xor  t2, t2, t0
+    sll  t3, t0, 2
+    add  t3, s1, t3
+    sw   t2, 0(t3)
+    addi t0, t0, 1
+    blt  t0, 96, emit
+    li   t0, 8
+    li   s2, 0
+backref:                        # sum out[i] ^ out[i - 8]
+    sll  t3, t0, 2
+    add  t3, s1, t3
+    lw   t4, 0(t3)
+    addi t5, t3, -32
+    lw   t6, 0(t5)
+    xor  t4, t4, t6
+    add  s2, s2, t4
+    addi t0, t0, 1
+    blt  t0, 96, backref
+    move a0, s2
+    li   v0, 2
+    syscall
+    li   v0, 1
+    syscall
+"""
+    return CleanProgram(
+        name="gzip",
+        description="window emit plus back-reference pass",
+        source=source,
+    )
+
+
+def _mcf() -> CleanProgram:
+    # Network simplex flavour: build a linked list on the heap and
+    # chase it, the personality's pointer-heavy traffic.
+    source = """
+.text
+main:
+    li   a0, 1024
+    li   v0, 6
+    syscall
+    move s0, v0                 # node arena: [next, value] pairs
+    li   t0, 0
+build:                          # node i -> node i+1, last -> null
+    sll  t1, t0, 3
+    add  t1, s0, t1
+    addi t2, t0, 1
+    sll  t3, t2, 3
+    add  t3, s0, t3
+    slti t4, t0, 19
+    bnez t4, link
+    li   t3, 0
+link:
+    sw   t3, 0(t1)
+    sw   t0, 4(t1)
+    addi t0, t0, 1
+    blt  t0, 20, build
+    move t5, s0
+    li   s1, 0
+chase:                          # follow next pointers, sum values
+    beqz t5, done
+    lw   t6, 4(t5)
+    add  s1, s1, t6
+    lw   t5, 0(t5)
+    j    chase
+done:
+    move a0, s1
+    li   v0, 2
+    syscall
+    li   v0, 1
+    syscall
+"""
+    return CleanProgram(
+        name="mcf",
+        description="heap linked-list build and pointer chase",
+        source=source,
+    )
+
+
+def _parser() -> CleanProgram:
+    # Dictionary lookups: scan a sorted data table with early exit,
+    # using the stack for a small saved frame.
+    source = """
+.data
+dict: .word 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37
+.text
+main:
+    addi sp, sp, -8
+    li   s0, 0
+    li   s1, 0
+words:
+    andi a0, s0, 31
+    jal  lookup
+    add  s1, s1, v0
+    sw   s1, 0(sp)              # spill the running total
+    addi s0, s0, 1
+    blt  s0, 24, words
+    lw   a0, 0(sp)
+    addi sp, sp, 8
+    li   v0, 2
+    syscall
+    li   v0, 1
+    syscall
+lookup:                         # linear probe of the dictionary
+    la   t0, dict
+    li   t1, 0
+    li   v0, 0
+seek:
+    lw   t2, 0(t0)
+    bge  t2, a0, found
+    addi t0, t0, 4
+    addi t1, t1, 1
+    blt  t1, 12, seek
+found:
+    move v0, t1
+    jr   ra
+"""
+    return CleanProgram(
+        name="parser",
+        description="dictionary probing through a helper routine",
+        source=source,
+    )
+
+
+def _vpr() -> CleanProgram:
+    # Place-and-route: geometry arrays with stride-2 net sweeps.
+    source = """
+.data
+xcoord: .space 256
+ycoord: .space 256
+.text
+main:
+    la   s0, xcoord
+    la   s1, ycoord
+    li   t0, 0
+place:                          # seed coordinates
+    sll  t1, t0, 2
+    add  t2, s0, t1
+    sw   t0, 0(t2)
+    add  t3, s1, t1
+    sll  t4, t0, 1
+    sw   t4, 0(t3)
+    addi t0, t0, 1
+    blt  t0, 64, place
+    li   t0, 0
+    li   s2, 0
+route:                          # stride-2 wirelength accumulation
+    sll  t1, t0, 2
+    add  t2, s0, t1
+    lw   t5, 0(t2)
+    add  t3, s1, t1
+    lw   t6, 0(t3)
+    sub  t7, t6, t5
+    add  s2, s2, t7
+    addi t0, t0, 2
+    blt  t0, 64, route
+    move a0, s2
+    li   v0, 2
+    syscall
+    li   v0, 1
+    syscall
+"""
+    return CleanProgram(
+        name="vpr",
+        description="geometry seeding and stride-2 net sweep",
+        source=source,
+    )
+
+
+CLEAN_SUITE: tuple[CleanProgram, ...] = (
+    _art(),
+    _bzip2(),
+    _crafty(),
+    _gzip(),
+    _mcf(),
+    _parser(),
+    _vpr(),
+)
+
+CLEAN_BY_NAME: dict[str, CleanProgram] = {c.name: c for c in CLEAN_SUITE}

@@ -87,3 +87,46 @@ loop:
         program = assemble("main: nop")
         text = listing(program, count=100)
         assert len(text.splitlines()) == 2  # label + one instruction
+
+
+def rebuild_source(program):
+    """Disassemble every instruction back to assembly, with the
+    program's labels re-emitted at their addresses so branch and jump
+    targets resolve to the same immediates."""
+    from repro.arch.isa import index_to_pc
+
+    symbols = symbol_map(program)
+    lines = []
+    for index, ins in enumerate(program.instructions):
+        pc = index_to_pc(index)
+        if pc in symbols:
+            lines.append(f"{symbols[pc]}:")
+        lines.append(f"    {disassemble(ins, symbols)}")
+    return "\n".join(lines) + "\n"
+
+
+class TestCorpusRoundTrip:
+    """Whole-program round trips: disassemble → reassemble must be
+    bit-identical for every bug-suite and random program."""
+
+    def roundtrip(self, program):
+        again = assemble(rebuild_source(program))
+        assert again.instructions == program.instructions
+
+    def test_bug_suite(self):
+        from repro.workloads.bugs import BUG_SUITE
+
+        for bug in BUG_SUITE:
+            self.roundtrip(bug.program())
+
+    def test_clean_suite(self):
+        from repro.workloads.clean import CLEAN_SUITE
+
+        for clean in CLEAN_SUITE:
+            self.roundtrip(clean.program())
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_programs(self, seed):
+        from repro.workloads.randprog import random_program
+
+        self.roundtrip(random_program(seed))

@@ -1,0 +1,164 @@
+"""Equivalence pins for lockset-pruned race inference.
+
+The pruning contract (see ``repro.analysis.static.lockset``): passing
+``candidates`` to :func:`~repro.replay.races.infer_races` may only skip
+pairs that are statically non-aliasing or ordered by a common lock.  On
+lock-free programs — the entire seeded bug suite — the pruned and
+unpruned paths must therefore be bit-identical, and every dynamic race
+must lie inside the static candidate set (an escape is an analysis
+bug, surfaced loudly by the autopsy layer and ``bugnet lint
+--verify-races``).
+"""
+
+import pytest
+
+from repro.analysis.static.lockset import cached_race_candidates
+from repro.arch import assemble
+from repro.common.config import BugNetConfig, MachineConfig
+from repro.fleet.validate import race_evidence
+from repro.mp.machine import Machine
+from repro.replay.races import (
+    ReportLogs,
+    infer_races,
+    replay_all_threads,
+    sync_constraints,
+)
+from repro.workloads.bugs import BUG_SUITE, run_bug
+
+MT_BUGS = [bug for bug in BUG_SUITE if bug.multithreaded]
+_CACHE: dict = {}
+
+
+def crashed_replay(bug):
+    """Run *bug* to its crash and replay every thread (cached — the
+    module parametrizes several properties over the same executions)."""
+    if bug.name not in _CACHE:
+        run = run_bug(bug, BugNetConfig(checkpoint_interval=20_000))
+        report = run.result.crash
+        assert report is not None, f"{bug.name} did not crash"
+        replay = replay_all_threads(
+            ReportLogs(report, grounded=True),
+            {tid: run.program for tid in report.thread_ids},
+            run.machine.bugnet, fast=True,
+        )
+        _CACHE[bug.name] = (run, report, replay)
+    return _CACHE[bug.name]
+
+
+class TestBugSuiteEquivalence:
+    @pytest.mark.parametrize("bug", MT_BUGS, ids=[b.name for b in MT_BUGS])
+    def test_pruned_equals_unpruned(self, bug):
+        run, _report, replay = crashed_replay(bug)
+        candidates = cached_race_candidates(run.program)
+        assert candidates is not None
+        unpruned = infer_races(replay, sync=[])
+        pruned = infer_races(replay, sync=[], candidates=candidates)
+        assert pruned == unpruned
+
+    @pytest.mark.parametrize("bug", MT_BUGS, ids=[b.name for b in MT_BUGS])
+    def test_every_race_is_a_static_candidate(self, bug):
+        run, _report, replay = crashed_replay(bug)
+        candidates = cached_race_candidates(run.program)
+        for race in infer_races(replay, sync=[]):
+            assert candidates.may_race(race.first[2], race.second[2]), (
+                f"{bug.name}: dynamic race escaped the static set: {race}"
+            )
+
+    @pytest.mark.parametrize("bug", MT_BUGS, ids=[b.name for b in MT_BUGS])
+    def test_race_evidence_unchanged_by_pruning(self, bug):
+        run, report, replay = crashed_replay(bug)
+        candidates = cached_race_candidates(run.program)
+        faulting = report.faulting_tid
+        assert race_evidence(replay, faulting, candidates=candidates) == \
+            race_evidence(replay, faulting)
+
+
+RACY = """
+.data
+shared: .word 0
+.text
+main:
+    li   s0, 0
+    li   s1, 100
+loop:
+    lw   t0, shared
+    addi t0, t0, 1
+    sw   t0, shared
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    li   v0, 1
+    syscall
+"""
+
+LOCKED = """
+.data
+shared: .word 0
+.text
+main:
+    li   s0, 0
+    li   s1, 30
+loop:
+    li   v0, 8
+    li   a0, 1
+    syscall
+    lw   t0, shared
+    addi t0, t0, 1
+    sw   t0, shared
+    li   v0, 9
+    li   a0, 1
+    syscall
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    li   v0, 1
+    syscall
+"""
+
+
+def run_mp(source, threads=2, interval=300, seed=0):
+    program = assemble(source)
+    program.thread_entries = tuple("main" for _ in range(threads))
+    machine = Machine(
+        program,
+        MachineConfig(num_cores=threads, interleave_seed=seed),
+        BugNetConfig(checkpoint_interval=interval),
+        collect_traces=True,
+    )
+    for _ in range(threads):
+        machine.spawn()
+    result = machine.run()
+    programs = {tid: program for tid in range(threads)}
+    replay = replay_all_threads(result.log_store, programs, machine.bugnet)
+    return program, machine, replay
+
+
+class TestSyntheticPrograms:
+    def test_racy_program_identical_with_and_without_sync(self):
+        program, machine, replay = run_mp(RACY)
+        candidates = cached_race_candidates(program)
+        assert candidates is not None
+        unpruned = infer_races(replay, sync=[])
+        assert unpruned  # the unguarded counter really races
+        assert infer_races(replay, sync=[], candidates=candidates) == unpruned
+        sync = sync_constraints(replay, machine.kernel.sync_edges)
+        with_sync = infer_races(replay, sync=sync)
+        assert infer_races(
+            replay, sync=sync, candidates=candidates) == with_sync
+
+    def test_locked_program_clean_under_sync(self):
+        # With the kernel's lock-handoff edges, both paths agree the
+        # guarded counter is race-free.
+        program, machine, replay = run_mp(LOCKED)
+        candidates = cached_race_candidates(program)
+        sync = sync_constraints(replay, machine.kernel.sync_edges)
+        assert infer_races(replay, sync=sync) == []
+        assert infer_races(replay, sync=sync, candidates=candidates) == []
+
+    def test_locked_program_pruning_fixes_unsound_empty_sync(self):
+        # Calling infer_races with sync=[] on a lock-guarded program is
+        # itself unsound (it ignores the kernel ordering) and
+        # over-reports; the lockset candidates restore the truth.  This
+        # is the one sanctioned divergence between the two paths.
+        program, machine, replay = run_mp(LOCKED)
+        candidates = cached_race_candidates(program)
+        assert infer_races(replay, sync=[])  # over-reports lock-ordered pairs
+        assert infer_races(replay, sync=[], candidates=candidates) == []

@@ -1,0 +1,362 @@
+"""Unit tests for the static analysis layer: CFG, dataflow, slicing,
+locksets."""
+
+from repro.analysis.static import (
+    CFG,
+    PRECISE,
+    SOUND,
+    ReachingDefinitions,
+    analysis_roots,
+    backward_slice,
+    constant_states,
+    instruction_defs,
+    instruction_uses,
+    join_value,
+    liveness,
+    lockset_analysis,
+    may_alias,
+    race_candidates,
+    region_of,
+)
+from repro.analysis.static.dataflow import ENTRY_DEF
+from repro.arch.assembler import assemble
+from repro.arch.isa import CODE_BASE, DATA_BASE, HEAP_BASE, pc_to_index
+
+DIAMOND = """
+main:
+    li   t0, 1
+    beq  t0, zero, left
+    addi t1, zero, 2
+    j    done
+left:
+    addi t1, zero, 3
+done:
+    li   v0, 1
+    syscall
+"""
+
+LOOP = """
+main:
+    li   s0, 0
+    li   s1, 10
+loop:
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    li   v0, 1
+    syscall
+"""
+
+LOAD_BRANCH = """
+.data
+flag: .word 0
+.text
+main:
+    la   t0, flag
+    lw   t1, 0(t0)
+    bnez t1, cold
+    li   v0, 1
+    syscall
+cold:
+    li   v0, 1
+    syscall
+"""
+
+
+class TestCFG:
+    def test_diamond_blocks_and_edges(self):
+        cfg = CFG(assemble(DIAMOND))
+        assert len(cfg.blocks) == 4
+        entry, then, left, done = cfg.blocks
+        assert set(entry.successors) == {then.bid, left.bid}
+        assert then.successors == (done.bid,)
+        assert left.successors == (done.bid,)
+        assert done.successors == ()
+        assert set(done.predecessors) == {then.bid, left.bid}
+
+    def test_block_lookup(self):
+        program = assemble(DIAMOND)
+        cfg = CFG(program)
+        left = cfg.block_at_pc(program.pc_of("left"))
+        assert cfg.block_at(left.start) is left
+        assert program.pc_of("left") == left.pc
+
+    def test_dominators(self):
+        cfg = CFG(assemble(DIAMOND))
+        entry, then, left, done = cfg.blocks
+        idom = cfg.dominators(roots=[0])
+        assert idom[then.bid] == entry.bid
+        assert idom[left.bid] == entry.bid
+        # Neither arm dominates the join point; only the entry does.
+        assert idom[done.bid] == entry.bid
+
+    def test_postdominators(self):
+        cfg = CFG(assemble(DIAMOND))
+        entry, then, left, done = cfg.blocks
+        ipdom = cfg.postdominators()
+        assert ipdom[entry.bid] == done.bid
+        assert ipdom[then.bid] == done.bid
+        assert ipdom[left.bid] == done.bid
+
+    def test_reachable(self):
+        program = assemble(DIAMOND)
+        cfg = CFG(program)
+        assert cfg.reachable([0]) == frozenset(b.bid for b in cfg.blocks)
+        done = cfg.block_at_pc(program.pc_of("done"))
+        assert cfg.reachable([done.start]) == frozenset({done.bid})
+
+    def test_loop_back_edge(self):
+        program = assemble(LOOP)
+        cfg = CFG(program)
+        loop = cfg.block_at_pc(program.pc_of("loop"))
+        assert loop.bid in loop.successors  # blt back to its own leader
+
+
+class TestDefsUses:
+    def test_alu(self):
+        program = assemble("main: add t0, t1, t2")
+        ins = program.instructions[0]
+        assert instruction_defs(ins) == frozenset({8})
+        assert instruction_uses(ins) == frozenset({9, 10})
+
+    def test_store_uses_both(self):
+        program = assemble("main: sw t1, 4(t0)")
+        ins = program.instructions[0]
+        assert instruction_defs(ins) == frozenset()
+        assert instruction_uses(ins) == frozenset({8, 9})
+
+    def test_jal_defines_ra(self):
+        program = assemble("main: jal main")
+        assert instruction_defs(program.instructions[0]) == frozenset({31})
+
+    def test_syscall_reads_service_and_args(self):
+        program = assemble("main: syscall")
+        ins = program.instructions[0]
+        assert 2 in instruction_defs(ins)
+        assert instruction_uses(ins) >= frozenset({2, 4})
+
+    def test_writes_to_r0_discarded(self):
+        program = assemble("main: add zero, t1, t2")
+        assert instruction_defs(program.instructions[0]) == frozenset()
+
+
+class TestAnalysisRoots:
+    def test_thread_entries_attribute(self):
+        program = assemble(DIAMOND)
+        assert analysis_roots(program) == frozenset({0})
+        program.thread_entries = ("left",)
+        roots = analysis_roots(program)
+        assert pc_to_index(program.pc_of("left")) in roots
+
+    def test_explicit_entries_override(self):
+        program = assemble(DIAMOND)
+        roots = analysis_roots(program, entries=["done"])
+        assert pc_to_index(program.pc_of("done")) in roots
+
+
+class TestRegions:
+    def test_region_of(self):
+        assert region_of(0x4) is None                  # null page
+        assert region_of(CODE_BASE) == "code"
+        assert region_of(DATA_BASE) == "data"
+        assert region_of(HEAP_BASE) == "heap"
+        assert region_of(0x7FFF0000 - 64) == "stack"
+        assert region_of(0xA0000000) == "mmio"
+
+    def test_join_value(self):
+        assert join_value(5, 5) == 5
+        assert join_value(DATA_BASE, DATA_BASE + 8) == "data"
+        assert join_value(DATA_BASE, HEAP_BASE) is None
+        assert join_value("heap", HEAP_BASE + 4) == "heap"
+        assert join_value(None, 5) is None
+
+    def test_may_alias(self):
+        assert may_alias(None, 0) is True
+        assert may_alias(DATA_BASE, DATA_BASE + 2) is True   # overlap
+        assert may_alias(DATA_BASE, DATA_BASE + 4) is False  # distinct words
+        assert may_alias("data", "heap") is False
+        assert may_alias("data", DATA_BASE + 8) is True
+        # Cross-thread queries: stacks never overlap between threads.
+        assert may_alias("stack", "stack") is False
+
+
+class TestConstantStates:
+    def test_precise_folds_data_initialised_branch(self):
+        # PRECISE reads `flag`'s initial 0 from the data image, folds the
+        # branch, and proves `cold` unreachable; SOUND havocs loads and
+        # must keep it live.
+        program = assemble(LOAD_BRANCH)
+        cfg = CFG(program)
+        cold = cfg.block_at_pc(program.pc_of("cold")).bid
+        precise = constant_states(program, mode=PRECISE, cfg=cfg)
+        sound = constant_states(program, mode=SOUND, cfg=cfg)
+        assert cold not in precise.reachable_blocks()
+        assert cold in sound.reachable_blocks()
+
+    def test_sbrk_result_region(self):
+        source = """
+main:
+    li   a0, 64
+    li   v0, 6
+    syscall
+    add  s0, v0, zero
+    li   v0, 1
+    syscall
+"""
+        program = assemble(source)
+        move_index = 3
+        precise = constant_states(program, mode=PRECISE)
+        state = precise.state_before(move_index)
+        assert state.reg(2) == HEAP_BASE  # brk is modelled exactly
+        sound = constant_states(program, mode=SOUND)
+        state = sound.state_before(move_index)
+        assert state.reg(2) == "heap"     # region only: schedule-independent
+
+    def test_walk_yields_independent_states(self):
+        program = assemble(DIAMOND)
+        consts = constant_states(program, mode=PRECISE)
+        states = [state for _i, _ins, state in consts.walk(consts.cfg.blocks[0])]
+        # Each yielded state is a snapshot, not the mutated live object.
+        assert states[0].reg(8) != states[-1].reg(8) or len(states) == 1
+
+
+class TestReachingDefinitions:
+    def test_loop_head_sees_both_defs(self):
+        program = assemble(LOOP)
+        cfg = CFG(program)
+        rd = ReachingDefinitions(cfg, roots=[0])
+        loop_head = pc_to_index(program.pc_of("loop"))
+        s0_defs = rd.at_instruction(loop_head)[16]
+        assert s0_defs == frozenset({0, loop_head})  # init and increment
+
+    def test_entry_def_for_unwritten_register(self):
+        program = assemble("main: add t0, t1, t2")
+        rd = ReachingDefinitions(CFG(program), roots=[0])
+        assert rd.at_instruction(0)[9] == frozenset({ENTRY_DEF})
+
+
+class TestLiveness:
+    def test_loop_bound_live_through_loop(self):
+        program = assemble(LOOP)
+        cfg = CFG(program)
+        live_in, _live_out = liveness(cfg)
+        loop = cfg.block_at_pc(program.pc_of("loop"))
+        assert 17 in live_in[loop.bid]  # s1, the loop bound
+        assert 16 in live_in[loop.bid]  # s0, the counter
+
+    def test_dead_value_not_live(self):
+        program = assemble(DIAMOND)
+        cfg = CFG(program)
+        live_in, _ = liveness(cfg)
+        # t1 is written on both arms but never read: dead everywhere.
+        assert all(9 not in live for live in live_in.values())
+
+
+class TestBackwardSlice:
+    def test_slice_contains_dependencies(self):
+        source = """
+.data
+cell: .word 0
+.text
+main:
+    li   t0, 7
+    li   t1, 0
+    la   t2, cell
+    sw   t0, 0(t2)
+    lw   t3, 0(t2)
+    add  t4, t3, t1
+    li   v0, 1
+    syscall
+"""
+        program = assemble(source)
+        add_pc = program.entry_pc + 4 * 5
+        result = backward_slice(program, add_pc)
+        assert result.criterion_pc == add_pc
+        pcs = set(result.pcs)
+        assert program.entry_pc in pcs            # li t0 feeds the store
+        assert program.entry_pc + 4 * 3 in pcs    # the store feeds the load
+        assert result.size == len(result.pcs)
+
+    def test_slice_excludes_unrelated_code(self):
+        program = assemble(LOOP)
+        # Slicing the final `li v0, 1` must not drag in the loop body:
+        # v0 depends on nothing but its own immediate (plus control).
+        exit_li = program.entry_pc + 4 * 4
+        result = backward_slice(program, exit_li)
+        loop_body = program.pc_of("loop")
+        assert exit_li in result.pcs
+        assert loop_body + 0 not in result.pcs or result.size < 5
+
+
+class TestLockset:
+    LOCKED = """
+.data
+shared: .word 0
+.text
+main:
+    li   s0, 0
+    li   s1, 30
+loop:
+    li   v0, 8
+    li   a0, 1
+    syscall
+    lw   t0, shared
+    addi t0, t0, 1
+    sw   t0, shared
+    li   v0, 9
+    li   a0, 1
+    syscall
+    addi s0, s0, 1
+    blt  s0, s1, loop
+    li   v0, 1
+    syscall
+"""
+
+    RACY = """
+.data
+shared: .word 0
+.text
+main:
+    lw   t0, shared
+    addi t0, t0, 1
+    sw   t0, shared
+    li   v0, 1
+    syscall
+"""
+
+    def _pcs(self, program, op):
+        return [
+            program.entry_pc + 4 * i
+            for i, ins in enumerate(program.instructions)
+            if ins.op == op
+        ]
+
+    def test_guarded_accesses_hold_the_lock(self):
+        program = assemble(self.LOCKED)
+        result = lockset_analysis(program)
+        for pc in self._pcs(program, "lw") + self._pcs(program, "sw"):
+            access = result.accesses[pc]
+            assert access.must_locks == frozenset({1})
+        actions = [event.action for event in result.events]
+        assert actions.count("lock") == 1 and actions.count("unlock") == 1
+        assert result.exit_held == []
+
+    def test_common_lock_prunes_candidates(self):
+        program = assemble(self.LOCKED)
+        candidates = race_candidates(program)
+        (load_pc,) = self._pcs(program, "lw")
+        (store_pc,) = self._pcs(program, "sw")
+        assert not candidates.may_race(load_pc, store_pc)
+        assert not candidates.may_race(store_pc, store_pc)
+
+    def test_unguarded_accesses_are_candidates(self):
+        program = assemble(self.RACY)
+        candidates = race_candidates(program)
+        (load_pc,) = self._pcs(program, "lw")
+        (store_pc,) = self._pcs(program, "sw")
+        assert candidates.may_race(load_pc, store_pc)
+        assert store_pc in candidates.relevant_pcs
+
+    def test_unknown_pcs_stay_sound(self):
+        program = assemble(self.RACY)
+        candidates = race_candidates(program)
+        assert candidates.may_race(0xDEAD0000, 0xDEAD0004)

@@ -1,0 +1,310 @@
+"""Tests for ``bugnet lint``: checker units, the bug-suite expectation
+table, and the clean SPEC-personality corpus."""
+
+import json
+
+import pytest
+
+from repro.analysis.static import ALL_CHECKS, lint_program
+from repro.arch.assembler import assemble
+from repro.cli import main
+from repro.workloads.bugs import BUG_SUITE
+from repro.workloads.clean import CLEAN_BY_NAME, CLEAN_SUITE, run_clean
+
+
+def checks_of(findings):
+    return {finding.check for finding in findings}
+
+
+class TestCheckers:
+    def lint(self, source, **kwargs):
+        return lint_program(assemble(source), **kwargs)
+
+    def test_uninit_read(self):
+        findings = self.lint("main:\n    add t0, t1, t2\n    li v0, 1\n    syscall")
+        assert "uninit-read" in checks_of(findings)
+
+    def test_one_armed_init_still_flagged(self):
+        source = """
+main:
+    li   t0, 1
+    beqz t0, skip
+    li   t1, 5
+skip:
+    add  t2, t1, t0
+    li   v0, 1
+    syscall
+"""
+        assert "uninit-read" in checks_of(self.lint(source))
+
+    def test_spawn_registers_are_defined(self):
+        # a0 (the tid) and sp are kernel-initialised at spawn.
+        source = """
+main:
+    add  t0, a0, sp
+    li   v0, 1
+    syscall
+"""
+        assert "uninit-read" not in checks_of(self.lint(source))
+
+    def test_unreachable_block(self):
+        source = """
+main:
+    j    end
+orphan:
+    li   t0, 9
+end:
+    li   v0, 1
+    syscall
+"""
+        findings = self.lint(source)
+        assert "unreachable-block" in checks_of(findings)
+
+    def test_null_deref(self):
+        source = """
+main:
+    li   t0, 0
+    lw   t1, 0(t0)
+    li   v0, 1
+    syscall
+"""
+        assert "null-deref" in checks_of(self.lint(source))
+
+    def test_misaligned_access(self):
+        source = """
+main:
+    li   t0, 0x10000002
+    lw   t1, 0(t0)
+    li   v0, 1
+    syscall
+"""
+        assert "misaligned-access" in checks_of(self.lint(source))
+
+    def test_store_to_code(self):
+        source = """
+main:
+    li   t0, 0x00400000
+    sw   t0, 0(t0)
+    li   v0, 1
+    syscall
+"""
+        assert "store-to-code" in checks_of(self.lint(source))
+
+    def test_wild_address(self):
+        source = """
+main:
+    li   t0, 0x0BAD0000
+    lw   t1, 0(t0)
+    li   v0, 1
+    syscall
+"""
+        assert "wild-address" in checks_of(self.lint(source))
+
+    def test_lock_imbalance_relock(self):
+        source = """
+main:
+    li   v0, 8
+    li   a0, 1
+    syscall
+    li   v0, 8
+    li   a0, 1
+    syscall
+    li   v0, 1
+    syscall
+"""
+        assert "lock-imbalance" in checks_of(self.lint(source))
+
+    def test_lock_held_at_exit(self):
+        source = """
+main:
+    li   v0, 8
+    li   a0, 1
+    syscall
+    li   v0, 1
+    syscall
+"""
+        assert "lock-imbalance" in checks_of(self.lint(source))
+
+    def test_balanced_locks_clean(self):
+        source = """
+main:
+    li   v0, 8
+    li   a0, 1
+    syscall
+    li   v0, 9
+    li   a0, 1
+    syscall
+    li   v0, 1
+    syscall
+"""
+        assert "lock-imbalance" not in checks_of(self.lint(source))
+
+    def test_race_candidate_needs_multiple_entries(self):
+        source = """
+.data
+shared: .word 0
+.text
+main:
+    lw   t0, shared
+    addi t0, t0, 1
+    sw   t0, shared
+    li   v0, 1
+    syscall
+worker:
+    lw   t0, shared
+    addi t0, t0, 2
+    sw   t0, shared
+    li   v0, 1
+    syscall
+"""
+        program = assemble(source)
+        # Without declared entries the worker is dead code, no races.
+        solo = lint_program(assemble(source))
+        assert "race-candidate" not in checks_of(solo)
+        program.thread_entries = ("main", "worker")
+        findings = lint_program(program)
+        assert "race-candidate" in checks_of(findings)
+
+    def test_findings_sorted_and_named(self):
+        source = """
+main:
+    li   t0, 0
+    lw   t1, 0(t0)
+    add  t2, t3, t3
+    li   v0, 1
+    syscall
+"""
+        program = assemble(source, name="fixture")
+        findings = lint_program(program)
+        assert findings == sorted(
+            findings, key=lambda f: (f.pc, f.check, f.message))
+        assert all(f.program == "fixture" for f in findings)
+        assert all(f.check in ALL_CHECKS for f in findings)
+
+
+class TestBugSuiteTable:
+    """Every statically detectable seeded bug is annotated with the
+    check expected to flag it; the rest are input- or loop-dependent
+    and must stay clean (zero false positives)."""
+
+    @pytest.mark.parametrize(
+        "bug", BUG_SUITE, ids=[bug.name for bug in BUG_SUITE])
+    def test_expected_finding(self, bug):
+        findings = lint_program(bug.program())
+        if bug.expected_lint is None:
+            assert findings == [], (
+                f"{bug.name} is annotated statically-invisible but lint "
+                f"found {[f.render() for f in findings]}"
+            )
+        else:
+            assert bug.expected_lint in checks_of(findings)
+
+    def test_expected_checks_are_real_checks(self):
+        for bug in BUG_SUITE:
+            if bug.expected_lint is not None:
+                assert bug.expected_lint in ALL_CHECKS
+
+    def test_table_covers_both_classes(self):
+        annotated = [b for b in BUG_SUITE if b.expected_lint is not None]
+        assert len(annotated) >= 8
+        assert any(b.expected_lint == "race-candidate" for b in annotated)
+
+
+class TestCleanCorpus:
+    @pytest.mark.parametrize(
+        "clean", CLEAN_SUITE, ids=[c.name for c in CLEAN_SUITE])
+    def test_zero_findings(self, clean):
+        assert lint_program(clean.program()) == []
+
+    @pytest.mark.parametrize(
+        "clean", CLEAN_SUITE, ids=[c.name for c in CLEAN_SUITE])
+    def test_runs_to_clean_exit(self, clean):
+        result = run_clean(clean)
+        assert result.crash is None
+        assert not result.timed_out
+        assert result.exit_codes
+
+    def test_covers_spec_personalities(self):
+        from repro.workloads.spec import SPEC_WORKLOADS
+
+        assert set(CLEAN_BY_NAME) == set(SPEC_WORKLOADS)
+
+
+class TestLintCLI:
+    def _write(self, tmp_path, source):
+        path = tmp_path / "prog.s"
+        path.write_text(source)
+        return str(path)
+
+    def test_clean_program_exits_zero(self, tmp_path, capsys):
+        path = self._write(tmp_path, "main:\n    li v0, 1\n    syscall\n")
+        assert main(["lint", path]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            "main:\n    li t0, 0\n    lw t1, 0(t0)\n    li v0, 1\n    syscall\n",
+        )
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "null-deref" in out
+
+    def test_json_shape(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path,
+            "main:\n    li t0, 0\n    lw t1, 0(t0)\n    li v0, 1\n    syscall\n",
+        )
+        assert main(["lint", path, "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"]
+        finding = payload["findings"][0]
+        assert {"check", "pc", "line", "message", "program"} <= set(finding)
+
+    def test_entry_flag_declares_threads(self, tmp_path, capsys):
+        source = """
+.data
+shared: .word 0
+.text
+main:
+    lw   t0, shared
+    sw   t0, shared
+    li   v0, 1
+    syscall
+worker:
+    lw   t1, shared
+    sw   t1, shared
+    li   v0, 1
+    syscall
+"""
+        path = self._write(tmp_path, source)
+        assert main(["lint", path, "--entry", "main",
+                     "--entry", "worker", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert any(f["check"] == "race-candidate" for f in payload["findings"])
+
+
+class TestDisasmAnnotate:
+    def test_leaders_marked(self, tmp_path, capsys):
+        source = """
+main:
+    li   t0, 1
+    beqz t0, done
+    addi t0, t0, 1
+done:
+    li   v0, 1
+    syscall
+"""
+        path = tmp_path / "prog.s"
+        path.write_text(source)
+        assert main(["disasm", str(path), "--annotate"]) == 0
+        out = capsys.readouterr().out
+        assert "; block B0" in out
+        assert "exit" in out
+
+    def test_default_output_unchanged(self, tmp_path, capsys):
+        path = tmp_path / "prog.s"
+        path.write_text("main:\n    nop\n")
+        assert main(["disasm", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "block" not in out
