@@ -36,6 +36,9 @@ from benchmarks.test_mt_validation import (  # noqa: E402
     _mt_traffic,
     _validate_all,
 )
+from benchmarks.test_obs_overhead import (  # noqa: E402
+    measure_obs_overhead,
+)
 from benchmarks.test_service_throughput import (  # noqa: E402
     SERVICE_UPLOADS,
     _run_service_load,
@@ -89,6 +92,7 @@ def main() -> None:
                 or candidate.reports_per_sec
                 > service_report.reports_per_sec):
             service_report = candidate
+    obs_ratio, obs_enabled, obs_disabled = measure_obs_overhead()
     _forensics_setup()  # record the forensics window outside timing
     ddg_time, ddg = _best(_build_ddg)
     slice_time, (fault_slice, slices) = _best(_run_slices, ddg)
@@ -161,6 +165,21 @@ def main() -> None:
             "pr3_batch_reports_per_sec": PR3_FLEET_INGEST_RPS,
             "speedup_vs_pr3_batch": round(
                 service_report.reports_per_sec / PR3_FLEET_INGEST_RPS, 2),
+        },
+        # Observability overhead (benchmarks/test_obs_overhead.py):
+        # fleet ingest with the metrics registry live vs disabled
+        # (BUGNET_OBS_DISABLED); overhead_pct is the median of paired
+        # runs (see that module's docstring for why).  The
+        # instrumentation budget is < 5 %; CI re-measures at smoke
+        # scale and this recorded number is what the baseline-sanity
+        # step gates on.
+        "obs_overhead": {
+            "ingest_reports": INGEST_REPORTS,
+            "enabled_reports_per_sec": round(
+                INGEST_REPORTS / obs_enabled, 1),
+            "disabled_reports_per_sec": round(
+                INGEST_REPORTS / obs_disabled, 1),
+            "overhead_pct": round((obs_ratio - 1.0) * 100.0, 2),
         },
         # Forensics (benchmarks/test_forensics.py): one replay pass
         # builds the DDG for the gzip crash window; slices are then

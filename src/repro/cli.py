@@ -524,6 +524,7 @@ def _cmd_serve(args) -> int:
             validate_chunk=args.validate_chunk,
             commit_batch=args.commit_batch,
             probe=not args.no_probe,
+            log_json=args.log_json,
         ),
         num_shards=args.shards,
         byte_budget=args.budget,
@@ -566,6 +567,8 @@ def _cmd_load_sim(args) -> int:
 
     from repro.fleet.loadsim import (
         ServiceClient,
+        crosscheck_metrics,
+        fetch_metrics,
         run_load_sim,
         synthesize_corpus,
     )
@@ -578,15 +581,22 @@ def _cmd_load_sim(args) -> int:
         args.runs, names, seed=args.seed, corrupt=args.corrupt,
         id_prefix=args.id_prefix,
     )
+    check_metrics = not args.no_metrics_check
 
     async def _run():
+        before = None
+        if check_metrics:
+            try:
+                before = await fetch_metrics(args.host, args.port)
+            except (ConnectionError, OSError):
+                before = None
         report = await run_load_sim(
             args.host, args.port, items,
             concurrency=args.concurrency,
             max_attempts=args.max_attempts,
             seed=args.seed,
         )
-        stats = None
+        stats = after = None
         client = ServiceClient(args.host, args.port)
         try:
             stats = await client.stats()
@@ -597,11 +607,30 @@ def _cmd_load_sim(args) -> int:
             pass
         finally:
             await client.close()
-        return report, stats
+        if before is not None:
+            try:
+                after = await fetch_metrics(args.host, args.port)
+            except (ConnectionError, OSError):
+                after = None
+        return report, stats, before, after
 
-    report, stats = asyncio.run(_run())
+    report, stats, before, after = asyncio.run(_run())
     payload = report.to_dict()
     payload["non_crashing_runs"] = failures
+    mismatches: "list[str]" = []
+    if check_metrics:
+        # Cross-check the client's tallies against the server's
+        # /metrics counter deltas: the two bookkeepers counted the same
+        # run independently, so any disagreement is a lost-update bug
+        # (or a scrape that couldn't happen — reported, not fatal).
+        if before is None or after is None:
+            payload["metrics_check"] = "unavailable (no /metrics scrape)"
+        else:
+            mismatches, note = crosscheck_metrics(before, after, report)
+            payload["metrics_check"] = (
+                note or ("mismatch" if mismatches else "ok"))
+            if mismatches:
+                payload["metrics_mismatches"] = mismatches
     if args.json:
         payload["service_stats"] = stats
         print(json.dumps(payload, indent=2))
@@ -617,13 +646,74 @@ def _cmd_load_sim(args) -> int:
         print(f"  backpressure retries {payload['backpressure_retries']}, "
               f"reconnects {payload['reconnects']}")
         print(f"  ack latency p50 {payload['latency_p50_ms']}ms, "
+              f"p90 {payload['latency_p90_ms']}ms, "
               f"p99 {payload['latency_p99_ms']}ms")
+        if "metrics_check" in payload:
+            print(f"  metrics cross-check: {payload['metrics_check']}")
+            for mismatch in mismatches:
+                print(f"    {mismatch}", file=sys.stderr)
         if stats:
             store = stats["store"]
             print(f"  service: queue depth {stats['queue_depth']}, "
                   f"store {store['reports']} report(s) across "
                   f"{store['num_shards']} shard(s)")
+    if mismatches:
+        print("error: client tallies disagree with server /metrics "
+              "counters", file=sys.stderr)
+        return 1
     return 1 if report.failed else 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.fleet.profile import profile_blob, render_profile
+    from repro.fleet.signature import DEFAULT_TAIL_DEPTH
+
+    tail_depth = args.tail if args.tail is not None else DEFAULT_TAIL_DEPTH
+    targets: "list[tuple[str, bytes]]" = []
+    if args.store is not None:
+        if args.reports:
+            print("error: give report files or --store, not both",
+                  file=sys.stderr)
+            return 2
+        store = ReportStore(args.store)
+        entries = store.entries()
+        if args.bucket:
+            entries = [e for e in entries
+                       if e.digest.startswith(args.bucket)]
+            if not entries:
+                print(f"error: no stored report matches bucket prefix "
+                      f"{args.bucket!r}", file=sys.stderr)
+                return 2
+        # Deterministic pick: most recent first (commonly the report
+        # whose slowness prompted the profiling).
+        entries = sorted(entries, key=lambda e: e.order_key, reverse=True)
+        for entry in entries[:max(args.limit, 1)]:
+            label = f"{entry.digest[:12]}/{entry.filename}"
+            targets.append((label, store.path_of(entry).read_bytes()))
+    else:
+        paths, notes, errors = _expand_report_paths(args.reports)
+        for note in notes:
+            print(f"note: {note}", file=sys.stderr)
+        if errors:
+            for error in errors:
+                print(f"error: {error}", file=sys.stderr)
+            return 2
+        if not paths:
+            print("error: nothing to profile (give report files or "
+                  "--store)", file=sys.stderr)
+            return 2
+        targets = [(str(path), path.read_bytes()) for path in paths]
+    resolver = _store_resolver(args.source)
+    results = [
+        profile_blob(label, blob, resolver, tail_depth=tail_depth,
+                     probe=not args.no_probe, repeat=args.repeat)
+        for label, blob in targets
+    ]
+    if args.json:
+        print(json.dumps([result.to_dict() for result in results], indent=2))
+    else:
+        print("\n\n".join(render_profile(result) for result in results))
+    return 0 if all(result.accepted for result in results) else 1
 
 
 def _cmd_disasm(args) -> int:
@@ -898,6 +988,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "process death)")
     serve.add_argument("--no-probe", action="store_true",
                        help="skip re-executing the faulting instruction")
+    serve.add_argument("--log-json", action="store_true",
+                       help="emit one structured JSON log line per "
+                            "admission outcome (and service lifecycle "
+                            "events) on stdout")
     serve.set_defaults(func=_cmd_serve)
 
     loadsim = sub.add_parser(
@@ -923,8 +1017,42 @@ def build_parser() -> argparse.ArgumentParser:
     loadsim.add_argument("--id-prefix", default="sim",
                          help="upload-id prefix (stable ids make retries "
                               "idempotent across service restarts)")
+    loadsim.add_argument("--no-metrics-check", action="store_true",
+                         help="skip scraping /metrics and cross-checking "
+                              "client tallies against server counters")
     loadsim.add_argument("--json", action="store_true")
     loadsim.set_defaults(func=_cmd_load_sim)
+
+    profile = sub.add_parser(
+        "profile",
+        help="replay a report (or stored bucket) under the span recorder "
+             "and print a per-stage validation breakdown",
+    )
+    profile.add_argument("reports", nargs="*", default=[],
+                         help="crash report file(s) (file mode)")
+    profile.add_argument("--source", action="append", default=[],
+                         help="program binary the report(s) may name "
+                              "(repeatable; bug-suite names resolve "
+                              "automatically)")
+    profile.add_argument("--store", default=None,
+                         help="fleet store: profile stored reports instead "
+                              "of files")
+    profile.add_argument("--bucket", default=None,
+                         help="store mode: only reports whose signature "
+                              "digest starts with this prefix")
+    profile.add_argument("--limit", type=int, default=1,
+                         help="store mode: profile at most N reports "
+                              "(default 1)")
+    profile.add_argument("--tail", type=int, default=None,
+                         help="replay tail depth (default: ingest default)")
+    profile.add_argument("--repeat", type=int, default=1,
+                         help="validate N times, report the fastest "
+                              "(warm compiled-plan cache = steady-state "
+                              "fleet cost)")
+    profile.add_argument("--no-probe", action="store_true",
+                         help="skip re-executing the faulting instruction")
+    profile.add_argument("--json", action="store_true")
+    profile.set_defaults(func=_cmd_profile)
 
     replay = sub.add_parser("replay", help="replay a crash report")
     replay.add_argument("source")

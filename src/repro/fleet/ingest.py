@@ -37,6 +37,13 @@ from repro.fleet.validate import (
     ValidatedReport,
     validate_report,
 )
+from repro.obs import REGISTRY as _OBS
+
+_INGEST_OUTCOMES = _OBS.counter(
+    "bugnet_ingest_outcomes_total",
+    "Batch-pipeline ingest outcomes (committed or rejected).",
+    ("outcome",),
+)
 
 #: Backward-compatible aliases (this module's original names).
 _DECODE_ERRORS = DECODE_ERRORS
@@ -108,6 +115,7 @@ class IngestPipeline:
                 signature=item.signature,
                 entry=entry,
                 instructions_replayed=item.instructions,
+                stage_ms=item.stage_ms,
             )
             for item, entry in zip(validated, entries)
         ]
@@ -145,8 +153,10 @@ class IngestPipeline:
                 outcome = next(committed)
             if outcome.accepted:
                 self.accepted += 1
+                _INGEST_OUTCOMES.labels("accepted").inc()
             else:
                 self.rejected += 1
+                _INGEST_OUTCOMES.labels("rejected").inc()
             results.append(outcome)
         return results
 

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 
 from repro.common.config import BugNetConfig
 from repro.fleet.wire import MAX_FRAME, FrameError, read_frame, write_frame
+from repro.obs.prom import parse_prometheus, sample
 from repro.tracing.serialize import dump_crash_report
 
 DEFAULT_INTERVALS = (5_000, 10_000, 25_000, 100_000)
@@ -224,6 +225,7 @@ class LoadSimReport:
             "elapsed_sec": round(self.elapsed, 3),
             "reports_per_sec": round(self.reports_per_sec, 1),
             "latency_p50_ms": round(self.latency_percentile(0.50) * 1e3, 2),
+            "latency_p90_ms": round(self.latency_percentile(0.90) * 1e3, 2),
             "latency_p99_ms": round(self.latency_percentile(0.99) * 1e3, 2),
         }
 
@@ -301,6 +303,72 @@ async def _uploader(
             report.outcomes.append(outcome)
     finally:
         await client.close()
+
+
+async def fetch_metrics(host: str, port: int) -> dict:
+    """Scrape ``GET /metrics`` and return the parsed samples
+    (:func:`repro.obs.prom.parse_prometheus` shape)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0]
+    if b"200" not in status:
+        raise ConnectionError(f"/metrics returned {status.decode()!r}")
+    return parse_prometheus(body.decode("utf-8", "replace"))
+
+
+def crosscheck_metrics(
+    before: dict, after: dict, report: LoadSimReport,
+) -> "tuple[list[str], str]":
+    """Reconcile client-side tallies against server counter deltas.
+
+    *before*/*after* are parsed ``/metrics`` scrapes bracketing the
+    run; deltas (not absolutes) make the check valid against a server
+    that has already served other traffic.  Returns ``(mismatches,
+    note)`` — an empty mismatch list means every delta matched.  When
+    the run saw reconnects the strict equalities don't hold (a
+    response lost mid-connection settles server-side once but is
+    retried client-side), so the check reports itself skipped via
+    *note* instead of crying wolf.
+    """
+    reconnects = sum(o.reconnects for o in report.outcomes)
+    if reconnects:
+        return [], (
+            f"skipped: {reconnects} reconnect(s) — lost responses "
+            "legitimately double-count server-side"
+        )
+
+    def delta(outcome: str) -> float:
+        return (
+            sample(after, "bugnet_admission_total", outcome=outcome)
+            - sample(before, "bugnet_admission_total", outcome=outcome)
+        )
+
+    checks = [
+        ("accepted",
+         sum(1 for o in report.accepted if not o.duplicate),
+         delta("accepted")),
+        ("duplicate",
+         sum(1 for o in report.accepted if o.duplicate),
+         delta("duplicate")),
+        ("rejected", len(report.rejected), delta("rejected")),
+        ("retry", report.total_retries, delta("retry")),
+    ]
+    mismatches = [
+        f"{name}: client counted {client}, server delta {server:g}"
+        for name, client, server in checks
+        if client != server
+    ]
+    return mismatches, ""
 
 
 async def run_load_sim(

@@ -1,0 +1,128 @@
+"""Per-stage validation profiling: the machinery behind ``bugnet
+profile``.
+
+Replays a crash report (a ``.bugnet`` file or a stored bucket entry)
+through the exact validation pipeline the fleet runs —
+:func:`repro.fleet.validate.validate_report` — under a span recorder,
+and renders the per-stage wall-time breakdown.  This is the tool the
+MT-validation gap calls for: one command shows whether a slow report
+spends its time in chain replay, MRL merging or race inference,
+instead of guessing from aggregate benchmark rates.
+
+The named stages must account for (nearly) all of the wall time or the
+breakdown lies by omission; ``coverage`` is the instrumented share and
+the test suite holds multithreaded reports to ≥ 95 %.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.fleet.signature import DEFAULT_TAIL_DEPTH
+from repro.fleet.validate import (
+    ProgramResolver,
+    ValidatedReport,
+    _validate,
+)
+from repro.obs import SpanRecorder
+
+
+@dataclass
+class ProfileResult:
+    """One profiled validation: outcome, spans, and total wall time."""
+
+    label: str
+    wall_seconds: float
+    recorder: SpanRecorder
+    outcome: object                    # ValidatedReport | IngestResult
+
+    @property
+    def accepted(self) -> bool:
+        return isinstance(self.outcome, ValidatedReport)
+
+    @property
+    def coverage(self) -> float:
+        """Share of wall time inside named top-level stages."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.recorder.wall_seconds() / self.wall_seconds
+
+    def to_dict(self) -> dict:
+        outcome = self.outcome
+        data = {
+            "label": self.label,
+            "accepted": self.accepted,
+            "wall_ms": round(self.wall_seconds * 1e3, 3),
+            "coverage": round(self.coverage, 4),
+            "stage_ms": self.recorder.stage_ms(),
+            "spans": [
+                {
+                    "stage": span.name,
+                    "detail": span.detail,
+                    "depth": span.depth,
+                    "ms": round(span.seconds * 1e3, 3),
+                }
+                for span in sorted(self.recorder.spans,
+                                   key=lambda s: (s.start, -s.depth))
+            ],
+        }
+        if self.accepted:
+            data["signature"] = outcome.signature.digest
+            data["instructions"] = outcome.instructions
+        else:
+            data["reason"] = outcome.reason
+        return data
+
+
+def profile_blob(
+    label: str,
+    blob: bytes,
+    resolver: ProgramResolver,
+    tail_depth: int = DEFAULT_TAIL_DEPTH,
+    probe: bool = True,
+    repeat: int = 1,
+) -> ProfileResult:
+    """Validate *blob* ``repeat`` times under a recorder; keep the
+    fastest run (later runs replay against a warm compiled-plan cache,
+    so the fastest is the steady-state fleet cost; run once to see the
+    cold cost, compile included).
+
+    Drives the raw pipeline (:func:`repro.fleet.validate._validate` —
+    exactly what ``validate_report`` wraps) rather than
+    ``validate_report`` itself: the wrapper's registry export would
+    both sit outside every span (deflating ``coverage``) and feed
+    profiling runs into the fleet's ``bugnet_validate_*`` counters.
+    """
+    best: "ProfileResult | None" = None
+    for _ in range(max(repeat, 1)):
+        recorder = SpanRecorder()
+        start = perf_counter()
+        outcome = _validate(
+            label, blob, None, resolver, tail_depth, probe, recorder,
+        )
+        wall = perf_counter() - start
+        outcome.stage_ms = recorder.stage_ms()
+        result = ProfileResult(label, wall, recorder, outcome)
+        if best is None or wall < best.wall_seconds:
+            best = result
+    return best
+
+
+def render_profile(result: ProfileResult) -> str:
+    """Human-readable flamegraph-style breakdown."""
+    outcome = result.outcome
+    lines = [f"report {result.label}"]
+    if result.accepted:
+        lines.append(
+            f"  outcome: accepted  signature={outcome.signature.digest[:12]}"
+            f"  instructions={outcome.instructions}"
+        )
+    else:
+        lines.append(f"  outcome: rejected  reason={outcome.reason}")
+    lines.append(
+        f"  wall {result.wall_seconds * 1e3:.2f} ms, named stages cover "
+        f"{result.coverage * 100:.1f}%"
+    )
+    lines.append(result.recorder.render(total=result.wall_seconds))
+    return "\n".join(lines)

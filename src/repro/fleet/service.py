@@ -58,7 +58,7 @@ from repro.fleet.validate import (
     ResolverSpec,
     ValidatedReport,
     pool_initializer,
-    pool_validate_many,
+    pool_validate_many_observed,
     validate_many,
 )
 from repro.fleet.wire import (
@@ -67,8 +67,82 @@ from repro.fleet.wire import (
     read_frame,
     write_frame,
 )
+from repro.obs import REGISTRY, JsonEventLogger, encode_prometheus
+from repro.obs.prom import CONTENT_TYPE as _PROM_CONTENT_TYPE
 
 _HTTP_PREFIX = b"GET "
+
+# -- service metric families (DESIGN.md §11) --------------------------------
+#
+# Counters mirror ServiceCounters one-for-one (every increment site
+# goes through FleetService._tally), so a /metrics scrape and a /stats
+# read of the same quiesced service always reconcile — the CI
+# service-smoke job and `bugnet load-sim --metrics-check` assert it.
+_RECEIVED = REGISTRY.counter(
+    "bugnet_service_received_total", "Upload requests received.",
+)
+_ADMISSION = REGISTRY.counter(
+    "bugnet_admission_total",
+    "Admission outcomes (accepted / rejected / retry / duplicate).",
+    ("outcome",),
+)
+_PROTOCOL_ERRORS = REGISTRY.counter(
+    "bugnet_service_protocol_errors_total",
+    "Malformed frames and unknown ops.",
+)
+_COMMIT_BATCHES = REGISTRY.counter(
+    "bugnet_service_commit_batches_total",
+    "Store commit batches (add_many calls from the service).",
+)
+_ACK_LATENCY = REGISTRY.histogram(
+    "bugnet_ack_latency_seconds",
+    "Admission-to-ack latency of settled uploads (validation + "
+    "sequencing + durable commit).",
+)
+_QUEUE_DEPTH = REGISTRY.gauge(
+    "bugnet_service_queue_depth",
+    "Admitted uploads not yet settled (set at scrape time).",
+)
+_QUEUE_LIMIT = REGISTRY.gauge(
+    "bugnet_service_queue_limit", "Admission queue bound.",
+)
+_WIRE_BYTES = REGISTRY.counter(
+    "bugnet_connection_bytes_total",
+    "Native-protocol bytes moved by the service, by direction.",
+    ("direction",),
+)
+_DRAIN_SECONDS = REGISTRY.gauge(
+    "bugnet_service_drain_seconds",
+    "Duration of the last graceful drain (0 until a drain ran).",
+)
+_SHARD_REPORTS = REGISTRY.gauge(
+    "bugnet_store_shard_reports",
+    "Resident reports per store shard (set at scrape time).",
+    ("shard",),
+)
+_SHARD_BYTES = REGISTRY.gauge(
+    "bugnet_store_shard_bytes",
+    "Resident blob bytes per store shard (set at scrape time).",
+    ("shard",),
+)
+_STORE_REPORTS = REGISTRY.gauge(
+    "bugnet_store_reports", "Resident reports in the store.",
+)
+_STORE_BYTES = REGISTRY.gauge(
+    "bugnet_store_bytes", "Resident blob bytes in the store.",
+)
+_STORE_EVICTED = REGISTRY.gauge(
+    "bugnet_store_evicted_reports",
+    "Store-lifetime evicted reports (survives restarts via store.json).",
+)
+
+#: ServiceCounters field -> bugnet_admission_total outcome label.
+_ADMISSION_OUTCOMES = {
+    "accepted": "accepted",
+    "rejected": "rejected",
+    "retried": "retry",
+    "duplicates": "duplicate",
+}
 
 
 def default_workers() -> int:
@@ -94,6 +168,7 @@ class ServiceConfig:
     tail_depth: int = DEFAULT_TAIL_DEPTH
     probe: bool = True
     max_frame: int = MAX_FRAME
+    log_json: bool = False             # one JSON event/line on stdout
 
 
 @dataclass
@@ -124,7 +199,7 @@ class _Admitted:
     """One upload in flight between admission and response."""
 
     __slots__ = ("ticket", "label", "blob", "observed_at", "upload_id",
-                 "future")
+                 "future", "admitted_at")
 
     def __init__(self, ticket, label, blob, observed_at, upload_id, future):
         self.ticket = ticket
@@ -133,6 +208,7 @@ class _Admitted:
         self.observed_at = observed_at
         self.upload_id = upload_id
         self.future = future
+        self.admitted_at = time.monotonic()
 
 
 class FleetService:
@@ -174,6 +250,9 @@ class FleetService:
         self._active_validations = 0   # submitted to the pool
         self._started_at = 0.0
         self._stopping = False
+        self.drain_seconds = 0.0       # last graceful drain's duration
+        self.metrics = REGISTRY
+        self._log = JsonEventLogger(enabled=self.config.log_json)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -212,7 +291,26 @@ class FleetService:
         )
         host, port = self._server.sockets[0].getsockname()[:2]
         self.config.port = port
+        self._log.event(
+            "service-start", host=host, port=port,
+            workers=self.config.workers, store=str(self.store_root),
+        )
         return host, port
+
+    def _tally(self, field: str) -> None:
+        """Bump one ServiceCounters field and its mirrored Prometheus
+        counter in lockstep — the single increment path that keeps
+        /stats and /metrics reconcilable."""
+        setattr(self.counters, field, getattr(self.counters, field) + 1)
+        outcome = _ADMISSION_OUTCOMES.get(field)
+        if outcome is not None:
+            _ADMISSION.labels(outcome).inc()
+        elif field == "received":
+            _RECEIVED.inc()
+        elif field == "protocol_errors":
+            _PROTOCOL_ERRORS.inc()
+        elif field == "commit_batches":
+            _COMMIT_BATCHES.inc()
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "start() first"
@@ -221,14 +319,28 @@ class FleetService:
 
     async def stop(self, drain: bool = True) -> None:
         """Stop accepting connections; optionally drain in-flight
-        uploads (validated, committed, and acked) before shutdown."""
+        uploads (validated, committed, and acked) before shutdown.
+
+        The drain duration lands on ``drain_seconds``, the
+        ``bugnet_service_drain_seconds`` gauge, and (with
+        ``--log-json``) a ``drain`` event — the observable artifact
+        the SIGTERM kill-harness test checks for."""
         self._stopping = True
+        drain_started = time.monotonic()
+        draining = self._in_pipeline
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         if drain:
             while self._in_pipeline:
                 await asyncio.sleep(0.01)
+            self.drain_seconds = time.monotonic() - drain_started
+            _DRAIN_SECONDS.set(self.drain_seconds)
+            self._log.event(
+                "drain",
+                in_flight=draining,
+                seconds=round(self.drain_seconds, 6),
+            )
         for task in list(self._connections):
             task.cancel()
         if self._connections:
@@ -243,6 +355,7 @@ class FleetService:
                 pass
         if self._pool is not None:
             self._pool.shutdown(wait=False, cancel_futures=True)
+        self._log.event("service-stop", counters=self.counters.to_dict())
 
     # -- connection handling ------------------------------------------------
 
@@ -270,7 +383,7 @@ class FleetService:
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         except FrameError:
-            self.counters.protocol_errors += 1
+            self._tally("protocol_errors")
             try:
                 await write_frame(writer, {
                     "status": "error", "reason": "malformed frame",
@@ -288,15 +401,17 @@ class FleetService:
                              reader: asyncio.StreamReader,
                              writer: asyncio.StreamWriter) -> None:
         prefix: "bytes | None" = first4
+        bytes_in = _WIRE_BYTES.labels("in")
+        bytes_out = _WIRE_BYTES.labels("out")
         while True:
             frame = await read_frame(reader, self.config.max_frame,
-                                     prefix=prefix)
+                                     prefix=prefix, on_bytes=bytes_in.inc)
             if frame is None:
                 return
             prefix = None
             header, body = frame
             response = await self._handle_message(header, body)
-            await write_frame(writer, response)
+            await write_frame(writer, response, on_bytes=bytes_out.inc)
 
     async def _handle_message(self, header: dict, body: bytes) -> dict:
         op = header.get("op")
@@ -306,18 +421,18 @@ class FleetService:
             return {"status": "ok", "stats": self.stats()}
         if op == "ping":
             return {"status": "ok"}
-        self.counters.protocol_errors += 1
+        self._tally("protocol_errors")
         return {"status": "error", "reason": f"unknown op {op!r}"}
 
     async def _handle_upload(self, header: dict, body: bytes) -> dict:
-        self.counters.received += 1
+        self._tally("received")
         label = str(header.get("label", ""))
         upload_id = str(header.get("upload_id", ""))
         observed_at = header.get("observed_at")
         if observed_at is not None and not isinstance(observed_at, int):
             return {"status": "error", "reason": "observed_at must be int"}
         if not body:
-            self.counters.rejected += 1
+            self._tally("rejected")
             return {"status": "rejected", "reason": "empty report body"}
         if upload_id:
             committed = self.store.entry_for_upload(upload_id)
@@ -325,7 +440,7 @@ class FleetService:
                 # Retry of an already-committed upload (the ack was
                 # lost, e.g. to a restart): re-acknowledge, don't
                 # double-commit.
-                self.counters.duplicates += 1
+                self._tally("duplicates")
                 return {
                     "status": "accepted",
                     "duplicate": True,
@@ -336,13 +451,13 @@ class FleetService:
             if inflight is not None:
                 # Same upload racing itself (client retried while the
                 # original is still in the pipeline): share the outcome.
-                self.counters.duplicates += 1
+                self._tally("duplicates")
                 return await asyncio.shield(inflight)
         if self._stopping or self._in_pipeline >= self.config.queue_limit:
             # Bounded admission: an explicit retry-later, never a
             # silent drop.  The client backs off and resubmits under
             # the same upload_id.
-            self.counters.retried += 1
+            self._tally("retried")
             return {
                 "status": "retry",
                 "reason": ("shutting down" if self._stopping
@@ -397,15 +512,21 @@ class FleetService:
         self._active_validations += len(chunk)
         try:
             if self._inline_resolver is not None:
+                # Inline mode shares this process's registry — stage
+                # metrics land directly, nothing to merge.
                 outcomes = await loop.run_in_executor(
                     self._pool, validate_many, items,
                     self._inline_resolver, config.tail_depth, config.probe,
                 )
             else:
-                outcomes = await loop.run_in_executor(
-                    self._pool, pool_validate_many, items,
+                outcomes, delta = await loop.run_in_executor(
+                    self._pool, pool_validate_many_observed, items,
                     config.tail_depth, config.probe,
                 )
+                # The worker's process-local stage histograms and
+                # replay counters, exactly once per chunk; merge is
+                # additive so chunk completion order is irrelevant.
+                self.metrics.merge(delta)
         except Exception as error:  # pool/pickling failure
             outcomes = [
                 IngestResult(a.label, False, f"validation error: {error}")
@@ -445,10 +566,10 @@ class FleetService:
 
     def _respond_rejected(self, admitted: _Admitted,
                           outcome: IngestResult) -> None:
-        self.counters.rejected += 1
+        self._tally("rejected")
         self._settle(admitted, {
             "status": "rejected", "reason": outcome.reason,
-        })
+        }, stage_ms=outcome.stage_ms)
 
     async def _commit_batch(
         self, batch: "list[tuple[_Admitted, ValidatedReport]]"
@@ -478,29 +599,44 @@ class FleetService:
             )
         except Exception as error:  # disk full, store corruption, ...
             for admitted, _validated in batch:
-                self.counters.rejected += 1
+                self._tally("rejected")
                 self._settle(admitted, {
                     "status": "rejected",
                     "reason": f"commit failed: {error}",
                 })
             return
-        self.counters.commit_batches += 1
+        self._tally("commit_batches")
         for (admitted, validated), entry in zip(batch, entries):
-            self.counters.accepted += 1
+            self._tally("accepted")
             self._settle(admitted, {
                 "status": "accepted",
                 "duplicate": False,
                 "signature": validated.signature.digest,
                 "seq": entry.seq,
                 "replayed": validated.instructions,
-            })
+            }, stage_ms=validated.stage_ms)
 
-    def _settle(self, admitted: _Admitted, response: dict) -> None:
+    def _settle(self, admitted: _Admitted, response: dict,
+                stage_ms: "dict | None" = None) -> None:
+        ack_seconds = time.monotonic() - admitted.admitted_at
+        _ACK_LATENCY.observe(ack_seconds)
         self._in_pipeline -= 1
         if admitted.upload_id:
             self._inflight_uploads.pop(admitted.upload_id, None)
         if not admitted.future.done():
             admitted.future.set_result(response)
+        if self._log.enabled:
+            event = {
+                "outcome": response.get("status"),
+                "label": admitted.label,
+                "upload_id": admitted.upload_id,
+                "ack_ms": round(ack_seconds * 1e3, 3),
+                "stage_ms": stage_ms or {},
+            }
+            for key in ("signature", "seq", "reason"):
+                if key in response:
+                    event[key] = response[key]
+            self._log.event("admission", **event)
 
     # -- stats ---------------------------------------------------------------
 
@@ -527,29 +663,69 @@ class FleetService:
             },
         }
 
+    # -- metrics --------------------------------------------------------------
+
+    def health(self) -> "tuple[bool, str]":
+        """Readiness: ``(ready, reason)``.
+
+        Liveness is answering at all; readiness is being able to admit
+        an upload *now*.  Draining and a saturated admission queue are
+        the two states where a connect would only earn a retry — a
+        load balancer should route elsewhere, which is what the 503
+        from ``/healthz`` tells it.
+        """
+        if self._stopping:
+            return False, "draining"
+        if self._in_pipeline >= self.config.queue_limit:
+            return False, "admission queue saturated"
+        return True, "ok"
+
+    def metrics_text(self) -> str:
+        """The `/metrics` exposition: refresh scrape-time gauges from
+        live state, then encode the whole registry."""
+        _QUEUE_DEPTH.set(self._in_pipeline)
+        _QUEUE_LIMIT.set(self.config.queue_limit)
+        store = self.store
+        if store is not None:
+            _STORE_REPORTS.set(len(store))
+            _STORE_BYTES.set(store.total_bytes)
+            _STORE_EVICTED.set(store.evicted_reports)
+            for slot in store.shard_occupancy():
+                shard = str(slot["shard"])
+                _SHARD_REPORTS.labels(shard).set(slot["reports"])
+                _SHARD_BYTES.labels(shard).set(slot["bytes"])
+        return encode_prometheus(self.metrics)
+
     # -- http ----------------------------------------------------------------
 
     async def _handle_http(self, reader: asyncio.StreamReader,
                            writer: asyncio.StreamWriter) -> None:
-        """Minimal HTTP/1.0 for `curl http://host:port/stats`."""
+        """Minimal HTTP/1.0 for ``curl http://host:port/stats`` (and
+        /healthz, /metrics)."""
         request_line = await reader.readline()
         path = request_line.split(b" ")[0].decode("latin-1", "replace")
         while True:  # drain request headers
             line = await reader.readline()
             if line in (b"", b"\r\n", b"\n"):
                 break
+        content_type = "application/json"
         if path == "/stats":
             body = json.dumps(self.stats(), indent=2).encode()
             status = "200 OK"
         elif path == "/healthz":
-            body = b'{"ok": true}'
+            ready, reason = self.health()
+            body = json.dumps({"ok": ready, "reason": reason}).encode()
+            status = "200 OK" if ready else "503 Service Unavailable"
+        elif path == "/metrics":
+            body = self.metrics_text().encode()
             status = "200 OK"
+            content_type = _PROM_CONTENT_TYPE
         else:
             body = b'{"error": "not found"}'
             status = "404 Not Found"
         writer.write(
             f"HTTP/1.0 {status}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(body)}\r\n"
             f"Connection: close\r\n\r\n".encode() + body
         )

@@ -75,7 +75,25 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.common.errors import LogDecodeError
+from repro.obs import REGISTRY as _OBS
 from repro.tracing.serialize import load_crash_report
+
+_FLOCK_WAIT_SECONDS = _OBS.histogram(
+    "bugnet_store_flock_wait_seconds",
+    "Time spent waiting to acquire a store flock (global or shard).",
+)
+_COMMIT_BATCH_SECONDS = _OBS.histogram(
+    "bugnet_store_commit_batch_seconds",
+    "Wall time of one add_many commit batch (writes, index, eviction).",
+)
+_COMMIT_REPORTS = _OBS.counter(
+    "bugnet_store_commit_reports_total",
+    "Reports committed to the store.",
+)
+_EVICTIONS = _OBS.counter(
+    "bugnet_store_evictions_total",
+    "Reports evicted to hold the store byte budget.",
+)
 
 try:
     import fcntl
@@ -331,7 +349,8 @@ class ReportStore:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(path, os.O_CREAT | os.O_RDWR, 0o644)
         try:
-            fcntl.flock(fd, fcntl.LOCK_EX)
+            with _FLOCK_WAIT_SECONDS.time():
+                fcntl.flock(fd, fcntl.LOCK_EX)
             yield
         finally:
             fcntl.flock(fd, fcntl.LOCK_UN)
@@ -621,6 +640,10 @@ class ReportStore:
         """
         if not items:
             return []
+        with _COMMIT_BATCH_SECONDS.time():
+            return self._add_many_locked(items)
+
+    def _add_many_locked(self, items: "list[dict]") -> "list[StoredEntry]":
         start = self._alloc_seqs(len(items))
         new_entries: list[StoredEntry] = []
         by_shard: dict[int, list[tuple[StoredEntry, bytes]]] = {}
@@ -673,6 +696,7 @@ class ReportStore:
                        and self._evict_oldest(protect)):
                     pass
             self._write_meta()
+        _COMMIT_REPORTS.inc(len(new_entries))
         return new_entries
 
     def _evict_oldest(self, protect: "set[int]") -> bool:
@@ -706,6 +730,7 @@ class ReportStore:
             self.total_bytes -= victim.byte_size
             self.evicted_reports += 1
             self.evicted_bytes += victim.byte_size
+            _EVICTIONS.inc()
             if victim.upload_id:
                 self._upload_index.pop(victim.upload_id, None)
             path = self._shard_dir(victim.shard) / victim.filename

@@ -32,8 +32,24 @@ from repro.fleet.signature import (
     replay_tail,
     signature_from_tail,
 )
+from repro.obs import REGISTRY, SpanRecorder
 from repro.replay.replayer import Replayer
 from repro.tracing.serialize import load_crash_report
+
+#: Per-stage validation timing.  Spans nest: ``replay`` contains the
+#: per-thread ``chain-replay`` stages plus ``mrl-merge`` and
+#: ``race-inference`` for multithreaded reports, so the nested stage
+#: histograms overlap their parent by design.
+_STAGE_SECONDS = REGISTRY.histogram(
+    "bugnet_validate_stage_seconds",
+    "Wall time of one named validation stage (see DESIGN.md §11).",
+    ("stage",),
+)
+_VALIDATE_OUTCOMES = REGISTRY.counter(
+    "bugnet_validate_outcomes_total",
+    "Validation verdicts, before store commit.",
+    ("outcome",),
+)
 
 #: Everything a hostile/corrupt blob can legitimately raise while being
 #: decoded or replayed: our own error hierarchy, zlib/struct framing
@@ -67,6 +83,10 @@ class IngestResult:
     signature: CrashSignature | None = None
     entry: object | None = None        # StoredEntry once committed
     instructions_replayed: int = 0
+    #: Top-level validation stage timings in milliseconds (empty when
+    #: the result never went through ``validate_report`` — e.g. a
+    #: protocol-level rejection synthesized by the service).
+    stage_ms: dict = field(default_factory=dict)
 
     @property
     def digest(self) -> str | None:
@@ -85,6 +105,7 @@ class ValidatedReport:
     fault_kind: str
     program_name: str
     instructions: int    # validated replay window = instructions replayed
+    stage_ms: dict = field(default_factory=dict)  # top-level stage timings
 
 
 def validate_report(
@@ -94,6 +115,7 @@ def validate_report(
     resolver: ProgramResolver,
     tail_depth: int = DEFAULT_TAIL_DEPTH,
     probe: bool = True,
+    spans: "SpanRecorder | None" = None,
 ) -> "ValidatedReport | IngestResult":
     """Validate one crash-report blob; pure function of its inputs.
 
@@ -113,23 +135,59 @@ def validate_report(
     manifestations of one race dedup into one bucket — and a report
     whose *non-faulting* thread logs are corrupt is rejected here, at
     ingest, instead of crashing ``bugnet autopsy`` after commit.
+
+    Every validation runs under a span recorder (*spans*, or a private
+    one): the named stage timings land in the
+    ``bugnet_validate_stage_seconds`` histograms and, as a flat
+    millisecond map, on the returned outcome's ``stage_ms``.  Pass a
+    fresh recorder per call — ``bugnet profile`` passes its own to
+    render the breakdown.
     """
+    recorder = spans if spans is not None else SpanRecorder()
+    result = _validate(
+        label, blob, observed_at, resolver, tail_depth, probe, recorder
+    )
+    result.stage_ms = recorder.stage_ms()
+    if REGISTRY.enabled:
+        for span in recorder.spans:
+            _STAGE_SECONDS.labels(span.name).observe(span.seconds)
+        _VALIDATE_OUTCOMES.labels(
+            "accepted" if isinstance(result, ValidatedReport)
+            else "rejected"
+        ).inc()
+    return result
+
+
+def _validate(
+    label: str,
+    blob: bytes,
+    observed_at: "int | None",
+    resolver: ProgramResolver,
+    tail_depth: int,
+    probe: bool,
+    recorder: SpanRecorder,
+) -> "ValidatedReport | IngestResult":
+    """The un-instrumented validation pipeline behind
+    :func:`validate_report` (which owns metrics + ``stage_ms``)."""
     try:
-        report, config = load_crash_report(blob)
+        with recorder.span("decode"):
+            report, config = load_crash_report(blob)
     except DECODE_ERRORS as error:
         return IngestResult(label, False, f"decode: {error}")
-    program = resolver(report.program_name)
+    with recorder.span("resolve"):
+        program = resolver(report.program_name)
     if program is None:
         return IngestResult(
             label, False, f"unknown program {report.program_name!r}"
         )
     race_pcs: "tuple[int, ...]" = ()
     try:
-        if len(report.thread_ids) > 1:
-            tail, race_pcs = _validate_threads(
-                report, config, program, tail_depth)
-        else:
-            tail = replay_tail(report, config, program, tail_depth)
+        with recorder.span("replay"):
+            if len(report.thread_ids) > 1:
+                tail, race_pcs = _validate_threads(
+                    report, config, program, tail_depth, recorder)
+            else:
+                tail = replay_tail(report, config, program, tail_depth)
     except DECODE_ERRORS as error:
         return IngestResult(label, False, f"replay: {error}")
     last_fll = tail.last_fll
@@ -155,16 +213,21 @@ def validate_report(
             f"replay ends at {tail.end_pc:#010x}, "
             f"not the faulting pc {report.fault_pc:#010x}",
         )
-    if probe and not probe_fault(report, config, program, tail):
-        return IngestResult(
-            label, False,
-            f"fault does not reproduce at {report.fault_pc:#010x}",
-        )
+    if probe:
+        with recorder.span("fault-probe"):
+            reproduced = probe_fault(report, config, program, tail)
+        if not reproduced:
+            return IngestResult(
+                label, False,
+                f"fault does not reproduce at {report.fault_pc:#010x}",
+            )
+    with recorder.span("signature"):
+        signature = signature_from_tail(report, tail, race_pcs=race_pcs)
     return ValidatedReport(
         label=label,
         blob=blob,
         observed_at=observed_at,
-        signature=signature_from_tail(report, tail, race_pcs=race_pcs),
+        signature=signature,
         fault_kind=report.fault_kind,
         program_name=report.program_name,
         # The *validated* window: instructions the chain actually
@@ -174,7 +237,7 @@ def validate_report(
 
 
 def _validate_threads(
-    report, config, program, tail_depth,
+    report, config, program, tail_depth, recorder=None,
 ) -> "tuple[ReplayedTail, tuple[int, ...]]":
     """Chain-replay every thread with grounded logs; returns the
     faulting thread's tail plus the inferred race evidence.
@@ -187,8 +250,11 @@ def _validate_threads(
     or a chain that diverges from the binary all raise into the
     caller's rejection path, naming the offending thread.
     """
+    from repro.obs import NULL_RECORDER
     from repro.replay.races import ReportLogs, replay_all_threads
 
+    if recorder is None:
+        recorder = NULL_RECORDER
     logs = ReportLogs(report, grounded=True)
     threads = logs.threads()
     faulting = report.faulting_tid
@@ -199,6 +265,7 @@ def _validate_threads(
         )
     mt = replay_all_threads(
         logs, {tid: program for tid in threads}, config, fast=True,
+        spans=recorder,
     )
     thread = mt.traced[faulting]
     tail = ReplayedTail(
@@ -212,8 +279,10 @@ def _validate_threads(
     )
     from repro.analysis.static.lockset import cached_race_candidates
 
-    candidates = cached_race_candidates(program)
-    return tail, race_evidence(mt, faulting, candidates=candidates)
+    with recorder.span("race-inference"):
+        candidates = cached_race_candidates(program)
+        evidence = race_evidence(mt, faulting, candidates=candidates)
+    return tail, evidence
 
 
 def race_evidence(
@@ -372,3 +441,28 @@ def pool_validate_many(
         raise RuntimeError("validation worker used without pool_initializer")
     return validate_many(items, _WORKER_RESOLVER,
                          tail_depth=tail_depth, probe=probe)
+
+
+def pool_validate_many_observed(
+    items: "list[tuple[str, bytes, int | None]]",
+    tail_depth: int = DEFAULT_TAIL_DEPTH,
+    probe: bool = True,
+) -> "tuple[list[ValidatedReport | IngestResult], dict]":
+    """:func:`pool_validate_many` plus the worker's metrics delta.
+
+    The worker's process-local registry accumulated stage histograms
+    and replay counters while validating this chunk; ``take_delta``
+    snapshots *and resets* them, so shipping the delta back with the
+    verdicts hands the parent exactly this chunk's metrics once.  The
+    service merges deltas additively — order doesn't matter.
+
+    A forked worker inherits the parent's registry *contents* (anything
+    the parent recorded before the pool spawned); merging those back
+    would double-count them, so the first thing a chunk does is discard
+    whatever the registry already holds.  Between chunks the registry
+    is empty (the trailing ``take_delta`` zeroed it), so the discard is
+    a no-op everywhere except right after the fork.
+    """
+    REGISTRY.take_delta()
+    results = pool_validate_many(items, tail_depth=tail_depth, probe=probe)
+    return results, REGISTRY.take_delta()

@@ -66,12 +66,14 @@ def decode_payload(payload: bytes) -> "tuple[dict, bytes]":
 async def read_frame(
     reader: asyncio.StreamReader, max_frame: int = MAX_FRAME,
     prefix: "bytes | None" = None,
+    on_bytes=None,
 ) -> "tuple[dict, bytes] | None":
     """Read one frame; returns ``None`` on clean EOF before a frame.
 
     *prefix* supplies the 4 length bytes when the caller already
     consumed them (the server peeks them to route HTTP vs native
-    connections)."""
+    connections).  *on_bytes* (if given) receives the frame's full
+    wire size — how the service meters per-connection traffic."""
     if prefix is None:
         try:
             prefix = await reader.readexactly(4)
@@ -88,12 +90,18 @@ async def read_frame(
         payload = await reader.readexactly(total)
     except asyncio.IncompleteReadError as error:
         raise FrameError("connection closed mid-frame") from error
+    if on_bytes is not None:
+        on_bytes(4 + total)
     return decode_payload(payload)
 
 
 async def write_frame(
     writer: asyncio.StreamWriter, header: dict, body: bytes = b"",
+    on_bytes=None,
 ) -> None:
     """Write one frame and flush it."""
-    writer.write(encode_frame(header, body))
+    data = encode_frame(header, body)
+    if on_bytes is not None:
+        on_bytes(len(data))
+    writer.write(data)
     await writer.drain()

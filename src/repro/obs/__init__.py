@@ -1,0 +1,41 @@
+"""Fleet observability: metrics registry, Prometheus encoding, spans.
+
+Dependency-free by design — the fleet service, the batch pipeline and
+the replay engine all instrument through this package, and none of
+them may grow a third-party requirement for it.  See DESIGN.md §11.
+
+Layout:
+
+* :mod:`repro.obs.metrics` — counters / gauges / histograms with
+  labeled families; thread-safe; snapshots merge additively so
+  process-pool validation workers can report back deltas.
+* :mod:`repro.obs.prom` — Prometheus text exposition (0.0.4) encoder
+  and the small parser `bugnet load-sim` uses to cross-check scrapes.
+* :mod:`repro.obs.spans` — the span recorder timing named stages of
+  the validate path (`bugnet profile` renders the breakdown).
+* :mod:`repro.obs.jsonlog` — one-line-per-event structured logging
+  for `bugnet serve --log-json`.
+"""
+
+from repro.obs.jsonlog import JsonEventLogger
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    REGISTRY,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.prom import encode_prometheus, parse_prometheus
+from repro.obs.spans import NULL_RECORDER, Span, SpanRecorder
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "JsonEventLogger",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "REGISTRY",
+    "Span",
+    "SpanRecorder",
+    "encode_prometheus",
+    "parse_prometheus",
+]

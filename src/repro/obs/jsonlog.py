@@ -1,0 +1,36 @@
+"""One-line-per-event structured JSON logging for the fleet service.
+
+``bugnet serve --log-json`` emits exactly one JSON object per line on
+stdout: one per admission outcome (upload_id, label, outcome,
+signature, per-stage timings), plus service lifecycle events
+(``service-start``, ``drain``, ``service-stop``).  Lines are flushed
+eagerly so a log shipper tailing the pipe sees events as they settle
+and the drain line survives process exit.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+class JsonEventLogger:
+    """Disabled by default; when disabled, ``event()`` is one check."""
+
+    def __init__(self, enabled: bool = False, stream=None) -> None:
+        self.enabled = enabled
+        self._stream = stream
+
+    def event(self, event: str, **fields) -> None:
+        if not self.enabled:
+            return
+        record = {"ts": round(time.time(), 6), "event": event}
+        record.update(fields)
+        stream = self._stream if self._stream is not None else sys.stdout
+        print(
+            json.dumps(record, separators=(",", ":"), sort_keys=False,
+                       default=str),
+            file=stream,
+            flush=True,
+        )

@@ -1,0 +1,381 @@
+"""Dependency-free metrics registry (DESIGN.md §11).
+
+Three instrument kinds — counters, gauges, histograms — grouped into
+*labeled families*: one family per metric name, one child per label
+value tuple.  All mutation goes through a single per-registry lock, so
+instruments are safe to share across the service's event loop, its
+commit executor threads and the store's writer threads.
+
+Process-pool validation workers cannot share the registry, so the
+snapshot model is additive: a worker calls :meth:`MetricsRegistry.
+take_delta` after a chunk (snapshot counters + histograms, then reset
+them) and ships the plain-dict delta back over the pool's pickle
+channel; the service merges it with :meth:`MetricsRegistry.merge`.
+Counter and histogram merges are bucket-wise sums, so merging is
+associative and commutative — deltas may arrive in any order, batched
+or not, and the totals agree (``tests/test_obs_metrics.py`` pins
+this).  Gauges describe *this* process's state (queue depth, shard
+occupancy); they are set at scrape time and excluded from deltas.
+
+Naming scheme: every family is ``bugnet_<subsystem>_<what>[_unit]``
+with Prometheus conventions — ``_total`` for counters, ``_seconds`` /
+``_bytes`` unit suffixes, label names from a small fixed vocabulary
+(``outcome``, ``stage``, ``shard``, ``direction``, ``result``) so
+cardinality stays bounded.
+
+The registry can be disabled (``REGISTRY.enabled = False`` or the
+``BUGNET_OBS_DISABLED`` environment variable): every instrument call
+then returns after one attribute check, which is what the
+``obs_overhead`` benchmark guard measures the <5 % ingest overhead
+against.
+"""
+
+from __future__ import annotations
+
+import bisect
+import os
+import re
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+#: Default histogram buckets, in seconds.  Wide enough to cover both a
+#: sub-millisecond store flock and a multi-second MT validation.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_NAME = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+class MetricError(ValueError):
+    """Invalid metric definition or an inconsistent redefinition."""
+
+
+class _Family:
+    """One named metric family; children are keyed by label values."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        registry: "MetricsRegistry",
+        name: str,
+        help: str,
+        labelnames: "tuple[str, ...]",
+    ) -> None:
+        self._registry = registry
+        self.name = name
+        self.help = help
+        self.labelnames = labelnames
+        self._children: dict = {}
+
+    def labels(self, *values: str):
+        """The child for one label-value tuple (created on first use)."""
+        if len(values) != len(self.labelnames):
+            raise MetricError(
+                f"{self.name} expects {len(self.labelnames)} label(s) "
+                f"{self.labelnames}, got {values!r}"
+            )
+        key = tuple(str(value) for value in values)
+        child = self._children.get(key)
+        if child is None:
+            with self._registry._lock:
+                child = self._children.setdefault(key, self._make_child())
+        return child
+
+    def _make_child(self):
+        raise NotImplementedError
+
+    # -- snapshot plumbing -------------------------------------------------
+    def _meta(self) -> dict:
+        return {
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": self.labelnames,
+        }
+
+    def _samples(self) -> dict:
+        """Label tuple -> plain-data value; caller holds the lock."""
+        return {key: child._value() for key, child in self._children.items()}
+
+
+class _CounterChild:
+    __slots__ = ("_registry", "count")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self.count = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        if amount < 0:
+            raise MetricError("counters only go up")
+        with registry._lock:
+            self.count += amount
+
+    def _value(self) -> float:
+        return self.count
+
+
+class Counter(_Family):
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild(self._registry)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Unlabeled convenience: ``family.inc()`` == ``labels().inc()``."""
+        self.labels().inc(amount)
+
+
+class _GaugeChild:
+    __slots__ = ("_registry", "value")
+
+    def __init__(self, registry: "MetricsRegistry") -> None:
+        self._registry = registry
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        with registry._lock:
+            self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def _value(self) -> float:
+        return self.value
+
+
+class Gauge(_Family):
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild(self._registry)
+
+    def set(self, value: float) -> None:
+        self.labels().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.labels().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.labels().dec(amount)
+
+
+class _HistogramChild:
+    __slots__ = ("_registry", "_bounds", "counts", "sum")
+
+    def __init__(
+        self, registry: "MetricsRegistry", bounds: "tuple[float, ...]"
+    ) -> None:
+        self._registry = registry
+        self._bounds = bounds
+        # One slot per finite bucket plus the +Inf overflow slot.
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        registry = self._registry
+        if not registry.enabled:
+            return
+        index = bisect.bisect_left(self._bounds, value)
+        with registry._lock:
+            self.counts[index] += 1
+            self.sum += value
+
+    @contextmanager
+    def time(self):
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(perf_counter() - start)
+
+    def _value(self) -> dict:
+        return {"counts": list(self.counts), "sum": self.sum}
+
+
+class Histogram(_Family):
+    kind = "histogram"
+
+    def __init__(self, registry, name, help, labelnames, buckets) -> None:
+        super().__init__(registry, name, help, labelnames)
+        bounds = tuple(sorted(float(bound) for bound in buckets))
+        if not bounds:
+            raise MetricError(f"{name}: histogram needs at least one bucket")
+        if len(set(bounds)) != len(bounds):
+            raise MetricError(f"{name}: duplicate histogram buckets")
+        if bounds[-1] == float("inf"):
+            bounds = bounds[:-1]  # +Inf is implicit
+        self.buckets = bounds
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self._registry, self.buckets)
+
+    def observe(self, value: float) -> None:
+        self.labels().observe(value)
+
+    def time(self):
+        return self.labels().time()
+
+    def _meta(self) -> dict:
+        meta = super()._meta()
+        meta["buckets"] = self.buckets
+        return meta
+
+
+class MetricsRegistry:
+    """A set of metric families; see the module docstring for the model."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._lock = threading.RLock()
+        self._families: "dict[str, _Family]" = {}
+        self.enabled = enabled
+
+    # -- family definition (idempotent) ------------------------------------
+    def _define(self, factory, name: str, help: str, labelnames, **extra):
+        if not _METRIC_NAME.match(name):
+            raise MetricError(f"bad metric name {name!r}")
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            if not _LABEL_NAME.match(label) or label.startswith("__"):
+                raise MetricError(f"{name}: bad label name {label!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = factory(self, name, help, labelnames, **extra)
+                self._families[name] = family
+                return family
+        if type(family) is not factory or family.labelnames != labelnames:
+            raise MetricError(f"{name} redefined with a different shape")
+        if extra.get("buckets") is not None and family.buckets != tuple(
+            sorted(float(b) for b in extra["buckets"] if b != float("inf"))
+        ):
+            raise MetricError(f"{name} redefined with different buckets")
+        return family
+
+    def counter(self, name: str, help: str, labelnames=()) -> Counter:
+        return self._define(Counter, name, help, labelnames)
+
+    def gauge(self, name: str, help: str, labelnames=()) -> Gauge:
+        return self._define(Gauge, name, help, labelnames)
+
+    def histogram(
+        self, name: str, help: str, labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._define(
+            Histogram, name, help, labelnames, buckets=buckets
+        )
+
+    # -- snapshots ---------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Plain picklable ``{name: {type, help, labelnames, samples}}``."""
+        with self._lock:
+            return {
+                name: dict(family._meta(), samples=family._samples())
+                for name, family in self._families.items()
+            }
+
+    def take_delta(self) -> dict:
+        """Snapshot counters + histograms, then zero them.
+
+        The returned delta holds everything recorded since the last
+        ``take_delta`` and nothing twice; ship it to the parent and
+        :meth:`merge` it there.  Gauges are per-process state, not
+        flow, so they never travel in deltas.
+        """
+        with self._lock:
+            delta = {}
+            for name, family in self._families.items():
+                if family.kind == "gauge":
+                    continue
+                samples = family._samples()
+                if not samples:
+                    continue
+                delta[name] = dict(family._meta(), samples=samples)
+                for child in family._children.values():
+                    if family.kind == "histogram":
+                        child.counts = [0] * len(child.counts)
+                        child.sum = 0.0
+                    else:
+                        child.count = 0.0
+            return delta
+
+    def merge(self, delta: dict) -> None:
+        """Additively fold a snapshot/delta from another process in."""
+        for name, data in delta.items():
+            kind = data["type"]
+            labelnames = tuple(data["labelnames"])
+            if kind == "counter":
+                family = self.counter(name, data["help"], labelnames)
+            elif kind == "gauge":
+                family = self.gauge(name, data["help"], labelnames)
+            elif kind == "histogram":
+                family = self.histogram(
+                    name, data["help"], labelnames, data["buckets"]
+                )
+            else:
+                raise MetricError(f"{name}: unknown metric type {kind!r}")
+            for key, value in data["samples"].items():
+                child = family.labels(*key)
+                with self._lock:
+                    if kind == "histogram":
+                        if len(value["counts"]) != len(child.counts):
+                            raise MetricError(
+                                f"{name}: bucket count mismatch in merge"
+                            )
+                        for index, count in enumerate(value["counts"]):
+                            child.counts[index] += count
+                        child.sum += value["sum"]
+                    elif kind == "gauge":
+                        child.value += value
+                    else:
+                        child.count += value
+
+    def reset(self) -> None:
+        """Drop every family.  Test isolation helper."""
+        with self._lock:
+            self._families.clear()
+
+    def sample_value(self, name: str, labels: "tuple[str, ...]" = ()):
+        """One sample's current value, or ``None`` — for tests/stats."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            child = family._children.get(tuple(labels))
+            return None if child is None else child._value()
+
+
+#: The process-global registry every subsystem instruments against.
+#: Workers inherit a fresh copy post-fork/spawn; the service merges
+#: their deltas back into its own copy of this registry.
+REGISTRY = MetricsRegistry(
+    enabled=not os.environ.get("BUGNET_OBS_DISABLED")
+)

@@ -1,0 +1,153 @@
+"""Prometheus text exposition (format 0.0.4) encoder + scrape parser.
+
+The encoder turns a :class:`~repro.obs.metrics.MetricsRegistry` (or a
+snapshot of one) into the ``# HELP`` / ``# TYPE`` / sample-line text a
+Prometheus server scrapes from ``GET /metrics``.  Histograms are
+exported with *cumulative* bucket counts, the implicit ``+Inf``
+bucket, and ``_sum`` / ``_count`` series, per the format spec.
+
+The parser is deliberately small: enough to read our own exposition
+back so ``bugnet load-sim`` can cross-check its client-side tallies
+against the server's counters and the tests can assert round-trips.
+"""
+
+from __future__ import annotations
+
+import re
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_INF = float("inf")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(text: str) -> str:
+    return (
+        text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == _INF:
+        return "+Inf"
+    if value == -_INF:
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labelnames, values, extra="") -> str:
+    parts = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{%s}" % ",".join(parts) if parts else ""
+
+
+def encode_prometheus(source) -> str:
+    """Encode a registry (or ``registry.snapshot()``) to exposition text."""
+    snapshot = source.snapshot() if hasattr(source, "snapshot") else source
+    lines = []
+    for name in sorted(snapshot):
+        family = snapshot[name]
+        labelnames = tuple(family["labelnames"])
+        lines.append(f"# HELP {name} {_escape_help(family['help'])}")
+        lines.append(f"# TYPE {name} {family['type']}")
+        for key in sorted(family["samples"]):
+            value = family["samples"][key]
+            if family["type"] == "histogram":
+                cumulative = 0
+                for bound, count in zip(
+                    family["buckets"], value["counts"]
+                ):
+                    cumulative += count
+                    bucket = _labels_text(
+                        labelnames, key, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(
+                        f"{name}_bucket{bucket} {cumulative}"
+                    )
+                total = cumulative + value["counts"][-1]
+                inf_bucket = _labels_text(labelnames, key, 'le="+Inf"')
+                lines.append(f"{name}_bucket{inf_bucket} {total}")
+                plain = _labels_text(labelnames, key)
+                lines.append(
+                    f"{name}_sum{plain} {_format_value(value['sum'])}"
+                )
+                lines.append(f"{name}_count{plain} {total}")
+            else:
+                plain = _labels_text(labelnames, key)
+                lines.append(f"{name}{plain} {_format_value(value)}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_SAMPLE_LINE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label_value(text: str) -> str:
+    return (
+        text.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return _INF
+    if text == "-Inf":
+        return -_INF
+    return float(text)
+
+
+def parse_prometheus(text: str) -> "dict[str, dict[tuple, float]]":
+    """Scrape text -> ``{sample_name: {sorted_label_items: value}}``.
+
+    Sample names keep their ``_bucket`` / ``_sum`` / ``_count``
+    suffixes; label sets are ``tuple(sorted((name, value), ...))`` so
+    lookups don't depend on exposition order.
+    """
+    samples: "dict[str, dict[tuple, float]]" = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels = tuple(
+            sorted(
+                (name, _unescape_label_value(value))
+                for name, value in _LABEL_PAIR.findall(
+                    match.group("labels") or ""
+                )
+            )
+        )
+        samples.setdefault(match.group("name"), {})[labels] = _parse_value(
+            match.group("value")
+        )
+    return samples
+
+
+def sample(
+    samples: "dict[str, dict[tuple, float]]",
+    name: str,
+    default: float = 0.0,
+    **labels: str,
+) -> float:
+    """One parsed sample by name + labels (``default`` when absent)."""
+    family = samples.get(name)
+    if not family:
+        return default
+    return family.get(tuple(sorted(labels.items())), default)

@@ -1,0 +1,129 @@
+"""Span recorder: named, nestable wall-time stages (DESIGN.md §11).
+
+One :class:`SpanRecorder` accompanies one validation (or one profiled
+replay).  Stages are context-managed::
+
+    recorder = SpanRecorder()
+    with recorder.span("decode"):
+        report = load_crash_report(blob)
+    with recorder.span("replay"):
+        with recorder.span("chain-replay", detail="t0"):
+            ...
+
+Spans nest (the recorder keeps a stack); ``stage_ms()`` aggregates
+*top-level* spans into the flat per-stage map attached to accept /
+reject outcomes and fed into the ``bugnet_validate_stage_seconds``
+histogram, while ``render()`` prints the full tree as the
+flamegraph-style breakdown ``bugnet profile`` shows.  ``detail``
+carries unbounded identifiers (thread ids, labels) that must *not*
+become metric labels — span *names* are the bounded stage vocabulary.
+
+Recording costs two ``perf_counter`` calls and one append per span —
+noise next to a replay — so the validate path always records; callers
+that want zero bookkeeping pass :data:`NULL_RECORDER`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from time import perf_counter
+
+
+class Span:
+    """One completed stage: name, wall seconds, nesting depth."""
+
+    __slots__ = ("name", "detail", "start", "seconds", "depth")
+
+    def __init__(self, name, detail, start, seconds, depth) -> None:
+        self.name = name
+        self.detail = detail
+        self.start = start
+        self.seconds = seconds
+        self.depth = depth
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f"{self.name}[{self.detail}]" if self.detail else self.name
+        return f"Span({label}, {self.seconds * 1e3:.3f}ms, d{self.depth})"
+
+
+class SpanRecorder:
+    """Collects spans for one operation; not thread-safe by design —
+    one recorder per validation, like one report per validation."""
+
+    def __init__(self) -> None:
+        self.spans: "list[Span]" = []
+        self._depth = 0
+
+    @contextmanager
+    def span(self, name: str, detail: str = ""):
+        self._depth += 1
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            seconds = perf_counter() - start
+            self._depth -= 1
+            self.spans.append(
+                Span(name, detail, start, seconds, self._depth)
+            )
+
+    def wall_seconds(self) -> float:
+        """Total time covered by top-level spans."""
+        return sum(s.seconds for s in self.spans if s.depth == 0)
+
+    def stage_seconds(self) -> "dict[str, float]":
+        """Top-level spans aggregated by name, in recorded order."""
+        stages: "dict[str, float]" = {}
+        for span in sorted(
+            (s for s in self.spans if s.depth == 0), key=lambda s: s.start
+        ):
+            stages[span.name] = stages.get(span.name, 0.0) + span.seconds
+        return stages
+
+    def stage_ms(self) -> "dict[str, float]":
+        """`stage_seconds` in rounded milliseconds — the wire/JSON form."""
+        return {
+            name: round(seconds * 1e3, 3)
+            for name, seconds in self.stage_seconds().items()
+        }
+
+    def render(self, total: "float | None" = None, width: int = 28) -> str:
+        """Indented per-stage breakdown with bars scaled to *total*
+        (defaults to the recorded top-level wall time)."""
+        if not self.spans:
+            return "(no spans recorded)"
+        if total is None or total <= 0:
+            total = self.wall_seconds() or 1e-12
+        lines = []
+        for span in sorted(self.spans, key=lambda s: (s.start, -s.depth)):
+            share = span.seconds / total
+            bar = "█" * max(1, round(share * width)) if share > 0 else ""
+            label = "  " * span.depth + span.name
+            if span.detail:
+                label += f" [{span.detail}]"
+            lines.append(
+                f"{label:<34} {span.seconds * 1e3:>9.2f} ms "
+                f"{share * 100:>5.1f}%  {bar}"
+            )
+        return "\n".join(lines)
+
+
+class _NullRecorder:
+    """Recorder-shaped no-op; `span()` hands back a shared context."""
+
+    spans: "list[Span]" = []
+
+    def span(self, name: str, detail: str = ""):
+        return nullcontext()
+
+    def wall_seconds(self) -> float:
+        return 0.0
+
+    def stage_seconds(self) -> "dict[str, float]":
+        return {}
+
+    def stage_ms(self) -> "dict[str, float]":
+        return {}
+
+
+NULL_RECORDER = _NullRecorder()

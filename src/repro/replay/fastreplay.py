@@ -46,8 +46,23 @@ from repro.common.errors import (
     InstructionFault,
     ReplayDivergence,
 )
+from repro.obs import REGISTRY as _OBS
 from repro.tracing.dictionary import DictionaryCompressor
 from repro.tracing.fll import FLL, FLLReader
+
+#: One ``inc`` per replayed *interval* (by its instruction count), not
+#: per instruction — the loop itself stays untouched.
+_REPLAYED_INSTRUCTIONS = _OBS.counter(
+    "bugnet_replay_instructions_total",
+    "Instructions replayed on the compiled fast path.",
+)
+_PLAN_CACHE = _OBS.counter(
+    "bugnet_fastreplay_plan_cache_total",
+    "Compiled-plan cache lookups, by result.",
+    ("result",),
+)
+_PLAN_CACHE_HIT = _PLAN_CACHE.labels("hit")
+_PLAN_CACHE_MISS = _PLAN_CACHE.labels("miss")
 
 MASK = 0xFFFFFFFF
 _SIGN = 0x80000000
@@ -420,8 +435,11 @@ def compiled_plan(program: Program):
     lists)."""
     cached = getattr(program, "_fastreplay_plan", None)
     if cached is None:
+        _PLAN_CACHE_MISS.inc()
         cached = _compile_program(program)
         program._fastreplay_plan = cached
+    else:
+        _PLAN_CACHE_HIT.inc()
     return cached
 
 
@@ -614,6 +632,7 @@ def fast_replay_interval(
             f"{unconsumed} unconsumed FLL records after "
             f"replaying {fll.end_ic} instructions"
         )
+    _REPLAYED_INSTRUCTIONS.inc(steps)
     end_pc = badpc[0] if index == count else CODE_BASE + (index << 2)
     return FastIntervalResult(
         fll=fll,

@@ -269,6 +269,7 @@ def replay_all_threads(
     programs: "dict[int, object]",
     config: BugNetConfig,
     fast: bool = False,
+    spans=None,
 ) -> MultiThreadReplay:
     """Replay every thread in *store* and derive the ordering constraints.
 
@@ -280,7 +281,14 @@ def replay_all_threads(
     same end states, same constraints, same schedule, same inferred
     races — the mode fleet validation runs at scale, equivalence-pinned
     against the reference interpreter by ``tests/test_fastreplay.py``.
+
+    *spans* (a :class:`repro.obs.SpanRecorder`) times the named stages
+    — one ``chain-replay`` span per thread, one ``mrl-merge`` span for
+    constraint decoding + the feasibility check — without changing the
+    replay itself.
     """
+    if spans is None:
+        from repro.obs import NULL_RECORDER as spans  # noqa: N811
     flls_by_tid, base_index = _index_intervals(store)
     per_thread: dict[int, list[IntervalReplay]] = {}
     traced: "dict[int, TracedThreadReplay] | None" = None
@@ -294,11 +302,12 @@ def replay_all_threads(
             memory = Memory(fault_checks=False)
             last = None
             try:
-                for fll in flls:
-                    last = fast_replay_interval(
-                        programs[tid], config, fll,
-                        memory=memory, trace=trace,
-                    )
+                with spans.span("chain-replay", detail=f"t{tid}"):
+                    for fll in flls:
+                        last = fast_replay_interval(
+                            programs[tid], config, fll,
+                            memory=memory, trace=trace,
+                        )
             except (ReproError, LookupError) as error:
                 # Name the thread: fleet validation surfaces this as the
                 # rejection reason, and "thread 1's logs are corrupt"
@@ -316,14 +325,19 @@ def replay_all_threads(
             )
     else:
         for tid, flls in flls_by_tid.items():
-            per_thread[tid] = Replayer(programs[tid], config).replay(flls)
+            with spans.span("chain-replay", detail=f"t{tid}"):
+                per_thread[tid] = Replayer(programs[tid], config).replay(flls)
 
     result = MultiThreadReplay(
         per_thread=per_thread, constraints=[], traced=traced,
     )
-    lengths = {tid: result.thread_length(tid) for tid in result.thread_ids}
-    result.constraints = _mrl_constraints(store, config, base_index, lengths)
-    _check_constraints(result)
+    with spans.span("mrl-merge"):
+        lengths = {
+            tid: result.thread_length(tid) for tid in result.thread_ids
+        }
+        result.constraints = _mrl_constraints(
+            store, config, base_index, lengths)
+        _check_constraints(result)
     return result
 
 

@@ -251,7 +251,7 @@ class TestStats:
         assert "shards" in payload["store"]
         status, body = responses["/healthz"]
         assert b"200" in status
-        assert json.loads(body) == {"ok": True}
+        assert json.loads(body) == {"ok": True, "reason": "ok"}
         status, _body = responses["/nope"]
         assert b"404" in status
 

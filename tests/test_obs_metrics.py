@@ -1,0 +1,327 @@
+"""The observability substrate: registry semantics, Prometheus text
+exposition invariants, and the multiprocess delta/merge model.
+
+These tests pin the contracts the rest of the fleet relies on:
+- histogram exposition is cumulative, ends in ``+Inf``, and its
+  ``_count`` equals the ``+Inf`` bucket (scrapers compute quantiles
+  from exactly these invariants);
+- label values round-trip through escaping;
+- ``take_delta`` + ``merge`` is associative and never double-counts,
+  which is what makes ProcessPool worker metrics exact;
+- a disabled registry records nothing (the <5 % overhead guard in
+  ``benchmarks/`` compares against this mode).
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+    SpanRecorder,
+    encode_prometheus,
+    parse_prometheus,
+)
+from repro.obs.prom import sample
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_basics(self, registry):
+        counter = registry.counter("bugnet_test_total", "events", ("kind",))
+        counter.labels("a").inc()
+        counter.labels("a").inc(2)
+        counter.labels("b").inc()
+        gauge = registry.gauge("bugnet_test_depth", "depth")
+        gauge.set(7)
+        gauge.dec(2)
+        histogram = registry.histogram(
+            "bugnet_test_seconds", "latency", buckets=(0.1, 1.0)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        assert registry.sample_value("bugnet_test_total", ("a",)) == 3
+        assert registry.sample_value("bugnet_test_total", ("b",)) == 1
+        assert registry.sample_value("bugnet_test_depth") == 5
+        assert registry.sample_value("bugnet_test_seconds") == {
+            "counts": [1, 1, 1],
+            "sum": pytest.approx(5.55),
+        }
+
+    def test_define_is_idempotent_but_shape_checked(self, registry):
+        first = registry.counter("bugnet_x_total", "x", ("kind",))
+        again = registry.counter("bugnet_x_total", "x", ("kind",))
+        assert first is again
+        with pytest.raises(MetricError):
+            registry.counter("bugnet_x_total", "x", ("other",))
+        with pytest.raises(MetricError):
+            registry.gauge("bugnet_x_total", "x", ("kind",))
+        registry.histogram("bugnet_y_seconds", "y", buckets=(1.0, 2.0))
+        with pytest.raises(MetricError):
+            registry.histogram("bugnet_y_seconds", "y", buckets=(1.0, 3.0))
+
+    def test_bad_names_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("bad-name", "x")
+        with pytest.raises(MetricError):
+            registry.counter("bugnet_ok_total", "x", ("bad-label",))
+        with pytest.raises(MetricError):
+            registry.counter("bugnet_ok_total", "x", ("__reserved",))
+
+    def test_counters_only_go_up(self, registry):
+        counter = registry.counter("bugnet_up_total", "x")
+        with pytest.raises(MetricError):
+            counter.inc(-1)
+
+    def test_label_arity_enforced(self, registry):
+        counter = registry.counter("bugnet_l_total", "x", ("a", "b"))
+        with pytest.raises(MetricError):
+            counter.labels("only-one")
+
+    def test_histogram_bucket_boundary_is_le(self, registry):
+        """An observation exactly on a bound lands in that bucket
+        (Prometheus ``le`` semantics)."""
+        histogram = registry.histogram(
+            "bugnet_le_seconds", "x", buckets=(1.0, 2.0)
+        )
+        histogram.observe(1.0)
+        assert registry.sample_value("bugnet_le_seconds")["counts"] == [
+            1, 0, 0,
+        ]
+
+    def test_explicit_inf_bucket_is_stripped(self, registry):
+        histogram = registry.histogram(
+            "bugnet_inf_seconds", "x", buckets=(1.0, float("inf"))
+        )
+        assert histogram.buckets == (1.0,)
+
+    def test_disabled_registry_records_nothing(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("bugnet_off_total", "x")
+        gauge = registry.gauge("bugnet_off_depth", "x")
+        histogram = registry.histogram("bugnet_off_seconds", "x")
+        counter.inc()
+        gauge.set(9)
+        histogram.observe(1.0)
+        assert registry.sample_value("bugnet_off_total") == 0
+        assert registry.sample_value("bugnet_off_depth") == 0
+        value = registry.sample_value("bugnet_off_seconds")
+        assert sum(value["counts"]) == 0 and value["sum"] == 0
+
+    def test_thread_safety_no_lost_updates(self, registry):
+        counter = registry.counter("bugnet_race_total", "x")
+        histogram = registry.histogram("bugnet_race_seconds", "x")
+
+        def hammer():
+            for _ in range(2_000):
+                counter.inc()
+                histogram.observe(0.01)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert registry.sample_value("bugnet_race_total") == 8_000
+        value = registry.sample_value("bugnet_race_seconds")
+        assert sum(value["counts"]) == 8_000
+
+
+class TestExposition:
+    def test_golden_counter_and_gauge(self, registry):
+        registry.counter(
+            "bugnet_events_total", "Things that happened.", ("outcome",)
+        ).labels("accepted").inc(3)
+        registry.gauge("bugnet_depth", "Queue depth.").set(2)
+        assert encode_prometheus(registry) == (
+            "# HELP bugnet_depth Queue depth.\n"
+            "# TYPE bugnet_depth gauge\n"
+            "bugnet_depth 2\n"
+            "# HELP bugnet_events_total Things that happened.\n"
+            "# TYPE bugnet_events_total counter\n"
+            'bugnet_events_total{outcome="accepted"} 3\n'
+        )
+
+    def test_histogram_is_cumulative_with_inf_sum_count(self, registry):
+        histogram = registry.histogram(
+            "bugnet_h_seconds", "H.", buckets=(0.1, 1.0)
+        )
+        for value in (0.05, 0.5, 0.7, 5.0):
+            histogram.observe(value)
+        text = encode_prometheus(registry)
+        assert text == (
+            "# HELP bugnet_h_seconds H.\n"
+            "# TYPE bugnet_h_seconds histogram\n"
+            'bugnet_h_seconds_bucket{le="0.1"} 1\n'
+            'bugnet_h_seconds_bucket{le="1"} 3\n'
+            'bugnet_h_seconds_bucket{le="+Inf"} 4\n'
+            "bugnet_h_seconds_sum 6.25\n"
+            "bugnet_h_seconds_count 4\n"
+        )
+        # The invariants a scraper relies on, stated directly: bucket
+        # counts are monotone and _count equals the +Inf bucket.
+        parsed = parse_prometheus(text)
+        buckets = parsed["bugnet_h_seconds_bucket"]
+        counts = [
+            count for _labels, count in sorted(
+                buckets.items(), key=lambda item: dict(item[0])["le"] != "+Inf"
+                and float(dict(item[0])["le"]) or float("inf"),
+            )
+        ]
+        assert counts == sorted(counts)
+        assert sample(parsed, "bugnet_h_seconds_count") == 4
+        assert sample(parsed, "bugnet_h_seconds_bucket", le="+Inf") == 4
+
+    def test_label_escaping_round_trips(self, registry):
+        awkward = 'quote " slash \\ newline \n done'
+        registry.counter(
+            "bugnet_esc_total", "E.", ("label",)
+        ).labels(awkward).inc()
+        text = encode_prometheus(registry)
+        parsed = parse_prometheus(text)
+        assert sample(parsed, "bugnet_esc_total", label=awkward) == 1
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("not a metric line at all!")
+
+    def test_default_buckets_cover_fleet_latencies(self):
+        assert DEFAULT_BUCKETS[0] <= 0.001
+        assert DEFAULT_BUCKETS[-1] >= 10.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+def _observe_workload(registry, scale):
+    counter = registry.counter("bugnet_w_total", "w", ("outcome",))
+    histogram = registry.histogram(
+        "bugnet_w_seconds", "w", buckets=(0.1, 1.0)
+    )
+    for index in range(scale):
+        counter.labels("accepted" if index % 2 else "rejected").inc()
+        histogram.observe(0.05 * (index % 40))
+
+
+class TestDeltaMerge:
+    def test_take_delta_zeroes_counters_and_histograms(self):
+        registry = MetricsRegistry()
+        _observe_workload(registry, 10)
+        registry.gauge("bugnet_w_depth", "w").set(3)
+        delta = registry.take_delta()
+        assert "bugnet_w_total" in delta
+        assert "bugnet_w_seconds" in delta
+        # Gauges are per-process state, never flow: not in deltas.
+        assert "bugnet_w_depth" not in delta
+        assert registry.sample_value("bugnet_w_total", ("accepted",)) == 0
+        assert sum(
+            registry.sample_value("bugnet_w_seconds")["counts"]
+        ) == 0
+        # The gauge survives untouched.
+        assert registry.sample_value("bugnet_w_depth") == 3
+
+    def test_merge_is_associative_and_exact(self):
+        """merge(merge(a, b), c) == merge(a, merge(b, c)) == the one
+        registry that saw everything — deltas can arrive in any order
+        and any grouping."""
+        deltas = []
+        for scale in (3, 7, 11):
+            worker = MetricsRegistry()
+            _observe_workload(worker, scale)
+            deltas.append(worker.take_delta())
+
+        def merged(order):
+            parent = MetricsRegistry()
+            for index in order:
+                parent.merge(deltas[index])
+            return parse_prometheus(encode_prometheus(parent))
+
+        def assert_same(left, right):
+            assert left.keys() == right.keys()
+            for name in left:
+                assert left[name].keys() == right[name].keys(), name
+                for key in left[name]:
+                    # _sum is a float accumulation: merge order may
+                    # shift the last ulp; everything else is integral
+                    # and must be exact.
+                    assert left[name][key] == pytest.approx(
+                        right[name][key]
+                    ), (name, key)
+                    if not name.endswith("_sum"):
+                        assert left[name][key] == right[name][key], (
+                            name, key,
+                        )
+
+        direct = MetricsRegistry()
+        for scale in (3, 7, 11):
+            _observe_workload(direct, scale)
+        reference = parse_prometheus(encode_prometheus(direct))
+        assert_same(merged((0, 1, 2)), reference)
+        assert_same(merged((2, 0, 1)), reference)
+        assert_same(merged((1, 2, 0)), reference)
+
+    def test_second_delta_carries_only_new_flow(self):
+        registry = MetricsRegistry()
+        _observe_workload(registry, 5)
+        registry.take_delta()
+        _observe_workload(registry, 2)
+        parent = MetricsRegistry()
+        parent.merge(registry.take_delta())
+        assert parent.sample_value("bugnet_w_total", ("accepted",)) == 1
+        assert parent.sample_value("bugnet_w_total", ("rejected",)) == 1
+
+    def test_merge_rejects_bucket_mismatch(self):
+        worker = MetricsRegistry()
+        worker.histogram("bugnet_m_seconds", "m", buckets=(1.0,)).observe(0.5)
+        delta = worker.take_delta()
+        delta["bugnet_m_seconds"]["samples"][()]["counts"].append(9)
+        parent = MetricsRegistry()
+        with pytest.raises(MetricError):
+            parent.merge(delta)
+
+
+class TestSpanRecorder:
+    def test_nested_spans_and_stage_rollup(self):
+        recorder = SpanRecorder()
+        with recorder.span("replay"):
+            with recorder.span("chain-replay", detail="t0"):
+                pass
+            with recorder.span("chain-replay", detail="t1"):
+                pass
+            with recorder.span("mrl-merge"):
+                pass
+        with recorder.span("signature"):
+            pass
+        assert [span.name for span in recorder.spans] == [
+            "chain-replay", "chain-replay", "mrl-merge", "replay",
+            "signature",
+        ]
+        depths = {
+            (span.name, span.detail): span.depth for span in recorder.spans
+        }
+        assert depths[("chain-replay", "t0")] == 1
+        assert depths[("replay", "")] == 0
+        stages = recorder.stage_ms()
+        # Top-level rollup only: nested spans are detail, not stages.
+        assert list(stages) == ["replay", "signature"]
+        assert recorder.wall_seconds() == pytest.approx(
+            sum(s.seconds for s in recorder.spans if s.depth == 0)
+        )
+
+    def test_render_mentions_every_stage(self):
+        recorder = SpanRecorder()
+        with recorder.span("decode"):
+            pass
+        with recorder.span("replay"):
+            with recorder.span("race-inference"):
+                pass
+        text = recorder.render()
+        for name in ("decode", "replay", "race-inference"):
+            assert name in text
+        # Nested spans are indented under their parent.
+        assert "\n  race-inference" in text

@@ -1,0 +1,299 @@
+"""Observability of the live service: /metrics exposition, /healthz
+readiness, structured admission logging, stage timings on outcomes,
+and the client/server counter cross-check `bugnet load-sim` runs.
+
+The process-global REGISTRY accumulates across tests (exactly as it
+does in a long-lived service), so every assertion here is on scrape
+*deltas*, never absolute values.
+"""
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.fleet.loadsim import (
+    crosscheck_metrics,
+    fetch_metrics,
+    run_load_sim,
+    synthesize_corpus,
+)
+from repro.fleet.service import FleetService, ServiceConfig
+from repro.fleet.validate import ResolverSpec
+from repro.obs.prom import CONTENT_TYPE, parse_prometheus, sample
+
+CORPUS_BUGS = ("tidy-34132-2", "python-2.1.1-2")
+
+#: Families the dashboards are built on; the scrape must always carry
+#: them once traffic has flowed.
+CORE_FAMILIES = (
+    "bugnet_service_received_total",
+    "bugnet_admission_total",
+    "bugnet_ack_latency_seconds_bucket",
+    "bugnet_ack_latency_seconds_sum",
+    "bugnet_ack_latency_seconds_count",
+    "bugnet_validate_stage_seconds_bucket",
+    "bugnet_validate_outcomes_total",
+    "bugnet_connection_bytes_total",
+    "bugnet_service_queue_depth",
+    "bugnet_service_queue_limit",
+    "bugnet_store_reports",
+    "bugnet_store_bytes",
+    "bugnet_store_shard_reports",
+    "bugnet_store_shard_bytes",
+    "bugnet_store_commit_batch_seconds_count",
+    "bugnet_store_commit_reports_total",
+)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    programs, items, failures = synthesize_corpus(
+        8, CORPUS_BUGS, seed=3, corrupt=1, intervals=(2_000, 5_000),
+        id_prefix="obs",
+    )
+    assert failures == 0
+    return programs, items
+
+
+async def _http_get(host, port, path):
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    headers = head.decode().split("\r\n")
+    return headers[0], headers[1:], body
+
+
+def run_service(tmp_path, coro_factory, **service_kwargs):
+    config = service_kwargs.pop("config", None) or ServiceConfig(workers=0)
+
+    async def main():
+        service = FleetService(
+            tmp_path / "store", ResolverSpec(), config, **service_kwargs,
+        )
+        host, port = await service.start()
+        try:
+            return await coro_factory(service, host, port)
+        finally:
+            await service.stop()
+
+    return asyncio.run(main())
+
+
+def _delta(before, after, name, **labels):
+    return sample(after, name, **labels) - sample(before, name, **labels)
+
+
+class TestMetricsEndpoint:
+    def test_scrape_carries_core_families_and_reconciles_stats(
+        self, corpus, tmp_path
+    ):
+        _programs, items = corpus
+
+        async def scenario(service, host, port):
+            before = await fetch_metrics(host, port)
+            report = await run_load_sim(host, port, items, concurrency=4)
+            status, headers, body = await _http_get(host, port, "/metrics")
+            after = parse_prometheus(body.decode())
+            return before, report, after, status, headers, dict(
+                service.counters.to_dict()
+            )
+
+        before, report, after, status, headers, counters = run_service(
+            tmp_path, scenario
+        )
+        assert "200" in status
+        assert any(
+            header.lower() == f"content-type: {CONTENT_TYPE}"
+            for header in headers
+        )
+        for family in CORE_FAMILIES:
+            assert family in after, f"missing family {family}"
+        # /metrics deltas must agree exactly with what this run did...
+        assert _delta(before, after, "bugnet_service_received_total") == len(
+            items
+        )
+        assert _delta(
+            before, after, "bugnet_admission_total", outcome="accepted"
+        ) == len(report.accepted)
+        assert _delta(
+            before, after, "bugnet_admission_total", outcome="rejected"
+        ) == len(report.rejected)
+        assert _delta(
+            before, after, "bugnet_ack_latency_seconds_count"
+        ) == len(items)
+        # ... and with /stats' own counters on the quiesced service
+        # (same tallies, two exporters: they may never drift).  The
+        # registry is process-global — earlier in-process services
+        # fed the same counters — so the fresh service's /stats must
+        # equal the scrape *delta*, not the absolute sample.
+        assert _delta(
+            before, after, "bugnet_service_received_total"
+        ) == counters["received"]
+        assert _delta(
+            before, after, "bugnet_admission_total", outcome="accepted"
+        ) == counters["accepted"]
+        # Store gauges describe current occupancy, not flow: they must
+        # reconcile with the store itself.
+        assert sample(after, "bugnet_store_reports") == len(
+            report.accepted
+        )
+        shard_total = sum(
+            value
+            for key, value in after["bugnet_store_shard_reports"].items()
+        )
+        assert shard_total == len(report.accepted)
+        # Every validation stage observed is one of the named ones —
+        # the bounded vocabulary (top-level stages plus the nested
+        # replay sub-stages), never a thread id or other unbounded key.
+        stage_counts = after.get("bugnet_validate_stage_seconds_count", {})
+        stages = {dict(key)["stage"] for key in stage_counts}
+        assert stages <= {
+            "decode", "resolve", "replay", "chain-replay", "mrl-merge",
+            "race-inference", "fault-probe", "signature",
+        }
+        assert {"replay", "chain-replay"} <= stages
+
+    def test_process_pool_deltas_merge_back(self, corpus, tmp_path):
+        """Worker-side validation metrics (stage histograms, outcome
+        counters) must travel back to the parent and land in the same
+        scrape — the multiprocess merge path end to end."""
+        _programs, items = corpus
+        config = ServiceConfig(workers=1, validate_chunk=4)
+
+        async def scenario(service, host, port):
+            before = await fetch_metrics(host, port)
+            report = await run_load_sim(host, port, items, concurrency=4)
+            after = await fetch_metrics(host, port)
+            return before, report, after
+
+        before, report, after = run_service(
+            tmp_path, scenario, config=config
+        )
+        assert _delta(
+            before, after, "bugnet_validate_outcomes_total",
+            outcome="accepted",
+        ) == len(report.accepted)
+        assert (
+            _delta(before, after, "bugnet_validate_stage_seconds_count",
+                   stage="replay")
+            > 0
+        )
+
+
+class TestHealthz:
+    def test_ready_draining_and_saturated(self, corpus, tmp_path):
+        async def scenario(service, host, port):
+            states = {}
+            states["ready"] = await _http_get(host, port, "/healthz")
+            # Saturated admission queue: not ready, explicit reason.
+            service._in_pipeline = service.config.queue_limit
+            states["saturated"] = await _http_get(host, port, "/healthz")
+            service._in_pipeline = 0
+            # Draining: the shutdown path flips _stopping first.
+            service._stopping = True
+            states["draining"] = await _http_get(host, port, "/healthz")
+            service._stopping = False
+            return states
+
+        states = run_service(tmp_path, scenario)
+        status, _headers, body = states["ready"]
+        assert "200" in status
+        assert json.loads(body) == {"ok": True, "reason": "ok"}
+        status, _headers, body = states["saturated"]
+        assert "503" in status
+        assert json.loads(body) == {
+            "ok": False, "reason": "admission queue saturated",
+        }
+        status, _headers, body = states["draining"]
+        assert "503" in status
+        assert json.loads(body) == {"ok": False, "reason": "draining"}
+
+
+class TestStructuredLogging:
+    def test_one_admission_event_per_settled_upload(self, corpus, tmp_path):
+        _programs, items = corpus
+        stream = io.StringIO()
+        config = ServiceConfig(workers=0, log_json=True)
+
+        async def scenario(service, host, port):
+            service._log._stream = stream
+            return await run_load_sim(host, port, items, concurrency=2)
+
+        report = run_service(tmp_path, scenario, config=config)
+        events = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        admissions = [e for e in events if e["event"] == "admission"]
+        assert len(admissions) == len(items)
+        by_label = {e["label"]: e for e in admissions}
+        for outcome in report.accepted:
+            event = by_label[outcome.label]
+            assert event["outcome"] == "accepted"
+            assert event["upload_id"]
+            assert event["ack_ms"] >= 0
+            assert len(event["signature"]) == 64
+            # Stage timings ride along: the named validate stages.
+            assert set(event["stage_ms"]) >= {"decode", "replay"}
+        for outcome in report.rejected:
+            event = by_label[outcome.label]
+            assert event["outcome"] == "rejected"
+            assert event["reason"]
+        stops = [e for e in events if e["event"] == "service-stop"]
+        assert len(stops) == 1
+        assert stops[0]["counters"]["received"] == len(items)
+
+    def test_outcomes_carry_stage_ms(self, corpus, tmp_path):
+        """stage_ms is attached to the wire response path's outcomes —
+        the hook `bugnet profile` and the JSON log share."""
+        from repro.fleet.ingest import resolver_from_programs
+        from repro.fleet.validate import validate_report
+
+        programs, items = corpus
+        resolver = resolver_from_programs(programs)
+        label, blob, _uid = next(
+            item for item in items if not item[0].startswith("corrupt-")
+        )
+        outcome = validate_report(label, blob, None, resolver)
+        assert set(outcome.stage_ms) >= {
+            "decode", "resolve", "replay", "signature",
+        }
+        assert all(value >= 0 for value in outcome.stage_ms.values())
+
+
+class TestLoadSimCrossCheck:
+    def test_crosscheck_passes_against_live_service(self, corpus, tmp_path):
+        _programs, items = corpus
+
+        async def scenario(service, host, port):
+            before = await fetch_metrics(host, port)
+            report = await run_load_sim(host, port, items, concurrency=4)
+            after = await fetch_metrics(host, port)
+            return before, report, after
+
+        before, report, after = run_service(tmp_path, scenario)
+        mismatches, note = crosscheck_metrics(before, after, report)
+        assert not note
+        assert mismatches == []
+
+    def test_crosscheck_catches_a_lost_update(self, corpus, tmp_path):
+        _programs, items = corpus
+
+        async def scenario(service, host, port):
+            before = await fetch_metrics(host, port)
+            report = await run_load_sim(host, port, items, concurrency=4)
+            after = await fetch_metrics(host, port)
+            return before, report, after
+
+        before, report, after = run_service(tmp_path, scenario)
+        key = (("outcome", "accepted"),)
+        after["bugnet_admission_total"][key] -= 1
+        mismatches, note = crosscheck_metrics(before, after, report)
+        assert not note
+        assert mismatches, "a doctored counter must be flagged"
+        assert any("accepted" in m for m in mismatches)

@@ -36,7 +36,7 @@ def _free_port() -> int:
         return sock.getsockname()[1]
 
 
-def _spawn_serve(store: Path, port: int) -> subprocess.Popen:
+def _spawn_serve(store: Path, port: int, *extra: str) -> subprocess.Popen:
     env = dict(os.environ)
     env["PYTHONPATH"] = (
         str(REPO_ROOT / "src")
@@ -45,13 +45,16 @@ def _spawn_serve(store: Path, port: int) -> subprocess.Popen:
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", "serve",
          "--store", str(store), "--host", "127.0.0.1",
-         "--port", str(port), "--workers", "0"],
+         "--port", str(port), "--workers", "0", *extra],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env,
     )
-    line = proc.stdout.readline()
-    assert "listening on" in line, (line, proc.poll())
-    return proc
+    # With --log-json a service-start event precedes the banner.
+    for _ in range(5):
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            return proc
+    raise AssertionError((line, proc.poll()))
 
 
 async def _wait_for_accepts(store: Path, minimum: int,
@@ -166,3 +169,63 @@ def test_restart_no_loss_no_duplication(tmp_path):
     }
     assert accepted_ids <= set(stored_ids), "accepted-then-lost reports"
     assert len(reopened) == len(valid)
+
+
+def test_sigterm_drains_and_exits_zero(tmp_path):
+    """SIGTERM is the *graceful* counterpart to the SIGKILL test above:
+    the service must stop accepting, finish every in-flight upload,
+    commit, and exit 0 — with a structured drain event on stdout."""
+    import json
+
+    _programs, items, failures = synthesize_corpus(
+        10, ("tidy-34132-2", "tidy-34132-3"), seed=23, corrupt=0,
+        intervals=(2_000, 5_000), id_prefix="drain",
+    )
+    assert failures == 0
+    store = tmp_path / "fleet"
+    port = _free_port()
+    proc = _spawn_serve(store, port, "--log-json")
+
+    async def scenario():
+        uploads = asyncio.create_task(run_load_sim(
+            "127.0.0.1", port, items, concurrency=4,
+            max_attempts=8, backoff_base=0.02,
+        ))
+        # Let some commits land, then ask for a graceful shutdown
+        # while uploads are still in flight.
+        await _wait_for_accepts(store, minimum=3, timeout=60)
+        os.kill(proc.pid, signal.SIGTERM)
+        return await uploads
+
+    try:
+        report = asyncio.run(scenario())
+    finally:
+        if proc.poll() is None:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=20)
+
+    # Graceful exit: status 0, never a crash or a kill.
+    assert proc.returncode == 0, proc.returncode
+    output = proc.stdout.read()
+    assert "draining and shutting down" in output
+    drain_events = [
+        json.loads(line) for line in output.splitlines()
+        if line.startswith("{") and '"event":"drain"' in line.replace(" ", "")
+    ]
+    assert drain_events, output
+    assert drain_events[0]["seconds"] >= 0
+    # The durability contract survives the drain: every upload the
+    # client saw accepted is in the store exactly once.  (Uploads cut
+    # off by the shutdown may legitimately fail client-side.)
+    reopened = ReportStore(store)
+    stored_ids = [entry.upload_id for entry in reopened.entries()]
+    assert len(stored_ids) == len(set(stored_ids)), "duplicated commits"
+    accepted_ids = {
+        uid for (label, _blob, uid) in items
+        if label in {o.label for o in report.accepted}
+    }
+    assert len(report.accepted) >= 3
+    assert accepted_ids <= set(stored_ids), "accepted-then-lost reports"
