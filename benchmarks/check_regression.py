@@ -93,6 +93,22 @@ def measure_fleet_service() -> float:
     return best
 
 
+def measure_fleet_cluster() -> float:
+    from benchmarks.test_cluster_throughput import (
+        CLUSTER_UPLOADS,
+        _cluster_traffic,
+        _run_cluster_load,
+    )
+
+    _cluster_traffic()
+    best = 0.0
+    for _ in range(ROUNDS):
+        report = _run_cluster_load()
+        assert len(report.accepted) == CLUSTER_UPLOADS
+        best = max(best, report.reports_per_sec)
+    return best
+
+
 def measure_forensics() -> float:
     """DDG build rate (instructions/s).  Unlike slices/s, this is a
     per-instruction rate and therefore stable under
@@ -116,6 +132,8 @@ METRICS = {
         ("fleet_mt_validate", "reports_per_sec"), measure_mt_validation),
     "fleet_service_reports_per_sec": (("fleet_service", "reports_per_sec"),
                                       measure_fleet_service),
+    "fleet_cluster_reports_per_sec": (("fleet_cluster", "reports_per_sec"),
+                                      measure_fleet_cluster),
     "forensics_ddg_build_ips": (("forensics_slice", "ddg_build_ips"),
                                 measure_forensics),
 }

@@ -36,6 +36,13 @@ from benchmarks.test_mt_validation import (  # noqa: E402
     _mt_traffic,
     _validate_all,
 )
+from benchmarks.test_cluster_throughput import (  # noqa: E402
+    CLUSTER_NODES,
+    CLUSTER_REPLICATION,
+    CLUSTER_UPLOADS,
+    _cluster_traffic,
+    _run_cluster_load,
+)
 from benchmarks.test_obs_overhead import (  # noqa: E402
     measure_obs_overhead,
 )
@@ -92,6 +99,15 @@ def main() -> None:
                 or candidate.reports_per_sec
                 > service_report.reports_per_sec):
             service_report = candidate
+    _cluster_traffic()  # synthesize cluster traffic outside timing
+    cluster_report = None
+    for _ in range(ROUNDS):
+        candidate = _run_cluster_load()
+        assert len(candidate.accepted) == CLUSTER_UPLOADS
+        if (cluster_report is None
+                or candidate.reports_per_sec
+                > cluster_report.reports_per_sec):
+            cluster_report = candidate
     obs_ratio, obs_enabled, obs_disabled = measure_obs_overhead()
     _forensics_setup()  # record the forensics window outside timing
     ddg_time, ddg = _best(_build_ddg)
@@ -165,6 +181,25 @@ def main() -> None:
             "pr3_batch_reports_per_sec": PR3_FLEET_INGEST_RPS,
             "speedup_vs_pr3_batch": round(
                 service_report.reports_per_sec / PR3_FLEET_INGEST_RPS, 2),
+        },
+        # Multi-node cluster (benchmarks/test_cluster_throughput.py):
+        # ring-routed load-sim against N in-process ClusterNodeServices
+        # — upload -> owner validation -> commit -> synchronous
+        # replication to the ring successor -> ack, over real sockets.
+        # replication_cost_vs_service compares against fleet_service
+        # (same validation, no replication round-trip).
+        "fleet_cluster": {
+            "uploads": CLUSTER_UPLOADS,
+            "nodes": CLUSTER_NODES,
+            "replication": CLUSTER_REPLICATION,
+            "reports_per_sec": round(cluster_report.reports_per_sec, 1),
+            "latency_p50_ms": round(
+                cluster_report.latency_percentile(0.50) * 1e3, 2),
+            "latency_p99_ms": round(
+                cluster_report.latency_percentile(0.99) * 1e3, 2),
+            "replication_cost_vs_service": round(
+                service_report.reports_per_sec
+                / cluster_report.reports_per_sec, 2),
         },
         # Observability overhead (benchmarks/test_obs_overhead.py):
         # fleet ingest with the metrics registry live vs disabled

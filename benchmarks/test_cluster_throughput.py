@@ -1,0 +1,113 @@
+"""Throughput benchmark for the multi-node fleet cluster.
+
+Ring-routed ``load-sim`` against three in-process
+``ClusterNodeService`` members over real sockets: every upload is
+routed to its route-digest owner, validated there, committed, then
+synchronously replicated to its ring successor before the ack — so
+the headline reports/s includes the full replication round-trip the
+single-service ``fleet_service`` number does not pay.  Lands in
+``BENCH_throughput.json`` as ``fleet_cluster`` (regenerate with
+``PYTHONPATH=src python benchmarks/record_baseline.py``).
+"""
+
+import asyncio
+import shutil
+import tempfile
+from pathlib import Path
+
+from benchmarks.scaling import scaled
+
+from repro.fleet.cluster.harness import free_ports
+from repro.fleet.cluster.node import ClusterNodeService
+from repro.fleet.cluster.router import run_cluster_load_sim
+from repro.fleet.cluster.topology import ClusterSpec, NodeSpec
+from repro.fleet.loadsim import synthesize_corpus
+from repro.fleet.service import ServiceConfig
+from repro.fleet.validate import ResolverSpec
+
+CLUSTER_UPLOADS = scaled(96, minimum=24)
+CLUSTER_NODES = 3
+CLUSTER_REPLICATION = 2
+_FLEET_BUGS = ("bc-1.06", "tar-1.13.25", "gnuplot-3.7.1-1", "tidy-34132-3")
+_INTERVALS = (2_000, 5_000, 25_000)
+_WARMUP = 4
+
+_cache = None
+
+
+def _cluster_traffic():
+    """A deterministic corpus of CLUSTER_UPLOADS + warmup uploads."""
+    global _cache
+    if _cache is None:
+        _programs, items, failures = synthesize_corpus(
+            CLUSTER_UPLOADS + _WARMUP, _FLEET_BUGS, seed=2,
+            intervals=_INTERVALS, id_prefix="cbench",
+        )
+        assert failures == 0
+        _cache = items
+    return _cache
+
+
+def _run_cluster_load(concurrency: int = 8):
+    """One full cluster round: start N nodes, drive ring-routed load,
+    return the LoadSimReport for the measured (post-warmup) uploads."""
+    items = _cluster_traffic()
+    root = Path(tempfile.mkdtemp(prefix="bugnet-bench-cluster-"))
+    ports = free_ports(CLUSTER_NODES)
+    spec = ClusterSpec(
+        nodes=tuple(
+            NodeSpec(node_id=f"n{index}", host="127.0.0.1",
+                     port=ports[index])
+            for index in range(CLUSTER_NODES)
+        ),
+        replication=CLUSTER_REPLICATION,
+    )
+
+    async def main():
+        services = []
+        try:
+            for member in spec.nodes:
+                service = ClusterNodeService(
+                    root / f"store-{member.node_id}", ResolverSpec(),
+                    spec, member.node_id,
+                    config=ServiceConfig(host=member.host,
+                                         port=member.port, workers=0,
+                                         queue_limit=64),
+                    anti_entropy_interval=60.0,
+                )
+                await service.start()
+                services.append(service)
+            await run_cluster_load_sim(spec, items[:_WARMUP],
+                                       concurrency=2)
+            return await run_cluster_load_sim(
+                spec, items[_WARMUP:], concurrency=concurrency,
+            )
+        finally:
+            for service in services:
+                await service.stop()
+
+    try:
+        return asyncio.run(main())
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_cluster_throughput(benchmark, emit):
+    report = benchmark.pedantic(_run_cluster_load, rounds=3, iterations=1)
+    assert len(report.accepted) == CLUSTER_UPLOADS
+    assert not report.rejected
+    assert not report.failed
+    stats = report.to_dict()
+    benchmark.extra_info.update(stats)
+    emit(
+        "fleet cluster: %d uploads over %d nodes (replication %d), "
+        "%.1f reports/s steady-state, ack p50 %.2fms p99 %.2fms" % (
+            stats["uploads"], CLUSTER_NODES, CLUSTER_REPLICATION,
+            stats["reports_per_sec"],
+            stats["latency_p50_ms"], stats["latency_p99_ms"],
+        )
+    )
+    # Generous sanity floor — replication costs an extra round-trip
+    # per upload, but the rate must stay the same order of magnitude
+    # as the single service.
+    assert report.reports_per_sec > 10

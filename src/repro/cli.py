@@ -273,10 +273,16 @@ def _expand_report_paths(specs) -> "tuple[list, list[str], list[str]]":
 
 
 def _cmd_ingest(args) -> int:
-    sources = [(path, _load_program(path)) for path in args.source]
-    if not sources:
-        print("error: at least one --source binary is required", file=sys.stderr)
+    if args.cluster is None and args.store is None:
+        print("error: --store is required (or --cluster to upload to a "
+              "live cluster)", file=sys.stderr)
         return 2
+    if args.cluster is None:
+        sources = [(path, _load_program(path)) for path in args.source]
+        if not sources:
+            print("error: at least one --source binary is required",
+                  file=sys.stderr)
+            return 2
     paths, notes, errors = _expand_report_paths(args.reports)
     for note in notes:
         print(f"note: {note}", file=sys.stderr)
@@ -293,6 +299,8 @@ def _cmd_ingest(args) -> int:
         else:
             print("0 reports to ingest")
         return 0
+    if args.cluster is not None:
+        return _ingest_into_cluster(args, paths)
     store = ReportStore(args.store, num_shards=args.shards,
                         byte_budget=args.budget)
     pipeline = IngestPipeline(
@@ -304,6 +312,46 @@ def _cmd_ingest(args) -> int:
     elapsed = time.perf_counter() - start
     _print_ingest_results(results, store, elapsed, args.json)
     return 1 if pipeline.rejected else 0
+
+
+def _ingest_into_cluster(args, paths) -> int:
+    """``bugnet ingest --cluster``: upload report files ring-routed to
+    a live serve cluster (the server side validates and resolves
+    programs; no local store is touched)."""
+    import asyncio
+
+    from repro.fleet.cluster.router import run_cluster_load_sim
+    from repro.fleet.cluster.topology import ClusterSpec
+
+    spec = ClusterSpec.load(args.cluster)
+    # Empty upload_id: the receiving node synthesizes a blob-hash id,
+    # so re-running the same drop-off directory stays idempotent.
+    items = [(str(path), path.read_bytes(), "") for path in paths]
+    report = asyncio.run(run_cluster_load_sim(
+        spec, items, concurrency=max(args.workers, 1),
+    ))
+    if args.json:
+        print(json.dumps({
+            "ingested": len(items),
+            "accepted": len(report.accepted),
+            "duplicates": sum(1 for o in report.outcomes if o.duplicate),
+            "rejected": [
+                {"label": o.label, "reason": o.reason}
+                for o in report.rejected + report.failed
+            ],
+            "signatures": sorted({
+                o.signature for o in report.accepted if o.signature
+            }),
+        }, indent=2))
+    else:
+        print(f"cluster ingest: {len(report.accepted)} accepted, "
+              f"{len(report.rejected)} rejected, "
+              f"{len(report.failed)} failed "
+              f"across {len(spec.nodes)} node(s)")
+        for outcome in report.rejected + report.failed:
+            print(f"  - {outcome.label}: {outcome.status} "
+                  f"({outcome.reason})")
+    return 1 if (report.rejected or report.failed) else 0
 
 
 def _store_resolver(binaries):
@@ -457,6 +505,8 @@ def _cmd_fleet_sim(args) -> int:
     names = _parse_bug_names(args.bugs)
     if names is None:
         return 2
+    if args.nodes is not None:
+        return _fleet_sim_cluster(args, names)
     programs, corpus, failures = synthesize_corpus(
         args.runs, names, seed=args.seed, corrupt=args.corrupt,
     )
@@ -499,6 +549,55 @@ def _cmd_fleet_sim(args) -> int:
     return 0
 
 
+def _fleet_sim_cluster(args, names) -> int:
+    """``bugnet fleet-sim --nodes N``: the whole-cluster scenario —
+    real serve subprocesses, ring-routed load, a mid-run kill -9, and
+    the zero-loss/convergence/reconciliation contract checks."""
+    from repro.fleet.cluster.harness import run_cluster_sim
+
+    store_dir = args.store or tempfile.mkdtemp(prefix="bugnet-cluster-")
+    try:
+        summary = run_cluster_sim(
+            store_dir,
+            runs=args.runs,
+            nodes=args.nodes,
+            replication=args.replication,
+            bug_names=names,
+            seed=args.seed,
+            corrupt=args.corrupt,
+            kill=not args.no_kill,
+            concurrency=args.concurrency,
+            workers=args.workers if args.workers else 0,
+            retain=args.retain,
+        )
+    except AssertionError as error:
+        print(f"error: cluster contract violated: {error}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        summary["store"] = store_dir
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"fleet-sim: {args.nodes}-node cluster "
+          f"(replication {args.replication}), {args.runs} run(s)")
+    killed = summary["killed_node"]
+    if killed is not None:
+        print(f"  killed {killed} with SIGKILL mid-load; "
+              f"it rejoined and converged")
+    print(f"  accepted {summary['accepted']} "
+          f"(duplicates {summary['duplicates']}), "
+          f"rejected {summary['rejected']}, failed {summary['failed']}, "
+          f"lost {summary['lost']}")
+    print(f"  every accepted report on >= {summary['min_copies']} "
+          f"node(s); per node: "
+          + ", ".join(f"{node}={count}" for node, count
+                      in summary["per_node_reports"].items()))
+    print(f"  /metrics vs /stats: "
+          f"{'reconciled' if summary['reconciled'] else 'MISMATCH'}")
+    print(f"  cluster root: {store_dir}")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     """Run the live ingestion endpoint until SIGINT/SIGTERM."""
     import asyncio
@@ -511,32 +610,64 @@ def _cmd_serve(args) -> int:
     )
     from repro.fleet.validate import ResolverSpec
 
+    if (args.cluster is None) != (args.node_id is None):
+        print("error: --cluster and --node-id go together",
+              file=sys.stderr)
+        return 2
     spec = ResolverSpec.from_paths(
         args.source, include_bug_suite=not args.no_bug_suite,
     )
     workers = default_workers() if args.workers is None else args.workers
-    service = FleetService(
-        args.store, spec,
-        ServiceConfig(
-            host=args.host, port=args.port,
-            queue_limit=args.queue_limit,
-            workers=workers,
-            validate_chunk=args.validate_chunk,
-            commit_batch=args.commit_batch,
-            probe=not args.no_probe,
-            log_json=args.log_json,
-        ),
-        num_shards=args.shards,
-        byte_budget=args.budget,
-        fsync=args.fsync,
+    config = ServiceConfig(
+        host=args.host, port=args.port,
+        queue_limit=args.queue_limit,
+        workers=workers,
+        validate_chunk=args.validate_chunk,
+        commit_batch=args.commit_batch,
+        probe=not args.no_probe,
+        log_json=args.log_json,
     )
+    cluster_banner = ""
+    if args.cluster is not None:
+        from repro.fleet.cluster.node import ClusterNodeService
+        from repro.fleet.cluster.topology import ClusterSpec
+
+        cluster_spec = ClusterSpec.load(args.cluster)
+        try:
+            member = cluster_spec.node(args.node_id)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        # The spec is the cluster's single source of addressing truth:
+        # this member listens where every peer expects to find it.
+        config.host, config.port = member.host, member.port
+        service = ClusterNodeService(
+            args.store, spec, cluster_spec, args.node_id, config,
+            num_shards=args.shards,
+            byte_budget=args.budget,
+            fsync=args.fsync,
+            retention_window=args.retain,
+        )
+        cluster_banner = (
+            f", cluster member {args.node_id} of "
+            f"{len(cluster_spec.nodes)} (replication "
+            f"{cluster_spec.replication})"
+        )
+    else:
+        service = FleetService(
+            args.store, spec, config,
+            num_shards=args.shards,
+            byte_budget=args.budget,
+            fsync=args.fsync,
+            retention_window=args.retain,
+        )
 
     async def _run() -> None:
         host, port = await service.start()
         print(f"bugnet serve: listening on {host}:{port} "
               f"(store {args.store}, {workers} validation "
               f"worker{'s' if workers != 1 else ''}, "
-              f"queue {args.queue_limit})", flush=True)
+              f"queue {args.queue_limit}{cluster_banner})", flush=True)
         stop_event = asyncio.Event()
         loop = asyncio.get_running_loop()
         try:
@@ -582,34 +713,68 @@ def _cmd_load_sim(args) -> int:
         id_prefix=args.id_prefix,
     )
     check_metrics = not args.no_metrics_check
+    cluster_spec = None
+    if args.cluster is not None:
+        from repro.fleet.cluster.topology import ClusterSpec
+
+        cluster_spec = ClusterSpec.load(args.cluster)
+
+    async def _scrape():
+        """Parsed /metrics — one node's, or the cluster-wide sum."""
+        if cluster_spec is None:
+            return await fetch_metrics(args.host, args.port)
+        from repro.fleet.cluster.admin import (
+            aggregate_metrics,
+            cluster_metrics,
+        )
+
+        return aggregate_metrics(await cluster_metrics(cluster_spec))
 
     async def _run():
         before = None
         if check_metrics:
             try:
-                before = await fetch_metrics(args.host, args.port)
+                before = await _scrape()
             except (ConnectionError, OSError):
                 before = None
-        report = await run_load_sim(
-            args.host, args.port, items,
-            concurrency=args.concurrency,
-            max_attempts=args.max_attempts,
-            seed=args.seed,
-        )
+        if cluster_spec is not None:
+            from repro.fleet.cluster.router import run_cluster_load_sim
+
+            report = await run_cluster_load_sim(
+                cluster_spec, items,
+                concurrency=args.concurrency,
+                max_attempts=args.max_attempts,
+                seed=args.seed,
+            )
+        else:
+            report = await run_load_sim(
+                args.host, args.port, items,
+                concurrency=args.concurrency,
+                max_attempts=args.max_attempts,
+                seed=args.seed,
+            )
         stats = after = None
-        client = ServiceClient(args.host, args.port)
-        try:
-            stats = await client.stats()
-        except (ConnectionError, OSError, FrameError):
-            # Best-effort epilogue: the service may have gone away (or
-            # cut the reply short) after the uploads finished; the
-            # load report itself still stands.
-            pass
-        finally:
-            await client.close()
+        if cluster_spec is not None:
+            from repro.fleet.cluster.admin import (
+                aggregate_stats,
+                cluster_stats,
+            )
+
+            stats = aggregate_stats(await cluster_stats(cluster_spec))
+        else:
+            client = ServiceClient(args.host, args.port)
+            try:
+                stats = await client.stats()
+            except (ConnectionError, OSError, FrameError):
+                # Best-effort epilogue: the service may have gone away
+                # (or cut the reply short) after the uploads finished;
+                # the load report itself still stands.
+                pass
+            finally:
+                await client.close()
         if before is not None:
             try:
-                after = await fetch_metrics(args.host, args.port)
+                after = await _scrape()
             except (ConnectionError, OSError):
                 after = None
         return report, stats, before, after
@@ -654,14 +819,159 @@ def _cmd_load_sim(args) -> int:
                 print(f"    {mismatch}", file=sys.stderr)
         if stats:
             store = stats["store"]
-            print(f"  service: queue depth {stats['queue_depth']}, "
-                  f"store {store['reports']} report(s) across "
-                  f"{store['num_shards']} shard(s)")
+            if cluster_spec is not None:
+                reach = stats.get("reachable", [])
+                print(f"  cluster: {len(reach)}/{len(cluster_spec.nodes)} "
+                      f"node(s) reachable, {store['reports']} stored "
+                      f"report(s) fleet-wide (replica copies included)")
+            else:
+                print(f"  service: queue depth {stats['queue_depth']}, "
+                      f"store {store['reports']} report(s) across "
+                      f"{store['num_shards']} shard(s)")
     if mismatches:
         print("error: client tallies disagree with server /metrics "
               "counters", file=sys.stderr)
         return 1
     return 1 if report.failed else 0
+
+
+def _cmd_route(args) -> int:
+    """Run the thin forwarding proxy until SIGINT/SIGTERM."""
+    import asyncio
+    import signal
+
+    from repro.fleet.cluster.router import RouterService
+    from repro.fleet.cluster.topology import ClusterSpec
+
+    spec = ClusterSpec.load(args.cluster)
+    service = RouterService(spec, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        host, port = await service.start()
+        print(f"bugnet route: listening on {host}:{port} "
+              f"(forwarding into {len(spec.nodes)} node(s), "
+              f"replication {spec.replication})", flush=True)
+        stop_event = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        try:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, stop_event.set)
+        except NotImplementedError:
+            pass
+        await stop_event.wait()
+        print("bugnet route: shutting down", flush=True)
+        await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("bugnet route: interrupted", file=sys.stderr)
+        return 130
+    return 0
+
+
+def _metrics_to_jsonable(samples: dict) -> dict:
+    """Parsed-Prometheus samples with tuple label keys flattened for
+    JSON output."""
+    return {
+        name: [
+            {"labels": dict(labels), "value": value}
+            for labels, value in sorted(series.items())
+        ]
+        for name, series in sorted(samples.items())
+    }
+
+
+def _cmd_cluster(args) -> int:
+    """Cluster-wide stats/metrics/triage over a running cluster."""
+    import asyncio
+
+    from repro.fleet.cluster import admin
+    from repro.fleet.cluster.topology import ClusterSpec
+
+    spec = ClusterSpec.load(args.spec)
+    if args.action == "stats":
+        per_node = asyncio.run(admin.cluster_stats(spec))
+        aggregate = admin.aggregate_stats(per_node)
+        if args.json:
+            print(json.dumps({"aggregate": aggregate,
+                              "per_node": per_node}, indent=2))
+            return 0
+        counters = aggregate["counters"]
+        print(f"cluster: {len(aggregate['reachable'])}/"
+              f"{aggregate['nodes']} node(s) reachable"
+              + (f" (down: {', '.join(aggregate['unreachable'])})"
+                 if aggregate["unreachable"] else ""))
+        print(f"  uploads: {counters['received']} received, "
+              f"{counters['accepted']} accepted, "
+              f"{counters['rejected']} rejected, "
+              f"{counters['duplicates']} duplicate(s)")
+        cluster_counters = aggregate["cluster"]
+        print(f"  cluster: {cluster_counters['forwarded']} forwarded, "
+              f"{cluster_counters['replicated_out']} replicated, "
+              f"{cluster_counters['handoff_reports']} handed off")
+        store = aggregate["store"]
+        print(f"  store: {store['reports']} resident report(s) "
+              f"fleet-wide ({store['evicted_reports']} evicted)")
+        return 0
+    if args.action == "metrics":
+        per_node = asyncio.run(admin.cluster_metrics(spec))
+        aggregate = admin.aggregate_metrics(per_node)
+        status = 0
+        check_note = None
+        mismatches: "list[str]" = []
+        if args.check:
+            stats = admin.aggregate_stats(
+                asyncio.run(admin.cluster_stats(spec))
+            )
+            mismatches = admin.reconcile(aggregate, stats)
+            check_note = "ok" if not mismatches else "mismatch"
+            status = 1 if mismatches else 0
+        if args.json:
+            payload = {"metrics": _metrics_to_jsonable(aggregate)}
+            if check_note is not None:
+                payload["check"] = check_note
+                payload["mismatches"] = mismatches
+            print(json.dumps(payload, indent=2))
+            return status
+        for name, series in sorted(aggregate.items()):
+            for labels, value in sorted(series.items()):
+                rendered = ",".join(
+                    f'{key}="{val}"' for key, val in labels
+                )
+                suffix = f"{{{rendered}}}" if rendered else ""
+                print(f"{name}{suffix} {value:g}")
+        if check_note is not None:
+            print(f"# reconciliation vs summed /stats: {check_note}")
+            for mismatch in mismatches:
+                print(f"#   {mismatch}", file=sys.stderr)
+        return status
+    # triage
+    buckets = asyncio.run(admin.cluster_buckets(spec))
+    shown = buckets if args.limit is None else buckets[:args.limit]
+    if args.json:
+        print(json.dumps({"buckets": shown,
+                          "total_buckets": len(buckets)}, indent=2))
+        return 0
+    if not buckets:
+        print("cluster stores are empty: 0 reports to triage")
+        return 0
+    print("Cluster triage (distinct uploads, replicas deduplicated)")
+    for rank, bucket in enumerate(shown, start=1):
+        racy = " [racy]" if bucket.get("racy") else ""
+        count = str(bucket["count"])
+        if bucket.get("rolled_up"):
+            count = (f"{bucket['total_count']} "
+                     f"({bucket['rolled_up']} evicted)")
+        rep = bucket.get("representative")
+        where = (f"shard-{rep['shard']:02d}/{rep['filename']}"
+                 if rep else "(all blobs evicted)")
+        print(f"  {rank:>2}. {bucket['signature'][:12]} "
+              f"{bucket['program']} {bucket['fault_kind']}{racy} "
+              f"count={count} {where}")
+    if args.limit is not None and len(buckets) > args.limit:
+        print(f"  ... and {len(buckets) - args.limit} more bucket(s)")
+    return 0
 
 
 def _cmd_profile(args) -> int:
@@ -883,11 +1193,19 @@ def build_parser() -> argparse.ArgumentParser:
         "ingest", help="validate crash reports into a fleet store")
     ingest.add_argument("reports", nargs="+",
                         help="crash report file(s) to ingest")
-    ingest.add_argument("--store", required=True,
-                        help="fleet store directory (created if missing)")
+    ingest.add_argument("--store", default=None,
+                        help="fleet store directory (created if missing); "
+                             "required unless --cluster")
+    ingest.add_argument("--cluster", default=None,
+                        help="cluster spec JSON: upload the reports to a "
+                             "live cluster (ring-routed) instead of a "
+                             "local store")
     ingest.add_argument("--source", action="append", default=[],
                         help="program binary the reports name (repeatable)")
-    ingest.add_argument("--shards", type=int, default=8)
+    ingest.add_argument("--shards", type=int, default=None,
+                        help="consistent-hash shards for a NEW store "
+                             "(default 8); an existing store's ring shape "
+                             "is inherited and immutable")
     ingest.add_argument("--budget", type=int, default=None,
                         help="store byte budget (oldest reports evicted)")
     ingest.add_argument("--workers", type=int, default=1,
@@ -950,9 +1268,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="corrupted blobs to inject (must be rejected)")
     fleet.add_argument("--store", default=None,
                        help="fleet store directory (default: fresh temp dir)")
-    fleet.add_argument("--shards", type=int, default=8)
+    fleet.add_argument("--shards", type=int, default=None,
+                       help="consistent-hash shards for a NEW store "
+                            "(default 8); an existing store's ring shape "
+                            "is inherited and immutable")
     fleet.add_argument("--budget", type=int, default=None)
     fleet.add_argument("--workers", type=int, default=1)
+    fleet.add_argument("--nodes", type=int, default=None,
+                       help="run the corpus against a real N-node "
+                            "subprocess cluster (ring routing, "
+                            "replication, kill -9 mid-load) instead of "
+                            "the in-process batch pipeline")
+    fleet.add_argument("--replication", type=int, default=2,
+                       help="cluster mode: replica copies per report")
+    fleet.add_argument("--no-kill", action="store_true",
+                       help="cluster mode: skip the mid-load kill -9")
+    fleet.add_argument("--concurrency", type=int, default=4,
+                       help="cluster mode: concurrent uploader connections")
+    fleet.add_argument("--retain", type=int, default=None,
+                       help="cluster mode: per-node retention window "
+                            "(logical observed_at units)")
     fleet.add_argument("--json", action="store_true")
     fleet.set_defaults(func=_cmd_fleet_sim)
 
@@ -980,9 +1315,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max uploads per validation handoff")
     serve.add_argument("--commit-batch", type=int, default=16,
                        help="max accepted reports per store commit")
-    serve.add_argument("--shards", type=int, default=8)
+    serve.add_argument("--shards", type=int, default=None,
+                       help="consistent-hash shards for a NEW store "
+                            "(default 8); an existing store's ring shape "
+                            "is inherited and immutable")
     serve.add_argument("--budget", type=int, default=None,
                        help="store byte budget (oldest reports evicted)")
+    serve.add_argument("--retain", type=int, default=None,
+                       help="retention window in logical observed_at "
+                            "units; older blobs are compacted away, "
+                            "their counts surviving in rollups")
+    serve.add_argument("--cluster", default=None,
+                       help="cluster spec JSON: serve as a cluster member "
+                            "(ring ownership, replication, gossip, "
+                            "anti-entropy) — requires --node-id; the "
+                            "member's host/port come from the spec")
+    serve.add_argument("--node-id", default=None,
+                       help="this node's id in the --cluster spec")
     serve.add_argument("--fsync", action="store_true",
                        help="fsync commits (survive OS crash, not just "
                             "process death)")
@@ -1000,6 +1349,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadsim.add_argument("--host", default="127.0.0.1")
     loadsim.add_argument("--port", type=int, default=7077)
+    loadsim.add_argument("--cluster", default=None,
+                         help="cluster spec JSON: ring-route uploads "
+                              "across the members (with node-death "
+                              "failover) instead of one host:port")
     loadsim.add_argument("--runs", type=int, default=50,
                          help="crashing runs to synthesize and upload")
     loadsim.add_argument("--bugs", default=None,
@@ -1022,6 +1375,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "client tallies against server counters")
     loadsim.add_argument("--json", action="store_true")
     loadsim.set_defaults(func=_cmd_load_sim)
+
+    route = sub.add_parser(
+        "route",
+        help="run a thin forwarding proxy into a serve cluster "
+             "(for clients that cannot load the cluster spec)",
+    )
+    route.add_argument("--cluster", required=True,
+                       help="cluster spec JSON")
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=7070,
+                       help="TCP port the proxy listens on (0: pick one)")
+    route.set_defaults(func=_cmd_route)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="cluster-wide views over a running serve cluster",
+    )
+    cluster.add_argument("action", choices=("stats", "metrics", "triage"),
+                         help="stats: aggregated /stats; metrics: "
+                              "aggregated /metrics; triage: buckets "
+                              "merged by signature across nodes")
+    cluster.add_argument("--cluster", required=True, dest="spec",
+                         help="cluster spec JSON")
+    cluster.add_argument("--check", action="store_true",
+                         help="metrics: reconcile aggregated /metrics "
+                              "against summed per-node /stats (exit 1 "
+                              "on mismatch)")
+    cluster.add_argument("--limit", type=int, default=None,
+                         help="triage: show only the top N buckets")
+    cluster.add_argument("--json", action="store_true")
+    cluster.set_defaults(func=_cmd_cluster)
 
     profile = sub.add_parser(
         "profile",

@@ -1,0 +1,228 @@
+"""Cluster-wide observability: aggregated /stats, /metrics, and triage.
+
+Every node keeps serving its own :mod:`repro.obs` endpoints; this
+module gives operators the *fleet* view on top — fan out to the
+members, sum what is summable, and (the part that keeps everyone
+honest) **reconcile** the two substrates against each other: summed
+Prometheus admission counters must equal summed /stats counters, and
+the store gauges must match the store sections.  The CI cluster smoke
+job runs that reconciliation after a kill -9, where double-counting or
+loss would show up first.
+
+Cluster triage merges per-node buckets by **signature digest** — the
+replay-derived identity — while the ring placed the underlying blobs
+by *route* digest.  Replication means one report legitimately lives on
+R nodes, so occurrence counts come from distinct ``upload_id`` sets,
+never from summing per-node counts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.fleet.cluster.topology import ClusterSpec, NodeSpec
+from repro.fleet.loadsim import ServiceClient, fetch_metrics
+from repro.fleet.wire import FrameError
+
+#: /stats counter fields that sum across nodes.
+_SUMMED_COUNTERS = ("received", "accepted", "rejected", "retried",
+                    "duplicates", "commit_batches", "protocol_errors")
+#: Cluster-layer counters (ClusterNodeService.cluster_counters).
+_SUMMED_CLUSTER = ("forwarded", "replicated_out", "replicated_in",
+                   "gossip_rounds", "handoff_reports")
+
+
+async def fetch_node_stats(member: NodeSpec) -> "dict | None":
+    """One node's /stats, or None when it is unreachable."""
+    client = ServiceClient(member.host, member.port)
+    try:
+        return await client.stats()
+    except (ConnectionError, OSError, FrameError, asyncio.TimeoutError):
+        return None
+    finally:
+        await client.close()
+
+
+async def cluster_stats(spec: ClusterSpec) -> "dict[str, dict | None]":
+    """/stats from every member, keyed by node id (None = unreachable)."""
+    results = await asyncio.gather(*(
+        fetch_node_stats(member) for member in spec.nodes
+    ))
+    return {
+        member.node_id: stats
+        for member, stats in zip(spec.nodes, results)
+    }
+
+
+def aggregate_stats(per_node: "dict[str, dict | None]") -> dict:
+    """Sum the summable /stats fields across reachable nodes."""
+    counters = {name: 0 for name in _SUMMED_COUNTERS}
+    cluster = {name: 0 for name in _SUMMED_CLUSTER}
+    store = {"reports": 0, "bytes": 0, "evicted_reports": 0}
+    queue_depth = 0
+    reachable = []
+    for node_id, stats in sorted(per_node.items()):
+        if stats is None:
+            continue
+        reachable.append(node_id)
+        queue_depth += stats.get("queue_depth", 0)
+        for name in _SUMMED_COUNTERS:
+            counters[name] += stats.get("counters", {}).get(name, 0)
+        for name in _SUMMED_CLUSTER:
+            cluster[name] += (stats.get("cluster", {})
+                              .get("counters", {}).get(name, 0))
+        for name in store:
+            store[name] += stats.get("store", {}).get(name, 0)
+    return {
+        "nodes": len(per_node),
+        "reachable": reachable,
+        "unreachable": sorted(
+            node_id for node_id, stats in per_node.items() if stats is None
+        ),
+        "queue_depth": queue_depth,
+        "counters": counters,
+        "cluster": cluster,
+        "store": store,
+    }
+
+
+async def cluster_metrics(spec: ClusterSpec) -> "dict[str, dict | None]":
+    """Parsed /metrics scrape from every member (None = unreachable)."""
+
+    async def scrape(member: NodeSpec):
+        try:
+            return await fetch_metrics(member.host, member.port)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return None
+
+    results = await asyncio.gather(*(
+        scrape(member) for member in spec.nodes
+    ))
+    return {
+        member.node_id: samples
+        for member, samples in zip(spec.nodes, results)
+    }
+
+
+def aggregate_metrics(per_node: "dict[str, dict | None]") -> dict:
+    """Pointwise sum of parsed Prometheus samples across nodes.
+
+    Counters and occupancy gauges sum meaningfully fleet-wide; the
+    result keeps the :func:`repro.obs.prom.parse_prometheus` shape so
+    :func:`repro.obs.prom.sample` reads it unchanged.
+    """
+    merged: "dict[str, dict]" = {}
+    for samples in per_node.values():
+        if samples is None:
+            continue
+        for name, series in samples.items():
+            slot = merged.setdefault(name, {})
+            for labels, value in series.items():
+                slot[labels] = slot.get(labels, 0.0) + value
+    return merged
+
+
+def reconcile(metrics: dict, stats: dict) -> "list[str]":
+    """Cross-check aggregated /metrics against aggregated /stats.
+
+    Both views are fed by the same ``_tally`` call sites on every node,
+    so on a quiesced cluster the sums must agree exactly; a mismatch
+    means an increment path bypassed one substrate.  Returns
+    human-readable mismatch descriptions (empty = reconciled).
+    """
+    from repro.obs.prom import sample
+
+    pairs = [
+        ("received",
+         sample(metrics, "bugnet_service_received_total")),
+        ("accepted",
+         sample(metrics, "bugnet_admission_total", outcome="accepted")),
+        ("rejected",
+         sample(metrics, "bugnet_admission_total", outcome="rejected")),
+        ("retried",
+         sample(metrics, "bugnet_admission_total", outcome="retry")),
+        ("duplicates",
+         sample(metrics, "bugnet_admission_total", outcome="duplicate")),
+    ]
+    mismatches = []
+    for name, metric_total in pairs:
+        stat_total = stats["counters"].get(name, 0)
+        if metric_total != stat_total:
+            mismatches.append(
+                f"{name}: /metrics sums to {metric_total:g}, "
+                f"/stats sums to {stat_total}"
+            )
+    store_reports = sample(metrics, "bugnet_store_reports")
+    if store_reports != stats["store"]["reports"]:
+        mismatches.append(
+            f"store reports: /metrics gauge sums to {store_reports:g}, "
+            f"/stats sums to {stats['store']['reports']}"
+        )
+    return mismatches
+
+
+async def cluster_buckets(spec: ClusterSpec) -> "list[dict]":
+    """Cluster-wide triage: per-node buckets merged by signature digest.
+
+    Counts are **distinct upload ids**, not per-node sums — replication
+    stores each accepted report on R nodes, and double-counting copies
+    would rank buckets by replication factor instead of by occurrences.
+    Rolled-up (evicted) counts take the per-node maximum for the same
+    reason: replicas roll up the same evictions independently.
+    """
+
+    async def fetch(member: NodeSpec):
+        client = ServiceClient(member.host, member.port)
+        try:
+            response = await client.request({"op": "buckets"})
+        except (ConnectionError, OSError, FrameError):
+            return None
+        finally:
+            await client.close()
+        if response.get("status") != "ok":
+            return None
+        return response.get("buckets", [])
+
+    per_node = await asyncio.gather(*(
+        fetch(member) for member in spec.nodes
+    ))
+    merged: "dict[str, dict]" = {}
+    uploads: "dict[str, set]" = {}
+    for node_buckets in per_node:
+        if node_buckets is None:
+            continue
+        for bucket in node_buckets:
+            digest = bucket["signature"]
+            seen = uploads.setdefault(digest, set())
+            seen.update(bucket.get("upload_ids", ()))
+            slot = merged.get(digest)
+            if slot is None:
+                merged[digest] = dict(bucket)
+                continue
+            slot["first_seen"] = min(slot["first_seen"],
+                                     bucket["first_seen"])
+            slot["last_seen"] = max(slot["last_seen"], bucket["last_seen"])
+            slot["rolled_up"] = max(slot.get("rolled_up", 0),
+                                    bucket.get("rolled_up", 0))
+            slot["racy"] = slot["racy"] or bucket["racy"]
+            slot["race_pcs"] = sorted(
+                set(slot.get("race_pcs", ())) | set(bucket.get("race_pcs", ()))
+            )
+            # The widest-window representative across replicas.
+            mine, theirs = slot.get("representative"), \
+                bucket.get("representative")
+            if mine is None or (
+                theirs is not None
+                and theirs["replay_window"] > mine["replay_window"]
+            ):
+                slot["representative"] = theirs
+    buckets = []
+    for digest, slot in merged.items():
+        slot["count"] = len(uploads[digest])
+        slot["total_count"] = slot["count"] + slot.get("rolled_up", 0)
+        slot["upload_ids"] = sorted(uploads[digest])
+        buckets.append(slot)
+    buckets.sort(key=lambda slot: (
+        -slot["total_count"], -slot["last_seen"], slot["signature"],
+    ))
+    return buckets

@@ -1,0 +1,350 @@
+"""Subprocess cluster harness: ``bugnet fleet-sim --nodes N``.
+
+Spawns N real ``bugnet serve --cluster`` processes (one store each,
+real sockets, real flocks — the same processes an operator would run),
+drives ring-routed load at them, and optionally kill -9s a node
+mid-load to assert the cluster contract:
+
+* **zero accepted-report loss** — every upload the client saw accepted
+  is on disk on at least one node after the dust settles (acks wait
+  for the replica set, so a single SIGKILL cannot revoke one);
+* **convergence** — once the killed node rejoins, anti-entropy restores
+  every report to its full replica set;
+* **observability coherence** — aggregated cluster /metrics reconcile
+  with summed per-node /stats.
+
+This is the whole-node generalization of the single-service kill
+harness in ``tests/test_service_restart.py``, and the engine of the CI
+cluster smoke job.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.fleet.cluster.admin import (
+    aggregate_metrics,
+    aggregate_stats,
+    cluster_metrics,
+    cluster_stats,
+    reconcile,
+)
+from repro.fleet.cluster.router import run_cluster_load_sim
+from repro.fleet.cluster.topology import ClusterSpec, NodeSpec
+from repro.fleet.loadsim import DEFAULT_BUGS, ServiceClient, synthesize_corpus
+from repro.fleet.store import ReportStore
+from repro.fleet.wire import FrameError
+
+_REPO_SRC = Path(__file__).resolve().parents[3]
+
+
+def free_ports(count: int) -> "list[int]":
+    """Distinct free TCP ports, all held open until allocation ends so
+    they cannot collide with each other."""
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket()
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+class ClusterHarness:
+    """N ``bugnet serve`` subprocesses sharing one cluster spec."""
+
+    def __init__(self, root, spec: ClusterSpec,
+                 workers: int = 0,
+                 retain: "int | None" = None) -> None:
+        self.root = Path(root)
+        self.spec = spec
+        self.workers = workers
+        self.retain = retain
+        self.spec_path = self.root / "cluster.json"
+        self.procs: "dict[str, subprocess.Popen]" = {}
+
+    @classmethod
+    def create(cls, root, nodes: int = 3, replication: int = 2,
+               workers: int = 0,
+               retain: "int | None" = None) -> "ClusterHarness":
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        ports = free_ports(nodes)
+        spec = ClusterSpec(
+            nodes=tuple(
+                NodeSpec(node_id=f"n{index}", host="127.0.0.1",
+                         port=ports[index])
+                for index in range(nodes)
+            ),
+            replication=replication,
+        )
+        harness = cls(root, spec, workers=workers, retain=retain)
+        spec.dump(harness.spec_path)
+        return harness
+
+    def store_root(self, node_id: str) -> Path:
+        return self.root / f"node-{node_id}"
+
+    def start(self, node_id: str) -> None:
+        """Spawn one member and wait for its listening banner."""
+        member = self.spec.node(node_id)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(_REPO_SRC)
+            + (os.pathsep + env["PYTHONPATH"]
+               if env.get("PYTHONPATH") else "")
+        )
+        command = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--store", str(self.store_root(node_id)),
+            "--cluster", str(self.spec_path),
+            "--node-id", node_id,
+            "--workers", str(self.workers),
+        ]
+        if self.retain is not None:
+            command += ["--retain", str(self.retain)]
+        # Each node gets its own process group: validation-pool workers
+        # are forked children holding the node's listening socket, so a
+        # "whole-node" kill must take the group or the orphans keep the
+        # port bound and the node can never rejoin.
+        proc = subprocess.Popen(
+            command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, start_new_session=True,
+        )
+        lines = []
+        for _ in range(64):
+            line = proc.stdout.readline()
+            if "listening on" in line:
+                self.procs[node_id] = proc
+                return
+            if not line:
+                break
+            lines.append(line)
+        self._signal_group(proc, signal.SIGKILL)
+        proc.kill()
+        lines.append(proc.stdout.read())
+        proc.wait(timeout=10)
+        raise AssertionError(
+            f"node {node_id} failed to start "
+            f"(exit {proc.poll()}):\n{''.join(lines)}"
+        )
+
+    def start_all(self) -> None:
+        for member in self.spec.nodes:
+            self.start(member.node_id)
+
+    @staticmethod
+    def _signal_group(proc: "subprocess.Popen", sig: int) -> None:
+        """Signal a node's whole process group (tolerating races with
+        its own exit)."""
+        try:
+            os.killpg(os.getpgid(proc.pid), sig)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+    def kill(self, node_id: str,
+             sig: int = signal.SIGKILL) -> None:
+        proc = self.procs.pop(node_id)
+        self._signal_group(proc, sig)
+        proc.wait(timeout=30)
+
+    def stop_all(self, timeout: float = 30.0) -> None:
+        for node_id, proc in list(self.procs.items()):
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for node_id, proc in list(self.procs.items()):
+            try:
+                proc.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self._signal_group(proc, signal.SIGKILL)
+                proc.wait(timeout=timeout)
+            # Reap any pool workers the node left behind.
+            self._signal_group(proc, signal.SIGKILL)
+            self.procs.pop(node_id, None)
+
+    async def node_upload_ids(self, node_id: str) -> "set[str] | None":
+        """One live node's committed upload ids (via sync-digests —
+        never opens the store directory of a running process)."""
+        member = self.spec.node(node_id)
+        client = ServiceClient(member.host, member.port)
+        try:
+            response = await client.request({"op": "sync-digests"})
+        except (ConnectionError, OSError, FrameError):
+            return None
+        finally:
+            await client.close()
+        if response.get("status") != "ok":
+            return None
+        return {
+            entry["upload_id"] for entry in response.get("entries", ())
+        }
+
+    async def wait_converged(
+        self, upload_ids: "set[str]", copies: int,
+        timeout: float = 60.0,
+    ) -> "dict[str, int]":
+        """Poll until every id in *upload_ids* is on >= *copies* live
+        nodes; returns the final id -> copy-count map."""
+        deadline = time.monotonic() + timeout
+        placement: "dict[str, int]" = {}
+        while time.monotonic() < deadline:
+            per_node = await asyncio.gather(*(
+                self.node_upload_ids(member.node_id)
+                for member in self.spec.nodes
+            ))
+            placement = {
+                upload_id: sum(
+                    1 for held in per_node
+                    if held is not None and upload_id in held
+                )
+                for upload_id in upload_ids
+            }
+            if all(count >= copies for count in placement.values()):
+                return placement
+            await asyncio.sleep(0.25)
+        lagging = {
+            upload_id: count for upload_id, count in placement.items()
+            if count < copies
+        }
+        raise AssertionError(
+            f"cluster failed to converge to {copies} copies within "
+            f"{timeout}s; lagging: {lagging}"
+        )
+
+    def postmortem_upload_ids(self) -> "dict[str, set[str]]":
+        """Per-node committed upload ids read straight from disk.
+        Only call after :meth:`stop_all` — opening a live node's store
+        would contend on its flocks and run repair passes under it."""
+        held = {}
+        for member in self.spec.nodes:
+            root = self.store_root(member.node_id)
+            if not root.exists():
+                held[member.node_id] = set()
+                continue
+            store = ReportStore(root)
+            held[member.node_id] = {
+                entry.upload_id for entry in store.entries()
+                if entry.upload_id
+            }
+        return held
+
+
+def run_cluster_sim(
+    root,
+    runs: int = 24,
+    nodes: int = 3,
+    replication: int = 2,
+    bug_names=DEFAULT_BUGS,
+    seed: int = 0,
+    corrupt: int = 2,
+    kill: bool = True,
+    concurrency: int = 4,
+    workers: int = 0,
+    retain: "int | None" = None,
+    intervals: "tuple[int, ...]" = (2_000, 5_000),
+) -> dict:
+    """The ``bugnet fleet-sim --nodes N`` scenario, start to finish.
+
+    Synthesizes fleet traffic, runs it ring-routed against a real
+    N-node subprocess cluster, kill -9s one node mid-load (unless
+    *kill* is false), restarts it, waits for convergence, and verifies
+    zero accepted-report loss plus /metrics-vs-/stats reconciliation.
+    Raises ``AssertionError`` on any contract violation; returns the
+    result summary (the ``--json`` payload).
+    """
+    _programs, items, failures = synthesize_corpus(
+        runs, bug_names, seed=seed, corrupt=corrupt,
+        intervals=intervals, id_prefix="cluster",
+    )
+    harness = ClusterHarness.create(
+        root, nodes=nodes, replication=replication,
+        workers=workers, retain=retain,
+    )
+    try:
+        harness.start_all()
+    except BaseException:
+        harness.stop_all()
+        raise
+    victim = harness.spec.nodes[0].node_id
+    killed = False
+
+    async def scenario():
+        nonlocal killed
+        uploads = asyncio.create_task(run_cluster_load_sim(
+            harness.spec, items, concurrency=concurrency,
+            max_attempts=240, backoff_base=0.02, seed=seed,
+        ))
+        if kill:
+            # Let some accepts land anywhere, then take a whole node.
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                held = await harness.node_upload_ids(victim)
+                total = len(held or ())
+                for member in harness.spec.nodes[1:]:
+                    other = await harness.node_upload_ids(member.node_id)
+                    total += len(other or ())
+                if total >= max(replication * 2, 4):
+                    break
+                await asyncio.sleep(0.05)
+            harness.kill(victim, signal.SIGKILL)
+            killed = True
+            # Survivors absorb the dead range; restart the node so it
+            # must catch up via anti-entropy (blocking spawn runs in a
+            # thread: it reads the child's stdout banner).
+            await asyncio.sleep(0.5)
+            await asyncio.get_running_loop().run_in_executor(
+                None, harness.start, victim,
+            )
+        report = await uploads
+        accepted_ids = {
+            uid for (label, _blob, uid) in items
+            if label in {o.label for o in report.accepted}
+        }
+        placement = await harness.wait_converged(
+            accepted_ids, copies=min(replication, nodes), timeout=90,
+        )
+        per_node = await cluster_stats(harness.spec)
+        stats = aggregate_stats(per_node)
+        metrics = aggregate_metrics(await cluster_metrics(harness.spec))
+        return report, accepted_ids, placement, stats, metrics
+
+    try:
+        report, accepted_ids, placement, stats, metrics = asyncio.run(
+            scenario()
+        )
+    finally:
+        harness.stop_all()
+
+    mismatches = reconcile(metrics, stats)
+    # The authoritative zero-loss check, from disk after shutdown.
+    held = harness.postmortem_upload_ids()
+    everywhere = set().union(*held.values()) if held else set()
+    lost = accepted_ids - everywhere
+    assert not lost, f"accepted-then-lost reports: {sorted(lost)}"
+    assert not mismatches, f"metrics/stats mismatch: {mismatches}"
+    if kill:
+        assert killed
+    summary = report.to_dict()
+    summary.update({
+        "nodes": nodes,
+        "replication": replication,
+        "killed_node": victim if kill else None,
+        "accepted_ids": len(accepted_ids),
+        "min_copies": min(placement.values()) if placement else 0,
+        "per_node_reports": {
+            node_id: len(ids) for node_id, ids in sorted(held.items())
+        },
+        "reconciled": not mismatches,
+        "lost": 0,
+    })
+    return summary

@@ -1,0 +1,509 @@
+"""One member of a ``bugnet serve`` cluster: :class:`ClusterNodeService`.
+
+A cluster node is a :class:`~repro.fleet.service.FleetService` plus
+four responsibilities, each riding the existing wire protocol as new
+ops (all protocol v1 — an old standalone client can still upload to a
+cluster node directly):
+
+* **Forwarding** (``fwd``-flagged uploads): a misdirected upload —
+  one whose route digest this node does not own — is proxied to a live
+  owner and the owner's ack relayed back, never rejected.  The client
+  does not need to know the topology to be served correctly; ring
+  routing on the client (:mod:`~repro.fleet.cluster.router`) is an
+  optimization, not a requirement.
+* **Synchronous replication** (``replicate``): the coordinator commits
+  locally, then pushes the validated blob + metadata to every *live*
+  node of the report's preference list before releasing the ack — so a
+  kill -9 of any single node after an ack cannot lose the report.
+  Replicas commit without re-validating (the coordinator already
+  replayed the report; replication is a durability copy, idempotent
+  via ``upload_id``).
+* **Gossip** (``gossip``): heartbeat-counter exchange driving the
+  liveness view (:class:`~repro.fleet.cluster.topology.GossipState`).
+  Routing, replication and anti-entropy all consult it.
+* **Anti-entropy / handoff** (``sync-digests`` + ``fetch-report``): a
+  periodic pull loop asks peers for their entry summaries and fetches
+  whatever this node should hold but does not — how a rejoining node
+  catches up on everything it missed while dead, and how a surviving
+  node absorbs a dead peer's range.  Retention compaction
+  (:meth:`~repro.fleet.store.ReportStore.compact`) folds into the same
+  loop.
+
+Every committed entry carries a non-empty ``upload_id``: the client's
+token when given, else ``blob-<sha256(body)[:24]>`` synthesized by the
+first node that touches the upload.  That single identity is what
+makes replication, retries *through different nodes*, and anti-entropy
+all collapse into "commit if absent" — no vector clocks needed for an
+immutable-blob store.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import hashlib
+
+from repro.fleet.cluster.topology import ClusterSpec, GossipState, NodeRing
+from repro.fleet.loadsim import ServiceClient
+from repro.fleet.service import FleetService, ServiceConfig
+from repro.fleet.triage import build_buckets
+from repro.fleet.validate import ResolverSpec, route_key_of_blob
+from repro.obs import REGISTRY
+
+_FORWARDED = REGISTRY.counter(
+    "bugnet_cluster_forwarded_total",
+    "Misdirected uploads proxied to their owner node.",
+)
+_REPLICATED = REGISTRY.counter(
+    "bugnet_cluster_replicated_total",
+    "Replication copies, by direction (out = pushed to peers, "
+    "in = committed from a peer's push).",
+    ("direction",),
+)
+_GOSSIP_ROUNDS = REGISTRY.counter(
+    "bugnet_cluster_gossip_rounds_total",
+    "Completed gossip fan-outs.",
+)
+_HANDOFF = REGISTRY.counter(
+    "bugnet_cluster_handoff_reports_total",
+    "Reports pulled by anti-entropy (rejoin catch-up and dead-node "
+    "range handoff).",
+)
+
+
+class ClusterNodeService(FleetService):
+    """A FleetService that owns a range of the node ring."""
+
+    def __init__(
+        self,
+        store_root,
+        resolver_spec: ResolverSpec,
+        spec: ClusterSpec,
+        node_id: str,
+        config: "ServiceConfig | None" = None,
+        gossip_interval: float = 0.3,
+        anti_entropy_interval: float = 1.0,
+        fail_after: float = 2.0,
+        **store_kwargs,
+    ) -> None:
+        spec.node(node_id)  # raises on an id not in the spec
+        # Cluster nodes listen where the spec says, unless the caller
+        # overrides (tests bind port 0 and patch the spec afterwards).
+        if config is None:
+            member = spec.node(node_id)
+            config = ServiceConfig(host=member.host, port=member.port)
+        super().__init__(store_root, resolver_spec, config, **store_kwargs)
+        self.spec = spec
+        self.node_id = node_id
+        self.ring = NodeRing(spec.node_ids)
+        self.gossip = GossipState(
+            self_id=node_id, node_ids=spec.node_ids, fail_after=fail_after,
+        )
+        self.gossip_interval = gossip_interval
+        self.anti_entropy_interval = anti_entropy_interval
+        self._peer_clients: "dict[str, ServiceClient]" = {}
+        self._peer_locks: "dict[str, asyncio.Lock]" = {}
+        self._cluster_tasks: "list[asyncio.Task]" = []
+        self.cluster_counters = {
+            "forwarded": 0,
+            "replicated_out": 0,
+            "replicated_in": 0,
+            "gossip_rounds": 0,
+            "handoff_reports": 0,
+        }
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> "tuple[str, int]":
+        host, port = await super().start()
+        loop = asyncio.get_running_loop()
+        for lap in (self._gossip_loop, self._anti_entropy_loop):
+            task = loop.create_task(lap())
+            self._cluster_tasks.append(task)
+        return host, port
+
+    async def stop(self, drain: bool = True) -> None:
+        for task in self._cluster_tasks:
+            task.cancel()
+        if self._cluster_tasks:
+            await asyncio.gather(*self._cluster_tasks,
+                                 return_exceptions=True)
+        self._cluster_tasks.clear()
+        await super().stop(drain=drain)
+        for client in self._peer_clients.values():
+            await client.close()
+        self._peer_clients.clear()
+
+    # -- peer plumbing ------------------------------------------------------
+
+    def _bump(self, name: str, metric=None, amount: int = 1) -> None:
+        self.cluster_counters[name] += amount
+        if metric is not None:
+            metric.inc(amount)
+
+    async def _peer_call(
+        self, peer_id: str, header: dict, body: bytes = b"",
+        want_body: bool = False,
+    ):
+        """One request to a peer over its persistent connection.
+
+        Returns the response header (or ``(header, body)`` with
+        *want_body*); ``None`` on any transport failure, which also
+        marks the peer dead — routing and replication immediately stop
+        counting on it, long before the heartbeat window expires.
+        """
+        member = self.spec.node(peer_id)
+        client = self._peer_clients.get(peer_id)
+        if client is None:
+            client = ServiceClient(member.host, member.port,
+                                   max_frame=self.config.max_frame)
+            self._peer_clients[peer_id] = client
+        lock = self._peer_locks.setdefault(peer_id, asyncio.Lock())
+        async with lock:
+            try:
+                response, response_body = await client.request_full(
+                    header, body
+                )
+            except Exception:
+                # ConnectionError, OSError, IncompleteReadError,
+                # FrameError: any failure means the connection is
+                # unusable.  (CancelledError is BaseException and
+                # propagates.)
+                await client.close()
+                self.gossip.mark_dead(peer_id)
+                return None
+        # A successful round-trip is direct proof of life.
+        self.gossip.touch(peer_id)
+        return (response, response_body) if want_body else response
+
+    def _preference_list(self, route_key: str,
+                         alive: "set[str] | None" = None) -> "list[str]":
+        return self.ring.preference_list(
+            route_key, self.spec.replication, alive=alive,
+        )
+
+    def _should_hold(self, route_key: str) -> bool:
+        """Whether this node belongs in a report's replica set — either
+        statically (a provisioned owner) or because dead owners pushed
+        the preference walk onto it (range handoff)."""
+        if not route_key:
+            return True  # no routing identity: wherever it landed
+        if self.node_id in self._preference_list(route_key):
+            return True
+        alive = self.gossip.alive()
+        return self.node_id in self._preference_list(route_key, alive=alive)
+
+    # -- upload path: forwarding + replication ------------------------------
+
+    async def _handle_upload(self, header: dict, body: bytes) -> dict:
+        if not str(header.get("upload_id", "")) and body:
+            # Synthesize the idempotency token from the blob before
+            # anything else: the same bytes retried through a
+            # *different* node must still dedup, and replication/
+            # anti-entropy key on this id.
+            header = {
+                **header,
+                "upload_id":
+                    "blob-" + hashlib.sha256(body).hexdigest()[:24],
+            }
+        upload_id = str(header.get("upload_id", ""))
+        already_local = (
+            upload_id and self.store.entry_for_upload(upload_id) is not None
+        )
+        if body and not header.get("fwd") and not already_local:
+            # Decode off the event loop: the route key costs a blob
+            # decompression, and this path runs for every upload.
+            loop = asyncio.get_running_loop()
+            route_key = await loop.run_in_executor(
+                None, route_key_of_blob, body
+            )
+            if route_key is not None and not self._should_hold(route_key):
+                targets = self._preference_list(
+                    route_key, alive=self.gossip.alive()
+                )
+                forwarded = {**header, "fwd": self.node_id}
+                for peer_id in targets:
+                    if peer_id == self.node_id:
+                        continue
+                    response = await self._peer_call(
+                        peer_id, forwarded, body
+                    )
+                    if response is not None:
+                        self._bump("forwarded", _FORWARDED)
+                        response.setdefault("via", self.node_id)
+                        return response
+                # Every owner unreachable: coordinate locally rather
+                # than bounce the client — anti-entropy moves the
+                # report to its owners once they return.
+        return await super()._handle_upload(header, body)
+
+    async def _post_commit(self, batch, entries) -> "list[dict]":
+        """Synchronous replication: after the local durable commit,
+        push each report to the live members of its preference list;
+        the ack waits for every live replica's confirmation."""
+        extras = []
+        alive = self.gossip.alive()
+        for (admitted, validated), entry in zip(batch, entries):
+            replicas = [self.node_id]
+            targets = self._preference_list(entry.route_key, alive=alive) \
+                if entry.route_key else []
+            pushes = [
+                self._replicate_to(peer_id, entry, validated.blob)
+                for peer_id in targets if peer_id != self.node_id
+            ]
+            for peer_id, ok in zip(
+                [p for p in targets if p != self.node_id],
+                await asyncio.gather(*pushes) if pushes else [],
+            ):
+                if ok:
+                    replicas.append(peer_id)
+            extras.append({"node": self.node_id, "replicas": replicas})
+        return extras
+
+    async def _replicate_to(self, peer_id: str, entry, blob: bytes) -> bool:
+        response = await self._peer_call(peer_id, {
+            "op": "replicate",
+            "digest": entry.digest,
+            "upload_id": entry.upload_id,
+            "observed_at": entry.observed_at,
+            "replay_window": entry.replay_window,
+            "fault_kind": entry.fault_kind,
+            "program_name": entry.program_name,
+            "race_pcs": list(entry.race_pcs),
+            "route_key": entry.route_key,
+        }, blob)
+        ok = response is not None and response.get("status") == "ok"
+        if ok:
+            self._bump("replicated_out", _REPLICATED.labels("out"))
+        return ok
+
+    # -- cluster ops --------------------------------------------------------
+
+    async def _handle_message(self, header: dict, body: bytes) -> dict:
+        op = header.get("op")
+        if op == "gossip":
+            return self._handle_gossip(header)
+        if op == "replicate":
+            return await self._handle_replicate(header, body)
+        if op == "sync-digests":
+            return self._handle_sync_digests()
+        if op == "fetch-report":
+            return await self._handle_fetch_report(header)
+        if op == "buckets":
+            return self._handle_buckets()
+        if op == "cluster-info":
+            return {"status": "ok", "cluster": self._cluster_view()}
+        return await super()._handle_message(header, body)
+
+    def _handle_gossip(self, header: dict) -> dict:
+        peer_id = header.get("from")
+        counters = header.get("counters")
+        if isinstance(counters, dict):
+            self.gossip.observe({
+                str(node): int(count)
+                for node, count in counters.items()
+                if isinstance(count, int)
+            })
+        if isinstance(peer_id, str):
+            self.gossip.touch(peer_id)
+        return {"status": "ok", "from": self.node_id,
+                "counters": self.gossip.snapshot()}
+
+    async def _handle_replicate(self, header: dict, body: bytes) -> dict:
+        upload_id = str(header.get("upload_id", ""))
+        digest = str(header.get("digest", ""))
+        if not body or not upload_id or not digest:
+            self._tally("protocol_errors")
+            return {"status": "error",
+                    "reason": "replicate needs digest, upload_id and body"}
+        existing = self.store.entry_for_upload(upload_id)
+        if existing is not None:
+            return {"status": "ok", "duplicate": True, "seq": existing.seq}
+        loop = asyncio.get_running_loop()
+        entry = await loop.run_in_executor(None, functools.partial(
+            self.store.add,
+            digest,
+            body,
+            replay_window=int(header.get("replay_window", 0)),
+            fault_kind=str(header.get("fault_kind", "")),
+            program_name=str(header.get("program_name", "")),
+            observed_at=header.get("observed_at"),
+            upload_id=upload_id,
+            race_pcs=tuple(header.get("race_pcs", ()) or ()),
+            route_key=str(header.get("route_key", "")),
+        ))
+        self._bump("replicated_in", _REPLICATED.labels("in"))
+        return {"status": "ok", "duplicate": False, "seq": entry.seq}
+
+    def _handle_sync_digests(self) -> dict:
+        return {
+            "status": "ok",
+            "from": self.node_id,
+            "entries": [
+                {
+                    "upload_id": entry.upload_id,
+                    "digest": entry.digest,
+                    "route_key": entry.route_key,
+                    "observed_at": entry.observed_at,
+                }
+                for entry in self.store.entries()
+                if entry.upload_id
+            ],
+        }
+
+    async def _handle_fetch_report(self, header: dict) -> dict:
+        upload_id = str(header.get("upload_id", ""))
+        entry = self.store.entry_for_upload(upload_id)
+        if entry is None:
+            return {"status": "error", "reason": "no such upload_id"}
+        loop = asyncio.get_running_loop()
+        try:
+            blob = await loop.run_in_executor(
+                None, self.store.path_of(entry).read_bytes
+            )
+        except OSError as error:
+            return {"status": "error", "reason": f"blob unreadable: {error}"}
+        # Body rides back beside the metadata, the same framing uploads
+        # use in the other direction.
+        return {
+            "status": "ok",
+            "digest": entry.digest,
+            "upload_id": entry.upload_id,
+            "observed_at": entry.observed_at,
+            "replay_window": entry.replay_window,
+            "fault_kind": entry.fault_kind,
+            "program_name": entry.program_name,
+            "race_pcs": list(entry.race_pcs),
+            "route_key": entry.route_key,
+            "_body": blob,
+        }
+
+    def _handle_buckets(self) -> dict:
+        """Per-node triage buckets for cluster-wide merge: signature
+        digest plus the distinct upload ids behind each count, so the
+        cluster view can dedup replica copies."""
+        upload_ids: "dict[str, list[str]]" = {}
+        for entry in self.store.entries():
+            if entry.upload_id:
+                upload_ids.setdefault(entry.digest, []).append(
+                    entry.upload_id
+                )
+        buckets = []
+        for bucket in build_buckets(self.store):
+            payload = bucket.to_dict()
+            payload["upload_ids"] = sorted(upload_ids.get(bucket.digest, ()))
+            buckets.append(payload)
+        return {"status": "ok", "node": self.node_id, "buckets": buckets}
+
+    # -- background loops ---------------------------------------------------
+
+    async def _gossip_loop(self) -> None:
+        while True:
+            try:
+                await asyncio.sleep(self.gossip_interval)
+                self.gossip.beat()
+                frame = {
+                    "op": "gossip",
+                    "from": self.node_id,
+                    "counters": self.gossip.snapshot(),
+                }
+                responses = await asyncio.gather(*(
+                    self._peer_call(member.node_id, frame)
+                    for member in self.spec.peers_of(self.node_id)
+                ))
+                for response in responses:
+                    if response and isinstance(
+                        response.get("counters"), dict
+                    ):
+                        self._handle_gossip(response)
+                self._bump("gossip_rounds", _GOSSIP_ROUNDS)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # A gossip round must never kill the loop; the next
+                # tick retries everything.
+                continue
+
+    async def _anti_entropy_loop(self) -> None:
+        while True:
+            try:
+                await asyncio.sleep(self.anti_entropy_interval)
+                await self.anti_entropy_round()
+                if self.store.retention_window is not None:
+                    loop = asyncio.get_running_loop()
+                    await loop.run_in_executor(None, self.store.compact)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                continue
+
+    async def anti_entropy_round(self) -> int:
+        """Pull every report this node should hold but does not from
+        live peers; returns the number fetched.  Public so tests and
+        the harness can force convergence instead of sleeping."""
+        alive = self.gossip.alive()
+        fetched = 0
+        for member in self.spec.peers_of(self.node_id):
+            if member.node_id not in alive:
+                continue
+            summary = await self._peer_call(
+                member.node_id, {"op": "sync-digests"}
+            )
+            if not summary or summary.get("status") != "ok":
+                continue
+            for item in summary.get("entries", ()):
+                upload_id = str(item.get("upload_id", ""))
+                route_key = str(item.get("route_key", ""))
+                if not upload_id or not route_key:
+                    continue
+                if not self._should_hold(route_key):
+                    continue
+                if self.store.entry_for_upload(upload_id) is not None:
+                    continue
+                if await self._fetch_from(member.node_id, upload_id):
+                    fetched += 1
+        return fetched
+
+    async def _fetch_from(self, peer_id: str, upload_id: str) -> bool:
+        result = await self._peer_call(
+            peer_id, {"op": "fetch-report", "upload_id": upload_id},
+            want_body=True,
+        )
+        if result is None:
+            return False
+        response, blob = result
+        if response.get("status") != "ok" or not blob:
+            return False
+        if self.store.entry_for_upload(upload_id) is not None:
+            return True  # raced another pull; already durable
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(None, functools.partial(
+            self.store.add,
+            str(response.get("digest", "")),
+            blob,
+            replay_window=int(response.get("replay_window", 0)),
+            fault_kind=str(response.get("fault_kind", "")),
+            program_name=str(response.get("program_name", "")),
+            observed_at=response.get("observed_at"),
+            upload_id=upload_id,
+            race_pcs=tuple(response.get("race_pcs", ()) or ()),
+            route_key=str(response.get("route_key", "")),
+        ))
+        self._bump("handoff_reports", _HANDOFF)
+        return True
+
+    # -- stats --------------------------------------------------------------
+
+    def _cluster_view(self) -> dict:
+        return {
+            "node": self.node_id,
+            "replication": self.spec.replication,
+            "members": list(self.spec.node_ids),
+            "alive": sorted(self.gossip.alive()),
+            "counters": dict(self.cluster_counters),
+        }
+
+    def stats(self) -> dict:
+        payload = super().stats()
+        payload["cluster"] = self._cluster_view()
+        return payload

@@ -1,0 +1,343 @@
+"""Client-side ring routing and the ``bugnet route`` forwarding proxy.
+
+A cluster-aware client does not need a load balancer: it loads the
+same cluster spec the nodes do, computes each blob's route digest
+locally (:func:`~repro.fleet.validate.route_key_of_blob` — a decode,
+no replay), and uploads straight to an owner.  :class:`RingRouter`
+holds that logic plus a shared liveness memo: a connection failure
+marks the node dead for every worker, success clears it, and dead
+nodes are only tried as a last resort (where the server-side
+forwarding in :class:`~repro.fleet.cluster.node.ClusterNodeService`
+still serves the upload if the client's view was stale).
+
+:class:`RouterService` wraps the same router in a thin wire-protocol
+proxy for clients that *cannot* load a spec (legacy tooling, firewall
+rules): point them at one ``bugnet route`` port and every upload lands
+on its owner anyway.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+
+from repro.fleet.cluster.admin import aggregate_stats, cluster_stats
+from repro.fleet.cluster.topology import ClusterSpec, NodeRing, NodeSpec
+from repro.fleet.loadsim import (
+    LoadSimReport,
+    ServiceClient,
+    UploadOutcome,
+    backoff_delay,
+)
+from repro.fleet.validate import route_key_of_blob
+from repro.fleet.wire import (
+    MAX_FRAME,
+    FrameError,
+    read_frame,
+    write_frame,
+)
+
+
+class RingRouter:
+    """Pick upload targets by ring position and observed liveness."""
+
+    def __init__(self, spec: ClusterSpec) -> None:
+        self.spec = spec
+        self.ring = NodeRing(spec.node_ids)
+        self.dead: "set[str]" = set()
+
+    def mark_dead(self, node_id: str) -> None:
+        self.dead.add(node_id)
+
+    def mark_alive(self, node_id: str) -> None:
+        self.dead.discard(node_id)
+
+    def targets_for(self, route_key: "str | None") -> "list[NodeSpec]":
+        """Members in try-order for one upload: live preference-list
+        owners, then other live nodes (the cluster forwards
+        misdirected uploads, so any live node serves), then
+        believed-dead nodes as a last resort (the belief may be
+        stale)."""
+        order: "list[str]" = []
+        if route_key:
+            for node_id in self.ring.preference_list(
+                route_key, self.spec.replication
+            ):
+                if node_id not in order:
+                    order.append(node_id)
+        for node_id in self.spec.node_ids:
+            if node_id not in order:
+                order.append(node_id)
+        ranked = ([n for n in order if n not in self.dead]
+                  + [n for n in order if n in self.dead])
+        return [self.spec.node(node_id) for node_id in ranked]
+
+
+async def _cluster_uploader(
+    router: RingRouter,
+    pending: "list[tuple[str, bytes, str]]",
+    report: LoadSimReport,
+    max_attempts: int,
+    backoff_base: float,
+    rng: random.Random,
+) -> None:
+    """One worker: the semantics of loadsim's ``_uploader`` with the
+    single (host, port) replaced by ring-ranked failover targets."""
+    clients: "dict[str, ServiceClient]" = {}
+    try:
+        while pending:
+            try:
+                label, blob, upload_id = pending.pop()
+            except IndexError:
+                break
+            route_key = route_key_of_blob(blob)
+            start = time.perf_counter()
+            attempts = retries = reconnects = 0
+            outcome = None
+            while attempts < max_attempts:
+                attempts += 1
+                response = None
+                for member in router.targets_for(route_key):
+                    client = clients.get(member.node_id)
+                    if client is None:
+                        client = clients[member.node_id] = ServiceClient(
+                            member.host, member.port
+                        )
+                    try:
+                        response = await client.upload(
+                            label, blob, upload_id
+                        )
+                    except (ConnectionError, OSError, FrameError):
+                        # Node gone (e.g. kill -9): fail over to the
+                        # next ring successor with the same upload_id —
+                        # replication made the retry idempotent even
+                        # through a different node.
+                        reconnects += 1
+                        await client.close()
+                        router.mark_dead(member.node_id)
+                        continue
+                    router.mark_alive(member.node_id)
+                    break
+                if response is None:
+                    await asyncio.sleep(
+                        backoff_delay(rng, backoff_base, reconnects)
+                    )
+                    continue
+                status = response.get("status")
+                if status == "retry":
+                    retries += 1
+                    await asyncio.sleep(
+                        backoff_delay(rng, backoff_base, retries)
+                    )
+                    continue
+                if status in ("accepted", "rejected"):
+                    outcome = UploadOutcome(
+                        label=label,
+                        status=status,
+                        attempts=attempts,
+                        retries=retries,
+                        reconnects=reconnects,
+                        latency=time.perf_counter() - start,
+                        duplicate=bool(response.get("duplicate")),
+                        reason=response.get("reason", ""),
+                        signature=response.get("signature"),
+                    )
+                    break
+                reason = response.get("reason") or str(response)
+                detail = response.get("detail")
+                outcome = UploadOutcome(
+                    label=label, status="failed", attempts=attempts,
+                    retries=retries, reconnects=reconnects,
+                    latency=time.perf_counter() - start,
+                    reason=f"{reason}: {detail}" if detail else reason,
+                )
+                break
+            if outcome is None:
+                outcome = UploadOutcome(
+                    label=label, status="failed", attempts=attempts,
+                    retries=retries, reconnects=reconnects,
+                    latency=time.perf_counter() - start,
+                    reason="max attempts exhausted",
+                )
+            report.outcomes.append(outcome)
+    finally:
+        for client in clients.values():
+            await client.close()
+
+
+async def run_cluster_load_sim(
+    spec: ClusterSpec,
+    items: "list[tuple[str, bytes, str]]",
+    concurrency: int = 8,
+    max_attempts: int = 60,
+    backoff_base: float = 0.02,
+    seed: int = 0,
+) -> LoadSimReport:
+    """Upload *items* to a cluster with ring routing and failover.
+
+    The liveness memo is shared across workers: the first worker to
+    hit a dead node spares every other worker the connection timeout.
+    """
+    report = LoadSimReport()
+    pending = list(reversed(items))
+    router = RingRouter(spec)
+    rng = random.Random(seed)
+    start = time.perf_counter()
+    workers = [
+        _cluster_uploader(router, pending, report, max_attempts,
+                         backoff_base, random.Random(rng.random()))
+        for _ in range(max(concurrency, 1))
+    ]
+    await asyncio.gather(*workers)
+    report.elapsed = time.perf_counter() - start
+    return report
+
+
+class RouterService:
+    """``bugnet route``: a stateless wire-protocol proxy into the ring.
+
+    Uploads are forwarded to a live owner and the owner's response
+    relayed verbatim (plus ``"routed_to"``); ``stats`` answers with the
+    cluster-aggregated view; HTTP ``GET /stats`` and ``/healthz`` work
+    like a node's.  The router holds no store and acks nothing itself —
+    losing it can lose no reports.
+    """
+
+    def __init__(self, spec: ClusterSpec, host: str = "127.0.0.1",
+                 port: int = 0, max_frame: int = MAX_FRAME) -> None:
+        self.spec = spec
+        self.host = host
+        self.port = port
+        self.max_frame = max_frame
+        self.router = RingRouter(spec)
+        self._server: "asyncio.AbstractServer | None" = None
+        self.forwarded = 0
+
+    async def start(self) -> "tuple[str, int]":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+        )
+        host, port = self._server.sockets[0].getsockname()[:2]
+        self.port = port
+        return host, port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            probe = await reader.readexactly(4)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            writer.close()
+            return
+        try:
+            if probe == b"GET ":
+                await self._handle_http(reader, writer)
+            else:
+                prefix: "bytes | None" = probe
+                while True:
+                    frame = await read_frame(reader, self.max_frame,
+                                             prefix=prefix)
+                    if frame is None:
+                        break
+                    prefix = None
+                    header, body = frame
+                    response = await self._route_message(header, body)
+                    await write_frame(writer, response)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except FrameError:
+            try:
+                await write_frame(writer, {
+                    "status": "error", "reason": "malformed frame",
+                })
+            except (ConnectionError, OSError):
+                pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route_message(self, header: dict, body: bytes) -> dict:
+        op = header.get("op")
+        if op == "ping":
+            return {"status": "ok", "router": True}
+        if op == "stats":
+            per_node = await cluster_stats(self.spec)
+            return {"status": "ok",
+                    "stats": aggregate_stats(per_node),
+                    "per_node": {
+                        node_id: stats
+                        for node_id, stats in per_node.items()
+                        if stats is not None
+                    }}
+        if op == "upload":
+            return await self._route_upload(header, body)
+        return {"status": "error", "reason": f"unknown op {op!r}"}
+
+    async def _route_upload(self, header: dict, body: bytes) -> dict:
+        loop = asyncio.get_running_loop()
+        route_key = await loop.run_in_executor(
+            None, route_key_of_blob, body
+        ) if body else None
+        for member in self.router.targets_for(route_key):
+            client = ServiceClient(member.host, member.port,
+                                   max_frame=self.max_frame)
+            try:
+                response = await client.request(header, body)
+            except (ConnectionError, OSError, FrameError):
+                self.router.mark_dead(member.node_id)
+                continue
+            finally:
+                await client.close()
+            self.router.mark_alive(member.node_id)
+            self.forwarded += 1
+            response.setdefault("routed_to", member.node_id)
+            return response
+        return {"status": "retry", "reason": "no reachable cluster node"}
+
+    async def _handle_http(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        import json
+
+        request_line = await reader.readline()
+        path = request_line.split(b" ")[0].decode("latin-1", "replace")
+        while True:
+            line = await reader.readline()
+            if line in (b"", b"\r\n", b"\n"):
+                break
+        if path == "/stats":
+            per_node = await cluster_stats(self.spec)
+            body = json.dumps(aggregate_stats(per_node), indent=2).encode()
+            status = "200 OK"
+        elif path == "/healthz":
+            per_node = await cluster_stats(self.spec)
+            reachable = [n for n, s in per_node.items() if s is not None]
+            ready = bool(reachable)
+            body = json.dumps({
+                "ok": ready,
+                "reason": "ok" if ready else "no reachable cluster node",
+                "reachable": sorted(reachable),
+            }).encode()
+            status = "200 OK" if ready else "503 Service Unavailable"
+        else:
+            body = b'{"error": "not found"}'
+            status = "404 Not Found"
+        writer.write(
+            f"HTTP/1.0 {status}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode() + body
+        )
+        await writer.drain()

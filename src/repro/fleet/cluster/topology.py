@@ -1,0 +1,264 @@
+"""Cluster membership, the node hash ring, and gossiped liveness.
+
+Membership is a **static seed list** (the cluster spec file every node
+and client loads): production BugNet fleets are provisioned, not
+elastic, so the hard problem is not discovery but *liveness* — knowing
+which provisioned nodes are answering right now.  Liveness rides on
+the existing wire protocol as lightweight gossip: every node keeps a
+monotonic heartbeat counter per peer, bumps its own on a timer, swaps
+counter maps with peers (merge by max), and declares a peer dead when
+its counter stops advancing for ``fail_after`` seconds.  A connection
+failure marks the peer suspect immediately — faster than waiting out
+the window, and safe because a false positive only reroutes traffic
+to the next ring successor.
+
+Report placement uses the same consistent-hash construction as the
+store's shard ring (sha256 virtual points, first point at or after the
+key), keyed by the **route digest**
+(:func:`repro.fleet.signature.route_digest`).  The
+:meth:`NodeRing.preference_list` walk yields the owner and its
+distinct successors — the replication set; filtered to live nodes it
+is the set a coordinator actually writes to while a member is down.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Virtual points per node on the ring.  More points than the store's
+#: per-shard 32 because node counts are small (3–16): 64 points keeps
+#: the per-node share of the keyspace within a few percent of 1/N.
+NODE_RING_VPOINTS = 64
+
+#: Default replication factor: every committed report lives on the
+#: owner plus one ring successor, so any single node death loses
+#: nothing.
+DEFAULT_REPLICATION = 2
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One provisioned cluster member."""
+
+    node_id: str
+    host: str
+    port: int
+
+    def to_dict(self) -> dict:
+        return {"id": self.node_id, "host": self.host, "port": self.port}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "NodeSpec":
+        return cls(node_id=str(raw["id"]), host=str(raw["host"]),
+                   port=int(raw["port"]))
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The static seed list every node and client loads.
+
+    The JSON shape::
+
+        {"replication": 2,
+         "nodes": [{"id": "n0", "host": "127.0.0.1", "port": 7070}, ...]}
+    """
+
+    nodes: "tuple[NodeSpec, ...]"
+    replication: int = DEFAULT_REPLICATION
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("cluster spec needs at least one node")
+        ids = [node.node_id for node in self.nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate node ids in cluster spec: {ids}")
+        if not 1 <= self.replication <= len(self.nodes):
+            raise ValueError(
+                f"replication factor {self.replication} out of range for "
+                f"{len(self.nodes)} node(s)"
+            )
+
+    @property
+    def node_ids(self) -> "tuple[str, ...]":
+        return tuple(node.node_id for node in self.nodes)
+
+    def node(self, node_id: str) -> NodeSpec:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise KeyError(f"no node {node_id!r} in cluster spec "
+                       f"(members: {', '.join(self.node_ids)})")
+
+    def peers_of(self, node_id: str) -> "tuple[NodeSpec, ...]":
+        self.node(node_id)  # raises on unknown id
+        return tuple(n for n in self.nodes if n.node_id != node_id)
+
+    def to_dict(self) -> dict:
+        return {
+            "replication": self.replication,
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ClusterSpec":
+        return cls(
+            nodes=tuple(NodeSpec.from_dict(n) for n in raw["nodes"]),
+            replication=int(raw.get("replication", DEFAULT_REPLICATION)),
+        )
+
+    def dump(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "ClusterSpec":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class NodeRing:
+    """Consistent-hash ring over node ids (same construction as the
+    store's shard ring, disjoint token namespace)."""
+
+    def __init__(self, node_ids, vpoints: int = NODE_RING_VPOINTS) -> None:
+        self.node_ids = tuple(node_ids)
+        if not self.node_ids:
+            raise ValueError("node ring needs at least one node")
+        self.vpoints = vpoints
+        points = []
+        for node_id in self.node_ids:
+            for vp in range(vpoints):
+                token = hashlib.sha256(
+                    f"node-{node_id}#{vp}".encode()
+                ).digest()
+                points.append((int.from_bytes(token[:8], "big"), node_id))
+        points.sort()
+        self._points = points
+
+    @staticmethod
+    def key_of(route_key: str) -> int:
+        """Ring position of a route digest (first 16 hex chars, like
+        ``ReportStore.shard_of``)."""
+        return int(route_key[:16], 16)
+
+    def _walk(self, route_key: str):
+        """Ring points starting at the key's position, wrapping once."""
+        start = bisect.bisect_right(
+            self._points, (self.key_of(route_key), "")
+        )
+        count = len(self._points)
+        for offset in range(count):
+            yield self._points[(start + offset) % count][1]
+
+    def owner(self, route_key: str) -> str:
+        """The node that owns a route digest (first ring point at or
+        after it)."""
+        return next(self._walk(route_key))
+
+    def preference_list(
+        self,
+        route_key: str,
+        count: int,
+        alive: "set[str] | None" = None,
+    ) -> "list[str]":
+        """The first *count* **distinct** nodes at or after the key.
+
+        With *alive*, dead nodes are skipped and the walk continues to
+        later successors — the write set degrades gracefully while a
+        member is down instead of shrinking the replica count.
+        """
+        found: list[str] = []
+        for node_id in self._walk(route_key):
+            if node_id in found:
+                continue
+            if alive is not None and node_id not in alive:
+                continue
+            found.append(node_id)
+            if len(found) >= count:
+                break
+        return found
+
+
+@dataclass
+class GossipState:
+    """Heartbeat-counter liveness for one node's view of the cluster.
+
+    Counters only ever grow; merging two views takes the per-node max,
+    so gossip is commutative, idempotent, and order-free.  A peer is
+    alive while its counter keeps advancing; ``fail_after`` seconds of
+    silence (or an outright connection failure) marks it dead.  The
+    clock is injectable (``now`` parameters) so tests never sleep.
+    """
+
+    self_id: str
+    node_ids: "tuple[str, ...]"
+    fail_after: float = 2.0
+    counters: "dict[str, int]" = field(default_factory=dict)
+    _advanced_at: "dict[str, float]" = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        now = time.monotonic()
+        for node_id in self.node_ids:
+            self.counters.setdefault(node_id, 0)
+            self._advanced_at.setdefault(node_id, now)
+
+    def beat(self) -> None:
+        """Bump our own heartbeat (called on the gossip timer)."""
+        self.counters[self.self_id] += 1
+        self._advanced_at[self.self_id] = time.monotonic()
+
+    def observe(self, counters: "dict[str, int]",
+                now: "float | None" = None) -> None:
+        """Merge a peer's counter map (by max); an advanced counter is
+        proof of life at *now*."""
+        if now is None:
+            now = time.monotonic()
+        for node_id, counter in counters.items():
+            if node_id not in self.counters:
+                continue  # not in the provisioned seed list: ignore
+            if counter > self.counters[node_id]:
+                self.counters[node_id] = counter
+                self._advanced_at[node_id] = now
+
+    def touch(self, node_id: str, now: "float | None" = None) -> None:
+        """Direct contact with a peer is proof of life regardless of
+        counters.  This is what lets a *restarted* node rejoin: its
+        heartbeat counter restarts at zero (below everyone's merged
+        view, so :meth:`observe` alone would never revive it), but the
+        gossip frame it just sent or answered is undeniable."""
+        if node_id in self._advanced_at:
+            self._advanced_at[node_id] = (
+                time.monotonic() if now is None else now
+            )
+
+    def mark_dead(self, node_id: str) -> None:
+        """Connection failure: stop routing to the peer immediately by
+        backdating its last advance past the failure window."""
+        if node_id in self._advanced_at:
+            self._advanced_at[node_id] = (
+                time.monotonic() - self.fail_after - 1.0
+            )
+
+    def is_alive(self, node_id: str, now: "float | None" = None) -> bool:
+        if node_id == self.self_id:
+            return True
+        if now is None:
+            now = time.monotonic()
+        return (now - self._advanced_at.get(node_id, 0.0)) < self.fail_after
+
+    def alive(self, now: "float | None" = None) -> "set[str]":
+        """Provisioned nodes currently believed alive (always includes
+        self)."""
+        if now is None:
+            now = time.monotonic()
+        return {
+            node_id for node_id in self.node_ids
+            if self.is_alive(node_id, now)
+        }
+
+    def snapshot(self) -> "dict[str, int]":
+        """The counter map to ship in a gossip frame."""
+        return dict(self.counters)

@@ -99,6 +99,20 @@ def synthesize_corpus(
     return programs, items, failures
 
 
+def backoff_delay(rng: random.Random, base: float, attempt: int) -> float:
+    """Full-jitter exponential backoff delay for retry *attempt* (1-based).
+
+    Uniform in ``[0, base * 2^min(attempt, 6)]``.  The previous schedule
+    multiplied the exponential by ``0.5 + rng.random()`` — at least half
+    the deterministic delay always remained, so every client that
+    observed a node restart at the same moment came back in near
+    lockstep (a thundering herd re-arriving each backoff round).  Full
+    jitter spreads the herd across the whole window; seeding *rng* keeps
+    the schedule reproducible under ``--seed``.
+    """
+    return rng.uniform(0.0, base * (2 ** min(attempt, 6)))
+
+
 class ServiceClient:
     """One connection to a ``bugnet serve`` endpoint."""
 
@@ -125,14 +139,20 @@ class ServiceClient:
             self._reader = self._writer = None
 
     async def request(self, header: dict, body: bytes = b"") -> dict:
+        response, _body = await self.request_full(header, body)
+        return response
+
+    async def request_full(self, header: dict,
+                           body: bytes = b"") -> "tuple[dict, bytes]":
+        """One round-trip returning ``(header, body)`` — for cluster
+        ops whose responses carry a blob (e.g. ``fetch-report``)."""
         if self._writer is None:
             await self.connect()
         await write_frame(self._writer, header, body)
         frame = await read_frame(self._reader, self.max_frame)
         if frame is None:
             raise ConnectionError("service closed the connection")
-        response, _body = frame
-        return response
+        return frame
 
     async def upload(self, label: str, blob: bytes, upload_id: str = "",
                      observed_at: "int | None" = None) -> dict:
@@ -260,16 +280,14 @@ async def _uploader(
                     reconnects += 1
                     await client.close()
                     await asyncio.sleep(
-                        backoff_base * (2 ** min(reconnects, 6))
-                        * (0.5 + rng.random())
+                        backoff_delay(rng, backoff_base, reconnects)
                     )
                     continue
                 status = response.get("status")
                 if status == "retry":
                     retries += 1
                     await asyncio.sleep(
-                        backoff_base * (2 ** min(retries, 6))
-                        * (0.5 + rng.random())
+                        backoff_delay(rng, backoff_base, retries)
                     )
                     continue
                 if status in ("accepted", "rejected"):
@@ -285,12 +303,17 @@ async def _uploader(
                         signature=response.get("signature"),
                     )
                     break
-                # protocol error response: count as failed
+                # Protocol error response: terminal failure.  A
+                # structured reason (e.g. "unsupported-version" from a
+                # node older than this client) is surfaced verbatim —
+                # retrying cannot fix a version gap.
+                reason = response.get("reason") or str(response)
+                detail = response.get("detail")
                 outcome = UploadOutcome(
                     label=label, status="failed", attempts=attempts,
                     retries=retries, reconnects=reconnects,
                     latency=time.perf_counter() - start,
-                    reason=str(response),
+                    reason=f"{reason}: {detail}" if detail else reason,
                 )
                 break
             if outcome is None:

@@ -65,6 +65,7 @@ from repro.fleet.wire import (
     MAX_FRAME,
     FrameError,
     read_frame,
+    version_error,
     write_frame,
 )
 from repro.obs import REGISTRY, JsonEventLogger, encode_prometheus
@@ -219,9 +220,10 @@ class FleetService:
         store_root,
         resolver_spec: ResolverSpec,
         config: "ServiceConfig | None" = None,
-        num_shards: int = 8,
+        num_shards: "int | None" = None,
         byte_budget: "int | None" = None,
         fsync: bool = False,
+        retention_window: "int | None" = None,
     ) -> None:
         self.config = config or ServiceConfig()
         self.store_root = store_root
@@ -230,6 +232,7 @@ class FleetService:
             "num_shards": num_shards,
             "byte_budget": byte_budget,
             "fsync": fsync,
+            "retention_window": retention_window,
         }
         self.store: "ReportStore | None" = None
         self.counters = ServiceCounters()
@@ -411,9 +414,21 @@ class FleetService:
             prefix = None
             header, body = frame
             response = await self._handle_message(header, body)
-            await write_frame(writer, response, on_bytes=bytes_out.inc)
+            # A handler that must return binary data (e.g. a cluster
+            # fetch-report) smuggles it out under "_body"; it rides the
+            # frame as the body, exactly like upload blobs inbound.
+            response_body = response.pop("_body", b"")
+            await write_frame(writer, response, body=response_body,
+                              on_bytes=bytes_out.inc)
 
     async def _handle_message(self, header: dict, body: bytes) -> dict:
+        rejected = version_error(header)
+        if rejected is not None:
+            # A newer-versioned frame may carry semantics this build
+            # does not implement; refuse with a structured reason the
+            # client surfaces instead of a generic decode error.
+            self._tally("protocol_errors")
+            return rejected
         op = header.get("op")
         if op == "upload":
             return await self._handle_upload(header, body)
@@ -585,6 +600,7 @@ class FleetService:
                 "observed_at": validated.observed_at,
                 "upload_id": admitted.upload_id,
                 "race_pcs": validated.signature.race_pcs,
+                "route_key": validated.route_key,
             }
             for admitted, validated in batch
         ]
@@ -606,15 +622,34 @@ class FleetService:
                 })
             return
         self._tally("commit_batches")
-        for (admitted, validated), entry in zip(batch, entries):
+        # Post-commit hook: runs after the local durable commit and
+        # before any ack is released — where a cluster node inserts
+        # synchronous replication to its ring successors.  Per-item
+        # extras are merged into the corresponding ack.
+        extras = await self._post_commit(batch, entries)
+        for (admitted, validated), entry, extra in zip(
+            batch, entries, extras
+        ):
             self._tally("accepted")
-            self._settle(admitted, {
+            response = {
                 "status": "accepted",
                 "duplicate": False,
                 "signature": validated.signature.digest,
                 "seq": entry.seq,
                 "replayed": validated.instructions,
-            }, stage_ms=validated.stage_ms)
+            }
+            if extra:
+                response.update(extra)
+            self._settle(admitted, response, stage_ms=validated.stage_ms)
+
+    async def _post_commit(
+        self,
+        batch: "list[tuple[_Admitted, ValidatedReport]]",
+        entries: "list",
+    ) -> "list[dict]":
+        """Between durable local commit and ack: subclasses replicate
+        here.  Returns one dict of extra ack fields per batch item."""
+        return [{} for _ in batch]
 
     def _settle(self, admitted: _Admitted, response: dict,
                 stage_ms: "dict | None" = None) -> None:

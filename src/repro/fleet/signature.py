@@ -95,6 +95,34 @@ class CrashSignature:
         return self.digest[:12]
 
 
+def route_digest(program_name: str, fault_kind: str, fault_pc: int) -> str:
+    """Cluster routing key for a crash report: sha256 over the
+    replay-free prefix of the signature preimage.
+
+    The store's dedup key (:attr:`CrashSignature.digest`) requires a
+    full validation replay (the PC tail, the race evidence), so clients
+    cannot route on it.  This key uses only fields a cheap blob decode
+    yields — program, fault kind, faulting PC — which are identical
+    across duplicates of one (non-racy) bug, so all of a bucket's
+    uploads land on one owner node.  Racy manifestations of one bug can
+    crash at different PCs and therefore scatter across owners; cluster
+    triage re-merges those buckets by *signature* digest (DESIGN.md
+    §12), which replication forces it to do anyway.
+
+    A domain tag keeps this keyspace disjoint from signature digests;
+    the preimage is versioned so the ring mapping can evolve without
+    silently splitting ownership.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(b"route-v1\x00")
+    hasher.update(program_name.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(fault_kind.encode("utf-8"))
+    hasher.update(b"\x00")
+    hasher.update(fault_pc.to_bytes(8, "little"))
+    return hasher.hexdigest()
+
+
 @dataclass
 class ReplayedTail:
     """What one validation replay of the faulting thread produced.

@@ -53,13 +53,20 @@ and rewritten on eviction.  Format v2 adds a per-record ``upload_id``
 retries safe across service restarts; format v3 adds the per-record
 race evidence (``race_pcs``, the racing remote stores ingest-time
 validation inferred), so triage can flag racy buckets without
-re-replaying anything.  v1/v2 indexes read transparently and are
-upgraded in place on first append.
+re-replaying anything; format v4 adds the cluster routing key
+(``route_key``, the replay-free digest cluster nodes place reports
+by).  v1–v3 indexes read transparently and are upgraded in place on
+first append.
 
 Retention mirrors :class:`~repro.tracing.backing.LogStore`: a byte
 budget over the stored blobs, exceeded → evict the globally oldest
 report (never one just added), deterministically ordered by
-``(observed_at, seq)``.
+``(observed_at, seq)``.  A time window (``retention_window``, in
+``observed_at`` units) additionally ages out reports older than the
+newest observation minus the window — on every commit and via
+``compact()``.  Either way an eviction folds the report into
+``rollups.json`` (per-signature count/bytes/first/last aggregates),
+so triage bucket counts survive blob eviction.
 """
 
 from __future__ import annotations
@@ -101,10 +108,16 @@ except ImportError:  # pragma: no cover - non-POSIX fallback (no locking)
     fcntl = None
 
 _INDEX_MAGIC = b"BGSI"
-_INDEX_VERSION = 3
+_INDEX_VERSION = 4
 _HEADER_SIZE = 8          # magic + u32 version
 _U32 = struct.Struct("<I")
 _U64 = struct.Struct("<Q")
+
+#: Ring shape of a freshly created store.  Openers of an *existing*
+#: store inherit the on-disk shape by passing ``None``; an explicit
+#: value that disagrees with disk raises (see ``ReportStore.__init__``).
+DEFAULT_NUM_SHARDS = 8
+DEFAULT_RING_REPLICAS = 32
 
 
 @dataclass(frozen=True)
@@ -122,6 +135,7 @@ class StoredEntry:
     filename: str
     upload_id: str = ""  # client idempotency token ("" = none)
     race_pcs: tuple[int, ...] = ()  # racing remote-store PCs (v3; () = none)
+    route_key: str = ""  # cluster ring routing digest (v4; "" = none)
 
     @property
     def racy(self) -> bool:
@@ -200,6 +214,7 @@ def _pack_entry(entry: StoredEntry) -> bytes:
     _write_u32(out, len(entry.race_pcs))       # v3 addition
     for pc in entry.race_pcs:
         _write_u64(out, pc)
+    _write_str(out, entry.route_key)           # v4 addition
     return out.getvalue()
 
 
@@ -217,6 +232,7 @@ def _unpack_entry(reader: _IndexReader, shard: int,
     race_pcs: tuple[int, ...] = ()
     if version >= 3:
         race_pcs = tuple(reader.u64() for _ in range(reader.u32()))
+    route_key = reader.text() if version >= 4 else ""
     return StoredEntry(
         digest=digest,
         seq=seq,
@@ -228,6 +244,7 @@ def _unpack_entry(reader: _IndexReader, shard: int,
         filename=filename,
         upload_id=upload_id,
         race_pcs=race_pcs,
+        route_key=route_key,
         shard=shard,
     )
 
@@ -258,10 +275,11 @@ class ReportStore:
     def __init__(
         self,
         root,
-        num_shards: int = 8,
+        num_shards: "int | None" = None,
         byte_budget: int | None = None,
-        ring_replicas: int = 32,
+        ring_replicas: "int | None" = None,
         fsync: bool = False,
+        retention_window: "int | None" = None,
     ) -> None:
         self.root = Path(root)
         self.fsync = fsync
@@ -269,8 +287,22 @@ class ReportStore:
         if meta_path.exists():
             meta = json.loads(meta_path.read_text())
             # Ring shape is a property of the store on disk, not of the
-            # opener: honoring the caller's shard count here would send
-            # existing signatures to the wrong directories.
+            # opener: honoring a different shard count here would send
+            # existing signatures to the wrong directories.  An explicit
+            # mismatch is therefore an error, never silently ignored —
+            # the caller either meant a different store directory or is
+            # about to corrupt this one's placement.
+            for name, asked, on_disk in (
+                ("num_shards", num_shards, meta["num_shards"]),
+                ("ring_replicas", ring_replicas, meta["ring_replicas"]),
+            ):
+                if asked is not None and asked != on_disk:
+                    raise ValueError(
+                        f"store at {self.root} has {name}={on_disk}, "
+                        f"caller asked for {asked}; the ring shape of an "
+                        f"existing store cannot change (open with "
+                        f"{name}=None to inherit it)"
+                    )
             self.num_shards = meta["num_shards"]
             self.ring_replicas = meta["ring_replicas"]
             self._next_seq = meta["next_seq"]
@@ -279,7 +311,15 @@ class ReportStore:
             self.byte_budget = (
                 byte_budget if byte_budget is not None else meta.get("byte_budget")
             )
+            self.retention_window = (
+                retention_window if retention_window is not None
+                else meta.get("retention_window")
+            )
         else:
+            if num_shards is None:
+                num_shards = DEFAULT_NUM_SHARDS
+            if ring_replicas is None:
+                ring_replicas = DEFAULT_RING_REPLICAS
             if num_shards < 1:
                 raise ValueError("need at least one shard")
             self.num_shards = num_shards
@@ -288,7 +328,9 @@ class ReportStore:
             self.evicted_reports = 0
             self.evicted_bytes = 0
             self.byte_budget = byte_budget
+            self.retention_window = retention_window
             self.root.mkdir(parents=True, exist_ok=True)
+        self._pending_rollups: list[StoredEntry] = []
         self._ring = self._build_ring()
         self._entries: list[StoredEntry] = []
         self._shard_versions: dict[int, int] = {}
@@ -591,6 +633,7 @@ class ReportStore:
             "ring_replicas": self.ring_replicas,
             "next_seq": max(self._next_seq, disk_next),
             "byte_budget": self.byte_budget,
+            "retention_window": self.retention_window,
             "evicted_reports": self.evicted_reports,
             "evicted_bytes": self.evicted_bytes,
         }, indent=2) + "\n").encode())
@@ -607,6 +650,7 @@ class ReportStore:
         observed_at: int | None = None,
         upload_id: str = "",
         race_pcs: "tuple[int, ...]" = (),
+        route_key: str = "",
     ) -> StoredEntry:
         """Store one validated report blob under its signature digest.
 
@@ -624,6 +668,7 @@ class ReportStore:
             "observed_at": observed_at,
             "upload_id": upload_id,
             "race_pcs": race_pcs,
+            "route_key": route_key,
         }])[0]
 
     def add_many(self, items: "list[dict]") -> "list[StoredEntry]":
@@ -667,6 +712,7 @@ class ReportStore:
                 filename=f"{seq:08d}-{digest[:12]}.bugnet",
                 upload_id=item.get("upload_id", ""),
                 race_pcs=tuple(item.get("race_pcs", ())),
+                route_key=item.get("route_key", ""),
             )
             new_entries.append(entry)
             by_shard.setdefault(shard, []).append((entry, blob))
@@ -687,21 +733,68 @@ class ReportStore:
                 self._upload_index[entry.upload_id] = entry
         self._entries.sort(key=lambda entry: entry.seq)
         with self._global_lock():
+            # Protect by sequence number, not object identity: an
+            # absorb reload inside eviction replaces entry objects,
+            # and the batch must stay protected across that.
+            protect = {entry.seq for entry in new_entries}
             if self.byte_budget is not None:
-                # Protect by sequence number, not object identity: an
-                # absorb reload inside eviction replaces entry objects,
-                # and the batch must stay protected across that.
-                protect = {entry.seq for entry in new_entries}
                 while (self.total_bytes > self.byte_budget
                        and self._evict_oldest(protect)):
                     pass
+            if self.retention_window is not None:
+                self._apply_retention(protect)
+            self._flush_rollups()
             self._write_meta()
         _COMMIT_REPORTS.inc(len(new_entries))
         return new_entries
 
-    def _evict_oldest(self, protect: "set[int]") -> bool:
+    def _retention_cutoff(self, now: "int | None" = None) -> "int | None":
+        """Oldest ``observed_at`` retention keeps resident, or None.
+
+        ``observed_at`` is a logical clock (it defaults to the ingest
+        sequence), so "now" is the newest observation in the store
+        unless the caller supplies a real fleet clock.
+        """
+        if self.retention_window is None:
+            return None
+        if now is None:
+            if not self._entries:
+                return None
+            now = max(entry.observed_at for entry in self._entries)
+        return now - self.retention_window
+
+    def _apply_retention(self, protect: "set[int]",
+                         now: "int | None" = None) -> int:
+        """Evict every unprotected report older than the retention
+        window (caller holds the global lock); returns evictions."""
+        cutoff = self._retention_cutoff(now)
+        if cutoff is None:
+            return 0
+        evicted = 0
+        while self._evict_oldest(protect, cutoff=cutoff):
+            evicted += 1
+        return evicted
+
+    def compact(self, now: "int | None" = None) -> int:
+        """Apply time-windowed retention outside a commit: evict every
+        report whose ``observed_at`` is older than ``retention_window``
+        (counts survive in the rollup aggregates).  Returns the number
+        of reports evicted.  No-op without a retention window."""
+        if self.retention_window is None:
+            return 0
+        with self._global_lock():
+            evicted = self._apply_retention(set(), now=now)
+            self._flush_rollups()
+            if evicted:
+                self._write_meta()
+        return evicted
+
+    def _evict_oldest(self, protect: "set[int]",
+                      cutoff: "int | None" = None) -> bool:
         """Drop the oldest stored report (never one just added;
-        *protect* holds the current batch's sequence numbers)."""
+        *protect* holds the current batch's sequence numbers).  With
+        *cutoff*, only a report observed strictly before it is evicted
+        — the retention-window form of the same machinery."""
         victim = None
         for entry in self._entries:
             if entry.seq in protect:
@@ -709,6 +802,8 @@ class ReportStore:
             if victim is None or entry.order_key < victim.order_key:
                 victim = entry
         if victim is None:
+            return False
+        if cutoff is not None and victim.observed_at >= cutoff:
             return False
         with self._shard_lock(victim.shard):
             # Absorb records other live writers appended to this shard
@@ -730,6 +825,7 @@ class ReportStore:
             self.total_bytes -= victim.byte_size
             self.evicted_reports += 1
             self.evicted_bytes += victim.byte_size
+            self._pending_rollups.append(victim)
             _EVICTIONS.inc()
             if victim.upload_id:
                 self._upload_index.pop(victim.upload_id, None)
@@ -738,6 +834,54 @@ class ReportStore:
                 path.unlink()
             self._rewrite_shard_index(victim.shard)
         return True
+
+    # -- rollup aggregates --------------------------------------------------
+
+    def _flush_rollups(self) -> None:
+        """Fold evictions accumulated this critical section into
+        ``rollups.json`` (caller holds the global lock).  Read-merge-
+        write keeps concurrent writer processes' rollups additive."""
+        if not self._pending_rollups:
+            return
+        rollups = self._read_rollups()
+        for entry in self._pending_rollups:
+            slot = rollups.get(entry.digest)
+            if slot is None:
+                slot = rollups[entry.digest] = {
+                    "count": 0,
+                    "bytes": 0,
+                    "first_seen": entry.observed_at,
+                    "last_seen": entry.observed_at,
+                    "fault_kind": entry.fault_kind,
+                    "program_name": entry.program_name,
+                    "race_pcs": sorted(entry.race_pcs),
+                }
+            slot["count"] += 1
+            slot["bytes"] += entry.byte_size
+            slot["first_seen"] = min(slot["first_seen"], entry.observed_at)
+            slot["last_seen"] = max(slot["last_seen"], entry.observed_at)
+            slot["race_pcs"] = sorted(
+                set(slot["race_pcs"]) | set(entry.race_pcs)
+            )
+        self._pending_rollups = []
+        self._atomic_write(
+            self.root / "rollups.json",
+            (json.dumps(rollups, indent=2, sort_keys=True) + "\n").encode(),
+        )
+
+    def _read_rollups(self) -> dict:
+        path = self.root / "rollups.json"
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return {}
+
+    def rollups(self) -> dict:
+        """Per-signature aggregates of *evicted* reports (budget or
+        retention): ``{digest: {count, bytes, first_seen, last_seen,
+        fault_kind, program_name, race_pcs}}`` — how triage keeps a
+        bucket's occurrence count after its blobs age out."""
+        return self._read_rollups()
 
     # -- queries -----------------------------------------------------------
 

@@ -7,6 +7,14 @@ buckets by occurrence count (ties: most recently observed first, then
 digest for determinism), and picks one representative report per bucket
 — the one with the **largest replay window**, because that is the
 report a developer can chase furthest back from the crash.
+
+Counts outlive blobs: retention/budget eviction folds evicted reports
+into the store's per-signature rollups
+(:meth:`~repro.fleet.store.ReportStore.rollups`), and triage merges
+those back in.  A bucket therefore ranks on its *total* occurrence
+count — a bug that crashed the fleet ten thousand times last quarter
+still tops the table even after its blobs aged out; only the
+representative (which needs a resident blob) degrades.
 """
 
 from __future__ import annotations
@@ -25,19 +33,34 @@ class Bucket:
     fault_kind: str
     program_name: str
     entries: list[StoredEntry] = field(default_factory=list)
+    #: Evicted occurrences folded in from the store's rollups — the
+    #: part of the bucket's history whose blobs no longer exist.
+    rolled_up: int = 0
+    rollup: "dict | None" = None
 
     @property
     def count(self) -> int:
-        """Occurrences (reports resident in the store)."""
+        """Occurrences with a resident (replayable) report."""
         return len(self.entries)
 
     @property
+    def total_count(self) -> int:
+        """Lifetime occurrences: resident + rolled-up evictions."""
+        return self.count + self.rolled_up
+
+    @property
     def first_seen(self) -> int:
-        return min(entry.observed_at for entry in self.entries)
+        seen = [entry.observed_at for entry in self.entries]
+        if self.rollup is not None:
+            seen.append(self.rollup.get("first_seen", 0))
+        return min(seen)
 
     @property
     def last_seen(self) -> int:
-        return max(entry.observed_at for entry in self.entries)
+        seen = [entry.observed_at for entry in self.entries]
+        if self.rollup is not None:
+            seen.append(self.rollup.get("last_seen", 0))
+        return max(seen)
 
     @property
     def bytes_stored(self) -> int:
@@ -51,7 +74,7 @@ class Bucket:
         triage time.  Any entry suffices: race evidence is part of the
         signature, so a bucket is either all-racy or all-not.
         """
-        return any(entry.race_pcs for entry in self.entries)
+        return bool(self.race_pcs)
 
     @property
     def race_pcs(self) -> tuple[int, ...]:
@@ -59,12 +82,18 @@ class Bucket:
         pcs: set[int] = set()
         for entry in self.entries:
             pcs.update(entry.race_pcs)
+        if self.rollup is not None:
+            pcs.update(self.rollup.get("race_pcs", ()))
         return tuple(sorted(pcs))
 
     @property
-    def representative(self) -> StoredEntry:
-        """The report to open first: largest replay window, oldest wins ties
-        (it has been reproducing the longest)."""
+    def representative(self) -> "StoredEntry | None":
+        """The report to open first: largest replay window, oldest wins
+        ties (it has been reproducing the longest).  ``None`` for a
+        rollup-only bucket — every blob was evicted, the count alone
+        survives."""
+        if not self.entries:
+            return None
         return min(
             self.entries, key=lambda entry: (-entry.replay_window, entry.seq)
         )
@@ -72,7 +101,7 @@ class Bucket:
     @property
     def rank_key(self):
         """Most occurrences first, then most recent, then stable digest."""
-        return (-self.count, -self.last_seen, self.digest)
+        return (-self.total_count, -self.last_seen, self.digest)
 
     def to_dict(self) -> dict:
         """JSON-friendly rendering (the ``bugnet triage --json`` shape)."""
@@ -82,12 +111,14 @@ class Bucket:
             "program": self.program_name,
             "fault_kind": self.fault_kind,
             "count": self.count,
+            "rolled_up": self.rolled_up,
+            "total_count": self.total_count,
             "first_seen": self.first_seen,
             "last_seen": self.last_seen,
             "bytes_stored": self.bytes_stored,
             "racy": self.racy,
             "race_pcs": list(self.race_pcs),
-            "representative": {
+            "representative": None if rep is None else {
                 "seq": rep.seq,
                 "shard": rep.shard,
                 "filename": rep.filename,
@@ -96,8 +127,15 @@ class Bucket:
         }
 
 
-def build_buckets(store: ReportStore) -> list[Bucket]:
-    """Bucket every stored report by signature, ranked for triage."""
+def build_buckets(store: ReportStore,
+                  include_rollups: bool = True) -> list[Bucket]:
+    """Bucket every stored report by signature, ranked for triage.
+
+    With *include_rollups* (the default) evicted occurrences from the
+    store's retention/budget rollups keep contributing to each bucket's
+    total count and recency — a bucket may even be rollup-only, with no
+    resident representative left to open.
+    """
     buckets: dict[str, Bucket] = {}
     for entry in store.entries():
         bucket = buckets.get(entry.digest)
@@ -108,6 +146,17 @@ def build_buckets(store: ReportStore) -> list[Bucket]:
                 program_name=entry.program_name,
             )
         bucket.entries.append(entry)
+    if include_rollups:
+        for digest, slot in store.rollups().items():
+            bucket = buckets.get(digest)
+            if bucket is None:
+                bucket = buckets[digest] = Bucket(
+                    digest=digest,
+                    fault_kind=slot.get("fault_kind", ""),
+                    program_name=slot.get("program_name", ""),
+                )
+            bucket.rolled_up = int(slot.get("count", 0))
+            bucket.rollup = slot
     return sorted(buckets.values(), key=lambda bucket: bucket.rank_key)
 
 
@@ -129,6 +178,9 @@ def render_triage(buckets: list[Bucket], limit: int | None = None,
     shown = buckets if limit is None else buckets[:limit]
     for rank, bucket in enumerate(shown, start=1):
         rep = bucket.representative
+        count = str(bucket.count)
+        if bucket.rolled_up:
+            count = f"{bucket.total_count} ({bucket.rolled_up} evicted)"
         row = [
             rank,
             bucket.digest[:12],
@@ -137,10 +189,11 @@ def render_triage(buckets: list[Bucket], limit: int | None = None,
             # identity is the racing store, not the (schedule-
             # dependent) fault site.
             bucket.fault_kind + (" [racy]" if bucket.racy else ""),
-            bucket.count,
-            rep.replay_window,
+            count,
+            rep.replay_window if rep is not None else "-",
             format_bytes(bucket.bytes_stored),
-            f"shard-{rep.shard:02d}/{rep.filename}",
+            (f"shard-{rep.shard:02d}/{rep.filename}" if rep is not None
+             else "(all blobs evicted)"),
         ]
         if autopsies is not None:
             row.append(_autopsy_cell(autopsies.get(bucket.digest)))

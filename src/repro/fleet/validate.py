@@ -30,6 +30,7 @@ from repro.fleet.signature import (
     CrashSignature,
     ReplayedTail,
     replay_tail,
+    route_digest,
     signature_from_tail,
 )
 from repro.obs import REGISTRY, SpanRecorder
@@ -106,6 +107,28 @@ class ValidatedReport:
     program_name: str
     instructions: int    # validated replay window = instructions replayed
     stage_ms: dict = field(default_factory=dict)  # top-level stage timings
+    #: Cluster ring routing digest (:func:`repro.fleet.signature.
+    #: route_digest`) — replay-free, so clients and forwarding nodes
+    #: compute the identical key from the raw blob.
+    route_key: str = ""
+
+
+def route_key_of_blob(blob: bytes) -> "str | None":
+    """Cluster ring routing digest of a raw report blob, or None when
+    the blob does not decode.
+
+    This is the replay-free half of validation: clients and forwarding
+    nodes decode just far enough to read (program, fault kind, fault
+    PC) and route on :func:`~repro.fleet.signature.route_digest`.  An
+    undecodable blob has no route key — any node may coordinate it,
+    since validation will reject it identically everywhere.
+    """
+    try:
+        report, _config = load_crash_report(blob)
+    except DECODE_ERRORS:
+        return None
+    return route_digest(report.program_name, report.fault_kind,
+                        report.fault_pc)
 
 
 def validate_report(
@@ -233,6 +256,9 @@ def _validate(
         # The *validated* window: instructions the chain actually
         # replayed (an ungrounded prefix would overstate it).
         instructions=tail.instructions,
+        route_key=route_digest(
+            report.program_name, report.fault_kind, report.fault_pc
+        ),
     )
 
 

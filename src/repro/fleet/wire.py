@@ -32,13 +32,54 @@ _U32 = struct.Struct(">I")
 #: compressed logs of bounded replay windows — far below this.
 MAX_FRAME = 32 * 1024 * 1024
 
+#: Wire protocol version, carried in every frame header as ``"v"``.
+#: A frame without the key is version 1 (the pre-versioning format —
+#: identical on the wire).  A receiver that sees a *newer* version
+#: answers with a structured ``unsupported-version`` rejection instead
+#: of guessing at fields it does not know; see :func:`version_error`.
+PROTOCOL_VERSION = 1
+
 
 class FrameError(Exception):
     """Malformed or oversized frame."""
 
 
+def frame_version(header: dict) -> int:
+    """The protocol version a received frame claims (missing key = 1)."""
+    version = header.get("v", 1)
+    if not isinstance(version, int) or version < 1:
+        raise FrameError(f"bad protocol version {version!r}")
+    return version
+
+
+def version_error(header: dict) -> "dict | None":
+    """Structured rejection for a newer-than-supported frame, else None.
+
+    Servers call this before dispatching on ``op``: a frame from a
+    newer client may carry fields with semantics this build does not
+    implement, and half-understanding them is worse than an explicit
+    refusal the client can surface to its operator.
+    """
+    try:
+        version = frame_version(header)
+    except FrameError as error:
+        return {"status": "error", "reason": "malformed frame",
+                "detail": str(error)}
+    if version > PROTOCOL_VERSION:
+        return {
+            "status": "error",
+            "reason": "unsupported-version",
+            "detail": (f"frame is protocol v{version}, this node "
+                       f"speaks up to v{PROTOCOL_VERSION}"),
+            "max_supported": PROTOCOL_VERSION,
+        }
+    return None
+
+
 def encode_frame(header: dict, body: bytes = b"") -> bytes:
-    """Serialize one frame."""
+    """Serialize one frame (stamping the protocol version)."""
+    if "v" not in header:
+        header = {"v": PROTOCOL_VERSION, **header}
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     total = 4 + len(header_bytes) + len(body)
     return b"".join((

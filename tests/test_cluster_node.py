@@ -1,0 +1,435 @@
+"""In-process tests for :class:`ClusterNodeService` and the cluster
+admin/router layers.
+
+All nodes of a test cluster run on one asyncio loop over real sockets
+(loopback), with ``workers=0`` so validation stays in-process.  The
+module-level Prometheus registry is process-global — these tests
+assert on per-instance state (``cluster_counters``, ``stats()``, store
+contents), never on ``/metrics``, which an in-process multi-node setup
+cannot attribute to one node.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.fleet.cluster.admin import (
+    aggregate_metrics,
+    aggregate_stats,
+    cluster_buckets,
+    reconcile,
+)
+from repro.fleet.cluster.harness import free_ports
+from repro.fleet.cluster.node import ClusterNodeService
+from repro.fleet.cluster.router import (
+    RingRouter,
+    RouterService,
+    run_cluster_load_sim,
+)
+from repro.fleet.cluster.topology import ClusterSpec, NodeSpec
+from repro.fleet.loadsim import ServiceClient, synthesize_corpus
+from repro.fleet.service import ServiceConfig
+from repro.fleet.validate import ResolverSpec, route_key_of_blob
+
+CORPUS_BUGS = ("tidy-34132-2", "tidy-34132-3")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    _programs, items, failures = synthesize_corpus(
+        10, CORPUS_BUGS, seed=11, corrupt=0, intervals=(2_000, 5_000),
+    )
+    assert failures == 0
+    return items
+
+
+def make_spec(count, replication=2):
+    ports = free_ports(count)
+    return ClusterSpec(
+        nodes=tuple(
+            NodeSpec(node_id=f"n{index}", host="127.0.0.1",
+                     port=ports[index])
+            for index in range(count)
+        ),
+        replication=replication,
+    )
+
+
+def run_cluster(tmp_path, coro_factory, nodes=3, replication=2,
+                **node_kwargs):
+    """Start N in-process cluster nodes, run the coroutine, stop all."""
+    spec = make_spec(nodes, replication)
+    node_kwargs.setdefault("gossip_interval", 0.05)
+    node_kwargs.setdefault("anti_entropy_interval", 30.0)
+    node_kwargs.setdefault("fail_after", 1.0)
+
+    async def main():
+        services = {}
+        try:
+            for member in spec.nodes:
+                service = ClusterNodeService(
+                    tmp_path / f"store-{member.node_id}", ResolverSpec(),
+                    spec, member.node_id,
+                    config=ServiceConfig(host=member.host,
+                                         port=member.port, workers=0),
+                    **node_kwargs,
+                )
+                await service.start()
+                services[member.node_id] = service
+            return await coro_factory(spec, services)
+        finally:
+            for service in services.values():
+                await service.stop()
+
+    return asyncio.run(main())
+
+
+def owner_and_rest(spec, services, blob):
+    """(preference-list nodes, a node outside it) for one blob."""
+    route_key = route_key_of_blob(blob)
+    assert route_key is not None
+    any_node = next(iter(services.values()))
+    prefs = any_node.ring.preference_list(route_key, spec.replication)
+    outside = [n for n in spec.node_ids if n not in prefs]
+    return prefs, outside
+
+
+async def upload_to(spec, node_id, label, blob, upload_id=""):
+    member = spec.node(node_id)
+    client = ServiceClient(member.host, member.port)
+    try:
+        return await client.upload(label, blob, upload_id)
+    finally:
+        await client.close()
+
+
+class TestReplication:
+    def test_ack_waits_for_replica_set(self, corpus, tmp_path):
+        label, blob, _uid = corpus[0]
+
+        async def scenario(spec, services):
+            prefs, _ = owner_and_rest(spec, services, blob)
+            response = await upload_to(spec, prefs[0], label, blob, "up-1")
+            assert response["status"] == "accepted"
+            assert response["node"] == prefs[0]
+            assert sorted(response["replicas"]) == sorted(prefs)
+            # The report is durable on every replica before the ack.
+            for node_id in prefs:
+                entry = services[node_id].store.entry_for_upload("up-1")
+                assert entry is not None
+                assert entry.route_key == route_key_of_blob(blob)
+            assert services[prefs[0]].cluster_counters[
+                "replicated_out"] == len(prefs) - 1
+            for node_id in prefs[1:]:
+                assert services[node_id].cluster_counters[
+                    "replicated_in"] == 1
+
+        run_cluster(tmp_path, scenario)
+
+    def test_replicate_op_is_idempotent(self, corpus, tmp_path):
+        label, blob, _uid = corpus[0]
+
+        async def scenario(spec, services):
+            prefs, _ = owner_and_rest(spec, services, blob)
+            await upload_to(spec, prefs[0], label, blob, "up-dup")
+            replica = services[prefs[1]]
+            entry = replica.store.entry_for_upload("up-dup")
+            header = {
+                "op": "replicate", "digest": entry.digest,
+                "upload_id": "up-dup", "route_key": entry.route_key,
+            }
+            member = spec.node(prefs[1])
+            client = ServiceClient(member.host, member.port)
+            try:
+                again = await client.request(header, blob)
+            finally:
+                await client.close()
+            assert again == {"v": 1, "status": "ok", "duplicate": True,
+                             "seq": entry.seq}
+            assert len(replica.store) == 1
+
+        run_cluster(tmp_path, scenario)
+
+
+class TestForwarding:
+    def test_misdirected_upload_proxied_to_owner(self, corpus, tmp_path):
+        label, blob, _uid = corpus[0]
+
+        async def scenario(spec, services):
+            prefs, outside = owner_and_rest(spec, services, blob)
+            if not outside:
+                pytest.skip("every node is in this blob's replica set")
+            response = await upload_to(
+                spec, outside[0], label, blob, "up-fwd",
+            )
+            assert response["status"] == "accepted"
+            assert response["via"] == outside[0]
+            assert response["node"] in prefs
+            assert services[outside[0]].cluster_counters["forwarded"] == 1
+            # Served, not stored: the misdirected node holds nothing.
+            assert services[outside[0]].store.entry_for_upload(
+                "up-fwd") is None
+            for node_id in prefs:
+                assert services[node_id].store.entry_for_upload(
+                    "up-fwd") is not None
+
+        run_cluster(tmp_path, scenario)
+
+    def test_same_blob_dedups_through_different_nodes(self, corpus,
+                                                      tmp_path):
+        """No client token at all: the synthesized blob-hash id makes a
+        retry through a *different* node a duplicate, not a copy."""
+        label, blob, _uid = corpus[0]
+
+        async def scenario(spec, services):
+            first = await upload_to(spec, spec.node_ids[0], label, blob)
+            second = await upload_to(spec, spec.node_ids[1], label, blob)
+            assert first["status"] == "accepted"
+            assert not first["duplicate"]
+            assert second["status"] == "accepted"
+            assert second["duplicate"]
+
+        run_cluster(tmp_path, scenario)
+
+
+class TestFailureTolerance:
+    def test_upload_succeeds_with_owner_down(self, corpus, tmp_path):
+        label, blob, _uid = corpus[0]
+
+        async def scenario(spec, services):
+            prefs, _ = owner_and_rest(spec, services, blob)
+            await services[prefs[0]].stop()
+            survivors = [n for n in spec.node_ids if n != prefs[0]]
+            # Wait for gossip to notice the death: only then does the
+            # preference walk extend past the dead owner.
+            deadline = asyncio.get_running_loop().time() + 8.0
+            while asyncio.get_running_loop().time() < deadline:
+                if all(prefs[0] not in services[n].gossip.alive()
+                       for n in survivors):
+                    break
+                await asyncio.sleep(0.05)
+            survivor = survivors[0]
+            response = await upload_to(spec, survivor, label, blob, "up-ft")
+            assert response["status"] == "accepted"
+            assert prefs[0] not in response["replicas"]
+            # The surviving preference walk still reached R nodes.
+            assert len(response["replicas"]) == spec.replication
+            for node_id in response["replicas"]:
+                assert services[node_id].store.entry_for_upload(
+                    "up-ft") is not None
+
+        run_cluster(tmp_path, scenario)
+
+    def test_gossip_detects_death_and_recovery(self, tmp_path):
+        async def scenario(spec, services):
+            async def wait_for(predicate, timeout=8.0):
+                deadline = asyncio.get_running_loop().time() + timeout
+                while asyncio.get_running_loop().time() < deadline:
+                    if predicate():
+                        return True
+                    await asyncio.sleep(0.05)
+                return False
+
+            n0, n1 = services["n0"], services["n1"]
+            assert await wait_for(
+                lambda: n0.gossip.alive() == {"n0", "n1", "n2"}
+            )
+            await n1.stop()
+            assert await wait_for(lambda: "n1" not in n0.gossip.alive())
+            # Restart in place: same store, same port, fresh counters.
+            revived = ClusterNodeService(
+                tmp_path / "store-n1", ResolverSpec(), spec, "n1",
+                config=ServiceConfig(host=spec.node("n1").host,
+                                     port=spec.node("n1").port, workers=0),
+                gossip_interval=0.05, anti_entropy_interval=30.0,
+                fail_after=1.0,
+            )
+            await revived.start()
+            services["n1"] = revived
+            assert await wait_for(lambda: "n1" in n0.gossip.alive())
+
+        run_cluster(tmp_path, scenario)
+
+    def test_anti_entropy_pulls_missing_reports(self, corpus, tmp_path):
+        """A node that was down during an upload catches up by pulling
+        from live peers everything it should hold but does not."""
+        label, blob, _uid = corpus[0]
+
+        async def scenario(spec, services):
+            prefs, _ = owner_and_rest(spec, services, blob)
+            lagging = services[prefs[0]]
+            await lagging.stop()
+            survivor = next(n for n in spec.node_ids if n != prefs[0])
+            await upload_to(spec, survivor, label, blob, "up-ae")
+            revived = ClusterNodeService(
+                tmp_path / f"store-{prefs[0]}", ResolverSpec(), spec,
+                prefs[0],
+                config=ServiceConfig(host=spec.node(prefs[0]).host,
+                                     port=spec.node(prefs[0]).port,
+                                     workers=0),
+                gossip_interval=0.05, anti_entropy_interval=30.0,
+                fail_after=1.0,
+            )
+            await revived.start()
+            services[prefs[0]] = revived
+            assert revived.store.entry_for_upload("up-ae") is None
+            fetched = await revived.anti_entropy_round()
+            assert fetched == 1
+            assert revived.store.entry_for_upload("up-ae") is not None
+            assert revived.cluster_counters["handoff_reports"] == 1
+            # Idempotent: a second round finds nothing missing.
+            assert await revived.anti_entropy_round() == 0
+
+        run_cluster(tmp_path, scenario)
+
+
+class TestClusterViews:
+    def test_stats_carry_cluster_section(self, tmp_path):
+        async def scenario(spec, services):
+            member = spec.node("n0")
+            client = ServiceClient(member.host, member.port)
+            try:
+                stats = await client.stats()
+            finally:
+                await client.close()
+            cluster = stats["cluster"]
+            assert cluster["node"] == "n0"
+            assert cluster["replication"] == 2
+            assert cluster["members"] == ["n0", "n1", "n2"]
+            assert set(cluster["counters"]) == {
+                "forwarded", "replicated_out", "replicated_in",
+                "gossip_rounds", "handoff_reports",
+            }
+
+        run_cluster(tmp_path, scenario)
+
+    def test_cluster_buckets_dedup_replica_copies(self, corpus, tmp_path):
+        """Occurrence counts are distinct upload ids: replication puts
+        each report on R nodes, and summing per-node counts would rank
+        buckets by replication factor."""
+
+        async def scenario(spec, services):
+            by_signature = {}
+            for index, (label, blob, _uid) in enumerate(corpus[:4]):
+                response = await upload_to(
+                    spec, spec.node_ids[0], label, blob, f"up-b{index}",
+                )
+                assert response["status"] == "accepted"
+                by_signature.setdefault(response["signature"], set()).add(
+                    f"up-b{index}"
+                )
+            merged = await cluster_buckets(spec)
+            assert {b["signature"] for b in merged} == set(by_signature)
+            for bucket in merged:
+                wanted = by_signature[bucket["signature"]]
+                assert bucket["count"] == len(wanted)
+                assert set(bucket["upload_ids"]) == wanted
+                assert bucket["representative"] is not None
+
+        run_cluster(tmp_path, scenario)
+
+    def test_aggregate_stats_sums_reachable_nodes(self):
+        per_node = {
+            "n0": {"queue_depth": 1,
+                   "counters": {"received": 3, "accepted": 2,
+                                "rejected": 1},
+                   "cluster": {"counters": {"forwarded": 1}},
+                   "store": {"reports": 2, "bytes": 100,
+                             "evicted_reports": 0}},
+            "n1": {"queue_depth": 0,
+                   "counters": {"received": 2, "accepted": 2},
+                   "cluster": {"counters": {"replicated_in": 2}},
+                   "store": {"reports": 2, "bytes": 80,
+                             "evicted_reports": 1}},
+            "n2": None,
+        }
+        total = aggregate_stats(per_node)
+        assert total["nodes"] == 3
+        assert total["reachable"] == ["n0", "n1"]
+        assert total["unreachable"] == ["n2"]
+        assert total["counters"]["received"] == 5
+        assert total["counters"]["accepted"] == 4
+        assert total["cluster"]["forwarded"] == 1
+        assert total["cluster"]["replicated_in"] == 2
+        assert total["store"]["reports"] == 4
+        assert total["store"]["bytes"] == 180
+
+    def test_aggregate_metrics_and_reconcile(self):
+        sample = {"n0": {"bugnet_service_received_total": {(): 3.0},
+                         "bugnet_admission_total":
+                             {(("outcome", "accepted"),): 2.0,
+                              (("outcome", "rejected"),): 1.0},
+                         "bugnet_store_reports": {(): 2.0}},
+                  "n1": {"bugnet_service_received_total": {(): 2.0},
+                         "bugnet_admission_total":
+                             {(("outcome", "accepted"),): 2.0},
+                         "bugnet_store_reports": {(): 2.0}},
+                  "n2": None}
+        merged = aggregate_metrics(sample)
+        assert merged["bugnet_service_received_total"][()] == 5.0
+        stats = {"counters": {"received": 5, "accepted": 4, "rejected": 1,
+                              "retried": 0, "duplicates": 0},
+                 "store": {"reports": 4}}
+        assert reconcile(merged, stats) == []
+        stats["counters"]["accepted"] = 3  # an increment path diverged
+        mismatches = reconcile(merged, stats)
+        assert len(mismatches) == 1
+        assert "accepted" in mismatches[0]
+
+
+class TestRingRouterAndProxy:
+    def test_targets_rank_owners_then_live_then_dead(self, corpus):
+        spec = make_spec(3, replication=2)
+        router = RingRouter(spec)
+        _label, blob, _uid = corpus[0]
+        route_key = route_key_of_blob(blob)
+        prefs = router.ring.preference_list(route_key, 2)
+        targets = [m.node_id for m in router.targets_for(route_key)]
+        assert targets[:2] == prefs
+        assert set(targets) == set(spec.node_ids)
+        router.mark_dead(prefs[0])
+        degraded = [m.node_id for m in router.targets_for(route_key)]
+        assert degraded[-1] == prefs[0]  # dead node demoted to last
+        router.mark_alive(prefs[0])
+        assert [m.node_id for m in router.targets_for(route_key)] == targets
+
+    def test_ring_routed_load_sim_lands_on_owners(self, corpus, tmp_path):
+        async def scenario(spec, services):
+            report = await run_cluster_load_sim(
+                spec, corpus, concurrency=4, max_attempts=30, seed=1,
+            )
+            assert len(report.accepted) == len(corpus)
+            assert report.failed == []
+            # Ring routing hit an owner directly every time: nothing
+            # needed the server-side forwarding fallback.
+            assert all(
+                service.cluster_counters["forwarded"] == 0
+                for service in services.values()
+            )
+            for _label, blob, upload_id in corpus:
+                prefs, _ = owner_and_rest(spec, services, blob)
+                for node_id in prefs:
+                    assert services[node_id].store.entry_for_upload(
+                        upload_id) is not None
+
+        run_cluster(tmp_path, scenario)
+
+    def test_router_service_proxies_uploads(self, corpus, tmp_path):
+        label, blob, _uid = corpus[0]
+
+        async def scenario(spec, services):
+            proxy = RouterService(spec, port=0)
+            host, port = await proxy.start()
+            client = ServiceClient(host, port)
+            try:
+                response = await client.upload(label, blob, "up-proxy")
+                assert response["status"] == "accepted"
+                prefs, _ = owner_and_rest(spec, services, blob)
+                assert response["routed_to"] == prefs[0]
+                stats = await client.stats()
+                assert stats["reachable"] == list(spec.node_ids)
+            finally:
+                await client.close()
+                await proxy.stop()
+
+        run_cluster(tmp_path, scenario)

@@ -1,0 +1,236 @@
+"""Tests for cluster membership, the node ring, and gossiped liveness.
+
+The ring tests pin the placement *contract*: adding one node to an
+N-node ring remaps roughly 1/N of the keyspace (consistent hashing's
+whole point), and placement is a pure function of the bytes hashed —
+two processes (or two releases) computing the owner of the same route
+digest must agree, or replication sets silently diverge.
+"""
+
+import hashlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.fleet.cluster.topology import (
+    ClusterSpec,
+    GossipState,
+    NodeRing,
+    NodeSpec,
+)
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+def members(count):
+    return tuple(
+        NodeSpec(node_id=f"n{index}", host="127.0.0.1", port=7000 + index)
+        for index in range(count)
+    )
+
+
+def route_keys(count):
+    """Deterministic synthetic route digests."""
+    return [
+        hashlib.sha256(f"route-{index}".encode()).hexdigest()
+        for index in range(count)
+    ]
+
+
+class TestClusterSpec:
+    def test_round_trips_through_json_file(self, tmp_path):
+        spec = ClusterSpec(nodes=members(3), replication=2)
+        spec.dump(tmp_path / "cluster.json")
+        loaded = ClusterSpec.load(tmp_path / "cluster.json")
+        assert loaded == spec
+        assert loaded.node_ids == ("n0", "n1", "n2")
+
+    def test_rejects_empty_duplicate_and_bad_replication(self):
+        with pytest.raises(ValueError, match="at least one node"):
+            ClusterSpec(nodes=())
+        twins = (members(1)[0], members(1)[0])
+        with pytest.raises(ValueError, match="duplicate node ids"):
+            ClusterSpec(nodes=twins, replication=1)
+        with pytest.raises(ValueError, match="out of range"):
+            ClusterSpec(nodes=members(2), replication=3)
+        with pytest.raises(ValueError, match="out of range"):
+            ClusterSpec(nodes=members(2), replication=0)
+
+    def test_node_lookup_and_peers(self):
+        spec = ClusterSpec(nodes=members(3), replication=2)
+        assert spec.node("n1").port == 7001
+        assert tuple(n.node_id for n in spec.peers_of("n1")) == ("n0", "n2")
+        with pytest.raises(KeyError):
+            spec.node("n9")
+
+
+class TestNodeRing:
+    def test_owner_is_deterministic_and_a_member(self):
+        ring = NodeRing(("n0", "n1", "n2"))
+        for key in route_keys(50):
+            owner = ring.owner(key)
+            assert owner in ("n0", "n1", "n2")
+            assert ring.owner(key) == owner
+
+    def test_preference_list_distinct_and_starts_at_owner(self):
+        ring = NodeRing(("n0", "n1", "n2", "n3"))
+        for key in route_keys(50):
+            prefs = ring.preference_list(key, 3)
+            assert len(prefs) == 3
+            assert len(set(prefs)) == 3
+            assert prefs[0] == ring.owner(key)
+
+    def test_preference_list_clamps_to_node_count(self):
+        ring = NodeRing(("n0", "n1"))
+        assert len(ring.preference_list(route_keys(1)[0], 5)) == 2
+
+    def test_alive_filter_skips_dead_but_keeps_walking(self):
+        ring = NodeRing(("n0", "n1", "n2", "n3"))
+        for key in route_keys(50):
+            static = ring.preference_list(key, 2)
+            dead = static[0]
+            degraded = ring.preference_list(
+                key, 2, alive={"n0", "n1", "n2", "n3"} - {dead}
+            )
+            # The walk continues past the dead owner: the set still has
+            # two members and never contains the dead one.
+            assert len(degraded) == 2
+            assert dead not in degraded
+            assert degraded[0] == static[1]
+
+    def test_single_node_owns_everything(self):
+        ring = NodeRing(("solo",))
+        assert all(ring.owner(key) == "solo" for key in route_keys(20))
+
+    def test_adding_one_node_remaps_about_one_nth(self):
+        """The satellite property: growing N -> N+1 moves ~1/(N+1) of
+        keys to the new node and nothing between old nodes."""
+        keys = route_keys(2000)
+        before = NodeRing(tuple(f"n{i}" for i in range(6)))
+        after = NodeRing(tuple(f"n{i}" for i in range(7)))
+        moved = 0
+        for key in keys:
+            old, new = before.owner(key), after.owner(key)
+            if old != new:
+                moved += 1
+                # Consistent hashing only ever moves keys *to* the
+                # added node, never shuffles between survivors.
+                assert new == "n6"
+        fraction = moved / len(keys)
+        # Expect ~1/7 ~= 0.143; allow generous sampling slack but stay
+        # far below the ~0.857 a mod-N scheme would remap.
+        assert fraction <= (1 / 7) + 0.08
+        assert fraction > 0.02
+
+    def test_owner_stable_across_processes(self):
+        """Placement is pure sha256 over pinned strings: a fresh
+        interpreter must compute identical owners (no per-process hash
+        randomization, no dict-order dependence)."""
+        node_ids = ("n0", "n1", "n2", "n3", "n4")
+        keys = route_keys(64)
+        mine = [NodeRing(node_ids).owner(key) for key in keys]
+        script = (
+            "import json, sys\n"
+            "from repro.fleet.cluster.topology import NodeRing\n"
+            "node_ids, keys = json.loads(sys.stdin.read())\n"
+            "ring = NodeRing(tuple(node_ids))\n"
+            "print(json.dumps([ring.owner(k) for k in keys]))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps([list(node_ids), keys]),
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert json.loads(result.stdout) == mine
+
+    def test_shard_of_stable_across_processes(self, tmp_path):
+        """The store's shard ring placement (which is *persisted* — a
+        divergence here corrupts stores) recomputes identically in a
+        fresh interpreter."""
+        from repro.fleet.store import ReportStore
+
+        digests = route_keys(64)
+        store = ReportStore(tmp_path / "store", num_shards=8)
+        mine = [store.shard_of(digest) for digest in digests]
+        script = (
+            "import json, sys\n"
+            "from repro.fleet.store import ReportStore\n"
+            "root, digests = json.loads(sys.stdin.read())\n"
+            "store = ReportStore(root)\n"
+            "print(json.dumps([store.shard_of(d) for d in digests]))\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps([str(tmp_path / "store"), digests]),
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        assert json.loads(result.stdout) == mine
+
+    def test_route_digest_pinned_value(self):
+        """The route digest formula is a cross-version wire contract;
+        pin one literal so an accidental change cannot slip through."""
+        from repro.fleet.signature import route_digest
+
+        expected = hashlib.sha256(
+            b"route-v1\x00prog\x00memory\x00"
+            + (0x1234).to_bytes(8, "little")
+        ).hexdigest()
+        assert route_digest("prog", "memory", 0x1234) == expected
+        # Deterministic across calls and insensitive to nothing else.
+        assert route_digest("prog", "memory", 0x1234) == expected
+
+
+class TestGossip:
+    def fresh(self, fail_after=2.0):
+        return GossipState(
+            self_id="n0", node_ids=("n0", "n1", "n2"),
+            fail_after=fail_after,
+        )
+
+    def test_everyone_alive_at_start_and_self_always(self):
+        gossip = self.fresh()
+        assert gossip.alive(now=0.0) >= {"n0"}
+        # Far future: peers expired, self immortal.
+        assert gossip.alive(now=1e9) == {"n0"}
+
+    def test_observe_merges_by_max_and_is_proof_of_life(self):
+        gossip = self.fresh()
+        gossip.observe({"n1": 5}, now=100.0)
+        assert gossip.counters["n1"] == 5
+        assert gossip.is_alive("n1", now=101.0)
+        # A stale (not advanced) counter is not proof of life.
+        gossip.observe({"n1": 5}, now=200.0)
+        assert not gossip.is_alive("n1", now=200.0)
+        # Unknown nodes are ignored: membership is the seed list.
+        gossip.observe({"intruder": 99}, now=100.0)
+        assert "intruder" not in gossip.counters
+
+    def test_touch_revives_a_restarted_peer(self):
+        """A restarted node's counter resets below the merged max, so
+        observe() alone would never revive it; direct contact does."""
+        gossip = self.fresh()
+        gossip.observe({"n1": 50}, now=100.0)
+        assert not gossip.is_alive("n1", now=200.0)
+        gossip.observe({"n1": 1}, now=200.0)  # restarted, counter reset
+        assert not gossip.is_alive("n1", now=200.0)
+        gossip.touch("n1", now=200.0)
+        assert gossip.is_alive("n1", now=201.0)
+        assert gossip.counters["n1"] == 50  # merged view keeps the max
+
+    def test_mark_dead_is_immediate(self):
+        gossip = self.fresh()
+        gossip.observe({"n2": 1}, now=100.0)
+        assert gossip.is_alive("n2", now=100.5)
+        gossip.mark_dead("n2")
+        assert not gossip.is_alive("n2")
+
+    def test_beat_advances_own_counter(self):
+        gossip = self.fresh()
+        gossip.beat()
+        gossip.beat()
+        assert gossip.snapshot()["n0"] == 2

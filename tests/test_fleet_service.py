@@ -346,3 +346,124 @@ class TestStopDrains:
         }
         assert acked_ids <= set(stored_ids)
         assert len(store) >= len(report.accepted)
+
+
+class TestProtocolVersion:
+    def test_version_error_accepts_current_and_missing(self):
+        from repro.fleet.wire import version_error
+
+        assert version_error({"op": "upload"}) is None
+        assert version_error({"op": "upload", "v": 1}) is None
+
+    def test_version_error_rejects_newer_with_structure(self):
+        from repro.fleet.wire import PROTOCOL_VERSION, version_error
+
+        rejection = version_error({"op": "upload", "v": 99})
+        assert rejection["status"] == "error"
+        assert rejection["reason"] == "unsupported-version"
+        assert rejection["max_supported"] == PROTOCOL_VERSION
+        assert "v99" in rejection["detail"]
+
+    def test_version_error_rejects_malformed(self):
+        from repro.fleet.wire import version_error
+
+        for bad in ("2", -1, 0, None):
+            rejection = version_error({"v": bad})
+            assert rejection["status"] == "error"
+            assert rejection["reason"] == "malformed frame"
+
+    def test_encode_frame_stamps_version(self):
+        from repro.fleet.wire import decode_payload, encode_frame
+
+        header, _body = decode_payload(encode_frame({"op": "ping"})[4:])
+        assert header["v"] == 1
+
+    def test_service_rejects_newer_frame_on_the_wire(self, corpus,
+                                                     tmp_path):
+        _programs, items = corpus
+        _label, blob, _uid = items[0]
+
+        async def scenario(service, host, port):
+            client = ServiceClient(host, port)
+            try:
+                response = await client.request(
+                    {"op": "upload", "label": "future", "v": 99}, blob,
+                )
+                # The connection survives: the client can downgrade and
+                # retry on the same socket.
+                retry = await client.request({"op": "ping"})
+            finally:
+                await client.close()
+            return response, retry
+
+        response, retry = run_service(tmp_path, scenario)
+        assert response["status"] == "error"
+        assert response["reason"] == "unsupported-version"
+        assert response["max_supported"] == 1
+        assert retry["status"] == "ok"
+
+    def test_loadsim_surfaces_version_rejection(self, corpus, tmp_path):
+        """An unsupported-version rejection is terminal (not retried to
+        exhaustion) and names the reason in the outcome."""
+        from repro.fleet import loadsim as loadsim_module
+        from repro.fleet.loadsim import run_load_sim
+
+        _programs, items = corpus
+        label, blob, _uid = items[0]
+        original = ServiceClient.upload
+
+        async def future_upload(self, label, blob, upload_id="",
+                                observed_at=None):
+            header = {"op": "upload", "label": label,
+                      "upload_id": upload_id, "v": 99}
+            return await self.request(header, blob)
+
+        async def scenario(service, host, port):
+            loadsim_module.ServiceClient.upload = future_upload
+            try:
+                return await run_load_sim(
+                    host, port, [(label, blob, "up-v99")],
+                    concurrency=1, max_attempts=5,
+                )
+            finally:
+                loadsim_module.ServiceClient.upload = original
+
+        report = run_service(tmp_path, scenario)
+        assert len(report.failed) == 1
+        outcome = report.failed[0]
+        assert outcome.attempts == 1
+        assert outcome.reason.startswith("unsupported-version")
+
+
+class TestBackoffJitter:
+    def test_seeded_schedule_is_reproducible(self):
+        import random
+
+        from repro.fleet.loadsim import backoff_delay
+
+        a = [backoff_delay(random.Random(42), 0.02, n) for n in range(1, 8)]
+        b = [backoff_delay(random.Random(42), 0.02, n) for n in range(1, 8)]
+        assert a == b
+
+    def test_full_jitter_bounds_and_cap(self):
+        import random
+
+        from repro.fleet.loadsim import backoff_delay
+
+        rng = random.Random(7)
+        for attempt in range(1, 20):
+            delay = backoff_delay(rng, 0.02, attempt)
+            assert 0.0 <= delay <= 0.02 * (2 ** min(attempt, 6))
+
+    def test_jitter_spreads_a_herd(self):
+        """Two clients observing the same failure at the same attempt
+        must not come back in lockstep (the pre-jitter schedule kept
+        >= half the deterministic delay for everyone)."""
+        import random
+
+        from repro.fleet.loadsim import backoff_delay
+
+        delays = [backoff_delay(random.Random(seed), 0.02, 3)
+                  for seed in range(50)]
+        assert min(delays) < 0.02 * (2 ** 3) * 0.25
+        assert len(set(delays)) == len(delays)

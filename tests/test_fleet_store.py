@@ -64,11 +64,21 @@ class TestPersistence:
         assert reopened.entries() == store.entries()
         assert reopened.num_shards == 4
 
-    def test_reopen_ignores_conflicting_shard_count(self, tmp_path):
+    def test_reopen_with_conflicting_ring_shape_raises(self, tmp_path):
+        """The ring shape of an existing store is immutable: silently
+        using the on-disk value (the old behavior) hid real
+        misconfiguration — the caller believes reports are placed one
+        way while the store does something else."""
         store = ReportStore(tmp_path, num_shards=4)
         fill(store, 4)
-        reopened = ReportStore(tmp_path, num_shards=16)
-        assert reopened.num_shards == 4
+        with pytest.raises(ValueError, match="num_shards=4"):
+            ReportStore(tmp_path, num_shards=16)
+        with pytest.raises(ValueError, match="ring_replicas=32"):
+            ReportStore(tmp_path, ring_replicas=64)
+        # Unspecified (None) inherits the on-disk shape; a *matching*
+        # explicit value is not a conflict.
+        assert ReportStore(tmp_path).num_shards == 4
+        reopened = ReportStore(tmp_path, num_shards=4, ring_replicas=32)
         assert [e.shard for e in reopened.entries()] == \
             [e.shard for e in store.entries()]
 
@@ -167,3 +177,68 @@ class TestQueries:
         assert len(store.entries(digest_of(1))) == 2
         assert len(store.entries(digest_of(2))) == 1
         assert store.signatures() == sorted({digest_of(1), digest_of(2)})
+
+
+class TestRetentionAndRollups:
+    def test_window_evicts_by_observed_at(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4, retention_window=3)
+        fill(store, 8)  # observed_at 0..7; cutoff = 7 - 3 = 4
+        assert [e.observed_at for e in store.entries()] == [4, 5, 6, 7]
+        assert store.evicted_reports == 4
+
+    def test_counts_survive_blob_eviction(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4, retention_window=2)
+        for when in range(6):
+            store.add(digest_of(0), b"x" * 40, fault_kind="memory",
+                      program_name="prog", observed_at=when,
+                      race_pcs=(0x10,))
+        rollup = store.rollups()[digest_of(0)]
+        assert rollup["count"] == 3          # observed_at 0..2 evicted
+        assert rollup["bytes"] == 120
+        assert rollup["first_seen"] == 0
+        assert rollup["last_seen"] == 2
+        assert rollup["fault_kind"] == "memory"
+        assert rollup["race_pcs"] == [16]
+        assert len(store.entries()) == 3     # 3..5 resident
+
+    def test_compact_applies_window_outside_a_commit(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4)
+        fill(store, 6)
+        assert store.compact() == 0          # no window configured
+        windowed = ReportStore(tmp_path, retention_window=2)
+        assert windowed.compact() == 3       # observed_at 0..2 go
+        assert [e.observed_at for e in windowed.entries()] == [3, 4, 5]
+        assert windowed.compact() == 0       # idempotent
+
+    def test_compact_with_explicit_clock(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2, retention_window=10)
+        fill(store, 4)                       # observed_at 0..3
+        assert store.compact(now=20) == 4    # a real fleet clock moved on
+        assert store.entries() == []
+        assert sum(s["count"] for s in store.rollups().values()) == 4
+
+    def test_window_persists_in_meta_and_reopen_inherits(self, tmp_path):
+        ReportStore(tmp_path, num_shards=4, retention_window=7)
+        reopened = ReportStore(tmp_path)
+        assert reopened.retention_window == 7
+
+    def test_rollups_merge_across_reopens(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2, retention_window=1)
+        for when in range(4):
+            store.add(digest_of(0), b"x" * 10, observed_at=when)
+        first = store.rollups()[digest_of(0)]["count"]
+        assert first == 2
+        reopened = ReportStore(tmp_path)
+        for when in range(4, 8):
+            reopened.add(digest_of(0), b"x" * 10, observed_at=when)
+        assert reopened.rollups()[digest_of(0)]["count"] == 6
+
+    def test_route_key_round_trips_through_reopen(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=2)
+        route = hashlib.sha256(b"route").hexdigest()
+        store.add(digest_of(0), b"x" * 10, route_key=route,
+                  upload_id="up-0")
+        reopened = ReportStore(tmp_path)
+        entry = reopened.entry_for_upload("up-0")
+        assert entry is not None
+        assert entry.route_key == route

@@ -89,3 +89,67 @@ class TestRendering:
         assert payload["count"] == 1
         assert payload["representative"]["replay_window"] == 77
         assert payload["signature"] == digest_of("bug")
+
+
+class TestRollupAwareTriage:
+    def _retained_store(self, tmp_path, window):
+        return ReportStore(tmp_path, num_shards=4,
+                           retention_window=window)
+
+    def test_evicted_occurrences_keep_ranking_the_bucket(self, tmp_path):
+        store = self._retained_store(tmp_path, 4)
+        # "historic" crashed a lot early, "current" trickles recently.
+        for when in range(6):
+            add(store, "historic", when)
+        for when in (7, 8):
+            add(store, "current", when)
+        buckets = build_buckets(store)
+        historic = next(b for b in buckets
+                        if b.digest == digest_of("historic"))
+        assert historic.rolled_up > 0
+        assert historic.total_count == 6
+        assert historic.count == 6 - historic.rolled_up
+        # Total count (resident + evicted) outranks the fresher bucket.
+        assert buckets[0].digest == digest_of("historic")
+
+    def test_rollup_only_bucket_has_no_representative(self, tmp_path):
+        store = self._retained_store(tmp_path, 2)
+        add(store, "gone", 0)
+        add(store, "fresh", 5)
+        add(store, "fresh", 6)
+        buckets = build_buckets(store)
+        gone = next(b for b in buckets if b.digest == digest_of("gone"))
+        assert gone.count == 0
+        assert gone.total_count == 1
+        assert gone.representative is None
+        assert gone.first_seen == 0
+        payload = gone.to_dict()
+        assert payload["representative"] is None
+        assert payload["total_count"] == 1
+        rendered = render_triage(buckets)
+        assert "(all blobs evicted)" in rendered
+        assert "1 (1 evicted)" in rendered  # total (evicted) format
+
+    def test_render_marks_partially_evicted_counts(self, tmp_path):
+        store = self._retained_store(tmp_path, 3)
+        for when in range(6):
+            add(store, "aging", when)
+        rendered = render_triage(build_buckets(store))
+        assert "6 (2 evicted)" in rendered
+
+    def test_rollups_can_be_excluded(self, tmp_path):
+        store = self._retained_store(tmp_path, 2)
+        add(store, "gone", 0)
+        add(store, "fresh", 5)
+        buckets = build_buckets(store, include_rollups=False)
+        assert [b.digest for b in buckets] == [digest_of("fresh")]
+
+    def test_race_pcs_union_includes_rollup(self, tmp_path):
+        store = ReportStore(tmp_path, num_shards=4, retention_window=1)
+        store.add(digest_of("racy"), b"x" * 20, fault_kind="race",
+                  program_name="prog", observed_at=0, race_pcs=(0x10,))
+        store.add(digest_of("racy"), b"x" * 20, fault_kind="race",
+                  program_name="prog", observed_at=5, race_pcs=(0x20,))
+        bucket = build_buckets(store)[0]
+        assert bucket.racy
+        assert bucket.race_pcs == (0x10, 0x20)

@@ -260,10 +260,12 @@ class TestLegacyIndexCompat:
             out.write(struct.pack("<I", version))
             for entry in shard_entries:
                 packed = _pack_entry(entry)
-                # v3 pack ends with the race_pcs field (u32 count, empty
-                # here) preceded by the upload_id string (u32 len +
+                # v4 pack ends with the route_key string (u32 len,
+                # empty here) after the race_pcs field (u32 count,
+                # empty here) after the upload_id string (u32 len +
                 # bytes); strip per target version.
-                strip = 4  # race_pcs count
+                strip = 4  # route_key length
+                strip += 4  # race_pcs count
                 if version < 2:
                     strip += 4 + len(entry.upload_id.encode())
                 out.write(packed[:-strip])
