@@ -77,6 +77,22 @@ def measure_mt_validation() -> float:
     return MT_REPORTS / elapsed
 
 
+def measure_mt_dedup() -> float:
+    """Duplicate-dominant admission rate (reports/s): 80 % repeats
+    served by the admission cache, 20 % full MT validation.  Per-item
+    work, so scale-stable like measure_mt_validation."""
+    from benchmarks.test_mt_dedup import (
+        DEDUP_UPLOADS,
+        _dedup_traffic,
+        _ingest_dedup,
+    )
+
+    _dedup_traffic()  # synthesize outside the timed region
+    elapsed, (results, _buckets, _pipeline) = _best(_ingest_dedup)
+    assert all(result.accepted for result in results)
+    return DEDUP_UPLOADS / elapsed
+
+
 def measure_fleet_service() -> float:
     from benchmarks.test_service_throughput import (
         SERVICE_UPLOADS,
@@ -130,6 +146,8 @@ METRICS = {
                                      measure_fleet_ingest),
     "fleet_mt_validate_reports_per_sec": (
         ("fleet_mt_validate", "reports_per_sec"), measure_mt_validation),
+    "fleet_mt_dedup_reports_per_sec": (
+        ("fleet_mt_dedup", "reports_per_sec"), measure_mt_dedup),
     "fleet_service_reports_per_sec": (("fleet_service", "reports_per_sec"),
                                       measure_fleet_service),
     "fleet_cluster_reports_per_sec": (("fleet_cluster", "reports_per_sec"),

@@ -306,12 +306,29 @@ def _cmd_ingest(args) -> int:
     pipeline = IngestPipeline(
         store, resolver_from_sources(sources),
         workers=args.workers, probe=not args.no_probe,
+        admit_cache=_admit_cache_for(args, args.store),
     )
     start = time.perf_counter()
     results = pipeline.ingest_paths(paths)
     elapsed = time.perf_counter() - start
     _print_ingest_results(results, store, elapsed, args.json)
     return 1 if pipeline.rejected else 0
+
+
+def _admit_cache_for(args, store_dir):
+    """The dedup-before-validate cache a batch command shares with any
+    service on the same store (``--no-admit-cache`` disables it)."""
+    if getattr(args, "no_admit_cache", False):
+        return None
+    from pathlib import Path
+
+    from repro.fleet.admitcache import AdmitCache
+
+    return AdmitCache(
+        Path(store_dir) / "admit-cache.json",
+        seed=getattr(args, "admit_seed", 0) or 0,
+        reverify_fraction=getattr(args, "reverify_fraction", 0.05),
+    )
 
 
 def _ingest_into_cluster(args, paths) -> int:
@@ -509,6 +526,7 @@ def _cmd_fleet_sim(args) -> int:
         return _fleet_sim_cluster(args, names)
     programs, corpus, failures = synthesize_corpus(
         args.runs, names, seed=args.seed, corrupt=args.corrupt,
+        duplicate_fraction=args.duplicate_fraction,
     )
     # observed_at None: store-monotonic, survives store reuse.
     items = [(label, blob, None) for label, blob, _upload_id in corpus]
@@ -518,7 +536,8 @@ def _cmd_fleet_sim(args) -> int:
     store_dir = args.store or tempfile.mkdtemp(prefix="bugnet-fleet-")
     store = ReportStore(store_dir, num_shards=args.shards,
                         byte_budget=args.budget)
-    pipeline = IngestPipeline(store, programs.get, workers=args.workers)
+    pipeline = IngestPipeline(store, programs.get, workers=args.workers,
+                              admit_cache=_admit_cache_for(args, store_dir))
     start = time.perf_counter()
     results = pipeline.ingest_many(items)
     elapsed = time.perf_counter() - start
@@ -531,6 +550,8 @@ def _cmd_fleet_sim(args) -> int:
             "corrupt_injected": corrupted,
             "accepted": pipeline.accepted,
             "rejected": pipeline.rejected,
+            "cache_hits": pipeline.cache_hits,
+            "reverified": pipeline.reverified,
             "buckets": [bucket.to_dict() for bucket in buckets],
             "store": store_dir,
         }, indent=2))
@@ -538,7 +559,10 @@ def _cmd_fleet_sim(args) -> int:
     print(f"fleet-sim: {args.runs} run(s), {crashes} crash report(s), "
           f"{corrupted} corrupted blob(s) injected")
     print(f"ingest: {pipeline.accepted} accepted, {pipeline.rejected} "
-          f"rejected in {elapsed:.2f}s")
+          f"rejected in {elapsed:.2f}s"
+          + (f" ({pipeline.cache_hits} cache hit(s), "
+             f"{pipeline.reverified} reverified)"
+             if pipeline.cache_hits or pipeline.reverified else ""))
     for result in results:
         if not result.accepted:
             print(f"  - {result.label}: rejected ({result.reason})")
@@ -626,6 +650,9 @@ def _cmd_serve(args) -> int:
         commit_batch=args.commit_batch,
         probe=not args.no_probe,
         log_json=args.log_json,
+        admit_cache=not args.no_admit_cache,
+        reverify_fraction=args.reverify_fraction,
+        admit_seed=args.admit_seed,
     )
     cluster_banner = ""
     if args.cluster is not None:
@@ -711,6 +738,7 @@ def _cmd_load_sim(args) -> int:
     _programs, items, failures = synthesize_corpus(
         args.runs, names, seed=args.seed, corrupt=args.corrupt,
         id_prefix=args.id_prefix,
+        duplicate_fraction=args.duplicate_fraction,
     )
     check_metrics = not args.no_metrics_check
     cluster_spec = None
@@ -1213,6 +1241,13 @@ def build_parser() -> argparse.ArgumentParser:
                              "I/O; replay itself is GIL-bound)")
     ingest.add_argument("--no-probe", action="store_true",
                         help="skip re-executing the faulting instruction")
+    ingest.add_argument("--no-admit-cache", action="store_true",
+                        help="fully validate every report (skip the "
+                             "dedup-before-validate admission cache)")
+    ingest.add_argument("--reverify-fraction", type=float, default=0.05,
+                        help="deterministic fraction of cache-hit repeats "
+                             "that still replay in full (trust-but-verify; "
+                             "default 0.05)")
     ingest.add_argument("--json", action="store_true")
     ingest.set_defaults(func=_cmd_ingest)
 
@@ -1288,6 +1323,16 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--retain", type=int, default=None,
                        help="cluster mode: per-node retention window "
                             "(logical observed_at units)")
+    fleet.add_argument("--duplicate-fraction", type=float, default=0.0,
+                       help="fraction of runs that re-upload an earlier "
+                            "blob under a fresh upload id "
+                            "(duplicate-dominated fleet traffic)")
+    fleet.add_argument("--no-admit-cache", action="store_true",
+                       help="fully validate every report (skip the "
+                            "dedup-before-validate admission cache)")
+    fleet.add_argument("--reverify-fraction", type=float, default=0.05,
+                       help="deterministic fraction of cache-hit repeats "
+                            "that still replay in full (default 0.05)")
     fleet.add_argument("--json", action="store_true")
     fleet.set_defaults(func=_cmd_fleet_sim)
 
@@ -1337,6 +1382,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "process death)")
     serve.add_argument("--no-probe", action="store_true",
                        help="skip re-executing the faulting instruction")
+    serve.add_argument("--no-admit-cache", action="store_true",
+                       help="fully validate every upload (skip the "
+                            "dedup-before-validate admission cache)")
+    serve.add_argument("--reverify-fraction", type=float, default=0.05,
+                       help="deterministic fraction of cache-hit repeats "
+                            "that still replay in full (trust-but-verify; "
+                            "default 0.05)")
+    serve.add_argument("--admit-seed", type=int, default=0,
+                       help="seed of the reverify sample (every cluster "
+                            "node must share it)")
     serve.add_argument("--log-json", action="store_true",
                        help="emit one structured JSON log line per "
                             "admission outcome (and service lifecycle "
@@ -1362,6 +1417,10 @@ def build_parser() -> argparse.ArgumentParser:
     loadsim.add_argument("--seed", type=int, default=0)
     loadsim.add_argument("--corrupt", type=int, default=2,
                          help="corrupted blobs to inject (must be rejected)")
+    loadsim.add_argument("--duplicate-fraction", type=float, default=0.0,
+                         help="fraction of runs that re-upload an earlier "
+                              "blob under a fresh upload id "
+                              "(duplicate-dominated fleet traffic)")
     loadsim.add_argument("--concurrency", type=int, default=8,
                          help="concurrent uploader connections")
     loadsim.add_argument("--max-attempts", type=int, default=60,

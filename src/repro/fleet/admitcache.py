@@ -1,0 +1,469 @@
+"""Dedup-before-validate admission: the validated-signature cache.
+
+BugNet's fleet premise is that millions of deployed machines ship
+crash reports and the collector dedups them into a handful of buckets
+— but validate-before-commit replays *every* upload in full, so
+duplicate-dominated racy traffic pays the expensive multi-thread
+replay once per copy.  This module is the first admission tier: a
+bounded, persistent cache mapping a report blob's fingerprint (sha256
+of the raw bytes) to the **validated outcome** a previous full
+validation produced — everything a commit needs (the signature
+preimage, the replay window, the routing key), so a repeat upload
+commits byte-identically to a full validation without replaying a
+single instruction.
+
+Three properties keep the shortcut honest:
+
+* **Integrity cross-check on every hit.**  A probe decodes the blob
+  (cheap — no replay) and requires the cached entry to agree with the
+  report's own claims: program, fault kind, faulting PC, and the
+  replay-free :func:`~repro.fleet.signature.route_digest`.  An entry
+  that disagrees with its own blob is dropped, not trusted.
+* **Trust-but-verify sampling.**  A deterministic, seeded fraction of
+  repeats (:meth:`AdmitCache.should_reverify`) still takes the full
+  validation path; the outcome is compared against the cache.  The
+  sample is a pure function of ``(seed, fingerprint, upload_id)``, so
+  every service worker, restart, and cluster node draws the *same*
+  sample — reverification cannot be dodged by retrying an upload.
+* **Quarantine on mismatch.**  If a sampled re-validation disagrees
+  with the cached outcome, the bucket's digest is quarantined: its
+  entries are evicted, future outcomes for that digest are refused
+  admission to the cache, and every subsequent upload of that bucket
+  takes the full validation path.  The quarantine set persists with
+  the cache and replicates through the same file.
+
+Persistence is flock-safe like the store: a read-merge-write cycle
+under an exclusive lock, so concurrent writer processes (batch ingest
+beside a live service, two services on one store) never lose each
+other's entries.  Readers pick up foreign writes by mtime.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.fleet.signature import CrashSignature, route_digest
+from repro.fleet.validate import DECODE_ERRORS, ValidatedReport
+from repro.obs import REGISTRY
+from repro.tracing.serialize import load_report_header
+
+try:  # pragma: no cover - fcntl is present on every POSIX target
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
+_CACHE_PROBES = REGISTRY.counter(
+    "bugnet_admit_cache_total",
+    "Admission-cache probe outcomes (hit = commit without replay).",
+    ("result",),  # hit | miss | quarantined | integrity-drop
+)
+_REVERIFY = REGISTRY.counter(
+    "bugnet_admit_reverify_total",
+    "Sampled trust-but-verify re-validations of cache hits.",
+    ("result",),  # match | mismatch
+)
+_QUARANTINES = REGISTRY.counter(
+    "bugnet_admit_quarantine_total",
+    "Buckets quarantined after a reverify mismatch (poisoned cache).",
+)
+
+#: On-disk format version; bump when the entry shape changes.
+_FORMAT = 1
+
+
+def blob_fingerprint(blob: bytes) -> str:
+    """Cache key of a report blob: sha256 over the raw upload bytes.
+
+    Byte-identical uploads — the fleet's duplicate-dominated common
+    case — share a fingerprint; a single flipped bit misses and takes
+    the full validation path, so the cache can never launder a corrupt
+    variant of a known-good report."""
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass(frozen=True)
+class CachedOutcome:
+    """One validated admission outcome, keyed by blob fingerprint.
+
+    Carries the full :class:`~repro.fleet.signature.CrashSignature`
+    preimage (not just the digest) so a cache-hit commit reconstructs
+    the signature and every store field byte-identically to the full
+    validation that seeded the entry — and so the digest itself is
+    recomputable as an integrity check on entries that arrive from
+    disk or replication."""
+
+    fingerprint: str
+    program_name: str
+    fault_kind: str
+    fault_pc: int
+    tail_pcs: "tuple[int, ...]"
+    race_pcs: "tuple[int, ...]"
+    instructions: int
+    route_key: str
+
+    @property
+    def signature(self) -> CrashSignature:
+        """The signature this outcome commits under (recomputed)."""
+        return CrashSignature(
+            program_name=self.program_name,
+            fault_kind=self.fault_kind,
+            fault_pc=self.fault_pc,
+            tail_pcs=self.tail_pcs,
+            race_pcs=self.race_pcs,
+        )
+
+    @property
+    def digest(self) -> str:
+        """Bucket digest (recomputed from the preimage)."""
+        return self.signature.digest
+
+    def validated(self, label: str, blob: bytes,
+                  observed_at: "int | None") -> ValidatedReport:
+        """Materialize the commit-ready :class:`ValidatedReport` a full
+        validation of *blob* would have produced."""
+        return ValidatedReport(
+            label=label,
+            blob=blob,
+            observed_at=observed_at,
+            signature=self.signature,
+            fault_kind=self.fault_kind,
+            program_name=self.program_name,
+            instructions=self.instructions,
+            route_key=self.route_key,
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "fingerprint": self.fingerprint,
+            "program_name": self.program_name,
+            "fault_kind": self.fault_kind,
+            "fault_pc": self.fault_pc,
+            "tail_pcs": list(self.tail_pcs),
+            "race_pcs": list(self.race_pcs),
+            "instructions": self.instructions,
+            "route_key": self.route_key,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "CachedOutcome | None":
+        try:
+            return cls(
+                fingerprint=str(data["fingerprint"]),
+                program_name=str(data["program_name"]),
+                fault_kind=str(data["fault_kind"]),
+                fault_pc=int(data["fault_pc"]),
+                tail_pcs=tuple(int(pc) for pc in data["tail_pcs"]),
+                race_pcs=tuple(int(pc) for pc in data["race_pcs"]),
+                instructions=int(data["instructions"]),
+                route_key=str(data["route_key"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            return None  # a corrupt record drops; it cannot poison
+
+    @classmethod
+    def from_validated(cls, fingerprint: str,
+                       validated: ValidatedReport) -> "CachedOutcome":
+        signature = validated.signature
+        return cls(
+            fingerprint=fingerprint,
+            program_name=signature.program_name,
+            fault_kind=signature.fault_kind,
+            fault_pc=signature.fault_pc,
+            tail_pcs=tuple(signature.tail_pcs),
+            race_pcs=tuple(signature.race_pcs),
+            instructions=validated.instructions,
+            route_key=validated.route_key,
+        )
+
+
+class AdmitCache:
+    """Bounded, persistent, flock-safe validated-signature cache.
+
+    *path* is the cache file (conventionally ``admit-cache.json`` in
+    the store root, beside ``store.lock``).  *capacity* bounds the
+    entry count — least-recently-used entries evict first, which under
+    fleet traffic keeps the hot buckets resident.  *seed* and
+    *reverify_fraction* parameterize the deterministic
+    trust-but-verify sample; every node of a cluster must share the
+    seed for the sample to be cluster-consistent."""
+
+    def __init__(self, path, capacity: int = 4096, seed: int = 0,
+                 reverify_fraction: float = 0.05) -> None:
+        self.path = Path(path)
+        self.capacity = max(int(capacity), 1)
+        self.seed = int(seed)
+        self.reverify_fraction = float(reverify_fraction)
+        self._entries: "OrderedDict[str, CachedOutcome]" = OrderedDict()
+        self._quarantined: "set[str]" = set()
+        self._loaded_mtime: "float | None" = None
+        # One cache instance is shared by every in-process consumer
+        # (service chunk tasks run on executor threads); the flock only
+        # serializes *processes*.
+        self._mutex = threading.RLock()
+        self._load(merge=False)
+
+    # -- probes --------------------------------------------------------------
+
+    def probe(self, blob: bytes) -> "CachedOutcome | None":
+        """First admission tier: return the cached validated outcome
+        for *blob*, or ``None`` (take the full validation path).
+
+        A hit requires the signature-prefix cross-check to pass: the
+        blob must decode, and its own (program, fault kind, fault PC,
+        route digest) must match the entry.  Since the fingerprint is
+        a hash of the full blob this only fails when the *cache entry*
+        is wrong — corrupt or poisoned — and such entries are dropped
+        and counted rather than trusted."""
+        with self._mutex:
+            self._maybe_reload()
+            fingerprint = blob_fingerprint(blob)
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                _CACHE_PROBES.labels("miss").inc()
+                return None
+            if entry.digest in self._quarantined:
+                _CACHE_PROBES.labels("quarantined").inc()
+                return None
+        # The decode cross-check runs outside the mutex — it is pure
+        # CPU work on the blob and the entry is immutable.  Header-only
+        # decode: the probe needs the report's *claims*, not its logs.
+        try:
+            report = load_report_header(blob)
+        except DECODE_ERRORS:
+            with self._mutex:
+                self._entries.pop(fingerprint, None)
+            _CACHE_PROBES.labels("integrity-drop").inc()
+            return None
+        if (report.program_name != entry.program_name
+                or report.fault_kind != entry.fault_kind
+                or report.fault_pc != entry.fault_pc
+                or route_digest(report.program_name, report.fault_kind,
+                                report.fault_pc) != entry.route_key):
+            with self._mutex:
+                self._entries.pop(fingerprint, None)
+            _CACHE_PROBES.labels("integrity-drop").inc()
+            return None
+        with self._mutex:
+            if fingerprint in self._entries:
+                self._entries.move_to_end(fingerprint)
+        _CACHE_PROBES.labels("hit").inc()
+        return entry
+
+    def should_reverify(self, fingerprint: str, upload_id: str) -> bool:
+        """Deterministic trust-but-verify sample membership.
+
+        A pure function of ``(seed, fingerprint, upload_id)`` — the
+        same upload draws the same verdict on every worker, across
+        restarts, and on every cluster node, so the sample cannot be
+        dodged and the drill in CI is reproducible."""
+        fraction = self.reverify_fraction
+        if fraction <= 0.0:
+            return False
+        if fraction >= 1.0:
+            return True
+        hasher = hashlib.sha256()
+        hasher.update(b"reverify-v1\x00")
+        hasher.update(str(self.seed).encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(fingerprint.encode("utf-8"))
+        hasher.update(b"\x00")
+        hasher.update(upload_id.encode("utf-8"))
+        draw = int.from_bytes(hasher.digest()[:8], "big") / float(1 << 64)
+        return draw < fraction
+
+    # -- mutation ------------------------------------------------------------
+
+    def record(self, fingerprint: str,
+               validated: ValidatedReport) -> "CachedOutcome | None":
+        """Admit a full-validation outcome into the cache (in memory;
+        call :meth:`flush` to persist).  Quarantined buckets are
+        refused — once a digest misbehaved, every upload of it
+        revalidates until an operator clears the quarantine."""
+        entry = CachedOutcome.from_validated(fingerprint, validated)
+        with self._mutex:
+            if entry.digest in self._quarantined:
+                return None
+            self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return entry
+
+    def seed_entry(self, entry: CachedOutcome) -> bool:
+        """Admit an entry that arrived from cluster replication.
+
+        The digest is recomputed from the preimage by construction
+        (:attr:`CachedOutcome.digest`), so a replication message
+        cannot claim a digest its fields do not hash to."""
+        with self._mutex:
+            if entry.digest in self._quarantined:
+                return False
+            self._entries[entry.fingerprint] = entry
+            self._entries.move_to_end(entry.fingerprint)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return True
+
+    def reverify_outcome(self, expected: CachedOutcome,
+                         outcome) -> bool:
+        """Compare a sampled full re-validation against its cache
+        entry; on mismatch quarantine the bucket.  Returns ``True``
+        when the cache told the truth."""
+        matches = (
+            isinstance(outcome, ValidatedReport)
+            and outcome.signature.digest == expected.digest
+            and outcome.instructions == expected.instructions
+            and outcome.route_key == expected.route_key
+        )
+        if matches:
+            _REVERIFY.labels("match").inc()
+            return True
+        _REVERIFY.labels("mismatch").inc()
+        self.quarantine(expected.digest)
+        return False
+
+    def quarantine(self, digest: str) -> None:
+        """Quarantine a bucket: evict its entries, refuse new ones,
+        persist the ban."""
+        with self._mutex:
+            if digest not in self._quarantined:
+                self._quarantined.add(digest)
+                _QUARANTINES.inc()
+            stale = [fp for fp, entry in self._entries.items()
+                     if entry.digest == digest]
+            for fingerprint in stale:
+                del self._entries[fingerprint]
+            self.flush()
+
+    # -- persistence ---------------------------------------------------------
+
+    def _lock(self):
+        """Exclusive advisory flock on the cache's sidecar lock file
+        (mirrors the store's discipline; no-op where fcntl is
+        unavailable)."""
+        from contextlib import contextmanager
+
+        @contextmanager
+        def held():
+            if fcntl is None:  # pragma: no cover - non-POSIX
+                yield
+                return
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(self.path.with_suffix(".lock"),
+                         os.O_CREAT | os.O_RDWR, 0o644)
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+                os.close(fd)
+
+        return held()
+
+    def _read_file(self) -> "tuple[OrderedDict, set, float | None]":
+        entries: "OrderedDict[str, CachedOutcome]" = OrderedDict()
+        quarantined: "set[str]" = set()
+        try:
+            stat = self.path.stat()
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return entries, quarantined, None
+        if not isinstance(data, dict) or data.get("format") != _FORMAT:
+            return entries, quarantined, stat.st_mtime
+        for raw in data.get("entries", ()):
+            if isinstance(raw, dict):
+                entry = CachedOutcome.from_json(raw)
+                if entry is not None:
+                    entries[entry.fingerprint] = entry
+        for digest in data.get("quarantined", ()):
+            if isinstance(digest, str):
+                quarantined.add(digest)
+        return entries, quarantined, stat.st_mtime
+
+    def _load(self, merge: bool) -> None:
+        disk_entries, disk_quarantined, mtime = self._read_file()
+        self._loaded_mtime = mtime
+        self._quarantined |= disk_quarantined
+        if merge:
+            # Our in-memory entries are newer: disk entries fill gaps
+            # only (inserted coldest-first), preserving our LRU recency.
+            for fingerprint, entry in disk_entries.items():
+                if fingerprint not in self._entries:
+                    self._entries[fingerprint] = entry
+                    self._entries.move_to_end(fingerprint, last=False)
+        else:
+            self._entries = disk_entries
+        self._entries = OrderedDict(
+            (fp, entry) for fp, entry in self._entries.items()
+            if entry.digest not in self._quarantined
+        )
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def _maybe_reload(self) -> None:
+        """Pick up foreign writers' entries (another service, a batch
+        ingest, a replicating peer) by mtime — a stat per probe, not a
+        read."""
+        try:
+            mtime = self.path.stat().st_mtime
+        except OSError:
+            return
+        if mtime != self._loaded_mtime:
+            self._load(merge=True)
+
+    def flush(self) -> None:
+        """Persist via read-merge-write under the flock: concurrent
+        writer processes union their entries and quarantines instead
+        of last-writer-wins clobbering."""
+        with self._mutex, self._lock():
+            disk_entries, disk_quarantined, _mtime = self._read_file()
+            self._quarantined |= disk_quarantined
+            merged: "OrderedDict[str, CachedOutcome]" = OrderedDict()
+            for source in (disk_entries, self._entries):
+                for fingerprint, entry in source.items():
+                    merged.pop(fingerprint, None)
+                    merged[fingerprint] = entry
+            merged = OrderedDict(
+                (fp, entry) for fp, entry in merged.items()
+                if entry.digest not in self._quarantined
+            )
+            while len(merged) > self.capacity:
+                merged.popitem(last=False)
+            payload = {
+                "format": _FORMAT,
+                "entries": [entry.to_json() for entry in merged.values()],
+                "quarantined": sorted(self._quarantined),
+            }
+            temp = self.path.with_name(
+                self.path.name + f".{os.getpid()}.tmp")
+            temp.write_text(json.dumps(payload), encoding="utf-8")
+            os.replace(temp, self.path)
+            self._entries = merged
+            try:
+                self._loaded_mtime = self.path.stat().st_mtime
+            except OSError:  # pragma: no cover - unlinked beneath us
+                self._loaded_mtime = None
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def quarantined(self) -> "frozenset[str]":
+        return frozenset(self._quarantined)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "quarantined": len(self._quarantined),
+            "reverify_fraction": self.reverify_fraction,
+            "seed": self.seed,
+        }

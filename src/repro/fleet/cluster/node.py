@@ -248,7 +248,7 @@ class ClusterNodeService(FleetService):
             targets = self._preference_list(entry.route_key, alive=alive) \
                 if entry.route_key else []
             pushes = [
-                self._replicate_to(peer_id, entry, validated.blob)
+                self._replicate_to(peer_id, entry, validated)
                 for peer_id in targets if peer_id != self.node_id
             ]
             for peer_id, ok in zip(
@@ -260,7 +260,8 @@ class ClusterNodeService(FleetService):
             extras.append({"node": self.node_id, "replicas": replicas})
         return extras
 
-    async def _replicate_to(self, peer_id: str, entry, blob: bytes) -> bool:
+    async def _replicate_to(self, peer_id: str, entry, validated) -> bool:
+        signature = validated.signature
         response = await self._peer_call(peer_id, {
             "op": "replicate",
             "digest": entry.digest,
@@ -271,7 +272,13 @@ class ClusterNodeService(FleetService):
             "program_name": entry.program_name,
             "race_pcs": list(entry.race_pcs),
             "route_key": entry.route_key,
-        }, blob)
+            # Additive (an older node ignores them): the signature
+            # preimage the replica needs to seed its admit cache, so a
+            # duplicate of this report hitting *any* replica commits
+            # without replay (DESIGN.md §13).
+            "fault_pc": signature.fault_pc,
+            "tail_pcs": list(signature.tail_pcs),
+        }, validated.blob)
         ok = response is not None and response.get("status") == "ok"
         if ok:
             self._bump("replicated_out", _REPLICATED.labels("out"))
@@ -333,7 +340,34 @@ class ClusterNodeService(FleetService):
             route_key=str(header.get("route_key", "")),
         ))
         self._bump("replicated_in", _REPLICATED.labels("in"))
+        self._seed_admit_cache(header, body)
         return {"status": "ok", "duplicate": False, "seq": entry.seq}
+
+    def _seed_admit_cache(self, header: dict, body: bytes) -> None:
+        """Seed this replica's admit cache from a replicate push that
+        carries the coordinator's validated signature preimage — cache
+        coherence rides replication, no extra protocol round-trip."""
+        if self.admit_cache is None or "tail_pcs" not in header:
+            return
+        from repro.fleet.admitcache import CachedOutcome, blob_fingerprint
+
+        entry = CachedOutcome.from_json({
+            "fingerprint": blob_fingerprint(body),
+            "program_name": header.get("program_name", ""),
+            "fault_kind": header.get("fault_kind", ""),
+            "fault_pc": header.get("fault_pc"),
+            "tail_pcs": header.get("tail_pcs", ()),
+            "race_pcs": header.get("race_pcs", ()) or (),
+            "instructions": header.get("replay_window", 0),
+            "route_key": header.get("route_key", ""),
+        })
+        if entry is None or entry.digest != str(header.get("digest", "")):
+            # A preimage that does not hash to the digest the blob was
+            # committed under would let cache-hit commits diverge from
+            # the replicated copy — drop it, the full path still works.
+            return
+        if self.admit_cache.seed_entry(entry):
+            self.admit_cache.flush()
 
     def _handle_sync_digests(self) -> dict:
         return {

@@ -61,6 +61,7 @@ class IngestPipeline:
         workers: int = 1,
         probe: bool = True,
         commit_batch: int = 16,
+        admit_cache=None,
     ) -> None:
         self.store = store
         self.resolver = resolver
@@ -71,8 +72,14 @@ class IngestPipeline:
         # eviction, so an uncapped batch would let one huge ingest run
         # blow straight through the store's byte budget.
         self.commit_batch = max(commit_batch, 1)
+        # Optional first admission tier (repro.fleet.admitcache): repeat
+        # blobs commit without replay, minus the deterministic sampled
+        # reverify fraction.  None (the default) validates everything.
+        self.admit_cache = admit_cache
         self.accepted = 0
         self.rejected = 0
+        self.cache_hits = 0
+        self.reverified = 0
 
     # -- validation (pure, runs on workers) --------------------------------
 
@@ -104,6 +111,7 @@ class IngestPipeline:
                     "program_name": item.program_name,
                     "observed_at": item.observed_at,
                     "race_pcs": item.signature.race_pcs,
+                    "route_key": item.route_key,
                 }
                 for item in chunk
             ]))
@@ -138,12 +146,89 @@ class IngestPipeline:
         commits happen here in submission order, so results (sequence
         numbers, evictions) are identical whatever the pool's
         scheduling did.
+
+        With an :class:`~repro.fleet.admitcache.AdmitCache` attached,
+        repeat blobs skip validation entirely (their cached outcome
+        commits byte-identically) except for the cache's deterministic
+        reverify sample, which replays in full and is cross-checked
+        against the cache — a mismatch quarantines the bucket.
         """
-        if self.workers == 1 or len(items) <= 1:
-            outcomes = [self._validate(*item) for item in items]
+        cache = self.admit_cache
+        outcomes: "list" = [None] * len(items)
+        reverify: "dict[int, object]" = {}
+        deferred: "dict[int, tuple[str, int]]" = {}
+        if cache is None:
+            pending = list(enumerate(items))
+        else:
+            from repro.fleet.admitcache import blob_fingerprint
+
+            pending = []
+            # Intra-batch dedup: a blob byte-identical to an earlier
+            # *miss* in this same batch defers to that leader's outcome
+            # instead of replaying again (the cache only learns the
+            # leader after validation, too late for an upfront probe).
+            leaders: "dict[str, int]" = {}
+            for position, (label, blob, observed_at) in enumerate(items):
+                entry = cache.probe(blob)
+                if entry is not None:
+                    if cache.should_reverify(entry.fingerprint, label):
+                        reverify[position] = entry
+                        pending.append((position, items[position]))
+                    else:
+                        self.cache_hits += 1
+                        outcomes[position] = entry.validated(
+                            label, blob, observed_at
+                        )
+                    continue
+                fingerprint = blob_fingerprint(blob)
+                leader = leaders.get(fingerprint)
+                if leader is not None and not cache.should_reverify(
+                    fingerprint, label
+                ):
+                    self.cache_hits += 1
+                    deferred[position] = (fingerprint, leader)
+                else:
+                    leaders.setdefault(fingerprint, position)
+                    pending.append((position, items[position]))
+        pending_items = [item for _position, item in pending]
+        if self.workers == 1 or len(pending_items) <= 1:
+            validated = [self._validate(*item) for item in pending_items]
         else:
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                outcomes = list(pool.map(lambda it: self._validate(*it), items))
+                validated = list(pool.map(
+                    lambda it: self._validate(*it), pending_items
+                ))
+        dirty = False
+        for (position, item), outcome in zip(pending, validated):
+            outcomes[position] = outcome
+            if cache is None:
+                continue
+            expected = reverify.get(position)
+            if expected is not None:
+                self.reverified += 1
+                # quarantine-on-mismatch flushes inside the cache; the
+                # full validation's outcome is authoritative either way.
+                cache.reverify_outcome(expected, outcome)
+            elif isinstance(outcome, ValidatedReport):
+                if cache.record(blob_fingerprint(item[1]), outcome):
+                    dirty = True
+        for position, (fingerprint, leader) in deferred.items():
+            label, blob, observed_at = items[position]
+            leader_outcome = outcomes[leader]
+            if isinstance(leader_outcome, ValidatedReport):
+                from repro.fleet.admitcache import CachedOutcome
+
+                outcomes[position] = CachedOutcome.from_validated(
+                    fingerprint, leader_outcome
+                ).validated(label, blob, observed_at)
+            else:
+                # The leader was rejected; byte-identical bytes reject
+                # byte-identically.
+                outcomes[position] = IngestResult(
+                    label, False, leader_outcome.reason
+                )
+        if dirty:
+            cache.flush()
         committed = iter(self._commit_batch(
             [o for o in outcomes if isinstance(o, ValidatedReport)]
         ))

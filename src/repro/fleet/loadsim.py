@@ -53,6 +53,7 @@ def synthesize_corpus(
     corrupt: int = 0,
     intervals: "tuple[int, ...]" = DEFAULT_INTERVALS,
     id_prefix: str = "sim",
+    duplicate_fraction: float = 0.0,
 ):
     """Synthesize fleet crash traffic from the Table-1 bug suite.
 
@@ -61,6 +62,13 @@ def synthesize_corpus(
     a list of ``(label, blob, upload_id)`` uploads (corrupt blobs
     carry labels starting with ``corrupt-``), and *failures* counts
     non-crashing runs (excluded).
+
+    *duplicate_fraction* models the fleet's real traffic shape
+    (duplicate-dominated: most machines hit the same few bugs): that
+    fraction of the *runs* uploads are byte-identical re-uploads of
+    earlier blobs under **fresh upload ids** — so the store's
+    idempotency dedup does not short-circuit them and they exercise the
+    admission path (and its dedup-before-validate cache) end to end.
     """
     from repro.workloads.bugs import BUGS_BY_NAME, run_bug
 
@@ -68,7 +76,9 @@ def synthesize_corpus(
     programs = {}
     items = []
     failures = 0
-    for index in range(runs):
+    duplicates = min(int(round(runs * max(duplicate_fraction, 0.0))),
+                     max(runs - 1, 0))
+    for index in range(runs - duplicates):
         bug = BUGS_BY_NAME[rng.choice(list(bug_names))]
         config = BugNetConfig(checkpoint_interval=rng.choice(list(intervals)))
         # Multithreaded entries get a fresh interleave seed per run:
@@ -88,6 +98,13 @@ def synthesize_corpus(
             f"{id_prefix}-{seed}-{index:03d}",
         ))
     clean = list(items)
+    for position in range(duplicates if clean else 0):
+        label, blob, _upload_id = clean[rng.randrange(len(clean))]
+        items.append((
+            f"dup-{position:03d}:{label.split(':', 1)[-1]}",
+            blob,
+            f"{id_prefix}-{seed}-dup-{position:03d}",
+        ))
     for position in range(corrupt if items else 0):
         victim = bytearray(clean[position % len(clean)][1])
         victim[len(victim) // 2] ^= 0xFF

@@ -51,6 +51,9 @@ import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
+from repro.fleet.admitcache import AdmitCache, blob_fingerprint
 from repro.fleet.signature import DEFAULT_TAIL_DEPTH
 from repro.fleet.store import ReportStore
 from repro.fleet.validate import (
@@ -170,6 +173,11 @@ class ServiceConfig:
     probe: bool = True
     max_frame: int = MAX_FRAME
     log_json: bool = False             # one JSON event/line on stdout
+    # -- dedup-before-validate admission (DESIGN.md §13) ----------------
+    admit_cache: bool = True           # first-tier validated-signature cache
+    reverify_fraction: float = 0.05    # trust-but-verify sample of repeats
+    admit_seed: int = 0                # must match across cluster nodes
+    admit_capacity: int = 4096         # LRU bound on cache entries
 
 
 @dataclass
@@ -235,6 +243,7 @@ class FleetService:
             "retention_window": retention_window,
         }
         self.store: "ReportStore | None" = None
+        self.admit_cache: "AdmitCache | None" = None
         self.counters = ServiceCounters()
         self._server: "asyncio.AbstractServer | None" = None
         self._pool = None
@@ -263,6 +272,16 @@ class FleetService:
         """Open the store, start the validation pool and the listener;
         returns the bound (host, port)."""
         self.store = ReportStore(self.store_root, **self._store_options)
+        if self.config.admit_cache:
+            # Lives in the store root beside store.json, so batch
+            # ingest against the same store shares the entries and a
+            # replicating cluster node seeds its peers' files.
+            self.admit_cache = AdmitCache(
+                Path(self.store_root) / "admit-cache.json",
+                capacity=self.config.admit_capacity,
+                seed=self.config.admit_seed,
+                reverify_fraction=self.config.reverify_fraction,
+            )
         workers = self.config.workers
         if workers > 0:
             self._pool = ProcessPoolExecutor(
@@ -523,10 +542,43 @@ class FleetService:
     ) -> None:
         loop = asyncio.get_running_loop()
         config = self.config
-        items = [(a.label, a.blob, a.observed_at) for a in chunk]
-        self._active_validations += len(chunk)
+        cache = self.admit_cache
+        settled: "dict[int, object]" = {}      # position -> outcome
+        reverify: "dict[int, object]" = {}     # position -> CachedOutcome
+        if cache is not None:
+            # First admission tier, off the event loop (the probe
+            # decodes each blob): cache hits settle without touching
+            # the validation pool, minus the deterministic reverify
+            # sample which rides the full path as trust-but-verify.
+            def _probe_all() -> "list[int]":
+                misses = []
+                for position, admitted in enumerate(chunk):
+                    entry = cache.probe(admitted.blob)
+                    if entry is None:
+                        misses.append(position)
+                    elif cache.should_reverify(
+                        entry.fingerprint,
+                        admitted.upload_id or admitted.label,
+                    ):
+                        reverify[position] = entry
+                        misses.append(position)
+                    else:
+                        settled[position] = entry.validated(
+                            admitted.label, admitted.blob,
+                            admitted.observed_at,
+                        )
+                return misses
+
+            pending_positions = await loop.run_in_executor(None, _probe_all)
+        else:
+            pending_positions = list(range(len(chunk)))
+        pending = [chunk[position] for position in pending_positions]
+        items = [(a.label, a.blob, a.observed_at) for a in pending]
+        self._active_validations += len(pending)
         try:
-            if self._inline_resolver is not None:
+            if not items:
+                outcomes = []
+            elif self._inline_resolver is not None:
                 # Inline mode shares this process's registry — stage
                 # metrics land directly, nothing to merge.
                 outcomes = await loop.run_in_executor(
@@ -545,13 +597,30 @@ class FleetService:
         except Exception as error:  # pool/pickling failure
             outcomes = [
                 IngestResult(a.label, False, f"validation error: {error}")
-                for a in chunk
+                for a in pending
             ]
         finally:
-            self._active_validations -= len(chunk)
+            self._active_validations -= len(pending)
             self._slots.release()
-        for admitted, outcome in zip(chunk, outcomes):
-            self._sequenced[admitted.ticket] = (admitted, outcome)
+        dirty = False
+        for position, outcome in zip(pending_positions, outcomes):
+            settled[position] = outcome
+            if cache is None:
+                continue
+            expected = reverify.get(position)
+            if expected is not None:
+                # Mismatch quarantines the bucket (and flushes) inside
+                # the cache; the full validation stays authoritative.
+                cache.reverify_outcome(expected, outcome)
+            elif isinstance(outcome, ValidatedReport):
+                if cache.record(
+                    blob_fingerprint(chunk[position].blob), outcome
+                ):
+                    dirty = True
+        if dirty:
+            await loop.run_in_executor(None, cache.flush)
+        for position, admitted in enumerate(chunk):
+            self._sequenced[admitted.ticket] = (admitted, settled[position])
         await self._drain_sequenced()
 
     # -- deterministic batched commits ---------------------------------------
@@ -689,6 +758,10 @@ class FleetService:
             "awaiting_commit": len(self._sequenced),
             "workers": self.config.workers,
             "counters": self.counters.to_dict(),
+            "admit_cache": (
+                self.admit_cache.stats()
+                if self.admit_cache is not None else None
+            ),
             "store": {
                 "reports": len(store),
                 "bytes": store.total_bytes,

@@ -268,13 +268,16 @@ def _validate_threads(
     """Chain-replay every thread with grounded logs; returns the
     faulting thread's tail plus the inferred race evidence.
 
-    The compiled traced replay (:func:`replay_all_threads` with
-    ``fast=True``) replays each thread's grounded chain, decodes every
+    The slim block-compiled replay (:func:`replay_all_threads` with
+    ``slim=True``) replays each thread's grounded chain, decodes every
     MRL, maps the entries onto replay indices (rejecting out-of-range
-    entries), and merges a constraint-respecting schedule — an
-    infeasible (cyclic) constraint system, a corrupt FLL/MRL payload,
-    or a chain that diverges from the binary all raise into the
-    caller's rejection path, naming the offending thread.
+    entries), and cross-checks constraint feasibility — an infeasible
+    (cyclic) constraint system, a corrupt FLL/MRL payload, or a chain
+    that diverges from the binary all raise into the caller's
+    rejection path, naming the offending thread.  The faulting thread
+    replays first and in full; every other thread records only the
+    accesses at the addresses feeding the crash (identical race
+    evidence, pinned by ``tests/test_fleet_mt_validation.py``).
     """
     from repro.obs import NULL_RECORDER
     from repro.replay.races import ReportLogs, replay_all_threads
@@ -290,12 +293,13 @@ def _validate_threads(
             f"(threads with logs: {report.thread_ids or 'none'})"
         )
     mt = replay_all_threads(
-        logs, {tid: program for tid in threads}, config, fast=True,
-        spans=recorder,
+        logs, {tid: program for tid in threads}, config, slim=True,
+        tail_depth=max(tail_depth, 1), faulting_tid=faulting,
+        evidence_window=RACE_EVIDENCE_WINDOW, spans=recorder,
     )
     thread = mt.traced[faulting]
     tail = ReplayedTail(
-        tail_pcs=tuple(thread.pcs[-max(tail_depth, 1):]),
+        tail_pcs=tuple(thread.tail_pcs[-max(tail_depth, 1):]),
         instructions=thread.instructions,
         end_pc=thread.end_pc,
         intervals=thread.intervals,
@@ -340,11 +344,13 @@ def race_evidence(
     thread = mt.traced[faulting_tid]
     cutoff = thread.instructions - window
     relevant = set()
-    for index, addr, _value, is_load in reversed(thread.accesses):
-        if index < cutoff:
+    # Accesses are (index, addr, value, is_load[, pc]) — the traced
+    # path records 4-tuples, the slim path 5-tuples with embedded PCs.
+    for entry in reversed(thread.accesses):
+        if entry[0] < cutoff:
             break  # accesses are in execution order
-        if is_load:
-            relevant.add(addr)
+        if entry[3]:
+            relevant.add(entry[1])
     if not relevant:
         return ()
     races = infer_races(mt, sync=[], max_reports=max_reports,

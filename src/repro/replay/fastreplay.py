@@ -443,6 +443,338 @@ def compiled_plan(program: Program):
     return cached
 
 
+# -- basic-block superinstructions -------------------------------------------
+#
+# The per-closure loop above still pays one Python call and one loop
+# iteration per instruction.  Straight-line runs between branch targets
+# and terminators (avg ~10 instructions on the bug suite) compile into a
+# *single* exec-generated closure per basic block with every operand,
+# mask, and successor index folded in as a literal, so the dispatch loop
+# runs once per block.  Blocks are only entered at their leader with
+# enough instruction budget left; interval boundaries mid-block, tails,
+# and dynamic-jump landings fall back to the per-instruction closures,
+# which keeps semantics (and fault behavior) exactly those of the
+# single-step path.
+
+#: Ops that end a basic block.
+_TERMINATORS = frozenset(
+    list(_BRANCH_CONDS) + ["j", "jal", "jr", "jalr", "break"]
+)
+#: Ops with a static transfer target contributing a leader.
+_STATIC_TRANSFERS = frozenset(list(_BRANCH_CONDS) + ["j", "jal"])
+#: Cap on block size: bounds codegen and the single-step fallback run
+#: when an interval boundary cuts a block.
+_MAX_BLOCK = 128
+
+_LW_MAKERS = frozenset(_SIMPLE_MAKERS["lw"])
+_SW_MAKERS = frozenset(_SIMPLE_MAKERS["sw"])
+
+_SIGNED_RE = None  # compiled lazily (re imported below)
+
+
+def _inline_expr(template: str, rd: int, rs: int, rt: int, imm: int) -> str:
+    """Fold one opcode expression template into literal-operand source.
+
+    Must mirror the closure environment of ``_MAKE_SRC`` exactly:
+    ``imm16``/``imm_mask``/``lui_value`` derive from ``imm`` the same
+    way, ``_signed`` inlines to the equivalent conditional expression.
+    """
+    import re
+    global _SIGNED_RE
+    if _SIGNED_RE is None:
+        _SIGNED_RE = re.compile(r"_signed\((regs\[\d+\])\)")
+    out = template
+    out = out.replace("imm16", str(imm & 0xFFFF))
+    out = out.replace("imm_mask", str(imm & MASK))
+    out = out.replace("lui_value", str((imm << 16) & MASK))
+    out = out.replace("regs[rs]", f"regs[{rs}]")
+    out = out.replace("regs[rt]", f"regs[{rt}]")
+    out = out.replace("imm", str(imm))
+    out = out.replace("MASK", "0xFFFFFFFF")
+    out = _SIGNED_RE.sub(
+        r"(\1 - 0x100000000 if \1 & 0x80000000 else \1)", out)
+    return out
+
+
+def _emit_instruction(ins, index: int, count: int, offset: int,
+                      slim: bool,
+                      filtered: bool = False) -> "tuple[list[str], bool]":
+    """Source lines for one instruction inside a block body; returns
+    ``(lines, terminates)``.  ``offset`` is the instruction's position
+    within its block (slim access indices are ``_p + offset``);
+    *filtered* slim blocks record only accesses whose address is in the
+    closed-over ``fset``."""
+    op = ins.op
+    rd, rs, rt, imm = ins.rd, ins.rs, ins.rt, ins.imm
+    pc = CODE_BASE + (index << 2)
+    lines: "list[str]" = []
+    if op in _ALU_EXPRS:
+        if rd:
+            lines.append(f"regs[{rd}] = {_inline_expr(_ALU_EXPRS[op], rd, rs, rt, imm)}")
+        return lines, False
+    if op in ("nop", "syscall"):
+        if rd:  # mirror the closure: nop/syscall with rd writes 0
+            lines.append(f"regs[{rd}] = 0")
+        return lines, False
+    if op == "lw":
+        addr = f"(regs[{rs}] + {imm}) & 0xFFFFFFFF"
+        if slim:
+            record = f"acc((_p + {offset}, _a, _v, True, {pc}))"
+            lines.append(f"_a = {addr}")
+            lines.append("_v = load(_a) & 0xFFFFFFFF")
+            if filtered:
+                lines.append("if _a in fset:")
+                lines.append("    " + record)
+            else:
+                lines.append(record)
+            if rd:
+                lines.append(f"regs[{rd}] = _v")
+        elif rd:
+            lines.append(f"regs[{rd}] = load({addr}) & 0xFFFFFFFF")
+        else:
+            lines.append(f"load({addr})")
+        return lines, False
+    if op == "sw":
+        addr = f"(regs[{rs}] + {imm}) & 0xFFFFFFFF"
+        if slim:
+            record = (f"acc((_p + {offset}, _a, regs[{rt}] & 0xFFFFFFFF, "
+                      f"False, {pc}))")
+            lines.append(f"_a = {addr}")
+            lines.append(f"store(_a, regs[{rt}])")
+            if filtered:
+                lines.append("if _a in fset:")
+                lines.append("    " + record)
+            else:
+                lines.append(record)
+        else:
+            lines.append(f"store({addr}, regs[{rt}])")
+        return lines, False
+    if op in ("div", "rem"):
+        msg = f"integer divide by zero at {pc:#010x}"
+        lines += [
+            f"_d = regs[{rt}]",
+            "if _d & 0x80000000:",
+            "    _d -= 0x100000000",
+            "if _d == 0:",
+            f"    raise ArithmeticFault({msg!r}, pc={pc})",
+            f"_n = regs[{rs}]",
+            "if _n & 0x80000000:",
+            "    _n -= 0x100000000",
+            "_q = abs(_n) // abs(_d)",
+            "if (_n < 0) != (_d < 0):",
+            "    _q = -_q",
+        ]
+        if rd:
+            result = "_q" if op == "div" else "(_n - _q * _d)"
+            lines.append(f"regs[{rd}] = {result} & 0xFFFFFFFF")
+        return lines, False
+    if op in ("divu", "remu"):
+        msg = f"integer divide by zero at {pc:#010x}"
+        oper = "//" if op == "divu" else "%"
+        lines += [
+            f"_d = regs[{rt}]",
+            "if _d == 0:",
+            f"    raise ArithmeticFault({msg!r}, pc={pc})",
+        ]
+        if rd:
+            lines.append(f"regs[{rd}] = (regs[{rs}] {oper} _d) & 0xFFFFFFFF")
+        return lines, False
+    if op == "break":
+        msg = f"break trap at {pc:#010x}"
+        lines.append(f"raise InstructionFault({msg!r}, pc={pc})")
+        return lines, True
+    if op in _BRANCH_CONDS:
+        cond = _inline_expr(_BRANCH_CONDS[op], rd, rs, rt, imm)
+        taken = _static_target(imm, count)
+        lines.append(f"if {cond}:")
+        if taken is None:
+            lines.append(f"    badpc[0] = {imm}")
+            lines.append(f"    return {count}")
+        else:
+            lines.append(f"    return {taken}")
+        lines += _fallthrough(index, count, pc)
+        return lines, True
+    if op in ("j", "jal"):
+        if op == "jal":
+            lines.append(f"regs[31] = {pc + 4}")
+        taken = _static_target(imm, count)
+        if taken is None:
+            lines.append(f"badpc[0] = {imm}")
+            lines.append(f"return {count}")
+        else:
+            lines.append(f"return {taken}")
+        return lines, True
+    if op in ("jr", "jalr"):
+        lines.append(f"_t = regs[{rs}]")
+        if op == "jalr" and rd:
+            lines.append(f"regs[{rd}] = {pc + 4}")
+        lines += [
+            "if _t & 3:",
+            "    badpc[0] = _t",
+            f"    return {count}",
+            f"_i = (_t - {CODE_BASE}) >> 2",
+            f"if 0 <= _i < {count}:",
+            "    return _i",
+            "badpc[0] = _t",
+            f"return {count}",
+        ]
+        return lines, True
+    raise InstructionFault(f"undecodable instruction {op!r}", pc=pc)
+
+
+def _fallthrough(index: int, count: int, pc: int) -> "list[str]":
+    if index + 1 >= count:
+        return [f"badpc[0] = {pc + 4}", f"return {count}"]
+    return [f"return {index + 1}"]
+
+
+def _localize_registers(body: "list[str]") -> "list[str]":
+    """Rewrite a block body to keep touched registers in local
+    variables: one ``_rN = regs[N]`` load per register at block entry,
+    fast locals inside, write-back of *written* registers before every
+    ``return``.  Fault ``raise`` paths skip the write-back — a fault
+    aborts the chain as a :class:`ReplayDivergence`, so post-fault
+    register state is never observed.
+    """
+    import re
+    reg_ref = re.compile(r"regs\[(\d+)\]")
+    used = sorted({int(n) for line in body for n in reg_ref.findall(line)})
+    if not used:
+        return body
+    written = sorted({
+        int(match.group(1))
+        for line in body
+        for match in [re.match(r"\s*regs\[(\d+)\] = ", line)]
+        if match
+    })
+    localized = [reg_ref.sub(lambda m: f"_r{m.group(1)}", line)
+                 for line in body]
+    out = [f"_r{n} = regs[{n}]" for n in used]
+    for line in localized:
+        stripped = line.lstrip()
+        if stripped.startswith("return "):
+            indent = line[: len(line) - len(stripped)]
+            out.extend(f"{indent}regs[{n}] = _r{n}" for n in written)
+        out.append(line)
+    return out
+
+
+def _emit_self_loop(instructions, leader: int, length: int, count: int,
+                    slim: bool, filtered: bool) -> "list[str]":
+    """Body of a *looper*: a self-loop block (terminating branch whose
+    taken target is its own leader) compiled into an internal ``while``
+    that runs up to ``_iters`` complete iterations without returning to
+    the dispatch loop.  Returns ``(next_index, iterations_done)``;
+    every iteration — including the exiting one — consumes exactly
+    ``length`` instructions, so the driver adds ``done * length`` to
+    its step count.  Slim loopers advance ``_p`` by ``length`` per
+    iteration so recorded access indices stay chain-exact."""
+    term_index = leader + length - 1
+    term = instructions[term_index]
+    body: "list[str]" = []
+    for off, i in enumerate(range(leader, term_index)):
+        emitted, _terminates = _emit_instruction(
+            instructions[i], i, count, off, slim, filtered)
+        body.extend(emitted)
+    cond = _inline_expr(_BRANCH_CONDS[term.op], term.rd, term.rs,
+                        term.rt, term.imm)
+    body.append("_n += 1")
+    body.append(f"if {cond}:")
+    body.append("    if _n < _iters:")
+    if slim:
+        body.append(f"        _p += {length}")
+    body.append("        continue")
+    body.append(f"    return {leader}, _n")
+    if term_index + 1 >= count:
+        term_pc = CODE_BASE + (term_index << 2)
+        body.append(f"badpc[0] = {term_pc + 4}")
+        body.append(f"return {count}, _n")
+    else:
+        body.append(f"return {term_index + 1}, _n")
+    full = ["_n = 0", "while True:"] + ["    " + line for line in body]
+    return _localize_registers(full)
+
+
+def _compile_blocks(program: Program, slim: bool, filtered: bool):
+    """exec-compile the program's basic blocks into a single factory
+    ``make_all(regs, load, store, badpc, acc, fset) -> ((leader,
+    length, run, loop), ...)``.  Untraced ``run()`` closures take no
+    argument; slim ones take ``_p``, the chain-global index of the
+    block's first instruction (access indices fold in as ``_p +
+    offset``).  ``loop`` is a looper for self-loop blocks
+    (:func:`_emit_self_loop`) or ``None``."""
+    instructions = program.instructions
+    count = len(instructions)
+    leaders = {0} if count else set()
+    for index, ins in enumerate(instructions):
+        if ins.op in _TERMINATORS:
+            if index + 1 < count:
+                leaders.add(index + 1)
+            if ins.op in _STATIC_TRANSFERS:
+                target = _static_target(ins.imm, count)
+                if target is not None:
+                    leaders.add(target)
+    lines = [
+        "def make_all(regs, load, store, badpc, acc, fset):",
+        "    table = []",
+    ]
+    for leader in sorted(leaders):
+        body: "list[str]" = []
+        index = leader
+        length = 0
+        terminated = False
+        while index < count:
+            emitted, terminates = _emit_instruction(
+                instructions[index], index, count, length, slim, filtered)
+            body.extend(emitted)
+            length += 1
+            index += 1
+            if (terminates or index >= count or index in leaders
+                    or length >= _MAX_BLOCK):
+                terminated = terminates
+                if not terminates:
+                    body.extend(_fallthrough(
+                        index - 1, count, CODE_BASE + ((index - 1) << 2)))
+                break
+        body = _localize_registers(body)
+        header = f"    def run_{leader}(_p):" if slim \
+            else f"    def run_{leader}():"
+        lines.append(header)
+        lines.extend("        " + line for line in body)
+        term = instructions[leader + length - 1]
+        loop_name = "None"
+        if (terminated and term.op in _BRANCH_CONDS
+                and _static_target(term.imm, count) == leader):
+            loop_name = f"loop_{leader}"
+            loop_header = f"    def loop_{leader}(_p, _iters):" if slim \
+                else f"    def loop_{leader}(_iters):"
+            lines.append(loop_header)
+            lines.extend("        " + line for line in _emit_self_loop(
+                instructions, leader, length, count, slim, filtered))
+        lines.append(
+            f"    table.append(({leader}, {length}, run_{leader}, "
+            f"{loop_name}))")
+    lines.append("    return table")
+    env = {
+        "ArithmeticFault": ArithmeticFault,
+        "InstructionFault": InstructionFault,
+    }
+    exec("\n".join(lines), env)
+    return env["make_all"]
+
+
+def compiled_blocks(program: Program, slim: bool, filtered: bool = False):
+    """Per-program block factory, cached like :func:`compiled_plan`."""
+    cached = getattr(program, "_fastreplay_blocks", None)
+    if cached is None:
+        cached = program._fastreplay_blocks = {}
+    key = (slim, filtered)
+    make_all = cached.get(key)
+    if make_all is None:
+        make_all = cached[key] = _compile_blocks(program, slim, filtered)
+    return make_all
+
+
 class _PredecodedReplayMemory:
     """:class:`~repro.replay.replayer._ReplayMemory` semantics over a
     pre-decoded record list (``FLLReader.decode_all``): the same
@@ -450,7 +782,8 @@ class _PredecodedReplayMemory:
     without the per-record bit-reader calls on the load path."""
 
     __slots__ = ("memory", "dictionary", "records", "cursor", "skipped",
-                 "consumed")
+                 "consumed", "_count", "_peek", "_poke", "_update",
+                 "_value_at")
 
     def __init__(self, memory: Memory, dictionary: DictionaryCompressor,
                  records: "list[tuple[int, bool, int]]") -> None:
@@ -460,6 +793,13 @@ class _PredecodedReplayMemory:
         self.cursor = 0
         self.skipped = 0
         self.consumed = 0
+        # Bound-method locals: load() runs once per executed load
+        # instruction, so the attribute chains are worth flattening.
+        self._count = len(records)
+        self._peek = memory.peek
+        self._poke = memory.poke
+        self._update = dictionary.lookup_update
+        self._value_at = dictionary.value_at
 
     @property
     def pending(self) -> "tuple[int, bool, int] | None":
@@ -469,21 +809,20 @@ class _PredecodedReplayMemory:
 
     def load(self, addr: int) -> int:
         cursor = self.cursor
-        records = self.records
-        if cursor < len(records):
-            record = records[cursor]
+        if cursor < self._count:
+            record = self.records[cursor]
             if self.skipped == record[0]:
                 _, encoded, raw = record
-                value = self.dictionary.value_at(raw) if encoded else raw
-                self.memory.poke(addr, value)
+                value = self._value_at(raw) if encoded else raw
+                self._poke(addr, value)
                 self.cursor = cursor + 1
                 self.skipped = 0
                 self.consumed += 1
-                self.dictionary.update(value)
+                self._update(value)
                 return value
-        value = self.memory.peek(addr)
+        value = self._peek(addr)
         self.skipped += 1
-        self.dictionary.update(value)
+        self._update(value)
         return value
 
 
@@ -523,6 +862,34 @@ class ChainTrace:
         self.accesses: "list[tuple[int, int, int, bool]]" = []
 
 
+class AccessTrace:
+    """Slim trace for the fleet validation hot path: memory accesses
+    only, no per-instruction PC list.
+
+    Race inference needs each access's chain-global instruction index,
+    address, value, direction, *and PC* — but never the PCs of
+    non-memory instructions, which :class:`ChainTrace` pays ~one list
+    append per instruction to keep.  This trace records
+    ``(index, addr, value, is_load, pc)`` per memory op (the PC folded
+    in at block-compile time) and counts instructions instead, so the
+    traced replay runs on the block-compiled superinstruction path at
+    untraced speed.  One trace spans a whole chain, like
+    :class:`ChainTrace`.
+
+    *filter_addrs* (a set) restricts recording to accesses whose
+    address is in the set — how multi-thread validation replays
+    *non-faulting* threads, whose accesses only matter at the addresses
+    feeding the crash.  ``None`` records everything.
+    """
+
+    __slots__ = ("accesses", "instructions", "filter_addrs")
+
+    def __init__(self, filter_addrs: "frozenset[int] | None" = None) -> None:
+        self.accesses: "list[tuple[int, int, int, bool, int]]" = []
+        self.instructions = 0
+        self.filter_addrs = filter_addrs
+
+
 def fast_replay_interval(
     program: Program,
     config: BugNetConfig,
@@ -531,6 +898,7 @@ def fast_replay_interval(
     tail: "deque[int] | None" = None,
     tail_depth: int = 0,
     trace: "ChainTrace | None" = None,
+    access_trace: "AccessTrace | None" = None,
 ) -> FastIntervalResult:
     """Replay one interval on the compiled path.
 
@@ -544,6 +912,11 @@ def fast_replay_interval(
     wrappers it installs around the load/store closures change no
     semantics — end state stays bit-identical to the untraced path and
     to the reference interpreter (``tests/test_fastreplay.py``).
+
+    *access_trace* (an :class:`AccessTrace`) is the slim alternative:
+    memory accesses (with PCs) and an instruction count only, captured
+    on the block-compiled superinstruction path, so traced replay costs
+    what untraced replay does.  Mutually exclusive with *trace*.
     """
     if memory is None:
         memory = Memory(fault_checks=False)
@@ -577,12 +950,50 @@ def fast_replay_interval(
             inner_store(addr, value)
             accesses.append((len(pcs) - 1, addr, value & MASK, False))
 
-    fns = [
-        maker(rd, rs, rt, imm, pc, nxt, off_end, taken, taken_bad,
-              regs, load, store, badpc)
-        for (maker, rd, rs, rt, imm, pc, nxt, off_end, taken, taken_bad)
-        in plan
-    ]
+        fns = [
+            maker(rd, rs, rt, imm, pc, nxt, off_end, taken, taken_bad,
+                  regs, load, store, badpc)
+            for (maker, rd, rs, rt, imm, pc, nxt, off_end, taken, taken_bad)
+            in plan
+        ]
+    else:
+        # Block-compiled path: per-instruction closures are created
+        # lazily — only tails, interval-boundary remainders, and
+        # dynamic-jump landings outside a leader ever need one.
+        fns = [None] * count
+        slim = access_trace is not None
+        acc = access_trace.accesses.append if slim else None
+        fset = access_trace.filter_addrs if slim else None
+        base = access_trace.instructions if slim else 0
+        cur = [base]  # chain-global index for slim single-step wrappers
+        runs: "list" = [None] * (count + 1)
+        lens = [0] * (count + 1)
+        loops: "list" = [None] * (count + 1)
+        for leader, length, run, loop in compiled_blocks(
+                program, slim, fset is not None)(
+                regs, load, store, badpc, acc, fset):
+            runs[leader] = run
+            lens[leader] = length
+            loops[leader] = loop
+
+        def make_single(i):
+            (maker, rd, rs, rt, imm, pc, nxt, off_end, taken,
+             taken_bad) = plan[i]
+            ld, st = load, store
+            if slim and maker in _LW_MAKERS:
+                def ld(addr, _pc=pc):
+                    value = load(addr)
+                    if fset is None or addr in fset:
+                        acc((cur[0], addr, value & MASK, True, _pc))
+                    return value
+            elif slim and maker in _SW_MAKERS:
+                def st(addr, value, _pc=pc):
+                    store(addr, value)
+                    if fset is None or addr in fset:
+                        acc((cur[0], addr, value & MASK, False, _pc))
+            fn = fns[i] = maker(rd, rs, rt, imm, pc, nxt, off_end,
+                                taken, taken_bad, regs, ld, st, badpc)
+            return fn
 
     def raiser():
         raise InstructionFault(
@@ -612,16 +1023,62 @@ def fast_replay_interval(
                 # extraction still gets the interval's last PCs (the
                 # traced loop already captured every one).
                 tail.extend(trace.pcs[len(trace.pcs) - end:])
-        while steps < fast_end:
-            index = fns[index]()
-            steps += 1
-        while steps < end:
-            tail.append(badpc[0] if index == count else
-                        CODE_BASE + (index << 2))
-            index = fns[index]()
-            steps += 1
+        elif slim:
+            while steps < fast_end:
+                run = runs[index]
+                if run is not None:
+                    length = lens[index]
+                    loop = loops[index]
+                    if loop is not None:
+                        iters = (fast_end - steps) // length
+                        if iters > 0:
+                            index, done = loop(base + steps, iters)
+                            steps += done * length
+                            continue
+                    if steps + length <= fast_end:
+                        index = run(base + steps)
+                        steps += length
+                        continue
+                cur[0] = base + steps
+                index = (fns[index] or make_single(index))()
+                steps += 1
+            while steps < end:
+                tail.append(badpc[0] if index == count else
+                            CODE_BASE + (index << 2))
+                cur[0] = base + steps
+                index = (fns[index] or make_single(index))()
+                steps += 1
+            access_trace.instructions = base + end
+        else:
+            while steps < fast_end:
+                run = runs[index]
+                if run is not None:
+                    length = lens[index]
+                    loop = loops[index]
+                    if loop is not None:
+                        iters = (fast_end - steps) // length
+                        if iters > 0:
+                            index, done = loop(iters)
+                            steps += done * length
+                            continue
+                    if steps + length <= fast_end:
+                        index = run()
+                        steps += length
+                        continue
+                index = (fns[index] or make_single(index))()
+                steps += 1
+            while steps < end:
+                tail.append(badpc[0] if index == count else
+                            CODE_BASE + (index << 2))
+                index = (fns[index] or make_single(index))()
+                steps += 1
     except Fault as fault:
-        pc_before = badpc[0] if index == count else CODE_BASE + (index << 2)
+        # Every fault raised on this path carries the faulting
+        # instruction's exact PC, which stays correct when the fault
+        # fires mid-way through a compiled block (``index`` then still
+        # names the block leader).
+        pc_before = fault.pc if fault.pc is not None else (
+            badpc[0] if index == count else CODE_BASE + (index << 2))
         raise ReplayDivergence(
             f"unexpected {fault.kind} fault at {pc_before:#010x} "
             f"(ic={steps}) during replay: {fault}"

@@ -66,22 +66,30 @@ class TracedThreadReplay:
     """One thread's compiled-path replay summary (the fast MT mode).
 
     Carries what the fleet validation and race inference consume — the
-    full PC stream, the access stream, and the final machine state —
-    without per-instruction event objects.  Produced by
-    :func:`replay_all_threads` with ``fast=True`` from
-    :class:`~repro.replay.fastreplay.ChainTrace` captures.
+    access stream and the final machine state — without per-instruction
+    event objects.  Produced by :func:`replay_all_threads` with
+    ``fast=True`` from :class:`~repro.replay.fastreplay.ChainTrace`
+    captures (full PC stream, 4-tuple accesses), or with
+    ``slim=True`` from :class:`~repro.replay.fastreplay.AccessTrace`
+    captures (``pcs`` is ``None``; accesses are 5-tuples carrying their
+    own PC; ``tail_pcs`` holds the signature tail and
+    ``instruction_count`` the exact replayed length).
     """
 
-    pcs: list[int]
-    accesses: list[tuple[int, int, int, bool]]  # (index, addr, value, load?)
+    pcs: "list[int] | None"
+    accesses: list  # (index, addr, value, load?[, pc])
     end_pc: int
     end_regs: tuple[int, ...]
     intervals: int
     memory: object = None
+    instruction_count: int = -1
+    tail_pcs: "tuple[int, ...] | None" = None
 
     @property
     def instructions(self) -> int:
-        return len(self.pcs)
+        if self.pcs is not None:
+            return len(self.pcs)
+        return self.instruction_count
 
 
 @dataclass
@@ -155,12 +163,21 @@ class MultiThreadReplay:
             for tid in sorted(self.traced):
                 thread = self.traced[tid]
                 pcs = thread.pcs
-                for index, addr, _value, is_load in thread.accesses:
-                    if addrs is not None and addr not in addrs:
-                        continue
-                    accesses.setdefault(addr, []).append(
-                        (tid, index, pcs[index], "load" if is_load else "store")
-                    )
+                if pcs is not None:
+                    for index, addr, _value, is_load in thread.accesses:
+                        if addrs is not None and addr not in addrs:
+                            continue
+                        accesses.setdefault(addr, []).append(
+                            (tid, index, pcs[index],
+                             "load" if is_load else "store")
+                        )
+                else:  # slim capture: the PC rides in the access tuple
+                    for index, addr, _value, is_load, pc in thread.accesses:
+                        if addrs is not None and addr not in addrs:
+                            continue
+                        accesses.setdefault(addr, []).append(
+                            (tid, index, pc, "load" if is_load else "store")
+                        )
             return accesses
         for tid in sorted(self.per_thread):
             index = 0
@@ -227,7 +244,7 @@ def _mrl_constraints(
         for checkpoint in store.checkpoints(tid):
             mrl = checkpoint.mrl
             local_base = base_index[(tid, mrl.header.cid)]
-            for entry in MRLReader(config, mrl):
+            for entry in MRLReader(config, mrl).decode_all():
                 # The observing instruction is a 0-based index inside
                 # its own interval, so anything at or past end_ic is
                 # corruption — checked per interval, not against the
@@ -270,6 +287,10 @@ def replay_all_threads(
     config: BugNetConfig,
     fast: bool = False,
     spans=None,
+    slim: bool = False,
+    tail_depth: int = 0,
+    faulting_tid: "int | None" = None,
+    evidence_window: int = 0,
 ) -> MultiThreadReplay:
     """Replay every thread in *store* and derive the ordering constraints.
 
@@ -282,6 +303,17 @@ def replay_all_threads(
     races — the mode fleet validation runs at scale, equivalence-pinned
     against the reference interpreter by ``tests/test_fastreplay.py``.
 
+    *slim* (implies *fast*) runs every thread on the block-compiled
+    :class:`~repro.replay.fastreplay.AccessTrace` path: no PC stream is
+    kept — each thread records its memory accesses (with PCs), its
+    exact instruction count, and the last *tail_depth* PCs
+    (``tail_pcs``, the signature tail).  When *faulting_tid* is given,
+    that thread replays first and in full, the addresses its last
+    *evidence_window* instructions loaded become the relevance set, and
+    every other thread records only accesses at those addresses —
+    identical race evidence (``infer_races`` with ``addrs`` = that
+    same set) at a fraction of the tracing cost.
+
     *spans* (a :class:`repro.obs.SpanRecorder`) times the named stages
     — one ``chain-replay`` span per thread, one ``mrl-merge`` span for
     constraint decoding + the feasibility check — without changing the
@@ -292,7 +324,57 @@ def replay_all_threads(
     flls_by_tid, base_index = _index_intervals(store)
     per_thread: dict[int, list[IntervalReplay]] = {}
     traced: "dict[int, TracedThreadReplay] | None" = None
-    if fast:
+    if slim:
+        from collections import deque
+
+        from repro.arch.memory import Memory
+        from repro.replay.fastreplay import AccessTrace, fast_replay_interval
+
+        traced = {}
+        order = sorted(flls_by_tid)
+        if faulting_tid is not None and faulting_tid in flls_by_tid:
+            order.remove(faulting_tid)
+            order.insert(0, faulting_tid)
+        filter_addrs: "frozenset[int] | None" = None
+        for tid in order:
+            flls = flls_by_tid[tid]
+            use_filter = faulting_tid is not None and tid != faulting_tid
+            trace = AccessTrace(filter_addrs if use_filter else None)
+            tail: "deque[int]" = deque(maxlen=max(tail_depth, 1))
+            memory = Memory(fault_checks=False)
+            last = None
+            try:
+                with spans.span("chain-replay", detail=f"t{tid}"):
+                    for fll in flls:
+                        last = fast_replay_interval(
+                            programs[tid], config, fll,
+                            memory=memory, access_trace=trace,
+                            tail=tail, tail_depth=tail.maxlen,
+                        )
+            except (ReproError, LookupError) as error:
+                raise ReplayDivergence(
+                    f"thread {tid} chain replay failed: {error}"
+                ) from error
+            traced[tid] = TracedThreadReplay(
+                pcs=None,
+                accesses=trace.accesses,
+                end_pc=last.end_pc if last is not None else 0,
+                end_regs=last.end_regs if last is not None else (),
+                intervals=len(flls),
+                memory=memory,
+                instruction_count=trace.instructions,
+                tail_pcs=tuple(tail),
+            )
+            if tid == faulting_tid:
+                cutoff = trace.instructions - evidence_window
+                relevant: "set[int]" = set()
+                for entry in reversed(trace.accesses):
+                    if entry[0] < cutoff:
+                        break
+                    if entry[3]:
+                        relevant.add(entry[1])
+                filter_addrs = frozenset(relevant)
+    elif fast:
         from repro.arch.memory import Memory
         from repro.replay.fastreplay import ChainTrace, fast_replay_interval
 
@@ -341,6 +423,15 @@ def replay_all_threads(
     return result
 
 
+#: Memoized feasibility verdicts keyed by the exact constraint tuple —
+#: the (program, interleave-class) identity.  Duplicate-heavy fleet
+#: traffic re-validates reports whose MRLs decode to identical
+#: constraint sets; feasibility is a pure function of the set, so the
+#: verdict (or the exact rejection message) is replayed from cache.
+_FEASIBLE_CACHE: "dict[tuple, str | None]" = {}
+_FEASIBLE_CACHE_LIMIT = 512
+
+
 def _check_constraints(replay: MultiThreadReplay) -> None:
     """Reject constraint sets no interleaving can satisfy.
 
@@ -355,6 +446,23 @@ def _check_constraints(replay: MultiThreadReplay) -> None:
     """
     if not replay.constraints:
         return
+    memo_key = tuple(replay.constraints)
+    if memo_key in _FEASIBLE_CACHE:
+        message = _FEASIBLE_CACHE[memo_key]
+        if message is not None:
+            raise ReplayDivergence(message)
+        return
+    if len(_FEASIBLE_CACHE) >= _FEASIBLE_CACHE_LIMIT:
+        _FEASIBLE_CACHE.clear()
+    try:
+        _check_constraints_uncached(replay)
+    except ReplayDivergence as error:
+        _FEASIBLE_CACHE[memo_key] = str(error)
+        raise
+    _FEASIBLE_CACHE[memo_key] = None
+
+
+def _check_constraints_uncached(replay: MultiThreadReplay) -> None:
     indices: dict[int, set[int]] = {}
     cross: list[tuple[tuple[int, int], tuple[int, int]]] = []
     for constraint in replay.constraints:

@@ -133,3 +133,31 @@ class MRLReader:
     def __iter__(self) -> Iterator[MRLEntry]:
         while self._remaining > 0:
             yield self.next_entry()
+
+    def decode_all(self) -> "list[MRLEntry]":
+        """Decode every remaining entry in one pass.
+
+        The batch path fleet validation uses: bit widths and the bound
+        bit-reader are hoisted out of the loop and there is no
+        generator resumption per entry, which matters when every
+        thread of every report contributes an MRL per interval.
+        """
+        config = self.config
+        read = self._reader.read
+        ic_bits = config.ic_bits
+        tid_bits = config.tid_bits
+        cid_bits = config.cid_bits
+        entries: "list[MRLEntry]" = []
+        append = entries.append
+        try:
+            for _ in range(self._remaining):
+                append(MRLEntry(
+                    local_ic=read(ic_bits),
+                    remote_tid=read(tid_bits),
+                    remote_cid=read(cid_bits),
+                    remote_ic=read(ic_bits),
+                ))
+        except EOFError as exc:
+            raise LogDecodeError(f"truncated MRL payload: {exc}") from exc
+        self._remaining = 0
+        return entries

@@ -281,6 +281,108 @@ def load_crash_report(data: bytes) -> tuple[CrashReport, BugNetConfig]:
     return report, config
 
 
+class _Truncated(Exception):
+    """Internal: the decompressed prefix ended mid-field."""
+
+
+class _PrefixReader:
+    """Bounded reader over a partial decompression: running off the end
+    raises :class:`_Truncated` (feed more bytes) instead of misparsing."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def _take(self, count: int) -> bytes:
+        end = self._pos + count
+        if end > len(self._data):
+            raise _Truncated
+        piece = self._data[self._pos: end]
+        self._pos = end
+        return piece
+
+    def u32(self) -> int:
+        return _U32.unpack(self._take(4))[0]
+
+    def text(self) -> str:
+        return self._take(self.u32()).decode("utf-8")
+
+    def skip(self, count: int) -> None:
+        self._take(count)
+
+
+class ReportHeader:
+    """The fault-metadata prefix of a crash report (no logs decoded)."""
+
+    __slots__ = ("pid", "faulting_tid", "fault_kind", "fault_message",
+                 "fault_pc", "fault_source_line", "program_name")
+
+    def __init__(self, pid: int, faulting_tid: int, fault_kind: str,
+                 fault_message: str, fault_pc: int, fault_source_line: int,
+                 program_name: str) -> None:
+        self.pid = pid
+        self.faulting_tid = faulting_tid
+        self.fault_kind = fault_kind
+        self.fault_message = fault_message
+        self.fault_pc = fault_pc
+        self.fault_source_line = fault_source_line
+        self.program_name = program_name
+
+
+#: Fixed recorder-config block size per format version (the fields
+#: written before the fault metadata in dump_crash_report).
+_CONFIG_BYTES = {1: 32, 2: 48}
+_PREFIX_STEP = 4096
+
+
+def _parse_header_prefix(buffer: bytes, version: int) -> ReportHeader:
+    reader = _PrefixReader(buffer)
+    reader.skip(_CONFIG_BYTES[version])
+    return ReportHeader(
+        pid=reader.u32(),
+        faulting_tid=reader.u32(),
+        fault_kind=reader.text(),
+        fault_message=reader.text(),
+        fault_pc=reader.u32(),
+        fault_source_line=reader.u32(),
+        program_name=reader.text(),
+    )
+
+
+def load_report_header(data: bytes) -> ReportHeader:
+    """Decode only the fault metadata of a crash report.
+
+    The admission cache's signature-prefix probe cross-checks a cached
+    entry against the blob's own claims (program, fault kind, fault
+    PC); fully decoding every per-thread log for that would cost a
+    measurable slice of the replay the cache exists to skip.  This
+    decompresses just enough of the body to cover the recorder-config
+    block and the fault metadata and stops — no page map, no FLL/MRL
+    payloads.  Raises the same decode errors as
+    :func:`load_crash_report` on a corrupt or truncated blob.
+    """
+    if data[:4] != MAGIC:
+        raise LogDecodeError("not a BugNet crash report (bad magic)")
+    outer = _Reader(data[4:])
+    version = outer.u32()
+    if version not in (1, 2):
+        raise LogDecodeError(f"unsupported crash report version {version}")
+    compressed = outer.blob()
+    decompressor = zlib.decompressobj()
+    buffer = decompressor.decompress(compressed, _PREFIX_STEP)
+    while True:
+        try:
+            return _parse_header_prefix(buffer, version)
+        except _Truncated:
+            tail = decompressor.unconsumed_tail
+            more = decompressor.decompress(tail, _PREFIX_STEP) if tail else b""
+            if not more:
+                raise LogDecodeError("truncated crash report")
+            buffer += more
+
+
 def save_crash_report(path, report: CrashReport, config: BugNetConfig) -> int:
     """Write a report to *path*; returns bytes written."""
     data = dump_crash_report(report, config)

@@ -1,0 +1,484 @@
+"""Dedup-before-validate admission: the validated-signature cache.
+
+The contracts pinned here keep the admission shortcut honest:
+
+- **Equivalence**: with the cache enabled, every commit (store entry,
+  upload index, rollups, bucket, signature, race evidence) is
+  byte-identical to what full validation would have produced — over
+  the whole multithreaded Table-1 suite, racy bugs included.
+- **Trust-but-verify determinism**: the reverify sample is a pure
+  function of ``(seed, fingerprint, upload_id)``, so restarts and
+  cluster peers draw the same sample and an upload cannot dodge
+  re-validation by retrying.
+- **Quarantine**: a poisoned cache entry that survives the probe's
+  integrity cross-check (its lie is in the *tail*, not the fields the
+  blob itself witnesses) is caught by the sampled re-validation; the
+  bucket quarantines, its entries evict, and re-admission is refused.
+- **Persistence**: flock-guarded read-merge-write, so concurrent
+  writers union rather than clobber, and restarts resume warm.
+"""
+
+import json
+
+import pytest
+
+from repro.common.config import BugNetConfig
+from repro.fleet.admitcache import AdmitCache, CachedOutcome, blob_fingerprint
+from repro.fleet.ingest import IngestPipeline
+from repro.fleet.store import ReportStore
+from repro.fleet.triage import build_buckets
+from repro.fleet.validate import ValidatedReport, validate_report
+from repro.forensics.autopsy import bug_suite_resolver
+from repro.obs import REGISTRY
+from repro.tracing.serialize import dump_crash_report, load_report_header
+from repro.workloads.bugs import BUGS_BY_NAME, run_bug
+
+MT_SUITE = ("gaim-0.82.1", "napster-1.5.2", "python-2.1.1-1",
+            "python-2.1.1-2", "w3m-0.3.2.2")
+
+
+@pytest.fixture(scope="module")
+def resolver():
+    return bug_suite_resolver()
+
+
+@pytest.fixture(scope="module")
+def mt_blobs(resolver):
+    """One recorded shipment per multithreaded Table-1 bug."""
+    config = BugNetConfig(checkpoint_interval=20_000)
+    blobs = {}
+    for name in MT_SUITE:
+        run = run_bug(BUGS_BY_NAME[name], bugnet=config, record=True,
+                      interleave_seed=9)
+        assert run.crashed, name
+        blobs[name] = dump_crash_report(run.result.crash, config)
+    return blobs
+
+
+@pytest.fixture(scope="module")
+def gaim_blob(mt_blobs):
+    return mt_blobs["gaim-0.82.1"]
+
+
+def _counter(name, labels=()):
+    return REGISTRY.sample_value(name, labels) or 0
+
+
+def _entry_key(entry):
+    return (entry.digest, entry.seq, entry.observed_at, entry.byte_size,
+            entry.replay_window, entry.fault_kind, entry.program_name,
+            entry.shard, entry.filename, entry.upload_id, entry.race_pcs,
+            entry.route_key)
+
+
+class TestProbeAndRecord:
+    def test_cold_probe_misses_then_hits_after_record(
+            self, gaim_blob, resolver, tmp_path):
+        cache = AdmitCache(tmp_path / "cache.json")
+        assert cache.probe(gaim_blob) is None
+        validated = validate_report("g", gaim_blob, None, resolver)
+        assert isinstance(validated, ValidatedReport)
+        cache.record(blob_fingerprint(gaim_blob), validated)
+        entry = cache.probe(gaim_blob)
+        assert entry is not None
+        assert entry.digest == validated.signature.digest
+        assert entry.race_pcs == validated.signature.race_pcs
+        assert entry.route_key == validated.route_key
+
+    def test_hit_materializes_identical_validated_report(
+            self, gaim_blob, resolver, tmp_path):
+        cache = AdmitCache(tmp_path / "cache.json")
+        validated = validate_report("g", gaim_blob, None, resolver)
+        cache.record(blob_fingerprint(gaim_blob), validated)
+        entry = cache.probe(gaim_blob)
+        materialized = entry.validated("g", gaim_blob, None)
+        assert materialized.signature == validated.signature
+        assert materialized.instructions == validated.instructions
+        assert materialized.route_key == validated.route_key
+        assert materialized.fault_kind == validated.fault_kind
+        assert materialized.program_name == validated.program_name
+
+    def test_flipped_bit_is_a_miss_not_a_hit(self, gaim_blob, resolver,
+                                             tmp_path):
+        """The fingerprint covers the whole blob: a corrupt variant of
+        a cached report takes the full validation path (and dies
+        there), it can never ride the cache."""
+        cache = AdmitCache(tmp_path / "cache.json")
+        validated = validate_report("g", gaim_blob, None, resolver)
+        cache.record(blob_fingerprint(gaim_blob), validated)
+        corrupt = bytearray(gaim_blob)
+        corrupt[len(corrupt) // 2] ^= 0xFF
+        assert cache.probe(bytes(corrupt)) is None
+
+    def test_integrity_drop_when_entry_contradicts_blob(
+            self, gaim_blob, resolver, tmp_path):
+        """An entry whose claims disagree with the blob's own header is
+        dropped and counted, never trusted."""
+        cache = AdmitCache(tmp_path / "cache.json")
+        validated = validate_report("g", gaim_blob, None, resolver)
+        entry = CachedOutcome.from_validated(
+            blob_fingerprint(gaim_blob), validated)
+        lying = CachedOutcome(
+            fingerprint=entry.fingerprint,
+            program_name="not-the-program",
+            fault_kind=entry.fault_kind,
+            fault_pc=entry.fault_pc,
+            tail_pcs=entry.tail_pcs,
+            race_pcs=entry.race_pcs,
+            instructions=entry.instructions,
+            route_key=entry.route_key,
+        )
+        cache.seed_entry(lying)
+        before = _counter("bugnet_admit_cache_total", ("integrity-drop",))
+        assert cache.probe(gaim_blob) is None
+        after = _counter("bugnet_admit_cache_total", ("integrity-drop",))
+        assert after == before + 1
+        assert len(cache) == 0  # dropped, not retained
+
+    def test_lru_capacity_bound(self, mt_blobs, resolver, tmp_path):
+        cache = AdmitCache(tmp_path / "cache.json", capacity=2)
+        for name in MT_SUITE[:3]:
+            validated = validate_report(name, mt_blobs[name], None, resolver)
+            assert isinstance(validated, ValidatedReport), name
+            cache.record(blob_fingerprint(mt_blobs[name]), validated)
+        assert len(cache) == 2
+        # The oldest (first-recorded) entry evicted.
+        assert cache.probe(mt_blobs[MT_SUITE[0]]) is None
+        assert cache.probe(mt_blobs[MT_SUITE[2]]) is not None
+
+
+class TestHeaderOnlyDecode:
+    def test_header_matches_full_decode(self, mt_blobs):
+        from repro.tracing.serialize import load_crash_report
+
+        for name, blob in mt_blobs.items():
+            report, _config = load_crash_report(blob)
+            header = load_report_header(blob)
+            assert header.program_name == report.program_name, name
+            assert header.fault_kind == report.fault_kind
+            assert header.fault_pc == report.fault_pc
+            assert header.fault_message == report.fault_message
+            assert header.fault_source_line == report.fault_source_line
+            assert header.pid == report.pid
+            assert header.faulting_tid == report.faulting_tid
+
+    def test_header_decode_works_on_v1_format(self, resolver):
+        config = BugNetConfig(checkpoint_interval=2_000)
+        run = run_bug(BUGS_BY_NAME["python-2.1.1-2"], bugnet=config,
+                      record=True)
+        blob = dump_crash_report(run.result.crash, config, version=1)
+        header = load_report_header(blob)
+        assert header.program_name == run.result.crash.program_name
+        assert header.fault_pc == run.result.crash.fault_pc
+
+    def test_header_decode_rejects_garbage(self, gaim_blob):
+        from repro.fleet.validate import DECODE_ERRORS
+
+        with pytest.raises(DECODE_ERRORS):
+            load_report_header(b"not a report")
+        with pytest.raises(DECODE_ERRORS):
+            load_report_header(gaim_blob[:40])  # truncated mid-body
+
+
+class TestEquivalence:
+    """Cache-enabled ingestion commits byte-identically to full
+    validation — entry for entry, rollup for rollup — over the whole
+    multithreaded suite with every blob uploaded twice."""
+
+    def _traffic(self, mt_blobs):
+        items = []
+        for index, name in enumerate(MT_SUITE):
+            items.append((f"orig:{name}", mt_blobs[name], index))
+        for index, name in enumerate(MT_SUITE):
+            items.append((f"dup:{name}", mt_blobs[name],
+                          len(MT_SUITE) + index))
+        return items
+
+    def test_enabled_vs_disabled_identical_store_effects(
+            self, mt_blobs, resolver, tmp_path):
+        items = self._traffic(mt_blobs)
+
+        plain_store = ReportStore(tmp_path / "plain", num_shards=4)
+        plain = IngestPipeline(plain_store, resolver)
+        plain_results = plain.ingest_many(items)
+
+        cached_store = ReportStore(tmp_path / "cached", num_shards=4)
+        cached = IngestPipeline(
+            cached_store, resolver,
+            admit_cache=AdmitCache(tmp_path / "cache.json",
+                                   reverify_fraction=0.0),
+        )
+        cached_results = cached.ingest_many(items)
+
+        assert cached.cache_hits == len(MT_SUITE)  # every dup rode the cache
+        for full, shortcut in zip(plain_results, cached_results):
+            assert full.accepted and shortcut.accepted
+            assert full.digest == shortcut.digest
+            assert full.signature == shortcut.signature
+            assert full.signature.race_pcs == shortcut.signature.race_pcs
+            assert (full.instructions_replayed
+                    == shortcut.instructions_replayed)
+        # Store effects: identical entries (sequence numbers, shard
+        # placement, filenames, every metadata field) and rollups.
+        assert ([_entry_key(e) for e in plain_store.entries()]
+                == [_entry_key(e) for e in cached_store.entries()])
+        assert plain_store.rollups() == cached_store.rollups()
+        # Triage sees the same world.
+        plain_buckets = build_buckets(plain_store)
+        cached_buckets = build_buckets(cached_store)
+        assert ([b.to_dict() for b in plain_buckets]
+                == [b.to_dict() for b in cached_buckets])
+
+    def test_warm_restart_equivalence(self, mt_blobs, resolver, tmp_path):
+        """Second batch in a *new* pipeline (cache warm from disk):
+        still identical to full validation."""
+        items = self._traffic(mt_blobs)
+        cache_path = tmp_path / "cache.json"
+
+        warm_store = ReportStore(tmp_path / "warm", num_shards=4)
+        first = IngestPipeline(
+            warm_store, resolver,
+            admit_cache=AdmitCache(cache_path, reverify_fraction=0.0))
+        first.ingest_many(items)
+
+        # Restarted consumer, same cache file: everything now hits.
+        second = IngestPipeline(
+            warm_store, resolver,
+            admit_cache=AdmitCache(cache_path, reverify_fraction=0.0))
+        again = second.ingest_many(items)
+        assert all(result.accepted for result in again)
+        assert second.cache_hits == len(items)
+
+        plain_store = ReportStore(tmp_path / "plain", num_shards=4)
+        plain = IngestPipeline(plain_store, resolver)
+        plain.ingest_many(items)
+        plain.ingest_many(items)
+        assert ([_entry_key(e) for e in warm_store.entries()]
+                == [_entry_key(e) for e in plain_store.entries()])
+        assert warm_store.rollups() == plain_store.rollups()
+
+
+class TestReverifyDeterminism:
+    def test_sample_identical_across_restarts_and_nodes(self, tmp_path):
+        """(seed, fingerprint, upload_id) fully determines membership:
+        a restarted cache (same path) and a cluster peer (different
+        path, same seed) draw the identical sample."""
+        draws = [(blob_fingerprint(f"blob-{i}".encode()), f"upload-{i}")
+                 for i in range(200)]
+        first = AdmitCache(tmp_path / "a.json", seed=7,
+                           reverify_fraction=0.1)
+        restarted = AdmitCache(tmp_path / "a.json", seed=7,
+                               reverify_fraction=0.1)
+        peer = AdmitCache(tmp_path / "b" / "peer.json", seed=7,
+                          reverify_fraction=0.1)
+        sample = [first.should_reverify(fp, up) for fp, up in draws]
+        assert sample == [restarted.should_reverify(fp, up)
+                          for fp, up in draws]
+        assert sample == [peer.should_reverify(fp, up) for fp, up in draws]
+        # The fraction is honored in expectation (loose bounds: 200
+        # draws at 0.1 — the point is "nonzero and nowhere near all").
+        assert 2 <= sum(sample) <= 60
+
+    def test_seed_changes_the_sample(self, tmp_path):
+        draws = [(blob_fingerprint(f"blob-{i}".encode()), f"upload-{i}")
+                 for i in range(200)]
+        a = AdmitCache(tmp_path / "a.json", seed=0, reverify_fraction=0.1)
+        b = AdmitCache(tmp_path / "b.json", seed=1, reverify_fraction=0.1)
+        assert ([a.should_reverify(fp, up) for fp, up in draws]
+                != [b.should_reverify(fp, up) for fp, up in draws])
+
+    def test_fraction_extremes(self, tmp_path):
+        cache = AdmitCache(tmp_path / "c.json", reverify_fraction=0.0)
+        assert not cache.should_reverify("f" * 64, "u")
+        always = AdmitCache(tmp_path / "d.json", reverify_fraction=1.0)
+        assert always.should_reverify("f" * 64, "u")
+
+
+class TestQuarantine:
+    def _poison_evidence(self, entry):
+        """A poisoned entry the probe CANNOT catch: program, fault kind,
+        fault PC and route digest all still match the blob's own header
+        — the lie is in the replay-derived evidence (the race PCs; the
+        tail for a race-free bucket), which only a full replay
+        witnesses.  Its digest therefore differs: hits would commit
+        into the wrong bucket."""
+        return CachedOutcome(
+            fingerprint=entry.fingerprint,
+            program_name=entry.program_name,
+            fault_kind=entry.fault_kind,
+            fault_pc=entry.fault_pc,
+            tail_pcs=(entry.tail_pcs if entry.race_pcs
+                      else tuple(pc + 1 for pc in entry.tail_pcs)),
+            race_pcs=tuple(pc + 1 for pc in entry.race_pcs),
+            instructions=entry.instructions,
+            route_key=entry.route_key,
+        )
+
+    def test_poisoned_entry_survives_probe_but_reverify_quarantines(
+            self, gaim_blob, resolver, tmp_path):
+        cache = AdmitCache(tmp_path / "cache.json", reverify_fraction=1.0)
+        validated = validate_report("g", gaim_blob, None, resolver)
+        honest = CachedOutcome.from_validated(
+            blob_fingerprint(gaim_blob), validated)
+        poisoned = self._poison_evidence(honest)
+        assert poisoned.digest != honest.digest
+        cache.seed_entry(poisoned)
+
+        # The probe's integrity cross-check passes — by design, it can
+        # only check what the blob itself claims.
+        assert cache.probe(gaim_blob) is not None
+
+        # The sampled re-validation catches the lie.
+        before = _counter("bugnet_admit_quarantine_total")
+        mismatch_before = _counter("bugnet_admit_reverify_total",
+                                   ("mismatch",))
+        assert not cache.reverify_outcome(poisoned, validated)
+        assert _counter("bugnet_admit_quarantine_total") == before + 1
+        assert _counter("bugnet_admit_reverify_total",
+                        ("mismatch",)) == mismatch_before + 1
+
+        # The bucket is now cold: probe refuses, record refuses.
+        assert cache.probe(gaim_blob) is None
+        assert cache.record(blob_fingerprint(gaim_blob),
+                            ValidatedReport(
+                                label="again", blob=gaim_blob,
+                                observed_at=None,
+                                signature=poisoned.signature,
+                                fault_kind=poisoned.fault_kind,
+                                program_name=poisoned.program_name,
+                                instructions=poisoned.instructions,
+                                route_key=poisoned.route_key)) is None
+        assert poisoned.digest in cache.quarantined
+
+    def test_quarantine_persists_across_restart(self, gaim_blob, resolver,
+                                                tmp_path):
+        path = tmp_path / "cache.json"
+        cache = AdmitCache(path, reverify_fraction=1.0)
+        validated = validate_report("g", gaim_blob, None, resolver)
+        honest = CachedOutcome.from_validated(
+            blob_fingerprint(gaim_blob), validated)
+        poisoned = self._poison_evidence(honest)
+        cache.seed_entry(poisoned)
+        cache.reverify_outcome(poisoned, validated)
+
+        reborn = AdmitCache(path, reverify_fraction=1.0)
+        assert poisoned.digest in reborn.quarantined
+        assert reborn.probe(gaim_blob) is None
+        assert reborn.record(blob_fingerprint(gaim_blob), ValidatedReport(
+            label="again", blob=gaim_blob, observed_at=None,
+            signature=poisoned.signature, fault_kind=poisoned.fault_kind,
+            program_name=poisoned.program_name,
+            instructions=poisoned.instructions,
+            route_key=poisoned.route_key)) is None
+
+    def test_pipeline_reverify_catches_poison_end_to_end(
+            self, gaim_blob, resolver, tmp_path):
+        """The full drill the CI smoke job runs: seed the cache
+        honestly, poison the persisted file, re-upload with the sample
+        forced on — the poisoned bucket quarantines and the upload
+        still commits with the *correct* (re-validated) signature."""
+        cache_path = tmp_path / "cache.json"
+        store = ReportStore(tmp_path / "store", num_shards=2)
+        seeder = IngestPipeline(
+            store, resolver,
+            admit_cache=AdmitCache(cache_path, reverify_fraction=0.0))
+        first = seeder.ingest_many([("orig", gaim_blob, 0)])
+        assert first[0].accepted
+        true_digest = first[0].digest
+
+        # Poison the persisted entry's tail out-of-band.
+        data = json.loads(cache_path.read_text())
+        assert len(data["entries"]) == 1
+        data["entries"][0]["race_pcs"] = [
+            pc + 1 for pc in data["entries"][0]["race_pcs"]]
+        cache_path.write_text(json.dumps(data))
+
+        pipeline = IngestPipeline(
+            store, resolver,
+            admit_cache=AdmitCache(cache_path, reverify_fraction=1.0))
+        before = _counter("bugnet_admit_quarantine_total")
+        results = pipeline.ingest_many([("dup", gaim_blob, 1)])
+        assert results[0].accepted
+        assert results[0].digest == true_digest  # full replay won
+        assert pipeline.reverified == 1
+        assert _counter("bugnet_admit_quarantine_total") == before + 1
+        assert pipeline.admit_cache.quarantined  # bucket banned
+
+
+class TestPersistence:
+    def test_concurrent_writers_union_not_clobber(self, gaim_blob,
+                                                  mt_blobs, resolver,
+                                                  tmp_path):
+        path = tmp_path / "cache.json"
+        a = AdmitCache(path)
+        b = AdmitCache(path)
+        validated_a = validate_report("a", gaim_blob, None, resolver)
+        blob_b = mt_blobs["python-2.1.1-2"]
+        validated_b = validate_report("b", blob_b, None, resolver)
+        a.record(blob_fingerprint(gaim_blob), validated_a)
+        b.record(blob_fingerprint(blob_b), validated_b)
+        a.flush()
+        b.flush()  # read-merge-write: must keep a's entry
+        merged = AdmitCache(path)
+        assert merged.probe(gaim_blob) is not None
+        assert merged.probe(blob_b) is not None
+
+    def test_mtime_pickup_of_foreign_writes(self, gaim_blob, resolver,
+                                            tmp_path):
+        import os
+
+        path = tmp_path / "cache.json"
+        reader = AdmitCache(path)
+        assert reader.probe(gaim_blob) is None
+        writer = AdmitCache(path)
+        validated = validate_report("w", gaim_blob, None, resolver)
+        writer.record(blob_fingerprint(gaim_blob), validated)
+        writer.flush()
+        # Force an mtime difference (same-second writes can tie).
+        stat = path.stat()
+        os.utime(path, (stat.st_atime, stat.st_mtime + 1))
+        assert reader.probe(gaim_blob) is not None
+
+    def test_corrupt_cache_file_is_cold_start_not_crash(self, gaim_blob,
+                                                        tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        cache = AdmitCache(path)
+        assert len(cache) == 0
+        assert cache.probe(gaim_blob) is None
+
+
+class TestIntraBatchDedup:
+    def test_same_batch_duplicates_defer_to_leader(self, gaim_blob,
+                                                   resolver, tmp_path):
+        store = ReportStore(tmp_path / "store", num_shards=2)
+        pipeline = IngestPipeline(
+            store, resolver,
+            admit_cache=AdmitCache(tmp_path / "cache.json",
+                                   reverify_fraction=0.0))
+        results = pipeline.ingest_many([
+            ("one", gaim_blob, 0),
+            ("two", gaim_blob, 1),
+            ("three", gaim_blob, 2),
+        ])
+        assert all(result.accepted for result in results)
+        assert len({result.digest for result in results}) == 1
+        assert pipeline.cache_hits == 2  # one leader validated
+        assert len(store) == 3
+
+    def test_rejected_leader_rejects_its_duplicates(self, resolver,
+                                                    tmp_path):
+        store = ReportStore(tmp_path / "store", num_shards=2)
+        pipeline = IngestPipeline(
+            store, resolver,
+            admit_cache=AdmitCache(tmp_path / "cache.json",
+                                   reverify_fraction=0.0))
+        bogus = b"BGNT" + b"\x00" * 64
+        results = pipeline.ingest_many([
+            ("one", bogus, 0),
+            ("two", bogus, 1),
+        ])
+        assert not results[0].accepted
+        assert not results[1].accepted
+        assert results[0].reason == results[1].reason
+        assert len(store) == 0

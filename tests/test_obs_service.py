@@ -164,7 +164,7 @@ class TestMetricsEndpoint:
         counters) must travel back to the parent and land in the same
         scrape — the multiprocess merge path end to end."""
         _programs, items = corpus
-        config = ServiceConfig(workers=1, validate_chunk=4)
+        config = ServiceConfig(workers=1, validate_chunk=4, admit_cache=False)
 
         async def scenario(service, host, port):
             before = await fetch_metrics(host, port)
@@ -219,7 +219,7 @@ class TestStructuredLogging:
     def test_one_admission_event_per_settled_upload(self, corpus, tmp_path):
         _programs, items = corpus
         stream = io.StringIO()
-        config = ServiceConfig(workers=0, log_json=True)
+        config = ServiceConfig(workers=0, log_json=True, admit_cache=False)
 
         async def scenario(service, host, port):
             service._log._stream = stream
