@@ -125,6 +125,23 @@ def measure_fleet_cluster() -> float:
     return best
 
 
+def measure_fleet_cluster_elastic() -> float:
+    from benchmarks.test_cluster_throughput import (
+        CLUSTER_UPLOADS,
+        _cluster_traffic,
+        _run_elastic_load,
+    )
+
+    _cluster_traffic()
+    best = 0.0
+    for _ in range(ROUNDS):
+        report, added = _run_elastic_load()
+        assert len(report.accepted) == CLUSTER_UPLOADS
+        assert added["epochs"]["final"] == added["epochs"]["before"] + 2
+        best = max(best, report.reports_per_sec)
+    return best
+
+
 def measure_forensics() -> float:
     """DDG build rate (instructions/s).  Unlike slices/s, this is a
     per-instruction rate and therefore stable under
@@ -152,6 +169,9 @@ METRICS = {
                                       measure_fleet_service),
     "fleet_cluster_reports_per_sec": (("fleet_cluster", "reports_per_sec"),
                                       measure_fleet_cluster),
+    "fleet_cluster_elastic_reports_per_sec": (
+        ("fleet_cluster_elastic", "reports_per_sec"),
+        measure_fleet_cluster_elastic),
     "forensics_ddg_build_ips": (("forensics_slice", "ddg_build_ips"),
                                 measure_forensics),
 }

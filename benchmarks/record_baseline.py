@@ -48,6 +48,7 @@ from benchmarks.test_cluster_throughput import (  # noqa: E402
     CLUSTER_UPLOADS,
     _cluster_traffic,
     _run_cluster_load,
+    _run_elastic_load,
 )
 from benchmarks.test_obs_overhead import (  # noqa: E402
     measure_obs_overhead,
@@ -118,6 +119,14 @@ def main() -> None:
                 or candidate.reports_per_sec
                 > cluster_report.reports_per_sec):
             cluster_report = candidate
+    elastic_report = elastic_added = None
+    for _ in range(ROUNDS):
+        candidate, added = _run_elastic_load()
+        assert len(candidate.accepted) == CLUSTER_UPLOADS
+        if (elastic_report is None
+                or candidate.reports_per_sec
+                > elastic_report.reports_per_sec):
+            elastic_report, elastic_added = candidate, added
     obs_ratio, obs_enabled, obs_disabled = measure_obs_overhead()
     _forensics_setup()  # record the forensics window outside timing
     ddg_time, ddg = _best(_build_ddg)
@@ -242,6 +251,29 @@ def main() -> None:
             "replication_cost_vs_service": round(
                 service_report.reports_per_sec
                 / cluster_report.reports_per_sec, 2),
+        },
+        # Elastic membership (same module): the identical load while
+        # `admin.add_node` grows the ring mid-run — joining epoch
+        # pushed, ~1/N of the keyspace streamed to the new node via
+        # range-filtered anti-entropy, activation flip — with the
+        # load client pinned to the initial epoch (server-side
+        # forwarding across every intermediate ring).
+        # elasticity_cost_vs_cluster is what the topology change
+        # costs the write path relative to the steady-state ring.
+        "fleet_cluster_elastic": {
+            "uploads": CLUSTER_UPLOADS,
+            "nodes_before": CLUSTER_NODES,
+            "nodes_after": CLUSTER_NODES + 1,
+            "replication": CLUSTER_REPLICATION,
+            "streamed": elastic_added["streamed"],
+            "reports_per_sec": round(elastic_report.reports_per_sec, 1),
+            "latency_p50_ms": round(
+                elastic_report.latency_percentile(0.50) * 1e3, 2),
+            "latency_p99_ms": round(
+                elastic_report.latency_percentile(0.99) * 1e3, 2),
+            "elasticity_cost_vs_cluster": round(
+                cluster_report.reports_per_sec
+                / elastic_report.reports_per_sec, 2),
         },
         # Observability overhead (benchmarks/test_obs_overhead.py):
         # fleet ingest with the metrics registry live vs disabled

@@ -8,6 +8,12 @@ the headline reports/s includes the full replication round-trip the
 single-service ``fleet_service`` number does not pay.  Lands in
 ``BENCH_throughput.json`` as ``fleet_cluster`` (regenerate with
 ``PYTHONPATH=src python benchmarks/record_baseline.py``).
+
+The *elastic* variant drives the same load while ``admin.add_node``
+grows the ring mid-run (joining epoch, range streaming, activation
+flip), so its reports/s prices a topology change happening under the
+writes — ``fleet_cluster_elastic`` in the baseline, gated in CI like
+every other headline number.
 """
 
 import asyncio
@@ -110,4 +116,98 @@ def test_cluster_throughput(benchmark, emit):
     # Generous sanity floor — replication costs an extra round-trip
     # per upload, but the rate must stay the same order of magnitude
     # as the single service.
+    assert report.reports_per_sec > 10
+
+
+def _run_elastic_load(concurrency: int = 8):
+    """One elastic round: start the 3-node cluster, begin ring-routed
+    load pinned to the initial epoch, and grow the ring to four nodes
+    mid-load (``admin.add_node``: joining epoch -> range streaming ->
+    activation flip).  Returns ``(LoadSimReport, add_node summary)``
+    for the measured uploads."""
+    from repro.fleet.cluster import admin
+
+    items = _cluster_traffic()
+    root = Path(tempfile.mkdtemp(prefix="bugnet-bench-elastic-"))
+    ports = free_ports(CLUSTER_NODES + 1)
+    spec = ClusterSpec(
+        nodes=tuple(
+            NodeSpec(node_id=f"n{index}", host="127.0.0.1",
+                     port=ports[index])
+            for index in range(CLUSTER_NODES)
+        ),
+        replication=CLUSTER_REPLICATION,
+    )
+    spec_path = root / "cluster.json"
+    spec.dump(spec_path)
+
+    def make_service(member_spec, node_id, interval):
+        member = member_spec.node(node_id)
+        return ClusterNodeService(
+            root / f"store-{node_id}", ResolverSpec(),
+            member_spec, node_id,
+            config=ServiceConfig(host=member.host, port=member.port,
+                                 workers=0, queue_limit=64),
+            anti_entropy_interval=interval,
+        )
+
+    async def main():
+        services = []
+        try:
+            for member in spec.nodes:
+                service = make_service(spec, member.node_id, 60.0)
+                await service.start()
+                services.append(service)
+            await run_cluster_load_sim(spec, items[:_WARMUP],
+                                       concurrency=2)
+            # The load client stays pinned to the initial epoch — the
+            # cluster forwards across every intermediate ring.
+            load = asyncio.ensure_future(run_cluster_load_sim(
+                spec, items[_WARMUP:], concurrency=concurrency,
+            ))
+
+            async def start_new(joining_spec):
+                # The joining node anti-entropies aggressively: the
+                # stream is the thing being priced.
+                service = make_service(joining_spec, "n3", 0.1)
+                await service.start()
+                services.append(service)
+
+            added = await admin.add_node(
+                spec_path, "n3", "127.0.0.1", ports[CLUSTER_NODES],
+                start_callback=start_new,
+                poll_interval=0.05, timeout=60.0,
+            )
+            return await load, added
+        finally:
+            for service in services:
+                await service.stop()
+
+    try:
+        return asyncio.run(main())
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def test_cluster_elastic_throughput(benchmark, emit):
+    report, added = benchmark.pedantic(_run_elastic_load, rounds=3,
+                                       iterations=1)
+    assert len(report.accepted) == CLUSTER_UPLOADS
+    assert not report.rejected
+    assert not report.failed
+    assert added["epochs"]["final"] == added["epochs"]["before"] + 2
+    stats = report.to_dict()
+    benchmark.extra_info.update(stats)
+    emit(
+        "fleet cluster elastic: %d uploads while n3 joined "
+        "(epoch %d -> %d, %d report(s) streamed), %.1f reports/s, "
+        "ack p50 %.2fms p99 %.2fms" % (
+            stats["uploads"], added["epochs"]["before"],
+            added["epochs"]["final"], added["streamed"],
+            stats["reports_per_sec"],
+            stats["latency_p50_ms"], stats["latency_p99_ms"],
+        )
+    )
+    # Same order-of-magnitude floor as the steady-state benchmark:
+    # a topology change must not stall the write path.
     assert report.reports_per_sec > 10

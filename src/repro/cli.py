@@ -576,9 +576,13 @@ def _cmd_fleet_sim(args) -> int:
 def _fleet_sim_cluster(args, names) -> int:
     """``bugnet fleet-sim --nodes N``: the whole-cluster scenario —
     real serve subprocesses, ring-routed load, a mid-run kill -9, and
-    the zero-loss/convergence/reconciliation contract checks."""
+    the zero-loss/convergence/reconciliation contract checks.  With
+    ``--elastic``: a mid-load add-node and decommission instead of the
+    kill, plus the epoch/quorum contract checks."""
     from repro.fleet.cluster.harness import run_cluster_sim
 
+    if args.elastic:
+        return _fleet_sim_elastic(args, names)
     store_dir = args.store or tempfile.mkdtemp(prefix="bugnet-cluster-")
     try:
         summary = run_cluster_sim(
@@ -616,6 +620,62 @@ def _fleet_sim_cluster(args, names) -> int:
           f"node(s); per node: "
           + ", ".join(f"{node}={count}" for node, count
                       in summary["per_node_reports"].items()))
+    print(f"  /metrics vs /stats: "
+          f"{'reconciled' if summary['reconciled'] else 'MISMATCH'}")
+    print(f"  cluster root: {store_dir}")
+    return 0
+
+
+def _fleet_sim_elastic(args, names) -> int:
+    """``bugnet fleet-sim --nodes 3 --elastic``: topology change under
+    load (add-node mid-load, then decommission an original member)."""
+    from repro.fleet.cluster.harness import run_elasticity_sim
+
+    store_dir = args.store or tempfile.mkdtemp(prefix="bugnet-elastic-")
+    try:
+        summary = run_elasticity_sim(
+            store_dir,
+            runs=args.runs,
+            replication=args.replication,
+            bug_names=names,
+            seed=args.seed,
+            corrupt=args.corrupt,
+            concurrency=args.concurrency,
+            workers=args.workers if args.workers else 0,
+        )
+    except AssertionError as error:
+        print(f"error: elasticity contract violated: {error}",
+              file=sys.stderr)
+        return 1
+    except (TimeoutError, RuntimeError) as error:
+        print(f"error: topology change did not converge: {error}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        summary["store"] = store_dir
+        print(json.dumps(summary, indent=2))
+        return 0
+    epochs = summary["epochs"]
+    print(f"fleet-sim --elastic: {summary['nodes_initial']}-node cluster "
+          f"(replication {summary['replication']}), {args.runs} run(s)")
+    print(f"  added {summary['added_node']} mid-load: streamed "
+          f"{summary['streamed']} report(s) "
+          f"(~{summary['range_span_added']:.1%} of the keyspace) before "
+          f"the epoch-{epochs['after_add']} routing flip")
+    print(f"  decommissioned {summary['decommissioned_node']}: drained "
+          f"{summary['drained']} report(s), dropped at epoch "
+          f"{epochs['final']}")
+    print(f"  accepted {summary['accepted']} "
+          f"(duplicates {summary['duplicates']}), "
+          f"rejected {summary['rejected']}, failed {summary['failed']}, "
+          f"lost {summary['lost']}")
+    print(f"  every accepted report on >= {summary['min_copies']} "
+          f"final member(s); per node: "
+          + ", ".join(f"{node}={count}" for node, count
+                      in summary["per_node_reports"].items()))
+    print(f"  quorum read: epoch {summary['quorum']['epoch']}, stale "
+          f"answer from {summary['decommissioned_node']} "
+          f"{'flagged' if summary['stale_flagged'] else 'NOT flagged'}")
     print(f"  /metrics vs /stats: "
           f"{'reconciled' if summary['reconciled'] else 'MISMATCH'}")
     print(f"  cluster root: {store_dir}")
@@ -911,25 +971,55 @@ def _metrics_to_jsonable(samples: dict) -> dict:
 
 
 def _cmd_cluster(args) -> int:
-    """Cluster-wide stats/metrics/triage over a running cluster."""
+    """Cluster-wide reads (quorum stats/metrics/triage/autopsy) and
+    planned topology change (add-node/decommission)."""
     import asyncio
 
     from repro.fleet.cluster import admin
     from repro.fleet.cluster.topology import ClusterSpec
 
-    spec = ClusterSpec.load(args.spec)
+    try:
+        spec = ClusterSpec.load(args.spec)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.action == "add-node":
+        return _cluster_add_node(args, spec)
+    if args.action == "decommission":
+        return _cluster_decommission(args)
     if args.action == "stats":
-        per_node = asyncio.run(admin.cluster_stats(spec))
-        aggregate = admin.aggregate_stats(per_node)
+        read = asyncio.run(admin.cluster_stats_quorum(spec))
+        aggregate = read["aggregate"]
+        quorum = read["quorum"]
+        status = 0
+        if args.check and (quorum["unreachable"] or not quorum["ok"]):
+            status = 1
         if args.json:
             print(json.dumps({"aggregate": aggregate,
-                              "per_node": per_node}, indent=2))
-            return 0
+                              "quorum": quorum,
+                              "per_node": read["per_node"]}, indent=2))
+            if status:
+                if quorum["unreachable"]:
+                    print(f"error: unreachable node(s): "
+                          f"{', '.join(quorum['unreachable'])}",
+                          file=sys.stderr)
+                if not quorum["ok"]:
+                    print(f"error: quorum not met: "
+                          f"{len(quorum['consistent'])} epoch-consistent "
+                          f"answer(s), need {quorum['required']}",
+                          file=sys.stderr)
+            return status
         counters = aggregate["counters"]
-        print(f"cluster: {len(aggregate['reachable'])}/"
-              f"{aggregate['nodes']} node(s) reachable"
-              + (f" (down: {', '.join(aggregate['unreachable'])})"
-                 if aggregate["unreachable"] else ""))
+        print(f"cluster: epoch {quorum['epoch']}, "
+              f"{len(quorum['consistent'])}/{aggregate['nodes']} node(s) "
+              f"answering at quorum epoch "
+              f"(quorum {'met' if quorum['ok'] else 'NOT met'}: "
+              f"needs {quorum['required']})")
+        if quorum["stale"]:
+            print(f"  stale epoch (answers excluded): "
+                  f"{', '.join(quorum['stale'])}")
+        if quorum["unreachable"]:
+            print(f"  unreachable: {', '.join(quorum['unreachable'])}")
         print(f"  uploads: {counters['received']} received, "
               f"{counters['accepted']} accepted, "
               f"{counters['rejected']} rejected, "
@@ -937,11 +1027,22 @@ def _cmd_cluster(args) -> int:
         cluster_counters = aggregate["cluster"]
         print(f"  cluster: {cluster_counters['forwarded']} forwarded, "
               f"{cluster_counters['replicated_out']} replicated, "
-              f"{cluster_counters['handoff_reports']} handed off")
+              f"{cluster_counters['handoff_reports']} handed off, "
+              f"{cluster_counters['spec_updates']} spec update(s)")
         store = aggregate["store"]
         print(f"  store: {store['reports']} resident report(s) "
               f"fleet-wide ({store['evicted_reports']} evicted)")
-        return 0
+        if status:
+            if quorum["unreachable"]:
+                print(f"error: unreachable node(s): "
+                      f"{', '.join(quorum['unreachable'])}",
+                      file=sys.stderr)
+            if not quorum["ok"]:
+                print(f"error: quorum not met: "
+                      f"{len(quorum['consistent'])} epoch-consistent "
+                      f"answer(s), need {quorum['required']}",
+                      file=sys.stderr)
+        return status
     if args.action == "metrics":
         per_node = asyncio.run(admin.cluster_metrics(spec))
         aggregate = admin.aggregate_metrics(per_node)
@@ -974,17 +1075,36 @@ def _cmd_cluster(args) -> int:
             for mismatch in mismatches:
                 print(f"#   {mismatch}", file=sys.stderr)
         return status
-    # triage
-    buckets = asyncio.run(admin.cluster_buckets(spec))
+    # triage / autopsy: both start from the quorum-read bucket merge
+    read = asyncio.run(admin.cluster_triage(spec))
+    buckets = read["buckets"]
+    quorum = read["quorum"]
+    if args.action == "autopsy":
+        return _cluster_autopsy(args, spec, buckets, quorum)
     shown = buckets if args.limit is None else buckets[:args.limit]
     if args.json:
         print(json.dumps({"buckets": shown,
-                          "total_buckets": len(buckets)}, indent=2))
-        return 0
+                          "total_buckets": len(buckets),
+                          "quorum": quorum}, indent=2))
+        return 0 if quorum["ok"] else 1
+    if not quorum["ok"]:
+        print(f"error: quorum not met at epoch {quorum['epoch']}: "
+              f"{len(quorum['consistent'])} consistent answer(s), need "
+              f"{quorum['required']}"
+              + (f" (stale: {', '.join(quorum['stale'])})"
+                 if quorum["stale"] else "")
+              + (f" (unreachable: {', '.join(quorum['unreachable'])})"
+                 if quorum["unreachable"] else ""),
+              file=sys.stderr)
+        return 1
     if not buckets:
         print("cluster stores are empty: 0 reports to triage")
         return 0
-    print("Cluster triage (distinct uploads, replicas deduplicated)")
+    print(f"Cluster triage at epoch {quorum['epoch']} "
+          f"(distinct uploads, replicas deduplicated)")
+    if quorum["stale"]:
+        print(f"  [stale-epoch answers excluded: "
+              f"{', '.join(quorum['stale'])}]")
     for rank, bucket in enumerate(shown, start=1):
         racy = " [racy]" if bucket.get("racy") else ""
         count = str(bucket["count"])
@@ -999,6 +1119,152 @@ def _cmd_cluster(args) -> int:
               f"count={count} {where}")
     if args.limit is not None and len(buckets) > args.limit:
         print(f"  ... and {len(buckets) - args.limit} more bucket(s)")
+    return 0
+
+
+def _cluster_autopsy(args, spec, buckets, quorum) -> int:
+    """Root-cause cluster buckets: pull each representative report from
+    a quorum-consistent replica and autopsy it locally."""
+    import asyncio
+
+    from repro.fleet.cluster import admin
+    from repro.forensics.autopsy import bug_suite_resolver, perform_autopsy
+    from repro.tracing.serialize import load_crash_report
+
+    if not quorum["ok"]:
+        print(f"error: quorum not met at epoch {quorum['epoch']}: "
+              f"cannot trust the bucket merge", file=sys.stderr)
+        return 1
+    consistent = set(quorum["consistent"])
+    members = [m for m in spec.nodes if m.node_id in consistent]
+    resolver = bug_suite_resolver()
+    shown = buckets if args.limit is None else buckets[:args.limit]
+    results = []
+    rendered: "dict[str, str]" = {}
+    failed = 0
+    for bucket in shown:
+        upload_ids = bucket.get("upload_ids", ())
+        fetched = None
+        for upload_id in upload_ids:
+            for member in members:
+                fetched = asyncio.run(
+                    admin.fetch_report_blob(member, upload_id)
+                )
+                if fetched is not None:
+                    break
+            if fetched is not None:
+                break
+        entry = {"signature": bucket["signature"],
+                 "program": bucket.get("program", ""),
+                 "count": bucket.get("count", 0)}
+        if fetched is None:
+            entry["error"] = "no quorum replica served the report"
+            failed += 1
+            results.append(entry)
+            continue
+        _meta, blob = fetched
+        program = resolver(bucket.get("program", ""))
+        if program is None:
+            entry["error"] = (f"unknown program "
+                              f"{bucket.get('program', '')!r}")
+            failed += 1
+            results.append(entry)
+            continue
+        try:
+            report, config = load_crash_report(blob)
+            autopsy = perform_autopsy(report, config, program)
+        except Exception as error:  # noqa: BLE001 — per-bucket isolation
+            entry["error"] = f"autopsy failed: {error}"
+            failed += 1
+            results.append(entry)
+            continue
+        entry["autopsy"] = autopsy.to_dict()
+        rendered[bucket["signature"]] = autopsy.render()
+        results.append(entry)
+    if args.json:
+        print(json.dumps({"buckets": results, "failed": failed,
+                          "quorum": quorum}, indent=2))
+        return 1 if failed else 0
+    print(f"Cluster autopsy at epoch {quorum['epoch']} "
+          f"({len(results)} bucket(s))")
+    for entry in results:
+        if "error" in entry:
+            print(f"== bucket {entry['signature'][:12]}: {entry['error']}",
+                  file=sys.stderr)
+            continue
+        print(f"== bucket {entry['signature'][:12]} "
+              f"({entry['count']} report(s))")
+        print(rendered[entry["signature"]])
+        print()
+    return 1 if failed else 0
+
+
+def _cluster_add_node(args, spec) -> int:
+    """``bugnet cluster add-node``: joining epoch → stream → flip."""
+    import asyncio
+
+    from repro.fleet.cluster import admin
+
+    if not args.node_id or not args.node_port:
+        print("error: add-node needs --node-id and --node-port",
+              file=sys.stderr)
+        return 2
+    if spec.has_node(args.node_id):
+        print(f"error: node {args.node_id!r} is already a member",
+              file=sys.stderr)
+        return 2
+    print(f"add-node {args.node_id}: minting joining epoch "
+          f"{spec.epoch + 1} and pushing it to "
+          f"{len(spec.nodes)} member(s)")
+    print(f"  start the new node now (it may also already be running):")
+    print(f"    bugnet serve --store <store> --cluster {args.spec} "
+          f"--node-id {args.node_id}")
+    try:
+        summary = asyncio.run(admin.add_node(
+            args.spec, args.node_id, args.node_host, args.node_port,
+            poll_interval=args.poll, timeout=args.timeout,
+        ))
+    except (TimeoutError, ValueError, RuntimeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"  streamed {summary['streamed']} report(s) across "
+          f"{summary['ranges']} remapped range(s) "
+          f"(~{summary['range_span']:.1%} of the keyspace)")
+    print(f"  committed epoch {summary['epochs']['final']}: "
+          f"{args.node_id} is active")
+    return 0
+
+
+def _cluster_decommission(args) -> int:
+    """``bugnet cluster decommission``: draining epoch → drain → drop."""
+    import asyncio
+
+    from repro.fleet.cluster import admin
+
+    if not args.node_id:
+        print("error: decommission needs --node-id", file=sys.stderr)
+        return 2
+    try:
+        summary = asyncio.run(admin.decommission(
+            args.spec, args.node_id,
+            poll_interval=args.poll, timeout=args.timeout,
+        ))
+    except (TimeoutError, ValueError, RuntimeError, KeyError) as error:
+        detail = error.args[0] if error.args else error
+        print(f"error: {detail}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary, indent=2))
+        return 0
+    print(f"decommission {args.node_id}: drained {summary['drained']} "
+          f"report(s) off the node "
+          f"(~{summary['range_span']:.1%} of the keyspace re-homed)")
+    print(f"  committed epoch {summary['epochs']['final']}: "
+          f"{args.node_id} dropped from the spec "
+          f"(stop its process when convenient)")
     return 0
 
 
@@ -1318,6 +1584,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cluster mode: replica copies per report")
     fleet.add_argument("--no-kill", action="store_true",
                        help="cluster mode: skip the mid-load kill -9")
+    fleet.add_argument("--elastic", action="store_true",
+                       help="cluster mode: mid-load add-node + "
+                            "decommission instead of the kill "
+                            "(epoch/quorum contract checks)")
     fleet.add_argument("--concurrency", type=int, default=4,
                        help="cluster mode: concurrent uploader connections")
     fleet.add_argument("--retain", type=int, default=None,
@@ -1449,20 +1719,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     cluster = sub.add_parser(
         "cluster",
-        help="cluster-wide views over a running serve cluster",
+        help="cluster-wide views and planned topology change over a "
+             "running serve cluster",
     )
-    cluster.add_argument("action", choices=("stats", "metrics", "triage"),
-                         help="stats: aggregated /stats; metrics: "
-                              "aggregated /metrics; triage: buckets "
-                              "merged by signature across nodes")
+    cluster.add_argument("action",
+                         choices=("stats", "metrics", "triage", "autopsy",
+                                  "add-node", "decommission"),
+                         help="stats: quorum-read aggregated /stats; "
+                              "metrics: aggregated /metrics; triage: "
+                              "quorum-read buckets merged by signature; "
+                              "autopsy: root-cause each quorum bucket's "
+                              "representative; add-node: grow the ring "
+                              "(stream, then flip); decommission: drain "
+                              "a node and drop it")
     cluster.add_argument("--cluster", required=True, dest="spec",
                          help="cluster spec JSON")
     cluster.add_argument("--check", action="store_true",
-                         help="metrics: reconcile aggregated /metrics "
-                              "against summed per-node /stats (exit 1 "
-                              "on mismatch)")
+                         help="stats: exit 1 naming unreachable nodes or "
+                              "a failed quorum; metrics: reconcile "
+                              "aggregated /metrics against summed "
+                              "per-node /stats (exit 1 on mismatch)")
     cluster.add_argument("--limit", type=int, default=None,
-                         help="triage: show only the top N buckets")
+                         help="triage/autopsy: only the top N buckets")
+    cluster.add_argument("--node-id", default=None,
+                         help="add-node/decommission: the member to add "
+                              "or drain")
+    cluster.add_argument("--node-host", default="127.0.0.1",
+                         help="add-node: host of the new member")
+    cluster.add_argument("--node-port", type=int, default=None,
+                         help="add-node: port of the new member")
+    cluster.add_argument("--timeout", type=float, default=60.0,
+                         help="add-node/decommission: seconds to wait "
+                              "for range streaming to converge")
+    cluster.add_argument("--poll", type=float, default=0.25,
+                         help="add-node/decommission: convergence poll "
+                              "interval")
     cluster.add_argument("--json", action="store_true")
     cluster.set_defaults(func=_cmd_cluster)
 

@@ -1,31 +1,38 @@
 """Multi-node fleet cluster: ring-routed ingestion, replication,
-node-failure tolerance, and retention.
+node-failure tolerance, elastic membership, and retention.
 
 One ``bugnet serve`` process is a ceiling; a deployed BugNet fleet runs
 collectors as a *cluster*.  This package promotes the consistent-hash
 ring already inside :mod:`repro.fleet.store` to a real topology:
 
-* :mod:`~repro.fleet.cluster.topology` — the static cluster spec
-  (seed list of nodes + replication factor), the node hash ring that
-  assigns every crash report a preference list of owner nodes, and the
-  gossiped-heartbeat liveness model.
+* :mod:`~repro.fleet.cluster.topology` — the **epoch-versioned**
+  cluster spec (members with ``active``/``joining``/``draining``
+  status, replication factor, monotonic epoch), the node hash ring
+  that assigns every crash report a preference list of owner nodes,
+  ring diffing (the exact token ranges that change hands between two
+  epochs), and the gossiped-heartbeat liveness model.
 * :mod:`~repro.fleet.cluster.node` — :class:`ClusterNodeService`, a
   :class:`~repro.fleet.service.FleetService` that forwards misdirected
   uploads to their owner, synchronously replicates committed reports to
-  its ring successors before acking, and runs anti-entropy so a
-  rejoining node catches up on what it missed.
+  its ring successors before acking, refuses epoch-mismatched cluster
+  ops (then heals by spec exchange), and runs anti-entropy so a
+  rejoining node catches up and a joining node streams its future
+  ranges in before the routing flip.
 * :mod:`~repro.fleet.cluster.router` — client-side ring routing for
   ``load-sim``/``ingest`` plus the thin ``bugnet route`` proxy.
-* :mod:`~repro.fleet.cluster.admin` — cluster-wide /stats, /metrics
-  aggregation and triage (merged by signature digest, deduplicated by
-  upload id across replicas).
+* :mod:`~repro.fleet.cluster.admin` — quorum reads (cluster-wide
+  /stats, /metrics, triage, autopsy — merged by signature digest,
+  deduplicated by upload id across replicas, stale-epoch answers
+  flagged) and planned topology change (``bugnet cluster add-node`` /
+  ``decommission``).
 * :mod:`~repro.fleet.cluster.harness` — the subprocess cluster harness
-  behind ``bugnet fleet-sim --nodes N`` and the CI kill -9 smoke job.
+  behind ``bugnet fleet-sim --nodes N`` (kill -9 smoke) and
+  ``--elastic`` (topology change under load).
 
 Reports are placed by a **route digest** (program, fault kind, fault
 PC — computable from a blob without replay), not the signature digest
 (which needs a validation replay); DESIGN.md §12 walks through the
-distinction and everything above.
+distinction, §14 the epoch/quorum model.
 """
 
 from repro.fleet.cluster.topology import (

@@ -348,3 +348,181 @@ def run_cluster_sim(
         "lost": 0,
     })
     return summary
+
+
+def run_elasticity_sim(
+    root,
+    runs: int = 24,
+    replication: int = 2,
+    bug_names=DEFAULT_BUGS,
+    seed: int = 0,
+    corrupt: int = 2,
+    concurrency: int = 4,
+    workers: int = 0,
+    intervals: "tuple[int, ...]" = (2_000, 5_000),
+    change_timeout: float = 90.0,
+) -> dict:
+    """The ``bugnet fleet-sim --nodes 3 --elastic`` scenario: planned
+    topology change under live load, start to finish.
+
+    A 3-node subprocess cluster takes ring-routed traffic; mid-load a
+    fourth node is added (``admin.add_node``: joining epoch → range
+    streaming while the old ring serves → activation flip), then an
+    *original* member is decommissioned (``admin.decommission``:
+    draining epoch → drain → drop).  The load client keeps routing
+    under the **epoch-1** spec the whole time — deliberately stale, so
+    every upload that lands on the wrong node under the newer rings
+    exercises server-side forwarding.
+
+    Contract checks (AssertionError on violation):
+
+    * zero accepted-report loss across both topology changes;
+    * every accepted report on a full replica set among the *final*
+      members (the dropped node's store is not needed);
+    * the dropped node — still running, pinned at its stale epoch
+      because the final spec no longer names it — is flagged ``stale``
+      by a quorum read and excluded from the merge, while the read
+      still reaches quorum from the survivors;
+    * aggregated /metrics reconcile with summed /stats at the final
+      epoch.
+    """
+    from repro.fleet.cluster import admin
+
+    _programs, items, _failures = synthesize_corpus(
+        runs, bug_names, seed=seed, corrupt=corrupt,
+        intervals=intervals, id_prefix="elastic",
+    )
+    harness = ClusterHarness.create(
+        root, nodes=3, replication=replication, workers=workers,
+    )
+    initial_spec = harness.spec
+    try:
+        harness.start_all()
+    except BaseException:
+        harness.stop_all()
+        raise
+    new_id = f"n{len(initial_spec.nodes)}"
+    (new_port,) = free_ports(1)
+    victim = initial_spec.nodes[0].node_id
+
+    async def scenario():
+        uploads = asyncio.create_task(run_cluster_load_sim(
+            initial_spec, items, concurrency=concurrency,
+            max_attempts=240, backoff_base=0.02, seed=seed,
+        ))
+        # Let some accepts land on the old ring first, so the topology
+        # change genuinely happens mid-load with data to remap.
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            total = 0
+            for member in initial_spec.nodes:
+                held = await harness.node_upload_ids(member.node_id)
+                total += len(held or ())
+            if total >= max(replication * 2, 4):
+                break
+            await asyncio.sleep(0.05)
+
+        async def start_new_node(joining_spec):
+            # The joining epoch is already on disk at spec_path; the
+            # new process reads it and starts streaming its ranges.
+            harness.spec = joining_spec
+            await asyncio.get_running_loop().run_in_executor(
+                None, harness.start, new_id,
+            )
+
+        add_summary = await admin.add_node(
+            harness.spec_path, new_id, "127.0.0.1", new_port,
+            start_callback=start_new_node,
+            poll_interval=0.25, timeout=change_timeout,
+        )
+        harness.spec = ClusterSpec.load(harness.spec_path)
+
+        drop_summary = await admin.decommission(
+            harness.spec_path, victim,
+            poll_interval=0.25, timeout=change_timeout,
+        )
+        final_spec = ClusterSpec.load(harness.spec_path)
+
+        report = await uploads
+        accepted_ids = {
+            uid for (label, _blob, uid) in items
+            if label in {o.label for o in report.accepted}
+        }
+
+        # Full replica sets among the FINAL members: the decommissioned
+        # node's store must no longer be load-bearing.
+        harness.spec = final_spec
+        placement = await harness.wait_converged(
+            accepted_ids,
+            copies=min(replication, len(final_spec.nodes)),
+            timeout=change_timeout,
+        )
+
+        # The dropped node is still running, pinned at its stale epoch
+        # (the final spec no longer names it, so it cannot adopt it).
+        # A quorum read over a member list that still includes it must
+        # flag its answer instead of merging it.
+        probe_spec = ClusterSpec(
+            nodes=final_spec.nodes + (initial_spec.node(victim),),
+            replication=replication,
+            epoch=final_spec.epoch,
+        )
+        quorum_read = await admin.cluster_stats_quorum(probe_spec)
+
+        per_node = await cluster_stats(final_spec)
+        stats = aggregate_stats(per_node)
+        metrics = aggregate_metrics(await cluster_metrics(final_spec))
+        return (report, accepted_ids, placement, stats, metrics,
+                add_summary, drop_summary, quorum_read, final_spec)
+
+    try:
+        (report, accepted_ids, placement, stats, metrics,
+         add_summary, drop_summary, quorum_read, final_spec) = \
+            asyncio.run(scenario())
+    finally:
+        harness.stop_all()
+
+    mismatches = reconcile(metrics, stats)
+    # Zero loss, from disk, counting only the final members: the
+    # decommissioned node's store is deliberately excluded.
+    held = harness.postmortem_upload_ids()
+    everywhere = set().union(*held.values()) if held else set()
+    lost = accepted_ids - everywhere
+    assert not lost, f"accepted-then-lost reports: {sorted(lost)}"
+    assert not mismatches, f"metrics/stats mismatch: {mismatches}"
+    quorum = quorum_read["quorum"]
+    assert quorum["ok"], f"quorum read failed at the final epoch: {quorum}"
+    assert quorum["epoch"] == final_spec.epoch, (
+        f"quorum epoch {quorum['epoch']} != final {final_spec.epoch}"
+    )
+    assert victim in quorum["stale"] or victim in quorum["unreachable"], (
+        f"dropped node {victim} answered without being flagged: {quorum}"
+    )
+    assert add_summary["epochs"]["final"] == initial_spec.epoch + 2
+    assert drop_summary["epochs"]["final"] == initial_spec.epoch + 4
+    summary = report.to_dict()
+    summary.update({
+        "nodes_initial": len(initial_spec.nodes),
+        "nodes_final": len(final_spec.nodes),
+        "replication": replication,
+        "added_node": new_id,
+        "decommissioned_node": victim,
+        "epochs": {
+            "initial": initial_spec.epoch,
+            "after_add": add_summary["epochs"]["final"],
+            "final": final_spec.epoch,
+        },
+        "streamed": add_summary["streamed"],
+        "drained": drop_summary["drained"],
+        "range_span_added": add_summary["range_span"],
+        "accepted_ids": len(accepted_ids),
+        "min_copies": min(placement.values()) if placement else 0,
+        "per_node_reports": {
+            node_id: len(ids) for node_id, ids in sorted(held.items())
+        },
+        "quorum": quorum,
+        "stale_flagged": victim in quorum["stale"],
+        "reconciled": not mismatches,
+        "lost": 0,
+    })
+    return summary

@@ -1,16 +1,19 @@
 """One member of a ``bugnet serve`` cluster: :class:`ClusterNodeService`.
 
 A cluster node is a :class:`~repro.fleet.service.FleetService` plus
-four responsibilities, each riding the existing wire protocol as new
+five responsibilities, each riding the existing wire protocol as new
 ops (all protocol v1 — an old standalone client can still upload to a
 cluster node directly):
 
 * **Forwarding** (``fwd``-flagged uploads): a misdirected upload —
-  one whose route digest this node does not own — is proxied to a live
-  owner and the owner's ack relayed back, never rejected.  The client
-  does not need to know the topology to be served correctly; ring
-  routing on the client (:mod:`~repro.fleet.cluster.router`) is an
-  optimization, not a requirement.
+  one whose route digest this node does not own *under the current
+  epoch's routing ring* — is proxied to a live owner and the owner's
+  ack relayed back, never rejected.  The client does not need to know
+  the topology to be served correctly; ring routing on the client
+  (:mod:`~repro.fleet.cluster.router`) is an optimization, not a
+  requirement.  Joining and draining members own nothing, so they
+  forward everything — which is exactly what keeps the *old* ring
+  serving while a topology change streams data around.
 * **Synchronous replication** (``replicate``): the coordinator commits
   locally, then pushes the validated blob + metadata to every *live*
   node of the report's preference list before releasing the ack — so a
@@ -18,23 +21,35 @@ cluster node directly):
   Replicas commit without re-validating (the coordinator already
   replayed the report; replication is a durability copy, idempotent
   via ``upload_id``).
+* **Epoch agreement** (``spec-update`` + the ``epoch`` header field):
+  every peer-to-peer op is stamped with the sender's topology epoch.
+  A mismatch is *refused* with a structured ``stale-epoch`` response
+  instead of served under the wrong ring — the newer side's spec rides
+  the refusal (or a follow-up ``spec-update`` push), the stale side
+  adopts and persists it, and the op retries under the agreed epoch.
+  One round-trip heals any staleness; silent mis-routing is impossible
+  (DESIGN.md §14).
 * **Gossip** (``gossip``): heartbeat-counter exchange driving the
   liveness view (:class:`~repro.fleet.cluster.topology.GossipState`).
-  Routing, replication and anti-entropy all consult it.
-* **Anti-entropy / handoff** (``sync-digests`` + ``fetch-report``): a
-  periodic pull loop asks peers for their entry summaries and fetches
-  whatever this node should hold but does not — how a rejoining node
-  catches up on everything it missed while dead, and how a surviving
-  node absorbs a dead peer's range.  Retention compaction
-  (:meth:`~repro.fleet.store.ReportStore.compact`) folds into the same
-  loop.
+  Routing, replication and anti-entropy all consult it; epoch stamps
+  on gossip frames make it double as topology-change propagation.
+* **Anti-entropy / handoff / range streaming** (``sync-digests`` +
+  ``fetch-report``): a periodic pull loop asks peers for their entry
+  summaries and fetches whatever this node should hold but does not —
+  how a rejoining node catches up, how a surviving node absorbs a dead
+  peer's range, and (new) how a **joining** node streams its future
+  vpoint ranges in *before* the routing flip: ``sync-digests`` accepts
+  the exact ``(start, end]`` token ranges the ring diff remapped, so
+  the stream moves only what the new topology needs.  Retention
+  compaction (:meth:`~repro.fleet.store.ReportStore.compact`) folds
+  into the same loop.
 
 Every committed entry carries a non-empty ``upload_id``: the client's
 token when given, else ``blob-<sha256(body)[:24]>`` synthesized by the
 first node that touches the upload.  That single identity is what
-makes replication, retries *through different nodes*, and anti-entropy
-all collapse into "commit if absent" — no vector clocks needed for an
-immutable-blob store.
+makes replication, retries *through different nodes*, anti-entropy,
+and topology-change streaming all collapse into "commit if absent" —
+no vector clocks needed for an immutable-blob store.
 """
 
 from __future__ import annotations
@@ -42,12 +57,19 @@ from __future__ import annotations
 import asyncio
 import functools
 import hashlib
+from pathlib import Path
 
-from repro.fleet.cluster.topology import ClusterSpec, GossipState, NodeRing
+from repro.fleet.cluster.topology import (
+    ClusterSpec,
+    GossipState,
+    diff_rings,
+    ranges_gained_by,
+)
 from repro.fleet.loadsim import ServiceClient
 from repro.fleet.service import FleetService, ServiceConfig
 from repro.fleet.triage import build_buckets
 from repro.fleet.validate import ResolverSpec, route_key_of_blob
+from repro.fleet.wire import header_epoch, is_stale_epoch, stale_epoch_error
 from repro.obs import REGISTRY
 
 _FORWARDED = REGISTRY.counter(
@@ -66,8 +88,26 @@ _GOSSIP_ROUNDS = REGISTRY.counter(
 )
 _HANDOFF = REGISTRY.counter(
     "bugnet_cluster_handoff_reports_total",
-    "Reports pulled by anti-entropy (rejoin catch-up and dead-node "
-    "range handoff).",
+    "Reports pulled by anti-entropy (rejoin catch-up, dead-node range "
+    "handoff, and topology-change range streaming).",
+)
+_SPEC_UPDATES = REGISTRY.counter(
+    "bugnet_cluster_spec_updates_total",
+    "Cluster-spec epochs adopted (topology changes applied).",
+)
+_STALE_EPOCHS = REGISTRY.counter(
+    "bugnet_cluster_stale_epoch_total",
+    "Epoch mismatches on cluster ops (each refused, then healed by a "
+    "spec push).",
+)
+
+#: Peer-to-peer ops that are refused under an epoch mismatch.  Client
+#: ops (``upload``, ``stats``, ...) carry no epoch and are always
+#: served: an upload is routed under the *receiver's* ring either way,
+#: and bouncing a client over topology it cannot know about would
+#: trade an internal refresh for external unavailability.
+_EPOCH_GATED_OPS = frozenset(
+    {"gossip", "replicate", "sync-digests", "fetch-report", "buckets"}
 )
 
 
@@ -87,6 +127,13 @@ class ClusterNodeService(FleetService):
         **store_kwargs,
     ) -> None:
         spec.node(node_id)  # raises on an id not in the spec
+        # A node that adopted a newer epoch before a restart must not
+        # resurrect the seed file's stale topology: the persisted copy
+        # (written on every adoption) wins by epoch.
+        persisted = self._load_persisted_spec(store_root)
+        if (persisted is not None and persisted.epoch > spec.epoch
+                and persisted.has_node(node_id)):
+            spec = persisted
         # Cluster nodes listen where the spec says, unless the caller
         # overrides (tests bind port 0 and patch the spec afterwards).
         if config is None:
@@ -95,10 +142,10 @@ class ClusterNodeService(FleetService):
         super().__init__(store_root, resolver_spec, config, **store_kwargs)
         self.spec = spec
         self.node_id = node_id
-        self.ring = NodeRing(spec.node_ids)
         self.gossip = GossipState(
             self_id=node_id, node_ids=spec.node_ids, fail_after=fail_after,
         )
+        self._rebuild_topology()
         self.gossip_interval = gossip_interval
         self.anti_entropy_interval = anti_entropy_interval
         self._peer_clients: "dict[str, ServiceClient]" = {}
@@ -110,12 +157,104 @@ class ClusterNodeService(FleetService):
             "replicated_in": 0,
             "gossip_rounds": 0,
             "handoff_reports": 0,
+            "spec_updates": 0,
+            "stale_epochs": 0,
         }
+
+    # -- topology -----------------------------------------------------------
+
+    @staticmethod
+    def _spec_path(store_root) -> Path:
+        return Path(store_root) / "cluster.json"
+
+    @classmethod
+    def _load_persisted_spec(cls, store_root) -> "ClusterSpec | None":
+        path = cls._spec_path(store_root)
+        if not path.exists():
+            return None
+        try:
+            return ClusterSpec.load(path)
+        except ValueError:
+            # A torn write cannot be allowed to wedge a restart; the
+            # seed spec still works and gossip re-delivers the newest
+            # epoch on the first exchange.
+            return None
+
+    def _persist_spec(self) -> None:
+        path = self._spec_path(self.store_root)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(path.name + ".tmp")
+            self.spec.dump(tmp)
+            tmp.replace(path)
+        except OSError:
+            pass  # persistence is an optimization; gossip re-heals
+
+    def _rebuild_topology(self) -> None:
+        """Derive routing state from ``self.spec``: the active routing
+        ring, this member's status, and — while joining — the target
+        ring plus the exact token ranges to stream in."""
+        self.ring = self.spec.routing_ring()
+        me = self.spec.node(self.node_id)
+        self.status = me.status
+        if me.status == "joining":
+            self.target_ring = self.spec.activated(
+                self.node_id
+            ).routing_ring()
+            self.pull_ranges = ranges_gained_by(
+                diff_rings(self.ring, self.target_ring,
+                           self.spec.replication),
+                self.node_id,
+            )
+        else:
+            self.target_ring = None
+            self.pull_ranges = None
+
+    def _adopt_spec(self, new_spec: ClusterSpec) -> bool:
+        """Switch to a newer topology epoch; returns whether adopted.
+
+        The final decommission epoch no longer lists this node — that
+        spec is *not* adopted: the dropped member keeps its draining
+        view (out of the ring, serving reads and fetches) until the
+        operator stops the process, instead of ending up with a
+        topology it cannot place itself in.
+        """
+        if new_spec.epoch <= self.spec.epoch:
+            return False
+        if not new_spec.has_node(self.node_id):
+            return False
+        old_spec = self.spec
+        self.spec = new_spec
+        self._rebuild_topology()
+        self.gossip.update_members(new_spec.node_ids)
+        for peer_id in list(self._peer_clients):
+            stale = not new_spec.has_node(peer_id)
+            if not stale:
+                # An address change across epochs invalidates the
+                # cached connection even though the id survives.
+                old = old_spec.node(peer_id) if old_spec.has_node(
+                    peer_id) else None
+                new = new_spec.node(peer_id)
+                stale = old is None or (old.host, old.port) != (
+                    new.host, new.port)
+            if stale:
+                client = self._peer_clients.pop(peer_id)
+                self._peer_locks.pop(peer_id, None)
+                try:
+                    asyncio.get_running_loop().create_task(client.close())
+                except RuntimeError:
+                    pass  # not on the loop (startup): nothing connected
+        self._persist_spec()
+        self._bump("spec_updates", _SPEC_UPDATES)
+        return True
 
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> "tuple[str, int]":
         host, port = await super().start()
+        # Persist the adopted epoch beside the store so a restart
+        # cannot regress to the seed file's topology.
+        self._persist_spec()
         loop = asyncio.get_running_loop()
         for lap in (self._gossip_loop, self._anti_entropy_loop):
             task = loop.create_task(lap())
@@ -144,25 +283,35 @@ class ClusterNodeService(FleetService):
     async def _peer_call(
         self, peer_id: str, header: dict, body: bytes = b"",
         want_body: bool = False,
+        heal: bool = True,
     ):
-        """One request to a peer over its persistent connection.
+        """One request to a peer over its persistent connection, epoch-
+        stamped.
 
         Returns the response header (or ``(header, body)`` with
         *want_body*); ``None`` on any transport failure, which also
         marks the peer dead — routing and replication immediately stop
         counting on it, long before the heartbeat window expires.
+
+        A ``stale-epoch`` refusal is healed in-line (adopt the peer's
+        newer spec, or push ours to the stale peer) and the op retried
+        once under the agreed epoch; *heal* guards the recursion.
         """
-        member = self.spec.node(peer_id)
+        try:
+            member = self.spec.node(peer_id)
+        except KeyError:
+            return None  # peer left the topology mid-iteration
         client = self._peer_clients.get(peer_id)
         if client is None:
             client = ServiceClient(member.host, member.port,
                                    max_frame=self.config.max_frame)
             self._peer_clients[peer_id] = client
+        stamped = {**header, "epoch": self.spec.epoch}
         lock = self._peer_locks.setdefault(peer_id, asyncio.Lock())
         async with lock:
             try:
                 response, response_body = await client.request_full(
-                    header, body
+                    stamped, body
                 )
             except Exception:
                 # ConnectionError, OSError, IncompleteReadError,
@@ -174,7 +323,35 @@ class ClusterNodeService(FleetService):
                 return None
         # A successful round-trip is direct proof of life.
         self.gossip.touch(peer_id)
+        if heal and is_stale_epoch(response):
+            if await self._heal_epoch(peer_id, response):
+                return await self._peer_call(
+                    peer_id, header, body, want_body=want_body, heal=False,
+                )
         return (response, response_body) if want_body else response
+
+    async def _heal_epoch(self, peer_id: str, response: dict) -> bool:
+        """Converge with a peer that refused an op over epochs; returns
+        whether a retry is worthwhile."""
+        self._bump("stale_epochs", _STALE_EPOCHS)
+        spec_raw = response.get("spec")
+        if isinstance(spec_raw, dict):
+            # The peer is ahead and sent its topology: adopt it.
+            try:
+                newer = ClusterSpec.from_dict(spec_raw)
+            except (KeyError, TypeError, ValueError):
+                return False
+            return self._adopt_spec(newer)
+        peer_epoch = response.get("epoch")
+        if isinstance(peer_epoch, int) and peer_epoch < self.spec.epoch:
+            # The peer is behind: push our spec, then retry the op.
+            pushed = await self._peer_call(
+                peer_id,
+                {"op": "spec-update", "spec": self.spec.to_dict()},
+                heal=False,
+            )
+            return pushed is not None and pushed.get("status") == "ok"
+        return False
 
     def _preference_list(self, route_key: str,
                          alive: "set[str] | None" = None) -> "list[str]":
@@ -182,16 +359,36 @@ class ClusterNodeService(FleetService):
             route_key, self.spec.replication, alive=alive,
         )
 
-    def _should_hold(self, route_key: str) -> bool:
-        """Whether this node belongs in a report's replica set — either
-        statically (a provisioned owner) or because dead owners pushed
-        the preference walk onto it (range handoff)."""
+    def _owns_now(self, route_key: str) -> bool:
+        """Whether this node belongs in a report's replica set under
+        the *current* routing ring — either statically (a provisioned
+        owner) or because dead owners pushed the alive-filtered walk
+        onto it (degraded-mode range handoff).  Joining and draining
+        members are not on the ring and own nothing."""
         if not route_key:
             return True  # no routing identity: wherever it landed
         if self.node_id in self._preference_list(route_key):
             return True
         alive = self.gossip.alive()
         return self.node_id in self._preference_list(route_key, alive=alive)
+
+    def _should_hold(self, route_key: str) -> bool:
+        """Whether anti-entropy should pull a report here: everything
+        the node owns now, plus — while joining — everything it will
+        own once the flip commits (the streamed ranges).  A draining
+        member absorbs nothing new: it is handing its data off."""
+        if not route_key:
+            return True
+        if self.status == "draining":
+            return False
+        if self._owns_now(route_key):
+            return True
+        return (
+            self.target_ring is not None
+            and self.node_id in self.target_ring.preference_list(
+                route_key, self.spec.replication,
+            )
+        )
 
     # -- upload path: forwarding + replication ------------------------------
 
@@ -217,7 +414,7 @@ class ClusterNodeService(FleetService):
             route_key = await loop.run_in_executor(
                 None, route_key_of_blob, body
             )
-            if route_key is not None and not self._should_hold(route_key):
+            if route_key is not None and not self._owns_now(route_key):
                 targets = self._preference_list(
                     route_key, alive=self.gossip.alive()
                 )
@@ -228,7 +425,9 @@ class ClusterNodeService(FleetService):
                     response = await self._peer_call(
                         peer_id, forwarded, body
                     )
-                    if response is not None:
+                    if response is not None and not is_stale_epoch(
+                        response
+                    ):
                         self._bump("forwarded", _FORWARDED)
                         response.setdefault("via", self.node_id)
                         return response
@@ -288,19 +487,56 @@ class ClusterNodeService(FleetService):
 
     async def _handle_message(self, header: dict, body: bytes) -> dict:
         op = header.get("op")
+        if op == "spec-update":
+            return self._handle_spec_update(header)
+        if op == "cluster-info":
+            # Always answered, whatever the caller's epoch: this is the
+            # refresh endpoint, and it carries the full spec.
+            return {
+                "status": "ok",
+                "epoch": self.spec.epoch,
+                "cluster": self._cluster_view(),
+                "spec": self.spec.to_dict(),
+            }
+        claimed = header_epoch(header)
+        if (claimed is not None and op in _EPOCH_GATED_OPS
+                and claimed != self.spec.epoch):
+            # Refuse rather than serve under mismatched rings.  If the
+            # sender is behind, our spec rides the refusal so one
+            # round-trip heals it; if *we* are behind, the bare refusal
+            # tells the sender to push its spec (see _heal_epoch).
+            self._bump("stale_epochs", _STALE_EPOCHS)
+            if claimed < self.spec.epoch:
+                return stale_epoch_error(self.spec.epoch,
+                                         self.spec.to_dict())
+            return stale_epoch_error(self.spec.epoch)
         if op == "gossip":
             return self._handle_gossip(header)
         if op == "replicate":
             return await self._handle_replicate(header, body)
         if op == "sync-digests":
-            return self._handle_sync_digests()
+            return self._handle_sync_digests(header)
         if op == "fetch-report":
             return await self._handle_fetch_report(header)
         if op == "buckets":
             return self._handle_buckets()
-        if op == "cluster-info":
-            return {"status": "ok", "cluster": self._cluster_view()}
         return await super()._handle_message(header, body)
+
+    def _handle_spec_update(self, header: dict) -> dict:
+        raw = header.get("spec")
+        if not isinstance(raw, dict):
+            self._tally("protocol_errors")
+            return {"status": "error",
+                    "reason": "spec-update needs a spec object"}
+        try:
+            pushed = ClusterSpec.from_dict(raw)
+        except (KeyError, TypeError, ValueError) as error:
+            self._tally("protocol_errors")
+            return {"status": "error",
+                    "reason": f"bad cluster spec: {error}"}
+        adopted = self._adopt_spec(pushed)
+        return {"status": "ok", "adopted": adopted,
+                "epoch": self.spec.epoch}
 
     def _handle_gossip(self, header: dict) -> dict:
         peer_id = header.get("from")
@@ -314,6 +550,7 @@ class ClusterNodeService(FleetService):
         if isinstance(peer_id, str):
             self.gossip.touch(peer_id)
         return {"status": "ok", "from": self.node_id,
+                "epoch": self.spec.epoch,
                 "counters": self.gossip.snapshot()}
 
     async def _handle_replicate(self, header: dict, body: bytes) -> dict:
@@ -369,10 +606,21 @@ class ClusterNodeService(FleetService):
         if self.admit_cache.seed_entry(entry):
             self.admit_cache.flush()
 
-    def _handle_sync_digests(self) -> dict:
+    def _handle_sync_digests(self, header: dict) -> dict:
+        ranges = header.get("ranges")
+        if ranges is not None:
+            try:
+                entries = self.store.entries_in_token_ranges(ranges)
+            except (TypeError, ValueError, IndexError):
+                self._tally("protocol_errors")
+                return {"status": "error",
+                        "reason": "ranges must be [start, end] pairs"}
+        else:
+            entries = self.store.entries()
         return {
             "status": "ok",
             "from": self.node_id,
+            "epoch": self.spec.epoch,
             "entries": [
                 {
                     "upload_id": entry.upload_id,
@@ -380,7 +628,7 @@ class ClusterNodeService(FleetService):
                     "route_key": entry.route_key,
                     "observed_at": entry.observed_at,
                 }
-                for entry in self.store.entries()
+                for entry in entries
                 if entry.upload_id
             ],
         }
@@ -415,7 +663,10 @@ class ClusterNodeService(FleetService):
     def _handle_buckets(self) -> dict:
         """Per-node triage buckets for cluster-wide merge: signature
         digest plus the distinct upload ids behind each count, so the
-        cluster view can dedup replica copies."""
+        cluster view can dedup replica copies.  The epoch rides along
+        for quorum reads: a partitioned or dropped member keeps
+        answering, but its stale epoch flags the answer instead of
+        letting it pollute the merge."""
         upload_ids: "dict[str, list[str]]" = {}
         for entry in self.store.entries():
             if entry.upload_id:
@@ -427,7 +678,8 @@ class ClusterNodeService(FleetService):
             payload = bucket.to_dict()
             payload["upload_ids"] = sorted(upload_ids.get(bucket.digest, ()))
             buckets.append(payload)
-        return {"status": "ok", "node": self.node_id, "buckets": buckets}
+        return {"status": "ok", "node": self.node_id,
+                "epoch": self.spec.epoch, "buckets": buckets}
 
     # -- background loops ---------------------------------------------------
 
@@ -442,7 +694,7 @@ class ClusterNodeService(FleetService):
                     "counters": self.gossip.snapshot(),
                 }
                 responses = await asyncio.gather(*(
-                    self._peer_call(member.node_id, frame)
+                    self._peer_call(member.node_id, dict(frame))
                     for member in self.spec.peers_of(self.node_id)
                 ))
                 for response in responses:
@@ -474,15 +726,24 @@ class ClusterNodeService(FleetService):
     async def anti_entropy_round(self) -> int:
         """Pull every report this node should hold but does not from
         live peers; returns the number fetched.  Public so tests and
-        the harness can force convergence instead of sleeping."""
+        the harness can force convergence instead of sleeping.
+
+        A joining member narrows the peer listing to the exact token
+        ranges the ring diff remapped to it (``sync-digests`` range
+        filter), so the pre-flip stream moves ~1/N of the keyspace,
+        not N copies of everything.  A draining member pulls nothing.
+        """
+        if self.status == "draining":
+            return 0
         alive = self.gossip.alive()
+        request: dict = {"op": "sync-digests"}
+        if self.status == "joining" and self.pull_ranges is not None:
+            request["ranges"] = self.pull_ranges
         fetched = 0
         for member in self.spec.peers_of(self.node_id):
             if member.node_id not in alive:
                 continue
-            summary = await self._peer_call(
-                member.node_id, {"op": "sync-digests"}
-            )
+            summary = await self._peer_call(member.node_id, dict(request))
             if not summary or summary.get("status") != "ok":
                 continue
             for item in summary.get("entries", ()):
@@ -531,8 +792,11 @@ class ClusterNodeService(FleetService):
     def _cluster_view(self) -> dict:
         return {
             "node": self.node_id,
+            "epoch": self.spec.epoch,
+            "status": self.status,
             "replication": self.spec.replication,
             "members": list(self.spec.node_ids),
+            "active": list(self.spec.active_ids),
             "alive": sorted(self.gossip.alive()),
             "counters": dict(self.cluster_counters),
         }

@@ -22,8 +22,8 @@ import asyncio
 import random
 import time
 
-from repro.fleet.cluster.admin import aggregate_stats, cluster_stats
-from repro.fleet.cluster.topology import ClusterSpec, NodeRing, NodeSpec
+from repro.fleet.cluster.admin import cluster_stats_quorum
+from repro.fleet.cluster.topology import ClusterSpec, NodeSpec
 from repro.fleet.loadsim import (
     LoadSimReport,
     ServiceClient,
@@ -44,7 +44,10 @@ class RingRouter:
 
     def __init__(self, spec: ClusterSpec) -> None:
         self.spec = spec
-        self.ring = NodeRing(spec.node_ids)
+        # Route over the *active* members only: a joining node has not
+        # streamed its ranges yet and a draining node is leaving — both
+        # still serve (they forward), but neither is a routing target.
+        self.ring = spec.routing_ring()
         self.dead: "set[str]" = set()
 
     def mark_dead(self, node_id: str) -> None:
@@ -274,12 +277,19 @@ class RouterService:
         if op == "ping":
             return {"status": "ok", "router": True}
         if op == "stats":
-            per_node = await cluster_stats(self.spec)
+            read = await cluster_stats_quorum(self.spec)
+            if not read["quorum"]["ok"]:
+                # A proxy must not serve a minority view as the truth:
+                # the caller learns exactly which members answered at
+                # which epoch and can decide for itself.
+                return {"status": "error", "reason": "quorum not met",
+                        "quorum": read["quorum"]}
             return {"status": "ok",
-                    "stats": aggregate_stats(per_node),
+                    "stats": read["aggregate"],
+                    "quorum": read["quorum"],
                     "per_node": {
                         node_id: stats
-                        for node_id, stats in per_node.items()
+                        for node_id, stats in read["per_node"].items()
                         if stats is not None
                     }}
         if op == "upload":
@@ -318,17 +328,27 @@ class RouterService:
             if line in (b"", b"\r\n", b"\n"):
                 break
         if path == "/stats":
-            per_node = await cluster_stats(self.spec)
-            body = json.dumps(aggregate_stats(per_node), indent=2).encode()
-            status = "200 OK"
+            read = await cluster_stats_quorum(self.spec)
+            payload = dict(read["aggregate"])
+            payload["quorum"] = read["quorum"]
+            body = json.dumps(payload, indent=2).encode()
+            status = ("200 OK" if read["quorum"]["ok"]
+                      else "503 Service Unavailable")
         elif path == "/healthz":
-            per_node = await cluster_stats(self.spec)
-            reachable = [n for n, s in per_node.items() if s is not None]
-            ready = bool(reachable)
+            read = await cluster_stats_quorum(self.spec)
+            quorum = read["quorum"]
+            ready = quorum["ok"]
             body = json.dumps({
                 "ok": ready,
-                "reason": "ok" if ready else "no reachable cluster node",
-                "reachable": sorted(reachable),
+                "reason": ("ok" if ready
+                           else f"quorum not met (needs "
+                                f"{quorum['required']} epoch-consistent "
+                                f"answers)"),
+                "epoch": quorum["epoch"],
+                "reachable": sorted(
+                    set(quorum["consistent"]) | set(quorum["stale"])
+                ),
+                "stale": quorum["stale"],
             }).encode()
             status = "200 OK" if ready else "503 Service Unavailable"
         else:

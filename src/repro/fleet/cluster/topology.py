@@ -1,24 +1,48 @@
 """Cluster membership, the node hash ring, and gossiped liveness.
 
-Membership is a **static seed list** (the cluster spec file every node
-and client loads): production BugNet fleets are provisioned, not
-elastic, so the hard problem is not discovery but *liveness* — knowing
-which provisioned nodes are answering right now.  Liveness rides on
-the existing wire protocol as lightweight gossip: every node keeps a
-monotonic heartbeat counter per peer, bumps its own on a timer, swaps
-counter maps with peers (merge by max), and declares a peer dead when
-its counter stops advancing for ``fail_after`` seconds.  A connection
-failure marks the peer suspect immediately — faster than waiting out
-the window, and safe because a false positive only reroutes traffic
-to the next ring successor.
+Membership is an **epoch-versioned** cluster spec: a monotonic
+``epoch`` counter versions every topology the cluster has ever agreed
+on, and every cluster wire message carries its sender's epoch so a
+stale peer is *told to refresh* instead of silently mis-routing
+(DESIGN.md §14).  The spec still travels as a JSON seed file — but it
+is now a snapshot of one epoch, not frozen truth: planned topology
+changes (``bugnet cluster add-node`` / ``decommission``) mint new
+epochs and push them to the live members, which persist the newest
+spec beside their store and gossip it onward.
+
+Each member carries a **status**:
+
+* ``active`` — in the routing ring: owns vpoint ranges, coordinates
+  writes, serves quorum reads.
+* ``joining`` — addressable and gossiped, but *not* in the routing
+  ring yet.  A joining node streams its future ranges from the
+  current owners (via the ordinary anti-entropy ops) while the old
+  ring keeps serving; only when the stream converges does the next
+  epoch flip it to ``active``.
+* ``draining`` — leaving: out of the routing ring (so new writes route
+  to its successors, and an upload that still lands on it is
+  *forwarded*, never refused), but still serving reads and
+  anti-entropy fetches so the survivors can absorb its ranges.  Once
+  every report it holds is fully replicated among the actives, the
+  next epoch drops it from the spec.
+
+Liveness is orthogonal to membership and rides the existing wire
+protocol as lightweight gossip: every node keeps a monotonic heartbeat
+counter per peer, bumps its own on a timer, swaps counter maps with
+peers (merge by max), and declares a peer dead when its counter stops
+advancing for ``fail_after`` seconds.  A connection failure marks the
+peer suspect immediately — faster than waiting out the window, and
+safe because a false positive only reroutes traffic to the next ring
+successor.
 
 Report placement uses the same consistent-hash construction as the
 store's shard ring (sha256 virtual points, first point at or after the
 key), keyed by the **route digest**
-(:func:`repro.fleet.signature.route_digest`).  The
-:meth:`NodeRing.preference_list` walk yields the owner and its
-distinct successors — the replication set; filtered to live nodes it
-is the set a coordinator actually writes to while a member is down.
+(:func:`repro.fleet.signature.route_digest`) over the ring of *active*
+members only.  :func:`diff_rings` computes exactly which token ranges
+change hands between two epochs — the ranges a joining node must
+stream in, and the property ``tests/test_cluster_topology.py`` pins:
+nothing outside the diff moves, everything inside it does.
 """
 
 from __future__ import annotations
@@ -27,7 +51,7 @@ import bisect
 import hashlib
 import json
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 
 #: Virtual points per node on the ring.  More points than the store's
@@ -40,6 +64,13 @@ NODE_RING_VPOINTS = 64
 #: nothing.
 DEFAULT_REPLICATION = 2
 
+#: Valid member statuses (see the module docstring).
+NODE_STATUSES = ("active", "joining", "draining")
+
+#: The full 64-bit ring token space (tokens are the first 8 bytes of a
+#: sha256, interpreted big-endian).
+TOKEN_SPACE = 1 << 64
+
 
 @dataclass(frozen=True)
 class NodeSpec:
@@ -48,28 +79,49 @@ class NodeSpec:
     node_id: str
     host: str
     port: int
+    status: str = "active"
+
+    def __post_init__(self) -> None:
+        if self.status not in NODE_STATUSES:
+            raise ValueError(
+                f"node {self.node_id!r} has unknown status "
+                f"{self.status!r} (expected one of {NODE_STATUSES})"
+            )
 
     def to_dict(self) -> dict:
-        return {"id": self.node_id, "host": self.host, "port": self.port}
+        payload = {"id": self.node_id, "host": self.host, "port": self.port}
+        if self.status != "active":
+            payload["status"] = self.status
+        return payload
 
     @classmethod
     def from_dict(cls, raw: dict) -> "NodeSpec":
         return cls(node_id=str(raw["id"]), host=str(raw["host"]),
-                   port=int(raw["port"]))
+                   port=int(raw["port"]),
+                   status=str(raw.get("status", "active")))
 
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """The static seed list every node and client loads.
+    """One epoch of cluster topology (the JSON every node and client
+    loads, persists, and pushes).
 
     The JSON shape::
 
-        {"replication": 2,
-         "nodes": [{"id": "n0", "host": "127.0.0.1", "port": 7070}, ...]}
+        {"epoch": 3,
+         "replication": 2,
+         "nodes": [{"id": "n0", "host": "127.0.0.1", "port": 7070},
+                   {"id": "n3", "host": "127.0.0.1", "port": 7073,
+                    "status": "joining"},
+                   ...]}
+
+    A spec without an ``epoch`` key is epoch 1 (the pre-elasticity
+    format — identical on disk, so PR-8 seed files load unchanged).
     """
 
     nodes: "tuple[NodeSpec, ...]"
     replication: int = DEFAULT_REPLICATION
+    epoch: int = 1
 
     def __post_init__(self) -> None:
         if not self.nodes:
@@ -77,15 +129,32 @@ class ClusterSpec:
         ids = [node.node_id for node in self.nodes]
         if len(set(ids)) != len(ids):
             raise ValueError(f"duplicate node ids in cluster spec: {ids}")
-        if not 1 <= self.replication <= len(self.nodes):
+        if not isinstance(self.epoch, int) or self.epoch < 1:
+            raise ValueError(f"cluster epoch must be a positive integer, "
+                             f"got {self.epoch!r}")
+        active = self.active_ids
+        if not active:
+            raise ValueError(
+                "cluster spec has no active node: the routing ring "
+                "would be empty"
+            )
+        if not 1 <= self.replication <= len(active):
             raise ValueError(
                 f"replication factor {self.replication} out of range for "
-                f"{len(self.nodes)} node(s)"
+                f"{len(active)} active node(s) "
+                f"({len(self.nodes)} member(s) total)"
             )
 
     @property
     def node_ids(self) -> "tuple[str, ...]":
+        """Every member id, regardless of status."""
         return tuple(node.node_id for node in self.nodes)
+
+    @property
+    def active_ids(self) -> "tuple[str, ...]":
+        """Members in the routing ring (status ``active``)."""
+        return tuple(node.node_id for node in self.nodes
+                     if node.status == "active")
 
     def node(self, node_id: str) -> NodeSpec:
         for node in self.nodes:
@@ -94,12 +163,67 @@ class ClusterSpec:
         raise KeyError(f"no node {node_id!r} in cluster spec "
                        f"(members: {', '.join(self.node_ids)})")
 
+    def has_node(self, node_id: str) -> bool:
+        return any(node.node_id == node_id for node in self.nodes)
+
     def peers_of(self, node_id: str) -> "tuple[NodeSpec, ...]":
         self.node(node_id)  # raises on unknown id
         return tuple(n for n in self.nodes if n.node_id != node_id)
 
+    def routing_ring(self, vpoints: int = NODE_RING_VPOINTS) -> "NodeRing":
+        """The consistent-hash ring over the *active* members."""
+        return NodeRing(self.active_ids, vpoints=vpoints)
+
+    # -- epoch-minting mutations (all return a NEW spec) --------------------
+
+    def add_member(self, node: NodeSpec) -> "ClusterSpec":
+        """Epoch+1 spec with *node* appended (typically ``joining``)."""
+        if self.has_node(node.node_id):
+            raise ValueError(f"node {node.node_id!r} is already a member")
+        return ClusterSpec(nodes=self.nodes + (node,),
+                           replication=self.replication,
+                           epoch=self.epoch + 1)
+
+    def set_status(self, node_id: str, status: str) -> "ClusterSpec":
+        """Epoch+1 spec with one member's status changed."""
+        self.node(node_id)
+        return ClusterSpec(
+            nodes=tuple(
+                replace(n, status=status) if n.node_id == node_id else n
+                for n in self.nodes
+            ),
+            replication=self.replication,
+            epoch=self.epoch + 1,
+        )
+
+    def drop_member(self, node_id: str) -> "ClusterSpec":
+        """Epoch+1 spec without *node_id*."""
+        self.node(node_id)
+        return ClusterSpec(
+            nodes=tuple(n for n in self.nodes if n.node_id != node_id),
+            replication=self.replication,
+            epoch=self.epoch + 1,
+        )
+
+    def activated(self, node_id: str) -> "ClusterSpec":
+        """The *hypothetical* topology with one member active — same
+        epoch, used to compute a joining node's target ring (what it
+        will own once the flip commits), never persisted."""
+        member = self.node(node_id)
+        if member.status == "active":
+            return self
+        return ClusterSpec(
+            nodes=tuple(
+                replace(n, status="active") if n.node_id == node_id else n
+                for n in self.nodes
+            ),
+            replication=self.replication,
+            epoch=self.epoch,
+        )
+
     def to_dict(self) -> dict:
         return {
+            "epoch": self.epoch,
             "replication": self.replication,
             "nodes": [node.to_dict() for node in self.nodes],
         }
@@ -109,6 +233,7 @@ class ClusterSpec:
         return cls(
             nodes=tuple(NodeSpec.from_dict(n) for n in raw["nodes"]),
             replication=int(raw.get("replication", DEFAULT_REPLICATION)),
+            epoch=int(raw.get("epoch", 1)),
         )
 
     def dump(self, path) -> None:
@@ -116,7 +241,28 @@ class ClusterSpec:
 
     @classmethod
     def load(cls, path) -> "ClusterSpec":
-        return cls.from_dict(json.loads(Path(path).read_text()))
+        """Load and *fully validate* a spec file, with errors that name
+        the file and the violated constraint — a replication factor the
+        membership cannot satisfy must fail here, at load, not surface
+        later as an alive-filtered preference-walk shortfall."""
+        try:
+            raw = json.loads(Path(path).read_text())
+        except OSError as error:
+            raise ValueError(
+                f"cluster spec {path}: unreadable ({error})"
+            ) from error
+        except ValueError as error:
+            raise ValueError(
+                f"cluster spec {path}: not valid JSON ({error})"
+            ) from error
+        try:
+            return cls.from_dict(raw)
+        except (KeyError, TypeError, ValueError) as error:
+            detail = (f"missing key {error}" if isinstance(error, KeyError)
+                      else str(error))
+            raise ValueError(
+                f"cluster spec {path}: {detail}"
+            ) from error
 
 
 class NodeRing:
@@ -144,14 +290,19 @@ class NodeRing:
         ``ReportStore.shard_of``)."""
         return int(route_key[:16], 16)
 
-    def _walk(self, route_key: str):
-        """Ring points starting at the key's position, wrapping once."""
-        start = bisect.bisect_right(
-            self._points, (self.key_of(route_key), "")
-        )
+    def tokens(self) -> "list[int]":
+        """The sorted vpoint tokens (ring arc boundaries)."""
+        return [token for token, _node in self._points]
+
+    def _walk_token(self, token: int):
+        """Ring points starting at *token*'s position, wrapping once."""
+        start = bisect.bisect_right(self._points, (token, ""))
         count = len(self._points)
         for offset in range(count):
             yield self._points[(start + offset) % count][1]
+
+    def _walk(self, route_key: str):
+        return self._walk_token(self.key_of(route_key))
 
     def owner(self, route_key: str) -> str:
         """The node that owns a route digest (first ring point at or
@@ -170,8 +321,19 @@ class NodeRing:
         later successors — the write set degrades gracefully while a
         member is down instead of shrinking the replica count.
         """
-        found: list[str] = []
-        for node_id in self._walk(route_key):
+        return self.preference_list_token(
+            self.key_of(route_key), count, alive=alive,
+        )
+
+    def preference_list_token(
+        self,
+        token: int,
+        count: int,
+        alive: "set[str] | None" = None,
+    ) -> "list[str]":
+        """:meth:`preference_list` keyed by a raw ring token."""
+        found: "list[str]" = []
+        for node_id in self._walk_token(token):
             if node_id in found:
                 continue
             if alive is not None and node_id not in alive:
@@ -180,6 +342,84 @@ class NodeRing:
             if len(found) >= count:
                 break
         return found
+
+
+@dataclass(frozen=True)
+class RangeTransfer:
+    """One token range that changes hands between two ring epochs.
+
+    The range is the half-open arc ``(start, end]`` on the 64-bit ring
+    (wrapping when ``start >= end``).  *sources* is the range's old
+    preference list (who holds the data today); *targets* are the
+    nodes that gain the range (who must stream it in before the flip).
+    """
+
+    start: int
+    end: int
+    sources: "tuple[str, ...]"
+    targets: "tuple[str, ...]"
+
+    def as_pair(self) -> "list[int]":
+        """The wire shape (``sync-digests`` range filters)."""
+        return [self.start, self.end]
+
+
+def token_in_range(token: int, start: int, end: int) -> bool:
+    """Whether *token* lies on the ring arc ``(start, end]``."""
+    if start < end:
+        return start < token <= end
+    # Wrapping arc (or the full ring when start == end).
+    return token > start or token <= end
+
+
+def token_in_ranges(token: int, ranges) -> bool:
+    """Whether *token* lies in any ``(start, end]`` pair of *ranges*."""
+    return any(token_in_range(token, int(start), int(end))
+               for start, end in ranges)
+
+
+def diff_rings(old: NodeRing, new: NodeRing,
+               replication: int) -> "list[RangeTransfer]":
+    """The exact token ranges whose preference list changes from *old*
+    to *new*, as :class:`RangeTransfer` entries.
+
+    Preference lists are constant on each elementary arc between
+    consecutive vpoints of the merged rings, so walking those arcs is
+    exhaustive: a route key's replica set changes between the epochs
+    iff its token lies in one of the returned ranges (the property
+    ``tests/test_cluster_topology.py`` pins).  Adjacent arcs with the
+    same (sources, targets) pair are coalesced.
+    """
+    boundaries = sorted(set(old.tokens()) | set(new.tokens()))
+    if not boundaries:
+        return []
+    transfers: "list[RangeTransfer]" = []
+    previous = boundaries[-1]  # the wrap arc ends at boundaries[0]
+    for boundary in boundaries:
+        old_set = old.preference_list_token(boundary, replication)
+        new_set = new.preference_list_token(boundary, replication)
+        gained = tuple(n for n in new_set if n not in old_set)
+        if gained:
+            last = transfers[-1] if transfers else None
+            if (last is not None and last.end == previous
+                    and last.sources == tuple(old_set)
+                    and last.targets == gained):
+                transfers[-1] = RangeTransfer(
+                    last.start, boundary, last.sources, last.targets,
+                )
+            else:
+                transfers.append(RangeTransfer(
+                    previous, boundary, tuple(old_set), gained,
+                ))
+        previous = boundary
+    return transfers
+
+
+def ranges_gained_by(transfers, node_id: str) -> "list[list[int]]":
+    """The ``(start, end]`` pairs of every transfer targeting one node
+    (the wire shape a joining node passes to ``sync-digests``)."""
+    return [transfer.as_pair() for transfer in transfers
+            if node_id in transfer.targets]
 
 
 @dataclass
@@ -205,6 +445,24 @@ class GossipState:
             self.counters.setdefault(node_id, 0)
             self._advanced_at.setdefault(node_id, now)
 
+    def update_members(self, node_ids,
+                       now: "float | None" = None) -> None:
+        """Adopt a new membership (epoch change): existing counters and
+        last-advance times survive, new members start alive (they get
+        the grace window every freshly-seeded peer gets), removed
+        members are forgotten."""
+        if now is None:
+            now = time.monotonic()
+        self.node_ids = tuple(node_ids)
+        keep = set(self.node_ids)
+        for node_id in self.node_ids:
+            self.counters.setdefault(node_id, 0)
+            self._advanced_at.setdefault(node_id, now)
+        for node_id in list(self.counters):
+            if node_id not in keep:
+                del self.counters[node_id]
+                self._advanced_at.pop(node_id, None)
+
     def beat(self) -> None:
         """Bump our own heartbeat (called on the gossip timer)."""
         self.counters[self.self_id] += 1
@@ -218,7 +476,7 @@ class GossipState:
             now = time.monotonic()
         for node_id, counter in counters.items():
             if node_id not in self.counters:
-                continue  # not in the provisioned seed list: ignore
+                continue  # not in the current membership: ignore
             if counter > self.counters[node_id]:
                 self.counters[node_id] = counter
                 self._advanced_at[node_id] = now
@@ -250,8 +508,7 @@ class GossipState:
         return (now - self._advanced_at.get(node_id, 0.0)) < self.fail_after
 
     def alive(self, now: "float | None" = None) -> "set[str]":
-        """Provisioned nodes currently believed alive (always includes
-        self)."""
+        """Members currently believed alive (always includes self)."""
         if now is None:
             now = time.monotonic()
         return {

@@ -120,6 +120,28 @@ DEFAULT_NUM_SHARDS = 8
 DEFAULT_RING_REPLICAS = 32
 
 
+def route_token(route_key: str) -> int:
+    """A route digest's position on the 64-bit cluster node ring
+    (first 16 hex chars, big-endian — the same construction as
+    ``NodeRing.key_of``, duplicated here so the store never imports
+    the cluster package; ``tests/test_cluster_topology.py`` pins the
+    two in lockstep)."""
+    return int(route_key[:16], 16)
+
+
+def token_in_ranges(token: int, ranges) -> bool:
+    """Whether a ring token lies in any ``(start, end]`` arc of
+    *ranges* (an arc with ``start >= end`` wraps through zero)."""
+    for start, end in ranges:
+        start, end = int(start), int(end)
+        if start < end:
+            if start < token <= end:
+                return True
+        elif token > start or token <= end:
+            return True
+    return False
+
+
 @dataclass(frozen=True)
 class StoredEntry:
     """One report as recorded in a shard index."""
@@ -894,6 +916,19 @@ class ReportStore:
     def signatures(self) -> list[str]:
         """Distinct signature digests with resident reports."""
         return sorted({entry.digest for entry in self._entries})
+
+    def entries_in_token_ranges(self, ranges) -> list[StoredEntry]:
+        """Stored reports whose *route digest* falls in any of the
+        ``(start, end]`` ring-token ranges — how a topology change
+        enumerates exactly the reports a remapped vpoint range covers
+        (cluster range streaming, DESIGN.md §14).  Entries without a
+        route key (pre-cluster commits) never match a range filter:
+        they have no ring position to transfer."""
+        return [
+            entry for entry in self._entries
+            if entry.route_key
+            and token_in_ranges(route_token(entry.route_key), ranges)
+        ]
 
     def entry_for_upload(self, upload_id: str) -> "StoredEntry | None":
         """The committed entry for a client idempotency token, if any —

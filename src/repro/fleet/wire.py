@@ -76,6 +76,47 @@ def version_error(header: dict) -> "dict | None":
     return None
 
 
+def header_epoch(header: dict) -> "int | None":
+    """The cluster-topology epoch a frame claims, or ``None``.
+
+    Distinct from the *protocol* version ``"v"``: the protocol version
+    gates frame semantics, the epoch gates ring placement.  Plain
+    clients never send one (uploads are epoch-free — the receiving
+    node routes them under its own topology); cluster nodes stamp
+    every peer-to-peer op so a stale ring is caught before it can
+    mis-route (see :func:`stale_epoch_error`).
+    """
+    epoch = header.get("epoch")
+    if isinstance(epoch, int) and epoch >= 1:
+        return epoch
+    return None
+
+
+def stale_epoch_error(epoch: int, spec: "dict | None" = None) -> dict:
+    """The structured refresh-me/refresh-you response for an epoch
+    mismatch.
+
+    Sent by whichever side holds the *newer* view knowledge: a node
+    that receives an older-epoch frame answers with this (including
+    its spec, so the sender can adopt it in one round-trip); a node
+    that receives a *newer*-epoch frame also answers with this (its
+    own, older epoch and no spec — the sender then pushes a
+    ``spec-update``).  Either way the op is refused: serving it under
+    mismatched rings would silently mis-route.
+    """
+    response = {"status": "error", "reason": "stale-epoch", "epoch": epoch}
+    if spec is not None:
+        response["spec"] = spec
+    return response
+
+
+def is_stale_epoch(response: "dict | None") -> bool:
+    """Whether a peer response is the stale-epoch refusal."""
+    return (isinstance(response, dict)
+            and response.get("status") == "error"
+            and response.get("reason") == "stale-epoch")
+
+
 def encode_frame(header: dict, body: bytes = b"") -> bytes:
     """Serialize one frame (stamping the protocol version)."""
     if "v" not in header:

@@ -1,0 +1,476 @@
+"""Elastic membership: epoch-versioned specs, ring diffing, quorum
+reads, and live add-node / decommission orchestration.
+
+The property tests pin the two contracts the streaming plan relies on
+(a degraded preference list still returns R distinct alive owners; the
+ring diff is *exact* — a key's replica set changes between epochs iff
+its token lies in a returned range).  The in-process tests then run
+the real orchestration: three nodes on one asyncio loop, a fourth
+joins and streams its ranges before the routing flip, an original
+member drains out, and a quorum read at the final epoch flags the
+dropped node's answers as stale instead of serving them.
+"""
+
+import asyncio
+import json
+import random
+
+import pytest
+
+from repro.fleet.cluster import admin
+from repro.fleet.cluster.admin import (
+    quorum_requirement,
+    quorum_verdict,
+)
+from repro.fleet.cluster.harness import free_ports
+from repro.fleet.cluster.node import ClusterNodeService
+from repro.fleet.cluster.topology import (
+    ClusterSpec,
+    NodeRing,
+    NodeSpec,
+    diff_rings,
+    ranges_gained_by,
+    token_in_ranges,
+)
+from repro.fleet.loadsim import ServiceClient, synthesize_corpus
+from repro.fleet.service import ServiceConfig
+from repro.fleet.validate import ResolverSpec, route_key_of_blob
+
+CORPUS_BUGS = ("tidy-34132-2", "tidy-34132-3")
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    _programs, items, failures = synthesize_corpus(
+        8, CORPUS_BUGS, seed=23, corrupt=0, intervals=(2_000, 5_000),
+    )
+    assert failures == 0
+    return items
+
+
+def make_spec(count, replication=2, epoch=1):
+    ports = free_ports(count)
+    return ClusterSpec(
+        nodes=tuple(
+            NodeSpec(node_id=f"n{index}", host="127.0.0.1",
+                     port=ports[index])
+            for index in range(count)
+        ),
+        replication=replication,
+        epoch=epoch,
+    )
+
+
+class TestDegradedPreferenceList:
+    """Satellite: k dead nodes never shrink the replica set while R
+    alive nodes exist — the walk skips the dead and keeps going."""
+
+    def test_k_deaths_still_yield_replication_distinct_alive_owners(self):
+        rng = random.Random(1234)
+        for trial in range(60):
+            node_count = rng.randint(2, 9)
+            replication = rng.randint(1, node_count)
+            node_ids = [f"n{i}" for i in range(node_count)]
+            ring = NodeRing(node_ids)
+            dead_count = rng.randint(0, node_count - replication)
+            alive = set(node_ids) - set(rng.sample(node_ids, dead_count))
+            assert len(alive) >= replication
+            token = rng.getrandbits(64)
+            owners = ring.preference_list_token(
+                token, replication, alive=alive
+            )
+            assert len(owners) == replication
+            assert len(set(owners)) == replication
+            assert set(owners) <= alive
+
+    def test_all_dead_degrades_to_empty_not_error(self):
+        ring = NodeRing(["a", "b"])
+        assert ring.preference_list_token(0, 2, alive=set()) == []
+
+
+class TestRingDiffExactness:
+    """Satellite: the diff is the streaming plan.  A token's replica
+    set changes between two epochs iff it lies in a returned range,
+    and ``ranges_gained_by`` carves that plan up per target."""
+
+    def _rings(self, rng):
+        node_count = rng.randint(2, 6)
+        node_ids = [f"n{i}" for i in range(node_count)]
+        old = NodeRing(node_ids)
+        new = NodeRing(node_ids + [f"n{node_count}"])
+        return old, new, node_ids + [f"n{node_count}"]
+
+    def test_diff_matches_brute_force_on_random_tokens(self):
+        rng = random.Random(99)
+        for trial in range(8):
+            old, new, all_ids = self._rings(rng)
+            replication = rng.randint(1, 3)
+            transfers = diff_rings(old, new, replication)
+            gained_ranges = {
+                node_id: ranges_gained_by(transfers, node_id)
+                for node_id in all_ids
+            }
+            for _probe in range(200):
+                token = rng.getrandbits(64)
+                old_set = old.preference_list_token(token, replication)
+                new_set = new.preference_list_token(token, replication)
+                for node_id in all_ids:
+                    gains = (node_id in new_set
+                             and node_id not in old_set)
+                    in_plan = token_in_ranges(
+                        token, gained_ranges[node_id]
+                    )
+                    assert gains == in_plan, (
+                        f"token {token:#x}: node {node_id} "
+                        f"{'gains' if gains else 'keeps'} it but the "
+                        f"diff says {'streamed' if in_plan else 'not'}"
+                    )
+
+    def test_identical_rings_diff_to_nothing(self):
+        ring = NodeRing(["a", "b", "c"])
+        assert diff_rings(ring, ring, 2) == []
+
+    def test_transfer_sources_hold_the_range_under_old_ring(self):
+        old = NodeRing(["a", "b", "c"])
+        new = NodeRing(["a", "b", "c", "d"])
+        for transfer in diff_rings(old, new, 2):
+            assert transfer.sources == tuple(
+                old.preference_list_token(transfer.end, 2)
+            )
+            assert "d" in transfer.targets
+
+
+class TestEpochSpec:
+    def test_membership_changes_each_advance_the_epoch(self):
+        spec = make_spec(3)
+        joining = spec.add_member(
+            NodeSpec(node_id="n3", host="127.0.0.1", port=1,
+                     status="joining")
+        )
+        assert joining.epoch == spec.epoch + 1
+        assert "n3" not in joining.active_ids
+        active = joining.set_status("n3", "active")
+        assert active.epoch == joining.epoch + 1
+        assert "n3" in active.active_ids
+        draining = active.set_status("n0", "draining")
+        assert draining.epoch == active.epoch + 1
+        assert "n0" not in draining.active_ids
+        assert draining.has_node("n0")
+        dropped = draining.drop_member("n0")
+        assert dropped.epoch == draining.epoch + 1
+        assert not dropped.has_node("n0")
+
+    def test_activated_is_a_same_epoch_hypothetical(self):
+        spec = make_spec(3).add_member(
+            NodeSpec(node_id="n3", host="127.0.0.1", port=1,
+                     status="joining")
+        )
+        target = spec.activated("n3")
+        assert target.epoch == spec.epoch
+        assert "n3" in target.active_ids
+
+    def test_joining_and_draining_stay_off_the_routing_ring(self):
+        spec = make_spec(4).set_status("n3", "draining")
+        ring = spec.routing_ring()
+        assert "n3" not in ring.node_ids
+        assert set(ring.node_ids) == {"n0", "n1", "n2"}
+
+    def test_load_rejects_replication_beyond_node_count(self, tmp_path):
+        """Satellite: a spec demanding more replicas than members is
+        refused at load with the file named."""
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps({
+            "epoch": 1,
+            "replication": 4,
+            "nodes": [
+                {"id": f"n{i}", "host": "127.0.0.1", "port": 1}
+                for i in range(3)
+            ],
+        }))
+        with pytest.raises(ValueError) as err:
+            ClusterSpec.load(path)
+        message = str(err.value)
+        assert "cluster.json" in message
+        assert "out of range" in message
+
+    def test_dump_load_round_trips_statuses_and_epoch(self, tmp_path):
+        spec = make_spec(3, epoch=7).set_status("n1", "draining")
+        path = tmp_path / "cluster.json"
+        spec.dump(path)
+        loaded = ClusterSpec.load(path)
+        assert loaded.epoch == spec.epoch
+        assert loaded.node("n1").status == "draining"
+        assert loaded.active_ids == spec.active_ids
+
+
+class TestQuorumVerdict:
+    def test_requirement_is_majority_of_replication_plus_one(self):
+        assert quorum_requirement(1) == 1
+        assert quorum_requirement(2) == 2
+        assert quorum_requirement(3) == 2
+        assert quorum_requirement(4) == 3
+        assert quorum_requirement(5) == 3
+
+    def test_consistent_majority_meets_quorum(self):
+        verdict = quorum_verdict(
+            {"n0": 3, "n1": 3, "n2": 3}, replication=2
+        )
+        assert verdict["ok"] is True
+        assert verdict["epoch"] == 3
+        assert verdict["consistent"] == ["n0", "n1", "n2"]
+        assert verdict["stale"] == []
+        assert verdict["unreachable"] == []
+
+    def test_stale_minority_is_flagged_not_counted(self):
+        verdict = quorum_verdict(
+            {"n0": 2, "n1": 5, "n2": 5}, replication=2
+        )
+        assert verdict["epoch"] == 5
+        assert verdict["stale"] == ["n0"]
+        assert verdict["consistent"] == ["n1", "n2"]
+        assert verdict["ok"] is True
+
+    def test_partitioned_majority_fails_quorum(self):
+        verdict = quorum_verdict(
+            {"n0": 4, "n1": None, "n2": None}, replication=2
+        )
+        assert verdict["unreachable"] == ["n1", "n2"]
+        assert verdict["ok"] is False
+
+
+class TestStatsCheckCli:
+    """Satellite: ``bugnet cluster stats --check`` is the health gate
+    — non-zero exit naming every unreachable member."""
+
+    def _spec_file(self, tmp_path):
+        path = tmp_path / "cluster.json"
+        make_spec(3).dump(path)
+        return str(path)
+
+    def test_check_exits_one_and_names_unreachable_nodes(
+            self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["cluster", "stats", "--cluster",
+                     self._spec_file(tmp_path), "--check"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "unreachable node(s)" in err
+        for node_id in ("n0", "n1", "n2"):
+            assert node_id in err
+
+    def test_without_check_unreachable_is_reported_not_fatal(
+            self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["cluster", "stats", "--cluster",
+                     self._spec_file(tmp_path)])
+        assert code == 0
+        assert "unreachable" in capsys.readouterr().out
+
+    def test_bad_spec_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cluster.json"
+        path.write_text(json.dumps({
+            "epoch": 1, "replication": 9,
+            "nodes": [{"id": "n0", "host": "h", "port": 1}],
+        }))
+        assert main(["cluster", "stats", "--cluster", str(path)]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+
+def start_node(services, tmp_path, spec, node_id, **kwargs):
+    member = spec.node(node_id)
+    kwargs.setdefault("gossip_interval", 0.05)
+    kwargs.setdefault("anti_entropy_interval", 0.1)
+    kwargs.setdefault("fail_after", 1.0)
+    service = ClusterNodeService(
+        tmp_path / f"store-{node_id}", ResolverSpec(), spec, node_id,
+        config=ServiceConfig(host=member.host, port=member.port,
+                             workers=0),
+        **kwargs,
+    )
+    services[node_id] = service
+    return service
+
+
+async def wait_until(predicate, timeout=15.0, interval=0.05):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while True:
+        if predicate():
+            return
+        if asyncio.get_running_loop().time() >= deadline:
+            raise AssertionError("condition not reached in time")
+        await asyncio.sleep(interval)
+
+
+class TestEpochNegotiation:
+    def test_stale_peer_heals_through_gossip(self, tmp_path):
+        """A node holding an older spec is refused (stale-epoch), gets
+        the newer spec pushed back, and converges without restart."""
+        spec = make_spec(3)
+        newer = spec.set_status("n2", "draining").set_status(
+            "n2", "active"
+        )  # same membership, epoch + 2
+        assert newer.epoch == spec.epoch + 2
+
+        async def scenario():
+            services = {}
+            try:
+                for node_id in spec.node_ids:
+                    await start_node(services, tmp_path, spec,
+                                     node_id).start()
+                member = spec.node("n0")
+                client = ServiceClient(member.host, member.port)
+                try:
+                    response = await client.request({
+                        "op": "spec-update", "spec": newer.to_dict(),
+                    })
+                finally:
+                    await client.close()
+                assert response.get("status") == "ok"
+                assert services["n0"].spec.epoch == newer.epoch
+                # n0's next gossip to n1/n2 is refused stale-epoch; n0
+                # pushes its spec on the refusal and everyone heals.
+                await wait_until(lambda: all(
+                    s.spec.epoch == newer.epoch
+                    for s in services.values()
+                ))
+                healed = [s for s in services.values()
+                          if s.node_id != "n0"]
+                assert all(
+                    s.cluster_counters["spec_updates"] >= 1
+                    for s in healed
+                )
+                assert sum(
+                    s.cluster_counters["stale_epochs"]
+                    for s in services.values()
+                ) >= 1
+            finally:
+                for service in services.values():
+                    await service.stop()
+
+        asyncio.run(scenario())
+
+    def test_node_refuses_spec_that_drops_itself(self, tmp_path):
+        """The final decommission spec is deliberately not adopted by
+        the dropped node: it stays at the stale epoch, so quorum reads
+        flag its answers instead of merging them."""
+        spec = make_spec(3)
+        without_n0 = spec.set_status("n0", "draining").drop_member("n0")
+
+        async def scenario():
+            services = {}
+            try:
+                await start_node(services, tmp_path, spec, "n0",
+                                 anti_entropy_interval=30.0).start()
+                member = spec.node("n0")
+                client = ServiceClient(member.host, member.port)
+                try:
+                    response = await client.request({
+                        "op": "spec-update",
+                        "spec": without_n0.to_dict(),
+                    })
+                finally:
+                    await client.close()
+                assert services["n0"].spec.epoch == spec.epoch
+                assert response.get("adopted") is False
+            finally:
+                for service in services.values():
+                    await service.stop()
+
+        asyncio.run(scenario())
+
+
+class TestElasticOrchestration:
+    def test_add_node_streams_then_flips_and_decommission_drains(
+            self, corpus, tmp_path):
+        """The whole lifecycle on one loop: load a 3-node cluster,
+        grow it to four (data streams before the routing flip), drain
+        an original member out, and verify nothing was lost and the
+        quorum read pins the final epoch."""
+        spec = make_spec(3, replication=2)
+        spec_path = tmp_path / "cluster.json"
+        spec.dump(spec_path)
+
+        async def scenario():
+            services = {}
+            try:
+                for node_id in spec.node_ids:
+                    await start_node(services, tmp_path, spec,
+                                     node_id).start()
+                accepted = []
+                for label, blob, upload_id in corpus:
+                    member = spec.node(spec.routing_ring().owner(
+                        route_key_of_blob(blob)
+                    ))
+                    client = ServiceClient(member.host, member.port)
+                    try:
+                        response = await client.upload(
+                            label, blob, upload_id
+                        )
+                    finally:
+                        await client.close()
+                    assert response.get("status") == "accepted"
+                    accepted.append(upload_id)
+
+                (new_port,) = free_ports(1)
+
+                async def start_new(joining_spec):
+                    await start_node(
+                        services, tmp_path, joining_spec, "n3"
+                    ).start()
+
+                added = await admin.add_node(
+                    spec_path, "n3", "127.0.0.1", new_port,
+                    start_callback=start_new,
+                    poll_interval=0.1, timeout=30.0,
+                )
+                assert added["epochs"]["final"] == spec.epoch + 2
+                assert 0.0 < added["range_span"] < 1.0
+                final_add = ClusterSpec.load(spec_path)
+                await wait_until(lambda: all(
+                    s.spec.epoch == final_add.epoch
+                    for s in services.values()
+                ))
+                assert services["n3"].status == "active"
+
+                dropped = await admin.decommission(
+                    spec_path, "n0", poll_interval=0.1, timeout=30.0,
+                )
+                assert dropped["epochs"]["final"] == final_add.epoch + 2
+                final = ClusterSpec.load(spec_path)
+                assert not final.has_node("n0")
+                # The dropped node refused the final spec: pinned at
+                # the draining epoch, one behind.
+                assert services["n0"].spec.epoch == final.epoch - 1
+
+                # Zero loss counting only surviving members.
+                survivors = [services[n] for n in final.node_ids]
+                for upload_id in accepted:
+                    copies = sum(
+                        1 for s in survivors
+                        if s.store.entry_for_upload(upload_id)
+                        is not None
+                    )
+                    assert copies >= final.replication
+
+                # A quorum probe that still names n0 sees it stale.
+                probe = ClusterSpec(
+                    nodes=final.nodes + (spec.node("n0"),),
+                    replication=final.replication,
+                    epoch=final.epoch,
+                )
+                read = await admin.cluster_stats_quorum(probe)
+                assert read["quorum"]["ok"] is True
+                assert read["quorum"]["epoch"] == final.epoch
+                assert "n0" in read["quorum"]["stale"]
+                assert set(read["quorum"]["consistent"]) == set(
+                    final.node_ids
+                )
+            finally:
+                for service in services.values():
+                    await service.stop()
+
+        asyncio.run(scenario())

@@ -9,7 +9,7 @@ the only one that exercises real process death (validation pool
 orphans, freed ports, flock release).
 """
 
-from repro.fleet.cluster.harness import run_cluster_sim
+from repro.fleet.cluster.harness import run_cluster_sim, run_elasticity_sim
 
 
 class TestKillMinusNine:
@@ -44,3 +44,26 @@ class TestKillMinusNine:
         # accepted * replication.
         assert sum(summary["per_node_reports"].values()) == \
             summary["accepted"] * 2
+
+
+class TestElasticity:
+    def test_topology_change_under_load_loses_nothing(self, tmp_path):
+        """``fleet-sim --elastic`` with real processes: a fourth node
+        joins mid-load (streams its ranges before the routing flip),
+        an original member drains out, the e1-pinned load client keeps
+        routing stale the whole time, and still every accepted report
+        ends fully replicated at the final epoch."""
+        summary = run_elasticity_sim(
+            tmp_path, runs=12, replication=2, seed=3, corrupt=1,
+            concurrency=4, workers=0,
+        )
+        assert summary["lost"] == 0
+        assert summary["added_node"] == "n3"
+        assert summary["decommissioned_node"] == "n0"
+        assert summary["epochs"]["final"] == \
+            summary["epochs"]["initial"] + 4
+        assert summary["min_copies"] >= 2
+        assert summary["reconciled"] is True
+        assert summary["quorum"]["ok"] is True
+        assert summary["stale_flagged"] is True
+        assert "n0" not in summary["per_node_reports"]

@@ -296,9 +296,13 @@ class TestClusterViews:
             assert cluster["node"] == "n0"
             assert cluster["replication"] == 2
             assert cluster["members"] == ["n0", "n1", "n2"]
+            assert cluster["active"] == ["n0", "n1", "n2"]
+            assert cluster["epoch"] == 1
+            assert cluster["status"] == "active"
             assert set(cluster["counters"]) == {
                 "forwarded", "replicated_out", "replicated_in",
                 "gossip_rounds", "handoff_reports",
+                "spec_updates", "stale_epochs",
             }
 
         run_cluster(tmp_path, scenario)

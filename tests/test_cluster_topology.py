@@ -184,6 +184,16 @@ class TestNodeRing:
         # Deterministic across calls and insensitive to nothing else.
         assert route_digest("prog", "memory", 0x1234) == expected
 
+    def test_store_route_token_matches_ring_key_of(self):
+        """``store.route_token`` duplicates ``NodeRing.key_of`` so the
+        store never imports the cluster package; pin them in lockstep
+        — a drift would make range-filtered anti-entropy stream the
+        wrong reports."""
+        from repro.fleet import store
+
+        for key in route_keys(32):
+            assert store.route_token(key) == NodeRing.key_of(key)
+
 
 class TestGossip:
     def fresh(self, fail_after=2.0):
